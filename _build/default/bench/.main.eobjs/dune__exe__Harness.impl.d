@@ -1,0 +1,1 @@
+bench/harness.ml: Coral Int64 List Monotonic_clock Option Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Buffer Coral Coral_storage Coral_term Filename Float Harness Hashtbl List Measure Printf Result Seq Staged String Sys Test Time Toolkit Workloads

@@ -1,0 +1,53 @@
+(* Measurement and reporting helpers shared by every experiment. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+(* Median wall time over [runs] executions (the result of the last run
+   is returned); work counters are captured for the last run only. *)
+let measure ?(runs = 3) f =
+  let times = ref [] in
+  let result = ref None in
+  for _ = 1 to runs do
+    Coral.Relation.reset_global_stats ();
+    let t0 = now_ns () in
+    let r = f () in
+    let t1 = now_ns () in
+    times := Int64.to_float (Int64.sub t1 t0) /. 1e9 :: !times;
+    result := Some r
+  done;
+  let sorted = List.sort compare !times in
+  let median = List.nth sorted (List.length sorted / 2) in
+  let inserts, duplicates, scans = Coral.Relation.global_stats () in
+  median, Option.get !result, (inserts, duplicates, scans)
+
+let fmt_time t =
+  if t < 1e-3 then Printf.sprintf "%.0fus" (t *. 1e6)
+  else if t < 1.0 then Printf.sprintf "%.2fms" (t *. 1e3)
+  else Printf.sprintf "%.2fs" t
+
+let fmt_int n =
+  if n >= 1_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.0fk" (float_of_int n /. 1e3)
+  else string_of_int n
+
+let header title explain =
+  Printf.printf "\n=== %s ===\n%s\n\n" title explain
+
+let table columns rows =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length col) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout

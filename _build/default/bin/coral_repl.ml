@@ -1,0 +1,209 @@
+(* The CORAL interactive interpreter.
+
+   Usage: coral [options] [file.coral ...]
+     -q QUERY   evaluate one query after loading the files and exit
+     -e TEXT    consult program text given on the command line
+     --stats    print engine statistics on exit
+     --batch    do not enter the interactive prompt
+
+   At the prompt: facts, rules and modules extend the database; queries
+   ([?- p(1, X).] — the [?-] is optional for [p(1, X).]-style atoms
+   only when prefixed) print their answers.  Commands:
+     consult("file").     load a program file
+     explain(p(1, X)).    show the optimizer's rewritten program
+     why(p(1, 3)).        show derivation trees for the answers
+     stats.               engine statistics
+     help.                this text
+     quit. / halt.        leave *)
+
+let banner =
+  "CORAL deductive database (OCaml reproduction of Ramakrishnan et al., SIGMOD'93)\n\
+   Type help. for help.\n"
+
+let help_text =
+  "  edge(1, 2).                      add a fact\n\
+  \  path(X, Y) :- edge(X, Y).        add a rule (interactive module)\n\
+  \  module m. ... end_module.        define a module (multi-line ok)\n\
+  \  ?- path(1, X).                   run a query\n\
+  \  consult(\"file.coral\").           load a file\n\
+  \  explain(path(1, X)).             show the rewritten program\n\
+  \  why(path(1, 3)).                 show a derivation tree\n\
+  \  relations.  modules.  stats.  help.  quit.\n"
+
+let print_result (r : Coral.Engine.query_result) =
+  match r.Coral.Engine.rows with
+  | [] -> print_endline "no."
+  | rows ->
+    List.iter
+      (fun row ->
+        if r.Coral.Engine.qvars = [] then print_endline "yes."
+        else begin
+          let parts =
+            List.map2
+              (fun (v : Coral.Term.var) value ->
+                Printf.sprintf "%s = %s" v.Coral.Term.vname (Coral.Term.to_string value))
+              r.Coral.Engine.qvars (Array.to_list row)
+          in
+          print_endline (String.concat ", " parts)
+        end)
+      rows;
+    Printf.printf "(%d answer%s)\n" (List.length rows)
+      (if List.length rows = 1 then "" else "s")
+
+let handle_command db (a : Coral.Ast.atom) =
+  match Coral.Symbol.name a.Coral.Ast.pred, a.Coral.Ast.args with
+  | ("quit" | "halt"), [||] -> exit 0
+  | "help", [||] ->
+    print_string help_text;
+    true
+  | "stats", [||] ->
+    Format.printf "%a@." Coral.Engine.pp_stats (Coral.engine db);
+    true
+  | "relations", [||] ->
+    List.iter
+      (fun (name, n) -> Printf.printf "  %-24s %d tuples\n" name n)
+      (Coral.Engine.list_relations (Coral.engine db));
+    true
+  | "modules", [||] ->
+    List.iter (fun m -> Printf.printf "  %s\n" m) (Coral.Engine.list_modules (Coral.engine db));
+    true
+  | "consult", [| Coral.Term.Const (Coral.Value.Str file) |] ->
+    (try
+       Coral.consult_file db file;
+       Printf.printf "consulted %s\n" file
+     with
+    | Coral.Engine.Engine_error e -> Printf.printf "error: %s\n" e
+    | Sys_error e -> Printf.printf "error: %s\n" e);
+    true
+  | "explain", [| Coral.Term.App inner |] ->
+    let text =
+      Coral.explain db
+        (Coral.Term.to_string (Coral.Term.App inner))
+    in
+    print_endline text;
+    true
+  | "why", [| Coral.Term.App inner |] ->
+    print_string (Coral.why db (Coral.Term.to_string (Coral.Term.App inner)));
+    true
+  | _ -> false
+
+let process_items db items =
+  List.iter
+    (fun item ->
+      match (item : Coral.Ast.item) with
+      | Coral.Ast.Fact a when handle_command db a -> ()
+      | Coral.Ast.Fact a ->
+        ignore
+          (Coral.Relation.insert_terms
+             (Coral.relation db (Coral.Symbol.name a.Coral.Ast.pred) (Array.length a.Coral.Ast.args))
+             a.Coral.Ast.args)
+      | Coral.Ast.Clause_item r -> Coral.Engine.add_clause (Coral.engine db) r
+      | Coral.Ast.Module_item m -> begin
+        match Coral.Engine.load_module (Coral.engine db) m with
+        | Ok () -> Printf.printf "module %s loaded.\n" m.Coral.Ast.mname
+        | Error e -> Printf.printf "error: %s\n" e
+      end
+      | Coral.Ast.Query lits -> print_result (Coral.Engine.query (Coral.engine db) lits)
+      | Coral.Ast.Command (name, _) -> Printf.printf "unknown command @%s\n" name)
+    items
+
+let process_text db text =
+  match Coral.Parser.program text with
+  | Ok items -> process_items db items
+  | Error e -> Format.printf "%a@." Coral.Parser.pp_error e
+
+(* Read until a line whose trailing non-space character is '.' and the
+   input parses (modules span many clauses, so keep reading while the
+   parser reports an unterminated module). *)
+let read_input () =
+  let buf = Buffer.create 128 in
+  let rec go prompt =
+    print_string prompt;
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | Some line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      let text = String.trim (Buffer.contents buf) in
+      if text = "" then go "coral> "
+      else begin
+        let complete =
+          text.[String.length text - 1] = '.'
+          && begin
+            match Coral.Parser.program text with
+            | Ok _ -> true
+            | Error e ->
+              (* an open module keeps the prompt going; any other parse
+                 error is reported immediately *)
+              e.Coral.Parser.message <> "unterminated module (missing end_module)"
+          end
+        in
+        if complete then Some (Buffer.contents buf) else go "     | "
+      end
+  in
+  go "coral> "
+
+let repl db =
+  let rec loop () =
+    match read_input () with
+    | None ->
+      print_newline ();
+      exit 0
+    | Some text ->
+      (try process_text db text with
+      | Coral.Engine.Engine_error e -> Printf.printf "error: %s\n" e
+      | Coral.Builtin.Eval_error e -> Printf.printf "evaluation error: %s\n" e
+      | Failure e -> Printf.printf "error: %s\n" e);
+      loop ()
+  in
+  loop ()
+
+let () =
+  let db = Coral.create () in
+  let files = ref [] and queries = ref [] and texts = ref [] in
+  let batch = ref false and stats = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "-q" :: q :: rest ->
+      queries := q :: !queries;
+      batch := true;
+      parse_args rest
+    | "-e" :: t :: rest ->
+      texts := t :: !texts;
+      parse_args rest
+    | "--batch" :: rest ->
+      batch := true;
+      parse_args rest
+    | "--stats" :: rest ->
+      stats := true;
+      parse_args rest
+    | ("-h" | "--help") :: _ ->
+      print_string
+        "usage: coral [-q QUERY] [-e TEXT] [--batch] [--stats] [file.coral ...]\n";
+      exit 0
+    | file :: rest ->
+      files := file :: !files;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  List.iter
+    (fun file ->
+      try
+        let results = Coral.Engine.consult_file (Coral.engine db) file in
+        List.iter (fun (_, r) -> print_result r) results
+      with Coral.Engine.Engine_error e ->
+        Printf.printf "error loading %s: %s\n" file e;
+        exit 1)
+    (List.rev !files);
+  List.iter (fun text -> process_text db text) (List.rev !texts);
+  List.iter
+    (fun q ->
+      try print_result (Coral.Engine.query_string (Coral.engine db) q)
+      with Coral.Engine.Engine_error e -> Printf.printf "error: %s\n" e)
+    (List.rev !queries);
+  if !stats then Format.printf "%a@." Coral.Engine.pp_stats (Coral.engine db);
+  if not !batch then begin
+    print_string banner;
+    repl db
+  end

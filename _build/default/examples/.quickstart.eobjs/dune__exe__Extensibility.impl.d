@@ -1,0 +1,1 @@
+examples/extensibility.ml: Array Coral Float Format List Printf Seq

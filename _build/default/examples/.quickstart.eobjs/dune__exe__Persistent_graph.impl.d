@@ -1,0 +1,1 @@
+examples/persistent_graph.ml: Array Coral Coral_storage Filename List Printf Sys

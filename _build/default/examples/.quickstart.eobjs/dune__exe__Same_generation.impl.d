@@ -1,0 +1,1 @@
+examples/same_generation.ml: Array Coral List Printf Sys

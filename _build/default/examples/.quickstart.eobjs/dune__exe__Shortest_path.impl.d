@@ -1,0 +1,1 @@
+examples/shortest_path.ml: Array Coral List Printf Sys

@@ -1,0 +1,53 @@
+(* Bill of materials: modularly stratified aggregation via Ordered
+   Search (paper section 5.4.1).
+
+   The cost of an assembly is its own assembly cost plus the sum of the
+   costs of its subparts — a recursion through aggregation, which plain
+   stratified evaluation rejects (the aggregate and the recursion are in
+   one SCC).  Ordered Search orders the subgoals so each part's total is
+   aggregated only when its subparts are complete.
+
+   Run with: dune exec examples/bill_of_materials.exe *)
+
+let program =
+  {|
+module bom.
+export total_cost(bf).
+@ordered_search.
+subcost(P, sum(C)) :- uses(P, S), total_cost(S, C).
+total_cost(P, C) :- part(P), not composite(P), basecost(P, C).
+total_cost(P, C) :- part(P), composite(P), subcost(P, SC), basecost(P, BC),
+                    C = SC + BC.
+composite(P) :- uses(P, _).
+end_module.
+|}
+
+let () =
+  let db = Coral.create () in
+  (* A small product structure: a bike. *)
+  let parts =
+    [ "bike", 40; "wheel", 5; "frame", 30; "spoke", 1; "rim", 8; "tube", 6; "saddle", 12 ]
+  in
+  List.iter (fun (p, c) ->
+      Coral.fact db "part" [ Coral.atom p ];
+      Coral.fact db "basecost" [ Coral.atom p; Coral.int c ])
+    parts;
+  List.iter (fun (p, s) -> Coral.fact db "uses" [ Coral.atom p; Coral.atom s ])
+    [ "bike", "wheel"; "bike", "frame"; "bike", "saddle";
+      "wheel", "spoke"; "wheel", "rim"; "wheel", "tube"
+    ];
+  Coral.consult_text db program;
+
+  print_endline "total costs (assembly cost + subparts):";
+  List.iter
+    (fun (p, base) ->
+      match Coral.query db (Printf.sprintf "total_cost(%s, C)" p) with
+      | [ [ (_, c) ] ] ->
+        Printf.printf "  %-8s base %3d   total %s\n" p base (Coral.Term.to_string c)
+      | _ -> Printf.printf "  %-8s (no answer)\n" p)
+    parts;
+
+  (* wheel = 5 + (1 + 8 + 6) = 20; bike = 40 + 20 + 30 + 12 = 102 *)
+  assert (Coral.exists db "total_cost(wheel, 20)");
+  assert (Coral.exists db "total_cost(bike, 102)");
+  print_endline "checks passed."

@@ -1,0 +1,77 @@
+(* Extensibility (paper sections 6, 7): a user-defined abstract data
+   type and a host-defined predicate used from declarative rules.
+
+   We add a 2-D point type (the analogue of subclassing the C++ Arg
+   class: equality, hashing and printing are supplied by the user and
+   hash-consing composes automatically), register a distance predicate
+   written in OCaml (the analogue of _coral_export), and then write a
+   plain declarative module over both.
+
+   Run with: dune exec examples/extensibility.exe *)
+
+type point = { x : float; y : float }
+
+exception Point of point
+
+let () =
+  let db = Coral.create () in
+
+  (* --- a new abstract data type ----------------------------------- *)
+  let point =
+    Coral.define_type ~name:"point"
+      ~compare:(fun a b ->
+        match a, b with
+        | Point p, Point q -> compare (p.x, p.y) (q.x, q.y)
+        | _ -> invalid_arg "point")
+      ~print:(fun ppf -> function
+        | Point p -> Format.fprintf ppf "pt(%g, %g)" p.x p.y
+        | _ -> invalid_arg "point")
+      ()
+  in
+  let pt x y = point (Point { x; y }) in
+
+  (* --- a host-defined predicate: dist(P1, P2, D) ------------------- *)
+  Coral.define_predicate db "dist" 3 (fun args env ->
+      let a = Coral.Unify.resolve args.(0) env and b = Coral.Unify.resolve args.(1) env in
+      match a, b with
+      | ( Coral.Term.Const (Coral.Value.Opaque (_, Point p)),
+          Coral.Term.Const (Coral.Value.Opaque (_, Point q)) ) ->
+        let d = Float.hypot (p.x -. q.x) (p.y -. q.y) in
+        Seq.return [| a; b; Coral.double d |]
+      | _ -> Seq.empty);
+
+  (* --- base facts carrying opaque values ---------------------------- *)
+  List.iter
+    (fun (name, x, y) -> Coral.fact db "city" [ Coral.atom name; pt x y ])
+    [ "madison", 43.07, -89.40;
+      "chicago", 41.88, -87.63;
+      "st_paul", 44.95, -93.09;
+      "milwaukee", 43.04, -87.91
+    ];
+
+  (* --- declarative rules over the new type and predicate ----------- *)
+  Coral.consult_text db
+    {|
+module geo.
+export close_pair(fff).
+close_pair(A, B, D) :- city(A, PA), city(B, PB), A != B,
+                       dist(PA, PB, D), D < 2.0.
+end_module.
+|};
+
+  print_endline "city pairs closer than 2 degrees:";
+  List.iter
+    (fun bindings ->
+      match bindings with
+      | [ (_, a); (_, b); (_, d) ] ->
+        Printf.printf "  %-10s %-10s %s\n" (Coral.Term.to_string a) (Coral.Term.to_string b)
+          (Coral.Term.to_string d)
+      | _ -> ())
+    (Coral.query db "close_pair(A, B, D)");
+
+  (* opaque values hash-cons like every other term: repeated facts are
+     duplicates *)
+  let rel = Coral.relation db "city" 2 in
+  let before = Coral.Relation.cardinal rel in
+  Coral.fact db "city" [ Coral.atom "madison"; pt 43.07 (-89.40) ];
+  Printf.printf "duplicate city fact rejected: %b\n" (Coral.Relation.cardinal rel = before)

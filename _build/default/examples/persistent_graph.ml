@@ -1,0 +1,65 @@
+(* Persistent relations: load a graph into the storage manager, commit,
+   reopen, and run recursive queries straight off the disk pages.
+
+   The deductive engine sees the persistent relation through the same
+   scan interface as any in-memory relation (paper sections 2, 3.2):
+   get-next-tuple requests translate into page accesses through a
+   bounded buffer pool, whose statistics this example prints.
+
+   Run with: dune exec examples/persistent_graph.exe *)
+
+let dir = Filename.concat (Filename.get_temp_dir_name ()) "coral_persistent_demo"
+
+let vertices = 300
+
+let load () =
+  let h =
+    Coral.Persistent.open_ ~pool_frames:8 ~indexes:[ 0 ] ~dir ~name:"edge" ~arity:2 ()
+  in
+  let rel = Coral.Persistent.relation h in
+  (* a ring plus shortcuts: every vertex reaches every other *)
+  for i = 0 to vertices - 1 do
+    ignore
+      (Coral.Relation.insert_terms rel
+         [| Coral.int i; Coral.int ((i + 1) mod vertices) |]);
+    if i mod 7 = 0 then
+      ignore
+        (Coral.Relation.insert_terms rel
+           [| Coral.int i; Coral.int ((i + 50) mod vertices) |])
+  done;
+  Printf.printf "loaded %d edges into %s\n" (Coral.Relation.cardinal rel) dir;
+  Coral.Persistent.commit h;
+  Coral.Persistent.close h
+
+let query_phase () =
+  (* a fresh handle: everything now comes from disk *)
+  let h =
+    Coral.Persistent.open_ ~pool_frames:8 ~indexes:[ 0 ] ~dir ~name:"edge" ~arity:2 ()
+  in
+  let db = Coral.create () in
+  Coral.install_relation db "edge" (Coral.Persistent.relation h);
+  Coral.consult_text db
+    {|
+module reach.
+export reachable(bf).
+reachable(X, Y) :- edge(X, Y).
+reachable(X, Y) :- edge(X, Z), reachable(Z, Y).
+end_module.
+|};
+  let rows = Coral.query_rows db "reachable(0, Y)" in
+  Printf.printf "vertex 0 reaches %d vertices\n" (List.length rows);
+  print_endline "buffer pool statistics (8 frames = 64 KiB of cache):";
+  List.iter
+    (fun (file, st) ->
+      Printf.printf "  %-16s hits %-6d misses %-6d evictions %-6d\n" file
+        st.Coral_storage.Buffer_pool.hits st.Coral_storage.Buffer_pool.misses
+        st.Coral_storage.Buffer_pool.evictions)
+    (Coral.Persistent.io_stats h);
+  Coral.Persistent.close h
+
+let () =
+  (* wipe any previous demo state *)
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  load ();
+  query_phase ()

@@ -1,0 +1,52 @@
+(* Quickstart: build a small family database from the host API, define
+   a recursive module, and ask questions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let db = Coral.create () in
+
+  (* Base facts through the typed API (the paper's C++ interface built
+     relation values "through a series of explicit inserts"). *)
+  Coral.facts db "parent"
+    [ [ Coral.atom "ann"; Coral.atom "bob" ];
+      [ Coral.atom "ann"; Coral.atom "cleo" ];
+      [ Coral.atom "bob"; Coral.atom "dan" ];
+      [ Coral.atom "cleo"; Coral.atom "eve" ];
+      [ Coral.atom "dan"; Coral.atom "fay" ]
+    ];
+
+  (* A declarative module, consulted as text (embedded CORAL code). *)
+  Coral.consult_text db
+    {|
+module family.
+export ancestor(bf).
+export ancestor(ff).
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+end_module.
+|};
+
+  (* Queries: text in, variable bindings out. *)
+  print_endline "Descendants of bob:";
+  List.iter
+    (fun bindings ->
+      List.iter
+        (fun (name, value) -> Printf.printf "  %s = %s\n" name (Coral.Term.to_string value))
+        bindings)
+    (Coral.query db "ancestor(bob, Y)");
+
+  print_endline "All ancestor pairs:";
+  List.iter
+    (fun row ->
+      match row with
+      | [ (_, x); (_, y) ] ->
+        Printf.printf "  %s -> %s\n" (Coral.Term.to_string x) (Coral.Term.to_string y)
+      | _ -> ())
+    (Coral.query db "ancestor(X, Y)");
+
+  Printf.printf "Is ann an ancestor of fay? %b\n" (Coral.exists db "ancestor(ann, fay)");
+
+  (* What did the optimizer do with the bound query? *)
+  print_endline "\nOptimizer plan for ancestor(bob, Y):";
+  print_endline (Coral.explain db "ancestor(bob, Y)")

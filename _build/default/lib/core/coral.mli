@@ -1,0 +1,143 @@
+(** CORAL: a deductive database system.
+
+    This is the public face of the library — the OCaml rendering of
+    CORAL's host-language interface (paper section 6), which extended
+    C++ with relations, tuples, args and scan descriptors, plus embedded
+    declarative CORAL code.  A {!session} owns base relations, loaded
+    modules and cached evaluation state; declarative programs are
+    consulted as text and queried either as text or through the typed
+    helpers.
+
+    {2 Quick start}
+
+    {[
+      let db = Coral.create () in
+      Coral.consult_text db
+        "edge(1, 2). edge(2, 3).
+         module paths.
+         export path(bf).
+         path(X, Y) :- edge(X, Y).
+         path(X, Y) :- edge(X, Z), path(Z, Y).
+         end_module.";
+      Coral.query db "path(1, Y)"
+      (* -> [ [Y := 2]; [Y := 3] ] *)
+    ]}
+
+    The submodules re-export the full system for programs that need to
+    reach below the facade (relation implementations, the optimizer,
+    the storage manager). *)
+
+(** {1 Re-exported system layers} *)
+
+module Term = Coral_term.Term
+module Value = Coral_term.Value
+module Bignum = Coral_term.Bignum
+module Symbol = Coral_term.Symbol
+module Bindenv = Coral_term.Bindenv
+module Unify = Coral_term.Unify
+module Tuple = Coral_rel.Tuple
+module Relation = Coral_rel.Relation
+module Scan = Coral_rel.Scan
+module Index = Coral_rel.Index
+module Hash_relation = Coral_rel.Hash_relation
+module List_relation = Coral_rel.List_relation
+module Ast = Coral_lang.Ast
+module Parser = Coral_lang.Parser
+module Pretty = Coral_lang.Pretty
+module Optimizer = Coral_rewrite.Optimizer
+module Engine = Coral_eval.Engine
+module Builtin = Coral_eval.Builtin
+module Persistent = Coral_storage.Persistent_relation
+module Database = Coral_storage.Database
+
+(** {1 Sessions} *)
+
+type t
+(** A session: base relations, loaded modules, cached plans and
+    save-module instances. *)
+
+val create : ?builtins:bool -> unit -> t
+val engine : t -> Engine.t
+
+(** {1 Building the database} *)
+
+val fact : t -> string -> Term.t list -> unit
+(** [fact db "edge" [Term.int 1; Term.int 2]] inserts a base fact. *)
+
+val facts : t -> string -> Term.t list list -> unit
+
+val relation : t -> string -> int -> Relation.t
+(** The base relation for a name/arity, created on demand. *)
+
+val install_relation : t -> string -> Relation.t -> unit
+(** Use a custom relation implementation (e.g. a {!Persistent} one) as
+    a base relation: extensibility of access structures, section 7.2. *)
+
+val consult_text : t -> string -> unit
+(** Load program text (facts, modules, rules).  Embedded queries are
+    evaluated and discarded; use {!query} to get answers.
+    @raise Engine.Engine_error on parse or load errors. *)
+
+val consult_file : t -> string -> unit
+
+val define_predicate :
+  t -> string -> int -> (Term.t array -> Bindenv.t -> Term.t array Seq.t) -> unit
+(** Define a predicate by a host function (the paper's
+    [_coral_export] mechanism, section 6.2): given the argument
+    pattern and its environment, produce answer rows; the engine
+    unifies them with the call pattern. *)
+
+(** {1 Queries} *)
+
+val query : t -> string -> (string * Term.t) list list
+(** Evaluate a query ("path(1, Y), Y != 3" — the leading [?-] and the
+    final dot are optional); one association list of variable bindings
+    per answer. *)
+
+val query_rows : t -> string -> Term.t array list
+(** Like {!query}, rows aligned with the variables' first occurrence. *)
+
+val call : t -> string -> Term.t array -> Tuple.t Seq.t
+(** Direct call on a predicate with a pattern of constants and
+    variables (use {!Term.var} / {!var} for free positions). *)
+
+val exists : t -> string -> bool
+(** Does the query have at least one answer? *)
+
+(** {1 Term construction helpers} *)
+
+val int : int -> Term.t
+val str : string -> Term.t
+val atom : string -> Term.t
+val double : float -> Term.t
+val var : ?name:string -> int -> Term.t
+val list_ : Term.t list -> Term.t
+val app : string -> Term.t list -> Term.t
+
+(** {1 Extensibility: abstract data types (paper section 7.1)} *)
+
+val define_type :
+  name:string ->
+  ?compare:(exn -> exn -> int) ->
+  ?hash:(exn -> int) ->
+  ?parse:(string -> exn) ->
+  print:(Format.formatter -> exn -> unit) ->
+  unit ->
+  exn -> Term.t
+(** Register an abstract data type and get its value constructor.  The
+    payload travels as an [exn] (OCaml's extensible type): declare
+    [exception Point of point] and pass [Point p] values.  Equality,
+    hashing and printing flow from the given operations; hash-consing
+    ids compose with every other type automatically. *)
+
+(** {1 Inspection} *)
+
+val explain : t -> string -> string
+(** The optimizer's rewritten program and decisions for a query on an
+    exported predicate (the text CORAL dumped as a debugging aid). *)
+
+val why : t -> string -> string
+(** The explanation tool (the paper's acknowledgements credit Bill
+    Roth's Explanation tool): derivation trees for the answers of a
+    single-literal query — each fact, the rule that first derived it,
+    and recursively the body facts that rule joined. *)

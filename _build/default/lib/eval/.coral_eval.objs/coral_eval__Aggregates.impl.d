@@ -1,0 +1,1 @@
+lib/eval/aggregates.ml: Array Ast Bignum Bindenv Coral_lang Coral_rel Coral_term List Printf Relation Seq Term Trail Tuple Unify Value

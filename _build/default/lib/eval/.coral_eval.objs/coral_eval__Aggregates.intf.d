@@ -1,0 +1,1 @@
+lib/eval/aggregates.mli: Ast Coral_lang Coral_rel Coral_term Relation Seq Term Tuple

@@ -1,0 +1,1 @@
+lib/eval/builtin.ml: Array Ast Bignum Bindenv Coral_lang Coral_term Float List Seq String Symbol Term Unify Value

@@ -1,0 +1,1 @@
+lib/eval/builtin.mli: Ast Bindenv Coral_lang Coral_term Seq Term

@@ -1,0 +1,1 @@
+lib/eval/engine.mli: Ast Builtin Coral_lang Coral_rel Coral_rewrite Coral_term Format Optimizer Relation Seq Symbol Term Tuple

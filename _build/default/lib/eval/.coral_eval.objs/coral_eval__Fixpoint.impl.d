@@ -1,0 +1,1 @@
+lib/eval/fixpoint.ml: Aggregates Array Ast Coral_lang Coral_rel Coral_rewrite Coral_term Hashtbl Joiner List Module_struct Option Relation String Symbol Term Tuple

@@ -1,0 +1,1 @@
+lib/eval/fixpoint.mli: Bindenv Coral_rel Coral_term Module_struct Relation Seq Term Tuple

@@ -1,0 +1,1 @@
+lib/eval/joiner.ml: Array Bindenv Builtin Coral_rel Coral_term Fun List Module_struct Option Relation Seq Trail Tuple Unify

@@ -1,0 +1,1 @@
+lib/eval/joiner.mli: Bindenv Coral_rel Coral_term Module_struct Relation Term Tuple

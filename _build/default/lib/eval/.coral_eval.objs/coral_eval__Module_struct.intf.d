@@ -1,0 +1,1 @@
+lib/eval/module_struct.mli: Ast Builtin Coral_lang Coral_rel Coral_rewrite Coral_term Optimizer Relation Symbol Term

@@ -1,0 +1,1 @@
+lib/eval/pipeline.ml: Array Ast Bindenv Builtin Coral_lang Coral_rel Coral_term Effect List Relation Rename Seq Symbol Trail Tuple Unify

@@ -1,0 +1,1 @@
+lib/eval/pipeline.mli: Bindenv Builtin Coral_lang Coral_rel Coral_term Relation Seq Symbol Term Tuple

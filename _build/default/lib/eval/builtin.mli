@@ -1,0 +1,34 @@
+(** Built-in operations: arithmetic term evaluation, comparisons, and
+    the stock library predicates (the analogue of CORAL's built-in
+    libraries implemented in C++). *)
+
+open Coral_term
+open Coral_lang
+
+exception Eval_error of string
+
+val eval_term : Term.t -> Bindenv.t -> Term.t
+(** Resolve a term and reduce arithmetic functors ([+], [-], [*], [/],
+    [mod]) over ground numeric arguments.  Integer overflow promotes to
+    bignums on request of exact operations only when literals were
+    bignums; native ints wrap as in C (CORAL's behaviour).
+    @raise Eval_error on arithmetic over non-numeric ground values. *)
+
+val compare_terms : Ast.cmp_op -> Term.t -> Bindenv.t -> Term.t -> Bindenv.t -> bool
+(** Evaluate a comparison literal.  Order comparisons require ground
+    evaluated operands ([Eval_error] otherwise); [==]/[!=] compare
+    resolved terms structurally. *)
+
+(** A foreign predicate: given the (dereferenced) argument pattern and
+    its environment, produce answer tuples.  Answers are unified with
+    the pattern by the caller, so a foreign predicate may overproduce. *)
+type solver = Term.t array -> Bindenv.t -> Term.t array Seq.t
+
+type foreign = { fname : string; farity : int; fsolve : solver }
+
+val stock : foreign list
+(** The built-in library: [append/3], [member/2], [length/2],
+    [between/3], [write/1], [writeln/1], [abs/2], [min_of/3],
+    [max_of/3], [gcd/3], [string_concat/3], [string_length/2],
+    [term_to_string/2], [nth/3] (0-based, enumerates), [reverse/2],
+    [sort/2] (sorted, duplicate-free), [sum_list/2]. *)

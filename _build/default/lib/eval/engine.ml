@@ -1,0 +1,618 @@
+open Coral_term
+open Coral_lang
+open Coral_rel
+open Coral_rewrite
+
+exception Engine_error of string
+
+let max_call_depth = 256
+
+(* Predicates are keyed by name/arity. *)
+let key pred arity = Symbol.name pred ^ "/" ^ string_of_int arity
+
+type t = {
+  base : (string, Relation.t) Hashtbl.t;
+  foreigns : (string, Builtin.foreign) Hashtbl.t;
+  mutable modules : Ast.module_ list;
+  plans : (string, Optimizer.plan) Hashtbl.t;  (* module^pred^adorn *)
+  saved : (string, Fixpoint.t) Hashtbl.t;  (* save-module instances *)
+  mutable user_rules : Ast.rule list;  (* the implicit interactive module *)
+  mutable call_depth : int;
+}
+
+let base_relation t pred arity =
+  let k = key pred arity in
+  match Hashtbl.find_opt t.base k with
+  | Some rel -> rel
+  | None ->
+    let rel = Hash_relation.create ~name:(Symbol.name pred) ~arity () in
+    Hashtbl.add t.base k rel;
+    rel
+
+let create ?(builtins = true) () =
+  let t =
+    { base = Hashtbl.create 64;
+      foreigns = Hashtbl.create 16;
+      modules = [];
+      plans = Hashtbl.create 32;
+      saved = Hashtbl.create 16;
+      user_rules = [];
+      call_depth = 0
+    }
+  in
+  if builtins then
+    List.iter
+      (fun f -> Hashtbl.replace t.foreigns (f.Builtin.fname ^ "/" ^ string_of_int f.Builtin.farity) f)
+      Builtin.stock;
+  (* Update predicates with side effects (paper section 5.2: pipelining
+     "guarantees a particular evaluation strategy and order of
+     execution ... programmers can exploit this guarantee and use
+     predicates like updates that involve side-effects"). *)
+  let fact_of args env =
+    match Unify.resolve args.(0) env with
+    | Term.App a when Term.is_ground (Term.App a) ->
+      Some (a.Term.sym, a.Term.args, Term.App a)
+    | _ -> None
+  in
+  Hashtbl.replace t.foreigns "assert/1"
+    { Builtin.fname = "assert";
+      farity = 1;
+      fsolve =
+        (fun args env ->
+          match fact_of args env with
+          | Some (pred, fargs, whole) ->
+            ignore (Relation.insert_terms (base_relation t pred (Array.length fargs)) fargs);
+            Seq.return [| whole |]
+          | None -> Seq.empty)
+    };
+  Hashtbl.replace t.foreigns "retract/1"
+    { Builtin.fname = "retract";
+      farity = 1;
+      fsolve =
+        (fun args env ->
+          match fact_of args env with
+          | Some (pred, fargs, whole) -> begin
+            match Hashtbl.find_opt t.base (key pred (Array.length fargs)) with
+            | Some rel ->
+              let target = Tuple.of_terms fargs in
+              let removed = Relation.delete rel (fun tu -> Tuple.equal tu target) in
+              if removed > 0 then Seq.return [| whole |] else Seq.empty
+            | None -> Seq.empty
+          end
+          | None -> Seq.empty)
+    };
+  t
+
+let set_relation t pred rel = Hashtbl.replace t.base (key pred rel.Relation.arity) rel
+
+let relation_of t pred arity = Hashtbl.find_opt t.base (key pred arity)
+
+let add_fact t name terms =
+  let pred = Symbol.intern name in
+  let rel = base_relation t pred (List.length terms) in
+  Relation.insert_terms rel (Array.of_list terms)
+
+let register_foreign t f =
+  Hashtbl.replace t.foreigns (f.Builtin.fname ^ "/" ^ string_of_int f.Builtin.farity) f
+
+let foreign_of t pred arity = Hashtbl.find_opt t.foreigns (key pred arity)
+
+(* ------------------------------------------------------------------ *)
+(* Modules                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let user_module t =
+  let heads =
+    List.map
+      (fun (r : Ast.rule) -> r.Ast.head.Ast.hpred, Array.length r.Ast.head.Ast.hargs)
+      t.user_rules
+    |> List.sort_uniq compare
+  in
+  { Ast.mname = "user";
+    exports =
+      List.map
+        (fun (p, n) -> { Ast.epred = p; arity = n; adorn = Array.make n Ast.Free })
+        heads;
+    annotations = [];
+    rules = t.user_rules
+  }
+
+(* The module exporting a predicate.  Any head predicate of the
+   interactive module counts as exported from it. *)
+let exporter t pred arity =
+  let explicit =
+    List.find_opt
+      (fun (m : Ast.module_) ->
+        List.exists
+          (fun (e : Ast.export) -> Symbol.equal e.Ast.epred pred && e.Ast.arity = arity)
+          m.Ast.exports)
+      t.modules
+  in
+  match explicit with
+  | Some m -> Some m
+  | None ->
+    if
+      List.exists
+        (fun (r : Ast.rule) ->
+          Symbol.equal r.Ast.head.Ast.hpred pred
+          && Array.length r.Ast.head.Ast.hargs = arity)
+        t.user_rules
+    then Some (user_module t)
+    else None
+
+let load_module t (m : Ast.module_) =
+  match Wellformed.errors (Wellformed.check_module m) with
+  | [] ->
+    t.modules <- m :: List.filter (fun (m' : Ast.module_) -> m'.Ast.mname <> m.Ast.mname) t.modules;
+    (* drop stale plans/instances of a reloaded module *)
+    let prefix = m.Ast.mname ^ "::" in
+    let stale tbl =
+      Hashtbl.fold (fun k _ acc -> if String.starts_with ~prefix k then k :: acc else acc) tbl []
+      |> List.iter (Hashtbl.remove tbl)
+    in
+    stale t.plans;
+    stale t.saved;
+    Ok ()
+  | errs ->
+    Error (String.concat "\n" (List.map (fun i -> Format.asprintf "%a" Wellformed.pp_issue i) errs))
+
+let add_clause t (r : Ast.rule) =
+  t.user_rules <- t.user_rules @ [ r ];
+  let prefix = "user::" in
+  let stale tbl =
+    Hashtbl.fold (fun k _ acc -> if String.starts_with ~prefix k then k :: acc else acc) tbl []
+    |> List.iter (Hashtbl.remove tbl)
+  in
+  stale t.plans;
+  stale t.saved
+
+let module_of_pred t pred arity = exporter t pred arity
+
+let plan_key (m : Ast.module_) pred adorn =
+  m.Ast.mname ^ "::" ^ Symbol.name pred ^ "::" ^ Ast.adornment_to_string adorn
+
+(* A predicate can be defined by rules AND hold stored base facts
+   (common for the interactive module).  Bridge rules make the stored
+   facts visible to materialized evaluation: p(X..) :- p@base(X..),
+   where the p@base name resolves to the engine's base relation. *)
+let bridge_base_facts (m : Ast.module_) =
+  let heads =
+    List.map
+      (fun (r : Ast.rule) -> r.Ast.head.Ast.hpred, Array.length r.Ast.head.Ast.hargs)
+      m.Ast.rules
+    |> List.sort_uniq compare
+  in
+  let bridges =
+    List.map
+      (fun (p, n) ->
+        let args = Array.init n (fun i -> Term.var ~name:("B" ^ string_of_int i) i) in
+        { Ast.head = Ast.head_of_atom { Ast.pred = p; args };
+          body = [ Ast.Pos { Ast.pred = Symbol.intern (Symbol.name p ^ "@base"); args } ]
+        })
+      heads
+  in
+  { m with Ast.rules = m.Ast.rules @ bridges }
+
+let plan_in_module t (m : Ast.module_) pred adorn =
+  let k = plan_key m pred adorn in
+  match Hashtbl.find_opt t.plans k with
+  | Some p -> Ok p
+  | None -> begin
+    match Optimizer.plan_query ~module_:(bridge_base_facts m) ~pred ~adorn with
+    | Ok p ->
+      Hashtbl.add t.plans k p;
+      Ok p
+    | Error e -> Error e
+  end
+
+let plan_for t ~pred ~arity ~adorn =
+  match module_of_pred t pred arity with
+  | Some m -> plan_in_module t m pred adorn
+  | None -> Error (Printf.sprintf "no module exports %s/%d" (Symbol.name pred) arity)
+
+(* ------------------------------------------------------------------ *)
+(* Module calls                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec call_module t (m : Ast.module_) pred args env : Tuple.t Seq.t =
+  if t.call_depth > max_call_depth then
+    raise (Engine_error "module call depth exceeded (recursive module invocation?)");
+  let pipelined = List.mem Ast.Ann_pipelined m.Ast.annotations in
+  if pipelined then Pipeline.answers (rulebase_of t m) pred args env
+  else begin
+    let resolved = Array.map (fun a -> Unify.resolve a env) args in
+    let adorn =
+      Array.map (fun ra -> if Term.is_ground ra then Ast.Bound else Ast.Free) resolved
+    in
+    match plan_in_module t m pred adorn with
+    | Error e -> raise (Engine_error e)
+    | Ok plan ->
+      let inst =
+        if plan.Optimizer.save_module then begin
+          let k = plan_key m pred adorn in
+          match Hashtbl.find_opt t.saved k with
+          | Some inst -> inst
+          | None ->
+            let inst = Fixpoint.create (compile t plan) in
+            Hashtbl.add t.saved k inst;
+            inst
+        end
+        else Fixpoint.create (compile t plan)
+      in
+      (match plan.Optimizer.seed with
+      | Some s ->
+        let bound = List.map (fun i -> resolved.(i)) s.Optimizer.seed_positions in
+        let seed =
+          if s.Optimizer.goal_id then
+            [| Term.app
+                 (Magic.goal_wrapper plan.Optimizer.answer_pred)
+                 (Array.of_list bound)
+            |]
+          else Array.of_list bound
+        in
+        ignore (Fixpoint.add_seed inst seed)
+      | None -> ());
+      let pattern = resolved, Bindenv.empty in
+      if plan.Optimizer.lazy_eval then begin
+        (* answers surface at the end of every iteration *)
+        let rec go () : Tuple.t Seq.node =
+          Seq.append
+            (Fixpoint.new_answers inst ~pattern ())
+            (fun () ->
+              let progressed = protected_step t inst in
+              if progressed then go ()
+              else (Fixpoint.new_answers inst ~pattern ()) ())
+            ()
+        in
+        Seq.memoize go
+      end
+      else begin
+        protected_run t inst;
+        Relation.scan (Fixpoint.answer_relation inst) ~pattern ()
+      end
+  end
+
+and protected_run t inst =
+  t.call_depth <- t.call_depth + 1;
+  Fun.protect ~finally:(fun () -> t.call_depth <- t.call_depth - 1) (fun () -> Fixpoint.run inst)
+
+and protected_step t inst =
+  t.call_depth <- t.call_depth + 1;
+  Fun.protect ~finally:(fun () -> t.call_depth <- t.call_depth - 1) (fun () -> Fixpoint.step inst)
+
+(* A relation whose scans call another module: the uniform
+   get-next-tuple interface of section 5.6. *)
+and module_call_relation t (m : Ast.module_) pred arity =
+  let scan ~from_mark ~to_mark ~pattern =
+    ignore to_mark;
+    if from_mark > 0 then Seq.empty
+    else begin
+      match pattern with
+      | Some (args, env) -> call_module t m pred args env
+      | None ->
+        let free = Array.init arity (fun i -> Term.var ~name:("Q" ^ string_of_int i) i) in
+        call_module t m pred free (Bindenv.create (max arity 1))
+    end
+  in
+  Relation.v ~name:(Symbol.name pred) ~arity
+    { Relation.i_insert = (fun ~dedup:_ _ -> false);
+      i_delete = (fun ~pattern:_ _ -> 0);
+      i_retire = (fun _ -> ());
+      i_mark = (fun () -> 0);
+      i_marks = (fun () -> 0);
+      i_cardinal = (fun () -> 0);
+      i_add_index = (fun _ -> ());
+      i_indexes = (fun () -> []);
+      i_scan = scan;
+      i_clear = (fun () -> ())
+    }
+
+(* Predicate resolution for compiled modules: another module's export
+   beats a foreign predicate beats a base relation. *)
+and compile t (plan : Optimizer.plan) =
+  let resolve pred arity =
+    let name = Symbol.name pred in
+    if String.length name > 5 && String.sub name (String.length name - 5) 5 = "@base" then
+      Module_struct.P_rel
+        (base_relation t (Symbol.intern (String.sub name 0 (String.length name - 5))) arity)
+    else begin
+      match module_of_pred t pred arity with
+    | Some m' -> Module_struct.P_rel (module_call_relation t m' pred arity)
+    | None -> begin
+      match foreign_of t pred arity with
+      | Some f -> Module_struct.P_foreign f
+      | None -> Module_struct.P_rel (base_relation t pred arity)
+    end
+    end
+  in
+  Module_struct.compile ~resolve plan
+
+(* Pipelined modules resolve their body predicates the same way, except
+   that predicates defined by the module's own rules resolve to those
+   rules (tried in source order after stored facts). *)
+and rulebase_of t (m : Ast.module_) =
+  { Pipeline.rules_of =
+      (fun pred arity ->
+        List.filter
+          (fun (r : Ast.rule) ->
+            Symbol.equal r.Ast.head.Ast.hpred pred
+            && Array.length r.Ast.head.Ast.hargs = arity)
+          m.Ast.rules);
+    relation_of =
+      (fun pred arity ->
+        let local =
+          List.exists
+            (fun (r : Ast.rule) ->
+              Symbol.equal r.Ast.head.Ast.hpred pred
+              && Array.length r.Ast.head.Ast.hargs = arity)
+            m.Ast.rules
+        in
+        if local then Hashtbl.find_opt t.base (key pred arity)
+        else begin
+          match module_of_pred t pred arity with
+          | Some m' when m'.Ast.mname <> m.Ast.mname ->
+            Some (module_call_relation t m' pred arity)
+          | _ -> Hashtbl.find_opt t.base (key pred arity)
+        end);
+    foreign_of = (fun pred arity -> foreign_of t pred arity)
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Top-level queries                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type query_result = {
+  qvars : Term.var list;
+  rows : Term.t array list;
+}
+
+(* The top level behaves like a pipelined caller whose literals resolve
+   through module calls, so bindings propagate into each called module
+   (and its magic rewriting) left to right. *)
+let top_rulebase t =
+  { Pipeline.rules_of = (fun _ _ -> []);
+    relation_of =
+      (fun pred arity ->
+        match module_of_pred t pred arity with
+        | Some m -> Some (module_call_relation t m pred arity)
+        | None -> Some (base_relation t pred arity));
+    foreign_of = (fun pred arity -> foreign_of t pred arity)
+  }
+
+let query t (lits : Ast.literal list) =
+  (* renumber variables densely across the query *)
+  let arrays =
+    List.map
+      (fun lit ->
+        match (lit : Ast.literal) with
+        | Ast.Pos a | Ast.Neg a -> a.Ast.args
+        | Ast.Cmp (_, a, b) | Ast.Is (a, b) -> [| a; b |])
+      lits
+  in
+  let renumbered, nvars = Rename.number_term_lists arrays in
+  let lits =
+    List.map2
+      (fun lit args ->
+        match (lit : Ast.literal) with
+        | Ast.Pos a -> Ast.Pos { a with Ast.args }
+        | Ast.Neg a -> Ast.Neg { a with Ast.args }
+        | Ast.Cmp (op, _, _) -> Ast.Cmp (op, args.(0), args.(1))
+        | Ast.Is (_, _) -> Ast.Is (args.(0), args.(1)))
+      lits renumbered
+  in
+  let qvars =
+    let seen = Hashtbl.create 8 in
+    List.concat_map (fun arr -> List.concat_map Term.vars (Array.to_list arr)) renumbered
+    |> List.filter (fun (v : Term.var) ->
+           if Hashtbl.mem seen v.Term.vid then false
+           else begin
+             Hashtbl.add seen v.Term.vid ();
+             true
+           end)
+  in
+  let env = Bindenv.create (max nvars 1) in
+  let rows = ref [] in
+  let seen_rows = Term.ArrayTbl.create 64 in
+  Pipeline.solve (top_rulebase t) lits ~nvars ~env (fun () ->
+      let row = Array.of_list (List.map (fun v -> Unify.resolve (Term.Var v) env) qvars) in
+      if not (Term.ArrayTbl.mem seen_rows row) then begin
+        Term.ArrayTbl.add seen_rows row ();
+        rows := row :: !rows
+      end);
+  { qvars; rows = List.rev !rows }
+
+let query_string t src =
+  match Parser.query src with
+  | Ok lits -> query t lits
+  | Error e -> raise (Engine_error (Format.asprintf "%a" Parser.pp_error e))
+
+let call t pred args =
+  let arity = Array.length args in
+  (* scans return candidate supersets; a direct call filters them *)
+  let filter seq =
+    let tr = Trail.create () in
+    Seq.filter
+      (fun (tuple : Tuple.t) ->
+        let m = Trail.mark tr in
+        let qenv = Bindenv.create 8 in
+        let tenv =
+          if tuple.Tuple.nvars = 0 then Bindenv.empty else Bindenv.create tuple.Tuple.nvars
+        in
+        let hit = Unify.unify_arrays tr args qenv tuple.Tuple.terms tenv in
+        Trail.undo_to tr m;
+        hit)
+      seq
+  in
+  match module_of_pred t pred arity with
+  | Some m -> filter (call_module t m pred args Bindenv.empty)
+  | None -> begin
+    match Hashtbl.find_opt t.base (key pred arity) with
+    | Some rel -> filter (Relation.scan rel ~pattern:(args, Bindenv.empty) ())
+    | None -> Seq.empty
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Consulting program text                                            *)
+(* ------------------------------------------------------------------ *)
+
+let consult t src =
+  match Parser.program src with
+  | Error e -> raise (Engine_error (Format.asprintf "%a" Parser.pp_error e))
+  | Ok items ->
+    let results = ref [] in
+    List.iter
+      (fun item ->
+        match (item : Ast.item) with
+        | Ast.Fact a -> ignore (Relation.insert_terms (base_relation t a.Ast.pred (Array.length a.Ast.args)) a.Ast.args)
+        | Ast.Module_item m -> begin
+          match load_module t m with
+          | Ok () -> ()
+          | Error e -> raise (Engine_error e)
+        end
+        | Ast.Clause_item r -> add_clause t r
+        | Ast.Query lits -> results := (lits, query t lits) :: !results
+        | Ast.Command (name, _) ->
+          raise (Engine_error (Printf.sprintf "unknown command @%s (commands are interpreted by the shell)" name)))
+      items;
+    List.rev !results
+
+let consult_file t path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  consult t src
+
+(* ------------------------------------------------------------------ *)
+(* The explanation tool                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Derivation trees are rendered over the rewritten program: rewrite-
+   generated relations (magic, supplementary, done) are elided from the
+   tree, and adorned predicate names map back to their source names. *)
+let why t src =
+  match Parser.query src with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok [ Ast.Pos a ] -> begin
+    let arity = Array.length a.Ast.args in
+    match module_of_pred t a.Ast.pred arity with
+    | None -> Error (Printf.sprintf "no module exports %s/%d" (Symbol.name a.Ast.pred) arity)
+    | Some m when List.mem Ast.Ann_pipelined m.Ast.annotations ->
+      Error "explanations require a materialized module"
+    | Some m -> begin
+      let adorn =
+        Array.map (fun arg -> if Term.is_ground arg then Ast.Bound else Ast.Free) a.Ast.args
+      in
+      match plan_in_module t m a.Ast.pred adorn with
+      | Error e -> Error e
+      | Ok plan ->
+        let inst = Fixpoint.create ~trace:true (compile t plan) in
+        (match plan.Optimizer.seed with
+        | Some sd ->
+          let bound = List.map (fun i -> a.Ast.args.(i)) sd.Optimizer.seed_positions in
+          let seed =
+            if sd.Optimizer.goal_id then
+              [| Term.app (Magic.goal_wrapper plan.Optimizer.answer_pred) (Array.of_list bound) |]
+            else Array.of_list bound
+          in
+          ignore (Fixpoint.add_seed inst seed)
+        | None -> ());
+        protected_run t inst;
+        let ms = Fixpoint.module_structure inst in
+        let source_name slot =
+          let name = ms.Module_struct.rels.(slot).Relation.name in
+          match
+            List.assoc_opt (Symbol.intern name) plan.Optimizer.origin
+          with
+          | Some (orig, _) -> Symbol.name orig
+          | None -> name
+        in
+        let generated slot =
+          slot < 0
+          ||
+          let name = ms.Module_struct.rels.(slot).Relation.name in
+          String.length name > 1
+          && (String.sub name 0 2 = "m#"
+             || (String.length name > 3 && String.sub name 0 4 = "sup#")
+             || (String.length name > 4 && String.sub name 0 5 = "done#")
+             || (String.length name > 6 && String.sub name 0 7 = "m_seed#"))
+        in
+        let buf = Buffer.create 512 in
+        (* supplementary facts (materialized join prefixes) expand
+           transparently into their own witnesses; magic/done facts are
+           relevance information, not derivation steps, and are dropped *)
+        let is_sup slot =
+          slot >= 0
+          &&
+          let name = ms.Module_struct.rels.(slot).Relation.name in
+          String.length name > 3 && String.sub name 0 4 = "sup#"
+        in
+        let rec expand_witnesses seen ws =
+          List.concat_map
+            (fun (s, (tu : Tuple.t)) ->
+              if s < 0 then []
+              else if not (generated s) then [ s, tu ]
+              else if not (is_sup s) then [] (* magic/done/seed: relevance only *)
+              else if List.exists (fun (s', tu') -> s' = s && Tuple.equal tu' tu) seen then []
+              else begin
+                match Fixpoint.provenance inst tu ~slot:s with
+                | Some (_, inner) -> expand_witnesses ((s, tu) :: seen) inner
+                | None -> []
+              end)
+            ws
+        in
+        let rec render indent slot (tuple : Tuple.t) seen =
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s%s\n" indent (source_name slot) (Tuple.to_string tuple));
+          let cyclic =
+            List.exists (fun (s, tu) -> s = slot && Tuple.equal tu tuple) seen
+          in
+          if not cyclic then begin
+            match Fixpoint.provenance inst tuple ~slot with
+            | None -> () (* base fact: a leaf *)
+            | Some (rule_text, witnesses) ->
+              Buffer.add_string buf (Printf.sprintf "%s  by  %s\n" indent rule_text);
+              List.iter
+                (fun (ws, wt) -> render (indent ^ "    ") ws wt ((slot, tuple) :: seen))
+                (expand_witnesses [] witnesses)
+          end
+        in
+        let qenv = Bindenv.create 8 in
+        let tr = Trail.create () in
+        let count = ref 0 in
+        Seq.iter
+          (fun (tuple : Tuple.t) ->
+            let mk = Trail.mark tr in
+            let tenv =
+              if tuple.Tuple.nvars = 0 then Bindenv.empty
+              else Bindenv.create tuple.Tuple.nvars
+            in
+            let matches = Unify.unify_arrays tr a.Ast.args qenv tuple.Tuple.terms tenv in
+            Trail.undo_to tr mk;
+            if matches && !count < 5 then begin
+              incr count;
+              render "" ms.Module_struct.answer_slot tuple []
+            end)
+          (Relation.scan (Fixpoint.answer_relation inst) ~pattern:(a.Ast.args, qenv) ());
+        if !count = 0 then Ok "no answers.\n" else Ok (Buffer.contents buf)
+    end
+  end
+  | Ok _ -> Error "why expects a single positive literal"
+
+let list_relations t =
+  Hashtbl.fold (fun k rel acc -> (k, Relation.cardinal rel) :: acc) t.base []
+  |> List.sort compare
+
+let list_modules t = List.map (fun (m : Ast.module_) -> m.Ast.mname) t.modules
+
+let set_intelligent_backtracking flag = Joiner.intelligent_backtracking := flag
+
+let pp_stats ppf t =
+  Format.fprintf ppf "@[<v>base relations:@,";
+  Hashtbl.iter
+    (fun k rel ->
+      Format.fprintf ppf "  %s: %d tuples, %d scans@," k (Relation.cardinal rel)
+        rel.Relation.stats.Relation.scans)
+    t.base;
+  Format.fprintf ppf "modules loaded: %d, plans cached: %d, saved instances: %d@]"
+    (List.length t.modules) (Hashtbl.length t.plans) (Hashtbl.length t.saved)

@@ -1,0 +1,108 @@
+(** The evaluation engine: modules, base relations, foreign predicates,
+    inter-module calls (paper sections 2, 5.6).
+
+    Every relation — base, derived-by-rules, persistent, or defined by a
+    host-language function — presents the same scan interface, and a
+    literal over another module's export is compiled to a relation whose
+    scan sets up a call on that module: "the calling module will wait
+    until the called module returns answers to the subquery ... this is
+    independent of the evaluation modes of the two modules involved."
+
+    A call on a materialized module plans the query form (adornment
+    derived from the actual bindings), compiles the rewritten program,
+    seeds the magic predicate with the query constants, runs the chosen
+    fixpoint, and scans the answers; intermediate state is discarded
+    when the call ends unless the module was declared [@save_module], in
+    which case the instance persists and later calls continue
+    incrementally.  A call on a [@pipelined] module resumes a frozen
+    top-down computation per answer. *)
+
+open Coral_term
+open Coral_lang
+open Coral_rel
+open Coral_rewrite
+
+type t
+
+exception Engine_error of string
+
+val create : ?builtins:bool -> unit -> t
+(** A fresh engine; [builtins] (default true) preloads the stock
+    foreign predicates (append, member, ...). *)
+
+(** {1 Extending the database} *)
+
+val base_relation : t -> Symbol.t -> int -> Relation.t
+(** The EDB relation for a predicate, created on demand (in-memory hash
+    relation).  To install a different implementation — a list relation,
+    a persistent relation — use {!set_relation} first. *)
+
+val set_relation : t -> Symbol.t -> Relation.t -> unit
+(** Register a custom relation implementation for a base predicate
+    (paper section 7.2: extensibility of access structures). *)
+
+val add_fact : t -> string -> Term.t list -> bool
+val register_foreign : t -> Builtin.foreign -> unit
+
+val load_module : t -> Ast.module_ -> (unit, string) result
+(** Check and register a module; well-formedness errors are reported,
+    planning happens lazily per query form. *)
+
+val add_clause : t -> Ast.rule -> unit
+(** Add a top-level rule to the implicit interactive module (its
+    predicates are all exported and evaluated materialized). *)
+
+(** {1 Queries} *)
+
+type query_result = {
+  qvars : Term.var list;  (** the query's variables, in occurrence order *)
+  rows : Term.t array list;  (** one value row per answer, aligned with [qvars] *)
+}
+
+val query : t -> Ast.literal list -> query_result
+(** Evaluate a conjunctive query.  Literals over module exports call
+    the modules (with binding propagation, left to right); base,
+    foreign and comparison literals evaluate directly. *)
+
+val query_string : t -> string -> query_result
+(** Parse and evaluate ([Engine_error] on parse errors). *)
+
+val call : t -> Symbol.t -> Term.t array -> Tuple.t Seq.t
+(** A direct call on an exported or base predicate with a pattern of
+    constants and variables: the host-API equivalent of a module call.
+    Returned tuples are the matching stored/derived facts. *)
+
+val consult : t -> string -> (Ast.literal list * query_result) list
+(** Load program text: facts, modules, clauses; queries are evaluated
+    and their results returned in order.
+    @raise Engine_error on parse or load errors. *)
+
+val consult_file : t -> string -> (Ast.literal list * query_result) list
+
+(** {1 Introspection} *)
+
+val plan_for :
+  t -> pred:Symbol.t -> arity:int -> adorn:Ast.adornment -> (Optimizer.plan, string) result
+(** The plan the optimizer would use for a query form (also fills the
+    plan cache); exposes the rewritten program text. *)
+
+val relation_of : t -> Symbol.t -> int -> Relation.t option
+(** The stored relation backing a base predicate, if any. *)
+
+val why : t -> string -> (string, string) result
+(** The explanation tool: evaluate a single-literal query with
+    derivation tracing and render derivation trees for (up to 5 of) its
+    answers.  Each node shows a fact, the rule that first derived it,
+    and recursively the body facts that rule joined; rewrite-generated
+    predicates (magic, supplementary, done) are elided and adorned
+    names map back to source names. *)
+
+val list_relations : t -> (string * int) list
+(** (name/arity, cardinality) of every base relation. *)
+
+val list_modules : t -> string list
+
+val set_intelligent_backtracking : bool -> unit
+(** Benchmark ablation: toggle the joiner's backjumping globally. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,570 @@
+open Coral_term
+open Coral_lang
+open Coral_rel
+open Module_struct
+
+exception Not_modularly_stratified of string
+
+(* ------------------------------------------------------------------ *)
+(* Ordered-Search context                                             *)
+(* ------------------------------------------------------------------ *)
+
+type goal = {
+  gslot : int;
+  gtuple : Tuple.t;
+  mutable gstate : [ `Pending | `Available | `Done ];
+  mutable gdeps : goal list;  (* subgoals this goal's evaluation generated *)
+  mutable gindex : int;  (* scratch for the SCC computation *)
+  mutable glow : int;
+  mutable gonstack : bool;
+}
+
+type t = {
+  ms : Module_struct.t;
+  mode : Ast.fixpoint;
+  os : bool;
+  monotonic : bool;  (* no negation, no aggregation: incremental re-open is sound *)
+  mutable phase : int;
+  mutable activated : bool;
+  mutable complete : bool;
+  mutable nrounds : int;
+  mutable extra_inserts : int;  (* direct impl inserts (OS availability) *)
+  mutable pending : goal list;  (* not yet made available, newest first *)
+  mutable live_goals : goal list;  (* every non-Done goal *)
+  mutable cur_generator : goal option;  (* generator of the magic fact being inserted *)
+  goal_tables : (int, goal list ref) Hashtbl.t array;  (* per magic slot, by tuple hash *)
+  done_slot : int array;  (* per slot: done relation slot or -1 *)
+  mutable answer_cursor : int;
+  mutable seeds : Tuple.t list;  (* every seed ever added (for re-opens) *)
+  trace : bool;
+  prov : (int, (Tuple.t * int * string * (int * Tuple.t) list) list ref) Hashtbl.t;
+      (* head tuple hash -> (tuple, head slot, rule text,
+         (body relation slot, witness tuple) list): first derivation of
+         each fact, for the explanation tool *)
+}
+
+let total_inserts t =
+  let sum = ref t.extra_inserts in
+  Array.iteri
+    (fun s r -> if t.ms.local.(s) then sum := !sum + r.Relation.stats.Relation.inserts)
+    t.ms.rels;
+  !sum
+
+let is_magic_slot ms s =
+  ms.local.(s) && String.length ms.rels.(s).Relation.name > 2
+  && String.sub ms.rels.(s).Relation.name 0 2 = "m#"
+
+let find_goal tbl (tuple : Tuple.t) =
+  match Hashtbl.find_opt tbl tuple.Tuple.hash with
+  | Some bucket -> List.find_opt (fun g -> Tuple.equal g.gtuple tuple) !bucket
+  | None -> None
+
+let record_goal tbl (g : goal) =
+  match Hashtbl.find_opt tbl g.gtuple.Tuple.hash with
+  | Some bucket -> bucket := g :: !bucket
+  | None -> Hashtbl.add tbl g.gtuple.Tuple.hash (ref [ g ])
+
+(* Route a subgoal through the context.  Every derivation of a magic
+   fact records a dependency edge generator -> subgoal, including
+   re-derivations of goals already in the context: a goal's done fact
+   may be issued only when everything reachable from it has been fully
+   evaluated, and the sink-SCC pop below enforces exactly that. *)
+let offer_goal t slot (tuple : Tuple.t) =
+  let tbl = t.goal_tables.(slot) in
+  let g =
+    match find_goal tbl tuple with
+    | Some g -> g
+    | None ->
+      let g =
+        { gslot = slot;
+          gtuple = tuple;
+          gstate = `Pending;
+          gdeps = [];
+          gindex = -1;
+          glow = -1;
+          gonstack = false
+        }
+      in
+      record_goal tbl g;
+      t.pending <- g :: t.pending;
+      t.live_goals <- g :: t.live_goals;
+      g
+  in
+  match t.cur_generator with
+  | Some parent when parent != g && not (List.memq g parent.gdeps) ->
+    parent.gdeps <- g :: parent.gdeps
+  | _ -> ()
+
+let create ?(trace = false) (ms : Module_struct.t) =
+  let nslots = Array.length ms.rels in
+  let os = ms.plan.Coral_rewrite.Optimizer.ordered_search in
+  let monotonic =
+    Array.for_all
+      (fun stratum ->
+        stratum.agg_rules = []
+        && List.for_all
+             (fun c ->
+               Array.for_all
+                 (function Negcheck _ | Negforeign _ -> false | _ -> true)
+                 c.body)
+             (stratum.srules @ List.map fst stratum.versions))
+      ms.strata
+  in
+  let done_slot =
+    Array.init nslots (fun s ->
+        if is_magic_slot ms s then begin
+          let name = ms.rels.(s).Relation.name in
+          let done_pred = Symbol.intern ("done#" ^ String.sub name 2 (String.length name - 2)) in
+          Option.value ~default:(-1) (Module_struct.slot ms done_pred)
+        end
+        else -1)
+  in
+  let t =
+    { ms;
+      mode = ms.plan.Coral_rewrite.Optimizer.fixpoint;
+      os;
+      monotonic;
+      phase = 0;
+      activated = false;
+      complete = false;
+      nrounds = 0;
+      extra_inserts = 0;
+      pending = [];
+      live_goals = [];
+      cur_generator = None;
+      goal_tables = Array.init nslots (fun _ -> Hashtbl.create 32);
+      done_slot;
+      answer_cursor = 0;
+      seeds = [];
+      trace;
+      prov = Hashtbl.create (if trace then 256 else 1)
+    }
+  in
+  (* Ordered Search: magic facts are routed through the context — the
+     admission hook hides them; they enter their relation only when the
+     context makes them available. *)
+  if os then
+    Array.iteri
+      (fun s rel ->
+        if is_magic_slot ms s then begin
+          let prev = rel.Relation.admit in
+          rel.Relation.admit <-
+            Some
+              (fun r tuple ->
+                (match prev with Some earlier -> ignore (earlier r tuple) | None -> ());
+                offer_goal t s tuple;
+                false)
+        end)
+      ms.rels;
+  t
+
+let record_prov t (rule : crule) tuple positioned =
+  (* map body positions to relation slots (-1: builtin rows) *)
+  let witnesses =
+    List.map
+      (fun (i, tu) ->
+        (match rule.body.(i) with
+        | Scan { slot; _ } -> slot
+        | Foreign _ | Negcheck _ | Negforeign _ | Compare _ | Assign _ -> -1), tu)
+      positioned
+  in
+  let bucket =
+    match Hashtbl.find_opt t.prov tuple.Tuple.hash with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.add t.prov tuple.Tuple.hash b;
+      b
+  in
+  bucket := (tuple, rule.head_slot, rule.text, witnesses) :: !bucket
+
+let provenance t (tuple : Tuple.t) ~slot =
+  match Hashtbl.find_opt t.prov tuple.Tuple.hash with
+  | Some bucket ->
+    List.find_opt (fun (ex, s, _, _) -> s = slot && Tuple.equal ex tuple) (List.rev !bucket)
+    |> Option.map (fun (_, _, text, ws) -> text, ws)
+  | None -> None
+
+(* one rule application, inserting plain head tuples; under Ordered
+   Search, rules deriving magic facts run with witness tracking so the
+   generating subgoal (the magic literal's tuple) is known when the
+   admission hook routes the new subgoal through the context *)
+let apply_rule t range (rule : crule) =
+  let os_magic_head = t.os && is_magic_slot t.ms rule.head_slot in
+  if t.trace || os_magic_head then begin
+    let witness = ref [] in
+    Joiner.run ~rels:t.ms.rels ~range ~witness rule ~on_match:(fun env ->
+        let tuple = Joiner.head_tuple rule env in
+        if os_magic_head then begin
+          t.cur_generator <-
+            List.find_map
+              (fun (pos, (wt : Tuple.t)) ->
+                match rule.body.(pos) with
+                | Scan { slot; _ } when is_magic_slot t.ms slot ->
+                  find_goal t.goal_tables.(slot) wt
+                | _ -> None)
+              !witness
+        end;
+        let inserted = Relation.insert t.ms.rels.(rule.head_slot) tuple in
+        t.cur_generator <- None;
+        if inserted && t.trace then record_prov t rule tuple !witness)
+  end
+  else
+    Joiner.run ~rels:t.ms.rels ~range rule ~on_match:(fun env ->
+        ignore (Relation.insert t.ms.rels.(rule.head_slot) (Joiner.head_tuple rule env)))
+
+let full_range ~op_index:_ ~slot:_ ~local:_ = 0, -1
+
+let eval_agg_rule t (rule : crule) =
+  let rows = ref [] in
+  let key_of row = Array.of_list (List.map (fun i -> row.(i)) rule.plain_positions) in
+  (* under tracing, remember the contributing body facts per group *)
+  let group_witnesses : (int * Tuple.t) list Term.ArrayTbl.t =
+    Term.ArrayTbl.create (if t.trace then 32 else 1)
+  in
+  if t.trace then begin
+    let witness = ref [] in
+    Joiner.run ~rels:t.ms.rels ~range:full_range ~witness rule ~on_match:(fun env ->
+        let row = Joiner.head_row rule env in
+        rows := row :: !rows;
+        let key = key_of row in
+        let prev =
+          Option.value ~default:[] (Term.ArrayTbl.find_opt group_witnesses key)
+        in
+        Term.ArrayTbl.replace group_witnesses key (!witness @ prev))
+  end
+  else
+    Joiner.run ~rels:t.ms.rels ~range:full_range rule ~on_match:(fun env ->
+        rows := Joiner.head_row rule env :: !rows);
+  let grouped =
+    Aggregates.group ~plain_positions:rule.plain_positions ~agg_positions:rule.agg_positions
+      ~arity:(Array.length rule.head_args)
+      (List.to_seq !rows)
+  in
+  List.iter
+    (fun row ->
+      let tuple = Tuple.of_terms row in
+      if Relation.insert t.ms.rels.(rule.head_slot) tuple && t.trace then begin
+        let witnesses =
+          Option.value ~default:[] (Term.ArrayTbl.find_opt group_witnesses (key_of row))
+        in
+        record_prov t rule tuple witnesses
+      end)
+    grouped
+
+let slot_of_op (rule : crule) i =
+  match rule.body.(i) with
+  | Scan { slot; _ } -> slot
+  | Negcheck _ | Foreign _ | Negforeign _ | Compare _ | Assign _ -> assert false
+
+(* One BSN round over the given semi-naive versions: seal all local
+   relations, run every version against the common mark snapshot, then
+   advance the consumed cursors. *)
+let round_bsn t versions =
+  t.nrounds <- t.nrounds + 1;
+  let msnap =
+    Array.mapi
+      (fun s rel -> if t.ms.local.(s) then Relation.mark rel else -1)
+      t.ms.rels
+  in
+  List.iter
+    (fun ((rule : crule), d) ->
+      let range ~op_index ~slot ~local =
+        if not local then 0, -1
+        else if op_index = d then rule.cursors.(d), msnap.(slot)
+        else if op_index < d then 0, msnap.(slot)
+        else 0, rule.cursors.(op_index)
+      in
+      apply_rule t range rule)
+    versions;
+  List.iter
+    (fun ((rule : crule), d) -> rule.cursors.(d) <- msnap.(slot_of_op rule d))
+    versions
+
+(* One PSN round: rule-at-a-time deltas — each version seals its delta
+   relation just before running and consumes up to that point; facts
+   derived by earlier versions in the same round are visible
+   immediately through the open-interval ranges. *)
+let round_psn t versions =
+  t.nrounds <- t.nrounds + 1;
+  List.iter
+    (fun ((rule : crule), d) ->
+      let dslot = slot_of_op rule d in
+      let m = Relation.mark t.ms.rels.(dslot) in
+      let range ~op_index ~slot ~local =
+        ignore slot;
+        if not local then 0, -1
+        else if op_index = d then rule.cursors.(d), m
+        else if op_index < d then 0, -1
+        else 0, rule.cursors.(op_index)
+      in
+      apply_rule t range rule;
+      rule.cursors.(d) <- m)
+    versions
+
+let round_naive t strata_limit =
+  t.nrounds <- t.nrounds + 1;
+  for i = 0 to strata_limit do
+    let st = t.ms.strata.(i) in
+    let seen = ref [] in
+    let once (rule : crule) =
+      if not (List.memq rule !seen) then begin
+        seen := rule :: !seen;
+        apply_rule t full_range rule
+      end
+    in
+    List.iter once st.srules;
+    List.iter (fun (rule, _) -> once rule) st.versions
+  done
+
+let active_versions t =
+  let acc = ref [] in
+  for i = min t.phase (Array.length t.ms.strata - 1) downto 0 do
+    acc := t.ms.strata.(i).versions @ !acc
+  done;
+  !acc
+
+let activate_stratum t i =
+  let st = t.ms.strata.(i) in
+  List.iter (fun rule -> apply_rule t full_range rule) st.srules;
+  List.iter (fun rule -> eval_agg_rule t rule) st.agg_rules
+
+(* Ordered-Search context actions, taken at quiescence.
+
+   While pending subgoals exist, make the most recent one available
+   (depth-first exploration).  Once everything live is available and
+   quiescent, pop the sink strongly connected components of the subgoal
+   dependency graph: an SCC whose every edge stays inside it or leads
+   to done goals has complete answers (its guarded rules waited only on
+   lower, already-done subgoals — the modular stratification
+   assumption), so its done facts are issued together. *)
+let pop_sink_sccs t =
+  let live = List.filter (fun g -> g.gstate <> `Done) t.live_goals in
+  t.live_goals <- live;
+  if live = [] then false
+  else begin
+    (* Tarjan over the live subgoal graph *)
+    List.iter
+      (fun g ->
+        g.gindex <- -1;
+        g.glow <- -1;
+        g.gonstack <- false)
+      live;
+    let counter = ref 0 in
+    let stack = ref [] in
+    let sccs = ref [] in
+    let rec strongconnect g =
+      g.gindex <- !counter;
+      g.glow <- !counter;
+      incr counter;
+      stack := g :: !stack;
+      g.gonstack <- true;
+      List.iter
+        (fun d ->
+          if d.gstate <> `Done then begin
+            if d.gindex < 0 then begin
+              strongconnect d;
+              if d.glow < g.glow then g.glow <- d.glow
+            end
+            else if d.gonstack && d.gindex < g.glow then g.glow <- d.gindex
+          end)
+        g.gdeps;
+      if g.glow = g.gindex then begin
+        let rec pop acc =
+          match !stack with
+          | d :: rest ->
+            stack := rest;
+            d.gonstack <- false;
+            let acc = d :: acc in
+            if d == g then acc else pop acc
+          | [] -> acc
+        in
+        sccs := pop [] :: !sccs
+      end
+    in
+    List.iter (fun g -> if g.gindex < 0 then strongconnect g) live;
+    (* a sink SCC has no edge to a live goal outside itself *)
+    let is_sink scc =
+      List.for_all
+        (fun g ->
+          List.for_all (fun d -> d.gstate = `Done || List.memq d scc) g.gdeps)
+        scc
+    in
+    let sinks = List.filter is_sink !sccs in
+    assert (sinks <> []);
+    List.iter
+      (fun scc ->
+        List.iter
+          (fun g ->
+            g.gstate <- `Done;
+            let ds = t.done_slot.(g.gslot) in
+            if ds >= 0 then begin
+              let done_rel = t.ms.rels.(ds) in
+              ignore (Relation.insert done_rel (Tuple.of_terms g.gtuple.Tuple.terms))
+            end)
+          scc)
+      sinks;
+    t.live_goals <- List.filter (fun g -> g.gstate <> `Done) t.live_goals;
+    true
+  end
+
+let context_action t =
+  let rec next_pending = function
+    | [] -> None
+    | g :: rest ->
+      if g.gstate = `Pending then begin
+        t.pending <- rest;
+        Some g
+      end
+      else next_pending rest
+  in
+  match next_pending t.pending with
+  | Some g ->
+    g.gstate <- `Available;
+    let rel = t.ms.rels.(g.gslot) in
+    if rel.Relation.impl.Relation.i_insert ~dedup:true g.gtuple then
+      t.extra_inserts <- t.extra_inserts + 1;
+    true
+  | None -> pop_sink_sccs t
+
+let nstrata t = Array.length t.ms.strata
+
+let step t =
+  if t.complete then false
+  else if t.os then begin
+    (* single phase: all strata active, context drives ordering *)
+    if not t.activated then begin
+      t.activated <- true;
+      for i = 0 to nstrata t - 1 do
+        List.iter (fun rule -> apply_rule t full_range rule) t.ms.strata.(i).srules
+      done;
+      true
+    end
+    else begin
+      let before = total_inserts t in
+      let versions =
+        Array.to_list t.ms.strata |> List.concat_map (fun st -> st.versions)
+      in
+      (* aggregate rules run before the plain round so that consumers
+         (possibly negated, guarded by done facts popped just before
+         this step) never observe an unfilled aggregate relation *)
+      Array.iter (fun st -> List.iter (eval_agg_rule t) st.agg_rules) t.ms.strata;
+      (match t.mode with
+      | Ast.Predicate_seminaive -> round_psn t versions
+      | Ast.Naive | Ast.Basic_seminaive | Ast.Ordered_search -> round_bsn t versions);
+      if total_inserts t > before then true
+      else if context_action t then true
+      else begin
+        t.complete <- true;
+        false
+      end
+    end
+  end
+  else begin
+    (* stratified phases *)
+    if not t.activated then begin
+      t.activated <- true;
+      activate_stratum t t.phase;
+      true
+    end
+    else begin
+      let before = total_inserts t in
+      (match t.mode with
+      | Ast.Naive -> round_naive t t.phase
+      | Ast.Predicate_seminaive -> round_psn t (active_versions t)
+      | Ast.Basic_seminaive | Ast.Ordered_search -> round_bsn t (active_versions t));
+      if total_inserts t > before then true
+      else if t.phase < nstrata t - 1 then begin
+        t.phase <- t.phase + 1;
+        t.activated <- false;
+        true
+      end
+      else begin
+        t.complete <- true;
+        false
+      end
+    end
+  end
+
+let run t =
+  while step t do
+    ()
+  done
+
+let reset_for_reopen t =
+  (* Non-monotonic module re-opened with a new seed: clear local state
+     and recompute from scratch (sound; the save-module incremental
+     guarantee applies to monotonic modules). *)
+  Array.iteri
+    (fun s rel ->
+      if t.ms.local.(s) then begin
+        Relation.clear rel;
+        rel.Relation.stats.Relation.inserts <- 0;
+        rel.Relation.stats.Relation.duplicates <- 0
+      end)
+    t.ms.rels;
+  Array.iter
+    (fun st ->
+      List.iter
+        (fun ((rule : crule), d) -> rule.cursors.(d) <- 0)
+        st.versions)
+    t.ms.strata;
+  Array.iter Hashtbl.reset t.goal_tables;
+  t.pending <- [];
+  t.live_goals <- [];
+  t.cur_generator <- None;
+  t.extra_inserts <- 0;
+  t.answer_cursor <- 0
+
+let add_seed t terms =
+  let tuple = Tuple.of_terms terms in
+  if t.ms.seed_slot < 0 then false
+  else begin
+    let rel = t.ms.rels.(t.ms.seed_slot) in
+    if t.os then begin
+      let fresh = find_goal t.goal_tables.(t.ms.seed_slot) tuple = None in
+      if fresh then begin
+        t.cur_generator <- None;
+        offer_goal t t.ms.seed_slot tuple;
+        if t.complete then t.complete <- false
+      end;
+      fresh
+    end
+    else begin
+      let was_complete = t.complete in
+      let fresh = Relation.insert rel tuple in
+      if fresh then begin
+        t.seeds <- tuple :: t.seeds;
+        if was_complete && not t.monotonic then begin
+          (* non-monotonic module: recompute from scratch with every
+             seed seen so far (incremental continuation would leave
+             stale negation/aggregation results behind) *)
+          reset_for_reopen t;
+          List.iter (fun old -> ignore (Relation.insert rel old)) t.seeds
+        end;
+        t.complete <- false;
+        if was_complete then begin
+          (* re-run phases so exit rules see the new seed *)
+          t.phase <- 0;
+          t.activated <- false
+        end
+      end;
+      fresh
+    end
+  end
+
+let answer_relation t = t.ms.rels.(t.ms.answer_slot)
+
+let answers t ?pattern () =
+  run t;
+  Relation.scan (answer_relation t) ?pattern ()
+
+let new_answers t ?pattern () =
+  let rel = answer_relation t in
+  let upto = Relation.mark rel in
+  let from = t.answer_cursor in
+  t.answer_cursor <- upto;
+  Relation.scan rel ~from_mark:from ~to_mark:upto ?pattern ()
+
+let rounds t = t.nrounds
+let module_structure t = t.ms

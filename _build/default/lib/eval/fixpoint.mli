@@ -1,0 +1,78 @@
+(** Materialized evaluation: the fixpoint engines (paper sections 4.2,
+    5.3, 5.4).
+
+    One value of type {!t} is the run-time state of a compiled module
+    structure: per-rule semi-naive cursors, the current stratum phase,
+    and (under Ordered Search) the context of subgoals.  Evaluation is
+    exposed as a resumable [step] so that lazy evaluation (section
+    5.4.3) can surface answers between iterations and the save-module
+    facility (section 5.4.2) can continue incrementally after new seeds
+    arrive.
+
+    Engines:
+    - [Basic_seminaive] (default): per-round delta consumption through
+      relation marks; strata evaluated bottom-up, which makes stratified
+      negation and aggregation sound.
+    - [Predicate_seminaive]: rule-at-a-time deltas — facts derived by
+      earlier rules in the same round are consumed immediately, which
+      reduces the number of rounds for modules with many mutually
+      recursive predicates.
+    - [Naive]: every rule over full relations each round (the baseline).
+    - [Ordered_search]: single phase; magic facts are routed through
+      the context rather than inserted directly.  The context records
+      the subgoal dependency graph (an edge per magic-fact derivation,
+      generator to subgoal, captured through the joiner's witnesses);
+      at quiescence it makes the most recent pending subgoal available
+      (depth-first exploration), and once everything live is available
+      it pops the {e sink strongly connected components} of the graph,
+      issuing their [done#] facts together — each SCC's guarded rules
+      waited only on already-done lower subgoals, which is exactly the
+      modular-stratification assumption.  This evaluates left-to-right
+      modularly stratified negation and aggregation. *)
+
+open Coral_term
+open Coral_rel
+
+type t
+
+val create : ?trace:bool -> Module_struct.t -> t
+(** [trace] (default false) records, for the first derivation of every
+    fact, the rule applied and the body tuples it joined — the raw
+    material of the explanation tool (see {!provenance}). *)
+
+val add_seed : t -> Term.t array -> bool
+(** Insert a magic seed tuple (the query's bound constants); returns
+    false for a repeated seed.  A new seed re-opens a completed
+    evaluation (save-module semantics: no derivations are repeated,
+    the new seed flows through the existing cursors). *)
+
+val step : t -> bool
+(** Perform one unit of work (one semi-naive round, a stratum-phase
+    activation, or an Ordered-Search context action).  Returns false
+    when evaluation is complete. *)
+
+val run : t -> unit
+(** Step to completion. *)
+
+val answer_relation : t -> Relation.t
+
+val answers : t -> ?pattern:Term.t array * Bindenv.t -> unit -> Tuple.t Seq.t
+(** Run to completion, then scan the answer relation. *)
+
+val new_answers : t -> ?pattern:Term.t array * Bindenv.t -> unit -> Tuple.t Seq.t
+(** Lazy evaluation support: the answers that appeared since the last
+    [new_answers] call (without running the fixpoint). *)
+
+val rounds : t -> int
+(** Number of semi-naive rounds executed so far (work counter for the
+    benchmarks). *)
+
+val provenance : t -> Tuple.t -> slot:int -> (string * (int * Tuple.t) list) option
+(** Under [trace]: the rule text and (relation slot, witness tuple)
+    pairs of the first derivation of this tuple in the relation at
+    [slot]; witness slot -1 marks builtin-produced rows; [None] for
+    base facts and untraced evaluations. *)
+
+val module_structure : t -> Module_struct.t
+
+exception Not_modularly_stratified of string

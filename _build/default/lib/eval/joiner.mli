@@ -1,0 +1,41 @@
+(** Rule evaluation: nested-loops join with indexing, a binding trail,
+    and intelligent backtracking (paper sections 4.2, 5.3).
+
+    One call evaluates one (semi-naive version of a) rule: body
+    literals left to right, each positive literal a scan (an index probe
+    when the optimizer installed a usable index), bindings recorded on a
+    trail and undone when the join considers the next tuple.  When a
+    literal produces no matching tuple at all, evaluation backjumps to
+    the rule's precomputed backtrack point for that literal instead of
+    to the previous literal. *)
+
+open Coral_term
+open Coral_rel
+
+val intelligent_backtracking : bool ref
+(** Benchmark ablation knob (default true): when false, a literal with
+    no matching tuples backtracks to its immediate predecessor instead
+    of jumping to the precomputed backtrack point (paper section 4.2's
+    "intelligent backtracking" refinement). *)
+
+val run :
+  rels:Relation.t array ->
+  range:(op_index:int -> slot:int -> local:bool -> int * int) ->
+  ?witness:(int * Tuple.t) list ref ->
+  Module_struct.crule ->
+  on_match:(Bindenv.t -> unit) ->
+  unit
+(** [range] supplies the mark interval for each positive scan (semi-
+    naive roles); negation checks always see the full relation.
+    [on_match] is invoked with the rule's environment fully bound, once
+    per successful body instantiation.  When [witness] is supplied it
+    holds, during each [on_match], the stored tuples the join selected
+    (in body order) — the raw material of the explanation tool.
+    @raise Builtin.Eval_error on arithmetic/comparison misuse. *)
+
+val head_tuple : Module_struct.crule -> Bindenv.t -> Tuple.t
+(** Build the head tuple from a successful match (plain rules). *)
+
+val head_row : Module_struct.crule -> Bindenv.t -> Term.t array
+(** Resolve the head argument row (aggregate rules: grouping happens on
+    these rows afterwards). *)

@@ -1,0 +1,330 @@
+open Coral_term
+open Coral_lang
+open Coral_rel
+open Coral_rewrite
+
+type role = Full | All | Delta | Old
+
+type op =
+  | Scan of { slot : int; args : Term.t array; local : bool }
+  | Negcheck of { slot : int; args : Term.t array }
+  | Foreign of { f : Builtin.foreign; args : Term.t array }
+  | Negforeign of { f : Builtin.foreign; args : Term.t array }
+  | Compare of Ast.cmp_op * Term.t * Term.t
+  | Assign of Term.t * Term.t
+
+type crule = {
+  head_slot : int;
+  head_args : Term.t array;
+  plain_positions : int list;
+  agg_positions : (int * Ast.agg_op) list;
+  body : op array;
+  nvars : int;
+  backtrack : int array;
+  cursors : int array;
+  text : string;
+}
+
+type stratum = {
+  srules : crule list;
+  agg_rules : crule list;
+  versions : (crule * int) list;
+  recursive : bool;
+}
+
+type t = {
+  rels : Relation.t array;
+  slot_of : int Symbol.Tbl.t;
+  strata : stratum array;
+  answer_slot : int;
+  seed_slot : int;
+  plan : Optimizer.plan;
+  local : bool array;
+}
+
+type provider =
+  | P_rel of Relation.t
+  | P_foreign of Builtin.foreign
+
+let is_generated pred = String.contains (Symbol.name pred) '#'
+
+let atom_arities rules =
+  let arities : int Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  let see pred n = if not (Symbol.Tbl.mem arities pred) then Symbol.Tbl.add arities pred n in
+  List.iter
+    (fun (r : Ast.rule) ->
+      see r.Ast.head.Ast.hpred (Array.length r.Ast.head.Ast.hargs);
+      List.iter
+        (fun lit ->
+          match (lit : Ast.literal) with
+          | Ast.Pos a | Ast.Neg a -> see a.Ast.pred (Array.length a.Ast.args)
+          | Ast.Cmp _ | Ast.Is _ -> ())
+        r.Ast.body)
+    rules;
+  arities
+
+let vids_of terms =
+  List.concat_map Term.vars terms |> List.map (fun (v : Term.var) -> v.Term.vid)
+
+(* Variables bound after executing a body op (binders only). *)
+let binds_vars = function
+  | Scan { args; _ } | Foreign { args; _ } -> vids_of (Array.to_list args)
+  | Assign (a, b) -> vids_of [ a; b ]
+  | Negcheck _ | Negforeign _ | Compare _ -> []
+
+let uses_vars = function
+  | Scan { args; _ } | Negcheck { args; _ } | Foreign { args; _ } | Negforeign { args; _ } ->
+    vids_of (Array.to_list args)
+  | Compare (_, a, b) | Assign (a, b) -> vids_of [ a; b ]
+
+let compute_backtrack body =
+  Array.mapi
+    (fun i op ->
+      let used = uses_vars op in
+      let rec find j =
+        if j < 0 then -1
+        else if List.exists (fun v -> List.mem v (binds_vars body.(j))) used then j
+        else find (j - 1)
+      in
+      find (i - 1))
+    body
+
+(* Index selection (paper section 4.2): for each scan, an argument-form
+   index on the positions that arrive bound under left-to-right SIP. *)
+let auto_indexes rels body =
+  let bound : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun op ->
+      (match op with
+      | Scan { slot; args; _ } | Negcheck { slot; args } ->
+        let cols =
+          Array.to_list args
+          |> List.mapi (fun i arg ->
+                 let ground_or_bound =
+                   List.for_all (fun v -> Hashtbl.mem bound v) (vids_of [ arg ])
+                 in
+                 if ground_or_bound then Some i else None)
+          |> List.filter_map Fun.id
+        in
+        if cols <> [] && List.length cols < Array.length args then
+          Relation.add_index rels.(slot) (Index.Args cols)
+      | Foreign _ | Negforeign _ | Compare _ | Assign _ -> ());
+      List.iter (fun v -> Hashtbl.replace bound v ()) (binds_vars op))
+    body
+
+let path_of_var pattern (v : Term.var) =
+  let rec in_term t path =
+    match (t : Term.t) with
+    | Term.Var v' -> if v'.Term.vid = v.Term.vid then Some (List.rev path) else None
+    | Term.Const _ -> None
+    | Term.App a ->
+      let rec try_args i =
+        if i >= Array.length a.Term.args then None
+        else begin
+          match in_term a.Term.args.(i) (i :: path) with
+          | Some p -> Some p
+          | None -> try_args (i + 1)
+        end
+      in
+      try_args 0
+  in
+  let rec try_positions i =
+    if i >= Array.length pattern then None
+    else begin
+      match in_term pattern.(i) [ i ] with
+      | Some p -> Some p
+      | None -> try_positions (i + 1)
+    end
+  in
+  try_positions 0
+
+let compile ~resolve (plan : Optimizer.plan) =
+  let rules = plan.Optimizer.prules in
+  let arities = atom_arities rules in
+  let heads : unit Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  List.iter (fun (r : Ast.rule) -> Symbol.Tbl.replace heads r.Ast.head.Ast.hpred ()) rules;
+  (* seed predicate may have no rules but is local state *)
+  (match plan.Optimizer.seed with
+  | Some s ->
+    if not (Symbol.Tbl.mem arities s.Optimizer.seed_pred) then
+      Symbol.Tbl.add arities s.Optimizer.seed_pred
+        (if s.Optimizer.goal_id then 1 else List.length s.Optimizer.seed_positions)
+  | None -> ());
+  let is_local pred = Symbol.Tbl.mem heads pred || is_generated pred in
+  (* assign slots *)
+  let slot_of : int Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  let rels = ref [] and locals = ref [] and nslots = ref 0 in
+  let foreigns : Builtin.foreign Symbol.Tbl.t = Symbol.Tbl.create 8 in
+  let alloc pred rel local =
+    let s = !nslots in
+    incr nslots;
+    Symbol.Tbl.add slot_of pred s;
+    rels := rel :: !rels;
+    locals := local :: !locals;
+    s
+  in
+  let rec slot_for pred =
+    match Symbol.Tbl.find_opt slot_of pred with
+    | Some s -> Some s
+    | None ->
+      let arity = Option.value ~default:0 (Symbol.Tbl.find_opt arities pred) in
+      if is_local pred then
+        Some (alloc pred (Hash_relation.create ~name:(Symbol.name pred) ~arity ()) true)
+      else begin
+        match resolve pred arity with
+        | P_rel rel -> Some (alloc pred rel false)
+        | P_foreign f ->
+          Symbol.Tbl.replace foreigns pred f;
+          None
+      end
+  in
+  (* force slots for every predicate in the rules (and the seed) *)
+  Symbol.Tbl.iter (fun pred _ -> ignore (slot_for pred)) arities;
+  let rels = Array.of_list (List.rev !rels) in
+  let local = Array.of_list (List.rev !locals) in
+  (* annotations: multiset, aggregate selections, user indexes, applied
+     through the origin mapping so they follow predicates through
+     rewriting *)
+  let origin_of pred = List.assoc_opt pred plan.Optimizer.origin in
+  let source_of pred =
+    match origin_of pred with Some (orig, _) -> orig | None -> pred
+  in
+  List.iter
+    (fun ann ->
+      match (ann : Ast.annotation) with
+      | Ast.Ann_multiset (p, arity) ->
+        Symbol.Tbl.iter
+          (fun pred s ->
+            if Symbol.equal (source_of pred) p && rels.(s).Relation.arity = arity then
+              rels.(s).Relation.multiset <- true)
+          slot_of
+      | Ast.Ann_aggregate_selection { sel_pred; pattern; group_by; op; target } ->
+        Symbol.Tbl.iter
+          (fun pred s ->
+            if Symbol.equal (source_of pred) sel_pred
+               && rels.(s).Relation.arity = Array.length pattern
+            then begin
+              let hook = Aggregates.selection_hook ~pattern ~group_by ~op ~target in
+              let prev = rels.(s).Relation.admit in
+              rels.(s).Relation.admit <-
+                Some
+                  (match prev with
+                  | None -> hook
+                  | Some earlier -> fun rel t -> earlier rel t && hook rel t)
+            end)
+          slot_of
+      | Ast.Ann_make_index { idx_pred; pattern; keys } ->
+        let paths =
+          List.filter_map
+            (fun key ->
+              match (key : Term.t) with
+              | Term.Var v -> path_of_var pattern v
+              | _ -> None)
+            keys
+        in
+        if paths <> [] then
+          Symbol.Tbl.iter
+            (fun pred s ->
+              if Symbol.equal (source_of pred) idx_pred
+                 && rels.(s).Relation.arity = Array.length pattern
+              then Relation.add_index rels.(s) (Index.Paths paths))
+            slot_of
+      | Ast.Ann_materialized | Ast.Ann_pipelined | Ast.Ann_save_module | Ast.Ann_lazy_eval
+      | Ast.Ann_rewriting _ | Ast.Ann_fixpoint _ | Ast.Ann_no_existential | Ast.Ann_sip _ ->
+        ())
+    plan.Optimizer.annotations;
+  (* rule compilation *)
+  let compile_rule (r : Ast.rule) =
+    let head_atom = Ast.atom_of_head r.Ast.head in
+    let body_arrays =
+      List.map
+        (fun lit ->
+          match (lit : Ast.literal) with
+          | Ast.Pos a | Ast.Neg a -> a.Ast.args
+          | Ast.Cmp (_, t1, t2) | Ast.Is (t1, t2) -> [| t1; t2 |])
+        r.Ast.body
+    in
+    let renumbered, nvars = Rename.number_term_lists (head_atom.Ast.args :: body_arrays) in
+    let head_args, body_arrays =
+      match renumbered with
+      | h :: rest -> h, rest
+      | [] -> assert false
+    in
+    let body =
+      List.map2
+        (fun lit args ->
+          match (lit : Ast.literal) with
+          | Ast.Pos a -> begin
+            match slot_for a.Ast.pred with
+            | Some s -> Scan { slot = s; args; local = local.(s) }
+            | None -> Foreign { f = Symbol.Tbl.find foreigns a.Ast.pred; args }
+          end
+          | Ast.Neg a -> begin
+            match slot_for a.Ast.pred with
+            | Some s -> Negcheck { slot = s; args }
+            | None -> Negforeign { f = Symbol.Tbl.find foreigns a.Ast.pred; args }
+          end
+          | Ast.Cmp (op, _, _) -> Compare (op, args.(0), args.(1))
+          | Ast.Is (_, _) -> Assign (args.(0), args.(1)))
+        r.Ast.body body_arrays
+      |> Array.of_list
+    in
+    let plain_positions, agg_positions =
+      let plains = ref [] and aggs = ref [] in
+      Array.iteri
+        (fun i harg ->
+          match (harg : Ast.head_arg) with
+          | Ast.Plain _ -> plains := i :: !plains
+          | Ast.Agg (op, _) -> aggs := (i, op) :: !aggs)
+        r.Ast.head.Ast.hargs;
+      List.rev !plains, List.rev !aggs
+    in
+    auto_indexes rels body;
+    { head_slot = Option.get (slot_for head_atom.Ast.pred);
+      head_args;
+      plain_positions;
+      agg_positions;
+      body;
+      nvars;
+      backtrack = compute_backtrack body;
+      cursors =
+        Array.map (function Scan { local = true; _ } -> 0 | _ -> -1) body;
+      text = Pretty.rule_to_string r
+    }
+  in
+  (* strata *)
+  let graph = Scc.analyze rules in
+  let nscc = Array.length graph.Scc.sccs in
+  let strata =
+    Array.init nscc (fun i ->
+        let scc_rules = Scc.rules_of_scc graph rules i in
+        let compiled =
+          List.map (fun r -> Ast.head_is_plain r.Ast.head, compile_rule r) scc_rules
+        in
+        let agg_rules =
+          List.filter_map (fun (plain, c) -> if plain then None else Some c) compiled
+        in
+        let plain_rules =
+          List.filter_map (fun (plain, c) -> if plain then Some c else None) compiled
+        in
+        let versions =
+          List.concat_map
+            (fun c ->
+              Array.to_list c.cursors
+              |> List.mapi (fun pos cur -> if cur >= 0 then Some (c, pos) else None)
+              |> List.filter_map Fun.id)
+            plain_rules
+        in
+        let srules = List.filter (fun c -> Array.for_all (fun x -> x < 0) c.cursors) plain_rules in
+        { srules; agg_rules; versions; recursive = graph.Scc.recursive.(i) })
+  in
+  let answer_slot = Option.get (slot_for plan.Optimizer.answer_pred) in
+  let seed_slot =
+    match plan.Optimizer.seed with
+    | Some s -> Option.get (slot_for s.Optimizer.seed_pred)
+    | None -> -1
+  in
+  { rels; slot_of; strata; answer_slot; seed_slot; plan; local }
+
+let slot t pred = Symbol.Tbl.find_opt t.slot_of pred
+let relation t pred = Option.map (fun s -> t.rels.(s)) (slot t pred)

@@ -1,0 +1,39 @@
+(** Pipelined evaluation: top-down, tuple-at-a-time (paper section 5.2).
+
+    "When rule evaluation is invoked, using the get-next-tuple
+    interface, it generates an answer (if there is one) and transfers
+    control back to the consumer of answers.  Control is transferred
+    back to the (suspended) rule evaluation when more answers are
+    desired."  The suspension is implemented with OCaml effect handlers:
+    the producer performs a [Yield] effect per answer and its
+    continuation is stored in the sequence node — a frozen computation
+    in the paper's sense.
+
+    Rules are tried in the order they appear in the module; body
+    literals run left to right; negation is negation-as-failure.  Facts
+    are used on the fly and never stored, at the potential cost of
+    recomputation, and recursion behaves like Prolog (left recursion
+    diverges) — both faithful to CORAL's pipelining. *)
+
+open Coral_term
+open Coral_rel
+
+type rulebase = {
+  rules_of : Symbol.t -> int -> Coral_lang.Ast.rule list;
+      (** this module's rules for a predicate, in source order *)
+  relation_of : Symbol.t -> int -> Relation.t option;
+      (** base facts / other modules' exports (scans may recurse) *)
+  foreign_of : Symbol.t -> int -> Builtin.foreign option;
+}
+
+val solve :
+  rulebase -> Coral_lang.Ast.literal list -> nvars:int -> env:Bindenv.t -> (unit -> unit) -> unit
+(** Depth-first resolution of a renumbered literal list; the
+    continuation runs once per solution with the bindings in [env]. *)
+
+val answers : rulebase -> Symbol.t -> Term.t array -> Bindenv.t -> Tuple.t Seq.t
+(** Lazy answers to a single-predicate query: each pull resumes the
+    frozen computation until the next answer.  The sequence is
+    memoized, so it can be shared and re-traversed. *)
+
+exception Pipeline_error of string

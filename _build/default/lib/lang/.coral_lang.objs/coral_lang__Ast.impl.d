@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Array Coral_term Hashtbl List Printf String Symbol Term

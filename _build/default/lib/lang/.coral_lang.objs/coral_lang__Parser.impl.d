@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Bignum Coral_term Format Hashtbl Lexer List Printf String Symbol Term

@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Array Ast Coral_term Format List Symbol Term

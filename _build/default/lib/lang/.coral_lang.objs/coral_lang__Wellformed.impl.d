@@ -1,0 +1,1 @@
+lib/lang/wellformed.ml: Array Ast Coral_term Format Hashtbl List Pretty Printf Symbol Term

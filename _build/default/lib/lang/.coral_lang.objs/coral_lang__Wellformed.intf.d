@@ -1,0 +1,1 @@
+lib/lang/wellformed.mli: Ast Format

@@ -1,0 +1,41 @@
+(** Hand-written lexer for the CORAL surface language. *)
+
+type token =
+  | IDENT of string  (** lowercase-initial identifier or quoted atom *)
+  | VAR of string  (** uppercase- or [_]-initial identifier *)
+  | INT of int
+  | BIG of string  (** integer literal exceeding native int range *)
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | PIPE
+  | DOT  (** clause terminator *)
+  | IMPLIED_BY  (** [:-] *)
+  | QUERY  (** [?-] or [?] *)
+  | AT  (** [@], introduces annotations and commands *)
+  | EQ  (** [=] *)
+  | EQEQ  (** [==] *)
+  | NE  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of string * pos
+
+val tokenize : string -> (token * pos) array
+(** Tokenize a whole source text.  [%] starts a comment running to end
+    of line.  @raise Error on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

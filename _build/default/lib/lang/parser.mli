@@ -1,0 +1,34 @@
+(** Recursive-descent parser for the CORAL surface language.
+
+    Accepted shape:
+    {v
+    module shortest_path.
+    export s_p(bfff).
+    @aggregate_selection p(X, Y, P, C) (X, Y) min(C).
+    s_p(X, Y, P, C)       :- s_p_length(X, Y, C), p(X, Y, P, C).
+    s_p_length(X, Y, min(C)) :- p(X, Y, P, C).
+    p(X, Y, P1, C1)       :- p(X, Z, P, C), edge(Z, Y, EC),
+                             append([edge(Z, Y)], P, P1), C1 = C + EC.
+    p(X, Y, [edge(X, Y)], C) :- edge(X, Y, C).
+    end_module.
+
+    edge(1, 2, 10).
+    ?- s_p(1, Y, P, C).
+    v}
+
+    Variables are clause-local and densely numbered from 0; [_] is a
+    fresh anonymous variable at each occurrence. *)
+
+type error = { message : string; pos : Lexer.pos }
+
+val pp_error : Format.formatter -> error -> unit
+
+val program : string -> (Ast.program, error) result
+(** Parse a whole source text. *)
+
+val query : string -> (Ast.literal list, error) result
+(** Parse a single query, with or without the leading [?-] and trailing
+    dot (the interactive-prompt form). *)
+
+val term : string -> (Coral_term.Term.t, error) result
+(** Parse a single term (host API convenience). *)

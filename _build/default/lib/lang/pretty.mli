@@ -1,0 +1,17 @@
+(** Printers for programs, modules, rules and literals.
+
+    The optimizer uses these to dump rewritten programs in readable
+    surface syntax, which the paper notes "is useful as a debugging aid
+    for the user"; parsing a pretty-printed program yields the same
+    program back. *)
+
+val pp_atom : Format.formatter -> Ast.atom -> unit
+val pp_literal : Format.formatter -> Ast.literal -> unit
+val pp_head : Format.formatter -> Ast.head -> unit
+val pp_rule : Format.formatter -> Ast.rule -> unit
+val pp_annotation : Format.formatter -> Ast.annotation -> unit
+val pp_module : Format.formatter -> Ast.module_ -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val rule_to_string : Ast.rule -> string
+val module_to_string : Ast.module_ -> string

@@ -1,0 +1,26 @@
+(** Static checks on modules: safety, exports, annotation sanity.
+
+    CORAL performs no type checking (the paper lists this among its
+    regrets), but the optimizer needs structural sanity before
+    rewriting.  Violations that would make evaluation unsound are
+    errors; conditions that are legal but suspicious (e.g. a rule head
+    variable not bound in the body — legitimate in CORAL because facts
+    may be non-ground) are warnings. *)
+
+type issue = { severity : [ `Error | `Warning ]; where : string; what : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check_module : Ast.module_ -> issue list
+(** Checks:
+    - every negated body literal has its variables bound by preceding
+      positive literals (error: unsafe negation);
+    - comparison literals have their variables bound earlier (error);
+    - aggregate heads group only by variables (error);
+    - exported predicates are defined by some rule (warning);
+    - head variables missing from the body produce non-ground facts
+      (warning);
+    - aggregate-selection annotations name variables of their pattern
+      (error). *)
+
+val errors : issue list -> issue list

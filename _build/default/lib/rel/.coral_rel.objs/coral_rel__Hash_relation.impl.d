@@ -1,0 +1,1 @@
+lib/rel/hash_relation.ml: Array Coral_term Hashtbl Index List Relation Seq Tuple

@@ -1,0 +1,1 @@
+lib/rel/hash_relation.mli: Index Relation

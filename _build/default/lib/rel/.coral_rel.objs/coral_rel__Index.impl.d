@@ -1,0 +1,1 @@
+lib/rel/index.ml: Array Bindenv Coral_term Format Hashtbl List String Term Tuple Unify

@@ -1,0 +1,1 @@
+lib/rel/index.mli: Bindenv Coral_term Format Term Tuple

@@ -1,0 +1,1 @@
+lib/rel/list_relation.ml: List Relation Seq Tuple

@@ -1,0 +1,1 @@
+lib/rel/list_relation.mli: Relation

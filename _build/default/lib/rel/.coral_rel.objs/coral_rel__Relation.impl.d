@@ -1,0 +1,1 @@
+lib/rel/relation.ml: Bindenv Coral_term Format Index List Seq Term Tuple

@@ -1,0 +1,1 @@
+lib/rel/relation.mli: Bindenv Coral_term Format Index Seq Term Tuple

@@ -1,0 +1,1 @@
+lib/rel/scan.ml: Coral_term List Relation Seq Tuple

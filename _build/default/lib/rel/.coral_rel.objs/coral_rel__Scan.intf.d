@@ -1,0 +1,1 @@
+lib/rel/scan.mli: Bindenv Coral_term Relation Seq Term Tuple

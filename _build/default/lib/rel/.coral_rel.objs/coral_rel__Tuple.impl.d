@@ -1,0 +1,1 @@
+lib/rel/tuple.ml: Array Bindenv Coral_term Format Term Unify

@@ -1,0 +1,1 @@
+lib/rel/tuple.mli: Bindenv Coral_term Format Term

@@ -1,0 +1,181 @@
+open Coral_term
+
+(* Subsidiary relations are kept in a growable array indexed by mark
+   interval, so a scan over a mark range selects its subsidiaries in
+   O(selected) — semi-naive delta scans touch one or two subsidiaries
+   regardless of how many iterations have passed.  Index stores live on
+   each subsidiary (the paper: "the indexing mechanisms are used on each
+   subsidiary relation"); the duplicate table is relation-global since
+   duplicate checks always span all marks. *)
+
+type sub = {
+  mutable tuples : Tuple.t array;
+  mutable n : int;
+  mutable stores : Index.t list;  (* one per index spec, same order *)
+}
+
+type state = {
+  mutable subs : sub array;  (* oldest first; subs.(nsubs-1) is open *)
+  mutable nsubs : int;
+  mutable specs : Index.spec list;
+  mutable live : int;
+  dups : (int, Tuple.t list ref) Hashtbl.t;
+  mutable nonground : Tuple.t list;
+}
+
+let dummy_tuple = Tuple.of_terms [||]
+
+let new_sub specs =
+  { tuples = Array.make 8 dummy_tuple; n = 0; stores = List.map Index.create specs }
+
+let dummy_sub = { tuples = [||]; n = 0; stores = [] }
+
+let push_sub st =
+  if st.nsubs >= Array.length st.subs then begin
+    let bigger = Array.make (max 4 (2 * Array.length st.subs)) dummy_sub in
+    Array.blit st.subs 0 bigger 0 st.nsubs;
+    st.subs <- bigger
+  end;
+  st.subs.(st.nsubs) <- new_sub st.specs;
+  st.nsubs <- st.nsubs + 1
+
+let sub_append sub (tuple : Tuple.t) =
+  if sub.n >= Array.length sub.tuples then begin
+    let bigger = Array.make (2 * Array.length sub.tuples) tuple in
+    Array.blit sub.tuples 0 bigger 0 sub.n;
+    sub.tuples <- bigger
+  end;
+  sub.tuples.(sub.n) <- tuple;
+  sub.n <- sub.n + 1;
+  List.iter (fun store -> Index.insert store tuple) sub.stores
+
+let is_duplicate st (tuple : Tuple.t) =
+  (match Hashtbl.find_opt st.dups tuple.Tuple.hash with
+  | Some bucket -> List.exists (fun ex -> (not ex.Tuple.dead) && Tuple.equal ex tuple) !bucket
+  | None -> false)
+  || List.exists (fun ex -> (not ex.Tuple.dead) && Tuple.subsumes ex tuple) st.nonground
+
+(* Inserting a more general non-ground tuple retires the tuples it
+   strictly subsumes: answers are preserved (every instance of a
+   subsumed tuple is an instance of the subsuming one). *)
+let retire_subsumed st (tuple : Tuple.t) =
+  for s = 0 to st.nsubs - 1 do
+    let sub = st.subs.(s) in
+    for i = 0 to sub.n - 1 do
+      let ex = sub.tuples.(i) in
+      if (not ex.Tuple.dead) && Tuple.subsumes tuple ex then begin
+        Tuple.kill ex;
+        st.live <- st.live - 1
+      end
+    done
+  done
+
+let create ?(indexes = []) ~name ~arity () =
+  let st =
+    { subs = Array.make 4 dummy_sub;
+      nsubs = 0;
+      specs = indexes;
+      live = 0;
+      dups = Hashtbl.create 256;
+      nonground = []
+    }
+  in
+  push_sub st;
+  let insert ~dedup tuple =
+    if dedup && is_duplicate st tuple then false
+    else begin
+      if dedup && not (Tuple.is_ground tuple) then retire_subsumed st tuple;
+      sub_append st.subs.(st.nsubs - 1) tuple;
+      (match Hashtbl.find_opt st.dups tuple.Tuple.hash with
+      | Some bucket -> bucket := tuple :: !bucket
+      | None -> Hashtbl.add st.dups tuple.Tuple.hash (ref [ tuple ]));
+      if not (Tuple.is_ground tuple) then st.nonground <- tuple :: st.nonground;
+      st.live <- st.live + 1;
+      true
+    end
+  in
+  let rec seq_array arr limit i () =
+    if i >= limit then Seq.Nil else Seq.Cons (arr.(i), seq_array arr limit (i + 1))
+  in
+  let candidates_of_sub sub ~pattern ~snapshot =
+    match pattern with
+    | Some (args, env) ->
+      let rec try_stores = function
+        | [] -> None
+        | store :: rest -> begin
+          match Index.probe store args env with
+          | Some found -> Some found
+          | None -> try_stores rest
+        end
+      in
+      (match try_stores sub.stores with
+      | Some found -> List.to_seq found
+      | None -> seq_array sub.tuples snapshot 0)
+    | None -> seq_array sub.tuples snapshot 0
+  in
+  let scan ~from_mark ~to_mark ~pattern =
+    let last = if to_mark < 0 then st.nsubs else min to_mark st.nsubs in
+    let from_mark = max 0 from_mark in
+    (* Snapshot each subsidiary's length now: tuples inserted after the
+       scan opens are not seen (mark semantics for the open interval). *)
+    let parts = ref [] in
+    for s = last - 1 downto from_mark do
+      let sub = st.subs.(s) in
+      if sub.n > 0 then parts := candidates_of_sub sub ~pattern ~snapshot:sub.n :: !parts
+    done;
+    Seq.filter (fun t -> not t.Tuple.dead) (List.fold_right Seq.append !parts Seq.empty)
+  in
+  let delete ~pattern pred =
+    let count = ref 0 in
+    Seq.iter
+      (fun t ->
+        if pred t then begin
+          Tuple.kill t;
+          st.live <- st.live - 1;
+          incr count
+        end)
+      (scan ~from_mark:0 ~to_mark:(-1) ~pattern);
+    !count
+  in
+  let impl =
+    { Relation.i_insert = insert;
+      i_delete = delete;
+      i_retire =
+        (fun t ->
+          if not t.Tuple.dead then begin
+            Tuple.kill t;
+            st.live <- st.live - 1
+          end);
+      i_mark =
+        (fun () ->
+          push_sub st;
+          st.nsubs - 1);
+      i_marks = (fun () -> st.nsubs - 1);
+      i_cardinal = (fun () -> st.live);
+      i_add_index =
+        (fun spec ->
+          if not (List.exists (Index.spec_equal spec) st.specs) then begin
+            st.specs <- st.specs @ [ spec ];
+            for s = 0 to st.nsubs - 1 do
+              let sub = st.subs.(s) in
+              let store = Index.create spec in
+              for i = 0 to sub.n - 1 do
+                let t = sub.tuples.(i) in
+                if not t.Tuple.dead then Index.insert store t
+              done;
+              sub.stores <- sub.stores @ [ store ]
+            done
+          end);
+      i_indexes = (fun () -> st.specs);
+      i_scan = scan;
+      i_clear =
+        (fun () ->
+          st.subs <- Array.make 4 dummy_sub;
+          st.nsubs <- 0;
+          push_sub st;
+          st.live <- 0;
+          Hashtbl.reset st.dups;
+          st.nonground <- [])
+    }
+  in
+  Relation.v ~name ~arity impl

@@ -1,0 +1,15 @@
+(** In-memory hash relations, CORAL's workhorse relation implementation
+    (paper section 3.2).
+
+    The relation is a list of subsidiary relations, one per mark
+    interval; scans over a mark range transparently union the relevant
+    subsidiaries, and each subsidiary carries its own hash-bucket
+    duplicate table and its own index stores, so marks do not interfere
+    with indexing.  Deletion tombstones tuples in place.
+
+    Duplicate elimination understands non-ground facts: a new tuple is
+    rejected when an existing tuple subsumes it, and inserting a more
+    general non-ground tuple tombstones the tuples it strictly
+    subsumes. *)
+
+val create : ?indexes:Index.spec list -> name:string -> arity:int -> unit -> Relation.t

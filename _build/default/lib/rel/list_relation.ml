@@ -1,0 +1,74 @@
+type state = {
+  mutable intervals : Tuple.t list list;  (* newest interval first, each newest tuple first *)
+  mutable live : int;
+}
+
+let create ~name ~arity () =
+  let st = { intervals = [ [] ]; live = 0 } in
+  let all_live () =
+    List.concat_map (List.filter (fun t -> not t.Tuple.dead)) st.intervals
+  in
+  let insert ~dedup tuple =
+    let dup =
+      dedup
+      && List.exists
+           (fun ex -> (not ex.Tuple.dead) && Tuple.subsumes ex tuple)
+           (List.concat st.intervals)
+    in
+    if dup then false
+    else begin
+      (match st.intervals with
+      | current :: rest -> st.intervals <- (tuple :: current) :: rest
+      | [] -> st.intervals <- [ [ tuple ] ]);
+      st.live <- st.live + 1;
+      true
+    end
+  in
+  let scan ~from_mark ~to_mark ~pattern =
+    ignore pattern;
+    let oldest_first = List.rev st.intervals in
+    let total = List.length oldest_first in
+    let last = if to_mark < 0 then total else min to_mark total in
+    let selected = List.filteri (fun i _ -> i >= from_mark && i < last) oldest_first in
+    (* Snapshot: lists are immutable once captured, so a scan never sees
+       tuples inserted after it was opened. *)
+    let parts = List.map (fun l -> List.to_seq (List.rev l)) selected in
+    Seq.filter (fun t -> not t.Tuple.dead) (List.fold_right Seq.append parts Seq.empty)
+  in
+  let impl =
+    { Relation.i_insert = insert;
+      i_retire =
+        (fun t ->
+          if not t.Tuple.dead then begin
+            Tuple.kill t;
+            st.live <- st.live - 1
+          end);
+      i_delete =
+        (fun ~pattern pred ->
+          ignore pattern;
+          let count = ref 0 in
+          List.iter
+            (fun t ->
+              if pred t then begin
+                Tuple.kill t;
+                st.live <- st.live - 1;
+                incr count
+              end)
+            (all_live ());
+          !count);
+      i_mark =
+        (fun () ->
+          st.intervals <- [] :: st.intervals;
+          List.length st.intervals - 1);
+      i_marks = (fun () -> List.length st.intervals - 1);
+      i_cardinal = (fun () -> st.live);
+      i_add_index = (fun _ -> ());
+      i_indexes = (fun () -> []);
+      i_scan = scan;
+      i_clear =
+        (fun () ->
+          st.intervals <- [ [] ];
+          st.live <- 0)
+    }
+  in
+  Relation.v ~name ~arity impl

@@ -1,0 +1,10 @@
+(** Relations organized as linked lists (paper section 7.2).
+
+    The simplest stock relation implementation: an append list per mark
+    interval, linear duplicate checking, no index support (probes fall
+    back to scans; [add_index] is accepted and ignored).  It exists to
+    demonstrate — and test — that the engine runs against any
+    implementation of the {!Relation} interface, and it serves as the
+    unindexed baseline in the index benchmarks. *)
+
+val create : name:string -> arity:int -> unit -> Relation.t

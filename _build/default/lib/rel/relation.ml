@@ -1,0 +1,87 @@
+open Coral_term
+
+type t = {
+  name : string;
+  arity : int;
+  mutable multiset : bool;
+  mutable admit : (t -> Tuple.t -> bool) option;
+  impl : impl;
+  stats : stats;
+}
+
+and impl = {
+  i_insert : dedup:bool -> Tuple.t -> bool;
+  i_delete : pattern:(Term.t array * Bindenv.t) option -> (Tuple.t -> bool) -> int;
+  i_retire : Tuple.t -> unit;
+  i_mark : unit -> int;
+  i_marks : unit -> int;
+  i_cardinal : unit -> int;
+  i_add_index : Index.spec -> unit;
+  i_indexes : unit -> Index.spec list;
+  i_scan :
+    from_mark:int -> to_mark:int -> pattern:(Term.t array * Bindenv.t) option -> Tuple.t Seq.t;
+  i_clear : unit -> unit;
+}
+
+and stats = {
+  mutable inserts : int;
+  mutable duplicates : int;
+  mutable scans : int;
+}
+
+(* Global work counters across every relation: the benchmark harness
+   reads these as machine-independent measures of evaluation work. *)
+let g_inserts = ref 0
+let g_duplicates = ref 0
+let g_scans = ref 0
+
+let global_stats () = !g_inserts, !g_duplicates, !g_scans
+
+let reset_global_stats () =
+  g_inserts := 0;
+  g_duplicates := 0;
+  g_scans := 0
+
+let v ~name ~arity impl =
+  { name;
+    arity;
+    multiset = false;
+    admit = None;
+    impl;
+    stats = { inserts = 0; duplicates = 0; scans = 0 }
+  }
+
+let insert r tuple =
+  let admitted = match r.admit with None -> true | Some hook -> hook r tuple in
+  if admitted && r.impl.i_insert ~dedup:(not r.multiset) tuple then begin
+    r.stats.inserts <- r.stats.inserts + 1;
+    incr g_inserts;
+    true
+  end
+  else begin
+    r.stats.duplicates <- r.stats.duplicates + 1;
+    incr g_duplicates;
+    false
+  end
+
+let insert_terms r terms = insert r (Tuple.of_terms terms)
+
+let delete r ?pattern pred = r.impl.i_delete ~pattern pred
+let retire r tuple = r.impl.i_retire tuple
+let mark r = r.impl.i_mark ()
+let marks r = r.impl.i_marks ()
+let cardinal r = r.impl.i_cardinal ()
+
+let scan r ?(from_mark = 0) ?(to_mark = -1) ?pattern () =
+  r.stats.scans <- r.stats.scans + 1;
+  incr g_scans;
+  r.impl.i_scan ~from_mark ~to_mark ~pattern
+
+let to_list r = List.of_seq (scan r ())
+let add_index r spec = r.impl.i_add_index spec
+let indexes r = r.impl.i_indexes ()
+let clear r = r.impl.i_clear ()
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%s/%d (%d tuples)@,@]" r.name r.arity (cardinal r);
+  Seq.iter (fun t -> Format.fprintf ppf "%s%a@," r.name Tuple.pp t) (scan r ())

@@ -1,0 +1,98 @@
+(** The generic relation interface (paper sections 3, 5.6, 7.2).
+
+    Everything the query evaluation system knows about a relation goes
+    through this interface: insert, delete, marks, and scans that hand
+    out tuples one at a time.  Base relations, derived relations,
+    persistent relations and foreign (host-function) relations all
+    implement it, which is what lets modules with different evaluation
+    strategies interact transparently ("the 'get-next-tuple' interface
+    ... is the basis for adding new relation implementations and index
+    implementations in a clean fashion").
+
+    {b Marks.}  A mark seals the current subsidiary relation and starts
+    a new one; scans can be restricted to the tuples inserted between
+    two marks.  This is the feature semi-naive evaluation is built on:
+    delta relations are mark-delimited views of the single stored
+    relation, and indexes keep working because each subsidiary carries
+    its own index stores. *)
+
+open Coral_term
+
+type t = {
+  name : string;
+  arity : int;
+  mutable multiset : bool;
+      (** When true, answer-duplicate checks are skipped (section 4.2). *)
+  mutable admit : (t -> Tuple.t -> bool) option;
+      (** Admission hook, used by aggregate selections: called before
+          the duplicate check; returning false rejects the tuple.  The
+          hook may delete existing tuples. *)
+  impl : impl;
+  stats : stats;
+}
+
+and impl = {
+  i_insert : dedup:bool -> Tuple.t -> bool;
+  i_delete : pattern:(Term.t array * Bindenv.t) option -> (Tuple.t -> bool) -> int;
+  i_retire : Tuple.t -> unit;
+      (** tombstone one known-live stored tuple in O(1) (aggregate
+          selections retire superseded tuples this way) *)
+  i_mark : unit -> int;
+  i_marks : unit -> int;
+  i_cardinal : unit -> int;
+  i_add_index : Index.spec -> unit;
+  i_indexes : unit -> Index.spec list;
+  i_scan :
+    from_mark:int -> to_mark:int -> pattern:(Term.t array * Bindenv.t) option -> Tuple.t Seq.t;
+  i_clear : unit -> unit;
+}
+
+and stats = {
+  mutable inserts : int;  (** accepted insertions *)
+  mutable duplicates : int;  (** rejected as duplicate/subsumed/inadmissible *)
+  mutable scans : int;  (** scans opened *)
+}
+
+val v : name:string -> arity:int -> impl -> t
+(** Wrap an implementation (used by relation implementations and by
+    foreign relations registered from the host language). *)
+
+val insert : t -> Tuple.t -> bool
+(** Insert with admission hook and (unless [multiset]) duplicate /
+    subsumption check; true if the relation grew. *)
+
+val insert_terms : t -> Term.t array -> bool
+
+val delete : t -> ?pattern:Term.t array * Bindenv.t -> (Tuple.t -> bool) -> int
+(** Tombstone every live tuple satisfying the predicate (restricted to
+    index candidates when a usable [pattern] is given); returns the
+    number deleted. *)
+
+val retire : t -> Tuple.t -> unit
+(** Tombstone one known-live stored tuple without scanning. *)
+
+val mark : t -> int
+(** Seal the current subsidiary; returns the new mark count. *)
+
+val marks : t -> int
+val cardinal : t -> int
+
+val scan : t -> ?from_mark:int -> ?to_mark:int -> ?pattern:Term.t array * Bindenv.t -> unit -> Tuple.t Seq.t
+(** Live tuples inserted in the mark interval [\[from_mark, to_mark)]
+    ([to_mark = -1], the default, means "through now").  When a
+    [pattern] is supplied and an index covers it, candidates come from
+    an index probe; they are a superset of the matching tuples and the
+    caller unifies. *)
+
+val to_list : t -> Tuple.t list
+val add_index : t -> Index.spec -> unit
+val indexes : t -> Index.spec list
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit
+
+val global_stats : unit -> int * int * int
+(** Work counters summed over every relation since the last reset:
+    (accepted inserts, rejected duplicates, scans opened) — the
+    machine-independent work measures reported by the benchmarks. *)
+
+val reset_global_stats : unit -> unit

@@ -1,0 +1,26 @@
+open Coral_term
+
+type t = { mutable rest : Tuple.t Seq.t }
+
+let of_seq seq = { rest = seq }
+
+let on_relation rel ?from_mark ?to_mark ?pattern () =
+  of_seq (Relation.scan rel ?from_mark ?to_mark ?pattern ())
+
+let next scan =
+  match scan.rest () with
+  | Seq.Nil -> None
+  | Seq.Cons (t, rest) ->
+    scan.rest <- rest;
+    Some t
+
+let peek scan =
+  match scan.rest () with
+  | Seq.Nil -> None
+  | Seq.Cons (t, _) as node ->
+    scan.rest <- (fun () -> node);
+    Some t
+
+let iter f scan = Seq.iter f scan.rest
+let to_list scan = List.of_seq scan.rest
+let count scan = Seq.length scan.rest

@@ -1,0 +1,30 @@
+(** Scan descriptors: the get-next-tuple cursor abstraction.
+
+    "The query evaluation system has a well defined 'get-next-tuple'
+    interface with the data manager for access to relations" (paper
+    section 2).  A scan wraps any tuple sequence — a base relation scan,
+    an index probe, or a derived relation's lazily produced answers —
+    behind a cursor with [next], the analogue of CORAL's [C_ScanDesc]
+    and of an SQL cursor.  Multiple scans over one relation are
+    independent. *)
+
+open Coral_term
+
+type t
+
+val of_seq : Tuple.t Seq.t -> t
+
+val on_relation :
+  Relation.t -> ?from_mark:int -> ?to_mark:int -> ?pattern:Term.t array * Bindenv.t -> unit -> t
+(** Open a cursor over a relation (candidates only when a pattern probe
+    is used: the consumer unifies). *)
+
+val next : t -> Tuple.t option
+(** The next tuple, advancing the cursor; [None] at end of scan. *)
+
+val peek : t -> Tuple.t option
+(** The next tuple without advancing. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val to_list : t -> Tuple.t list
+val count : t -> int

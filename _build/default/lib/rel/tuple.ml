@@ -1,0 +1,48 @@
+open Coral_term
+
+type t = {
+  terms : Term.t array;
+  nvars : int;
+  hash : int;
+  mutable dead : bool;
+}
+
+let combined_hash terms =
+  let h = ref 0x811c9dc5 in
+  Array.iter (fun t -> h := ((!h * 0x01000193) lxor Term.hash_mod_vars t) land max_int) terms;
+  !h
+
+let make terms env =
+  let canon, nvars = Unify.canonicalize terms env in
+  { terms = canon; nvars; hash = combined_hash canon; dead = false }
+
+let of_terms terms = make terms Bindenv.empty
+
+let arity t = Array.length t.terms
+let is_ground t = t.nvars = 0
+let kill t = t.dead <- true
+
+let equal a b =
+  a == b
+  || a.hash = b.hash
+     && Array.length a.terms = Array.length b.terms
+     && (if a.nvars = 0 && b.nvars = 0 then begin
+           let rec go i = i < 0 || (Term.equal a.terms.(i) b.terms.(i) && go (i - 1)) in
+           go (Array.length a.terms - 1)
+         end
+         else a.nvars = b.nvars && Unify.variant a.terms b.terms)
+
+let subsumes general specific =
+  if general.nvars = 0 then equal general specific
+  else Unify.subsumes (general.terms, general.nvars) (specific.terms, specific.nvars)
+
+let pp ppf t =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun i term ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Term.pp ppf term)
+    t.terms;
+  Format.fprintf ppf ")"
+
+let to_string t = Format.asprintf "%a" pp t

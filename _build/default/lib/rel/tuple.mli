@@ -1,0 +1,42 @@
+(** Tuples: the elements of relations.
+
+    A stored tuple is self-contained: its terms are fully resolved and
+    its variables (CORAL relations can hold non-ground facts) are
+    renumbered to [0 .. nvars-1].  At use time a non-ground tuple is
+    paired with a fresh binding environment of size [nvars], which is
+    how one stored fact participates in many simultaneous inferences
+    without copying. *)
+
+open Coral_term
+
+type t = private {
+  terms : Term.t array;
+  nvars : int;
+  hash : int;  (** hash with variables collapsed, see {!Term.hash_mod_vars} *)
+  mutable dead : bool;  (** tombstone set by [delete]; scans skip dead tuples *)
+}
+
+val make : Term.t array -> Bindenv.t -> t
+(** Canonicalize (resolve + renumber variables) a tuple under an
+    environment, as produced by a rule head after a successful join. *)
+
+val of_terms : Term.t array -> t
+(** Tuple from environment-free terms (facts from the parser or the
+    host API); variables are renumbered. *)
+
+val arity : t -> int
+val is_ground : t -> bool
+
+val kill : t -> unit
+(** Tombstone the tuple ([delete]); scans skip dead tuples. *)
+
+val equal : t -> t -> bool
+(** Variant equality: equal up to bijective variable renaming (plain
+    equality on ground tuples, with the hash-consing fast path). *)
+
+val subsumes : t -> t -> bool
+(** [subsumes general specific]: some instantiation of [general] equals
+    [specific].  Used for duplicate elimination with non-ground facts. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

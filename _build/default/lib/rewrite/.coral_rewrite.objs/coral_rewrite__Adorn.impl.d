@@ -1,0 +1,1 @@
+lib/rewrite/adorn.ml: Array Ast Coral_lang Coral_term Hashtbl List Option Printf Queue Symbol Term

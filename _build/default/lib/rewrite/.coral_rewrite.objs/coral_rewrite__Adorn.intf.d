@@ -1,0 +1,1 @@
+lib/rewrite/adorn.mli: Ast Coral_lang Coral_term Symbol

@@ -1,0 +1,1 @@
+lib/rewrite/existential.ml: Array Ast Coral_lang Coral_term List Printf String Symbol Term

@@ -1,0 +1,1 @@
+lib/rewrite/existential.mli: Ast Coral_lang Coral_term Symbol

@@ -1,0 +1,1 @@
+lib/rewrite/factoring.ml: Adorn Array Ast Coral_lang Coral_term List Magic Symbol Term

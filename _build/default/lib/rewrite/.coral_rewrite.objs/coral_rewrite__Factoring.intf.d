@@ -1,0 +1,1 @@
+lib/rewrite/factoring.mli: Adorn Coral_lang Coral_term Magic

@@ -1,0 +1,1 @@
+lib/rewrite/magic.ml: Adorn Array Ast Coral_lang Coral_term List Symbol Term

@@ -1,0 +1,1 @@
+lib/rewrite/magic.mli: Adorn Ast Coral_lang Coral_term Symbol Term

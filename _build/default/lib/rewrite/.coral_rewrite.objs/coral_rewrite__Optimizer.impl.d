@@ -1,0 +1,1 @@
+lib/rewrite/optimizer.ml: Adorn Array Ast Coral_lang Coral_term Existential Factoring Format List Magic Option Pretty Printf Scc String Supp_magic Symbol Wellformed

@@ -1,0 +1,1 @@
+lib/rewrite/optimizer.mli: Ast Coral_lang Coral_term Format Symbol

@@ -1,0 +1,1 @@
+lib/rewrite/scc.ml: Array Ast Coral_lang Coral_term List Option Symbol

@@ -1,0 +1,1 @@
+lib/rewrite/supp_magic.ml: Adorn Array Ast Coral_lang Coral_term Hashtbl List Magic Printf Symbol Term

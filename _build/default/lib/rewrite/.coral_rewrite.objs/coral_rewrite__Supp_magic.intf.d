@@ -1,0 +1,1 @@
+lib/rewrite/supp_magic.mli: Adorn Coral_lang Coral_term Magic

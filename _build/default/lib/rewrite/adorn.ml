@@ -1,0 +1,183 @@
+open Coral_term
+open Coral_lang
+
+type t = {
+  arules : Ast.rule list;
+  query_pred : Symbol.t;
+  origin : (Symbol.t * Ast.adornment) Symbol.Tbl.t;
+}
+
+let adorned_name pred adorn =
+  Symbol.intern (Symbol.name pred ^ "#" ^ Ast.adornment_to_string adorn)
+
+let bound_positions adorn =
+  Array.to_list adorn
+  |> List.mapi (fun i b -> i, b)
+  |> List.filter_map (fun (i, b) -> if b = Ast.Bound then Some i else None)
+
+let vids_of_terms terms =
+  List.concat_map Term.vars terms |> List.map (fun (v : Term.var) -> v.Term.vid)
+
+let term_bound bound t = List.for_all (fun v -> Hashtbl.mem bound v) (vids_of_terms [ t ])
+
+let all_free n = Array.make n Ast.Free
+
+(* Max-bound sideways information passing: greedily schedule next the
+   positive literal whose arguments are most bound under the current
+   bindings.  Builtins and negated literals stay anchored behind every
+   literal that originally preceded them (their safety was checked in
+   the written order). *)
+let reorder_body ~sip ~initially_bound body =
+  match (sip : Ast.sip) with
+  | Ast.Left_to_right -> body
+  | Ast.Max_bound ->
+    let indexed = List.mapi (fun i lit -> i, lit) body in
+    let anchored (_, lit) =
+      match (lit : Ast.literal) with
+      | Ast.Pos _ -> false
+      | Ast.Neg _ | Ast.Cmp _ | Ast.Is _ -> true
+    in
+    let bound : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace bound v ()) initially_bound;
+    let literal_vids lit = vids_of_terms (Ast.literal_terms lit) in
+    let bound_score (_, lit) =
+      match (lit : Ast.literal) with
+      | Ast.Pos a ->
+        Array.fold_left
+          (fun acc arg -> if term_bound bound arg then acc + 1 else acc)
+          0 a.Ast.args
+      | _ -> 0
+    in
+    let scheduled = ref [] in
+    let remaining = ref indexed in
+    let taken : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    while !remaining <> [] do
+      (* an anchored literal is eligible once everything originally
+         before it has been scheduled *)
+      let eligible =
+        List.filter
+          (fun (i, lit) ->
+            if anchored (i, lit) then
+              List.for_all (fun (j, _) -> j >= i || Hashtbl.mem taken j) indexed
+            else true)
+          !remaining
+      in
+      let pick =
+        match List.filter anchored eligible with
+        | a :: _ -> a (* flush due builtins/negations first *)
+        | [] ->
+          List.fold_left
+            (fun best cand ->
+              match best with
+              | None -> Some cand
+              | Some b -> if bound_score cand > bound_score b then Some cand else best)
+            None eligible
+          |> Option.get
+      in
+      let i, lit = pick in
+      Hashtbl.replace taken i ();
+      scheduled := lit :: !scheduled;
+      List.iter (fun v -> Hashtbl.replace bound v ()) (literal_vids lit);
+      remaining := List.filter (fun (j, _) -> j <> i) !remaining
+    done;
+    List.rev !scheduled
+
+let adorn ?(bind_negated = false) ?(bind_aggregates = false) ?(sip = Ast.Left_to_right) rules
+    ~query ~adorn:query_adorn =
+  let defined : Ast.rule list Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      let p = r.Ast.head.Ast.hpred in
+      Symbol.Tbl.replace defined p
+        (Option.value ~default:[] (Symbol.Tbl.find_opt defined p) @ [ r ]))
+    rules;
+  if not (Symbol.Tbl.mem defined query) then
+    invalid_arg
+      (Printf.sprintf "adorn: queried predicate %s has no rules" (Symbol.name query));
+  (* Predicates whose rules aggregate cannot receive pushed bindings:
+     the whole group must be computed. *)
+  let aggregating : unit Symbol.Tbl.t = Symbol.Tbl.create 8 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      if not (Ast.head_is_plain r.Ast.head) then
+        Symbol.Tbl.replace aggregating r.Ast.head.Ast.hpred ())
+    rules;
+  let origin : (Symbol.t * Ast.adornment) Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  let produced : Ast.rule list ref = ref [] in
+  let seen : unit Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  let worklist = Queue.create () in
+  let request pred ad =
+    if Symbol.Tbl.mem defined pred then begin
+      let effective =
+        if Symbol.Tbl.mem aggregating pred && not bind_aggregates then
+          all_free (Array.length ad)
+        else ad
+      in
+      let name = adorned_name pred effective in
+      if not (Symbol.Tbl.mem seen name) then begin
+        Symbol.Tbl.replace seen name ();
+        Symbol.Tbl.replace origin name (pred, effective);
+        Queue.add (pred, effective) worklist
+      end;
+      name
+    end
+    else pred (* base predicate: unchanged *)
+  in
+  let adorn_rule pred ad (r : Ast.rule) =
+    (* initial bound set: variables in head arguments at bound positions *)
+    let bound : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let head_args = (Ast.atom_of_head r.Ast.head).Ast.args in
+    Array.iteri
+      (fun i arg ->
+        if i < Array.length ad && ad.(i) = Ast.Bound then
+          List.iter (fun v -> Hashtbl.replace bound v ()) (vids_of_terms [ arg ]))
+      head_args;
+    let adorn_literal lit =
+      match (lit : Ast.literal) with
+      | Ast.Pos a ->
+        let lit_ad =
+          Array.map (fun arg -> if term_bound bound arg then Ast.Bound else Ast.Free) a.Ast.args
+        in
+        let name = request a.Ast.pred lit_ad in
+        List.iter (fun v -> Hashtbl.replace bound v ()) (vids_of_terms (Array.to_list a.Ast.args));
+        Ast.Pos { a with Ast.pred = name }
+      | Ast.Neg a ->
+        (* binds nothing; bindings are pushed in only under Ordered
+           Search, otherwise the negated predicate is computed in full *)
+        let lit_ad =
+          if bind_negated then
+            Array.map
+              (fun arg -> if term_bound bound arg then Ast.Bound else Ast.Free)
+              a.Ast.args
+          else all_free (Array.length a.Ast.args)
+        in
+        let name = request a.Ast.pred lit_ad in
+        Ast.Neg { a with Ast.pred = name }
+      | Ast.Cmp _ as l -> l
+      | Ast.Is (t1, t2) as l ->
+        List.iter (fun v -> Hashtbl.replace bound v ()) (vids_of_terms [ t1; t2 ]);
+        l
+    in
+    let initially_bound = Hashtbl.fold (fun v () acc -> v :: acc) bound [] in
+    let body =
+      List.map adorn_literal (reorder_body ~sip ~initially_bound r.Ast.body)
+    in
+    let head = { r.Ast.head with Ast.hpred = adorned_name pred ad } in
+    { Ast.head; body }
+  in
+  let query_arity =
+    match Symbol.Tbl.find defined query with
+    | { Ast.head; _ } :: _ -> Array.length head.Ast.hargs
+    | [] -> assert false
+  in
+  if Array.length query_adorn <> query_arity then
+    invalid_arg
+      (Printf.sprintf "adorn: adornment arity %d but %s has arity %d"
+         (Array.length query_adorn) (Symbol.name query) query_arity);
+  let query_pred = request query query_adorn in
+  while not (Queue.is_empty worklist) do
+    let pred, ad = Queue.pop worklist in
+    let defs = Symbol.Tbl.find defined pred in
+    List.iter (fun r -> produced := adorn_rule pred ad r :: !produced) defs
+  done;
+  { arules = List.rev !produced; query_pred; origin }

@@ -1,0 +1,46 @@
+(** Program adornment for a query form (paper section 4.1).
+
+    Given a query form (which argument positions of the queried
+    predicate arrive bound), specialize every derived predicate per
+    binding pattern, propagating bindings through rule bodies with the
+    default left-to-right sideways information passing.  Adorned
+    predicates are renamed [p#bf]-style (['#'] cannot appear in source
+    identifiers, so no clash with user predicates).
+
+    Bindings are not propagated into negated literals or into
+    predicates defined by aggregate rules: those are adorned all-free
+    and computed in full, which keeps stratified evaluation sound. *)
+
+open Coral_term
+open Coral_lang
+
+type t = {
+  arules : Ast.rule list;  (** adorned rules *)
+  query_pred : Symbol.t;  (** adorned name of the queried predicate *)
+  origin : (Symbol.t * Ast.adornment) Symbol.Tbl.t;
+      (** adorned predicate -> (original predicate, adornment) *)
+}
+
+val adorned_name : Symbol.t -> Ast.adornment -> Symbol.t
+
+val adorn :
+  ?bind_negated:bool ->
+  ?bind_aggregates:bool ->
+  ?sip:Ast.sip ->
+  Ast.rule list ->
+  query:Symbol.t ->
+  adorn:Ast.adornment ->
+  t
+(** [bind_negated] and [bind_aggregates] (both default false) push
+    bindings into negated literals and aggregate-defining predicates:
+    sound only under Ordered Search, whose [done] guards re-establish
+    completeness before negation/grouping is evaluated (paper section
+    5.4.1).  [sip] selects the sideways information passing strategy:
+    [Left_to_right] (CORAL's default) keeps rule bodies in written
+    order; [Max_bound] greedily reorders positive literals to maximize
+    bound argument positions — both adornment and the evaluation's join
+    order follow the chosen order (sections 4.1, 4.2).
+    @raise Invalid_argument if the queried predicate has no rules or the
+    adornment arity mismatches its rules. *)
+
+val bound_positions : Ast.adornment -> int list

@@ -1,0 +1,139 @@
+open Coral_term
+open Coral_lang
+
+(* A position of a derived predicate is *needed* when some call site
+   passes a non-variable there, or a variable that is used elsewhere in
+   its rule (other literals, another position of the same literal, or a
+   live head position).  The analysis runs to fixpoint because head
+   liveness feeds call-site liveness. *)
+
+let vids terms =
+  List.concat_map Term.vars terms |> List.map (fun (v : Term.var) -> v.Term.vid)
+
+let count_occurrences vid terms =
+  List.concat_map Term.vars terms
+  |> List.filter (fun (v : Term.var) -> v.Term.vid = vid)
+  |> List.length
+
+let rewrite ~keep rules =
+  let defined : unit Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  let arity : int Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      Symbol.Tbl.replace defined r.Ast.head.Ast.hpred ();
+      Symbol.Tbl.replace arity r.Ast.head.Ast.hpred (Array.length r.Ast.head.Ast.hargs))
+    rules;
+  (* aggregate-head predicates keep everything *)
+  let frozen : unit Symbol.Tbl.t = Symbol.Tbl.create 8 in
+  List.iter (fun p -> Symbol.Tbl.replace frozen p ()) keep;
+  List.iter
+    (fun (r : Ast.rule) ->
+      if not (Ast.head_is_plain r.Ast.head) then
+        Symbol.Tbl.replace frozen r.Ast.head.Ast.hpred ())
+    rules;
+  (* needed.(pred) = bool array per position *)
+  let needed : bool array Symbol.Tbl.t = Symbol.Tbl.create 32 in
+  Symbol.Tbl.iter
+    (fun p () ->
+      let n = Symbol.Tbl.find arity p in
+      let init = Symbol.Tbl.mem frozen p in
+      Symbol.Tbl.replace needed p (Array.make n init))
+    defined;
+  let changed = ref true in
+  let mark pred i =
+    match Symbol.Tbl.find_opt needed pred with
+    | Some arr when i < Array.length arr && not arr.(i) ->
+      arr.(i) <- true;
+      changed := true
+    | _ -> ()
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Ast.rule) ->
+        let head_atom = Ast.atom_of_head r.Ast.head in
+        let head_needed =
+          match Symbol.Tbl.find_opt needed head_atom.Ast.pred with
+          | Some arr -> arr
+          | None -> Array.make (Array.length head_atom.Ast.args) true
+        in
+        (* live variables: used in a needed head position *)
+        let live_head_vids =
+          Array.to_list head_atom.Ast.args
+          |> List.mapi (fun i t -> if head_needed.(i) then vids [ t ] else [])
+          |> List.concat
+        in
+        let all_rule_terms = Ast.rule_terms r in
+        let literal_needed (a : Ast.atom) =
+          Array.iteri
+            (fun i arg ->
+              let necessary =
+                match arg with
+                | Term.Var v ->
+                  (* needed if used elsewhere in the rule or live in the head *)
+                  count_occurrences v.Term.vid all_rule_terms > 1
+                  || List.mem v.Term.vid live_head_vids
+                | Term.Const _ | Term.App _ -> true
+              in
+              if necessary then mark a.Ast.pred i)
+            a.Ast.args
+        in
+        List.iter
+          (fun lit ->
+            match (lit : Ast.literal) with
+            | Ast.Pos a | Ast.Neg a -> if Symbol.Tbl.mem defined a.Ast.pred then literal_needed a
+            | Ast.Cmp _ | Ast.Is _ -> ())
+          r.Ast.body)
+      rules
+  done;
+  (* project *)
+  let dropped = ref 0 in
+  let projected_name : Symbol.t Symbol.Tbl.t = Symbol.Tbl.create 16 in
+  Symbol.Tbl.iter
+    (fun p arr ->
+      let drop = Array.exists (fun b -> not b) arr in
+      if drop then begin
+        let kept = Array.to_list arr |> List.filteri (fun _ b -> b) |> List.length in
+        dropped := !dropped + (Array.length arr - kept);
+        Symbol.Tbl.replace projected_name p
+          (Symbol.intern
+             (Printf.sprintf "%s#ex%s" (Symbol.name p)
+                (String.concat ""
+                   (Array.to_list arr |> List.map (fun b -> if b then "1" else "0")))))
+      end)
+    needed;
+  if !dropped = 0 then rules, 0
+  else begin
+    let project_atom (a : Ast.atom) =
+      match Symbol.Tbl.find_opt projected_name a.Ast.pred with
+      | None -> a
+      | Some name ->
+        let keep_mask = Symbol.Tbl.find needed a.Ast.pred in
+        let args =
+          Array.to_list a.Ast.args
+          |> List.filteri (fun i _ -> keep_mask.(i))
+          |> Array.of_list
+        in
+        { Ast.pred = name; args }
+    in
+    let project_rule (r : Ast.rule) =
+      (* aggregate-head predicates are frozen, so a projected head is
+         always plain; unprojected heads keep their structure *)
+      let head =
+        if Symbol.Tbl.mem projected_name r.Ast.head.Ast.hpred then
+          Ast.head_of_atom (project_atom (Ast.atom_of_head r.Ast.head))
+        else r.Ast.head
+      in
+      let body =
+        List.map
+          (fun lit ->
+            match (lit : Ast.literal) with
+            | Ast.Pos a -> Ast.Pos (project_atom a)
+            | Ast.Neg a -> Ast.Neg (project_atom a)
+            | (Ast.Cmp _ | Ast.Is _) as l -> l)
+          r.Ast.body
+      in
+      { Ast.head; body }
+    in
+    List.map project_rule rules, !dropped
+  end

@@ -1,0 +1,23 @@
+(** Existential query rewriting: projection pushing (Ramakrishnan,
+    Beeri, Krishnamurthy '88; paper section 4.1).
+
+    Argument positions of derived predicates whose values are never
+    used — they are don't-care variables at every call site and are not
+    needed to produce any live head value — are dropped.  Duplicate
+    elimination then collapses answers that differ only in the dropped
+    columns, so the fixpoint does proportionally less work.  CORAL
+    applies this by default after a selection-pushing rewriting, where
+    the supplementary predicates are prime candidates.
+
+    Negated literals are safe to project: [not p(X, _)] means
+    "no instance exists", which is exactly [not p'(X)] for the
+    projected [p'].  Predicates defined by aggregate heads are never
+    projected (their columns carry group/aggregate meaning), and
+    predicates in [keep] (answer, seed) keep their full arity. *)
+
+open Coral_term
+open Coral_lang
+
+val rewrite : keep:Symbol.t list -> Ast.rule list -> Ast.rule list * int
+(** Returns the rewritten rules and the number of columns dropped
+    (0 means the program came back unchanged). *)

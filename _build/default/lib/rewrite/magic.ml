@@ -1,0 +1,75 @@
+open Coral_term
+open Coral_lang
+
+type result = {
+  mrules : Ast.rule list;
+  answer_pred : Symbol.t;
+  seed_pred : Symbol.t;
+  seed_positions : int list;
+  goal_id : bool;
+}
+
+let magic_name apred = Symbol.intern ("m#" ^ Symbol.name apred)
+let goal_wrapper apred = Symbol.intern ("$goal#" ^ Symbol.name apred)
+
+let bound_args origin (a : Ast.atom) =
+  match Symbol.Tbl.find_opt origin a.Ast.pred with
+  | None -> None
+  | Some (_, ad) ->
+    Some
+      (Array.to_list a.Ast.args
+      |> List.filteri (fun i _ -> i < Array.length ad && ad.(i) = Ast.Bound)
+      |> Array.of_list)
+
+(* The magic literal for an adorned atom: either m#p(bound args) or, in
+   the goal-id variant, m#p($goal#p(bound args)). *)
+let magic_atom ~goal_id origin (a : Ast.atom) =
+  match bound_args origin a with
+  | None -> None
+  | Some bargs ->
+    let args = if goal_id then [| Term.app (goal_wrapper a.Ast.pred) bargs |] else bargs in
+    Some { Ast.pred = magic_name a.Ast.pred; args }
+
+let rewrite_gen ~goal_id (adorned : Adorn.t) =
+  let origin = adorned.Adorn.origin in
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  List.iter
+    (fun (r : Ast.rule) ->
+      let head_atom = Ast.atom_of_head r.Ast.head in
+      let guard =
+        match magic_atom ~goal_id origin head_atom with
+        | Some g -> Ast.Pos g
+        | None -> assert false (* every rewritten rule head is adorned *)
+      in
+      (* guarded original rule *)
+      emit { r with Ast.body = guard :: r.Ast.body };
+      (* magic rules: one per derived body literal, from the prefix *)
+      let rec walk prefix_rev = function
+        | [] -> ()
+        | lit :: rest ->
+          (match (lit : Ast.literal) with
+          | Ast.Pos a | Ast.Neg a -> begin
+            match magic_atom ~goal_id origin a with
+            | Some magic ->
+              emit
+                { Ast.head = Ast.head_of_atom magic;
+                  body = guard :: List.rev prefix_rev
+                }
+            | None -> ()
+          end
+          | Ast.Cmp _ | Ast.Is _ -> ());
+          walk (lit :: prefix_rev) rest
+      in
+      walk [] r.Ast.body)
+    adorned.Adorn.arules;
+  let _, query_ad = Symbol.Tbl.find origin adorned.Adorn.query_pred in
+  { mrules = List.rev !out;
+    answer_pred = adorned.Adorn.query_pred;
+    seed_pred = magic_name adorned.Adorn.query_pred;
+    seed_positions = Adorn.bound_positions query_ad;
+    goal_id
+  }
+
+let rewrite adorned = rewrite_gen ~goal_id:false adorned
+let rewrite_goal_id adorned = rewrite_gen ~goal_id:true adorned

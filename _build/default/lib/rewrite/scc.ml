@@ -1,0 +1,129 @@
+open Coral_term
+open Coral_lang
+
+type t = {
+  sccs : Symbol.Set.t array;
+  pred_scc : int Symbol.Map.t;
+  recursive : bool array;
+  nonstratified : (Symbol.t * Symbol.t) list;
+}
+
+(* Edges: head -> body predicate, flagged when the dependency goes
+   through negation or the head aggregates (those must cross strata). *)
+type edge = { src : Symbol.t; dst : Symbol.t; negated : bool }
+
+let edges_of_rules rules =
+  List.concat_map
+    (fun (r : Ast.rule) ->
+      let src = r.Ast.head.Ast.hpred in
+      let head_aggregates = not (Ast.head_is_plain r.Ast.head) in
+      List.filter_map
+        (fun lit ->
+          match (lit : Ast.literal) with
+          | Ast.Pos a -> Some { src; dst = a.Ast.pred; negated = head_aggregates }
+          | Ast.Neg a -> Some { src; dst = a.Ast.pred; negated = true }
+          | Ast.Cmp _ | Ast.Is _ -> None)
+        r.Ast.body)
+    rules
+
+let analyze rules =
+  let edges = edges_of_rules rules in
+  let nodes =
+    List.fold_left
+      (fun acc e -> Symbol.Set.add e.src (Symbol.Set.add e.dst acc))
+      (List.fold_left
+         (fun acc (r : Ast.rule) -> Symbol.Set.add r.Ast.head.Ast.hpred acc)
+         Symbol.Set.empty rules)
+      edges
+  in
+  let succs : Symbol.t list Symbol.Tbl.t = Symbol.Tbl.create 64 in
+  List.iter
+    (fun e ->
+      let cur = Option.value ~default:[] (Symbol.Tbl.find_opt succs e.src) in
+      Symbol.Tbl.replace succs e.src (e.dst :: cur))
+    edges;
+  (* Tarjan's algorithm (iterative enough for our depths: recursion on
+     predicate count, which is small). *)
+  let index : int Symbol.Tbl.t = Symbol.Tbl.create 64 in
+  let lowlink : int Symbol.Tbl.t = Symbol.Tbl.create 64 in
+  let on_stack : unit Symbol.Tbl.t = Symbol.Tbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Symbol.Tbl.replace index v !counter;
+    Symbol.Tbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Symbol.Tbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Symbol.Tbl.mem index w) then begin
+          strongconnect w;
+          let lv = Symbol.Tbl.find lowlink v and lw = Symbol.Tbl.find lowlink w in
+          if lw < lv then Symbol.Tbl.replace lowlink v lw
+        end
+        else if Symbol.Tbl.mem on_stack w then begin
+          let lv = Symbol.Tbl.find lowlink v and iw = Symbol.Tbl.find index w in
+          if iw < lv then Symbol.Tbl.replace lowlink v iw
+        end)
+      (Option.value ~default:[] (Symbol.Tbl.find_opt succs v));
+    if Symbol.Tbl.find lowlink v = Symbol.Tbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          Symbol.Tbl.remove on_stack w;
+          let acc = Symbol.Set.add w acc in
+          if Symbol.equal w v then acc else pop acc
+        | [] -> acc
+      in
+      components := pop Symbol.Set.empty :: !components
+    end
+  in
+  Symbol.Set.iter (fun v -> if not (Symbol.Tbl.mem index v) then strongconnect v) nodes;
+  (* Tarjan emits a component only after everything it depends on has
+     been emitted (edges run head -> body), i.e. callees first; we
+     prepended, so reverse to recover that order. *)
+  let sccs = Array.of_list (List.rev !components) in
+  let pred_scc =
+    Array.to_list sccs
+    |> List.mapi (fun i set -> Symbol.Set.fold (fun s acc -> (s, i) :: acc) set [])
+    |> List.concat
+    |> List.fold_left (fun m (s, i) -> Symbol.Map.add s i m) Symbol.Map.empty
+  in
+  let self_loop =
+    List.fold_left
+      (fun acc e -> if Symbol.equal e.src e.dst then Symbol.Set.add e.src acc else acc)
+      Symbol.Set.empty edges
+  in
+  let recursive =
+    Array.map
+      (fun set ->
+        Symbol.Set.cardinal set > 1
+        || Symbol.Set.exists (fun s -> Symbol.Set.mem s self_loop) set)
+      sccs
+  in
+  let nonstratified =
+    List.filter_map
+      (fun e ->
+        if
+          e.negated
+          && Symbol.Map.find_opt e.src pred_scc = Symbol.Map.find_opt e.dst pred_scc
+        then Some (e.src, e.dst)
+        else None)
+      edges
+  in
+  { sccs; pred_scc; recursive; nonstratified }
+
+let scc_of t pred =
+  match Symbol.Map.find_opt pred t.pred_scc with
+  | Some i -> i
+  | None -> -1 (* unknown predicate: treated as base, below everything *)
+
+let is_stratified t = t.nonstratified = []
+
+let recursive_preds t i = if t.recursive.(i) then t.sccs.(i) else Symbol.Set.empty
+
+let rules_of_scc t rules i =
+  List.filter (fun (r : Ast.rule) -> scc_of t r.Ast.head.Ast.hpred = i) rules

@@ -1,0 +1,37 @@
+(** Predicate dependency analysis: strongly connected components,
+    stratification, modular stratification hints.
+
+    The compiled form of a materialized module is organized around the
+    SCCs of its predicate dependency graph (paper section 5.1): an SCC
+    is a maximal set of mutually recursive predicates, and SCCs are
+    evaluated bottom-up in topological order, which is also how
+    stratified negation and aggregation get their strata. *)
+
+open Coral_term
+open Coral_lang
+
+type t = {
+  sccs : Symbol.Set.t array;  (** topological order: callees before callers *)
+  pred_scc : int Symbol.Map.t;  (** only predicates that occur in the rules *)
+  recursive : bool array;
+      (** SCC is recursive (more than one predicate, or a self-loop) *)
+  nonstratified : (Symbol.t * Symbol.t) list;
+      (** (head, dependency) pairs where a negation or aggregation edge
+          stays inside one SCC: the program is not stratified and needs
+          Ordered Search (or is rejected) *)
+}
+
+val analyze : Ast.rule list -> t
+
+val scc_of : t -> Symbol.t -> int
+(** SCC index of a predicate; base predicates (no rules, only used)
+    belong to their own leaf SCC. *)
+
+val is_stratified : t -> bool
+
+val recursive_preds : t -> int -> Symbol.Set.t
+(** The predicates of SCC [i] if it is recursive, else the empty set
+    (a non-recursive predicate's literals never need delta versions). *)
+
+val rules_of_scc : t -> Ast.rule list -> int -> Ast.rule list
+(** The rules whose head predicate belongs to SCC [i]. *)

@@ -1,0 +1,141 @@
+open Coral_term
+open Coral_lang
+
+(* Variables (as terms, deduplicated by vid, in vid order) occurring in
+   a list of terms. *)
+let var_terms_of terms =
+  let seen = Hashtbl.create 16 in
+  List.concat_map Term.vars terms
+  |> List.filter_map (fun (v : Term.var) ->
+         if Hashtbl.mem seen v.Term.vid then None
+         else begin
+           Hashtbl.add seen v.Term.vid ();
+           Some (v.Term.vid, Term.Var v)
+         end)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let vid_set terms =
+  List.concat_map Term.vars terms |> List.map (fun (v : Term.var) -> v.Term.vid)
+
+let rewrite_gen ~goal_id (adorned : Adorn.t) =
+  let origin = adorned.Adorn.origin in
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  let magic_atom (a : Ast.atom) =
+    match Magic.bound_args origin a with
+    | None -> None
+    | Some bargs ->
+      let args =
+        if goal_id then [| Term.app (Magic.goal_wrapper a.Ast.pred) bargs |] else bargs
+      in
+      Some { Ast.pred = Magic.magic_name a.Ast.pred; args }
+  in
+  List.iteri
+    (fun rule_idx (r : Ast.rule) ->
+      let head_atom = Ast.atom_of_head r.Ast.head in
+      let guard =
+        match magic_atom head_atom with Some g -> Ast.Pos g | None -> assert false
+      in
+      (* Split the body at derived positive literals. *)
+      let is_break lit =
+        match (lit : Ast.literal) with
+        | Ast.Pos a -> Symbol.Tbl.mem origin a.Ast.pred
+        | Ast.Neg _ | Ast.Cmp _ | Ast.Is _ -> false
+      in
+      let breaks = List.exists is_break r.Ast.body in
+      if not breaks then begin
+        (* no derived positive literal: same as plain magic, but still
+           seed magic predicates of negated derived literals *)
+        emit { r with Ast.body = guard :: r.Ast.body };
+        let rec walk prefix_rev = function
+          | [] -> ()
+          | (Ast.Neg a as lit) :: rest ->
+            (match magic_atom a with
+            | Some magic ->
+              emit { Ast.head = Ast.head_of_atom magic; body = guard :: List.rev prefix_rev }
+            | None -> ());
+            walk (lit :: prefix_rev) rest
+          | lit :: rest -> walk (lit :: prefix_rev) rest
+        in
+        walk [] r.Ast.body
+      end
+      else begin
+        let sup_counter = ref 0 in
+        let sup_atom vars =
+          let name =
+            Symbol.intern (Printf.sprintf "sup#%d#%d" rule_idx !sup_counter)
+          in
+          incr sup_counter;
+          { Ast.pred = name; args = Array.of_list (List.map snd vars) }
+        in
+        (* walk segments *)
+        let rec walk ~prev_lit ~prev_vids body =
+          (* emit magic rules for negated derived literals in the next
+             segment as we pass them *)
+          let rec segment seg_rev inner = function
+            | lit :: rest when not (is_break lit) ->
+              (match (lit : Ast.literal) with
+              | Ast.Neg a -> begin
+                match magic_atom a with
+                | Some magic ->
+                  emit
+                    { Ast.head = Ast.head_of_atom magic;
+                      body = prev_lit :: List.rev seg_rev
+                    }
+                | None -> ()
+              end
+              | Ast.Pos _ | Ast.Cmp _ | Ast.Is _ -> ());
+              segment (lit :: seg_rev) inner rest
+            | rest -> List.rev seg_rev, rest
+          in
+          let seg, rest = segment [] () body in
+          match rest with
+          | [] ->
+            (* final segment: derive the head *)
+            emit { Ast.head = r.Ast.head; body = prev_lit :: seg }
+          | (Ast.Pos a as break_lit) :: rest' ->
+            (* magic rule for the derived literal *)
+            (match magic_atom a with
+            | Some magic ->
+              emit { Ast.head = Ast.head_of_atom magic; body = prev_lit :: seg }
+            | None -> assert false);
+            (* supplementary rule carrying what the rest still needs *)
+            let avail =
+              prev_vids
+              @ vid_set (List.concat_map Ast.literal_terms seg)
+              @ vid_set (Array.to_list a.Ast.args)
+            in
+            let needed =
+              vid_set (List.concat_map Ast.literal_terms rest')
+              @ vid_set (Ast.head_terms r.Ast.head)
+            in
+            let sup_vars =
+              var_terms_of
+                (List.concat_map Ast.literal_terms (Ast.Pos head_atom :: r.Ast.body))
+              |> List.filter (fun (vid, _) -> List.mem vid avail && List.mem vid needed)
+            in
+            let sup = sup_atom sup_vars in
+            emit { Ast.head = Ast.head_of_atom sup; body = (prev_lit :: seg) @ [ break_lit ] };
+            walk ~prev_lit:(Ast.Pos sup)
+              ~prev_vids:(List.map fst sup_vars)
+              rest'
+          | (Ast.Neg _ | Ast.Cmp _ | Ast.Is _) :: _ -> assert false
+        in
+        let head_bound_vids =
+          match Magic.bound_args origin head_atom with
+          | Some bargs -> vid_set (Array.to_list bargs)
+          | None -> []
+        in
+        walk ~prev_lit:guard ~prev_vids:head_bound_vids r.Ast.body
+      end)
+    adorned.Adorn.arules;
+  let _, query_ad = Symbol.Tbl.find origin adorned.Adorn.query_pred in
+  { Magic.mrules = List.rev !out;
+    answer_pred = adorned.Adorn.query_pred;
+    seed_pred = Magic.magic_name adorned.Adorn.query_pred;
+    seed_positions = Adorn.bound_positions query_ad;
+    goal_id
+  }
+
+let rewrite adorned = rewrite_gen ~goal_id:false adorned
+let rewrite_goal_id adorned = rewrite_gen ~goal_id:true adorned

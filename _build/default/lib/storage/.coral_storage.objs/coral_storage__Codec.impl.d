@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Bignum Buffer Char Coral_term Int64 Printf String Term Value

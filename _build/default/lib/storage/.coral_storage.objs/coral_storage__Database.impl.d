@@ -1,0 +1,1 @@
+lib/storage/database.ml: Coral_rel Hashtbl Persistent_relation Sys

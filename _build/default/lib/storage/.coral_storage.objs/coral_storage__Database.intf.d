@@ -1,0 +1,1 @@
+lib/storage/database.mli: Buffer_pool Coral_rel Relation

@@ -1,0 +1,1 @@
+lib/storage/persistent_relation.ml: Array Btree Buffer_pool Codec Coral_rel Coral_term Disk Filename Heap_file Index List Option Page Printf Relation Seq Sys Term Tuple Unify Wal

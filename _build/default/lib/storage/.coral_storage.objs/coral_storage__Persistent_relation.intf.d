@@ -1,0 +1,1 @@
+lib/storage/persistent_relation.mli: Buffer_pool Coral_rel Relation

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Bytes Char Disk List Page Unix

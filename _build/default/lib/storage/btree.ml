@@ -1,0 +1,293 @@
+(* Node layout:
+     [0]     1 = leaf, 0 = internal
+     [1..2]  number of entries (u16)
+     [3..6]  leaf: next-leaf pid (u32, 0 = none); internal: leftmost child
+     [7..]   entries, key-sorted:
+             leaf:     [klen u16][key][rid 8 bytes LE]
+             internal: [klen u16][key][child pid u32]
+   The root pointer lives in page 0 at offset 0 (u32). *)
+
+type t = { bp : Buffer_pool.t }
+
+let header = 7
+
+let get8 p o = Char.code (Bytes.get p o)
+let set8 p o v = Bytes.set p o (Char.chr (v land 0xff))
+
+let get16 p o = get8 p o lor (get8 p (o + 1) lsl 8)
+
+let set16 p o v =
+  set8 p o v;
+  set8 p (o + 1) (v lsr 8)
+
+let get32 p o = get16 p o lor (get16 p (o + 2) lsl 16)
+
+let set32 p o v =
+  set16 p o v;
+  set16 p (o + 2) (v lsr 16)
+
+let get64 p o =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor get8 p (o + i)
+  done;
+  !v
+
+let set64 p o v =
+  for i = 0 to 7 do
+    set8 p (o + i) (v lsr (8 * i))
+  done
+
+type entry = { key : string; value : int }
+(* value = rid for leaves, child pid for internal nodes *)
+
+let is_leaf p = get8 p 0 = 1
+let nentries p = get16 p 1
+let aux p = get32 p 3 (* next leaf / leftmost child *)
+
+let read_entries p =
+  let leaf = is_leaf p in
+  let n = nentries p in
+  let pos = ref header in
+  List.init n (fun _ ->
+      let klen = get16 p !pos in
+      let key = Bytes.sub_string p (!pos + 2) klen in
+      let vpos = !pos + 2 + klen in
+      if leaf then begin
+        let value = get64 p vpos in
+        pos := vpos + 8;
+        { key; value }
+      end
+      else begin
+        let value = get32 p vpos in
+        pos := vpos + 4;
+        { key; value }
+      end)
+
+let entry_size leaf e = 2 + String.length e.key + if leaf then 8 else 4
+
+let entries_size leaf entries = List.fold_left (fun acc e -> acc + entry_size leaf e) 0 entries
+
+let write_node p ~leaf ~aux:a entries =
+  Bytes.fill p 0 Page.page_size '\000';
+  set8 p 0 (if leaf then 1 else 0);
+  set16 p 1 (List.length entries);
+  set32 p 3 a;
+  let pos = ref header in
+  List.iter
+    (fun e ->
+      set16 p !pos (String.length e.key);
+      Bytes.blit_string e.key 0 p (!pos + 2) (String.length e.key);
+      let vpos = !pos + 2 + String.length e.key in
+      if leaf then begin
+        set64 p vpos e.value;
+        pos := vpos + 8
+      end
+      else begin
+        set32 p vpos e.value;
+        pos := vpos + 4
+      end)
+    entries
+
+let root_pid t =
+  Buffer_pool.with_page t.bp 0 (fun meta -> get32 meta 0, false)
+
+let set_root t pid =
+  Buffer_pool.with_page t.bp 0 (fun meta ->
+      set32 meta 0 pid;
+      (), true)
+
+let alloc_node t ~leaf ~aux:a entries =
+  let pid = Disk.alloc (Buffer_pool.disk t.bp) in
+  Buffer_pool.with_page t.bp pid (fun p ->
+      write_node p ~leaf ~aux:a entries;
+      (), true);
+  pid
+
+let create bp =
+  let t = { bp } in
+  if Disk.npages (Buffer_pool.disk bp) = 0 then begin
+    ignore (Disk.alloc (Buffer_pool.disk bp)) (* meta page *);
+    let root = alloc_node t ~leaf:true ~aux:0 [] in
+    set_root t root
+  end;
+  t
+
+(* Child to descend into: the last entry with key strictly below the
+   target, else the leftmost child.  Strict comparison lands on the
+   FIRST possible position of the key, so runs of duplicate keys are
+   found in full by following the leaf chain forward. *)
+let descend_child entries leftmost key =
+  List.fold_left (fun acc e -> if String.compare e.key key < 0 then e.value else acc)
+    leftmost entries
+
+let find_leaf t key =
+  let rec go pid path =
+    let leaf, child =
+      Buffer_pool.with_page t.bp pid (fun p ->
+          if is_leaf p then (true, 0), false
+          else (false, descend_child (read_entries p) (aux p) key), false)
+    in
+    if leaf then pid, path else go child (pid :: path)
+  in
+  go (root_pid t) []
+
+(* Insert an entry into a sorted entry list (after equal keys). *)
+let insert_sorted entries e =
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest ->
+      if String.compare x.key e.key <= 0 then x :: go rest else e :: x :: rest
+  in
+  go entries
+
+let split_entries entries =
+  let n = List.length entries in
+  let rec take i = function
+    | x :: rest when i > 0 ->
+      let l, r = take (i - 1) rest in
+      x :: l, r
+    | rest -> [], rest
+  in
+  take (n / 2) entries
+
+let insert t key rid =
+  if String.length key > (Page.page_size / 2) - 32 then
+    invalid_arg "Btree.insert: key too large for a page";
+  let leaf_pid, path = find_leaf t key in
+  (* Returns Some (separator, new right pid) when the node split. *)
+  let insert_into pid ~leaf entry =
+    Buffer_pool.with_page t.bp pid (fun p ->
+        let entries = insert_sorted (read_entries p) entry in
+        if entries_size leaf entries + header <= Page.page_size then begin
+          write_node p ~leaf ~aux:(aux p) entries;
+          None, true
+        end
+        else begin
+          let left, right = split_entries entries in
+          match right with
+          | [] -> assert false
+          | sep :: _ ->
+            let right_aux =
+              if leaf then aux p (* old next pointer moves to the right node *)
+              else sep.value (* separator's child becomes the right leftmost *)
+            in
+            let right_entries = if leaf then right else List.tl right in
+            let right_pid = alloc_node t ~leaf ~aux:right_aux right_entries in
+            write_node p ~leaf ~aux:(if leaf then right_pid else aux p) left;
+            Some ({ key = sep.key; value = right_pid }, right_pid), true
+        end)
+  in
+  let rec bubble pid path ~leaf entry =
+    match insert_into pid ~leaf entry with
+    | None -> ()
+    | Some (sep, _right_pid) -> begin
+      match path with
+      | parent :: rest -> bubble parent rest ~leaf:false sep
+      | [] ->
+        (* root split: new root with old root as leftmost child *)
+        let new_root = alloc_node t ~leaf:false ~aux:pid [ sep ] in
+        set_root t new_root
+    end
+  in
+  bubble leaf_pid path ~leaf:true { key; value = rid }
+
+let delete t key rid =
+  let leaf_pid, _ = find_leaf t key in
+  (* duplicates may spill to following leaves *)
+  let rec go pid =
+    if pid = 0 then false
+    else begin
+      let removed, keep_looking, next =
+        Buffer_pool.with_page t.bp pid (fun p ->
+            let entries = read_entries p in
+            let found = ref false in
+            let remaining =
+              List.filter
+                (fun e ->
+                  if (not !found) && String.equal e.key key && e.value = rid then begin
+                    found := true;
+                    false
+                  end
+                  else true)
+                entries
+            in
+            if !found then begin
+              write_node p ~leaf:true ~aux:(aux p) remaining;
+              (true, false, 0), true
+            end
+            else begin
+              (* keep looking while this leaf still has keys <= target *)
+              let past =
+                match List.rev entries with
+                | last :: _ -> String.compare last.key key > 0
+                | [] -> false
+              in
+              (false, not past, aux p), false
+            end)
+      in
+      if removed then true else if keep_looking then go next else false
+    end
+  in
+  go leaf_pid
+
+let iter_range t ?lo ?hi f =
+  let start_pid =
+    match lo with
+    | Some key -> fst (find_leaf t key)
+    | None ->
+      (* leftmost leaf *)
+      let rec go pid =
+        let leaf, child =
+          Buffer_pool.with_page t.bp pid (fun p ->
+              (if is_leaf p then (true, 0) else (false, aux p)), false)
+        in
+        if leaf then pid else go child
+      in
+      go (root_pid t)
+  in
+  let continue = ref true in
+  let rec walk pid =
+    if pid <> 0 && !continue then begin
+      let entries, next =
+        Buffer_pool.with_page t.bp pid (fun p -> (read_entries p, aux p), false)
+      in
+      List.iter
+        (fun e ->
+          if !continue then begin
+            let below = match lo with Some l -> String.compare e.key l < 0 | None -> false in
+            let above = match hi with Some h -> String.compare e.key h > 0 | None -> false in
+            if above then continue := false
+            else if not below then begin
+              if not (f e.key e.value) then continue := false
+            end
+          end)
+        entries;
+      if !continue then walk next
+    end
+  in
+  walk start_pid
+
+let find_all t key =
+  let acc = ref [] in
+  iter_range t ~lo:key ~hi:key (fun _ rid ->
+      acc := rid :: !acc;
+      true);
+  List.rev !acc
+
+let cardinal t =
+  let n = ref 0 in
+  iter_range t (fun _ _ ->
+      incr n;
+      true);
+  !n
+
+let height t =
+  let rec go pid acc =
+    let leaf, child =
+      Buffer_pool.with_page t.bp pid (fun p ->
+          (if is_leaf p then (true, 0) else (false, aux p)), false)
+    in
+    if leaf then acc else go child (acc + 1)
+  in
+  go (root_pid t) 1

@@ -1,0 +1,28 @@
+(** Disk-resident B+-trees over the buffer pool.
+
+    CORAL used the EXODUS storage manager's B-tree indexes for
+    persistent relations; this is that component.  Keys are byte
+    strings (see {!Codec.encode_key} for the order-preserving encoding
+    of primitive values), values are heap-file RIDs.  Duplicate keys
+    are allowed (secondary indexes).  Leaves are chained for range
+    scans.  Deletion is by exact (key, rid) pair and does not rebalance
+    (space is reclaimed on rebuild), the classic lazy scheme. *)
+
+type t
+
+val create : Buffer_pool.t -> t
+(** Open the tree stored in the pooled file (the root pointer lives in
+    page 0; a fresh file is formatted with an empty root leaf). *)
+
+val insert : t -> string -> Heap_file.rid -> unit
+val delete : t -> string -> Heap_file.rid -> bool
+
+val find_all : t -> string -> Heap_file.rid list
+(** All RIDs stored under exactly this key. *)
+
+val iter_range : t -> ?lo:string -> ?hi:string -> (string -> Heap_file.rid -> bool) -> unit
+(** In-order traversal of keys in [\[lo, hi\]] (inclusive; whole tree by
+    default); stop early by returning false. *)
+
+val cardinal : t -> int
+val height : t -> int

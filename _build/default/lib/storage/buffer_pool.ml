@@ -1,0 +1,118 @@
+type frame = {
+  buf : Bytes.t;
+  mutable pid : int;  (* -1 = empty *)
+  mutable pin : int;
+  mutable dirty : bool;
+  mutable referenced : bool;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+type t = {
+  dsk : Disk.t;
+  frames : frame array;
+  table : (int, int) Hashtbl.t;  (* pid -> frame index *)
+  mutable hand : int;
+  st : stats;
+}
+
+let create ?(frames = 64) dsk =
+  { dsk;
+    frames =
+      Array.init frames (fun _ ->
+          { buf = Bytes.make Page.page_size '\000';
+            pid = -1;
+            pin = 0;
+            dirty = false;
+            referenced = false
+          });
+    table = Hashtbl.create (2 * frames);
+    hand = 0;
+    st = { hits = 0; misses = 0; evictions = 0; writebacks = 0 }
+  }
+
+let writeback t f =
+  if f.dirty then begin
+    Disk.write t.dsk f.pid f.buf;
+    t.st.writebacks <- t.st.writebacks + 1;
+    f.dirty <- false
+  end
+
+(* Clock replacement over unpinned frames. *)
+let victim t =
+  let n = Array.length t.frames in
+  let rec go attempts =
+    if attempts > 2 * n then failwith "Buffer_pool.get: all frames pinned";
+    let f = t.frames.(t.hand) in
+    t.hand <- (t.hand + 1) mod n;
+    if f.pin > 0 then go (attempts + 1)
+    else if f.referenced then begin
+      f.referenced <- false;
+      go (attempts + 1)
+    end
+    else f
+  in
+  go 0
+
+let get t pid =
+  match Hashtbl.find_opt t.table pid with
+  | Some idx ->
+    let f = t.frames.(idx) in
+    f.pin <- f.pin + 1;
+    f.referenced <- true;
+    t.st.hits <- t.st.hits + 1;
+    f.buf
+  | None ->
+    t.st.misses <- t.st.misses + 1;
+    let f = victim t in
+    if f.pid >= 0 then begin
+      writeback t f;
+      Hashtbl.remove t.table f.pid;
+      t.st.evictions <- t.st.evictions + 1
+    end;
+    Disk.read t.dsk pid f.buf;
+    f.pid <- pid;
+    f.pin <- 1;
+    f.dirty <- false;
+    f.referenced <- true;
+    let idx =
+      let found = ref (-1) in
+      Array.iteri (fun i fr -> if fr == f then found := i) t.frames;
+      !found
+    in
+    Hashtbl.add t.table pid idx;
+    f.buf
+
+let unpin t pid ~dirty =
+  match Hashtbl.find_opt t.table pid with
+  | Some idx ->
+    let f = t.frames.(idx) in
+    f.pin <- max 0 (f.pin - 1);
+    if dirty then f.dirty <- true
+  | None -> ()
+
+let with_page t pid f =
+  let buf = get t pid in
+  match f buf with
+  | result, dirty ->
+    unpin t pid ~dirty;
+    result
+  | exception e ->
+    unpin t pid ~dirty:false;
+    raise e
+
+let flush t =
+  Array.iter (fun f -> if f.pid >= 0 then writeback t f) t.frames;
+  Disk.sync t.dsk
+
+let dirty_pages t =
+  Array.to_list t.frames
+  |> List.filter_map (fun f -> if f.pid >= 0 && f.dirty then Some (f.pid, f.buf) else None)
+
+let stats t = t.st
+let disk t = t.dsk

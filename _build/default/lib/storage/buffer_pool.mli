@@ -1,0 +1,39 @@
+(** A bounded buffer pool with clock replacement.
+
+    CORAL accessed persistent data "purely out of pages in the EXODUS
+    buffer pool"; this is that component.  Frames hold page images;
+    [get] pins a page (faulting it in, possibly evicting an unpinned
+    frame and writing it back if dirty), [unpin] releases it and records
+    whether it was modified.  Statistics feed the I/O benchmarks. *)
+
+type t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+val create : ?frames:int -> Disk.t -> t
+(** Default 64 frames (512 KiB). *)
+
+val get : t -> int -> Bytes.t
+(** Pin page [pid] and return its frame image.  The bytes are shared:
+    mutate them only between [get] and [unpin ~dirty:true].
+    @raise Failure when every frame is pinned. *)
+
+val unpin : t -> int -> dirty:bool -> unit
+
+val with_page : t -> int -> (Bytes.t -> 'a * bool) -> 'a
+(** [with_page pool pid f] pins, applies [f] (returning the result and
+    whether the page was modified), and unpins. *)
+
+val flush : t -> unit
+(** Write every dirty frame back and sync the device. *)
+
+val dirty_pages : t -> (int * Bytes.t) list
+(** Currently dirty (pid, image) pairs — the WAL logs these at commit. *)
+
+val stats : t -> stats
+val disk : t -> Disk.t

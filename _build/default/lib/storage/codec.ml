@@ -1,0 +1,129 @@
+open Coral_term
+
+exception Unstorable of string
+
+let put16 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff))
+
+let put64 b v =
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let put_i64 b v =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done
+
+let get16 s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+
+let get64 s off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let get_i64 s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let encode_value b (v : Value.t) =
+  match v with
+  | Value.Int i ->
+    Buffer.add_char b 'i';
+    put64 b i
+  | Value.Double f ->
+    Buffer.add_char b 'd';
+    put_i64 b (Int64.bits_of_float f)
+  | Value.Str s ->
+    if String.length s > 0xffff then raise (Unstorable "string field too long");
+    Buffer.add_char b 's';
+    put16 b (String.length s);
+    Buffer.add_string b s
+  | Value.Big n ->
+    let s = Bignum.to_string n in
+    Buffer.add_char b 'b';
+    put16 b (String.length s);
+    Buffer.add_string b s
+  | Value.Opaque (ops, _) ->
+    raise (Unstorable (Printf.sprintf "abstract type %s is not persistent" ops.Value.o_name))
+
+let encode terms =
+  let b = Buffer.create 32 in
+  put16 b (Array.length terms);
+  Array.iter
+    (fun t ->
+      match (t : Term.t) with
+      | Term.Const v -> encode_value b v
+      | Term.Var _ -> raise (Unstorable "variables cannot be stored persistently")
+      | Term.App _ -> raise (Unstorable "functor terms cannot be stored persistently"))
+    terms;
+  Buffer.contents b
+
+let decode s =
+  let pos = ref 2 in
+  let n = get16 s 0 in
+  Array.init n (fun _ ->
+      let tag = s.[!pos] in
+      incr pos;
+      match tag with
+      | 'i' ->
+        let v = get64 s !pos in
+        pos := !pos + 8;
+        Term.int v
+      | 'd' ->
+        let bits = get_i64 s !pos in
+        pos := !pos + 8;
+        Term.double (Int64.float_of_bits bits)
+      | 's' ->
+        let len = get16 s !pos in
+        let v = String.sub s (!pos + 2) len in
+        pos := !pos + 2 + len;
+        Term.str v
+      | 'b' ->
+        let len = get16 s !pos in
+        let v = String.sub s (!pos + 2) len in
+        pos := !pos + 2 + len;
+        Term.big (Bignum.of_string v)
+      | c -> raise (Unstorable (Printf.sprintf "bad field tag %C" c)))
+
+let storable terms =
+  Array.for_all (fun t -> match (t : Term.t) with Term.Const _ -> true | _ -> false) terms
+
+(* Order-preserving within a type: tag byte ranks types, then a
+   big-endian biased integer / raw string body. *)
+let encode_key t =
+  let b = Buffer.create 16 in
+  (match (t : Term.t) with
+  | Term.Const (Value.Int i) ->
+    Buffer.add_char b '\001';
+    (* bias so that byte order = numeric order *)
+    let biased = i lxor min_int in
+    for k = 7 downto 0 do
+      Buffer.add_char b (Char.chr ((biased lsr (8 * k)) land 0xff))
+    done
+  | Term.Const (Value.Double f) ->
+    Buffer.add_char b '\002';
+    let bits = Int64.bits_of_float f in
+    let biased =
+      if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int else Int64.lognot bits
+    in
+    for k = 7 downto 0 do
+      Buffer.add_char b
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical biased (8 * k)) 0xffL)))
+    done
+  | Term.Const (Value.Str s) ->
+    Buffer.add_char b '\003';
+    Buffer.add_string b s
+  | Term.Const (Value.Big n) ->
+    Buffer.add_char b '\004';
+    Buffer.add_string b (Bignum.to_string n)
+  | Term.Const (Value.Opaque _) | Term.Var _ | Term.App _ ->
+    raise (Unstorable "non-primitive key"));
+  Buffer.contents b

@@ -1,0 +1,23 @@
+(** Binary encoding of primitive-typed tuples into page records.
+
+    Persistent relations are "restricted to have fields of primitive
+    types only" (paper section 3.2); such data is stored on disk in its
+    machine representation.  Ints are 8-byte little-endian, doubles are
+    IEEE-754 bits, strings and bignums are length-prefixed. *)
+
+open Coral_term
+
+exception Unstorable of string
+
+val encode : Term.t array -> string
+(** @raise Unstorable on variables or functor terms. *)
+
+val decode : string -> Term.t array
+(** @raise Unstorable on corrupt input. *)
+
+val storable : Term.t array -> bool
+
+val encode_key : Term.t -> string
+(** Order-preserving encoding of one primitive constant for B-tree keys:
+    byte comparison of encodings agrees with {!Value.compare} within a
+    type (ints with ints, strings with strings). *)

@@ -1,0 +1,32 @@
+open Coral_rel
+
+type t = {
+  dir : string;
+  pool_frames : int;
+  handles : (string, Persistent_relation.handle) Hashtbl.t;
+}
+
+let open_ ?(pool_frames = 64) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  { dir; pool_frames; handles = Hashtbl.create 8 }
+
+let relation t ?(indexes = []) ~name ~arity () =
+  match Hashtbl.find_opt t.handles name with
+  | Some h -> Persistent_relation.relation h
+  | None ->
+    let h =
+      Persistent_relation.open_ ~pool_frames:t.pool_frames ~indexes ~dir:t.dir ~name ~arity ()
+    in
+    Hashtbl.add t.handles name h;
+    Persistent_relation.relation h
+
+let commit t = Hashtbl.iter (fun _ h -> Persistent_relation.commit h) t.handles
+
+let close t =
+  Hashtbl.iter (fun _ h -> Persistent_relation.close h) t.handles;
+  Hashtbl.reset t.handles
+
+let io_stats t =
+  Hashtbl.fold (fun _ h acc -> Persistent_relation.io_stats h @ acc) t.handles []
+
+let relations t = Hashtbl.fold (fun name _ acc -> name :: acc) t.handles []

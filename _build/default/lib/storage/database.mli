@@ -1,0 +1,30 @@
+(** A persistent database: a directory of persistent relations with one
+    commit point.
+
+    This is the closest analogue of a CORAL process's view of an EXODUS
+    volume: named relations, opened on demand, all durable together.
+    [commit] logs and flushes every open relation (redo-log first, then
+    write-back, then checkpoint — see {!Wal}); [close] commits and
+    releases the file handles.  Transaction boundaries are per relation
+    file, as documented in DESIGN.md. *)
+
+open Coral_rel
+
+type t
+
+val open_ : ?pool_frames:int -> string -> t
+(** Open (creating if needed) the database directory. *)
+
+val relation : t -> ?indexes:int list -> name:string -> arity:int -> unit -> Relation.t
+(** The named persistent relation, opened (with recovery) on first use.
+    Repeated calls return the same relation; [indexes] applies on the
+    first open only. *)
+
+val commit : t -> unit
+val close : t -> unit
+
+val io_stats : t -> (string * Buffer_pool.stats) list
+(** Buffer-pool statistics of every file of every open relation. *)
+
+val relations : t -> string list
+(** Names of the currently open relations. *)

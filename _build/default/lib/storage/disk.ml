@@ -1,0 +1,53 @@
+type t = {
+  fd : Unix.file_descr;
+  fpath : string;
+  mutable count : int;
+}
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  { fd; fpath = path; count = size / Page.page_size }
+
+let npages t = t.count
+
+let really_read fd buf =
+  let rec go off =
+    if off < Bytes.length buf then begin
+      let n = Unix.read fd buf off (Bytes.length buf - off) in
+      if n = 0 then Bytes.fill buf off (Bytes.length buf - off) '\000'
+      else go (off + n)
+    end
+  in
+  go 0
+
+let really_write fd buf =
+  let rec go off =
+    if off < Bytes.length buf then begin
+      let n = Unix.write fd buf off (Bytes.length buf - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let alloc t =
+  let pid = t.count in
+  t.count <- t.count + 1;
+  ignore (Unix.lseek t.fd (pid * Page.page_size) Unix.SEEK_SET);
+  really_write t.fd (Bytes.make Page.page_size '\000');
+  pid
+
+let read t pid buf =
+  assert (Bytes.length buf = Page.page_size);
+  ignore (Unix.lseek t.fd (pid * Page.page_size) Unix.SEEK_SET);
+  really_read t.fd buf
+
+let write t pid buf =
+  assert (Bytes.length buf = Page.page_size);
+  if pid >= t.count then t.count <- pid + 1;
+  ignore (Unix.lseek t.fd (pid * Page.page_size) Unix.SEEK_SET);
+  really_write t.fd buf
+
+let sync t = Unix.fsync t.fd
+let close t = Unix.close t.fd
+let path t = t.fpath

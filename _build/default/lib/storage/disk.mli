@@ -1,0 +1,23 @@
+(** A page file on disk.
+
+    Pages are addressed by number; page 0 is reserved for the owner's
+    metadata.  All reads and writes go through the buffer pool — this
+    module is the raw device. *)
+
+type t
+
+val create : string -> t
+(** Open (creating if absent) the page file at this path. *)
+
+val npages : t -> int
+
+val alloc : t -> int
+(** Extend the file by one zeroed page; returns its page id. *)
+
+val read : t -> int -> Bytes.t -> unit
+(** Read page [pid] into the buffer (exactly {!Page.page_size} bytes). *)
+
+val write : t -> int -> Bytes.t -> unit
+val sync : t -> unit
+val close : t -> unit
+val path : t -> string

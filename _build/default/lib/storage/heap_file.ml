@@ -1,0 +1,75 @@
+type t = {
+  bp : Buffer_pool.t;
+  mutable last_page : int;  (* current fill target; 0 = none yet *)
+}
+
+type rid = int
+
+let rid_page rid = rid lsr 16
+let rid_slot rid = rid land 0xffff
+let mk_rid pid slot = (pid lsl 16) lor slot
+
+let create bp =
+  let n = Disk.npages (Buffer_pool.disk bp) in
+  { bp; last_page = (if n > 1 then n - 1 else 0) }
+
+let fresh_page t =
+  let disk = Buffer_pool.disk t.bp in
+  if Disk.npages disk = 0 then ignore (Disk.alloc disk) (* reserve the meta page *);
+  let pid = Disk.alloc disk in
+  Buffer_pool.with_page t.bp pid (fun page ->
+      Page.init page;
+      (), true);
+  t.last_page <- pid;
+  pid
+
+let insert t data =
+  if String.length data + 8 > Page.page_size - 8 then
+    invalid_arg "Heap_file.insert: record larger than a page";
+  let try_page pid =
+    Buffer_pool.with_page t.bp pid (fun page ->
+        match Page.insert page data with
+        | Some slot -> Some (mk_rid pid slot), true
+        | None -> None, false)
+  in
+  let attempt = if t.last_page >= 1 then try_page t.last_page else None in
+  match attempt with
+  | Some rid -> rid
+  | None -> begin
+    let pid = fresh_page t in
+    match try_page pid with
+    | Some rid -> rid
+    | None -> assert false
+  end
+
+let read t rid =
+  let pid = rid_page rid in
+  if pid < 1 || pid >= Disk.npages (Buffer_pool.disk t.bp) then None
+  else
+    Buffer_pool.with_page t.bp pid (fun page -> Page.read page (rid_slot rid), false)
+
+let delete t rid =
+  let pid = rid_page rid in
+  if pid < 1 || pid >= Disk.npages (Buffer_pool.disk t.bp) then false
+  else
+    Buffer_pool.with_page t.bp pid (fun page ->
+        let deleted = Page.delete page (rid_slot rid) in
+        deleted, deleted)
+
+let iter t f =
+  let n = Disk.npages (Buffer_pool.disk t.bp) in
+  for pid = 1 to n - 1 do
+    Buffer_pool.with_page t.bp pid (fun page ->
+        Page.iter page (fun slot data -> f (mk_rid pid slot) data);
+        (), false)
+  done
+
+let fold_pages t ~init ~f =
+  let n = Disk.npages (Buffer_pool.disk t.bp) in
+  let acc = ref init in
+  for pid = 1 to n - 1 do
+    acc := f !acc pid
+  done;
+  !acc
+
+let pool t = t.bp

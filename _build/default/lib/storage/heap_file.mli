@@ -1,0 +1,29 @@
+(** Heap files: unordered record storage over slotted pages.
+
+    Records are addressed by RID (page id, slot), the handle stored in
+    B-tree indexes.  Page 0 of the underlying file is reserved for the
+    owner's metadata; data pages start at 1. *)
+
+type t
+
+type rid = int
+(** Packed (page id * 2^16 + slot). *)
+
+val rid_page : rid -> int
+val rid_slot : rid -> int
+
+val create : Buffer_pool.t -> t
+(** Open the heap in the pooled file (data pages discovered from the
+    file length). *)
+
+val insert : t -> string -> rid
+val read : t -> rid -> string option
+val delete : t -> rid -> bool
+
+val iter : t -> (rid -> string -> unit) -> unit
+(** Live records in page order.  The callback must not insert. *)
+
+val fold_pages : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over data page ids (for statistics). *)
+
+val pool : t -> Buffer_pool.t

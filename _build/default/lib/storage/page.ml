@@ -1,0 +1,101 @@
+(* Layout (little-endian u16s):
+     [0..1]   number of slots (including dead ones)
+     [2..3]   free-space offset (start of unused region)
+     [4..]    record area, growing up
+     [end]    slot directory, growing down: slot i occupies the 4 bytes
+              at [page_size - 4*(i+1)]: offset u16, length u16.
+   A dead slot has offset 0 (records never start at 0). *)
+
+let page_size = 8192
+
+type t = Bytes.t
+
+type slot = int
+
+let header_size = 4
+let slot_size = 4
+
+let get16 p off = Char.code (Bytes.get p off) lor (Char.code (Bytes.get p (off + 1)) lsl 8)
+
+let set16 p off v =
+  Bytes.set p off (Char.chr (v land 0xff));
+  Bytes.set p (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let nslots p = get16 p 0
+let free_off p = get16 p 2
+let set_nslots p v = set16 p 0 v
+let set_free_off p v = set16 p 2 v
+
+let slot_dir_off i = page_size - (slot_size * (i + 1))
+let slot_offset p i = get16 p (slot_dir_off i)
+let slot_length p i = get16 p (slot_dir_off i + 2)
+
+let set_slot p i ~off ~len =
+  set16 p (slot_dir_off i) off;
+  set16 p (slot_dir_off i + 2) len
+
+let init p =
+  set_nslots p 0;
+  set_free_off p header_size
+
+let free_space p =
+  let dir_bottom = slot_dir_off (nslots p - 1) in
+  let dir_bottom = if nslots p = 0 then page_size else dir_bottom in
+  max 0 (dir_bottom - free_off p)
+
+(* Move live records to the bottom of the record area, dropping dead
+   space, and fix up the directory. *)
+let compact p =
+  let n = nslots p in
+  let records =
+    List.init n (fun i ->
+        let off = slot_offset p i and len = slot_length p i in
+        if off = 0 then None else Some (Bytes.sub_string p off len))
+  in
+  set_free_off p header_size;
+  List.iteri
+    (fun i record ->
+      match record with
+      | None -> set_slot p i ~off:0 ~len:0
+      | Some data ->
+        let off = free_off p in
+        Bytes.blit_string data 0 p off (String.length data);
+        set_slot p i ~off ~len:(String.length data);
+        set_free_off p (off + String.length data))
+    records
+
+let insert p data =
+  let len = String.length data in
+  if len + slot_size > free_space p then compact p;
+  if len + slot_size > free_space p then None
+  else begin
+    let i = nslots p in
+    let off = free_off p in
+    Bytes.blit_string data 0 p off len;
+    set_slot p i ~off ~len;
+    set_nslots p (i + 1);
+    set_free_off p (off + len);
+    Some i
+  end
+
+let read p i =
+  if i < 0 || i >= nslots p then None
+  else begin
+    let off = slot_offset p i in
+    if off = 0 then None else Some (Bytes.sub_string p off (slot_length p i))
+  end
+
+let delete p i =
+  if i < 0 || i >= nslots p then false
+  else if slot_offset p i = 0 then false
+  else begin
+    set_slot p i ~off:0 ~len:0;
+    true
+  end
+
+let iter p f =
+  for i = 0 to nslots p - 1 do
+    match read p i with
+    | Some data -> f i data
+    | None -> ()
+  done

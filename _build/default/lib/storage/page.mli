@@ -1,0 +1,32 @@
+(** Slotted pages: the unit of disk storage and buffering.
+
+    The EXODUS storage manager stored records in slotted pages; this is
+    the standard layout: a small header (record count, free-space
+    offset), records growing up from the header, and a slot directory
+    growing down from the end of the page.  Deleting a record frees its
+    slot; the space is reclaimed when the page is compacted. *)
+
+val page_size : int
+(** 8192 bytes. *)
+
+type t = Bytes.t
+(** A page image is exactly [page_size] bytes. *)
+
+type slot = int
+
+val init : t -> unit
+(** Format a fresh page (zero records). *)
+
+val insert : t -> string -> slot option
+(** Store a record; [None] when the page lacks space (after attempting
+    compaction). *)
+
+val read : t -> slot -> string option
+(** [None] for deleted or out-of-range slots. *)
+
+val delete : t -> slot -> bool
+val nslots : t -> int
+val free_space : t -> int
+
+val iter : t -> (slot -> string -> unit) -> unit
+(** Live records in slot order. *)

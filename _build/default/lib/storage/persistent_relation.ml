@@ -1,0 +1,173 @@
+open Coral_term
+open Coral_rel
+
+type file = {
+  fname : string;
+  bp : Buffer_pool.t;
+  wal : Wal.t;
+}
+
+type handle = {
+  heap : Heap_file.t;
+  heap_file : file;
+  uniq : Btree.t;  (* full-record index for duplicate elimination *)
+  uniq_file : file;
+  indexes : (int * Btree.t * file) list;  (* column -> tree *)
+  rel : Relation.t;
+}
+
+let open_file ?(pool_frames = 64) path =
+  let disk = Disk.create path in
+  let wal = Wal.create (path ^ ".wal") in
+  ignore (Wal.recover wal disk);
+  let bp = Buffer_pool.create ~frames:pool_frames disk in
+  { fname = path; bp; wal }
+
+let commit_file f =
+  Wal.commit f.wal (Buffer_pool.dirty_pages f.bp);
+  Buffer_pool.flush f.bp;
+  Wal.checkpoint f.wal
+
+let close_file f =
+  Buffer_pool.flush f.bp;
+  Wal.close f.wal;
+  Disk.close (Buffer_pool.disk f.bp)
+
+let open_ ?(pool_frames = 64) ?(indexes = []) ~dir ~name ~arity () =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let heap_file = open_file ~pool_frames (Filename.concat dir (name ^ ".heap")) in
+  let heap = Heap_file.create heap_file.bp in
+  let uniq_file = open_file ~pool_frames (Filename.concat dir (name ^ ".uniq.idx")) in
+  let uniq = Btree.create uniq_file.bp in
+  let index_handles =
+    List.map
+      (fun col ->
+        let f =
+          open_file ~pool_frames
+            (Filename.concat dir (Printf.sprintf "%s.%d.idx" name col))
+        in
+        col, Btree.create f.bp, f)
+      indexes
+  in
+  (* --- Relation implementation ------------------------------------ *)
+  let insert ~dedup (tuple : Tuple.t) =
+    if not (Tuple.is_ground tuple) then
+      raise (Codec.Unstorable "persistent relations hold ground primitive tuples only");
+    let record = Codec.encode tuple.Tuple.terms in
+    if dedup && Btree.find_all uniq record <> [] then false
+    else begin
+      let rid = Heap_file.insert heap record in
+      Btree.insert uniq record rid;
+      List.iter
+        (fun (col, tree, _) -> Btree.insert tree (Codec.encode_key tuple.Tuple.terms.(col)) rid)
+        index_handles;
+      true
+    end
+  in
+  let decode_tuple record = Tuple.of_terms (Codec.decode record) in
+  (* Candidates for a pattern: a B-tree probe when some indexed column
+     is ground in the pattern, else a full heap scan through the pool. *)
+  let scan ~from_mark ~to_mark ~pattern =
+    ignore to_mark;
+    if from_mark > 0 then Seq.empty
+    else begin
+      let probe =
+        match pattern with
+        | None -> None
+        | Some (args, env) ->
+          List.find_map
+            (fun (col, tree, _) ->
+              if col >= Array.length args then None
+              else begin
+                let resolved = Unify.resolve args.(col) env in
+                if Term.is_ground resolved then
+                  Some (Btree.find_all tree (Codec.encode_key resolved))
+                else None
+              end)
+            index_handles
+      in
+      match probe with
+      | Some rids ->
+        List.to_seq rids
+        |> Seq.filter_map (fun rid -> Option.map decode_tuple (Heap_file.read heap rid))
+      | None ->
+        (* page-at-a-time streaming scan *)
+        let npages = Disk.npages (Buffer_pool.disk heap_file.bp) in
+        let page_tuples pid =
+          let acc = ref [] in
+          Buffer_pool.with_page heap_file.bp pid (fun page ->
+              Page.iter page (fun _ record -> acc := decode_tuple record :: !acc);
+              (), false);
+          List.rev !acc
+        in
+        let rec pages pid () =
+          if pid >= npages then Seq.Nil
+          else Seq.append (List.to_seq (page_tuples pid)) (pages (pid + 1)) ()
+        in
+        pages 1
+    end
+  in
+  let delete ~pattern pred =
+    let victims = ref [] in
+    Seq.iter (fun t -> if pred t then victims := t :: !victims) (scan ~from_mark:0 ~to_mark:(-1) ~pattern);
+    List.iter
+      (fun (t : Tuple.t) ->
+        let record = Codec.encode t.Tuple.terms in
+        match Btree.find_all uniq record with
+        | rid :: _ ->
+          ignore (Heap_file.delete heap rid);
+          ignore (Btree.delete uniq record rid);
+          List.iter
+            (fun (col, tree, _) ->
+              ignore (Btree.delete tree (Codec.encode_key t.Tuple.terms.(col)) rid))
+            index_handles
+        | [] -> ())
+      !victims;
+    List.length !victims
+  in
+  let rel =
+    Relation.v ~name ~arity
+      { Relation.i_insert = insert;
+        i_delete = delete;
+        i_retire =
+          (fun (t : Tuple.t) ->
+            let record = Codec.encode t.Tuple.terms in
+            match Btree.find_all uniq record with
+            | rid :: _ ->
+              ignore (Heap_file.delete heap rid);
+              ignore (Btree.delete uniq record rid);
+              List.iter
+                (fun (col, tree, _) ->
+                  ignore (Btree.delete tree (Codec.encode_key t.Tuple.terms.(col)) rid))
+                index_handles
+            | [] -> ());
+        i_mark = (fun () -> 0);
+        i_marks = (fun () -> 0);
+        i_cardinal = (fun () -> Btree.cardinal uniq);
+        i_add_index = (fun _ -> ());
+        i_indexes = (fun () -> List.map (fun (c, _, _) -> Index.Args [ c ]) index_handles);
+        i_scan = scan;
+        i_clear = (fun () -> failwith "persistent relations cannot be cleared in place")
+      }
+  in
+  { heap; heap_file; uniq; uniq_file; indexes = index_handles; rel }
+
+let relation h = h.rel
+
+let commit h =
+  commit_file h.heap_file;
+  commit_file h.uniq_file;
+  List.iter (fun (_, _, f) -> commit_file f) h.indexes
+
+let close h =
+  commit h;
+  close_file h.heap_file;
+  close_file h.uniq_file;
+  List.iter (fun (_, _, f) -> close_file f) h.indexes
+
+let io_stats h =
+  (Filename.basename h.heap_file.fname, Buffer_pool.stats h.heap_file.bp)
+  :: (Filename.basename h.uniq_file.fname, Buffer_pool.stats h.uniq_file.bp)
+  :: List.map
+       (fun (_, _, f) -> Filename.basename f.fname, Buffer_pool.stats f.bp)
+       h.indexes

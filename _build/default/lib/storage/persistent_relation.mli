@@ -1,0 +1,43 @@
+(** Persistent relations (paper section 3.2).
+
+    A persistent relation keeps its tuples in a heap file and its
+    indexes in B-trees, all accessed through bounded buffer pools;
+    scans decode tuples on demand from pooled pages, so relations
+    larger than memory stream through the pool exactly as CORAL's
+    EXODUS-backed relations did.  Tuples are restricted to primitive
+    fields (int, double, string, bignum), the same restriction the
+    paper states for EXODUS-stored data.
+
+    Durability follows the EXODUS division of labour: each file pairs
+    with a redo log; {!commit} logs dirty pages, syncs, writes back and
+    checkpoints; opening a relation replays any committed-but-unwritten
+    log tail.  Marks are not supported (persistent relations serve as
+    base relations; semi-naive deltas live in memory relations).
+
+    A duplicate-elimination index on the full record makes set
+    semantics O(log n) per insert; [@multiset] relations skip it. *)
+
+open Coral_rel
+
+type handle
+
+val open_ :
+  ?pool_frames:int ->
+  ?indexes:int list ->
+  dir:string ->
+  name:string ->
+  arity:int ->
+  unit ->
+  handle
+(** Open or create the relation stored under [dir]/[name].*; [indexes]
+    lists the argument positions to index with B-trees (default none).
+    Recovery runs before the relation is usable. *)
+
+val relation : handle -> Relation.t
+(** The {!Relation} view: the engine uses it like any other relation. *)
+
+val commit : handle -> unit
+val close : handle -> unit
+
+val io_stats : handle -> (string * Buffer_pool.stats) list
+(** Per-file buffer-pool statistics (heap first, then indexes). *)

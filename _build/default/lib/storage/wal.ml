@@ -1,0 +1,111 @@
+(* Log format: a sequence of transactions, each
+     [u32 npages] ([pid u32][page image]){npages} [u32 0xC0111117]
+   Anything after the last complete commit marker is a torn tail and is
+   ignored by recovery. *)
+
+type t = {
+  wpath : string;
+  mutable fd : Unix.file_descr;
+}
+
+let commit_magic = 0xC0111117
+
+let create wpath =
+  let fd = Unix.openfile wpath [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  { wpath; fd }
+
+let u32_bytes v =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
+  done;
+  b
+
+let read_u32 fd =
+  let b = Bytes.create 4 in
+  let rec go off =
+    if off >= 4 then begin
+      let v = ref 0 in
+      for i = 3 downto 0 do
+        v := (!v lsl 8) lor Char.code (Bytes.get b i)
+      done;
+      Some !v
+    end
+    else begin
+      let n = Unix.read fd b off (4 - off) in
+      if n = 0 then None else go (off + n)
+    end
+  in
+  go 0
+
+let write_all fd b =
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let commit t pages =
+  write_all t.fd (u32_bytes (List.length pages));
+  List.iter
+    (fun (pid, image) ->
+      write_all t.fd (u32_bytes pid);
+      write_all t.fd image)
+    pages;
+  write_all t.fd (u32_bytes commit_magic);
+  Unix.fsync t.fd
+
+let recover t disk =
+  let fd = Unix.openfile t.wpath [ Unix.O_RDONLY; Unix.O_CREAT ] 0o644 in
+  let replayed = ref 0 in
+  let buf = Bytes.create Page.page_size in
+  let read_page () =
+    let rec go off =
+      if off >= Page.page_size then true
+      else begin
+        let n = Unix.read fd buf off (Page.page_size - off) in
+        if n = 0 then false else go (off + n)
+      end
+    in
+    go 0
+  in
+  let rec txn () =
+    match read_u32 fd with
+    | None -> ()
+    | Some npages ->
+      let pages = ref [] in
+      let ok = ref true in
+      (try
+         for _ = 1 to npages do
+           match read_u32 fd with
+           | Some pid when read_page () -> pages := (pid, Bytes.copy buf) :: !pages
+           | _ ->
+             ok := false;
+             raise Exit
+         done
+       with Exit -> ());
+      if !ok then begin
+        match read_u32 fd with
+        | Some magic when magic = commit_magic ->
+          (* committed: replay *)
+          List.iter
+            (fun (pid, image) ->
+              Disk.write disk pid image;
+              incr replayed)
+            (List.rev !pages);
+          txn ()
+        | _ -> () (* torn tail *)
+      end
+  in
+  txn ();
+  Unix.close fd;
+  if !replayed > 0 then Disk.sync disk;
+  !replayed
+
+let checkpoint t =
+  Unix.close t.fd;
+  let fd = Unix.openfile t.wpath [ Unix.O_RDWR; Unix.O_TRUNC ] 0o644 in
+  Unix.fsync fd;
+  Unix.close fd;
+  t.fd <- Unix.openfile t.wpath [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+
+let close t = Unix.close t.fd

@@ -1,0 +1,25 @@
+(** Page-level redo logging.
+
+    CORAL left transactions and recovery to the EXODUS toolkit; this is
+    the equivalent facility for our storage manager: a force-at-commit
+    redo log.  [commit] appends the after-images of the transaction's
+    dirty pages and a commit marker, syncs the log, and only then may
+    the pages be written in place; [recover] replays complete
+    transactions found in the log (a torn tail is ignored), making a
+    crash between commit and write-back harmless.  [checkpoint]
+    truncates the log once the data file is known durable. *)
+
+type t
+
+val create : string -> t
+(** Open (creating if absent) the log at this path. *)
+
+val commit : t -> (int * Bytes.t) list -> unit
+(** Durably log the after-images of the given (page id, image) pairs. *)
+
+val recover : t -> Disk.t -> int
+(** Replay committed transactions into the data file; returns the
+    number of pages replayed.  Call before using the data file. *)
+
+val checkpoint : t -> unit
+val close : t -> unit

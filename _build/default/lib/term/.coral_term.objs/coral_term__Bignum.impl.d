@@ -1,0 +1,1 @@
+lib/term/bignum.ml: Array Buffer Char Format Lazy List Stdlib String

@@ -1,0 +1,1 @@
+lib/term/bignum.mli: Format

@@ -1,0 +1,1 @@
+lib/term/bindenv.mli: Term

@@ -1,0 +1,1 @@
+lib/term/rename.ml: Array Hashtbl List Term

@@ -1,0 +1,1 @@
+lib/term/rename.mli: Term

@@ -1,0 +1,1 @@
+lib/term/symbol.ml: Array Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/term/term.ml: Array Format Hashtbl Int List Symbol Value

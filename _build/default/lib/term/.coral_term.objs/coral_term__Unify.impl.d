@@ -1,0 +1,1 @@
+lib/term/unify.ml: Array Bindenv Hashtbl List Symbol Term Trail Value

@@ -1,0 +1,1 @@
+lib/term/value.ml: Bignum Float Format Hashtbl Int String

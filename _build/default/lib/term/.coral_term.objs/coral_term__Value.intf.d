@@ -1,0 +1,1 @@
+lib/term/value.mli: Bignum Format

@@ -1,0 +1,244 @@
+(* Magnitudes are little-endian int arrays in base 2^30 with no leading
+   zero limb; the zero value is the empty magnitude with sign 0. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+(* Magnitude comparison: -1, 0, 1. *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let of_int i =
+  if i = 0 then zero
+  else begin
+    let sign = if i < 0 then -1 else 1 in
+    (* Extract limbs in negative space so min_int never overflows. *)
+    let rec limbs n acc =
+      if n = 0 then List.rev acc else limbs (n / base) (-(n mod base) :: acc)
+    in
+    let mag = limbs (if i > 0 then -i else i) [] in
+    normalize sign (Array.of_list mag)
+  end
+
+let max_int_b = lazy (of_int max_int)
+let min_int_b = lazy (of_int min_int)
+
+let rec to_int n =
+  if
+    cmp_mag_signed n (Lazy.force max_int_b) <= 0
+    && cmp_mag_signed n (Lazy.force min_int_b) >= 0
+  then begin
+    let v = ref 0 in
+    for i = Array.length n.mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor n.mag.(i)
+    done;
+    (* For min_int the magnitude accumulation wraps to min_int itself,
+       and negating min_int is again min_int: both cases end correct. *)
+    Some (if n.sign < 0 then - !v else !v)
+  end
+  else None
+
+and cmp_mag_signed a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let sign n = n.sign
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires cmp_mag a b >= 0. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let t = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- t land base_mask;
+        carry := t lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    match cmp_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+let neg a = if a.sign = 0 then a else { a with sign = -a.sign }
+let sub a b = add a (neg b)
+let abs a = if a.sign < 0 then neg a else a
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+(* Shift-and-subtract long division on magnitudes: O(bits * limbs), fine
+   for the term-layer workloads that exercise bignums. *)
+let divmod_mag a b =
+  let bit_length m =
+    let l = Array.length m in
+    if l = 0 then 0
+    else begin
+      let top = m.(l - 1) in
+      let rec width w = if top lsr w = 0 then w else width (w + 1) in
+      ((l - 1) * base_bits) + width 0
+    end
+  in
+  let get_bit m i =
+    let limb = i / base_bits and off = i mod base_bits in
+    if limb >= Array.length m then 0 else (m.(limb) lsr off) land 1
+  in
+  let la = bit_length a in
+  let q = Array.make (Array.length a) 0 in
+  (* Remainder accumulated as a mutable little-endian buffer. *)
+  let r = Array.make (Array.length b + 1) 0 in
+  let shift_in_bit bit =
+    let carry = ref bit in
+    for i = 0 to Array.length r - 1 do
+      let v = (r.(i) lsl 1) lor !carry in
+      r.(i) <- v land base_mask;
+      carry := v lsr base_bits
+    done
+  in
+  let r_ge_b () =
+    let rec go i =
+      if i < 0 then true
+      else begin
+        let rv = if i < Array.length r then r.(i) else 0
+        and bv = if i < Array.length b then b.(i) else 0 in
+        if rv <> bv then rv > bv else go (i - 1)
+      end
+    in
+    go (max (Array.length r) (Array.length b) - 1)
+  in
+  let r_sub_b () =
+    let borrow = ref 0 in
+    for i = 0 to Array.length r - 1 do
+      let d = r.(i) - (if i < Array.length b then b.(i) else 0) - !borrow in
+      if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+      else begin r.(i) <- d; borrow := 0 end
+    done
+  in
+  for i = la - 1 downto 0 do
+    shift_in_bit (get_bit a i);
+    if r_ge_b () then begin
+      r_sub_b ();
+      q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+    end
+  done;
+  q, r
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then zero, zero
+  else if cmp_mag a.mag b.mag < 0 then zero, a
+  else begin
+    let qm, rm = divmod_mag a.mag b.mag in
+    normalize (a.sign * b.sign) qm, normalize a.sign rm
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let equal a b = a.sign = b.sign && cmp_mag a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let hash a =
+  let h = ref (a.sign + 0x2545f491) in
+  Array.iter (fun limb -> h := (!h * 0x01000193) lxor limb) a.mag;
+  !h land max_int
+
+let ten = of_int 10
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bignum.of_string: empty";
+  let negative, start =
+    match s.[0] with '-' -> true, 1 | '+' -> false, 1 | _ -> false, 0
+  in
+  if start >= len then invalid_arg "Bignum.of_string: no digits";
+  let acc = ref zero in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bignum.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if negative then neg !acc else !acc
+
+let to_string n =
+  if n.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go m = if m.sign <> 0 then begin
+      let q, r = divmod m ten in
+      let digit = match to_int r with Some d -> Stdlib.abs d | None -> assert false in
+      Buffer.add_char buf (Char.chr (digit + Char.code '0'));
+      go q
+    end
+    in
+    go (abs n);
+    let digits = Buffer.contents buf in
+    let out = Buffer.create (String.length digits + 1) in
+    if n.sign < 0 then Buffer.add_char out '-';
+    for i = String.length digits - 1 downto 0 do Buffer.add_char out digits.[i] done;
+    Buffer.contents out
+  end
+
+let pp ppf n = Format.pp_print_string ppf (to_string n)

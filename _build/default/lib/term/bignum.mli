@@ -1,0 +1,44 @@
+(** Arbitrary-precision integers.
+
+    CORAL supported arbitrary precision integers through the BigNum
+    package provided by DEC France; this module is a from-scratch
+    substitute.  Values are immutable.  The representation is a sign and
+    a little-endian magnitude in base 2^30, so every intermediate product
+    fits comfortably in an OCaml 63-bit immediate integer. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int n] is [Some i] when [n] fits in a native [int]. *)
+
+val of_string : string -> t
+(** [of_string s] parses an optionally signed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is truncated division [(q, r)] with [a = q*b + r] and
+    [r] carrying the sign of [a] (C / OCaml semantics).
+    @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val sign : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

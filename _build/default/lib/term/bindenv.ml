@@ -1,0 +1,38 @@
+type t = {
+  mutable slots : (Term.t * t) option array;
+  writable : bool;
+}
+
+let create n = { slots = Array.make (max n 1) None; writable = true }
+let empty = { slots = [||]; writable = false }
+let size env = Array.length env.slots
+
+let grow env needed =
+  let cur = Array.length env.slots in
+  let bigger = Array.make (max needed (max 1 (2 * cur))) None in
+  Array.blit env.slots 0 bigger 0 cur;
+  env.slots <- bigger
+
+let lookup env vid =
+  if vid < Array.length env.slots then env.slots.(vid) else None
+
+let rec deref t env =
+  match t with
+  | Term.Var v -> begin
+    match lookup env v.Term.vid with
+    | Some (t', env') -> deref t' env'
+    | None -> t, env
+  end
+  | Term.Const _ | Term.App _ -> t, env
+
+let bind env vid t tenv =
+  if not env.writable then invalid_arg "Bindenv.bind: empty environment";
+  if vid >= Array.length env.slots then grow env (vid + 1);
+  env.slots.(vid) <- Some (t, tenv)
+
+let set_unbound env vid =
+  if vid < Array.length env.slots then env.slots.(vid) <- None
+
+let is_bound env vid = lookup env vid <> None
+
+let clear env = Array.fill env.slots 0 (Array.length env.slots) None

@@ -1,0 +1,43 @@
+(** Binding environments (paper section 3.1, Figure 2).
+
+    During an inference, variable bindings are not substituted into
+    terms; they are recorded in a binding environment, and a binding may
+    itself be a (term, environment) pair whose environment differs from
+    the one the variable lives in — exactly the structure of Figure 2,
+    where [f(X, 10, Y)] has [X -> 25] and [Y -> Z] in one bindenv and
+    [Z -> 50] in a separate bindenv.
+
+    A variable is identified by the pair (environment, [vid]); the same
+    [vid] in two environments is two different variables, which is how
+    rules and stored non-ground facts are kept apart without copying. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an environment with room for variables [0 .. n-1];
+    it grows transparently if a larger [vid] is bound. *)
+
+val empty : t
+(** A shared, never-written environment used when pairing ground terms
+    with an environment.  Binding into [empty] is a programming error
+    and raises [Invalid_argument]. *)
+
+val size : t -> int
+
+val deref : Term.t -> t -> Term.t * t
+(** Chase variable bindings across environments until reaching a
+    non-variable term or an unbound variable. *)
+
+val lookup : t -> int -> (Term.t * t) option
+
+val bind : t -> int -> Term.t -> t -> unit
+(** [bind env vid t tenv] records [vid -> (t, tenv)].  Use through
+    {!Trail.bind} during unification so it can be undone. *)
+
+val set_unbound : t -> int -> unit
+(** Remove a binding (used by the trail when backtracking). *)
+
+val is_bound : t -> int -> bool
+
+val clear : t -> unit
+(** Drop every binding (reusing the environment for a new iteration). *)

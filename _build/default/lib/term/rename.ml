@@ -1,0 +1,35 @@
+let make_numberer () =
+  let next = ref 0 in
+  let mapping : (int, Term.t) Hashtbl.t = Hashtbl.create 16 in
+  let rename (v : Term.var) =
+    match Hashtbl.find_opt mapping v.Term.vid with
+    | Some t -> t
+    | None ->
+      let t = Term.var ~name:v.Term.vname !next in
+      incr next;
+      Hashtbl.add mapping v.Term.vid t;
+      t
+  in
+  rename, next
+
+let number_terms terms =
+  let rename, next = make_numberer () in
+  let out = Array.map (Term.map_vars rename) terms in
+  out, !next
+
+let number_term_lists lists =
+  let rename, next = make_numberer () in
+  let out = List.map (fun arr -> Array.map (Term.map_vars rename) arr) lists in
+  out, !next
+
+let refresh t =
+  let mapping : (int, Term.t) Hashtbl.t = Hashtbl.create 8 in
+  let rename (v : Term.var) =
+    match Hashtbl.find_opt mapping v.Term.vid with
+    | Some fresh -> fresh
+    | None ->
+      let fresh = Term.fresh_var ~name:v.Term.vname () in
+      Hashtbl.add mapping v.Term.vid fresh;
+      fresh
+  in
+  Term.map_vars rename t

@@ -1,0 +1,18 @@
+(** Variable renumbering and renaming-apart.
+
+    Compiled rules and stored non-ground facts keep their variables
+    densely numbered [0 .. n-1] so binding environments can be small
+    arrays; parser-produced terms carry arbitrary variable ids. *)
+
+val number_terms : Term.t array -> Term.t array * int
+(** Renumber the distinct variables across the given terms to
+    [0 .. n-1] (in order of first occurrence), sharing variable records,
+    and return the variable count. *)
+
+val number_term_lists : Term.t array list -> Term.t array list * int
+(** Like {!number_terms} but across a list of argument arrays that must
+    share one numbering (a rule head plus its body literals). *)
+
+val refresh : Term.t -> Term.t
+(** Replace every variable by a globally fresh one (consistently within
+    the term). *)

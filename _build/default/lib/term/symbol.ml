@@ -1,0 +1,46 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 512
+let names : string array ref = ref (Array.make 512 "")
+let count = ref 0
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+    let id = !count in
+    incr count;
+    if id >= Array.length !names then begin
+      let bigger = Array.make (2 * Array.length !names) "" in
+      Array.blit !names 0 bigger 0 (Array.length !names);
+      names := bigger
+    end;
+    !names.(id) <- s;
+    Hashtbl.add table s id;
+    id
+
+let name s = !names.(s)
+let id s = s
+let equal = Int.equal
+let compare = Int.compare
+let hash (s : t) = s * 0x9e3779b1
+let pp ppf s = Format.pp_print_string ppf (name s)
+
+let nil = intern "[]"
+let cons = intern "."
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

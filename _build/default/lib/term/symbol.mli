@@ -1,0 +1,33 @@
+(** Interned function and predicate symbols.
+
+    CORAL represents function symbols (functors) and predicate names by
+    unique identifiers so that symbol comparison during unification and
+    rule matching is a single integer comparison.  Symbols are never
+    garbage collected; a deductive program uses a small, stable set. *)
+
+type t
+(** An interned symbol.  Equal names intern to the same symbol. *)
+
+val intern : string -> t
+(** [intern name] returns the unique symbol for [name]. *)
+
+val name : t -> string
+(** [name s] is the string [s] was interned from. *)
+
+val id : t -> int
+(** [id s] is a small non-negative integer unique to [s]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val nil : t
+(** The empty-list constructor, printed as "[]". *)
+
+val cons : t
+(** The list constructor, arity 2, printed using "[H|T]" notation. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,93 @@
+(** Terms: constants, variables, and functor terms.
+
+    This is the paper's term representation (section 3.1, Figure 2).  A
+    functor term [f(X, 10, Y)] is a record with the function symbol, the
+    argument array, and "extra information to make unification
+    efficient": a lazily computed hash-consing identifier.  Hash-consing
+    assigns unique identifiers to ground functor terms such that two
+    ground terms unify iff their identifiers are equal; terms containing
+    free variables cannot receive identifiers and are unified
+    structurally. *)
+
+type t =
+  | Const of Value.t
+  | Var of var
+  | App of app
+
+and var = { vid : int; vname : string }
+
+and app = {
+  sym : Symbol.t;
+  args : t array;
+  mutable hid : int;
+      (** Lazy hash-cons id: [0] not yet computed, [-1] known
+          non-ground, positive values are unique ids. *)
+}
+
+(** {1 Constructors} *)
+
+val const : Value.t -> t
+val int : int -> t
+val double : float -> t
+val str : string -> t
+val big : Bignum.t -> t
+
+val var : ?name:string -> int -> t
+(** [var id] is the variable with identifier [id].  Variable identity is
+    the pair (binding environment, [vid]); names are only for printing. *)
+
+val fresh_var : ?name:string -> unit -> t
+(** A variable with a globally fresh [vid] (used for canonicalizing
+    stored non-ground tuples and for renaming rules apart). *)
+
+val app : Symbol.t -> t array -> t
+val atom : string -> t
+(** [atom s] is the 0-ary functor term [s]. *)
+
+val nil : t
+val cons : t -> t -> t
+val list_of : t list -> t
+val to_list : t -> t list option
+(** [to_list t] decomposes a proper list term. *)
+
+(** {1 Hash-consing} *)
+
+val ground_id : t -> int option
+(** The unique identifier of a ground term, computed (and memoized in
+    the term) on first demand; [None] for terms containing variables. *)
+
+val is_ground : t -> bool
+
+(** {1 Generic operations} *)
+
+val equal : t -> t -> bool
+(** Structural equality; variables are compared by [vid]. *)
+
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Structural hash agreeing with [equal]. *)
+
+val hash_mod_vars : t -> int
+(** Hash in which every variable hashes to one fixed value, so that a
+    term and any renaming of it collide (used by relation indexes: the
+    paper hashes all terms containing variables to the [var] bucket). *)
+
+val vars : t -> var list
+(** Distinct variables in order of first occurrence. *)
+
+val map_vars : (var -> t) -> t -> t
+(** [map_vars f t] replaces every variable [v] by [f v]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints with CORAL surface syntax: atoms unquoted, lists in
+    [\[a, b | T\]] notation. *)
+
+val to_string : t -> string
+
+val hash_array : t array -> int
+val equal_array : t array -> t array -> bool
+
+module ArrayTbl : Hashtbl.S with type key = t array
+(** Hash tables keyed by term tuples (structural equality, stable
+    hash); used for group tables and subgoal tables. *)

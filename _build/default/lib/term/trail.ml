@@ -1,0 +1,34 @@
+type t = {
+  mutable envs : Bindenv.t array;
+  mutable vids : int array;
+  mutable len : int;
+}
+
+let create () = { envs = Array.make 64 Bindenv.empty; vids = Array.make 64 0; len = 0 }
+
+let mark tr = tr.len
+
+let grow tr =
+  let n = Array.length tr.envs in
+  let envs = Array.make (2 * n) Bindenv.empty in
+  let vids = Array.make (2 * n) 0 in
+  Array.blit tr.envs 0 envs 0 n;
+  Array.blit tr.vids 0 vids 0 n;
+  tr.envs <- envs;
+  tr.vids <- vids
+
+let bind tr env vid t tenv =
+  Bindenv.bind env vid t tenv;
+  if tr.len >= Array.length tr.envs then grow tr;
+  tr.envs.(tr.len) <- env;
+  tr.vids.(tr.len) <- vid;
+  tr.len <- tr.len + 1
+
+let undo_to tr m =
+  for i = tr.len - 1 downto m do
+    Bindenv.set_unbound tr.envs.(i) tr.vids.(i);
+    tr.envs.(i) <- Bindenv.empty
+  done;
+  tr.len <- m
+
+let length tr = tr.len

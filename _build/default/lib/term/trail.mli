@@ -1,0 +1,21 @@
+(** Trail of variable bindings (paper section 5.3).
+
+    "In a manner similar to Prolog, CORAL maintains a trail of variable
+    bindings when a rule is evaluated; this is used to undo variable
+    bindings when the nested-loops join considers the next tuple in any
+    loop." *)
+
+type t
+
+val create : unit -> t
+
+val mark : t -> int
+(** The current trail position; pass to {!undo_to} to backtrack. *)
+
+val bind : t -> Bindenv.t -> int -> Term.t -> Bindenv.t -> unit
+(** Bind a variable and record the binding for undo. *)
+
+val undo_to : t -> int -> unit
+(** Unbind everything recorded since the mark. *)
+
+val length : t -> int

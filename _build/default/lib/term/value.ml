@@ -1,0 +1,90 @@
+type ops = {
+  o_name : string;
+  o_equal : exn -> exn -> bool;
+  o_compare : exn -> exn -> int;
+  o_hash : exn -> int;
+  o_print : Format.formatter -> exn -> unit;
+  o_parse : (string -> exn) option;
+}
+
+type t =
+  | Int of int
+  | Double of float
+  | Str of string
+  | Big of Bignum.t
+  | Opaque of ops * exn
+
+let int i = Int i
+let double f = Double f
+let str s = Str s
+let big b = Big b
+let opaque ops v = Opaque (ops, v)
+
+let make_ops ~name ?compare ?hash ?parse ~print () =
+  let printed v = Format.asprintf "%a" print v in
+  let o_compare =
+    match compare with Some c -> c | None -> fun a b -> String.compare (printed a) (printed b)
+  in
+  { o_name = name;
+    o_equal = (fun a b -> o_compare a b = 0);
+    o_compare;
+    o_hash = (match hash with Some h -> h | None -> fun v -> Hashtbl.hash (printed v));
+    o_print = print;
+    o_parse = parse
+  }
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Double x, Double y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Big x, Big y -> Bignum.equal x y
+  | Opaque (opsa, va), Opaque (opsb, vb) ->
+    String.equal opsa.o_name opsb.o_name && opsa.o_equal va vb
+  | (Int _ | Double _ | Str _ | Big _ | Opaque _), _ -> false
+
+(* Numeric values order by numeric value across representations so that
+   aggregate selections like min(C) behave sensibly on mixed data;
+   strings sort after all numbers, opaque values after strings. *)
+let rank = function Int _ | Double _ | Big _ -> 0 | Str _ -> 1 | Opaque _ -> 2
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Double x, Double y -> Float.compare x y
+  | Big x, Big y -> Bignum.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int x, Double y -> Float.compare (float_of_int x) y
+  | Double x, Int y -> Float.compare x (float_of_int y)
+  | Int x, Big y -> Bignum.compare (Bignum.of_int x) y
+  | Big x, Int y -> Bignum.compare x (Bignum.of_int y)
+  | Double x, Big y -> Float.compare x (float_of_string (Bignum.to_string y))
+  | Big x, Double y -> Float.compare (float_of_string (Bignum.to_string x)) y
+  | Opaque (opsa, va), Opaque (opsb, vb) ->
+    let c = String.compare opsa.o_name opsb.o_name in
+    if c <> 0 then c else opsa.o_compare va vb
+  | a, b -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Int i -> i * 0x9e3779b1
+  | Double f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Big b -> Bignum.hash b
+  | Opaque (ops, v) -> (Hashtbl.hash ops.o_name lxor ops.o_hash v) land max_int
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Double f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Big b -> Bignum.pp ppf b
+  | Opaque (ops, v) -> ops.o_print ppf v
+
+let is_numeric = function
+  | Int _ | Double _ | Big _ -> true
+  | Str _ | Opaque _ -> false
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Double f -> Some f
+  | Big b -> Some (float_of_string (Bignum.to_string b))
+  | Str _ | Opaque _ -> None

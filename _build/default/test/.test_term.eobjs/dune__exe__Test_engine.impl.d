@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Coral Coral_term Filename Format List Seq String Sys Term Value

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Coral_eval Coral_lang Coral_term Engine List Printf QCheck2 QCheck_alcotest Seq String Symbol Term

@@ -1,0 +1,1 @@
+test/test_intermodule.ml: Alcotest Array Coral Coral_term List Printf Term

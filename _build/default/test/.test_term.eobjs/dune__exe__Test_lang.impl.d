@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Bignum Coral_lang Coral_term Format List Parser Pretty QCheck2 QCheck_alcotest String Symbol Term Value Wellformed

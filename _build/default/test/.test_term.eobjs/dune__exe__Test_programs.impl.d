@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Coral Coral_term Filename List String Sys Term Value

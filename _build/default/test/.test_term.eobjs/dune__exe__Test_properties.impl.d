@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Buffer Coral Coral_term Format Fun Hashtbl List Printf QCheck2 QCheck_alcotest Set String Term Value

@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Array Bindenv Coral_rel Coral_term Hash_relation Hashtbl Index List List_relation QCheck2 QCheck_alcotest Relation Scan Symbol Term Trail Tuple Value

@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest Array Bignum Bindenv Coral_term List Option QCheck2 QCheck_alcotest String Symbol Term Trail Unify

@@ -1,0 +1,302 @@
+(* Engine-level tests: the builtin library, update predicates, the
+   explanation tool, module management and the host API facade. *)
+
+open Coral_term
+
+let setup src =
+  let e = Coral.create () in
+  Coral.consult_text e src;
+  e
+
+let rows e q =
+  Coral.query_rows e q
+  |> List.map (fun row -> Array.to_list row |> List.map Term.to_string)
+  |> List.sort compare
+
+let check e q expected = Alcotest.(check (list (list string))) q (List.sort compare expected) (rows e q)
+
+(* ------------------------------------------------------------------ *)
+(* The builtin library                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_list_builtins () =
+  let e = Coral.create () in
+  check e "append([1, 2], [3], L)" [ [ "[1, 2, 3]" ] ];
+  (* splitting mode: enumerate the splits of a ground list *)
+  Alcotest.(check int) "append splits" 3
+    (List.length (Coral.query_rows e "append(A, B, [1, 2])"));
+  check e "member(X, [a, b, c]), X != b" [ [ "a" ]; [ "c" ] ];
+  check e "length([a, b, c], N)" [ [ "3" ] ];
+  check e "reverse([1, 2, 3], R)" [ [ "[3, 2, 1]" ] ];
+  check e "sort([3, 1, 2, 1], S)" [ [ "[1, 2, 3]" ] ];
+  check e "sum_list([1, 2, 3, 4], S)" [ [ "10" ] ];
+  check e "nth(1, [a, b, c], X)" [ [ "b" ] ];
+  Alcotest.(check int) "nth enumerates" 3
+    (List.length (Coral.query_rows e "nth(I, [a, b, c], X)"));
+  check e "between(2, 5, X), X > 3" [ [ "4" ]; [ "5" ] ]
+
+let test_numeric_builtins () =
+  let e = Coral.create () in
+  check e "abs(-5, X)" [ [ "5" ] ];
+  check e "abs(2.5, X)" [ [ "2.5" ] ];
+  check e "min_of(3, 7, M)" [ [ "3" ] ];
+  check e "max_of(3, 7, M)" [ [ "7" ] ];
+  check e "gcd(12, 18, G)" [ [ "6" ] ];
+  check e "gcd(7, 0, G)" [ [ "7" ] ];
+  (* arithmetic inside the query *)
+  check e "X = 2 + 3 * 4, Y = X mod 7" [ [ "14"; "0" ] ];
+  check e "X = 10 / 4" [ [ "2" ] ];
+  check e "X = 10.0 / 4" [ [ "2.5" ] ]
+
+let test_string_builtins () =
+  let e = Coral.create () in
+  check e "string_concat(\"ab\", \"cd\", S)" [ [ "\"abcd\"" ] ];
+  check e "string_length(\"hello\", N)" [ [ "5" ] ];
+  check e "term_to_string(f(1, [2]), S)" [ [ "\"f(1, [2])\"" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Update predicates (paper section 5.2)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_assert_retract () =
+  let e =
+    setup
+      {|
+item(1). item(2). item(3).
+module updates.
+export promote(b).
+export demote(b).
+@pipelined.
+promote(X) :- item(X), assert(good(X)).
+demote(X) :- retract(good(X)).
+end_module.
+|}
+  in
+  Alcotest.(check int) "no good facts yet" 0 (List.length (Coral.query_rows e "good(X)"));
+  ignore (Coral.query_rows e "promote(2)");
+  check e "good(X)" [ [ "2" ] ];
+  ignore (Coral.query_rows e "promote(3)");
+  Alcotest.(check int) "two now" 2 (List.length (Coral.query_rows e "good(X)"));
+  ignore (Coral.query_rows e "demote(2)");
+  check e "good(X)" [ [ "3" ] ];
+  (* retracting a non-fact fails silently *)
+  Alcotest.(check int) "retract missing fails" 0 (List.length (Coral.query_rows e "demote(9)"))
+
+(* ------------------------------------------------------------------ *)
+(* The explanation tool                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tc_program =
+  {|
+edge(1, 2). edge(2, 3). edge(3, 4).
+module paths.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+|}
+
+let test_why_tree () =
+  let e = setup tc_program in
+  let tree = Coral.why e "path(1, 4)" in
+  let has needle =
+    let n = String.length needle and h = String.length tree in
+    let rec go i = i + n <= h && (String.sub tree i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "root fact" true (has "path(1, 4)");
+  Alcotest.(check bool) "intermediate fact" true (has "path(2, 4)");
+  Alcotest.(check bool) "base leaves" true (has "edge(3, 4)");
+  Alcotest.(check bool) "rules shown" true (has "  by  ");
+  (* node lines show only source-level facts (rule texts legitimately
+     mention the rewritten predicates) *)
+  let node_lines =
+    String.split_on_char '\n' tree
+    |> List.filter (fun l -> not (String.length (String.trim l) = 0))
+    |> List.filter (fun l ->
+           let t = String.trim l in
+           not (String.length t > 3 && String.sub t 0 4 = "by  "))
+  in
+  Alcotest.(check bool) "no magic/sup fact nodes" true
+    (List.for_all
+       (fun l ->
+         let t = String.trim l in
+         not (String.length t > 1 && String.sub t 0 2 = "m#")
+         && not (String.length t > 3 && String.sub t 0 4 = "sup#"))
+       node_lines)
+
+let test_why_aggregate () =
+  (* explanation trees descend through aggregate rules into the
+     contributing body facts *)
+  let e =
+    setup
+      {|
+emp(e1, sales, 100). emp(e2, sales, 150).
+module stats.
+export total(bf).
+total(D, sum(S)) :- emp(E, D, S).
+end_module.
+|}
+  in
+  let tree = Coral.why e "total(sales, 250)" in
+  let has needle =
+    let n = String.length needle and h = String.length tree in
+    let rec go i = i + n <= h && (String.sub tree i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "aggregate root" true (has "total(sales, 250)");
+  Alcotest.(check bool) "first contributor" true (has "emp(e1, sales, 100)");
+  Alcotest.(check bool) "second contributor" true (has "emp(e2, sales, 150)")
+
+let test_why_no_answers () =
+  let e = setup tc_program in
+  Alcotest.(check string) "no answers" "no answers.\n" (Coral.why e "path(4, 1)")
+
+let test_why_errors () =
+  let e = setup tc_program in
+  let starts_with_error s = String.length s >= 6 && String.sub s 0 6 = "error:" in
+  Alcotest.(check bool) "unknown predicate" true (starts_with_error (Coral.why e "nope(1)"));
+  Alcotest.(check bool) "conjunction rejected" true
+    (starts_with_error (Coral.why e "path(1, X), path(X, 4)"))
+
+(* ------------------------------------------------------------------ *)
+(* Module management and calls                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_module_reload () =
+  let e = setup tc_program in
+  check e "path(3, Y)" [ [ "4" ] ];
+  (* reload the module with different rules: plans must be invalidated *)
+  Coral.consult_text e
+    {|
+module paths.
+export path(bf).
+path(X, Y) :- edge(Y, X).
+end_module.
+|};
+  check e "path(3, Y)" [ [ "2" ] ]
+
+let test_call_depth_guard () =
+  (* two modules calling each other recursively: the engine must fail
+     cleanly instead of looping *)
+  let e =
+    setup
+      {|
+seed(1).
+module a.
+export pa(b).
+pa(X) :- seed(X), pb(X).
+end_module.
+module b.
+export pb(b).
+pb(X) :- seed(X), pa(X).
+end_module.
+|}
+  in
+  Alcotest.check_raises "depth guard"
+    (Coral.Engine.Engine_error "module call depth exceeded (recursive module invocation?)")
+    (fun () -> ignore (Coral.query_rows e "pa(1)"))
+
+let test_top_level_negation () =
+  let e = setup tc_program in
+  check e "edge(X, Y), not path(Y, 4)" [ [ "3"; "4" ] ]
+
+let test_direct_call () =
+  let e = setup tc_program in
+  let seq = Coral.call e "path" [| Coral.int 2; Coral.var 0 |] in
+  Alcotest.(check int) "two answers from 2" 2 (Seq.length seq);
+  let seq = Coral.call e "edge" [| Coral.var 0; Coral.int 3 |] in
+  Alcotest.(check int) "base call" 1 (Seq.length seq)
+
+let test_consult_file () =
+  let path = Filename.temp_file "coral" ".coral" in
+  let oc = open_out path in
+  output_string oc "fruit(apple).\nfruit(pear).\n?- fruit(X).\n";
+  close_out oc;
+  let e = Coral.create () in
+  let results = Coral.Engine.consult_file (Coral.engine e) path in
+  Sys.remove path;
+  Alcotest.(check int) "one query result" 1 (List.length results);
+  (match results with
+  | [ (_, r) ] -> Alcotest.(check int) "two fruits" 2 (List.length r.Coral.Engine.rows)
+  | _ -> Alcotest.fail "results");
+  check e "fruit(X)" [ [ "apple" ]; [ "pear" ] ]
+
+let test_define_predicate () =
+  let e = Coral.create () in
+  Coral.define_predicate e "square" 2 (fun args env ->
+      match Coral.Unify.resolve args.(0) env with
+      | Term.Const (Value.Int n) -> Seq.return [| Term.int n; Term.int (n * n) |]
+      | _ -> Seq.empty);
+  Coral.facts e "num" [ [ Coral.int 3 ]; [ Coral.int 5 ] ];
+  Coral.consult_text e
+    "module m.\nexport squares(ff).\nsquares(X, Y) :- num(X), square(X, Y).\nend_module.";
+  check e "squares(X, Y)" [ [ "3"; "9" ]; [ "5"; "25" ] ]
+
+let test_user_clauses_and_queries () =
+  let e = Coral.create () in
+  Coral.consult_text e "likes(ann, beer).\nlikes(bob, X) :- likes(ann, X).";
+  check e "likes(bob, X)" [ [ "beer" ] ];
+  (* user rules are re-planned when clauses are added *)
+  Coral.consult_text e "likes(ann, wine).";
+  check e "likes(bob, X)" [ [ "beer" ]; [ "wine" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Abstract data types through the facade                              *)
+(* ------------------------------------------------------------------ *)
+
+type money = { cents : int }
+
+exception Money of money
+
+let test_opaque_values () =
+  let money =
+    Coral.define_type ~name:"money"
+      ~compare:(fun a b ->
+        match a, b with Money x, Money y -> compare x.cents y.cents | _ -> assert false)
+      ~print:(fun ppf -> function
+        | Money m -> Format.fprintf ppf "$%d.%02d" (m.cents / 100) (m.cents mod 100)
+        | _ -> assert false)
+      ()
+  in
+  let e = Coral.create () in
+  Coral.facts e "price"
+    [ [ Coral.atom "tea"; money (Money { cents = 250 }) ];
+      [ Coral.atom "coffee"; money (Money { cents = 420 }) ]
+    ];
+  (* equality and duplicate elimination work through user ops *)
+  let rel = Coral.relation e "price" 2 in
+  Alcotest.(check bool) "dup rejected" false
+    (Coral.Relation.insert_terms rel [| Coral.atom "tea"; money (Money { cents = 250 }) |]);
+  (* aggregation orders through user compare *)
+  Coral.consult_text e
+    "module m.\nexport cheapest(f).\ncheapest(min(P)) :- price(I, P).\nend_module.";
+  check e "cheapest(P)" [ [ "$2.50" ] ];
+  (* printing via user ops *)
+  check e "price(tea, P)" [ [ "$2.50" ] ]
+
+let () =
+  Alcotest.run "coral_engine"
+    [ ( "builtins",
+        [ Alcotest.test_case "lists" `Quick test_list_builtins;
+          Alcotest.test_case "numeric" `Quick test_numeric_builtins;
+          Alcotest.test_case "strings" `Quick test_string_builtins
+        ] );
+      ("updates", [ Alcotest.test_case "assert/retract" `Quick test_assert_retract ]);
+      ( "explanation",
+        [ Alcotest.test_case "derivation tree" `Quick test_why_tree;
+          Alcotest.test_case "aggregate witnesses" `Quick test_why_aggregate;
+          Alcotest.test_case "no answers" `Quick test_why_no_answers;
+          Alcotest.test_case "errors" `Quick test_why_errors
+        ] );
+      ( "modules",
+        [ Alcotest.test_case "reload invalidates plans" `Quick test_module_reload;
+          Alcotest.test_case "call depth guard" `Quick test_call_depth_guard;
+          Alcotest.test_case "top-level negation" `Quick test_top_level_negation;
+          Alcotest.test_case "direct calls" `Quick test_direct_call;
+          Alcotest.test_case "consult file" `Quick test_consult_file;
+          Alcotest.test_case "foreign predicates" `Quick test_define_predicate;
+          Alcotest.test_case "interactive clauses" `Quick test_user_clauses_and_queries
+        ] );
+      ("extensibility", [ Alcotest.test_case "opaque values" `Quick test_opaque_values ])
+    ]

@@ -1,0 +1,77 @@
+(* The shipped example programs (examples/programs/*.coral) must load
+   and answer their embedded queries correctly. *)
+
+open Coral_term
+
+(* resolve the program file both under `dune runtest` (cwd = the test
+   directory in _build, with ../examples staged as deps) and under
+   `dune exec` from the workspace root *)
+let find_program name =
+  let candidates =
+    [ Filename.concat "../examples/programs" name;
+      Filename.concat "examples/programs" name;
+      Filename.concat "programs" name
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "program %s not found (cwd %s)" name (Sys.getcwd ())
+
+let load name =
+  let e = Coral.create () in
+  let results = Coral.Engine.consult_file (Coral.engine e) (find_program name) in
+  e, results
+
+let test_flights () =
+  let e, results = load "flights.coral" in
+  Alcotest.(check int) "two embedded queries" 2 (List.length results);
+  (* msn reaches everything, including back to ord via the cycle *)
+  let reach = Coral.query_rows e "reachable(msn, Y)" in
+  Alcotest.(check bool) "reaches tokyo" true (Coral.exists e "reachable(msn, nrt)");
+  Alcotest.(check bool) "reaches london" true (Coral.exists e "reachable(msn, lhr)");
+  Alcotest.(check bool) "seven destinations" true (List.length reach >= 6);
+  (* cheapest fare to london: msn->dtw->jfk->lhr = 90+160+450 = 700 *)
+  (match Coral.query_rows e "best_fare(msn, lhr, C)" with
+  | [ [| Term.Const (Value.Int c) |] ] -> Alcotest.(check int) "best fare" 700 c
+  | _ -> Alcotest.fail "expected one fare");
+  (* the explanation tool reaches through the module *)
+  let tree = Coral.why e "reachable(msn, lhr)" in
+  Alcotest.(check bool) "explanation produced" true (String.length tree > 40)
+
+let test_genealogy () =
+  let e, results = load "genealogy.coral" in
+  Alcotest.(check int) "four embedded queries" 4 (List.length results);
+  Alcotest.(check int) "alice's descendants" 6
+    (List.length (Coral.query_rows e "ancestor(alice, Y)"));
+  Alcotest.(check int) "gina's ancestors" 3
+    (List.length (Coral.query_rows e "ancestor(X, gina)"));
+  let leaves =
+    Coral.query_rows e "leaf(X)"
+    |> List.map (fun r -> Term.to_string r.(0))
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "leaves" [ "dave"; "frank"; "gina" ] leaves;
+  (match Coral.query_rows e "offspring(bob, K)" with
+  | [ [| k |] ] -> Alcotest.(check string) "bob's offspring" "[dave, erin, gina]" (Term.to_string k)
+  | _ -> Alcotest.fail "offspring")
+
+let test_company () =
+  let e, results = load "company.coral" in
+  Alcotest.(check int) "three embedded queries" 3 (List.length results);
+  (* vp1's org: m1, m2, e1, e2, e3 = 2000+2100+1000+1100+900 = 7100 *)
+  (match Coral.query_rows e "org_cost(vp1, T)" with
+  | [ [| Term.Const (Value.Int t) |] ] -> Alcotest.(check int) "vp1 org cost" 7100 t
+  | _ -> Alcotest.fail "org cost");
+  (match Coral.query_rows e "headcount(ceo, N)" with
+  | [ [| Term.Const (Value.Int n) |] ] -> Alcotest.(check int) "ceo headcount" 7 n
+  | _ -> Alcotest.fail "headcount");
+  Alcotest.(check int) "e1's chain" 3 (List.length (Coral.query_rows e "chain(e1, B)"))
+
+let () =
+  Alcotest.run "coral_programs"
+    [ ( "programs",
+        [ Alcotest.test_case "flights" `Quick test_flights;
+          Alcotest.test_case "genealogy" `Quick test_genealogy;
+          Alcotest.test_case "company" `Quick test_company
+        ] )
+    ]

@@ -1,0 +1,361 @@
+(* Tests for the storage manager: pages, heap files, B-trees, write
+   ahead logging, and persistent relations. *)
+
+open Coral_term
+open Coral_rel
+open Coral_storage
+
+let tmpdir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let tmpfile prefix = Filename.temp_file prefix ".pages"
+
+(* ------------------------------------------------------------------ *)
+(* Pages                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_basics () =
+  let p = Bytes.make Page.page_size '\000' in
+  Page.init p;
+  let s1 = Option.get (Page.insert p "hello") in
+  let s2 = Option.get (Page.insert p "world!") in
+  Alcotest.(check (option string)) "read 1" (Some "hello") (Page.read p s1);
+  Alcotest.(check (option string)) "read 2" (Some "world!") (Page.read p s2);
+  Alcotest.(check bool) "delete" true (Page.delete p s1);
+  Alcotest.(check (option string)) "deleted gone" None (Page.read p s1);
+  Alcotest.(check (option string)) "other intact" (Some "world!") (Page.read p s2);
+  Alcotest.(check (option string)) "empty record" (Some "") (Option.map (fun _ -> "") (Page.insert p ""))
+
+let test_page_fill_and_compact () =
+  let p = Bytes.make Page.page_size '\000' in
+  Page.init p;
+  let record = String.make 100 'x' in
+  let slots = ref [] in
+  (try
+     while true do
+       match Page.insert p record with
+       | Some s -> slots := s :: !slots
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  let n = List.length !slots in
+  Alcotest.(check bool) "fills about 78 slots" true (n >= 70 && n <= 85);
+  (* delete every other record; compaction reclaims the space *)
+  List.iteri (fun i s -> if i mod 2 = 0 then ignore (Page.delete p s)) !slots;
+  let more = ref 0 in
+  (try
+     while true do
+       match Page.insert p record with
+       | Some _ -> incr more
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "space reclaimed" true (!more >= n / 2 - 2)
+
+(* ------------------------------------------------------------------ *)
+(* Heap files & buffer pool                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_file () =
+  let path = tmpfile "heap" in
+  let disk = Disk.create path in
+  let bp = Buffer_pool.create ~frames:4 disk in
+  let heap = Heap_file.create bp in
+  let payload i = Printf.sprintf "record-%04d-%s" i (String.make 500 'x') in
+  let rids = List.init 1000 (fun i -> Heap_file.insert heap (payload i)) in
+  List.iteri
+    (fun i rid ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "read %d" i)
+        (Some (payload i))
+        (Heap_file.read heap rid))
+    rids;
+  (* the pool is 4 frames; a sequential re-read of every page must miss *)
+  let st = Buffer_pool.stats bp in
+  Alcotest.(check bool) "evictions happened" true (st.Buffer_pool.evictions > 0);
+  ignore (Heap_file.delete heap (List.hd rids));
+  Alcotest.(check (option string)) "deleted" None (Heap_file.read heap (List.hd rids));
+  let count = ref 0 in
+  Heap_file.iter heap (fun _ _ -> incr count);
+  Alcotest.(check int) "iter sees live records" 999 !count;
+  Buffer_pool.flush bp;
+  Disk.close disk;
+  Sys.remove path
+
+let test_buffer_pool_writeback () =
+  let path = tmpfile "pool" in
+  let disk = Disk.create path in
+  let bp = Buffer_pool.create ~frames:2 disk in
+  ignore (Disk.alloc disk);
+  let p1 = Disk.alloc disk and p2 = Disk.alloc disk and p3 = Disk.alloc disk in
+  Buffer_pool.with_page bp p1 (fun b -> Bytes.set b 0 'A', true);
+  Buffer_pool.with_page bp p2 (fun b -> Bytes.set b 0 'B', true);
+  (* faulting p3 in evicts a dirty page, which must be written back *)
+  Buffer_pool.with_page bp p3 (fun b -> Bytes.set b 0 'C', true);
+  Buffer_pool.flush bp;
+  let check pid expected =
+    let buf = Bytes.create Page.page_size in
+    Disk.read disk pid buf;
+    Alcotest.(check char) (Printf.sprintf "page %d" pid) expected (Bytes.get buf 0)
+  in
+  check p1 'A';
+  check p2 'B';
+  check p3 'C';
+  Alcotest.(check bool) "writeback counted" true
+    ((Buffer_pool.stats bp).Buffer_pool.writebacks >= 1);
+  Disk.close disk;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* B-trees                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_basics () =
+  let path = tmpfile "btree" in
+  let disk = Disk.create path in
+  let bp = Buffer_pool.create disk in
+  let tree = Btree.create bp in
+  for i = 0 to 999 do
+    Btree.insert tree (Printf.sprintf "key%04d" i) (i * 7)
+  done;
+  Alcotest.(check (list int)) "point lookup" [ 3500 ] (Btree.find_all tree "key0500");
+  Alcotest.(check (list int)) "missing" [] (Btree.find_all tree "nokey");
+  Alcotest.(check int) "cardinal" 1000 (Btree.cardinal tree);
+  Alcotest.(check bool) "tree actually split" true (Btree.height tree > 1);
+  (* range scan *)
+  let seen = ref [] in
+  Btree.iter_range tree ~lo:"key0010" ~hi:"key0013" (fun k v ->
+      seen := (k, v) :: !seen;
+      true);
+  Alcotest.(check int) "range size" 4 (List.length !seen);
+  (* keys come back in order over the whole tree *)
+  let keys = ref [] in
+  Btree.iter_range tree (fun k _ ->
+      keys := k :: !keys;
+      true);
+  let sorted = List.rev !keys in
+  Alcotest.(check bool) "in-order traversal" true (sorted = List.sort compare sorted);
+  Alcotest.(check int) "traversal complete" 1000 (List.length sorted);
+  (* duplicates *)
+  Btree.insert tree "key0500" 999999;
+  Alcotest.(check int) "duplicate stored" 2 (List.length (Btree.find_all tree "key0500"));
+  Alcotest.(check bool) "delete specific dup" true (Btree.delete tree "key0500" 3500);
+  Alcotest.(check (list int)) "right one left" [ 999999 ] (Btree.find_all tree "key0500");
+  Disk.close disk;
+  Sys.remove path
+
+let prop_btree_vs_model =
+  QCheck2.Test.make ~name:"btree agrees with a reference map" ~count:30
+    QCheck2.Gen.(list_size (int_range 0 400) (pair (int_range 0 50) (int_range 0 3)))
+    (fun ops ->
+      let path = tmpfile "btqc" in
+      let disk = Disk.create path in
+      let bp = Buffer_pool.create ~frames:8 disk in
+      let tree = Btree.create bp in
+      let model : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iteri
+        (fun i (k, op) ->
+          let key = Printf.sprintf "k%02d" k in
+          if op = 3 then begin
+            (* delete one value if present *)
+            match Hashtbl.find_opt model key with
+            | Some ({ contents = v :: rest } as cell) ->
+              ignore (Btree.delete tree key v);
+              cell := rest
+            | _ -> ignore (Btree.delete tree key i)
+          end
+          else begin
+            Btree.insert tree key i;
+            match Hashtbl.find_opt model key with
+            | Some cell -> cell := i :: !cell
+            | None -> Hashtbl.add model key (ref [ i ])
+          end;
+          let expected =
+            match Hashtbl.find_opt model key with Some c -> List.sort compare !c | None -> []
+          in
+          let actual = List.sort compare (Btree.find_all tree key) in
+          if expected <> actual then ok := false)
+        ops;
+      Disk.close disk;
+      Sys.remove path;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec () =
+  let row =
+    [| Term.int 42; Term.int (-7); Term.int min_int; Term.double 3.25; Term.double (-0.0);
+       Term.str "hello world"; Term.str ""; Term.big (Bignum.of_string "123456789012345678901234567890")
+    |]
+  in
+  let decoded = Codec.decode (Codec.encode row) in
+  Alcotest.(check bool) "roundtrip" true (Term.equal_array row decoded);
+  Alcotest.check_raises "variables rejected"
+    (Codec.Unstorable "variables cannot be stored persistently") (fun () ->
+      ignore (Codec.encode [| Term.var 0 |]))
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrips random primitive rows" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 0 6)
+        (oneof
+           [ map Term.int int;
+             map Term.double (float_bound_inclusive 1e9);
+             map Term.str (string_size ~gen:printable (int_range 0 30))
+           ]))
+    (fun row ->
+      let arr = Array.of_list row in
+      Term.equal_array arr (Codec.decode (Codec.encode arr)))
+
+let prop_key_encoding_order =
+  QCheck2.Test.make ~name:"key encoding preserves int order" ~count:500
+    QCheck2.Gen.(pair int int)
+    (fun (a, b) ->
+      let ka = Codec.encode_key (Term.int a) and kb = Codec.encode_key (Term.int b) in
+      compare (compare ka kb) 0 = compare (compare a b) 0)
+
+(* ------------------------------------------------------------------ *)
+(* WAL and recovery                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_recovery () =
+  let path = tmpfile "wal" in
+  let disk = Disk.create path in
+  ignore (Disk.alloc disk);
+  let pid = Disk.alloc disk in
+  Disk.sync disk;
+  (* a committed change that never reached the data file *)
+  let wal = Wal.create (path ^ ".log") in
+  let image = Bytes.make Page.page_size 'Z' in
+  Wal.commit wal [ pid, image ];
+  Wal.close wal;
+  (* crash here: reopen and recover *)
+  let wal = Wal.create (path ^ ".log") in
+  let replayed = Wal.recover wal disk in
+  Alcotest.(check int) "one page replayed" 1 replayed;
+  let buf = Bytes.create Page.page_size in
+  Disk.read disk pid buf;
+  Alcotest.(check char) "image restored" 'Z' (Bytes.get buf 0);
+  (* a torn tail (no commit marker) is ignored *)
+  Wal.checkpoint wal;
+  let fd = Unix.openfile (path ^ ".log") [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  ignore (Unix.write fd (Bytes.make 10 '\001') 0 10);
+  Unix.close fd;
+  let wal2 = Wal.create (path ^ ".log") in
+  Alcotest.(check int) "torn tail ignored" 0 (Wal.recover wal2 disk);
+  Wal.close wal;
+  Wal.close wal2;
+  Disk.close disk;
+  Sys.remove path;
+  Sys.remove (path ^ ".log")
+
+(* ------------------------------------------------------------------ *)
+(* Persistent relations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_persistent_relation () =
+  let dir = tmpdir "prel" in
+  let h = Persistent_relation.open_ ~indexes:[ 0 ] ~dir ~name:"edge" ~arity:2 () in
+  let rel = Persistent_relation.relation h in
+  for i = 1 to 500 do
+    ignore (Relation.insert_terms rel [| Term.int (i mod 50); Term.int i |])
+  done;
+  Alcotest.(check int) "cardinal" 500 (Relation.cardinal rel);
+  Alcotest.(check bool) "duplicate rejected" false
+    (Relation.insert_terms rel [| Term.int 1; Term.int 1 |]);
+  (* index probe via the pattern interface *)
+  let pattern = [| Term.int 7; Term.var 0 |], Coral_term.Bindenv.empty in
+  let hits = List.of_seq (Relation.scan rel ~pattern ()) in
+  Alcotest.(check int) "index probe" 10 (List.length hits);
+  (* persistence across close/reopen *)
+  Persistent_relation.close h;
+  let h2 = Persistent_relation.open_ ~indexes:[ 0 ] ~dir ~name:"edge" ~arity:2 () in
+  let rel2 = Persistent_relation.relation h2 in
+  Alcotest.(check int) "reopened cardinal" 500 (Relation.cardinal rel2);
+  let hits2 = List.of_seq (Relation.scan rel2 ~pattern ()) in
+  Alcotest.(check int) "reopened probe" 10 (List.length hits2);
+  (* delete *)
+  let deleted =
+    Relation.delete rel2 (fun t ->
+        match t.Tuple.terms.(1) with Term.Const (Value.Int i) -> i <= 50 | _ -> false)
+  in
+  Alcotest.(check int) "deleted" 50 deleted;
+  Alcotest.(check int) "after delete" 450 (Relation.cardinal rel2);
+  Persistent_relation.close h2
+
+let test_persistent_in_queries () =
+  (* persistent relation plugged into the engine via set_relation *)
+  let dir = tmpdir "pq" in
+  let h = Persistent_relation.open_ ~indexes:[ 0 ] ~dir ~name:"edge" ~arity:2 () in
+  let rel = Persistent_relation.relation h in
+  List.iter
+    (fun (a, b) -> ignore (Relation.insert_terms rel [| Term.int a; Term.int b |]))
+    [ 1, 2; 2, 3; 3, 4 ];
+  let e = Coral_eval.Engine.create () in
+  Coral_eval.Engine.set_relation e (Symbol.intern "edge") rel;
+  ignore
+    (Coral_eval.Engine.consult e
+       {|
+module paths.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+|});
+  let r = Coral_eval.Engine.query_string e "path(1, Y)" in
+  Alcotest.(check int) "closure over persistent edges" 3 (List.length r.Coral_eval.Engine.rows);
+  Persistent_relation.close h
+
+let test_database () =
+  let dir = tmpdir "db" in
+  let db = Database.open_ ~pool_frames:16 dir in
+  let edges = Database.relation db ~indexes:[ 0 ] ~name:"edges" ~arity:2 () in
+  let names = Database.relation db ~name:"names" ~arity:2 () in
+  for i = 0 to 99 do
+    ignore (Relation.insert_terms edges [| Term.int i; Term.int (i + 1) |]);
+    ignore (Relation.insert_terms names [| Term.int i; Term.str (Printf.sprintf "n%d" i) |])
+  done;
+  (* repeated opens return the same relation *)
+  let again = Database.relation db ~name:"edges" ~arity:2 () in
+  Alcotest.(check bool) "same relation" true (edges == again);
+  Alcotest.(check int) "two relations" 2 (List.length (Database.relations db));
+  Database.commit db;
+  Database.close db;
+  (* everything survives a reopen *)
+  let db2 = Database.open_ ~pool_frames:16 dir in
+  let edges2 = Database.relation db2 ~indexes:[ 0 ] ~name:"edges" ~arity:2 () in
+  let names2 = Database.relation db2 ~name:"names" ~arity:2 () in
+  Alcotest.(check int) "edges back" 100 (Relation.cardinal edges2);
+  Alcotest.(check int) "names back" 100 (Relation.cardinal names2);
+  Alcotest.(check bool) "stats cover all files" true (List.length (Database.io_stats db2) >= 4);
+  Database.close db2
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "coral_storage"
+    [ ( "page",
+        [ Alcotest.test_case "basics" `Quick test_page_basics;
+          Alcotest.test_case "fill & compact" `Quick test_page_fill_and_compact
+        ] );
+      ( "heap & pool",
+        [ Alcotest.test_case "heap file" `Quick test_heap_file;
+          Alcotest.test_case "writeback" `Quick test_buffer_pool_writeback
+        ] );
+      ("btree", [ Alcotest.test_case "basics" `Quick test_btree_basics ] @ qcheck [ prop_btree_vs_model ]);
+      ( "codec",
+        [ Alcotest.test_case "roundtrip" `Quick test_codec ]
+        @ qcheck [ prop_codec_roundtrip; prop_key_encoding_order ] );
+      ("wal", [ Alcotest.test_case "recovery" `Quick test_wal_recovery ]);
+      ( "persistent",
+        [ Alcotest.test_case "relation" `Quick test_persistent_relation;
+          Alcotest.test_case "engine integration" `Quick test_persistent_in_queries;
+          Alcotest.test_case "database" `Quick test_database
+        ] )
+    ]
