@@ -2,9 +2,26 @@
 
 let now_ns () = Monotonic_clock.now ()
 
+(* Every measurement is also recorded machine-readably so the harness
+   can emit BENCH_core.json next to the printed tables: one record per
+   [measure] call, labelled experiment#seq (the perf trajectory across
+   PRs diffs these files). *)
+type record = {
+  experiment : string;
+  workload : string;
+  median_s : float;
+  inserts : int;
+  duplicates : int;
+  scans : int;
+}
+
+let current_experiment = ref ""
+let record_seq = ref 0
+let records : record list ref = ref []
+
 (* Median wall time over [runs] executions (the result of the last run
    is returned); work counters are captured for the last run only. *)
-let measure ?(runs = 3) f =
+let measure ?(runs = 3) ?label f =
   let times = ref [] in
   let result = ref None in
   for _ = 1 to runs do
@@ -18,7 +35,46 @@ let measure ?(runs = 3) f =
   let sorted = List.sort compare !times in
   let median = List.nth sorted (List.length sorted / 2) in
   let inserts, duplicates, scans = Coral.Relation.global_stats () in
+  incr record_seq;
+  let workload =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "#%02d" !record_seq
+  in
+  records :=
+    { experiment = !current_experiment; workload; median_s = median; inserts; duplicates; scans }
+    :: !records;
   median, Option.get !result, (inserts, duplicates, scans)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "{\n  \"workloads\": [\n";
+  let rows = List.rev !records in
+  List.iteri
+    (fun i r ->
+      output_string oc
+        (Printf.sprintf
+           "    {\"experiment\": \"%s\", \"workload\": \"%s\", \"median_s\": %.6e, \
+            \"inserts\": %d, \"duplicates\": %d, \"scans\": %d}%s\n"
+           (json_escape r.experiment) (json_escape r.workload) r.median_s r.inserts r.duplicates
+           r.scans
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
 
 let fmt_time t =
   if t < 1e-3 then Printf.sprintf "%.0fus" (t *. 1e6)
@@ -31,6 +87,12 @@ let fmt_int n =
   else string_of_int n
 
 let header title explain =
+  (* the experiment tag is the title up to the first ':' ("E3 seminaive") *)
+  current_experiment :=
+    (match String.index_opt title ':' with
+    | Some i -> String.trim (String.sub title 0 i)
+    | None -> title);
+  record_seq := 0;
   Printf.printf "\n=== %s ===\n%s\n\n" title explain
 
 let table columns rows =

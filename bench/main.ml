@@ -758,5 +758,7 @@ let () =
       exit 1
     end;
     print_endline "CORAL benchmark harness (see DESIGN.md section 3 / EXPERIMENTS.md)";
-    List.iter (fun (_, f) -> f ()) selected
+    List.iter (fun (_, f) -> f ()) selected;
+    write_json "BENCH_core.json";
+    Printf.printf "\nwrote BENCH_core.json (%d measurements)\n" (List.length !records)
   end

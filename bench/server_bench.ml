@@ -1,0 +1,120 @@
+(* Server throughput benchmark: drives coral_server's wire protocol
+   over real TCP sockets and reports requests/second.
+
+   Run:  dune exec bench/server_bench.exe [-- --clients N] [--requests N]
+
+   The workload is the serving sweet spot: a recursive path/2 module
+   over a random graph, queried with rotating bound sources so every
+   request after the first warm-up hits the prepared-plan cache.  Each
+   client thread owns one connection and issues its requests back to
+   back; engine work is serialized by the store lock, so the numbers
+   measure protocol + dispatch + evaluation end to end. *)
+
+let program =
+  "module paths.\n\
+   export path(bf).\n\
+   path(X, Y) :- edge(X, Y).\n\
+   path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+   end_module.\n"
+
+let nodes = 64
+
+let build_db () =
+  let db = Coral.create () in
+  let rand = ref 123456789 in
+  let next_rand bound =
+    rand := (!rand * 1103515245) + 12345;
+    (!rand lsr 7) mod bound
+  in
+  for i = 0 to nodes - 1 do
+    Coral.fact db "edge" [ Coral.int i; Coral.int ((i + 1) mod nodes) ];
+    Coral.fact db "edge" [ Coral.int i; Coral.int (next_rand nodes) ]
+  done;
+  Coral.consult_text db program;
+  db
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd
+
+let request (ic, oc, _) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let rec drain n =
+    match In_channel.input_line ic with
+    | None -> failwith "server closed the connection"
+    | Some line when Coral_server.Protocol.is_status line ->
+      if String.starts_with ~prefix:"err " line then failwith ("server error: " ^ line);
+      n
+    | Some _ -> drain (n + 1)
+  in
+  drain 0
+
+let client port requests id =
+  let conn = connect port in
+  let answers = ref 0 in
+  for i = 0 to requests - 1 do
+    let src = (id + (i * 7)) mod nodes in
+    answers := !answers + request conn (Printf.sprintf "query path(%d, Y)" src)
+  done;
+  ignore (request conn "quit");
+  let _, _, fd = conn in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  !answers
+
+let () =
+  let clients = ref 4 and requests = ref 250 in
+  let rec parse_args = function
+    | [] -> ()
+    | "--clients" :: n :: rest ->
+      clients := int_of_string n;
+      parse_args rest
+    | "--requests" :: n :: rest ->
+      requests := int_of_string n;
+      parse_args rest
+    | arg :: _ ->
+      Printf.eprintf "usage: server_bench [--clients N] [--requests N] (got %s)\n" arg;
+      exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let db = build_db () in
+  let srv = Coral_server.Server.start ~listen:(`Tcp ("127.0.0.1", 0)) db in
+  let port = Coral_server.Server.port srv in
+  Printf.printf "server_bench: %d clients x %d requests against path/2 over %d nodes\n%!"
+    !clients !requests nodes;
+  (* warm the prepared-plan cache so the steady state is measured *)
+  let warm = connect port in
+  ignore (request warm "query path(0, Y)");
+  ignore (request warm "quit");
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init !clients (fun id -> Thread.create (fun () -> client port !requests id) ())
+  in
+  List.iter Thread.join threads;
+  let dt = Unix.gettimeofday () -. t0 in
+  let total = !clients * !requests in
+  Printf.printf "total: %d requests in %.3fs -> %.0f requests/second\n" total dt
+    (float_of_int total /. dt);
+  (* the stats request shows where the time went *)
+  let conn = connect port in
+  let ic, oc, fd = conn in
+  output_string oc "stats\n";
+  flush oc;
+  let rec dump () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line when Coral_server.Protocol.is_status line -> ()
+    | Some line ->
+      let line =
+        if String.starts_with ~prefix:"txt " line then String.sub line 4 (String.length line - 4)
+        else line
+      in
+      print_endline ("  " ^ line);
+      dump ()
+  in
+  dump ();
+  ignore oc;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Coral_server.Server.shutdown srv

@@ -1,10 +1,17 @@
 (* The CORAL interactive interpreter.
 
    Usage: coral [options] [file.coral ...]
-     -q QUERY   evaluate one query after loading the files and exit
-     -e TEXT    consult program text given on the command line
-     --stats    print engine statistics on exit
-     --batch    do not enter the interactive prompt
+     -q QUERY        evaluate one query after loading the files and exit
+     -e TEXT         consult program text given on the command line
+     --stats         print engine statistics on exit
+     --batch         do not enter the interactive prompt
+     --connect TGT   act as a client of a running coral_server
+                     (TGT = host:port or a Unix-socket path); input
+                     lines are protocol requests, e.g. "query path(1, Y)"
+
+   Errors (parse failures, unknown predicates, evaluation errors) are
+   reported as single-line diagnostics — error[CODE]: message — using
+   the same codes as the server protocol, and never kill the loop.
 
    At the prompt: facts, rules and modules extend the database; queries
    ([?- p(1, X).] — the [?-] is optional for [p(1, X).]-style atoms
@@ -29,6 +36,12 @@ let help_text =
   \  explain(path(1, X)).             show the rewritten program\n\
   \  why(path(1, 3)).                 show a derivation tree\n\
   \  relations.  modules.  stats.  help.  quit.\n"
+
+(* Single-line diagnostics, server-style: parse failures, unknown
+   predicates etc. print one "error[CODE]: message" line (codes match
+   the server protocol's error replies) and the loop continues. *)
+let diag code msg =
+  Printf.printf "error[%s]: %s\n" code (Coral_server.Protocol.one_line msg)
 
 let print_result (r : Coral.Engine.query_result) =
   match r.Coral.Engine.rows with
@@ -72,8 +85,8 @@ let handle_command db (a : Coral.Ast.atom) =
        Coral.consult_file db file;
        Printf.printf "consulted %s\n" file
      with
-    | Coral.Engine.Engine_error e -> Printf.printf "error: %s\n" e
-    | Sys_error e -> Printf.printf "error: %s\n" e);
+    | Coral.Engine.Engine_error e -> diag "EVAL" e
+    | Sys_error e -> diag "EVAL" e);
     true
   | "explain", [| Coral.Term.App inner |] ->
     let text =
@@ -87,30 +100,37 @@ let handle_command db (a : Coral.Ast.atom) =
     true
   | _ -> false
 
+(* Items are processed with per-item fault isolation: an unknown
+   predicate in one query must not abandon the rest of the batch. *)
 let process_items db items =
   List.iter
     (fun item ->
-      match (item : Coral.Ast.item) with
-      | Coral.Ast.Fact a when handle_command db a -> ()
-      | Coral.Ast.Fact a ->
-        ignore
-          (Coral.Relation.insert_terms
-             (Coral.relation db (Coral.Symbol.name a.Coral.Ast.pred) (Array.length a.Coral.Ast.args))
-             a.Coral.Ast.args)
-      | Coral.Ast.Clause_item r -> Coral.Engine.add_clause (Coral.engine db) r
-      | Coral.Ast.Module_item m -> begin
-        match Coral.Engine.load_module (Coral.engine db) m with
-        | Ok () -> Printf.printf "module %s loaded.\n" m.Coral.Ast.mname
-        | Error e -> Printf.printf "error: %s\n" e
-      end
-      | Coral.Ast.Query lits -> print_result (Coral.Engine.query (Coral.engine db) lits)
-      | Coral.Ast.Command (name, _) -> Printf.printf "unknown command @%s\n" name)
+      try
+        match (item : Coral.Ast.item) with
+        | Coral.Ast.Fact a when handle_command db a -> ()
+        | Coral.Ast.Fact a ->
+          ignore
+            (Coral.Relation.insert_terms
+               (Coral.relation db (Coral.Symbol.name a.Coral.Ast.pred) (Array.length a.Coral.Ast.args))
+               a.Coral.Ast.args)
+        | Coral.Ast.Clause_item r -> Coral.Engine.add_clause (Coral.engine db) r
+        | Coral.Ast.Module_item m -> begin
+          match Coral.Engine.load_module (Coral.engine db) m with
+          | Ok () -> Printf.printf "module %s loaded.\n" m.Coral.Ast.mname
+          | Error e -> diag "EVAL" e
+        end
+        | Coral.Ast.Query lits -> print_result (Coral.Engine.query (Coral.engine db) lits)
+        | Coral.Ast.Command (name, _) -> diag "PARSE" (Printf.sprintf "unknown command @%s" name)
+      with
+      | Coral.Engine.Engine_error e -> diag "EVAL" e
+      | Coral.Builtin.Eval_error e -> diag "EVAL" ("evaluation error: " ^ e)
+      | Failure e -> diag "EVAL" e)
     items
 
 let process_text db text =
   match Coral.Parser.program text with
   | Ok items -> process_items db items
-  | Error e -> Format.printf "%a@." Coral.Parser.pp_error e
+  | Error e -> diag "PARSE" (Format.asprintf "%a" Coral.Parser.pp_error e)
 
 (* Read until a line whose trailing non-space character is '.' and the
    input parses (modules span many clauses, so keep reading while the
@@ -152,17 +172,106 @@ let repl db =
       exit 0
     | Some text ->
       (try process_text db text with
-      | Coral.Engine.Engine_error e -> Printf.printf "error: %s\n" e
-      | Coral.Builtin.Eval_error e -> Printf.printf "evaluation error: %s\n" e
-      | Failure e -> Printf.printf "error: %s\n" e);
+      | Coral.Engine.Engine_error e -> diag "EVAL" e
+      | Coral.Builtin.Eval_error e -> diag "EVAL" ("evaluation error: " ^ e)
+      | Failure e -> diag "EVAL" e);
       loop ()
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Client mode: drive a running coral_server over its wire protocol    *)
+(* ------------------------------------------------------------------ *)
+
+let connect_fd target =
+  if String.contains target ':' && not (String.contains target '/') then begin
+    let i = String.rindex target ':' in
+    let host = String.sub target 0 i in
+    let port = int_of_string (String.sub target (i + 1) (String.length target - i - 1)) in
+    let addr =
+      match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+      | { Unix.ai_addr; _ } :: _ -> ai_addr
+      | [] -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+    in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Unix.connect fd addr;
+    fd
+  end
+  else begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX target);
+    fd
+  end
+
+let client_mode target =
+  let fd =
+    try connect_fd target with
+    | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot connect to %s: %s\n" target (Unix.error_message e);
+      exit 1
+    | Failure _ ->
+      Printf.eprintf "bad --connect target %s (host:port or socket path)\n" target;
+      exit 1
+  in
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  (* print one reply: payload lines stripped of their prefixes, then
+     the status line (errors in the repl's own diagnostic shape) *)
+  let rec print_reply () =
+    match In_channel.input_line ic with
+    | None ->
+      print_endline "server closed the connection.";
+      exit 0
+    | Some line when Coral_server.Protocol.is_status line ->
+      if line = "ok" then ()
+      else if String.starts_with ~prefix:"ok " line then
+        print_endline (String.sub line 3 (String.length line - 3))
+      else begin
+        match String.index_opt line ' ' with
+        | Some i -> begin
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          match String.index_opt rest ' ' with
+          | Some j ->
+            diag (String.sub rest 0 j) (String.sub rest (j + 1) (String.length rest - j - 1))
+          | None -> diag rest ""
+        end
+        | None -> print_endline line
+      end
+    | Some line ->
+      let stripped =
+        if String.starts_with ~prefix:"ans " line || String.starts_with ~prefix:"txt " line
+        then String.sub line 4 (String.length line - 4)
+        else line
+      in
+      print_endline stripped;
+      print_reply ()
+  in
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then
+    Printf.printf "connected to %s; protocol requests (query ..., stats, quit) one per line.\n"
+      target;
+  let rec loop () =
+    if interactive then begin
+      print_string "coral> ";
+      flush stdout
+    end;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      print_reply ();
+      if String.trim line <> "quit" then loop ()
+  in
+  loop ();
+  (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let () =
   let db = Coral.create () in
   let files = ref [] and queries = ref [] and texts = ref [] in
   let batch = ref false and stats = ref false in
+  let connect = ref "" in
   let rec parse_args = function
     | [] -> ()
     | "-q" :: q :: rest ->
@@ -178,29 +287,38 @@ let () =
     | "--stats" :: rest ->
       stats := true;
       parse_args rest
+    | "--connect" :: target :: rest ->
+      connect := target;
+      parse_args rest
     | ("-h" | "--help") :: _ ->
       print_string
-        "usage: coral [-q QUERY] [-e TEXT] [--batch] [--stats] [file.coral ...]\n";
+        "usage: coral [-q QUERY] [-e TEXT] [--batch] [--stats] [--connect HOST:PORT|PATH] [file.coral ...]\n";
       exit 0
     | file :: rest ->
       files := file :: !files;
       parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  if !connect <> "" then begin
+    client_mode !connect;
+    exit 0
+  end;
   List.iter
     (fun file ->
       try
         let results = Coral.Engine.consult_file (Coral.engine db) file in
         List.iter (fun (_, r) -> print_result r) results
       with Coral.Engine.Engine_error e ->
-        Printf.printf "error loading %s: %s\n" file e;
+        diag "EVAL" (Printf.sprintf "loading %s: %s" file e);
         exit 1)
     (List.rev !files);
   List.iter (fun text -> process_text db text) (List.rev !texts);
   List.iter
     (fun q ->
       try print_result (Coral.Engine.query_string (Coral.engine db) q)
-      with Coral.Engine.Engine_error e -> Printf.printf "error: %s\n" e)
+      with
+      | Coral.Engine.Engine_error e -> diag "EVAL" e
+      | Coral.Builtin.Eval_error e -> diag "EVAL" ("evaluation error: " ^ e))
     (List.rev !queries);
   if !stats then Format.printf "%a@." Coral.Engine.pp_stats (Coral.engine db);
   if not !batch then begin

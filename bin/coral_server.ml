@@ -1,0 +1,71 @@
+(* The CORAL query server.
+
+   Usage: coral_server [options] [file.coral ...]
+     --port N      listen on TCP 127.0.0.1:N (default 4240; 0 = ephemeral)
+     --host H      bind host (default 127.0.0.1)
+     --socket P    listen on a Unix-domain socket at path P instead
+     --quiet       do not print the listening banner
+
+   The given program files are consulted into the shared engine before
+   serving.  Protocol: see README.md ("The server protocol") — one
+   request per line (query, consult, insert, explain, why, stats,
+   timeout, ...), payload lines prefixed ans/txt, one ok/err status
+   line per reply. *)
+
+let () =
+  let host = ref "127.0.0.1" in
+  let port = ref 4240 in
+  let socket = ref "" in
+  let quiet = ref false in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--port" :: p :: rest ->
+      (match int_of_string_opt p with
+      | Some p when p >= 0 -> port := p
+      | _ ->
+        prerr_endline "coral_server: --port expects a port number";
+        exit 2);
+      parse_args rest
+    | "--host" :: h :: rest ->
+      host := h;
+      parse_args rest
+    | "--socket" :: p :: rest ->
+      socket := p;
+      parse_args rest
+    | "--quiet" :: rest ->
+      quiet := true;
+      parse_args rest
+    | ("-h" | "--help") :: _ ->
+      print_string
+        "usage: coral_server [--port N] [--host H] [--socket PATH] [--quiet] [file.coral ...]\n";
+      exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "coral_server: unknown option %s\n" arg;
+      exit 2
+    | file :: rest ->
+      files := file :: !files;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let db = Coral.create () in
+  let listen =
+    if !socket <> "" then `Unix !socket else `Tcp (!host, !port)
+  in
+  let srv =
+    try Coral_server.Server.start ~consult:(List.rev !files) ~listen db with
+    | Coral.Engine.Engine_error e ->
+      Printf.eprintf "coral_server: %s\n" e;
+      exit 1
+    | Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "coral_server: cannot listen: %s\n" (Unix.error_message err);
+      exit 1
+  in
+  if not !quiet then begin
+    (match listen with
+    | `Unix path -> Printf.printf "coral_server listening on %s\n" path
+    | `Tcp (host, _) ->
+      Printf.printf "coral_server listening on %s:%d\n" host (Coral_server.Server.port srv));
+    flush stdout
+  end;
+  Coral_server.Server.wait srv

@@ -61,6 +61,12 @@ let define_type ~name ?compare ?hash ?parse ~print () =
   let ops = Value.make_ops ~name ?compare ?hash ?parse ~print () in
   fun payload -> Term.const (Value.opaque ops payload)
 
+exception Cancelled = Engine.Cancelled
+
+let with_cancel = Engine.with_cancel_check
+let plan_cache_stats = Engine.plan_cache_stats
+let invalidate_plans = Engine.invalidate_plans
+
 let why t src =
   match Engine.why t src with
   | Ok text -> text

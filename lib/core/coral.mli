@@ -130,6 +130,29 @@ val define_type :
     hashing and printing flow from the given operations; hash-consing
     ids compose with every other type automatically. *)
 
+(** {1 Serving hooks}
+
+    Used by the serving layer ([lib/server]) and available to any
+    embedding host: per-request deadlines and prepared-plan control. *)
+
+exception Cancelled
+(** Raised out of {!query}/{!call} when the check installed by
+    {!with_cancel} fires mid-evaluation. *)
+
+val with_cancel : (unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_cancel check f] evaluates [f ()] with cooperative
+    cancellation: evaluation polls [check] (at fixpoint round
+    boundaries and, tick-based, inside long rounds) and raises
+    {!Cancelled} once it returns [true].  Nests; the previous check is
+    restored on exit. *)
+
+val plan_cache_stats : t -> int * int
+(** [(hits, misses)] of the session's query-form plan cache. *)
+
+val invalidate_plans : t -> unit
+(** Drop cached plans and save-module instances, e.g. after a bulk
+    base-relation update that must be visible to prepared queries. *)
+
 (** {1 Inspection} *)
 
 val explain : t -> string -> string

@@ -18,6 +18,8 @@ type t = {
   saved : (string, Fixpoint.t) Hashtbl.t;  (* save-module instances *)
   mutable user_rules : Ast.rule list;  (* the implicit interactive module *)
   mutable call_depth : int;
+  mutable plan_hits : int;  (* plan-cache requests answered from t.plans *)
+  mutable plan_misses : int;  (* plan-cache requests that ran the optimizer *)
 }
 
 let base_relation t pred arity =
@@ -37,7 +39,9 @@ let create ?(builtins = true) () =
       plans = Hashtbl.create 32;
       saved = Hashtbl.create 16;
       user_rules = [];
-      call_depth = 0
+      call_depth = 0;
+      plan_hits = 0;
+      plan_misses = 0
     }
   in
   if builtins then
@@ -196,8 +200,11 @@ let bridge_base_facts (m : Ast.module_) =
 let plan_in_module t (m : Ast.module_) pred adorn =
   let k = plan_key m pred adorn in
   match Hashtbl.find_opt t.plans k with
-  | Some p -> Ok p
+  | Some p ->
+    t.plan_hits <- t.plan_hits + 1;
+    Ok p
   | None -> begin
+    t.plan_misses <- t.plan_misses + 1;
     match Optimizer.plan_query ~module_:(bridge_base_facts m) ~pred ~adorn with
     | Ok p ->
       Hashtbl.add t.plans k p;
@@ -598,6 +605,26 @@ let why t src =
     end
   end
   | Ok _ -> Error "why expects a single positive literal"
+
+(* ------------------------------------------------------------------ *)
+(* Serving hooks: prepared-plan accounting and cancellation            *)
+(* ------------------------------------------------------------------ *)
+
+exception Cancelled = Fixpoint.Cancelled
+
+let with_cancel_check = Fixpoint.with_cancel_check
+
+let plan_cache_stats t = t.plan_hits, t.plan_misses
+
+let plan_cache_size t = Hashtbl.length t.plans
+
+(* Drop every cached plan and save-module instance.  Plans themselves
+   depend only on rules, but saved instances hold derived state that a
+   base-fact update invalidates; the serving layer calls this on every
+   mutation so prepared queries never observe stale derivations. *)
+let invalidate_plans t =
+  Hashtbl.reset t.plans;
+  Hashtbl.reset t.saved
 
 let list_relations t =
   Hashtbl.fold (fun k rel acc -> (k, Relation.cardinal rel) :: acc) t.base []

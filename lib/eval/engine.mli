@@ -97,6 +97,33 @@ val why : t -> string -> (string, string) result
     predicates (magic, supplementary, done) are elided and adorned
     names map back to source names. *)
 
+(** {1 Serving hooks}
+
+    What a query-serving layer needs from the engine: observable
+    prepared-plan accounting, explicit invalidation on mutation, and
+    cooperative cancellation for per-request deadlines. *)
+
+exception Cancelled
+(** Re-export of {!Fixpoint.Cancelled}: raised out of evaluation when
+    an installed cancel check fires. *)
+
+val with_cancel_check : (unit -> bool) -> (unit -> 'a) -> 'a
+(** Run a computation with a cancellation check installed; fixpoint
+    rounds, derivation attempts and pipelined resolution steps poll it
+    (tick-based) and raise {!Cancelled} once it returns [true]. *)
+
+val plan_cache_stats : t -> int * int
+(** [(hits, misses)] of the engine's plan cache: how many query-form
+    plan requests were answered from cache vs. ran the optimizer. *)
+
+val plan_cache_size : t -> int
+(** Number of cached plans. *)
+
+val invalidate_plans : t -> unit
+(** Drop all cached plans and save-module instances.  Call after
+    consulting new program text or mutating base relations when stale
+    derived state must not be observed by later queries. *)
+
 val list_relations : t -> (string * int) list
 (** (name/arity, cardinality) of every base relation. *)
 

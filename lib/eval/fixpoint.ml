@@ -6,6 +6,44 @@ open Module_struct
 exception Not_modularly_stratified of string
 
 (* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Cancelled
+
+(* The installed check is global: evaluation against a shared engine is
+   serialized by the callers that install checks (the server runs one
+   request at a time against its store), so a single slot suffices. *)
+let cancel_check : (unit -> bool) option ref = ref None
+let tick_interval = 2048
+let tick_budget = ref tick_interval
+
+(* Polled at round boundaries: always consults the check. *)
+let poll () =
+  match !cancel_check with
+  | Some check when check () -> raise Cancelled
+  | _ -> ()
+
+(* Counted per derivation attempt: consults the check (typically a
+   clock read) only every [tick_interval] ticks, so the overhead inside
+   a large round stays negligible. *)
+let tick () =
+  match !cancel_check with
+  | None -> ()
+  | Some check ->
+    decr tick_budget;
+    if !tick_budget <= 0 then begin
+      tick_budget := tick_interval;
+      if check () then raise Cancelled
+    end
+
+let with_cancel_check check f =
+  let prev = !cancel_check in
+  cancel_check := Some check;
+  tick_budget := tick_interval;
+  Fun.protect ~finally:(fun () -> cancel_check := prev) f
+
+(* ------------------------------------------------------------------ *)
 (* Ordered-Search context                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -194,6 +232,7 @@ let apply_rule t range (rule : crule) =
   if t.trace || os_magic_head then begin
     let witness = ref [] in
     Joiner.run ~rels:t.ms.rels ~range ~witness rule ~on_match:(fun env ->
+        tick ();
         let tuple = Joiner.head_tuple rule env in
         if os_magic_head then begin
           t.cur_generator <-
@@ -211,6 +250,7 @@ let apply_rule t range (rule : crule) =
   end
   else
     Joiner.run ~rels:t.ms.rels ~range rule ~on_match:(fun env ->
+        tick ();
         ignore (Relation.insert t.ms.rels.(rule.head_slot) (Joiner.head_tuple rule env)))
 
 let full_range ~op_index:_ ~slot:_ ~local:_ = 0, -1
@@ -235,6 +275,7 @@ let eval_agg_rule t (rule : crule) =
   end
   else
     Joiner.run ~rels:t.ms.rels ~range:full_range rule ~on_match:(fun env ->
+        tick ();
         rows := Joiner.head_row rule env :: !rows);
   let grouped =
     Aggregates.group ~plain_positions:rule.plain_positions ~agg_positions:rule.agg_positions
@@ -430,6 +471,7 @@ let context_action t =
 let nstrata t = Array.length t.ms.strata
 
 let step t =
+  poll ();
   if t.complete then false
   else if t.os then begin
     (* single phase: all strata active, context drives ordering *)

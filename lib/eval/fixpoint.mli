@@ -35,6 +35,35 @@ open Coral_rel
 
 type t
 
+(** {1 Cooperative cancellation}
+
+    A server evaluating queries on behalf of remote clients must be
+    able to abandon a runaway fixpoint (e.g. an unbounded recursion
+    through arithmetic) without wedging the whole process.  Evaluation
+    polls an installed check at every round boundary and, tick-based,
+    every {!tick_interval} derivation attempts inside a round; when the
+    check returns [true], {!Cancelled} is raised out of the fixpoint.
+
+    Cancellation is cooperative and leaves the instance in a resumable
+    state: derived tuples stay stored, semi-naive cursors have not
+    advanced past them, so re-running at worst repeats (deduplicated)
+    derivations.  Callers that must not observe partial state should
+    discard the instance. *)
+
+exception Cancelled
+
+val with_cancel_check : (unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_cancel_check check f] runs [f] with [check] installed
+    (restoring the previous check afterwards); any fixpoint work in
+    [f] raises {!Cancelled} once [check] returns [true]. *)
+
+val tick : unit -> unit
+(** Count one unit of evaluation work against the installed check
+    (exposed so other evaluation loops — the top-level pipeline, host
+    callbacks — can participate in cancellation). *)
+
+val tick_interval : int
+
 val create : ?trace:bool -> Module_struct.t -> t
 (** [trace] (default false) records, for the first derivation of every
     fact, the rule applied and the body tuples it joined — the raw

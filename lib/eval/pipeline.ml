@@ -70,6 +70,7 @@ let solve rb lits ~nvars:_ ~env k =
         Trail.undo_to tr m
     end
   and solve_atom (a : Ast.atom) env k =
+    Fixpoint.tick ();
     let arity = Array.length a.Ast.args in
     (* stored facts first (base relations, other modules through the
        uniform scan interface) *)

@@ -1,0 +1,99 @@
+type t = {
+  parsed : (string, Coral.Ast.literal list) Hashtbl.t;  (* query text -> literals *)
+  forms : (string, Coral.Optimizer.plan) Hashtbl.t;  (* adorned form -> plan *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  invalidations : int;
+}
+
+let create () =
+  { parsed = Hashtbl.create 64;
+    forms = Hashtbl.create 32;
+    hits = 0;
+    misses = 0;
+    invalidations = 0
+  }
+
+(* The adorned query form of a literal: predicate/arity plus which
+   argument positions arrive bound, e.g. "path/2:bf". *)
+let form_key (a : Coral.Ast.atom) =
+  let adorn =
+    String.init (Array.length a.Coral.Ast.args) (fun i ->
+        if Coral.Term.is_ground a.Coral.Ast.args.(i) then 'b' else 'f')
+  in
+  Printf.sprintf "%s/%d:%s" (Coral.Symbol.name a.Coral.Ast.pred) (Array.length a.Coral.Ast.args)
+    adorn
+
+let adornment_of (a : Coral.Ast.atom) =
+  Array.map
+    (fun arg -> if Coral.Term.is_ground arg then Coral.Ast.Bound else Coral.Ast.Free)
+    a.Coral.Ast.args
+
+let prepare t db text =
+  let parse () =
+    match Hashtbl.find_opt t.parsed text with
+    | Some lits -> Ok lits
+    | None -> begin
+      match Coral.Parser.query text with
+      | Ok lits ->
+        Hashtbl.add t.parsed text lits;
+        Ok lits
+      | Error e -> Error e
+    end
+  in
+  match parse () with
+  | Error e -> Error e
+  | Ok lits ->
+    let planned = ref 0 and fresh = ref 0 in
+    List.iter
+      (fun lit ->
+        match (lit : Coral.Ast.literal) with
+        | Coral.Ast.Pos a -> begin
+          let key = form_key a in
+          if Hashtbl.mem t.forms key then incr planned
+          else begin
+            match
+              Coral.Engine.plan_for (Coral.engine db) ~pred:a.Coral.Ast.pred
+                ~arity:(Array.length a.Coral.Ast.args) ~adorn:(adornment_of a)
+            with
+            | Ok plan ->
+              Hashtbl.add t.forms key plan;
+              incr planned;
+              incr fresh
+            | Error _ -> ()  (* base/foreign literal: nothing to prepare *)
+          end
+        end
+        | Coral.Ast.Neg _ | Coral.Ast.Cmp _ | Coral.Ast.Is _ -> ())
+      lits;
+    let tag =
+      if !planned = 0 then `Unplanned
+      else if !fresh = 0 then begin
+        t.hits <- t.hits + 1;
+        `Hit
+      end
+      else begin
+        t.misses <- t.misses + 1;
+        `Miss
+      end
+    in
+    Ok (lits, tag)
+
+let invalidate t db =
+  Hashtbl.reset t.parsed;
+  Hashtbl.reset t.forms;
+  t.invalidations <- t.invalidations + 1;
+  Coral.invalidate_plans db
+
+let stats t =
+  { entries = Hashtbl.length t.forms;
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations
+  }

@@ -1,0 +1,42 @@
+(** The prepared-query plan cache.
+
+    A served workload repeats a small set of query {e forms} with
+    varying constants: [path(1, Y)], [path(7, Y)], ... all share the
+    adorned form [path/2:bf].  Preparing a form means parsing the text
+    and running the optimizer's rewriting once ({!Coral.Optimizer} via
+    [Engine.plan_for]); this cache keys that work on the adorned form
+    so every later request with the same form reuses the rewritten
+    program.
+
+    Mutations (consult, fact insertion) call {!invalidate}, which
+    drops both this cache and the engine's plans {e and} save-module
+    instances — a prepared query must never observe derived state that
+    predates a base-fact update. *)
+
+type t
+
+type stats = {
+  entries : int;  (** prepared forms currently cached *)
+  hits : int;  (** requests whose every form was already prepared *)
+  misses : int;  (** requests that prepared at least one new form *)
+  invalidations : int;
+}
+
+val create : unit -> t
+
+val prepare :
+  t ->
+  Coral.t ->
+  string ->
+  (Coral.Ast.literal list * [ `Hit | `Miss | `Unplanned ], Coral.Parser.error) result
+(** Parse a query (memoized on the text) and ensure every positive
+    literal over a module export has a cached plan.  [`Hit]: all forms
+    were already prepared; [`Miss]: at least one form was planned now;
+    [`Unplanned]: no literal needed a plan (pure base/builtin query).
+    Planning failures are not errors here — the literal is left for
+    the evaluator to report. *)
+
+val invalidate : t -> Coral.t -> unit
+(** Empty the cache and the engine's plan/save-module caches. *)
+
+val stats : t -> stats

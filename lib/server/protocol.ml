@@ -1,0 +1,114 @@
+type request =
+  | Hello
+  | Ping
+  | Set_timeout of int
+  | Query of string
+  | Consult of string
+  | Insert of string
+  | Explain of string
+  | Why of string
+  | Stats
+  | Relations
+  | Modules
+  | Quit
+
+type error_code = Parse | Eval | Timeout | Proto | Too_big
+
+type payload =
+  | Ans of string
+  | Txt of string
+
+type response = {
+  payload : payload list;
+  status : (string, error_code * string) result;
+}
+
+let max_line_bytes = 64 * 1024
+let max_payload_bytes = 1024 * 1024
+
+let code_string = function
+  | Parse -> "PARSE"
+  | Eval -> "EVAL"
+  | Timeout -> "TIMEOUT"
+  | Proto -> "PROTO"
+  | Too_big -> "TOOBIG"
+
+let one_line s =
+  let b = Buffer.create (String.length s) in
+  let pending_sep = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> if Buffer.length b > 0 then pending_sep := true
+      | '\r' -> ()
+      | c ->
+        let c = if Char.code c < 32 then ' ' else c in
+        if !pending_sep then begin
+          pending_sep := false;
+          Buffer.add_string b "; "
+        end;
+        Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Split a request line into command and argument at the first run of
+   spaces; the argument keeps its internal spacing. *)
+let split_cmd line =
+  match String.index_opt line ' ' with
+  | None -> line, ""
+  | Some i ->
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    String.sub line 0 i, String.trim rest
+
+let parse_request line =
+  let line = String.trim line in
+  let cmd, arg = split_cmd line in
+  let need_arg k = if arg = "" then `Bad (cmd ^ " expects an argument") else k () in
+  let no_arg req = if arg = "" then `Req req else `Bad (cmd ^ " takes no argument") in
+  match cmd with
+  | "" -> `Bad "empty request"
+  | "hello" -> no_arg Hello
+  | "ping" -> no_arg Ping
+  | "timeout" ->
+    need_arg (fun () ->
+        match int_of_string_opt arg with
+        | Some ms when ms >= 0 -> `Req (Set_timeout ms)
+        | _ -> `Bad "timeout expects a non-negative integer (milliseconds)")
+  | "query" -> need_arg (fun () -> `Req (Query arg))
+  | "consult" -> need_arg (fun () -> `Req (Consult arg))
+  | "consult#" ->
+    need_arg (fun () ->
+        match int_of_string_opt arg with
+        | Some n when n >= 0 -> `Consult_payload n
+        | _ -> `Bad "consult# expects a byte count")
+  | "insert" -> need_arg (fun () -> `Req (Insert arg))
+  | "explain" -> need_arg (fun () -> `Req (Explain arg))
+  | "why" -> need_arg (fun () -> `Req (Why arg))
+  | "stats" -> no_arg Stats
+  | "relations" -> no_arg Relations
+  | "modules" -> no_arg Modules
+  | "quit" -> no_arg Quit
+  | _ -> `Bad (Printf.sprintf "unknown command %S" cmd)
+
+let ok ?(detail = "") payload = { payload; status = Ok detail }
+let err code msg = { payload = []; status = Error (code, one_line msg) }
+
+let render buf r =
+  List.iter
+    (fun p ->
+      (match p with
+      | Ans s -> Buffer.add_string buf ("ans " ^ one_line s)
+      | Txt s -> Buffer.add_string buf ("txt " ^ one_line s));
+      Buffer.add_char buf '\n')
+    r.payload;
+  (match r.status with
+  | Ok "" -> Buffer.add_string buf "ok"
+  | Ok detail -> Buffer.add_string buf ("ok " ^ one_line detail)
+  | Error (code, msg) ->
+    Buffer.add_string buf (Printf.sprintf "err %s %s" (code_string code) (one_line msg)));
+  Buffer.add_char buf '\n'
+
+let is_status line =
+  line = "ok"
+  || String.starts_with ~prefix:"ok " line
+  || String.starts_with ~prefix:"err " line

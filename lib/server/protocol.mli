@@ -1,0 +1,93 @@
+(** The serving-layer wire protocol: line-oriented text framing.
+
+    CORAL as described in the paper is a single-user interactive
+    system; the serving layer turns it into a queryable service.  The
+    protocol is deliberately minimal — one request per LF-terminated
+    line, one status line per reply — so that a session can be driven
+    by hand over [nc]/telnet, by the REPL's [--connect] mode, or by
+    any scripting language.
+
+    {2 Requests}
+
+    {v
+    hello                      protocol handshake
+    ping                       liveness probe
+    timeout <ms>               per-request deadline for this session (0 = none)
+    query <text>               evaluate a query, e.g.  query path(1, Y)
+    consult <text>             load single-line program text
+    consult# <nbytes>          load <nbytes> of raw program text that follow
+    insert <facts>             insert base facts, e.g.  insert edge(1, 2).
+    explain <literal>          the optimizer's rewritten program
+    why <literal>              derivation trees for the answers
+    stats                      server + engine statistics
+    relations                  base relations and cardinalities
+    modules                    loaded modules
+    quit                       close the session
+    v}
+
+    {2 Replies}
+
+    Zero or more payload lines followed by exactly one status line:
+
+    {v
+    ans <bindings>             one per query answer ("X = 1, Y = 2" / "true")
+    txt <line>                 one per report line (stats, explain, why, ...)
+    ok [detail]                success
+    err <CODE> <message>       failure; the session stays usable
+    v}
+
+    Error codes: [PARSE] (malformed CORAL text), [EVAL] (runtime
+    evaluation error), [TIMEOUT] (request deadline exceeded), [PROTO]
+    (malformed request line), [TOOBIG] (request exceeds the size
+    limits; the server closes the connection). *)
+
+type request =
+  | Hello
+  | Ping
+  | Set_timeout of int  (** milliseconds; 0 disables *)
+  | Query of string
+  | Consult of string  (** program text *)
+  | Insert of string  (** fact items *)
+  | Explain of string
+  | Why of string
+  | Stats
+  | Relations
+  | Modules
+  | Quit
+
+type error_code = Parse | Eval | Timeout | Proto | Too_big
+
+type payload =
+  | Ans of string  (** a query answer row *)
+  | Txt of string  (** a report line *)
+
+type response = {
+  payload : payload list;
+  status : (string, error_code * string) result;  (** [Ok detail] / [Error (code, msg)] *)
+}
+
+val max_line_bytes : int
+(** Longest accepted request line (64 KiB). *)
+
+val max_payload_bytes : int
+(** Largest accepted [consult#] payload (1 MiB). *)
+
+val parse_request :
+  string -> [ `Req of request | `Consult_payload of int | `Bad of string ]
+(** Parse one request line ([`Consult_payload n]: the caller must read
+    [n] more bytes of program text and build [Consult] itself). *)
+
+val ok : ?detail:string -> payload list -> response
+val err : error_code -> string -> response
+
+val code_string : error_code -> string
+
+val one_line : string -> string
+(** Collapse a (possibly multi-line) message into a single protocol
+    line: newlines become ["; "], control characters become spaces. *)
+
+val render : Buffer.t -> response -> unit
+(** Serialize a response, payload lines then the status line. *)
+
+val is_status : string -> bool
+(** Client side: is this reply line the final [ok]/[err] line? *)

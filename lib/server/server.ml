@@ -1,0 +1,143 @@
+type listen =
+  [ `Tcp of string * int
+  | `Unix of string ]
+
+type t = {
+  fd : Unix.file_descr;
+  bound_port : int;
+  sstore : Session.store;
+  mutable closed : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+exception Line_too_long
+
+(* Read one LF-terminated line, refusing lines over the protocol limit
+   (a client streaming an unframed megabyte must not buffer-bloat the
+   server).  CR before LF is stripped; None on EOF with nothing read. *)
+let read_line_capped ic =
+  let buf = Buffer.create 128 in
+  let rec go () =
+    match In_channel.input_char ic with
+    | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | Some '\n' -> Some (Buffer.contents buf)
+    | Some c ->
+      if Buffer.length buf >= Protocol.max_line_bytes then raise Line_too_long;
+      Buffer.add_char buf c;
+      go ()
+  in
+  match go () with
+  | None -> None
+  | Some line ->
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then Some (String.sub line 0 (n - 1)) else Some line
+
+let write_response oc response =
+  let buf = Buffer.create 256 in
+  Protocol.render buf response;
+  Out_channel.output_string oc (Buffer.contents buf);
+  Out_channel.flush oc
+
+(* One connection: read a request, execute it through the session,
+   reply; leave on quit, EOF, oversized input or a socket error. *)
+let serve_connection store client =
+  let ic = Unix.in_channel_of_descr client in
+  let oc = Unix.out_channel_of_descr client in
+  let session = Session.create store in
+  let rec loop () =
+    match read_line_capped ic with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line -> begin
+      match Protocol.parse_request line with
+      | `Bad msg ->
+        write_response oc (Protocol.err Protocol.Proto msg);
+        loop ()
+      | `Consult_payload n ->
+        if n > Protocol.max_payload_bytes then
+          (* refuse without reading: the connection is closed rather
+             than draining an oversized body *)
+          write_response oc
+            (Protocol.err Protocol.Too_big
+               (Printf.sprintf "consult# payload of %d bytes exceeds the %d byte limit" n
+                  Protocol.max_payload_bytes))
+        else begin
+          match really_input_string ic n with
+          | text ->
+            write_response oc (Session.handle session (Protocol.Consult text));
+            loop ()
+          | exception End_of_file -> ()
+        end
+      | `Req Protocol.Quit -> write_response oc (Session.handle session Protocol.Quit)
+      | `Req req ->
+        write_response oc (Session.handle session req);
+        loop ()
+    end
+  in
+  (try loop () with
+  | Line_too_long ->
+    (try
+       write_response oc
+         (Protocol.err Protocol.Too_big
+            (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes))
+     with Sys_error _ | Unix.Unix_error _ -> ())
+  | Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  while not t.closed do
+    match Unix.accept t.fd with
+    | client, _addr ->
+      ignore (Thread.create (fun () -> serve_connection t.sstore client) ())
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> t.closed <- true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(consult = []) ~listen db =
+  List.iter (fun file -> Coral.consult_file db file) consult;
+  let fd, bound_port =
+    match listen with
+    | `Tcp (host, port) ->
+      let addr =
+        match (Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]) with
+        | { Unix.ai_addr; _ } :: _ -> ai_addr
+        | [] -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+      in
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd addr;
+      Unix.listen fd 64;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      fd, bound
+    | `Unix path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd, 0
+  in
+  let t =
+    { fd; bound_port; sstore = Session.make_store db; closed = false; accept_thread = None }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+let store t = t.sstore
+
+let wait t =
+  match t.accept_thread with
+  | Some th -> Thread.join th
+  | None -> ()
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    wait t
+  end

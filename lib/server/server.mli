@@ -1,0 +1,36 @@
+(** The connection layer: sockets, framing, a thread per client.
+
+    {!start} binds a TCP or Unix-domain socket, spawns an accept
+    thread, and hands each accepted connection to its own thread
+    running the read-request / {!Session.handle} / write-reply loop.
+    Engine work is serialized by the store lock inside
+    {!Session.handle}; a request that exceeds its session deadline is
+    cancelled cooperatively, so one runaway query cannot wedge the
+    server.
+
+    Framing guards: request lines over {!Protocol.max_line_bytes} and
+    [consult#] payloads over {!Protocol.max_payload_bytes} get an
+    [err TOOBIG] reply and the connection is closed. *)
+
+type listen =
+  [ `Tcp of string * int  (** host, port; port 0 picks an ephemeral port *)
+  | `Unix of string  (** socket path; an existing file is replaced *) ]
+
+type t
+
+val start : ?consult:string list -> listen:listen -> Coral.t -> t
+(** Bind, consult the given program files into the shared engine, and
+    begin accepting.  Returns once the socket is listening.
+    @raise Unix.Unix_error when binding fails. *)
+
+val port : t -> int
+(** The bound TCP port (0 for Unix-domain sockets). *)
+
+val store : t -> Session.store
+
+val wait : t -> unit
+(** Block until the server is shut down (joins the accept thread). *)
+
+val shutdown : t -> unit
+(** Stop accepting and close the listening socket.  Established
+    connections finish their current request and close. *)

@@ -1,0 +1,229 @@
+type store = {
+  sdb : Coral.t;
+  lock : Mutex.t;
+  cache : Plan_cache.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable sessions : int;
+}
+
+let make_store db =
+  { sdb = db;
+    lock = Mutex.create ();
+    cache = Plan_cache.create ();
+    requests = 0;
+    errors = 0;
+    timeouts = 0;
+    sessions = 0
+  }
+
+let db store = store.sdb
+
+let locked store f =
+  Mutex.lock store.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock store.lock) f
+
+type t = {
+  store : store;
+  mutable deadline_ms : int;
+}
+
+let create store =
+  locked store (fun () -> store.sessions <- store.sessions + 1);
+  { store; deadline_ms = 0 }
+
+let deadline_ms t = t.deadline_ms
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (caller holds the store lock)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] under this session's deadline: evaluation polls the clock
+   cooperatively (Fixpoint ticks) and raises [Coral.Cancelled] once the
+   deadline passes. *)
+let with_deadline t f =
+  if t.deadline_ms <= 0 then f ()
+  else begin
+    let limit = Unix.gettimeofday () +. (float_of_int t.deadline_ms /. 1000.0) in
+    Coral.with_cancel (fun () -> Unix.gettimeofday () > limit) f
+  end
+
+let render_rows (r : Coral.Engine.query_result) =
+  List.map
+    (fun row ->
+      if r.Coral.Engine.qvars = [] then Protocol.Ans "true"
+      else
+        Protocol.Ans
+          (String.concat ", "
+             (List.map2
+                (fun (v : Coral.Term.var) value ->
+                  Printf.sprintf "%s = %s" v.Coral.Term.vname (Coral.Term.to_string value))
+                r.Coral.Engine.qvars (Array.to_list row))))
+    r.Coral.Engine.rows
+
+let do_query t text =
+  let store = t.store in
+  match Plan_cache.prepare store.cache store.sdb text with
+  | Error e -> Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e)
+  | Ok (lits, tag) ->
+    let r = with_deadline t (fun () -> Coral.Engine.query (Coral.engine store.sdb) lits) in
+    let cache_note =
+      match tag with
+      | `Hit -> " (plan cache: hit)"
+      | `Miss -> " (plan cache: miss)"
+      | `Unplanned -> ""
+    in
+    let n = List.length r.Coral.Engine.rows in
+    Protocol.ok
+      ~detail:(Printf.sprintf "%d answer%s%s" n (if n = 1 then "" else "s") cache_note)
+      (render_rows r)
+
+let do_consult t text =
+  let store = t.store in
+  let results = with_deadline t (fun () -> Coral.Engine.consult (Coral.engine store.sdb) text) in
+  (* embedded query results are discarded, as in Coral.consult_text *)
+  ignore results;
+  Plan_cache.invalidate store.cache store.sdb;
+  Protocol.ok ~detail:"consulted" []
+
+let do_insert t text =
+  let store = t.store in
+  match Coral.Parser.program text with
+  | Error e -> Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e)
+  | Ok items ->
+    let facts =
+      List.map
+        (fun item ->
+          match (item : Coral.Ast.item) with
+          | Coral.Ast.Fact a -> Some a
+          | _ -> None)
+        items
+    in
+    if List.exists (fun f -> f = None) facts || facts = [] then
+      Protocol.err Protocol.Parse "insert expects one or more facts, e.g.  insert edge(1, 2)."
+    else begin
+      let eng = Coral.engine store.sdb in
+      let stored =
+        List.fold_left
+          (fun acc f ->
+            match f with
+            | Some (a : Coral.Ast.atom) ->
+              let rel =
+                Coral.Engine.base_relation eng a.Coral.Ast.pred (Array.length a.Coral.Ast.args)
+              in
+              if Coral.Relation.insert_terms rel a.Coral.Ast.args then acc + 1 else acc
+            | None -> acc)
+          0 facts
+      in
+      Plan_cache.invalidate store.cache store.sdb;
+      Protocol.ok
+        ~detail:(Printf.sprintf "inserted %d of %d" stored (List.length facts))
+        []
+    end
+
+let single_literal text =
+  match Coral.Parser.query text with
+  | Error e -> Error (Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e))
+  | Ok [ Coral.Ast.Pos a ] -> Ok a
+  | Ok _ -> Error (Protocol.err Protocol.Parse "expected a single positive literal")
+
+let do_explain t text =
+  let store = t.store in
+  match single_literal text with
+  | Error r -> r
+  | Ok a -> begin
+    let adorn =
+      Array.map
+        (fun arg -> if Coral.Term.is_ground arg then Coral.Ast.Bound else Coral.Ast.Free)
+        a.Coral.Ast.args
+    in
+    match
+      Coral.Engine.plan_for (Coral.engine store.sdb) ~pred:a.Coral.Ast.pred
+        ~arity:(Array.length a.Coral.Ast.args) ~adorn
+    with
+    | Error e -> Protocol.err Protocol.Eval e
+    | Ok plan ->
+      let text = Format.asprintf "%a" Coral.Optimizer.pp_plan plan in
+      Protocol.ok (List.map (fun l -> Protocol.Txt l) (String.split_on_char '\n' text))
+  end
+
+let do_why t text =
+  let store = t.store in
+  match with_deadline t (fun () -> Coral.Engine.why (Coral.engine store.sdb) text) with
+  | Error e -> Protocol.err Protocol.Eval e
+  | Ok report ->
+    let lines = String.split_on_char '\n' report in
+    let lines = List.filter (fun l -> l <> "") lines in
+    Protocol.ok (List.map (fun l -> Protocol.Txt l) lines)
+
+let do_stats t =
+  let store = t.store in
+  let eng = Coral.engine store.sdb in
+  let c = Plan_cache.stats store.cache in
+  let plan_hits, plan_misses = Coral.plan_cache_stats store.sdb in
+  let server_lines =
+    [ Printf.sprintf "server: requests=%d errors=%d timeouts=%d sessions=%d" store.requests
+        store.errors store.timeouts store.sessions;
+      Printf.sprintf "prepared: entries=%d hits=%d misses=%d invalidations=%d"
+        c.Plan_cache.entries c.Plan_cache.hits c.Plan_cache.misses c.Plan_cache.invalidations;
+      Printf.sprintf "plans: cached=%d hits=%d misses=%d" (Coral.Engine.plan_cache_size eng)
+        plan_hits plan_misses
+    ]
+  in
+  let engine_lines =
+    Format.asprintf "%a" Coral.Engine.pp_stats eng
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Protocol.ok (List.map (fun l -> Protocol.Txt l) (server_lines @ engine_lines))
+
+let do_relations t =
+  let rels = Coral.Engine.list_relations (Coral.engine t.store.sdb) in
+  Protocol.ok
+    (List.map (fun (name, n) -> Protocol.Txt (Printf.sprintf "%s %d" name n)) rels)
+
+let do_modules t =
+  let ms = Coral.Engine.list_modules (Coral.engine t.store.sdb) in
+  Protocol.ok (List.map (fun m -> Protocol.Txt m) ms)
+
+let dispatch t (req : Protocol.request) =
+  match req with
+  | Protocol.Hello -> Protocol.ok ~detail:"coral 1" []
+  | Protocol.Ping -> Protocol.ok ~detail:"pong" []
+  | Protocol.Set_timeout ms ->
+    t.deadline_ms <- ms;
+    Protocol.ok
+      ~detail:(if ms = 0 then "timeout disabled" else Printf.sprintf "timeout %dms" ms)
+      []
+  | Protocol.Query text -> do_query t text
+  | Protocol.Consult text -> do_consult t text
+  | Protocol.Insert text -> do_insert t text
+  | Protocol.Explain text -> do_explain t text
+  | Protocol.Why text -> do_why t text
+  | Protocol.Stats -> do_stats t
+  | Protocol.Relations -> do_relations t
+  | Protocol.Modules -> do_modules t
+  | Protocol.Quit -> Protocol.ok ~detail:"bye" []
+
+let handle t req =
+  let store = t.store in
+  locked store (fun () ->
+      store.requests <- store.requests + 1;
+      let response =
+        try dispatch t req with
+        | Coral.Cancelled ->
+          store.timeouts <- store.timeouts + 1;
+          Protocol.err Protocol.Timeout
+            (Printf.sprintf "deadline of %dms exceeded; evaluation abandoned" t.deadline_ms)
+        | Coral.Engine.Engine_error e -> Protocol.err Protocol.Eval e
+        | Coral.Builtin.Eval_error e -> Protocol.err Protocol.Eval e
+        | Coral_eval.Fixpoint.Not_modularly_stratified e ->
+          Protocol.err Protocol.Eval ("not modularly stratified: " ^ e)
+        | Failure e -> Protocol.err Protocol.Eval e
+        | Stack_overflow -> Protocol.err Protocol.Eval "stack overflow during evaluation"
+      in
+      (match response.Protocol.status with
+      | Error _ -> store.errors <- store.errors + 1
+      | Ok _ -> ());
+      response)

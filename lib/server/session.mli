@@ -1,0 +1,34 @@
+(** Sessions: one client's view of a shared CORAL engine.
+
+    A {!store} is the server-wide shared state — the engine, the
+    prepared-query {!Plan_cache}, a lock serializing engine access, and
+    request counters.  A {!t} is one connection's session: it holds the
+    session-local settings (currently the request deadline) and an
+    isolated result cursor — every request materializes its answers
+    under the lock, so clients interleave freely at request
+    granularity while base relations and cached plans are shared.
+
+    {!handle} is the entire request semantics, independent of any
+    socket: the connection handler ({!Server}) and the tests drive it
+    directly. *)
+
+type store
+
+val make_store : Coral.t -> store
+val db : store -> Coral.t
+
+val locked : store -> (unit -> 'a) -> 'a
+(** Run a computation holding the store's engine lock (used by
+    non-protocol callers, e.g. benchmarks preparing data). *)
+
+type t
+
+val create : store -> t
+
+val deadline_ms : t -> int
+(** The session's current per-request deadline (0 = none). *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Execute one request against the shared store (takes the lock).
+    Never raises: evaluation failures, parse failures and exceeded
+    deadlines come back as [err] replies. *)

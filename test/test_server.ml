@@ -1,0 +1,335 @@
+(* The serving layer: wire protocol, sessions over sockets, the
+   prepared-query plan cache, request deadlines, framing guards. *)
+
+module Protocol = Coral_server.Protocol
+module Plan_cache = Coral_server.Plan_cache
+module Session = Coral_server.Session
+module Server = Coral_server.Server
+
+let paths_program =
+  "edge(1, 2). edge(2, 3). edge(3, 4).\n\
+   module paths.\n\
+   export path(bf).\n\
+   path(X, Y) :- edge(X, Y).\n\
+   path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+   end_module.\n"
+
+let nats_program =
+  "module nats.\n\
+   export nat(f).\n\
+   nat(0).\n\
+   nat(Y) :- nat(X), Y = X + 1.\n\
+   end_module.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Socket test client                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* single-line [consult] needs real spaces, not one_line's "; " *)
+let flat = String.map (fun c -> if c = '\n' then ' ' else c)
+
+type client = { ic : in_channel; oc : out_channel; fd : Unix.file_descr }
+
+let connect srv =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; fd }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+(* One request/reply exchange: payload lines, then the status line. *)
+let request c line =
+  send c line;
+  let rec go acc =
+    match In_channel.input_line c.ic with
+    | None -> List.rev acc, "<closed>"
+    | Some l when Protocol.is_status l -> List.rev acc, l
+    | Some l -> go (l :: acc)
+  in
+  go []
+
+let start_server () =
+  Server.start ~listen:(`Tcp ("127.0.0.1", 0)) (Coral.create ())
+
+let check_prefix what prefix got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S starts with %S" what got prefix)
+    true
+    (String.starts_with ~prefix got)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol framing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_parse () =
+  let is_req line expected =
+    match Protocol.parse_request line with
+    | `Req r -> r = expected
+    | _ -> false
+  in
+  Alcotest.(check bool) "query" true (is_req "query path(1, Y)" (Protocol.Query "path(1, Y)"));
+  Alcotest.(check bool) "trim" true (is_req "  ping \r" Protocol.Ping);
+  Alcotest.(check bool) "timeout" true (is_req "timeout 250" (Protocol.Set_timeout 250));
+  Alcotest.(check bool) "consult payload" true
+    (Protocol.parse_request "consult# 42" = `Consult_payload 42);
+  let is_bad line = match Protocol.parse_request line with `Bad _ -> true | _ -> false in
+  Alcotest.(check bool) "unknown command" true (is_bad "frobnicate 1");
+  Alcotest.(check bool) "empty" true (is_bad "");
+  Alcotest.(check bool) "negative timeout" true (is_bad "timeout -5");
+  Alcotest.(check bool) "stats with arg" true (is_bad "stats now");
+  Alcotest.(check bool) "query without arg" true (is_bad "query");
+  Alcotest.check Alcotest.string "one_line collapses" "a; b c"
+    (Protocol.one_line "a\nb\tc");
+  let buf = Buffer.create 64 in
+  Protocol.render buf
+    (Protocol.ok ~detail:"2 answers" [ Protocol.Ans "X = 1"; Protocol.Txt "note" ]);
+  Alcotest.check Alcotest.string "render" "ans X = 1\ntxt note\nok 2 answers\n"
+    (Buffer.contents buf);
+  let buf = Buffer.create 64 in
+  Protocol.render buf (Protocol.err Protocol.Parse "bad\nthing");
+  Alcotest.check Alcotest.string "render err" "err PARSE bad; thing\n" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent clients over TCP                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_clients () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  (* both clients consult the same module, then interleave queries *)
+  let failures = Mutex.create () in
+  let failed = ref [] in
+  let client_run id =
+    try
+      let c = connect srv in
+      let _, status = request c ("consult " ^ flat paths_program) in
+      if not (String.starts_with ~prefix:"ok" status) then
+        failwith ("consult: " ^ status);
+      for _ = 1 to 20 do
+        let answers, status = request c "query path(1, Y)" in
+        if not (String.starts_with ~prefix:"ok 3 answers" status) then
+          failwith ("query status: " ^ status);
+        if List.sort compare answers <> [ "ans Y = 2"; "ans Y = 3"; "ans Y = 4" ] then
+          failwith ("query answers: " ^ String.concat "|" answers)
+      done;
+      ignore (request c "quit");
+      close c
+    with e ->
+      Mutex.lock failures;
+      failed := Printf.sprintf "client %d: %s" id (Printexc.to_string e) :: !failed;
+      Mutex.unlock failures
+  in
+  let threads = List.init 2 (fun id -> Thread.create client_run id) in
+  List.iter Thread.join threads;
+  Alcotest.(check (list string)) "no client failures" [] !failed
+
+(* ------------------------------------------------------------------ *)
+(* The prepared-query plan cache                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_cache_unit () =
+  let db = Coral.create () in
+  Coral.consult_text db paths_program;
+  let cache = Plan_cache.create () in
+  let tag_of text =
+    match Plan_cache.prepare cache db text with
+    | Ok (_, tag) -> tag
+    | Error _ -> Alcotest.fail "unexpected parse error"
+  in
+  Alcotest.(check bool) "first prepare misses" true (tag_of "path(1, Y)" = `Miss);
+  Alcotest.(check bool) "same form hits" true (tag_of "path(1, Y)" = `Hit);
+  (* different constants, same adorned form *)
+  Alcotest.(check bool) "same adornment hits" true (tag_of "path(2, Y)" = `Hit);
+  (* different adornment is a new form *)
+  Alcotest.(check bool) "new adornment misses" true (tag_of "path(X, Y)" = `Miss);
+  (* base-relation queries have nothing to prepare *)
+  Alcotest.(check bool) "base query unplanned" true (tag_of "edge(1, Y)" = `Unplanned);
+  let s = Plan_cache.stats cache in
+  Alcotest.(check int) "entries" 2 s.Plan_cache.entries;
+  Alcotest.(check int) "hits" 2 s.Plan_cache.hits;
+  Alcotest.(check int) "misses" 2 s.Plan_cache.misses;
+  Plan_cache.invalidate cache db;
+  Alcotest.(check bool) "invalidation re-misses" true (tag_of "path(1, Y)" = `Miss);
+  let s = Plan_cache.stats cache in
+  Alcotest.(check int) "invalidations" 1 s.Plan_cache.invalidations
+
+let stats_line c prefix =
+  let lines, _ = request c "stats" in
+  match
+    List.find_opt (fun l -> String.starts_with ~prefix:("txt " ^ prefix) l) lines
+  with
+  | Some l -> l
+  | None -> Alcotest.fail ("no stats line with prefix " ^ prefix)
+
+let test_plan_cache_over_wire () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c ("consult " ^ flat paths_program) in
+  check_prefix "consult" "ok" status;
+  let _, status = request c "query path(1, Y)" in
+  check_prefix "first query" "ok 3 answers (plan cache: miss)" status;
+  let _, status = request c "query path(1, Y)" in
+  check_prefix "second query" "ok 3 answers (plan cache: hit)" status;
+  Alcotest.check Alcotest.string "prepared stats after hit"
+    "txt prepared: entries=1 hits=1 misses=1 invalidations=1" (stats_line c "prepared:");
+  (* consulting again invalidates the prepared plans *)
+  let _, status = request c "consult edge(4, 5)." in
+  check_prefix "consult invalidates" "ok" status;
+  let _, status = request c "query path(1, Y)" in
+  check_prefix "re-prepared query" "ok 4 answers (plan cache: miss)" status;
+  Alcotest.check Alcotest.string "prepared stats after invalidation"
+    "txt prepared: entries=1 hits=1 misses=2 invalidations=2" (stats_line c "prepared:");
+  ignore (request c "quit");
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c ("consult " ^ flat paths_program) in
+  check_prefix "consult paths" "ok" status;
+  let _, status = request c ("consult " ^ flat nats_program) in
+  check_prefix "consult nats" "ok" status;
+  let _, status = request c "timeout 100" in
+  check_prefix "set timeout" "ok" status;
+  (* an unbounded derivation must come back as a timeout error, within
+     the deadline plus scheduling slack *)
+  let t0 = Unix.gettimeofday () in
+  let _, status = request c "query nat(X)" in
+  let dt = Unix.gettimeofday () -. t0 in
+  check_prefix "unbounded query times out" "err TIMEOUT" status;
+  Alcotest.(check bool) (Printf.sprintf "cancelled promptly (%.3fs)" dt) true (dt < 5.0);
+  (* the session and the server survive the cancellation *)
+  let _, status = request c "timeout 0" in
+  check_prefix "clear timeout" "ok" status;
+  let answers, status = request c "query path(1, Y)" in
+  check_prefix "server still serves" "ok 3 answers" status;
+  Alcotest.(check int) "still correct" 3 (List.length answers);
+  let c2 = connect srv in
+  let _, status = request c2 "ping" in
+  check_prefix "new connections accepted" "ok pong" status;
+  ignore (request c2 "quit");
+  close c2;
+  ignore (request c "quit");
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* Malformed and oversized requests                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_malformed_requests () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c "frobnicate the database" in
+  check_prefix "unknown command" "err PROTO" status;
+  let _, status = request c "query path(1," in
+  check_prefix "parse failure" "err PARSE" status;
+  let _, status = request c "insert path(X, Y) :- edge(X, Y)." in
+  check_prefix "insert of a rule" "err PARSE" status;
+  let _, status = request c "timeout lots" in
+  check_prefix "bad timeout" "err PROTO" status;
+  (* the connection survives all of the above *)
+  let _, status = request c "ping" in
+  check_prefix "still alive" "ok pong" status;
+  ignore (request c "quit");
+  close c
+
+let test_oversized_requests () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  (* a consult# payload over the limit is refused *)
+  let c = connect srv in
+  let _, status = request c (Printf.sprintf "consult# %d" (Protocol.max_payload_bytes + 1)) in
+  check_prefix "oversized payload refused" "err TOOBIG" status;
+  close c;
+  (* an unterminated megabyte line is refused without buffering it all *)
+  let c = connect srv in
+  let big = String.make (Protocol.max_line_bytes + 100) 'a' in
+  let _, status = request c ("query " ^ big) in
+  check_prefix "oversized line refused" "err TOOBIG" status;
+  close c;
+  (* a well-framed consult# payload of legal size works *)
+  let c = connect srv in
+  send c (Printf.sprintf "consult# %d" (String.length paths_program));
+  output_string c.oc paths_program;
+  flush c.oc;
+  let rec status_line () =
+    match In_channel.input_line c.ic with
+    | None -> "<closed>"
+    | Some l when Protocol.is_status l -> l
+    | Some _ -> status_line ()
+  in
+  check_prefix "framed consult" "ok" (status_line ());
+  let answers, status = request c "query path(1, Y)" in
+  check_prefix "consulted program answers" "ok 3 answers" status;
+  Alcotest.(check int) "three paths" 3 (List.length answers);
+  ignore (request c "quit");
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* Session semantics without sockets                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_direct () =
+  let store = Session.make_store (Coral.create ()) in
+  let s = Session.create store in
+  let ok_status r =
+    match r.Protocol.status with
+    | Ok d -> d
+    | Error (code, msg) -> Alcotest.fail (Protocol.code_string code ^ ": " ^ msg)
+  in
+  ignore (ok_status (Session.handle s (Protocol.Consult paths_program)));
+  let r = Session.handle s (Protocol.Query "path(1, Y), Y != 3") in
+  Alcotest.(check int) "conjunctive query answers" 2 (List.length r.Protocol.payload);
+  (* insert goes to the base relation and is visible to the module *)
+  ignore (ok_status (Session.handle s (Protocol.Insert "edge(4, 5). edge(5, 6).")));
+  let r = Session.handle s (Protocol.Query "path(4, Y)") in
+  Alcotest.(check int) "inserted facts derive" 2 (List.length r.Protocol.payload);
+  (* explain renders the rewritten program *)
+  let r = Session.handle s (Protocol.Explain "path(1, Y)") in
+  ignore (ok_status r);
+  Alcotest.(check bool) "explain has payload" true (List.length r.Protocol.payload > 3);
+  (* why renders a derivation tree *)
+  let r = Session.handle s (Protocol.Why "path(1, 3)") in
+  ignore (ok_status r);
+  Alcotest.(check bool) "why has payload" true (r.Protocol.payload <> []);
+  (* modules / relations *)
+  let r = Session.handle s Protocol.Modules in
+  Alcotest.(check bool) "paths module listed" true
+    (List.mem (Protocol.Txt "paths") r.Protocol.payload);
+  let r = Session.handle s Protocol.Relations in
+  Alcotest.(check bool) "edge relation listed" true
+    (List.exists
+       (function Protocol.Txt l -> String.starts_with ~prefix:"edge/2" l | _ -> false)
+       r.Protocol.payload);
+  (* evaluation errors come back as err EVAL, not exceptions *)
+  let r = Session.handle s (Protocol.Query "X = 1 / 0") in
+  (match r.Protocol.status with
+  | Error (Protocol.Eval, _) -> ()
+  | _ -> Alcotest.fail "expected err EVAL for bad arithmetic")
+
+let () =
+  Alcotest.run "coral_server"
+    [ ( "protocol",
+        [ Alcotest.test_case "request parsing and rendering" `Quick test_protocol_parse ] );
+      ( "server",
+        [ Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "plan cache (unit)" `Quick test_plan_cache_unit;
+          Alcotest.test_case "plan cache (wire)" `Quick test_plan_cache_over_wire;
+          Alcotest.test_case "request deadline" `Quick test_deadline;
+          Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
+          Alcotest.test_case "oversized requests" `Quick test_oversized_requests;
+          Alcotest.test_case "session semantics" `Quick test_session_direct
+        ] )
+    ]
