@@ -1,21 +1,50 @@
 (* The CORAL query server.
 
    Usage: coral_server [options] [file.coral ...]
-     --port N      listen on TCP 127.0.0.1:N (default 4240; 0 = ephemeral)
-     --host H      bind host (default 127.0.0.1)
-     --socket P    listen on a Unix-domain socket at path P instead
-     --quiet       do not print the listening banner
+     --port N          listen on TCP 127.0.0.1:N (default 4240; 0 = ephemeral)
+     --host H          bind host (default 127.0.0.1)
+     --socket P        listen on a Unix-domain socket at path P instead
+     --data DIR        open the persistent database stored under DIR
+     --persist SPEC    serve a persistent relation: name/arity[:col,col...]
+                       (cols are 0-based indexed argument positions;
+                       requires --data; may be repeated)
+     --quiet           do not print the listening banner
 
    The given program files are consulted into the shared engine before
-   serving.  Protocol: see README.md ("The server protocol") — one
-   request per line (query, consult, insert, explain, why, stats,
-   timeout, ...), payload lines prefixed ans/txt, one ok/err status
-   line per reply. *)
+   serving.  SIGINT/SIGTERM shut the server down gracefully: the
+   listening socket closes and every open persistent database is
+   committed before the process exits, so an operator's Ctrl-C never
+   loses durable data.  Protocol: see README.md ("The server
+   protocol") — one request per line (query, consult, insert, explain,
+   why, stats, timeout, ...), payload lines prefixed ans/txt, one
+   ok/err status line per reply. *)
+
+let parse_persist spec =
+  (* name/arity[:col,col...] *)
+  let body, cols =
+    match String.index_opt spec ':' with
+    | None -> spec, []
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1)
+        |> String.split_on_char ','
+        |> List.filter_map int_of_string_opt )
+  in
+  match String.index_opt body '/' with
+  | Some i -> begin
+    let name = String.sub body 0 i in
+    match int_of_string_opt (String.sub body (i + 1) (String.length body - i - 1)) with
+    | Some arity when arity > 0 && name <> "" -> Some (name, arity, cols)
+    | _ -> None
+  end
+  | None -> None
 
 let () =
   let host = ref "127.0.0.1" in
   let port = ref 4240 in
   let socket = ref "" in
+  let data_dir = ref "" in
+  let persists = ref [] in
   let quiet = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -33,12 +62,23 @@ let () =
     | "--socket" :: p :: rest ->
       socket := p;
       parse_args rest
+    | "--data" :: d :: rest ->
+      data_dir := d;
+      parse_args rest
+    | "--persist" :: spec :: rest ->
+      (match parse_persist spec with
+      | Some p -> persists := p :: !persists
+      | None ->
+        Printf.eprintf "coral_server: bad --persist spec %S (want name/arity[:col,col...])\n" spec;
+        exit 2);
+      parse_args rest
     | "--quiet" :: rest ->
       quiet := true;
       parse_args rest
     | ("-h" | "--help") :: _ ->
       print_string
-        "usage: coral_server [--port N] [--host H] [--socket PATH] [--quiet] [file.coral ...]\n";
+        "usage: coral_server [--port N] [--host H] [--socket PATH] [--data DIR]\n\
+        \                    [--persist name/arity[:col,col...]] [--quiet] [file.coral ...]\n";
       exit 0
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "coral_server: unknown option %s\n" arg;
@@ -48,19 +88,57 @@ let () =
       parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  if !persists <> [] && !data_dir = "" then begin
+    prerr_endline "coral_server: --persist requires --data DIR";
+    exit 2
+  end;
   let db = Coral.create () in
+  let databases =
+    if !data_dir = "" then []
+    else begin
+      match Coral.Database.open_ !data_dir with
+      | pdb ->
+        List.iter
+          (fun (name, arity, indexes) ->
+            Coral.install_relation db name
+              (Coral.Database.relation pdb ~indexes ~name ~arity ()))
+          (List.rev !persists);
+        [ pdb ]
+      | exception Coral_storage.Recovery.Fatal_corruption msg ->
+        Printf.eprintf "coral_server: database %s is unrecoverably corrupt: %s\n" !data_dir msg;
+        exit 1
+    end
+  in
   let listen =
     if !socket <> "" then `Unix !socket else `Tcp (!host, !port)
   in
+  (* Block the shutdown signals in every thread the server spawns; a
+     dedicated waiter thread turns them into a graceful shutdown. *)
+  let shutdown_signals = [ Sys.sigint; Sys.sigterm ] in
+  ignore (Thread.sigmask Unix.SIG_BLOCK shutdown_signals);
   let srv =
-    try Coral_server.Server.start ~consult:(List.rev !files) ~listen db with
+    try Coral_server.Server.start ~consult:(List.rev !files) ~databases ~listen db with
     | Coral.Engine.Engine_error e ->
       Printf.eprintf "coral_server: %s\n" e;
+      exit 1
+    | Coral_storage.Recovery.Fatal_corruption msg ->
+      Printf.eprintf "coral_server: unrecoverable corruption: %s\n" msg;
       exit 1
     | Unix.Unix_error (err, _, _) ->
       Printf.eprintf "coral_server: cannot listen: %s\n" (Unix.error_message err);
       exit 1
   in
+  ignore
+    (Thread.create
+       (fun () ->
+         let signal = Thread.wait_signal shutdown_signals in
+         if not !quiet then begin
+           Printf.printf "coral_server: caught %s, shutting down\n"
+             (if signal = Sys.sigterm then "SIGTERM" else "SIGINT");
+           flush stdout
+         end;
+         Coral_server.Server.shutdown srv)
+       ());
   if not !quiet then begin
     (match listen with
     | `Unix path -> Printf.printf "coral_server listening on %s\n" path
@@ -68,4 +146,8 @@ let () =
       Printf.printf "coral_server listening on %s:%d\n" host (Coral_server.Server.port srv));
     flush stdout
   end;
-  Coral_server.Server.wait srv
+  Coral_server.Server.wait srv;
+  if not !quiet && databases <> [] then begin
+    print_endline "coral_server: databases committed";
+    flush stdout
+  end

@@ -12,7 +12,7 @@ type request =
   | Modules
   | Quit
 
-type error_code = Parse | Eval | Timeout | Proto | Too_big
+type error_code = Parse | Eval | Timeout | Proto | Too_big | Ioerr
 
 type payload =
   | Ans of string
@@ -32,6 +32,7 @@ let code_string = function
   | Timeout -> "TIMEOUT"
   | Proto -> "PROTO"
   | Too_big -> "TOOBIG"
+  | Ioerr -> "IOERR"
 
 let one_line s =
   let b = Buffer.create (String.length s) in

@@ -39,7 +39,9 @@
     Error codes: [PARSE] (malformed CORAL text), [EVAL] (runtime
     evaluation error), [TIMEOUT] (request deadline exceeded), [PROTO]
     (malformed request line), [TOOBIG] (request exceeds the size
-    limits; the server closes the connection). *)
+    limits; the server closes the connection), [IOERR] (a storage
+    fault — disk I/O error, checksum mismatch, quarantined page — the
+    request failed but the session stays usable). *)
 
 type request =
   | Hello
@@ -55,7 +57,7 @@ type request =
   | Modules
   | Quit
 
-type error_code = Parse | Eval | Timeout | Proto | Too_big
+type error_code = Parse | Eval | Timeout | Proto | Too_big | Ioerr
 
 type payload =
   | Ans of string  (** a query answer row *)

@@ -6,9 +6,16 @@ type t = {
   fd : Unix.file_descr;
   bound_port : int;
   sstore : Session.store;
+  databases : Coral.Database.t list;
   mutable closed : bool;
   mutable accept_thread : Thread.t option;
 }
+
+(* A peer that disappears mid-reply must raise EPIPE/ECONNRESET in the
+   writing thread, not deliver a process-killing SIGPIPE. *)
+let ignore_sigpipe () =
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  with Invalid_argument _ | Sys_error _ -> ()
 
 exception Line_too_long
 
@@ -81,19 +88,31 @@ let serve_connection store client =
          (Protocol.err Protocol.Too_big
             (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes))
      with Sys_error _ | Unix.Unix_error _ -> ())
-  | Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
+  | Sys_error _ | End_of_file -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    (* client went away mid-reply: just drop the connection *)
+    ()
+  | Unix.Unix_error _ -> ());
   try Unix.close client with Unix.Unix_error _ -> ()
 
 let accept_loop t =
   while not t.closed do
     match Unix.accept t.fd with
     | client, _addr ->
-      ignore (Thread.create (fun () -> serve_connection t.sstore client) ())
+      (* last-resort catch: no exception may kill a connection thread
+         in a way that leaks the descriptor or poisons the process *)
+      ignore
+        (Thread.create
+           (fun () ->
+             try serve_connection t.sstore client
+             with _ -> ( try Unix.close client with Unix.Unix_error _ -> ()))
+           ())
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> t.closed <- true
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let start ?(consult = []) ~listen db =
+let start ?(consult = []) ?(databases = []) ~listen db =
+  ignore_sigpipe ();
   List.iter (fun file -> Coral.consult_file db file) consult;
   let fd, bound_port =
     match listen with
@@ -121,7 +140,13 @@ let start ?(consult = []) ~listen db =
       fd, 0
   in
   let t =
-    { fd; bound_port; sstore = Session.make_store db; closed = false; accept_thread = None }
+    { fd;
+      bound_port;
+      sstore = Session.make_store db;
+      databases;
+      closed = false;
+      accept_thread = None
+    }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
@@ -139,5 +164,11 @@ let shutdown t =
     t.closed <- true;
     (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.fd with Unix.Unix_error _ -> ());
-    wait t
+    wait t;
+    (* graceful: commit and release any attached persistent databases
+       under the store lock so no request is mid-flight *)
+    Session.locked t.sstore (fun () ->
+        List.iter
+          (fun db -> try Coral.Database.close db with _ -> ())
+          t.databases)
   end

@@ -18,9 +18,15 @@ type listen =
 
 type t
 
-val start : ?consult:string list -> listen:listen -> Coral.t -> t
+val start :
+  ?consult:string list -> ?databases:Coral.Database.t list -> listen:listen -> Coral.t -> t
 (** Bind, consult the given program files into the shared engine, and
-    begin accepting.  Returns once the socket is listening.
+    begin accepting.  Returns once the socket is listening.  SIGPIPE is
+    ignored process-wide so a client vanishing mid-reply raises
+    [EPIPE] in its connection thread instead of killing the server.
+    [databases] lists persistent databases backing the engine's
+    relations; {!shutdown} commits and closes them (under the store
+    lock) so an orderly stop loses no durable data.
     @raise Unix.Unix_error when binding fails. *)
 
 val port : t -> int
@@ -33,4 +39,5 @@ val wait : t -> unit
 
 val shutdown : t -> unit
 (** Stop accepting and close the listening socket.  Established
-    connections finish their current request and close. *)
+    connections finish their current request and close; attached
+    persistent databases are committed and closed. *)

@@ -220,6 +220,24 @@ let handle t req =
         | Coral.Builtin.Eval_error e -> Protocol.err Protocol.Eval e
         | Coral_eval.Fixpoint.Not_modularly_stratified e ->
           Protocol.err Protocol.Eval ("not modularly stratified: " ^ e)
+        (* Storage faults: the request fails with IOERR but the session
+           (and the server) stays alive — a corrupt page quarantines
+           itself, it does not take the service down. *)
+        | Coral_storage.Disk.Fault { transient; op; path; detail } ->
+          Protocol.err Protocol.Ioerr
+            (Printf.sprintf "%s I/O fault during %s on %s: %s"
+               (if transient then "transient" else "persistent")
+               op (Filename.basename path) detail)
+        | Coral_storage.Disk.Corrupt { path; pid; detail } ->
+          Protocol.err Protocol.Ioerr
+            (Printf.sprintf "corrupt page %d in %s: %s" pid (Filename.basename path) detail)
+        | Coral_storage.Disk.Crashed msg ->
+          Protocol.err Protocol.Ioerr ("storage unavailable (simulated crash): " ^ msg)
+        | Coral_storage.Recovery.Fatal_corruption msg ->
+          Protocol.err Protocol.Ioerr ("unrecoverable corruption: " ^ msg)
+        | Coral_storage.Buffer_pool.Pool_exhausted ->
+          Protocol.err Protocol.Ioerr "buffer pool exhausted: all frames pinned"
+        | Coral_storage.Codec.Unstorable msg -> Protocol.err Protocol.Eval msg
         | Failure e -> Protocol.err Protocol.Eval e
         | Stack_overflow -> Protocol.err Protocol.Eval "stack overflow during evaluation"
       in

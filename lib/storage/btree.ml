@@ -50,7 +50,13 @@ let read_entries p =
   let n = nentries p in
   let pos = ref header in
   List.init n (fun _ ->
+      (* bounds guard: a structurally corrupt node (possible only for
+         images restored from pre-checksum files) must not turn into a
+         wild substring *)
+      if !pos + 2 > Page.page_size then failwith "Btree: corrupt node (entry overruns page)";
       let klen = get16 p !pos in
+      if !pos + 2 + klen + (if leaf then 8 else 4) > Page.page_size then
+        failwith "Btree: corrupt node (key overruns page)";
       let key = Bytes.sub_string p (!pos + 2) klen in
       let vpos = !pos + 2 + klen in
       if leaf then begin

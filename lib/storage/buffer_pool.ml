@@ -1,3 +1,5 @@
+exception Pool_exhausted
+
 type frame = {
   buf : Bytes.t;
   mutable pid : int;  (* -1 = empty *)
@@ -11,6 +13,7 @@ type stats = {
   mutable misses : int;
   mutable evictions : int;
   mutable writebacks : int;
+  mutable retries : int;
 }
 
 type t = {
@@ -18,10 +21,12 @@ type t = {
   frames : frame array;
   table : (int, int) Hashtbl.t;  (* pid -> frame index *)
   mutable hand : int;
+  wal_backed : bool;
+  mutable spill : (unit -> unit) option;
   st : stats;
 }
 
-let create ?(frames = 64) dsk =
+let create ?(frames = 64) ?(wal_backed = false) dsk =
   { dsk;
     frames =
       Array.init frames (fun _ ->
@@ -33,8 +38,12 @@ let create ?(frames = 64) dsk =
           });
     table = Hashtbl.create (2 * frames);
     hand = 0;
-    st = { hits = 0; misses = 0; evictions = 0; writebacks = 0 }
+    wal_backed;
+    spill = None;
+    st = { hits = 0; misses = 0; evictions = 0; writebacks = 0; retries = 0 }
   }
+
+let set_spill_handler t f = t.spill <- Some f
 
 let writeback t f =
   if f.dirty then begin
@@ -43,19 +52,53 @@ let writeback t f =
     f.dirty <- false
   end
 
-(* Clock replacement over unpinned frames. *)
+(* Clock replacement over unpinned frames.  A WAL-backed pool is
+   no-steal: dirty frames are never evicted before commit (a redo-only
+   log cannot undo uncommitted bytes that reached the data file), so
+   they are skipped too; when nothing is evictable the owner's spill
+   handler (which commits the relation, making every frame clean) gets
+   one chance before we give up with {!Pool_exhausted}. *)
 let victim t =
   let n = Array.length t.frames in
-  let rec go attempts =
-    if attempts > 2 * n then failwith "Buffer_pool.get: all frames pinned";
-    let f = t.frames.(t.hand) in
-    t.hand <- (t.hand + 1) mod n;
-    if f.pin > 0 then go (attempts + 1)
-    else if f.referenced then begin
-      f.referenced <- false;
-      go (attempts + 1)
+  let sweep () =
+    let rec go attempts =
+      if attempts > 2 * n then None
+      else begin
+        let f = t.frames.(t.hand) in
+        t.hand <- (t.hand + 1) mod n;
+        if f.pin > 0 then go (attempts + 1)
+        else if t.wal_backed && f.dirty then go (attempts + 1)
+        else if f.referenced then begin
+          f.referenced <- false;
+          go (attempts + 1)
+        end
+        else Some f
+      end
+    in
+    go 0
+  in
+  match sweep () with
+  | Some f -> f
+  | None -> begin
+    match t.spill with
+    | Some commit_owner -> begin
+      commit_owner ();
+      match sweep () with
+      | Some f -> f
+      | None -> raise Pool_exhausted
     end
-    else f
+    | None -> raise Pool_exhausted
+  end
+
+(* Transient device faults (the injected-EIO kind) are retried with
+   bounded exponential backoff before giving up. *)
+let read_with_retry t pid buf =
+  let rec go attempt =
+    try Disk.read t.dsk pid buf with
+    | Disk.Fault { transient = true; _ } when attempt < 3 ->
+      t.st.retries <- t.st.retries + 1;
+      Unix.sleepf (0.001 *. float_of_int (1 lsl attempt));
+      go (attempt + 1)
   in
   go 0
 
@@ -75,10 +118,12 @@ let get t pid =
       Hashtbl.remove t.table f.pid;
       t.st.evictions <- t.st.evictions + 1
     end;
-    Disk.read t.dsk pid f.buf;
+    f.pid <- -1;
+    f.dirty <- false;
+    (* a failed fault-in must leave the frame empty, not half-claimed *)
+    read_with_retry t pid f.buf;
     f.pid <- pid;
     f.pin <- 1;
-    f.dirty <- false;
     f.referenced <- true;
     let idx =
       let found = ref (-1) in
@@ -113,6 +158,16 @@ let flush t =
 let dirty_pages t =
   Array.to_list t.frames
   |> List.filter_map (fun f -> if f.pid >= 0 && f.dirty then Some (f.pid, f.buf) else None)
+
+let drop t =
+  Array.iter
+    (fun f ->
+      f.pid <- -1;
+      f.pin <- 0;
+      f.dirty <- false;
+      f.referenced <- false)
+    t.frames;
+  Hashtbl.reset t.table
 
 let stats t = t.st
 let disk t = t.dsk

@@ -4,7 +4,24 @@
     buffer pool"; this is that component.  Frames hold page images;
     [get] pins a page (faulting it in, possibly evicting an unpinned
     frame and writing it back if dirty), [unpin] releases it and records
-    whether it was modified.  Statistics feed the I/O benchmarks. *)
+    whether it was modified.  Statistics feed the I/O benchmarks.
+
+    Fault behaviour: a transient read fault ({!Disk.Fault} with
+    [transient = true]) is retried up to three times with exponential
+    backoff before propagating; a {!Disk.Corrupt} page propagates
+    immediately (the frame is left empty, the pool stays consistent).
+
+    A pool created with [~wal_backed:true] is {e no-steal}: dirty
+    frames are never written back before the owner commits, because
+    the redo-only WAL cannot undo uncommitted bytes that reach the
+    data file.  When every frame is pinned or dirty, the owner's
+    spill handler (typically "commit the relation") is invoked once;
+    if that frees nothing, {!Pool_exhausted} is raised. *)
+
+exception Pool_exhausted
+(** Every frame is pinned (or, in a WAL-backed pool, dirty) and the
+    spill handler could not free one.  Commit, unpin, or enlarge the
+    pool. *)
 
 type t
 
@@ -13,15 +30,20 @@ type stats = {
   mutable misses : int;
   mutable evictions : int;
   mutable writebacks : int;
+  mutable retries : int;  (** transient read faults retried *)
 }
 
-val create : ?frames:int -> Disk.t -> t
-(** Default 64 frames (512 KiB). *)
+val create : ?frames:int -> ?wal_backed:bool -> Disk.t -> t
+(** Default 64 frames (512 KiB), [wal_backed] false. *)
+
+val set_spill_handler : t -> (unit -> unit) -> unit
+(** Called when a WAL-backed pool finds no evictable frame; expected to
+    commit the owning relation so dirty frames become clean. *)
 
 val get : t -> int -> Bytes.t
 (** Pin page [pid] and return its frame image.  The bytes are shared:
     mutate them only between [get] and [unpin ~dirty:true].
-    @raise Failure when every frame is pinned. *)
+    @raise Pool_exhausted when no frame can be freed. *)
 
 val unpin : t -> int -> dirty:bool -> unit
 
@@ -34,6 +56,10 @@ val flush : t -> unit
 
 val dirty_pages : t -> (int * Bytes.t) list
 (** Currently dirty (pid, image) pairs — the WAL logs these at commit. *)
+
+val drop : t -> unit
+(** Empty every frame without writing anything back — recovery-time
+    reset after the underlying device reports a crash. *)
 
 val stats : t -> stats
 val disk : t -> Disk.t

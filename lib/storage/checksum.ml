@@ -1,0 +1,28 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table driven.
+   Computed in a native int; all intermediate values fit in 32 bits. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.update";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = off to off + len - 1 do
+    c := Array.unsafe_get t ((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let crc32 buf off len = update 0 buf off len
+
+let crc32_string s =
+  let b = Bytes.unsafe_of_string s in
+  crc32 b 0 (Bytes.length b)

@@ -1,0 +1,14 @@
+(** CRC-32 checksums (IEEE polynomial) over byte ranges.
+
+    Every page image and every WAL record carries one of these so that
+    torn writes, short writes and bit rot are detected rather than
+    served; see {!Disk} and {!Wal}. *)
+
+val crc32 : Bytes.t -> int -> int -> int
+(** [crc32 buf off len] is the CRC-32 of the given range. *)
+
+val update : int -> Bytes.t -> int -> int -> int
+(** Incremental form: [update crc buf off len] extends a running
+    checksum, so a multi-part record can be summed without copying. *)
+
+val crc32_string : string -> int

@@ -67,27 +67,41 @@ let encode terms =
   Buffer.contents b
 
 let decode s =
+  (* Bounds-checked throughout: a truncated or corrupt record raises
+     [Unstorable], never [Invalid_argument] from a wild substring. *)
+  let total = String.length s in
+  let need pos n =
+    if pos + n > total then raise (Unstorable "truncated record")
+  in
+  need 0 2;
   let pos = ref 2 in
   let n = get16 s 0 in
   Array.init n (fun _ ->
+      need !pos 1;
       let tag = s.[!pos] in
       incr pos;
       match tag with
       | 'i' ->
+        need !pos 8;
         let v = get64 s !pos in
         pos := !pos + 8;
         Term.int v
       | 'd' ->
+        need !pos 8;
         let bits = get_i64 s !pos in
         pos := !pos + 8;
         Term.double (Int64.float_of_bits bits)
       | 's' ->
+        need !pos 2;
         let len = get16 s !pos in
+        need (!pos + 2) len;
         let v = String.sub s (!pos + 2) len in
         pos := !pos + 2 + len;
         Term.str v
       | 'b' ->
+        need !pos 2;
         let len = get16 s !pos in
+        need (!pos + 2) len;
         let v = String.sub s (!pos + 2) len in
         pos := !pos + 2 + len;
         Term.big (Bignum.of_string v)

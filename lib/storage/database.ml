@@ -3,28 +3,41 @@ open Coral_rel
 type t = {
   dir : string;
   pool_frames : int;
+  verify : bool;
+  injector : Disk.Faulty.t option;
   handles : (string, Persistent_relation.handle) Hashtbl.t;
 }
 
-let open_ ?(pool_frames = 64) dir =
+let open_ ?(pool_frames = 64) ?(verify = true) ?injector dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  { dir; pool_frames; handles = Hashtbl.create 8 }
+  { dir; pool_frames; verify; injector; handles = Hashtbl.create 8 }
 
-let relation t ?(indexes = []) ~name ~arity () =
+let handle t ?(indexes = []) ~name ~arity () =
   match Hashtbl.find_opt t.handles name with
-  | Some h -> Persistent_relation.relation h
+  | Some h -> h
   | None ->
     let h =
-      Persistent_relation.open_ ~pool_frames:t.pool_frames ~indexes ~dir:t.dir ~name ~arity ()
+      Persistent_relation.open_ ~pool_frames:t.pool_frames ~indexes ?injector:t.injector
+        ~verify:t.verify ~dir:t.dir ~name ~arity ()
     in
     Hashtbl.add t.handles name h;
-    Persistent_relation.relation h
+    h
+
+let relation t ?indexes ~name ~arity () =
+  Persistent_relation.relation (handle t ?indexes ~name ~arity ())
 
 let commit t = Hashtbl.iter (fun _ h -> Persistent_relation.commit h) t.handles
 
 let close t =
   Hashtbl.iter (fun _ h -> Persistent_relation.close h) t.handles;
   Hashtbl.reset t.handles
+
+let abandon t =
+  Hashtbl.iter (fun _ h -> Persistent_relation.abandon h) t.handles;
+  Hashtbl.reset t.handles
+
+let recovery_reports t =
+  Hashtbl.fold (fun name h acc -> (name, Persistent_relation.last_recovery h) :: acc) t.handles []
 
 let io_stats t =
   Hashtbl.fold (fun _ h acc -> Persistent_relation.io_stats h @ acc) t.handles []

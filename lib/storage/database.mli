@@ -5,23 +5,42 @@
     volume: named relations, opened on demand, all durable together.
     [commit] logs and flushes every open relation (redo-log first, then
     write-back, then checkpoint — see {!Wal}); [close] commits and
-    releases the file handles.  Transaction boundaries are per relation
-    file, as documented in DESIGN.md. *)
+    releases the file handles.  Each relation commits atomically across
+    all of its files through one shared log, as documented in
+    DESIGN.md; opening a relation replays its log and verifies page
+    checksums, and what recovery found is available per relation via
+    {!recovery_reports}. *)
 
 open Coral_rel
 
 type t
 
-val open_ : ?pool_frames:int -> string -> t
-(** Open (creating if needed) the database directory. *)
+val open_ : ?pool_frames:int -> ?verify:bool -> ?injector:Disk.Faulty.t -> string -> t
+(** Open (creating if needed) the database directory.  [verify]
+    (default true) runs a checksum sweep over every page of each
+    relation when it is first opened; [injector] routes all storage
+    I/O of every relation through a fault-injection seam. *)
 
 val relation : t -> ?indexes:int list -> name:string -> arity:int -> unit -> Relation.t
 (** The named persistent relation, opened (with recovery) on first use.
     Repeated calls return the same relation; [indexes] applies on the
-    first open only. *)
+    first open only.
+
+    @raise Recovery.Fatal_corruption when an index metadata page fails
+    verification — the relation cannot be served. *)
+
+val handle : t -> ?indexes:int list -> name:string -> arity:int -> unit -> Persistent_relation.handle
+(** Like {!relation} but exposing the storage handle. *)
 
 val commit : t -> unit
 val close : t -> unit
+
+val abandon : t -> unit
+(** Drop every open relation WITHOUT committing (simulated crash):
+    descriptors are closed, nothing is written. *)
+
+val recovery_reports : t -> (string * Recovery.t) list
+(** Per open relation, what recovery found at open time. *)
 
 val io_stats : t -> (string * Buffer_pool.stats) list
 (** Buffer-pool statistics of every file of every open relation. *)

@@ -65,6 +65,10 @@ let compact p =
     records
 
 let insert p data =
+  (* self-heal an uninitialized page: a crash can leave an allocated
+     page all-zero (free_off = 0), which must behave like a freshly
+     init'd page rather than letting records clobber the header *)
+  if free_off p < header_size then set_free_off p header_size;
   let len = String.length data in
   if len + slot_size > free_space p then compact p;
   if len + slot_size > free_space p then None
@@ -81,8 +85,34 @@ let insert p data =
 let read p i =
   if i < 0 || i >= nslots p then None
   else begin
-    let off = slot_offset p i in
-    if off = 0 then None else Some (Bytes.sub_string p off (slot_length p i))
+    let off = slot_offset p i and len = slot_length p i in
+    (* bounds-harden against structurally corrupt bytes: a slot that
+       escapes the record area is treated as dead, not dereferenced *)
+    if off < header_size || off + len > page_size then None
+    else Some (Bytes.sub_string p off len)
+  end
+
+(* Structural sanity of the slotted layout — cheap defense in depth
+   behind the disk layer's checksums (e.g. for images restored from a
+   legacy, pre-checksum file). *)
+let validate p =
+  let n = nslots p in
+  let fo = free_off p in
+  if n < 0 || slot_dir_off (n - 1) < header_size then
+    Error (Printf.sprintf "slot count %d overruns the page" n)
+  else if fo < header_size || fo > page_size then
+    Error (Printf.sprintf "free-space offset %d out of range" fo)
+  else begin
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      let off = slot_offset p i and len = slot_length p i in
+      if off <> 0 && (off < header_size || off + len > slot_dir_off (n - 1)) then
+        if !bad = None then bad := Some (i, off, len)
+    done;
+    match !bad with
+    | Some (i, off, len) ->
+      Error (Printf.sprintf "slot %d (offset %d, length %d) escapes the record area" i off len)
+    | None -> Ok ()
   end
 
 let delete p i =

@@ -22,7 +22,14 @@ val insert : t -> string -> slot option
     compaction). *)
 
 val read : t -> slot -> string option
-(** [None] for deleted or out-of-range slots. *)
+(** [None] for deleted, out-of-range, or structurally corrupt slots
+    (a slot whose offset/length escape the page is never
+    dereferenced). *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity check of the slotted layout: slot count and
+    free-space offset in range, every live slot inside the record
+    area.  Defense in depth behind {!Disk}'s checksums. *)
 
 val delete : t -> slot -> bool
 val nslots : t -> int

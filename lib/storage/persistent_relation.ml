@@ -1,52 +1,128 @@
 open Coral_term
 open Coral_rel
 
+(* A relation is a small family of page files — the heap, the
+   duplicate-elimination index, one B-tree per indexed column — made
+   durable together through ONE write-ahead log whose records tag each
+   page image with its file.  Commit is therefore atomic at relation
+   granularity: after a crash at any byte, recovery either replays a
+   whole commit (heap and indexes) or none of it, so the indexes can
+   never disagree with the heap. *)
+
 type file = {
   fname : string;
   bp : Buffer_pool.t;
-  wal : Wal.t;
 }
 
 type handle = {
-  heap : Heap_file.t;
-  heap_file : file;
-  uniq : Btree.t;  (* full-record index for duplicate elimination *)
-  uniq_file : file;
-  indexes : (int * Btree.t * file) list;  (* column -> tree *)
+  files : file array;  (* 0 = heap, 1 = uniq, 2.. = column indexes *)
+  wal : Wal.t;
   rel : Relation.t;
+  report : Recovery.t;
 }
 
-let open_file ?(pool_frames = 64) path =
-  let disk = Disk.create path in
-  let wal = Wal.create (path ^ ".wal") in
-  ignore (Wal.recover wal disk);
-  let bp = Buffer_pool.create ~frames:pool_frames disk in
-  { fname = path; bp; wal }
+let commit h =
+  let entries =
+    Array.to_list h.files
+    |> List.mapi (fun fid f ->
+           List.map (fun (pid, image) -> fid, pid, image) (Buffer_pool.dirty_pages f.bp))
+    |> List.concat
+  in
+  if entries <> [] then begin
+    (* redo-log first (one fsync covers every file), then write back,
+       then truncate the log *)
+    Wal.commit h.wal entries;
+    Array.iter (fun f -> Buffer_pool.flush f.bp) h.files;
+    Wal.checkpoint h.wal
+  end
 
-let commit_file f =
-  Wal.commit f.wal (Buffer_pool.dirty_pages f.bp);
-  Buffer_pool.flush f.bp;
-  Wal.checkpoint f.wal
+let close h =
+  commit h;
+  Array.iter (fun f -> Disk.close (Buffer_pool.disk f.bp)) h.files;
+  Wal.close h.wal
 
-let close_file f =
-  Buffer_pool.flush f.bp;
-  Wal.close f.wal;
-  Disk.close (Buffer_pool.disk f.bp)
+let abandon h =
+  (* simulated-crash teardown: release descriptors, write nothing *)
+  Array.iter (fun f -> Disk.close (Buffer_pool.disk f.bp)) h.files;
+  Wal.close h.wal
 
-let open_ ?(pool_frames = 64) ?(indexes = []) ~dir ~name ~arity () =
+let last_recovery h = h.report
+
+let open_ ?(pool_frames = 64) ?(indexes = []) ?injector ?(verify = true) ~dir ~name ~arity () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let heap_file = open_file ~pool_frames (Filename.concat dir (name ^ ".heap")) in
-  let heap = Heap_file.create heap_file.bp in
-  let uniq_file = open_file ~pool_frames (Filename.concat dir (name ^ ".uniq.idx")) in
-  let uniq = Btree.create uniq_file.bp in
+  let in_dir f = Filename.concat dir f in
+  let paths =
+    Array.of_list
+      (in_dir (name ^ ".heap") :: in_dir (name ^ ".uniq.idx")
+      :: List.map (fun col -> in_dir (Printf.sprintf "%s.%d.idx" name col)) indexes)
+  in
+  let report = Recovery.create () in
+  let disks = Array.map (fun p -> Disk.create ?injector ~report p) paths in
+  (* From here on the disks (and soon the log) are open: any failure —
+     including an injected crash during recovery — must release the
+     descriptors before propagating, or a crash-test loop would leak
+     them. *)
+  let wal_ref = ref None in
+  let cleanup () =
+    Array.iter (fun d -> try Disk.close d with _ -> ()) disks;
+    match !wal_ref with
+    | Some w -> ( try Wal.close w with _ -> ())
+    | None -> ()
+  in
+  try
+  (* Legacy layout migration: versions before the shared WAL kept one
+     redo log per file.  Replay any such logs into their files, then
+     remove them; durability moves to the shared log below. *)
+  Array.iteri
+    (fun i p ->
+      let legacy = p ^ ".wal" in
+      if Sys.file_exists legacy then begin
+        let w = Wal.create legacy in
+        ignore (Wal.recover w ~disks:[| disks.(i) |] ~report);
+        Wal.close w;
+        try Sys.remove legacy with Sys_error _ -> ()
+      end)
+    paths;
+  let wal = Wal.create ?injector (in_dir (name ^ ".wal")) in
+  wal_ref := Some wal;
+  ignore (Wal.recover wal ~disks ~report);
+  (* recovery replays are synced by [Wal.recover]; the log can be
+     truncated (this also rewrites a legacy-format log's header) *)
+  Wal.checkpoint wal;
+  if verify then
+    Array.iteri
+      (fun fid d ->
+        List.iter
+          (fun (pid, _detail) ->
+            Recovery.quarantine report paths.(fid) pid;
+            (* page 0 of a B-tree file holds the root pointer: without
+               it the index is unusable, and silently rebuilding it
+               would hide real data loss *)
+            if fid >= 1 && pid = 0 then
+              raise
+                (Recovery.Fatal_corruption
+                   (Printf.sprintf "%s: metadata page 0 failed verification" paths.(fid))))
+          (Disk.verify d))
+      disks;
+  let files =
+    Array.mapi
+      (fun i d ->
+        { fname = paths.(i); bp = Buffer_pool.create ~frames:pool_frames ~wal_backed:true d })
+      disks
+  in
+  let meta_guard path f =
+    try f () with
+    | Disk.Corrupt { pid; _ } when pid = 0 ->
+      raise
+        (Recovery.Fatal_corruption
+           (Printf.sprintf "%s: unreadable metadata page 0" path))
+  in
+  let heap = Heap_file.create files.(0).bp in
+  let uniq = meta_guard paths.(1) (fun () -> Btree.create files.(1).bp) in
   let index_handles =
-    List.map
-      (fun col ->
-        let f =
-          open_file ~pool_frames
-            (Filename.concat dir (Printf.sprintf "%s.%d.idx" name col))
-        in
-        col, Btree.create f.bp, f)
+    List.mapi
+      (fun i col ->
+        col, meta_guard paths.(2 + i) (fun () -> Btree.create files.(2 + i).bp))
       indexes
   in
   (* --- Relation implementation ------------------------------------ *)
@@ -59,7 +135,7 @@ let open_ ?(pool_frames = 64) ?(indexes = []) ~dir ~name ~arity () =
       let rid = Heap_file.insert heap record in
       Btree.insert uniq record rid;
       List.iter
-        (fun (col, tree, _) -> Btree.insert tree (Codec.encode_key tuple.Tuple.terms.(col)) rid)
+        (fun (col, tree) -> Btree.insert tree (Codec.encode_key tuple.Tuple.terms.(col)) rid)
         index_handles;
       true
     end
@@ -76,7 +152,7 @@ let open_ ?(pool_frames = 64) ?(indexes = []) ~dir ~name ~arity () =
         | None -> None
         | Some (args, env) ->
           List.find_map
-            (fun (col, tree, _) ->
+            (fun (col, tree) ->
               if col >= Array.length args then None
               else begin
                 let resolved = Unify.resolve args.(col) env in
@@ -92,10 +168,10 @@ let open_ ?(pool_frames = 64) ?(indexes = []) ~dir ~name ~arity () =
         |> Seq.filter_map (fun rid -> Option.map decode_tuple (Heap_file.read heap rid))
       | None ->
         (* page-at-a-time streaming scan *)
-        let npages = Disk.npages (Buffer_pool.disk heap_file.bp) in
+        let npages = Disk.npages (Buffer_pool.disk files.(0).bp) in
         let page_tuples pid =
           let acc = ref [] in
-          Buffer_pool.with_page heap_file.bp pid (fun page ->
+          Buffer_pool.with_page files.(0).bp pid (fun page ->
               Page.iter page (fun _ record -> acc := decode_tuple record :: !acc);
               (), false);
           List.rev !acc
@@ -107,67 +183,50 @@ let open_ ?(pool_frames = 64) ?(indexes = []) ~dir ~name ~arity () =
         pages 1
     end
   in
+  let remove_tuple (t : Tuple.t) =
+    let record = Codec.encode t.Tuple.terms in
+    match Btree.find_all uniq record with
+    | rid :: _ ->
+      ignore (Heap_file.delete heap rid);
+      ignore (Btree.delete uniq record rid);
+      List.iter
+        (fun (col, tree) -> ignore (Btree.delete tree (Codec.encode_key t.Tuple.terms.(col)) rid))
+        index_handles
+    | [] -> ()
+  in
   let delete ~pattern pred =
     let victims = ref [] in
-    Seq.iter (fun t -> if pred t then victims := t :: !victims) (scan ~from_mark:0 ~to_mark:(-1) ~pattern);
-    List.iter
-      (fun (t : Tuple.t) ->
-        let record = Codec.encode t.Tuple.terms in
-        match Btree.find_all uniq record with
-        | rid :: _ ->
-          ignore (Heap_file.delete heap rid);
-          ignore (Btree.delete uniq record rid);
-          List.iter
-            (fun (col, tree, _) ->
-              ignore (Btree.delete tree (Codec.encode_key t.Tuple.terms.(col)) rid))
-            index_handles
-        | [] -> ())
-      !victims;
+    Seq.iter
+      (fun t -> if pred t then victims := t :: !victims)
+      (scan ~from_mark:0 ~to_mark:(-1) ~pattern);
+    List.iter remove_tuple !victims;
     List.length !victims
   in
   let rel =
     Relation.v ~name ~arity
       { Relation.i_insert = insert;
         i_delete = delete;
-        i_retire =
-          (fun (t : Tuple.t) ->
-            let record = Codec.encode t.Tuple.terms in
-            match Btree.find_all uniq record with
-            | rid :: _ ->
-              ignore (Heap_file.delete heap rid);
-              ignore (Btree.delete uniq record rid);
-              List.iter
-                (fun (col, tree, _) ->
-                  ignore (Btree.delete tree (Codec.encode_key t.Tuple.terms.(col)) rid))
-                index_handles
-            | [] -> ());
+        i_retire = remove_tuple;
         i_mark = (fun () -> 0);
         i_marks = (fun () -> 0);
         i_cardinal = (fun () -> Btree.cardinal uniq);
         i_add_index = (fun _ -> ());
-        i_indexes = (fun () -> List.map (fun (c, _, _) -> Index.Args [ c ]) index_handles);
+        i_indexes = (fun () -> List.map (fun (c, _) -> Index.Args [ c ]) index_handles);
         i_scan = scan;
         i_clear = (fun () -> failwith "persistent relations cannot be cleared in place")
       }
   in
-  { heap; heap_file; uniq; uniq_file; indexes = index_handles; rel }
+  let h = { files; wal; rel; report } in
+  (* a pool that runs out of clean frames commits the whole relation
+     (making every frame evictable) rather than failing the operation *)
+  Array.iter (fun f -> Buffer_pool.set_spill_handler f.bp (fun () -> commit h)) files;
+  h
+  with e ->
+    cleanup ();
+    raise e
 
 let relation h = h.rel
 
-let commit h =
-  commit_file h.heap_file;
-  commit_file h.uniq_file;
-  List.iter (fun (_, _, f) -> commit_file f) h.indexes
-
-let close h =
-  commit h;
-  close_file h.heap_file;
-  close_file h.uniq_file;
-  List.iter (fun (_, _, f) -> close_file f) h.indexes
-
 let io_stats h =
-  (Filename.basename h.heap_file.fname, Buffer_pool.stats h.heap_file.bp)
-  :: (Filename.basename h.uniq_file.fname, Buffer_pool.stats h.uniq_file.bp)
-  :: List.map
-       (fun (_, _, f) -> Filename.basename f.fname, Buffer_pool.stats f.bp)
-       h.indexes
+  Array.to_list h.files
+  |> List.map (fun f -> Filename.basename f.fname, Buffer_pool.stats f.bp)

@@ -8,11 +8,17 @@
     fields (int, double, string, bignum), the same restriction the
     paper states for EXODUS-stored data.
 
-    Durability follows the EXODUS division of labour: each file pairs
-    with a redo log; {!commit} logs dirty pages, syncs, writes back and
-    checkpoints; opening a relation replays any committed-but-unwritten
-    log tail.  Marks are not supported (persistent relations serve as
-    base relations; semi-naive deltas live in memory relations).
+    Durability is redo-only write-ahead logging with relation-level
+    atomicity: ONE shared log per relation records the dirty pages of
+    every file (heap, duplicate index, column indexes) in a single
+    checksummed commit record, so a crash at any byte either replays a
+    whole commit or none of it and the indexes can never disagree with
+    the heap.  {!commit} logs + fsyncs, writes back, then truncates
+    the log; {!open_} replays any committed-but-unwritten log tail,
+    discards torn tails, and (by default) verifies every page checksum,
+    quarantining bad pages into a {!Recovery.t} report.  Marks are not
+    supported (persistent relations serve as base relations; semi-naive
+    deltas live in memory relations).
 
     A duplicate-elimination index on the full record makes set
     semantics O(log n) per insert; [@multiset] relations skip it. *)
@@ -24,6 +30,8 @@ type handle
 val open_ :
   ?pool_frames:int ->
   ?indexes:int list ->
+  ?injector:Disk.Faulty.t ->
+  ?verify:bool ->
   dir:string ->
   name:string ->
   arity:int ->
@@ -31,13 +39,27 @@ val open_ :
   handle
 (** Open or create the relation stored under [dir]/[name].*; [indexes]
     lists the argument positions to index with B-trees (default none).
-    Recovery runs before the relation is usable. *)
+    Recovery runs before the relation is usable: shared-log replay
+    (plus migration of legacy per-file logs), then — unless
+    [verify:false] — a checksum sweep of every page.  Pages failing
+    verification are quarantined (reads raise {!Disk.Corrupt}); a bad
+    B-tree metadata page raises {!Recovery.Fatal_corruption} because
+    the index root is gone.  [injector] routes all file I/O through a
+    fault-injection seam (tests and the crash harness). *)
 
 val relation : handle -> Relation.t
 (** The {!Relation} view: the engine uses it like any other relation. *)
 
 val commit : handle -> unit
 val close : handle -> unit
+
+val abandon : handle -> unit
+(** Release file descriptors WITHOUT committing or writing anything —
+    the teardown half of a simulated crash.  The on-disk state is left
+    exactly as the last (possibly torn) write left it. *)
+
+val last_recovery : handle -> Recovery.t
+(** What recovery found when this handle was opened. *)
 
 val io_stats : handle -> (string * Buffer_pool.stats) list
 (** Per-file buffer-pool statistics (heap first, then indexes). *)

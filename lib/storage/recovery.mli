@@ -1,0 +1,35 @@
+(** Typed recovery reports.
+
+    Opening a persistent relation runs recovery — WAL replay, on-disk
+    format upgrades, optional checksum verification — and instead of
+    silently proceeding (or dying) records what it found in one of
+    these.  A report with {!clean} [= true] means the files were
+    exactly as a clean shutdown left them.
+
+    Corruption is split into two classes: {e recoverable} damage (a
+    torn WAL tail, pages restorable from committed WAL records, a
+    checksum-failed data page that is quarantined so reads of it raise
+    {!Disk.Corrupt} while the rest of the relation keeps serving), and
+    {e fatal} damage ({!Fatal_corruption}: a metadata page such as a
+    B-tree root pointer page that cannot be reconstructed, or an
+    unreadable file header). *)
+
+exception Fatal_corruption of string
+
+type t = {
+  mutable upgraded : string list;  (** files rewritten from the v0 on-disk format *)
+  mutable legacy_wals : string list;  (** pre-shared-WAL per-file logs replayed and removed *)
+  mutable replayed_txns : int;
+  mutable replayed_pages : int;
+  mutable torn_tail_bytes : int;  (** incomplete trailing WAL bytes discarded *)
+  mutable corrupt_wal_records : int;  (** records failing CRC or missing commit magic *)
+  mutable quarantined : (string * int) list;  (** (file, page id) failing checksum verification *)
+}
+
+val create : unit -> t
+val clean : t -> bool
+val quarantine : t -> string -> int -> unit
+val merge : t -> t -> unit
+(** [merge into_ from] accumulates [from] into [into_]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,111 +1,194 @@
-(* Log format: a sequence of transactions, each
-     [u32 npages] ([pid u32][page image]){npages} [u32 0xC0111117]
-   Anything after the last complete commit marker is a torn tail and is
-   ignored by recovery. *)
+(* Log format (v1): an 8-byte magic "CORLWAL1", then a sequence of
+   transactions, each
+
+     [u32 nentries] ([u32 file_id][u32 pid][page image]){nentries}
+     [u32 crc32] [u32 0xC0111117]
+
+   where the CRC covers everything from the count through the last
+   image.  One log serves all the files of a relation (heap + indexes),
+   so a relation-level commit is atomic: either every file's pages
+   replay or none do.  Anything after the last complete, checksummed
+   commit marker is a torn or corrupt tail and is discarded by
+   recovery (and reported, not silently ignored).
+
+   Legacy logs from the pre-checksum format (no magic; single-file
+   records [u32 npages]([u32 pid][image])*[u32 marker]) are still
+   replayed — into file 0 — and the first checkpoint rewrites the file
+   with the new header. *)
 
 type t = {
   wpath : string;
-  mutable fd : Unix.file_descr;
+  io : Disk.Io.t;
 }
 
 let commit_magic = 0xC0111117
+let wal_magic = "CORLWAL1"
+let max_entries = 1_000_000
 
-let create wpath =
-  let fd = Unix.openfile wpath [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
-  { wpath; fd }
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
 
-let u32_bytes v =
-  let b = Bytes.create 4 in
+let add_u32 buf v =
   for i = 0 to 3 do
-    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
-  done;
-  b
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
 
-let read_u32 fd =
-  let b = Bytes.create 4 in
-  let rec go off =
-    if off >= 4 then begin
-      let v = ref 0 in
-      for i = 3 downto 0 do
-        v := (!v lsl 8) lor Char.code (Bytes.get b i)
-      done;
-      Some !v
-    end
-    else begin
-      let n = Unix.read fd b off (4 - off) in
-      if n = 0 then None else go (off + n)
-    end
-  in
-  go 0
+let create ?injector wpath =
+  let io = Disk.Io.openf ?injector wpath in
+  if Disk.Io.size io = 0 then Disk.Io.append io (Bytes.of_string wal_magic);
+  { wpath; io }
 
-let write_all fd b =
-  let rec go off =
-    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
-  in
-  go 0
+let path t = t.wpath
 
-let commit t pages =
-  write_all t.fd (u32_bytes (List.length pages));
+let commit t entries =
+  let buf = Buffer.create (16 + (List.length entries * (Page.page_size + 8))) in
+  add_u32 buf (List.length entries);
   List.iter
-    (fun (pid, image) ->
-      write_all t.fd (u32_bytes pid);
-      write_all t.fd image)
-    pages;
-  write_all t.fd (u32_bytes commit_magic);
-  Unix.fsync t.fd
+    (fun (fid, pid, image) ->
+      add_u32 buf fid;
+      add_u32 buf pid;
+      Buffer.add_bytes buf image)
+    entries;
+  let crc = Checksum.crc32_string (Buffer.contents buf) in
+  add_u32 buf crc;
+  add_u32 buf commit_magic;
+  Disk.Io.append t.io (Buffer.to_bytes buf);
+  Disk.Io.fsync t.io
 
-let recover t disk =
-  let fd = Unix.openfile t.wpath [ Unix.O_RDONLY; Unix.O_CREAT ] 0o644 in
-  let replayed = ref 0 in
-  let buf = Bytes.create Page.page_size in
-  let read_page () =
-    let rec go off =
-      if off >= Page.page_size then true
-      else begin
-        let n = Unix.read fd buf off (Page.page_size - off) in
-        if n = 0 then false else go (off + n)
-      end
-    in
-    go 0
+let recover t ~disks ~(report : Recovery.t) =
+  let io = t.io in
+  let size = Disk.Io.size io in
+  let ndisks = Array.length disks in
+  let img = Bytes.create Page.page_size in
+  let b4 = Bytes.create 4 in
+  let pos = ref 0 in
+  let read_u32 () =
+    if Disk.Io.pread io ~pos:!pos b4 0 4 = 4 then begin
+      pos := !pos + 4;
+      Some (get_u32 b4 0)
+    end
+    else None
   in
-  let rec txn () =
-    match read_u32 fd with
+  let read_image () =
+    if Disk.Io.pread io ~pos:!pos img 0 Page.page_size = Page.page_size then begin
+      pos := !pos + Page.page_size;
+      true
+    end
+    else false
+  in
+  let replayed = ref 0 in
+  let good_end = ref 0 in
+  let replay entries =
+    List.iter
+      (fun (fid, pid, image) ->
+        Disk.write disks.(fid) pid image;
+        incr replayed)
+      (List.rev entries);
+    report.Recovery.replayed_txns <- report.Recovery.replayed_txns + 1;
+    report.Recovery.replayed_pages <- report.Recovery.replayed_pages + List.length entries;
+    good_end := !pos
+  in
+  let corrupt () =
+    report.Recovery.corrupt_wal_records <- report.Recovery.corrupt_wal_records + 1
+  in
+  (* v1 records: checksummed, file-tagged *)
+  let rec v1_txn () =
+    match read_u32 () with
     | None -> ()
-    | Some npages ->
-      let pages = ref [] in
+    | Some n when n > max_entries -> corrupt ()
+    | Some n ->
+      let crc = ref (Checksum.crc32 b4 0 4) in
+      let entries = ref [] in
       let ok = ref true in
       (try
-         for _ = 1 to npages do
-           match read_u32 fd with
-           | Some pid when read_page () -> pages := (pid, Bytes.copy buf) :: !pages
+         for _ = 1 to n do
+           match read_u32 () with
+           | Some fid ->
+             crc := Checksum.update !crc b4 0 4;
+             if fid >= ndisks then begin
+               corrupt ();
+               ok := false;
+               raise Exit
+             end;
+             (match read_u32 () with
+             | Some pid when pid >= 0 ->
+               crc := Checksum.update !crc b4 0 4;
+               if read_image () then begin
+                 crc := Checksum.update !crc img 0 Page.page_size;
+                 entries := (fid, pid, Bytes.copy img) :: !entries
+               end
+               else begin
+                 ok := false;
+                 raise Exit
+               end
+             | _ ->
+               ok := false;
+               raise Exit)
+           | None ->
+             ok := false;
+             raise Exit
+         done
+       with Exit -> ());
+      if !ok then begin
+        match read_u32 (), read_u32 () with
+        | Some stored, Some magic when magic = commit_magic && stored = !crc ->
+          replay !entries;
+          v1_txn ()
+        | Some _, Some _ -> corrupt ()
+        | _ -> () (* torn: marker never made it *)
+      end
+  in
+  (* legacy records: single file, no checksum *)
+  let rec legacy_txn () =
+    match read_u32 () with
+    | None -> ()
+    | Some n when n > max_entries -> corrupt ()
+    | Some n ->
+      let entries = ref [] in
+      let ok = ref true in
+      (try
+         for _ = 1 to n do
+           match read_u32 () with
+           | Some pid when read_image () -> entries := (0, pid, Bytes.copy img) :: !entries
            | _ ->
              ok := false;
              raise Exit
          done
        with Exit -> ());
       if !ok then begin
-        match read_u32 fd with
+        match read_u32 () with
         | Some magic when magic = commit_magic ->
-          (* committed: replay *)
-          List.iter
-            (fun (pid, image) ->
-              Disk.write disk pid image;
-              incr replayed)
-            (List.rev !pages);
-          txn ()
-        | _ -> () (* torn tail *)
+          replay !entries;
+          legacy_txn ()
+        | Some _ -> corrupt ()
+        | None -> ()
       end
   in
-  txn ();
-  Unix.close fd;
-  if !replayed > 0 then Disk.sync disk;
+  if size = 0 then ()
+  else begin
+    let head = Bytes.create 8 in
+    let is_v1 = size >= 8 && Disk.Io.pread io ~pos:0 head 0 8 = 8 && Bytes.to_string head = wal_magic in
+    if is_v1 then begin
+      pos := 8;
+      good_end := 8;
+      v1_txn ()
+    end
+    else begin
+      report.Recovery.legacy_wals <- t.wpath :: report.Recovery.legacy_wals;
+      legacy_txn ()
+    end
+  end;
+  if size > !good_end then
+    report.Recovery.torn_tail_bytes <- report.Recovery.torn_tail_bytes + (size - !good_end);
+  if !replayed > 0 then Array.iter Disk.sync disks;
   !replayed
 
 let checkpoint t =
-  Unix.close t.fd;
-  let fd = Unix.openfile t.wpath [ Unix.O_RDWR; Unix.O_TRUNC ] 0o644 in
-  Unix.fsync fd;
-  Unix.close fd;
-  t.fd <- Unix.openfile t.wpath [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  Disk.Io.truncate t.io 0;
+  Disk.Io.append t.io (Bytes.of_string wal_magic);
+  Disk.Io.fsync t.io
 
-let close t = Unix.close t.fd
+let close t = Disk.Io.close t.io

@@ -1,25 +1,38 @@
-(** Page-level redo logging.
+(** Page-level redo logging, checksummed.
 
     CORAL left transactions and recovery to the EXODUS toolkit; this is
     the equivalent facility for our storage manager: a force-at-commit
     redo log.  [commit] appends the after-images of the transaction's
-    dirty pages and a commit marker, syncs the log, and only then may
-    the pages be written in place; [recover] replays complete
-    transactions found in the log (a torn tail is ignored), making a
-    crash between commit and write-back harmless.  [checkpoint]
-    truncates the log once the data file is known durable. *)
+    dirty pages — tagged with the file they belong to, so one log
+    covers a whole relation (heap file plus every index) and the
+    relation-level commit is atomic — under a CRC-32 and a commit
+    marker, syncs the log, and only then may the pages be written in
+    place.  [recover] replays complete, checksum-valid transactions
+    found in the log; a torn or corrupt tail is discarded and recorded
+    in the {!Recovery.t} report.  [checkpoint] truncates the log once
+    the data files are known durable.
+
+    Logs written by the pre-checksum format are detected by their
+    missing header, replayed (into file 0), and upgraded by the next
+    checkpoint. *)
 
 type t
 
-val create : string -> t
-(** Open (creating if absent) the log at this path. *)
+val create : ?injector:Disk.Faulty.t -> string -> t
+(** Open (creating if absent) the log at this path.  The injector, if
+    any, should be the same one attached to the data files so a single
+    crash budget spans log appends and page write-back. *)
 
-val commit : t -> (int * Bytes.t) list -> unit
-(** Durably log the after-images of the given (page id, image) pairs. *)
+val commit : t -> (int * int * Bytes.t) list -> unit
+(** Durably log the after-images of the given
+    (file id, page id, image) triples as one transaction. *)
 
-val recover : t -> Disk.t -> int
-(** Replay committed transactions into the data file; returns the
-    number of pages replayed.  Call before using the data file. *)
+val recover : t -> disks:Disk.t array -> report:Recovery.t -> int
+(** Replay committed transactions into the data files (file id indexes
+    [disks]); returns the number of pages replayed and accumulates
+    what happened — replays, torn tails, corrupt records — into the
+    report.  Call before using the data files. *)
 
 val checkpoint : t -> unit
 val close : t -> unit
+val path : t -> string

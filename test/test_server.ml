@@ -278,6 +278,82 @@ let test_oversized_requests () =
   close c
 
 (* ------------------------------------------------------------------ *)
+(* Storage faults over the wire                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tmpdir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+(* A checksum-corrupted page must come back as err IOERR — and the
+   session, the connection and the server must all survive it. *)
+let test_ioerr_keeps_serving () =
+  let dir = tmpdir "srvioerr" in
+  (* build a committed persistent relation, then corrupt one heap page *)
+  let h = Coral.Persistent.open_ ~dir ~name:"edge" ~arity:2 () in
+  let prel = Coral.Persistent.relation h in
+  for i = 0 to 299 do
+    ignore (Coral.Relation.insert_terms prel [| Coral.Term.int i; Coral.Term.int (i + 1) |])
+  done;
+  Coral.Persistent.close h;
+  flip_byte (Filename.concat dir "edge.heap") (Coral_storage.Disk.page_offset 1 + 64);
+  (* serve it: open quarantines the page, queries touching it fail *)
+  let db = Coral.create () in
+  let pdb = Coral.Database.open_ dir in
+  Coral.install_relation db "edge" (Coral.Database.relation pdb ~name:"edge" ~arity:2 ());
+  let srv = Server.start ~databases:[ pdb ] ~listen:(`Tcp ("127.0.0.1", 0)) db in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c "query edge(X, Y)" in
+  check_prefix "corrupt page maps to IOERR" "err IOERR" status;
+  (* same session keeps serving *)
+  let _, status = request c "ping" in
+  check_prefix "session alive after IOERR" "ok pong" status;
+  let _, status = request c "consult good(1). good(2)." in
+  check_prefix "consult still works" "ok" status;
+  let answers, status = request c "query good(X)" in
+  check_prefix "healthy relation serves" "ok 2 answers" status;
+  Alcotest.(check int) "both answers" 2 (List.length answers);
+  (* the fault is deterministic, not sticky-fatal *)
+  let _, status = request c "query edge(X, Y)" in
+  check_prefix "second probe still IOERR" "err IOERR" status;
+  let _, status = request c "ping" in
+  check_prefix "still alive" "ok pong" status;
+  ignore (request c "quit");
+  close c
+
+(* Server shutdown must commit attached databases: inserts made over
+   the wire survive into a fresh process with no explicit commit. *)
+let test_shutdown_commits_databases () =
+  let dir = tmpdir "srvcommit" in
+  let db = Coral.create () in
+  let pdb = Coral.Database.open_ dir in
+  Coral.install_relation db "edge" (Coral.Database.relation pdb ~name:"edge" ~arity:2 ());
+  let srv = Server.start ~databases:[ pdb ] ~listen:(`Tcp ("127.0.0.1", 0)) db in
+  let c = connect srv in
+  let _, status = request c "insert edge(1, 2). edge(2, 3). edge(3, 4)." in
+  check_prefix "inserted over the wire" "ok inserted 3" status;
+  ignore (request c "quit");
+  close c;
+  Server.shutdown srv (* no explicit commit: shutdown must do it *);
+  let pdb2 = Coral.Database.open_ dir in
+  let rel = Coral.Database.relation pdb2 ~name:"edge" ~arity:2 () in
+  Alcotest.(check int) "tuples durable after shutdown" 3 (Coral.Relation.cardinal rel);
+  Coral.Database.close pdb2
+
+(* ------------------------------------------------------------------ *)
 (* Session semantics without sockets                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -330,6 +406,9 @@ let () =
           Alcotest.test_case "request deadline" `Quick test_deadline;
           Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
           Alcotest.test_case "oversized requests" `Quick test_oversized_requests;
+          Alcotest.test_case "IOERR keeps serving" `Quick test_ioerr_keeps_serving;
+          Alcotest.test_case "shutdown commits databases" `Quick
+            test_shutdown_commits_databases;
           Alcotest.test_case "session semantics" `Quick test_session_direct
         ] )
     ]

@@ -233,27 +233,253 @@ let test_wal_recovery () =
   (* a committed change that never reached the data file *)
   let wal = Wal.create (path ^ ".log") in
   let image = Bytes.make Page.page_size 'Z' in
-  Wal.commit wal [ pid, image ];
+  Wal.commit wal [ 0, pid, image ];
   Wal.close wal;
   (* crash here: reopen and recover *)
   let wal = Wal.create (path ^ ".log") in
-  let replayed = Wal.recover wal disk in
+  let report = Recovery.create () in
+  let replayed = Wal.recover wal ~disks:[| disk |] ~report in
   Alcotest.(check int) "one page replayed" 1 replayed;
+  Alcotest.(check int) "one txn replayed" 1 report.Recovery.replayed_txns;
   let buf = Bytes.create Page.page_size in
   Disk.read disk pid buf;
   Alcotest.(check char) "image restored" 'Z' (Bytes.get buf 0);
-  (* a torn tail (no commit marker) is ignored *)
+  (* a torn tail (an incomplete trailing record) is discarded *)
   Wal.checkpoint wal;
   let fd = Unix.openfile (path ^ ".log") [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
   ignore (Unix.write fd (Bytes.make 10 '\001') 0 10);
   Unix.close fd;
   let wal2 = Wal.create (path ^ ".log") in
-  Alcotest.(check int) "torn tail ignored" 0 (Wal.recover wal2 disk);
+  let report2 = Recovery.create () in
+  Alcotest.(check int) "torn tail ignored" 0 (Wal.recover wal2 ~disks:[| disk |] ~report:report2);
+  Alcotest.(check bool) "torn bytes recorded" true (report2.Recovery.torn_tail_bytes > 0);
   Wal.close wal;
   Wal.close wal2;
   Disk.close disk;
   Sys.remove path;
   Sys.remove (path ^ ".log")
+
+(* ------------------------------------------------------------------ *)
+(* Checksums, fault injection and crash recovery                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Helper: a small committed relation in [dir] named "edge" with an
+   index on column 0; tuples are (i, i * 10) for i in [0, n). *)
+let build_relation ?injector ~dir n =
+  let h = Persistent_relation.open_ ?injector ~indexes:[ 0 ] ~dir ~name:"edge" ~arity:2 () in
+  let rel = Persistent_relation.relation h in
+  for i = 0 to n - 1 do
+    ignore (Relation.insert_terms rel [| Term.int i; Term.int (i * 10) |])
+  done;
+  Persistent_relation.commit h;
+  h
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let test_checksum_quarantine () =
+  let dir = tmpdir "cksum" in
+  Persistent_relation.close (build_relation ~dir 300);
+  (* corrupt one byte inside heap page 1's image *)
+  flip_byte (Filename.concat dir "edge.heap") (Disk.page_offset 1 + 100);
+  let h = Persistent_relation.open_ ~indexes:[ 0 ] ~dir ~name:"edge" ~arity:2 () in
+  let report = Persistent_relation.last_recovery h in
+  Alcotest.(check bool) "not clean" false (Recovery.clean report);
+  Alcotest.(check bool) "page quarantined" true
+    (List.exists (fun (f, pid) -> Filename.basename f = "edge.heap" && pid = 1)
+       report.Recovery.quarantined);
+  (* the B-tree (a different file) still serves *)
+  let rel = Persistent_relation.relation h in
+  Alcotest.(check int) "index still counts" 300 (Relation.cardinal rel);
+  (* a scan that touches the quarantined page raises Corrupt *)
+  let scans_corrupt =
+    try
+      ignore (Relation.to_list rel);
+      false
+    with Disk.Corrupt { pid = 1; _ } -> true
+  in
+  Alcotest.(check bool) "scan hits quarantine" true scans_corrupt;
+  Persistent_relation.close h
+
+let test_fatal_metadata_corruption () =
+  let dir = tmpdir "fatal" in
+  Persistent_relation.close (build_relation ~dir 50);
+  (* destroy the B-tree root pointer page of the uniq index *)
+  flip_byte (Filename.concat dir "edge.uniq.idx") (Disk.page_offset 0 + 1);
+  let fatal =
+    try
+      ignore (Persistent_relation.open_ ~indexes:[ 0 ] ~dir ~name:"edge" ~arity:2 ());
+      false
+    with Recovery.Fatal_corruption _ -> true
+  in
+  Alcotest.(check bool) "metadata page 0 is fatal" true fatal
+
+let test_disk_quarantine_lift () =
+  let path = tmpfile "quar" in
+  let disk = Disk.create path in
+  ignore (Disk.alloc disk);
+  let pid = Disk.alloc disk in
+  let img = Bytes.make Page.page_size 'Q' in
+  Disk.write disk pid img;
+  Disk.close disk;
+  flip_byte path (Disk.page_offset pid + 7);
+  let disk = Disk.create path in
+  let buf = Bytes.create Page.page_size in
+  let corrupt = try Disk.read disk pid buf; false with Disk.Corrupt _ -> true in
+  Alcotest.(check bool) "corrupted read raises" true corrupt;
+  Alcotest.(check int) "quarantined" 1 (List.length (Disk.quarantined disk));
+  (* rewriting the page lifts the quarantine *)
+  Disk.write disk pid img;
+  Disk.read disk pid buf;
+  Alcotest.(check char) "fresh image serves" 'Q' (Bytes.get buf 0);
+  Alcotest.(check (list (pair int string))) "quarantine lifted" [] (Disk.quarantined disk);
+  Disk.close disk;
+  Sys.remove path
+
+let test_v0_upgrade () =
+  let path = tmpfile "v0" in
+  (* fabricate a pre-checksum (v0) file: raw page images, no header *)
+  let img = Bytes.make Page.page_size '\000' in
+  Page.init img;
+  ignore (Page.insert img "legacy record");
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  let zeros = Bytes.make Page.page_size '\000' in
+  let write_all b =
+    let rec go off len = if len > 0 then (let n = Unix.write fd b off len in go (off + n) (len - n)) in
+    go 0 (Bytes.length b)
+  in
+  write_all zeros;
+  write_all img;
+  Unix.close fd;
+  let report = Recovery.create () in
+  let disk = Disk.create ~report path in
+  Alcotest.(check bool) "upgrade recorded" true (report.Recovery.upgraded <> []);
+  Alcotest.(check int) "both pages survive" 2 (Disk.npages disk);
+  let buf = Bytes.create Page.page_size in
+  Disk.read disk 1 buf;
+  Alcotest.(check (option string)) "record preserved" (Some "legacy record") (Page.read buf 0);
+  Alcotest.(check (list (pair int string))) "all checksums valid" [] (Disk.verify disk);
+  Disk.close disk;
+  Sys.remove path
+
+let test_pool_exhausted () =
+  let path = tmpfile "exhaust" in
+  let disk = Disk.create path in
+  let bp = Buffer_pool.create ~frames:2 disk in
+  ignore (Disk.alloc disk);
+  let p1 = Disk.alloc disk and p2 = Disk.alloc disk and p3 = Disk.alloc disk in
+  ignore (Buffer_pool.get bp p1) (* pinned *);
+  ignore (Buffer_pool.get bp p2) (* pinned *);
+  let exhausted = try ignore (Buffer_pool.get bp p3); false with Buffer_pool.Pool_exhausted -> true in
+  Alcotest.(check bool) "all-pinned pool refuses" true exhausted;
+  (* unpinning makes the pool usable again *)
+  Buffer_pool.unpin bp p1 ~dirty:false;
+  ignore (Buffer_pool.get bp p3);
+  Buffer_pool.unpin bp p2 ~dirty:false;
+  Buffer_pool.unpin bp p3 ~dirty:false;
+  Disk.close disk;
+  Sys.remove path
+
+let test_transient_read_retry () =
+  let path = tmpfile "retry" in
+  let inj = Disk.Faulty.create () in
+  let disk = Disk.create ~injector:inj path in
+  ignore (Disk.alloc disk);
+  let pid = Disk.alloc disk in
+  let img = Bytes.make Page.page_size 'R' in
+  Disk.write disk pid img;
+  let bp = Buffer_pool.create ~frames:4 disk in
+  Disk.Faulty.inject_read_faults inj 2;
+  (* two transient EIOs, then success: the pool retries through them *)
+  Buffer_pool.with_page bp pid (fun b ->
+      Alcotest.(check char) "read through faults" 'R' (Bytes.get b 0);
+      (), false);
+  Alcotest.(check int) "two retries recorded" 2 (Buffer_pool.stats bp).Buffer_pool.retries;
+  Disk.close disk;
+  Sys.remove path
+
+let test_enospc_surfaces () =
+  let dir = tmpdir "enospc" in
+  let inj = Disk.Faulty.create () in
+  let h = build_relation ~injector:inj ~dir 20 in
+  let rel = Persistent_relation.relation h in
+  ignore (Relation.insert_terms rel [| Term.int 999; Term.int 999 |]);
+  Disk.Faulty.inject_enospc inj 1;
+  let full =
+    try
+      Persistent_relation.commit h;
+      false
+    with Disk.Fault { transient = false; _ } -> true
+  in
+  Alcotest.(check bool) "ENOSPC is a hard fault" true full;
+  Persistent_relation.abandon h
+
+(* A deterministic miniature of bin/crashtest.ml: commit two
+   transactions, tear the storage at a fixed byte budget during a
+   third, recover, and check durability + atomicity.  The budgets are
+   chosen to land in different phases (mid-insert, mid-WAL-append,
+   mid-write-back, on a sync point). *)
+let test_crash_recovery_deterministic () =
+  List.iter
+    (fun budget ->
+      let dir = tmpdir "crash" in
+      let inj = Disk.Faulty.create () in
+      let open_rel () =
+        Persistent_relation.open_ ~injector:inj ~indexes:[ 0 ] ~dir ~name:"t" ~arity:2 ()
+      in
+      let h = open_rel () in
+      let rel = Persistent_relation.relation h in
+      let insert i = ignore (Relation.insert_terms rel [| Term.int i; Term.int (i * 10) |]) in
+      for i = 0 to 9 do insert i done;
+      Persistent_relation.commit h;
+      for i = 10 to 19 do insert i done;
+      Persistent_relation.commit h;
+      Disk.Faulty.arm_crash inj ~after_bytes:budget;
+      let in_doubt =
+        try
+          for i = 20 to 29 do insert i done;
+          Persistent_relation.commit h;
+          false (* the budget outlived the commit: durable *)
+        with Disk.Crashed _ -> true
+      in
+      Persistent_relation.abandon h;
+      Disk.Faulty.disarm inj;
+      let h2 = open_rel () in
+      let rel2 = Persistent_relation.relation h2 in
+      let present i =
+        Relation.scan rel2 ~pattern:([| Term.int i; Term.var 0 |], Coral_term.Bindenv.empty) ()
+        |> List.of_seq
+        |> List.exists (fun t ->
+               match t.Tuple.terms.(0) with Term.Const (Value.Int v) -> v = i | _ -> false)
+      in
+      for i = 0 to 19 do
+        Alcotest.(check bool)
+          (Printf.sprintf "budget %d: committed %d survives" budget i)
+          true (present i)
+      done;
+      let third = List.init 10 (fun i -> present (20 + i)) in
+      let all_there = List.for_all Fun.id third and none_there = List.for_all not third in
+      if in_doubt then
+        Alcotest.(check bool)
+          (Printf.sprintf "budget %d: in-doubt txn is atomic" budget)
+          true (all_there || none_there)
+      else
+        Alcotest.(check bool) (Printf.sprintf "budget %d: completed txn present" budget) true
+          all_there;
+      let n = Relation.cardinal rel2 in
+      Alcotest.(check int)
+        (Printf.sprintf "budget %d: index agrees with heap" budget)
+        (List.length (Relation.to_list rel2))
+        n;
+      Persistent_relation.close h2)
+    [ 100; 5_000; 9_000; 17_000; 60_000 ]
 
 (* ------------------------------------------------------------------ *)
 (* Persistent relations                                               *)
@@ -353,6 +579,17 @@ let () =
         [ Alcotest.test_case "roundtrip" `Quick test_codec ]
         @ qcheck [ prop_codec_roundtrip; prop_key_encoding_order ] );
       ("wal", [ Alcotest.test_case "recovery" `Quick test_wal_recovery ]);
+      ( "faults & recovery",
+        [ Alcotest.test_case "checksum quarantine" `Quick test_checksum_quarantine;
+          Alcotest.test_case "fatal metadata corruption" `Quick test_fatal_metadata_corruption;
+          Alcotest.test_case "quarantine lift on rewrite" `Quick test_disk_quarantine_lift;
+          Alcotest.test_case "v0 upgrade" `Quick test_v0_upgrade;
+          Alcotest.test_case "pool exhausted" `Quick test_pool_exhausted;
+          Alcotest.test_case "transient read retry" `Quick test_transient_read_retry;
+          Alcotest.test_case "ENOSPC surfaces" `Quick test_enospc_surfaces;
+          Alcotest.test_case "crash recovery (deterministic)" `Quick
+            test_crash_recovery_deterministic
+        ] );
       ( "persistent",
         [ Alcotest.test_case "relation" `Quick test_persistent_relation;
           Alcotest.test_case "engine integration" `Quick test_persistent_in_queries;
