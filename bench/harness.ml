@@ -1,6 +1,21 @@
 (* Measurement and reporting helpers shared by every experiment. *)
 
+module Obs = Coral_obs.Obs
+
 let now_ns () = Monotonic_clock.now ()
+
+(* The engine's per-phase histograms (registered by coral_eval / the
+   server session; [Obs.histogram] returns the same cells).  Each
+   [measure] resets them per run and records the last run's totals, the
+   same protocol as the relation-layer work counters. *)
+let h_rewrite = Obs.histogram "phase.rewrite"
+let h_eval = Obs.histogram "phase.eval"
+let h_emit = Obs.histogram "phase.emit"
+
+let phase_sums () =
+  ( float_of_int (Obs.Histogram.sum_ns h_rewrite) /. 1e9,
+    float_of_int (Obs.Histogram.sum_ns h_eval) /. 1e9,
+    float_of_int (Obs.Histogram.sum_ns h_emit) /. 1e9 )
 
 (* Every measurement is also recorded machine-readably so the harness
    can emit BENCH_core.json next to the printed tables: one record per
@@ -13,6 +28,9 @@ type record = {
   inserts : int;
   duplicates : int;
   scans : int;
+  rewrite_s : float;
+  eval_s : float;
+  emit_s : float;
 }
 
 let current_experiment = ref ""
@@ -26,6 +44,9 @@ let measure ?(runs = 3) ?label f =
   let result = ref None in
   for _ = 1 to runs do
     Coral.Relation.reset_global_stats ();
+    Obs.Histogram.reset h_rewrite;
+    Obs.Histogram.reset h_eval;
+    Obs.Histogram.reset h_emit;
     let t0 = now_ns () in
     let r = f () in
     let t1 = now_ns () in
@@ -35,6 +56,7 @@ let measure ?(runs = 3) ?label f =
   let sorted = List.sort compare !times in
   let median = List.nth sorted (List.length sorted / 2) in
   let inserts, duplicates, scans = Coral.Relation.global_stats () in
+  let rewrite_s, eval_s, emit_s = phase_sums () in
   incr record_seq;
   let workload =
     match label with
@@ -42,7 +64,8 @@ let measure ?(runs = 3) ?label f =
     | None -> Printf.sprintf "#%02d" !record_seq
   in
   records :=
-    { experiment = !current_experiment; workload; median_s = median; inserts; duplicates; scans }
+    { experiment = !current_experiment; workload; median_s = median; inserts; duplicates; scans;
+      rewrite_s; eval_s; emit_s }
     :: !records;
   median, Option.get !result, (inserts, duplicates, scans)
 
@@ -68,11 +91,31 @@ let write_json path =
       output_string oc
         (Printf.sprintf
            "    {\"experiment\": \"%s\", \"workload\": \"%s\", \"median_s\": %.6e, \
-            \"inserts\": %d, \"duplicates\": %d, \"scans\": %d}%s\n"
+            \"inserts\": %d, \"duplicates\": %d, \"scans\": %d, \
+            \"rewrite_s\": %.6e, \"eval_s\": %.6e, \"emit_s\": %.6e}%s\n"
            (json_escape r.experiment) (json_escape r.workload) r.median_s r.inserts r.duplicates
-           r.scans
+           r.scans r.rewrite_s r.eval_s r.emit_s
            (if i = List.length rows - 1 then "" else ",")))
     rows;
+  output_string oc "  ],\n  \"phases\": [\n";
+  (* cross-workload totals of the last run of every measure call, one
+     entry per engine phase (plan rewriting, fixpoint evaluation,
+     answer rendering) *)
+  let phase_total get =
+    List.fold_left (fun acc r -> acc +. get r) 0.0 rows
+  in
+  let phases =
+    [ "rewrite", phase_total (fun r -> r.rewrite_s);
+      "eval", phase_total (fun r -> r.eval_s);
+      "emit", phase_total (fun r -> r.emit_s)
+    ]
+  in
+  List.iteri
+    (fun i (name, total) ->
+      output_string oc
+        (Printf.sprintf "    {\"phase\": \"%s\", \"total_s\": %.6e}%s\n" name total
+           (if i = List.length phases - 1 then "" else ",")))
+    phases;
   output_string oc "  ]\n}\n";
   close_out oc
 

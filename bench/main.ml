@@ -744,6 +744,8 @@ let experiments =
   ]
 
 let () =
+  (* phase timings (rewrite/eval/emit) ride along in BENCH_core.json *)
+  Coral_obs.Obs.set_enabled true;
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--list" args then
     List.iter (fun (name, _) -> print_endline name) experiments

@@ -64,7 +64,43 @@ let client port requests id =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   !answers
 
+(* BENCH_server.json: throughput plus the Obs histograms the run filled
+   in — request/query latency and per-phase engine time (the emit phase
+   only exists on the server path, so it shows up here and not in
+   BENCH_core.json). *)
+let write_json path ~clients ~requests ~elapsed_s =
+  let module Obs = Coral_obs.Obs in
+  let oc = open_out path in
+  let total = clients * requests in
+  Printf.fprintf oc
+    "{\n  \"clients\": %d,\n  \"requests\": %d,\n  \"elapsed_s\": %.6e,\n  \
+     \"requests_per_second\": %.1f,\n  \"histograms\": [\n"
+    clients total elapsed_s
+    (float_of_int total /. elapsed_s);
+  let hists =
+    [ "server.request_seconds"; "server.query_seconds"; "phase.rewrite"; "phase.eval";
+      "phase.emit"
+    ]
+  in
+  List.iteri
+    (fun i name ->
+      let count, sum_s =
+        match Obs.find name with
+        | Some (Obs.M_histogram h) ->
+          Obs.Histogram.count h, float_of_int (Obs.Histogram.sum_ns h) /. 1e9
+        | _ -> 0, 0.0
+      in
+      let mean_s = if count = 0 then 0.0 else sum_s /. float_of_int count in
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"count\": %d, \"sum_s\": %.6e, \"mean_s\": %.6e}%s\n" name
+        count sum_s mean_s
+        (if i = List.length hists - 1 then "" else ","))
+    hists;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
 let () =
+  Coral_obs.Obs.set_enabled true;
   let clients = ref 4 and requests = ref 250 in
   let rec parse_args = function
     | [] -> ()
@@ -117,4 +153,6 @@ let () =
   dump ();
   ignore oc;
   (try Unix.close fd with Unix.Unix_error _ -> ());
-  Coral_server.Server.shutdown srv
+  Coral_server.Server.shutdown srv;
+  write_json "BENCH_server.json" ~clients:!clients ~requests:!requests ~elapsed_s:dt;
+  Printf.printf "wrote BENCH_server.json\n"

@@ -18,6 +18,7 @@
    only when prefixed) print their answers.  Commands:
      consult("file").     load a program file
      explain(p(1, X)).    show the optimizer's rewritten program
+     analyze(p(1, X)).    run the query; per-rule counts and timings
      why(p(1, 3)).        show derivation trees for the answers
      stats.               engine statistics
      help.                this text
@@ -34,6 +35,7 @@ let help_text =
   \  ?- path(1, X).                   run a query\n\
   \  consult(\"file.coral\").           load a file\n\
   \  explain(path(1, X)).             show the rewritten program\n\
+  \  analyze(path(1, X)).             run it: per-rule counts and timings\n\
   \  why(path(1, 3)).                 show a derivation tree\n\
   \  relations.  modules.  stats.  help.  quit.\n"
 
@@ -94,6 +96,10 @@ let handle_command db (a : Coral.Ast.atom) =
         (Coral.Term.to_string (Coral.Term.App inner))
     in
     print_endline text;
+    true
+  | "analyze", [| Coral.Term.App inner |] ->
+    (* explain analyze: run the query with per-rule profiling on *)
+    print_endline (Coral.explain_analyze db (Coral.Term.to_string (Coral.Term.App inner)));
     true
   | "why", [| Coral.Term.App inner |] ->
     print_string (Coral.why db (Coral.Term.to_string (Coral.Term.App inner)));
@@ -215,12 +221,25 @@ let client_mode target =
   in
   let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
   (* print one reply: payload lines stripped of their prefixes, then
-     the status line (errors in the repl's own diagnostic shape) *)
-  let rec print_reply () =
+     the status line (errors in the repl's own diagnostic shape).
+     [seen] counts payload lines already printed for this reply: EOF
+     after payload but before the status line means the server died
+     mid-report, and silently treating the truncated output as complete
+     would be worse than no output at all. *)
+  let rec print_reply seen =
     match In_channel.input_line ic with
     | None ->
-      print_endline "server closed the connection.";
-      exit 0
+      if seen > 0 then begin
+        Printf.eprintf
+          "warning: connection closed mid-report after %d line%s; output above is truncated.\n"
+          seen
+          (if seen = 1 then "" else "s");
+        exit 1
+      end
+      else begin
+        print_endline "server closed the connection.";
+        exit 0
+      end
     | Some line when Coral_server.Protocol.is_status line ->
       if line = "ok" then ()
       else if String.starts_with ~prefix:"ok " line then
@@ -243,7 +262,7 @@ let client_mode target =
         else line
       in
       print_endline stripped;
-      print_reply ()
+      print_reply (seen + 1)
   in
   let interactive = Unix.isatty Unix.stdin in
   if interactive then
@@ -261,7 +280,7 @@ let client_mode target =
       output_string oc line;
       output_char oc '\n';
       flush oc;
-      print_reply ();
+      print_reply 0;
       if String.trim line <> "quit" then loop ()
   in
   loop ();

@@ -8,6 +8,8 @@
      --persist SPEC    serve a persistent relation: name/arity[:col,col...]
                        (cols are 0-based indexed argument positions;
                        requires --data; may be repeated)
+     --metrics-port N  also serve Prometheus metrics over HTTP on
+                       127.0.0.1:N (0 = ephemeral; off by default)
      --quiet           do not print the listening banner
 
    The given program files are consulted into the shared engine before
@@ -45,6 +47,7 @@ let () =
   let socket = ref "" in
   let data_dir = ref "" in
   let persists = ref [] in
+  let metrics_port = ref (-1) in
   let quiet = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -72,13 +75,21 @@ let () =
         Printf.eprintf "coral_server: bad --persist spec %S (want name/arity[:col,col...])\n" spec;
         exit 2);
       parse_args rest
+    | "--metrics-port" :: p :: rest ->
+      (match int_of_string_opt p with
+      | Some p when p >= 0 -> metrics_port := p
+      | _ ->
+        prerr_endline "coral_server: --metrics-port expects a port number";
+        exit 2);
+      parse_args rest
     | "--quiet" :: rest ->
       quiet := true;
       parse_args rest
     | ("-h" | "--help") :: _ ->
       print_string
         "usage: coral_server [--port N] [--host H] [--socket PATH] [--data DIR]\n\
-        \                    [--persist name/arity[:col,col...]] [--quiet] [file.coral ...]\n";
+        \                    [--persist name/arity[:col,col...]] [--metrics-port N]\n\
+        \                    [--quiet] [file.coral ...]\n";
       exit 0
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "coral_server: unknown option %s\n" arg;
@@ -92,6 +103,9 @@ let () =
     prerr_endline "coral_server: --persist requires --data DIR";
     exit 2
   end;
+  (* Observability on for the lifetime of the server process: request
+     latency histograms, per-phase timings, storage counters, spans. *)
+  Coral_obs.Obs.set_enabled true;
   let db = Coral.create () in
   let databases =
     if !data_dir = "" then []
@@ -139,14 +153,33 @@ let () =
          end;
          Coral_server.Server.shutdown srv)
        ());
+  let metrics =
+    if !metrics_port < 0 then None
+    else begin
+      let store = Coral_server.Server.store srv in
+      match
+        Coral_server.Metrics_http.start ~host:!host ~port:!metrics_port (fun () ->
+            Coral_server.Session.metrics_text store)
+      with
+      | m -> Some m
+      | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "coral_server: cannot listen for metrics: %s\n" (Unix.error_message err);
+        Coral_server.Server.shutdown srv;
+        exit 1
+    end
+  in
   if not !quiet then begin
     (match listen with
     | `Unix path -> Printf.printf "coral_server listening on %s\n" path
     | `Tcp (host, _) ->
       Printf.printf "coral_server listening on %s:%d\n" host (Coral_server.Server.port srv));
+    (match metrics with
+    | Some m -> Printf.printf "coral_server metrics on http://%s:%d/metrics\n" !host (Coral_server.Metrics_http.port m)
+    | None -> ());
     flush stdout
   end;
   Coral_server.Server.wait srv;
+  (match metrics with Some m -> Coral_server.Metrics_http.stop m | None -> ());
   if not !quiet && databases <> [] then begin
     print_endline "coral_server: databases committed";
     flush stdout

@@ -1,0 +1,102 @@
+(* Observability overhead gate: CI fails this PR if instrumentation
+   slows the engine down measurably.
+
+   Usage: obs_overhead [--chain N] [--runs N] [--max-ratio R] [--trace-out FILE]
+
+   The workload is full transitive closure of a chain — the fixpoint
+   inner loop at its purest, so per-iteration span and profile hooks
+   are as hot as they ever get.  The same workload runs with
+   observability disabled and enabled (median of --runs fresh-database
+   evaluations each); the gate fails when enabled exceeds
+   disabled * --max-ratio (default 1.05, i.e. 5%).
+
+   --trace-out writes the enabled run's span ring as Chrome trace_event
+   JSON (load it in chrome://tracing or Perfetto). *)
+
+module Obs = Coral_obs.Obs
+
+let program =
+  "module tc.\n\
+   export path(ff).\n\
+   path(X, Y) :- edge(X, Y).\n\
+   path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+   end_module.\n"
+
+let run_once chain =
+  let db = Coral.create () in
+  for i = 0 to chain - 1 do
+    Coral.fact db "edge" [ Coral.int i; Coral.int (i + 1) ]
+  done;
+  Coral.consult_text db program;
+  let t0 = Obs.now_ns () in
+  let n = List.length (Coral.query_rows db "path(X, Y)") in
+  let dt = Obs.now_ns () - t0 in
+  let expected = chain * (chain + 1) / 2 in
+  if n <> expected then begin
+    Printf.eprintf "obs_overhead: wrong answer count %d (expected %d)\n" n expected;
+    exit 1
+  end;
+  dt
+
+let median xs =
+  let sorted = List.sort compare xs in
+  List.nth sorted (List.length sorted / 2)
+
+let measure ~runs ~chain ~enabled =
+  Obs.set_enabled enabled;
+  (* one untimed warm-up absorbs first-touch effects (symbol interning,
+     minor-heap growth) for both variants alike *)
+  ignore (run_once chain);
+  let times = List.init runs (fun _ -> run_once chain) in
+  Obs.set_enabled false;
+  median times
+
+let () =
+  let chain = ref 192 and runs = ref 5 in
+  let max_ratio = ref 1.05 in
+  let trace_out = ref "" in
+  let rec parse_args = function
+    | [] -> ()
+    | "--chain" :: n :: rest ->
+      chain := int_of_string n;
+      parse_args rest
+    | "--runs" :: n :: rest ->
+      runs := int_of_string n;
+      parse_args rest
+    | "--max-ratio" :: r :: rest ->
+      max_ratio := float_of_string r;
+      parse_args rest
+    | "--trace-out" :: f :: rest ->
+      trace_out := f;
+      parse_args rest
+    | arg :: _ ->
+      Printf.eprintf
+        "usage: obs_overhead [--chain N] [--runs N] [--max-ratio R] [--trace-out FILE] (got %s)\n"
+        arg;
+      exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  (* disabled first so the enabled run's spans survive for --trace-out *)
+  let off_ns = measure ~runs:!runs ~chain:!chain ~enabled:false in
+  Obs.Span.clear ();
+  let on_ns = measure ~runs:!runs ~chain:!chain ~enabled:true in
+  let ratio = float_of_int on_ns /. float_of_int (max 1 off_ns) in
+  Printf.printf
+    "obs_overhead: chain %d, median of %d runs\n  disabled: %.3fms\n  enabled:  %.3fms\n  \
+     ratio: %.3f (budget %.2f)\n  spans recorded: %d\n"
+    !chain !runs
+    (float_of_int off_ns /. 1e6)
+    (float_of_int on_ns /. 1e6)
+    ratio !max_ratio (Obs.Span.count ());
+  if !trace_out <> "" then begin
+    let oc = open_out !trace_out in
+    output_string oc (Obs.Span.to_chrome_json ());
+    close_out oc;
+    Printf.printf "  wrote %s\n" !trace_out
+  end;
+  if ratio > !max_ratio then begin
+    Printf.eprintf "obs_overhead: FAIL: enabled/disabled ratio %.3f exceeds %.2f\n" ratio
+      !max_ratio;
+    exit 1
+  end;
+  print_endline "obs_overhead: PASS"

@@ -72,6 +72,11 @@ let why t src =
   | Ok text -> text
   | Error e -> "error: " ^ e
 
+let explain_analyze t src =
+  match Engine.explain_analyze t src with
+  | Ok text -> text
+  | Error e -> "error: " ^ e
+
 let explain t src =
   match Parser.query src with
   | Error e -> Format.asprintf "%a" Parser.pp_error e

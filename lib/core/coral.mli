@@ -159,6 +159,13 @@ val explain : t -> string -> string
 (** The optimizer's rewritten program and decisions for a query on an
     exported predicate (the text CORAL dumped as a debugging aid). *)
 
+val explain_analyze : t -> string -> string
+(** Like {!explain}, but actually runs the query with per-rule
+    profiling on: each rewritten rule is annotated with its attempted
+    and successful derivations, duplicates, join tuples and time, and
+    the report ends with the per-iteration delta sizes and a derivation
+    count cross-check against the engine's global counters. *)
+
 val why : t -> string -> string
 (** The explanation tool (the paper's acknowledgements credit Bill
     Roth's Explanation tool): derivation trees for the answers of a

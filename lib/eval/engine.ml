@@ -2,8 +2,14 @@ open Coral_term
 open Coral_lang
 open Coral_rel
 open Coral_rewrite
+module Obs = Coral_obs.Obs
 
 exception Engine_error of string
+
+(* Per-phase latency histograms: planning/rewriting vs. fixpoint
+   evaluation (answer rendering is timed by the emitting layer). *)
+let h_rewrite = Obs.histogram "phase.rewrite"
+let h_eval = Obs.histogram "phase.eval"
 
 let max_call_depth = 256
 
@@ -205,7 +211,12 @@ let plan_in_module t (m : Ast.module_) pred adorn =
     Ok p
   | None -> begin
     t.plan_misses <- t.plan_misses + 1;
-    match Optimizer.plan_query ~module_:(bridge_base_facts m) ~pred ~adorn with
+    match
+      Obs.Histogram.time h_rewrite (fun () ->
+          Obs.Span.with_ "rewrite.plan"
+            ~attrs:(fun () -> [ "pred", Symbol.name pred ])
+            (fun () -> Optimizer.plan_query ~module_:(bridge_base_facts m) ~pred ~adorn))
+    with
     | Ok p ->
       Hashtbl.add t.plans k p;
       Ok p
@@ -281,11 +292,15 @@ let rec call_module t (m : Ast.module_) pred args env : Tuple.t Seq.t =
 
 and protected_run t inst =
   t.call_depth <- t.call_depth + 1;
-  Fun.protect ~finally:(fun () -> t.call_depth <- t.call_depth - 1) (fun () -> Fixpoint.run inst)
+  Fun.protect
+    ~finally:(fun () -> t.call_depth <- t.call_depth - 1)
+    (fun () -> Obs.Histogram.time h_eval (fun () -> Fixpoint.run inst))
 
 and protected_step t inst =
   t.call_depth <- t.call_depth + 1;
-  Fun.protect ~finally:(fun () -> t.call_depth <- t.call_depth - 1) (fun () -> Fixpoint.step inst)
+  Fun.protect
+    ~finally:(fun () -> t.call_depth <- t.call_depth - 1)
+    (fun () -> Obs.Histogram.time h_eval (fun () -> Fixpoint.step inst))
 
 (* A relation whose scans call another module: the uniform
    get-next-tuple interface of section 5.6. *)
@@ -605,6 +620,117 @@ let why t src =
     end
   end
   | Ok _ -> Error "why expects a single positive literal"
+
+(* ------------------------------------------------------------------ *)
+(* explain analyze                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_ns ns =
+  if ns >= 1_000_000_000 then Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+(* Run the query on a fresh profiled fixpoint and render the rewritten
+   program annotated with what actually happened: per-rule derivation
+   attempts, the derived/duplicate split, candidate tuples enumerated,
+   and time; then the step deltas and the derivation accounting.  The
+   per-rule derived counts sum to the engine's rule-derivation counter
+   (computed independently from relation insert totals) — the report
+   prints both so a mismatch is visible. *)
+let explain_analyze t src =
+  match Parser.query src with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok [ Ast.Pos a ] -> begin
+    let arity = Array.length a.Ast.args in
+    match module_of_pred t a.Ast.pred arity with
+    | None -> Error (Printf.sprintf "no module exports %s/%d" (Symbol.name a.Ast.pred) arity)
+    | Some m when List.mem Ast.Ann_pipelined m.Ast.annotations ->
+      Error "explain analyze requires a materialized module"
+    | Some m -> begin
+      let adorn =
+        Array.map (fun arg -> if Term.is_ground arg then Ast.Bound else Ast.Free) a.Ast.args
+      in
+      match plan_in_module t m a.Ast.pred adorn with
+      | Error e -> Error e
+      | Ok plan ->
+        let t0 = Obs.now_ns () in
+        let inst = Fixpoint.create ~profile:true (compile t plan) in
+        (match plan.Optimizer.seed with
+        | Some sd ->
+          let bound = List.map (fun i -> a.Ast.args.(i)) sd.Optimizer.seed_positions in
+          let seed =
+            if sd.Optimizer.goal_id then
+              [| Term.app (Magic.goal_wrapper plan.Optimizer.answer_pred) (Array.of_list bound) |]
+            else Array.of_list bound
+          in
+          ignore (Fixpoint.add_seed inst seed)
+        | None -> ());
+        protected_run t inst;
+        let elapsed = Obs.now_ns () - t0 in
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf
+          (Printf.sprintf "query: %s\nplan: mode=%s, fixpoint=%s%s%s\n" src
+             (match plan.Optimizer.mode with
+             | Optimizer.Materialized -> "materialized"
+             | Optimizer.Pipelined -> "pipelined")
+             (match plan.Optimizer.fixpoint with
+             | Ast.Basic_seminaive -> "basic semi-naive"
+             | Ast.Predicate_seminaive -> "predicate semi-naive"
+             | Ast.Naive -> "naive"
+             | Ast.Ordered_search -> "ordered search")
+             (if plan.Optimizer.ordered_search then ", ordered-search context" else "")
+             (match plan.Optimizer.seed with
+             | Some s -> ", seed " ^ Symbol.name s.Optimizer.seed_pred
+             | None -> ""));
+        List.iter
+          (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n))
+          plan.Optimizer.notes;
+        Buffer.add_string buf "rules (rewritten program):\n";
+        let rules = Fixpoint.profiled_rules inst in
+        let rules_derived = ref 0 in
+        List.iteri
+          (fun i (c : Module_struct.crule) ->
+            let p = c.Module_struct.prof in
+            rules_derived := !rules_derived + p.Module_struct.rp_derived;
+            Buffer.add_string buf
+              (Printf.sprintf "  [%2d] attempts=%d derived=%d dup=%d tuples=%d time=%s\n"
+                 (i + 1) p.Module_struct.rp_attempts p.Module_struct.rp_derived
+                 p.Module_struct.rp_dups p.Module_struct.rp_tuples
+                 (fmt_ns p.Module_struct.rp_time_ns));
+            Buffer.add_string buf (Printf.sprintf "       %s\n" c.Module_struct.text))
+          rules;
+        let deltas = Fixpoint.step_deltas inst in
+        Buffer.add_string buf
+          (Printf.sprintf "steps: %d productive, rounds: %d, deltas:%s\n"
+             (List.length deltas) (Fixpoint.rounds inst)
+             (String.concat "" (List.map (fun d -> " " ^ string_of_int d) deltas)));
+        Buffer.add_string buf
+          (Printf.sprintf "derivations: rules=%d engine=%d (seeds=%d context=%d done=%d)\n"
+             !rules_derived (Fixpoint.rule_derivations inst) (Fixpoint.seed_inserts inst)
+             (Fixpoint.context_inserts inst) (Fixpoint.done_inserts inst));
+        (* matching answers vs. everything the answer relation holds *)
+        let qenv = Bindenv.create 8 in
+        let tr = Trail.create () in
+        let matching = ref 0 in
+        Seq.iter
+          (fun (tuple : Tuple.t) ->
+            let mk = Trail.mark tr in
+            let tenv =
+              if tuple.Tuple.nvars = 0 then Bindenv.empty
+              else Bindenv.create tuple.Tuple.nvars
+            in
+            if Unify.unify_arrays tr a.Ast.args qenv tuple.Tuple.terms tenv then incr matching;
+            Trail.undo_to tr mk)
+          (Relation.scan (Fixpoint.answer_relation inst) ~pattern:(a.Ast.args, qenv) ());
+        Buffer.add_string buf
+          (Printf.sprintf "answers: %d matching of %d stored, total time %s\n" !matching
+             (Relation.cardinal (Fixpoint.answer_relation inst))
+             (fmt_ns elapsed));
+        Ok (Buffer.contents buf)
+    end
+  end
+  | Ok _ -> Error "explain analyze expects a single positive literal"
 
 (* ------------------------------------------------------------------ *)
 (* Serving hooks: prepared-plan accounting and cancellation            *)

@@ -97,6 +97,14 @@ val why : t -> string -> (string, string) result
     predicates (magic, supplementary, done) are elided and adorned
     names map back to source names. *)
 
+val explain_analyze : t -> string -> (string, string) result
+(** Evaluate a single-literal query on a fresh profiled fixpoint and
+    render the rewritten program annotated with what actually happened:
+    per-rule derivation attempts, the derived/duplicate split, candidate
+    tuples enumerated, and time per rule; then the per-step delta sizes
+    and the derivation accounting (the per-rule derived counts sum to
+    the engine's independently computed rule-derivation counter). *)
+
 (** {1 Serving hooks}
 
     What a query-serving layer needs from the engine: observable

@@ -62,10 +62,14 @@ type t = {
   mode : Ast.fixpoint;
   os : bool;
   monotonic : bool;  (* no negation, no aggregation: incremental re-open is sound *)
+  profile : bool;  (* fill per-rule profiles and step deltas (explain analyze) *)
   mutable phase : int;
   mutable activated : bool;
   mutable complete : bool;
   mutable nrounds : int;
+  mutable seed_inserts : int;  (* local inserts made by add_seed, not rules *)
+  mutable done_inserts : int;  (* done# facts issued by the OS context *)
+  mutable step_deltas : int list;  (* per productive step, newest first *)
   mutable extra_inserts : int;  (* direct impl inserts (OS availability) *)
   mutable pending : goal list;  (* not yet made available, newest first *)
   mutable live_goals : goal list;  (* every non-Done goal *)
@@ -133,7 +137,7 @@ let offer_goal t slot (tuple : Tuple.t) =
     parent.gdeps <- g :: parent.gdeps
   | _ -> ()
 
-let create ?(trace = false) (ms : Module_struct.t) =
+let create ?(trace = false) ?(profile = false) (ms : Module_struct.t) =
   let nslots = Array.length ms.rels in
   let os = ms.plan.Coral_rewrite.Optimizer.ordered_search in
   let monotonic =
@@ -157,15 +161,22 @@ let create ?(trace = false) (ms : Module_struct.t) =
         end
         else -1)
   in
+  (* compiled modules are cached and reused across queries, so a
+     profiled run starts from clean per-rule counters *)
+  if profile then List.iter (fun (c : crule) -> reset_prof c.prof) (Module_struct.all_rules ms);
   let t =
     { ms;
       mode = ms.plan.Coral_rewrite.Optimizer.fixpoint;
       os;
       monotonic;
+      profile;
       phase = 0;
       activated = false;
       complete = false;
       nrounds = 0;
+      seed_inserts = 0;
+      done_inserts = 0;
+      step_deltas = [];
       extra_inserts = 0;
       pending = [];
       live_goals = [];
@@ -227,44 +238,61 @@ let provenance t (tuple : Tuple.t) ~slot =
    Search, rules deriving magic facts run with witness tracking so the
    generating subgoal (the magic literal's tuple) is known when the
    admission hook routes the new subgoal through the context *)
+let note_insert t (rule : crule) inserted =
+  if t.profile then begin
+    let p = rule.prof in
+    if inserted then p.rp_derived <- p.rp_derived + 1 else p.rp_dups <- p.rp_dups + 1
+  end
+
 let apply_rule t range (rule : crule) =
   let os_magic_head = t.os && is_magic_slot t.ms rule.head_slot in
-  if t.trace || os_magic_head then begin
-    let witness = ref [] in
-    Joiner.run ~rels:t.ms.rels ~range ~witness rule ~on_match:(fun env ->
-        tick ();
-        let tuple = Joiner.head_tuple rule env in
-        if os_magic_head then begin
-          t.cur_generator <-
-            List.find_map
-              (fun (pos, (wt : Tuple.t)) ->
-                match rule.body.(pos) with
-                | Scan { slot; _ } when is_magic_slot t.ms slot ->
-                  find_goal t.goal_tables.(slot) wt
-                | _ -> None)
-              !witness
-        end;
-        let inserted = Relation.insert t.ms.rels.(rule.head_slot) tuple in
-        t.cur_generator <- None;
-        if inserted && t.trace then record_prov t rule tuple !witness)
-  end
-  else
-    Joiner.run ~rels:t.ms.rels ~range rule ~on_match:(fun env ->
-        tick ();
-        ignore (Relation.insert t.ms.rels.(rule.head_slot) (Joiner.head_tuple rule env)))
+  let prof = if t.profile then Some rule.prof else None in
+  let t0 = if t.profile then Coral_obs.Obs.now_ns () else 0 in
+  Coral_obs.Obs.Span.with_ "fixpoint.join"
+    ~attrs:(fun () -> [ "head", t.ms.rels.(rule.head_slot).Relation.name ])
+    (fun () ->
+      if t.trace || os_magic_head then begin
+        let witness = ref [] in
+        Joiner.run ~rels:t.ms.rels ~range ~witness ?prof rule ~on_match:(fun env ->
+            tick ();
+            let tuple = Joiner.head_tuple rule env in
+            if os_magic_head then begin
+              t.cur_generator <-
+                List.find_map
+                  (fun (pos, (wt : Tuple.t)) ->
+                    match rule.body.(pos) with
+                    | Scan { slot; _ } when is_magic_slot t.ms slot ->
+                      find_goal t.goal_tables.(slot) wt
+                    | _ -> None)
+                  !witness
+            end;
+            let inserted = Relation.insert t.ms.rels.(rule.head_slot) tuple in
+            t.cur_generator <- None;
+            note_insert t rule inserted;
+            if inserted && t.trace then record_prov t rule tuple !witness)
+      end
+      else
+        Joiner.run ~rels:t.ms.rels ~range ?prof rule ~on_match:(fun env ->
+            tick ();
+            note_insert t rule
+              (Relation.insert t.ms.rels.(rule.head_slot) (Joiner.head_tuple rule env))));
+  if t.profile then
+    rule.prof.rp_time_ns <- rule.prof.rp_time_ns + (Coral_obs.Obs.now_ns () - t0)
 
 let full_range ~op_index:_ ~slot:_ ~local:_ = 0, -1
 
 let eval_agg_rule t (rule : crule) =
   let rows = ref [] in
   let key_of row = Array.of_list (List.map (fun i -> row.(i)) rule.plain_positions) in
+  let prof = if t.profile then Some rule.prof else None in
+  let t0 = if t.profile then Coral_obs.Obs.now_ns () else 0 in
   (* under tracing, remember the contributing body facts per group *)
   let group_witnesses : (int * Tuple.t) list Term.ArrayTbl.t =
     Term.ArrayTbl.create (if t.trace then 32 else 1)
   in
   if t.trace then begin
     let witness = ref [] in
-    Joiner.run ~rels:t.ms.rels ~range:full_range ~witness rule ~on_match:(fun env ->
+    Joiner.run ~rels:t.ms.rels ~range:full_range ~witness ?prof rule ~on_match:(fun env ->
         let row = Joiner.head_row rule env in
         rows := row :: !rows;
         let key = key_of row in
@@ -274,7 +302,7 @@ let eval_agg_rule t (rule : crule) =
         Term.ArrayTbl.replace group_witnesses key (!witness @ prev))
   end
   else
-    Joiner.run ~rels:t.ms.rels ~range:full_range rule ~on_match:(fun env ->
+    Joiner.run ~rels:t.ms.rels ~range:full_range ?prof rule ~on_match:(fun env ->
         tick ();
         rows := Joiner.head_row rule env :: !rows);
   let grouped =
@@ -285,13 +313,17 @@ let eval_agg_rule t (rule : crule) =
   List.iter
     (fun row ->
       let tuple = Tuple.of_terms row in
-      if Relation.insert t.ms.rels.(rule.head_slot) tuple && t.trace then begin
+      let inserted = Relation.insert t.ms.rels.(rule.head_slot) tuple in
+      note_insert t rule inserted;
+      if inserted && t.trace then begin
         let witnesses =
           Option.value ~default:[] (Term.ArrayTbl.find_opt group_witnesses (key_of row))
         in
         record_prov t rule tuple witnesses
       end)
-    grouped
+    grouped;
+  if t.profile then
+    rule.prof.rp_time_ns <- rule.prof.rp_time_ns + (Coral_obs.Obs.now_ns () - t0)
 
 let slot_of_op (rule : crule) i =
   match rule.body.(i) with
@@ -441,7 +473,8 @@ let pop_sink_sccs t =
             let ds = t.done_slot.(g.gslot) in
             if ds >= 0 then begin
               let done_rel = t.ms.rels.(ds) in
-              ignore (Relation.insert done_rel (Tuple.of_terms g.gtuple.Tuple.terms))
+              if Relation.insert done_rel (Tuple.of_terms g.gtuple.Tuple.terms) then
+                t.done_inserts <- t.done_inserts + 1
             end)
           scc)
       sinks;
@@ -470,7 +503,7 @@ let context_action t =
 
 let nstrata t = Array.length t.ms.strata
 
-let step t =
+let step_inner t =
   poll ();
   if t.complete then false
   else if t.os then begin
@@ -528,6 +561,18 @@ let step t =
     end
   end
 
+let step t =
+  let before = if t.profile then total_inserts t else 0 in
+  let progressed =
+    Coral_obs.Obs.Span.with_ "fixpoint.iter"
+      ~attrs:(fun () ->
+        [ "round", string_of_int t.nrounds; "phase", string_of_int t.phase ])
+      (fun () -> step_inner t)
+  in
+  if t.profile && progressed then
+    t.step_deltas <- (total_inserts t - before) :: t.step_deltas;
+  progressed
+
 let run t =
   while step t do
     ()
@@ -556,7 +601,12 @@ let reset_for_reopen t =
   t.live_goals <- [];
   t.cur_generator <- None;
   t.extra_inserts <- 0;
-  t.answer_cursor <- 0
+  t.seed_inserts <- 0;
+  t.done_inserts <- 0;
+  t.step_deltas <- [];
+  t.answer_cursor <- 0;
+  if t.profile then
+    List.iter (fun (c : crule) -> reset_prof c.prof) (Module_struct.all_rules t.ms)
 
 let add_seed t terms =
   let tuple = Tuple.of_terms terms in
@@ -576,13 +626,17 @@ let add_seed t terms =
       let was_complete = t.complete in
       let fresh = Relation.insert rel tuple in
       if fresh then begin
+        t.seed_inserts <- t.seed_inserts + 1;
         t.seeds <- tuple :: t.seeds;
         if was_complete && not t.monotonic then begin
           (* non-monotonic module: recompute from scratch with every
              seed seen so far (incremental continuation would leave
              stale negation/aggregation results behind) *)
           reset_for_reopen t;
-          List.iter (fun old -> ignore (Relation.insert rel old)) t.seeds
+          List.iter
+            (fun old ->
+              if Relation.insert rel old then t.seed_inserts <- t.seed_inserts + 1)
+            t.seeds
         end;
         t.complete <- false;
         if was_complete then begin
@@ -610,3 +664,26 @@ let new_answers t ?pattern () =
 
 let rounds t = t.nrounds
 let module_structure t = t.ms
+
+(* ------------------------------------------------------------------ *)
+(* Profiling accessors (populated when created with ~profile:true)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Delta size of each productive step, oldest first (the first entry
+   is the stratum activation, the rest are semi-naive rounds or
+   Ordered-Search context actions). *)
+let step_deltas t = List.rev t.step_deltas
+
+let seed_inserts t = t.seed_inserts
+let done_inserts t = t.done_inserts
+let context_inserts t = t.extra_inserts
+
+(* Inserts attributable to rule applications: everything local minus
+   seeds, context availability inserts, and done facts.  When profiling
+   is on this equals the sum of per-rule [rp_derived] — the two are
+   computed along independent paths, which explain analyze exploits as
+   a self-check. *)
+let rule_derivations t =
+  total_inserts t - t.extra_inserts - t.seed_inserts - t.done_inserts
+
+let profiled_rules t = Module_struct.all_rules t.ms

@@ -64,10 +64,13 @@ val tick : unit -> unit
 
 val tick_interval : int
 
-val create : ?trace:bool -> Module_struct.t -> t
+val create : ?trace:bool -> ?profile:bool -> Module_struct.t -> t
 (** [trace] (default false) records, for the first derivation of every
     fact, the rule applied and the body tuples it joined — the raw
-    material of the explanation tool (see {!provenance}). *)
+    material of the explanation tool (see {!provenance}).  [profile]
+    (default false) resets and then fills the per-rule {!
+    Module_struct.rule_prof} counters and per-step deltas — the raw
+    material of explain analyze. *)
 
 val add_seed : t -> Term.t array -> bool
 (** Insert a magic seed tuple (the query's bound constants); returns
@@ -103,5 +106,30 @@ val provenance : t -> Tuple.t -> slot:int -> (string * (int * Tuple.t) list) opt
     base facts and untraced evaluations. *)
 
 val module_structure : t -> Module_struct.t
+
+(** {1 Profiling accessors} (populated when created with [~profile:true]) *)
+
+val step_deltas : t -> int list
+(** Delta size (new local inserts) of each productive step, oldest
+    first: the first entry is the stratum activation, the rest are
+    semi-naive rounds or Ordered-Search context actions. *)
+
+val seed_inserts : t -> int
+(** Local inserts made by {!add_seed} rather than by rules. *)
+
+val done_inserts : t -> int
+(** [done#] facts issued by the Ordered-Search context. *)
+
+val context_inserts : t -> int
+(** Magic facts the Ordered-Search context made available. *)
+
+val rule_derivations : t -> int
+(** Inserts attributable to rule applications: local inserts minus
+    seeds, context availability inserts, and done facts.  Under
+    profiling this equals the sum of per-rule [rp_derived], computed
+    along an independent path — explain analyze asserts the match. *)
+
+val profiled_rules : t -> Module_struct.crule list
+(** Every distinct compiled rule, in stratum order. *)
 
 exception Not_modularly_stratified of string

@@ -15,7 +15,7 @@ let continue_code = max_int
    jumping to the precomputed point. *)
 let intelligent_backtracking = ref true
 
-let run ~rels ~range ?witness (rule : crule) ~on_match =
+let run ~rels ~range ?witness ?prof (rule : crule) ~on_match =
   let n = Array.length rule.body in
   let env = Bindenv.create (max rule.nvars 1) in
   let tr = Trail.create () in
@@ -24,6 +24,11 @@ let run ~rels ~range ?witness (rule : crule) ~on_match =
   let chosen = match witness with Some _ -> Array.make n None | None -> [||] in
   let record i tuple = if witness <> None then chosen.(i) <- Some tuple in
   let backtrack i = if !intelligent_backtracking then rule.backtrack.(i) else i - 1 in
+  let note_tuple () =
+    match prof with
+    | Some (p : rule_prof) -> p.rp_tuples <- p.rp_tuples + 1
+    | None -> ()
+  in
   let rec eval i =
     if i >= n then begin
       (match witness with
@@ -32,6 +37,9 @@ let run ~rels ~range ?witness (rule : crule) ~on_match =
           Array.to_list chosen
           |> List.mapi (fun i o -> Option.map (fun tu -> i, tu) o)
           |> List.filter_map Fun.id
+      | None -> ());
+      (match prof with
+      | Some p -> p.rp_attempts <- p.rp_attempts + 1
       | None -> ());
       on_match env;
       continue_code
@@ -76,6 +84,7 @@ let run ~rels ~range ?witness (rule : crule) ~on_match =
     match seq () with
     | Seq.Nil -> if matched then i - 1 else backtrack i
     | Seq.Cons ((tuple : Tuple.t), rest) ->
+      note_tuple ();
       let m = Trail.mark tr in
       let tenv =
         if tuple.Tuple.nvars = 0 then Bindenv.empty else Bindenv.create tuple.Tuple.nvars
@@ -95,6 +104,7 @@ let run ~rels ~range ?witness (rule : crule) ~on_match =
     match seq () with
     | Seq.Nil -> if matched then i - 1 else backtrack i
     | Seq.Cons (row, rest) ->
+      note_tuple ();
       let m = Trail.mark tr in
       if Array.length row = Array.length args
          && Unify.unify_arrays tr args env row Bindenv.empty

@@ -22,6 +22,7 @@ val run :
   rels:Relation.t array ->
   range:(op_index:int -> slot:int -> local:bool -> int * int) ->
   ?witness:(int * Tuple.t) list ref ->
+  ?prof:Module_struct.rule_prof ->
   Module_struct.crule ->
   on_match:(Bindenv.t -> unit) ->
   unit
@@ -30,7 +31,9 @@ val run :
     [on_match] is invoked with the rule's environment fully bound, once
     per successful body instantiation.  When [witness] is supplied it
     holds, during each [on_match], the stored tuples the join selected
-    (in body order) — the raw material of the explanation tool.
+    (in body order) — the raw material of the explanation tool.  When
+    [prof] is supplied, body matches and enumerated candidate tuples
+    are counted into it.
     @raise Builtin.Eval_error on arithmetic/comparison misuse. *)
 
 val head_tuple : Module_struct.crule -> Bindenv.t -> Tuple.t

@@ -13,6 +13,29 @@ type op =
   | Compare of Ast.cmp_op * Term.t * Term.t
   | Assign of Term.t * Term.t
 
+(* Per-rule evaluation profile, filled in when a fixpoint runs with
+   profiling on (explain analyze).  Attempts count successful body
+   matches (head derivation attempts); derived/dups split them by
+   whether the head insert found a new fact; tuples counts candidate
+   tuples enumerated across the rule's joins. *)
+type rule_prof = {
+  mutable rp_attempts : int;
+  mutable rp_derived : int;
+  mutable rp_dups : int;
+  mutable rp_tuples : int;
+  mutable rp_time_ns : int;
+}
+
+let fresh_prof () =
+  { rp_attempts = 0; rp_derived = 0; rp_dups = 0; rp_tuples = 0; rp_time_ns = 0 }
+
+let reset_prof p =
+  p.rp_attempts <- 0;
+  p.rp_derived <- 0;
+  p.rp_dups <- 0;
+  p.rp_tuples <- 0;
+  p.rp_time_ns <- 0
+
 type crule = {
   head_slot : int;
   head_args : Term.t array;
@@ -23,6 +46,7 @@ type crule = {
   backtrack : int array;
   cursors : int array;
   text : string;
+  prof : rule_prof;
 }
 
 type stratum = {
@@ -289,7 +313,8 @@ let compile ~resolve (plan : Optimizer.plan) =
       backtrack = compute_backtrack body;
       cursors =
         Array.map (function Scan { local = true; _ } -> 0 | _ -> -1) body;
-      text = Pretty.rule_to_string r
+      text = Pretty.rule_to_string r;
+      prof = fresh_prof ()
     }
   in
   (* strata *)
@@ -328,3 +353,16 @@ let compile ~resolve (plan : Optimizer.plan) =
 
 let slot t pred = Symbol.Tbl.find_opt t.slot_of pred
 let relation t pred = Option.map (fun s -> t.rels.(s)) (slot t pred)
+
+(* Every distinct compiled rule, in stratum order (a rule with several
+   semi-naive versions appears once). *)
+let all_rules t =
+  let seen = ref [] in
+  let once c = if not (List.memq c !seen) then seen := c :: !seen in
+  Array.iter
+    (fun st ->
+      List.iter once st.srules;
+      List.iter (fun (c, _) -> once c) st.versions;
+      List.iter once st.agg_rules)
+    t.strata;
+  List.rev !seen

@@ -36,6 +36,21 @@ type op =
   | Compare of Ast.cmp_op * Term.t * Term.t
   | Assign of Term.t * Term.t  (** [T1 = T2]: evaluate and unify *)
 
+(** Per-rule evaluation profile, filled when a fixpoint runs with
+    profiling on (explain analyze): successful body matches, the
+    derived/duplicate split of the resulting head inserts, candidate
+    tuples enumerated across the rule's joins, and evaluation time. *)
+type rule_prof = {
+  mutable rp_attempts : int;
+  mutable rp_derived : int;
+  mutable rp_dups : int;
+  mutable rp_tuples : int;
+  mutable rp_time_ns : int;
+}
+
+val fresh_prof : unit -> rule_prof
+val reset_prof : rule_prof -> unit
+
 type crule = {
   head_slot : int;
   head_args : Term.t array;
@@ -50,6 +65,7 @@ type crule = {
       (** per-local-positive-literal consumed marks (semi-naive state);
           -1 at non-versionable positions *)
   text : string;
+  prof : rule_prof;
 }
 
 type stratum = {
@@ -80,3 +96,7 @@ val compile : resolve:(Symbol.t -> int -> provider) -> Optimizer.plan -> t
 
 val slot : t -> Symbol.t -> int option
 val relation : t -> Symbol.t -> Relation.t option
+
+val all_rules : t -> crule list
+(** Every distinct compiled rule, in stratum order (a rule with several
+    semi-naive versions appears once). *)

@@ -1,0 +1,130 @@
+(** Observability core: named metrics, span tracing, exporters.
+
+    All recording is gated on one global switch ([set_enabled]); with
+    it off (the default) every record call is a load and a branch, so
+    hot paths can stay instrumented unconditionally.  Updates are
+    atomic and safe under the server's thread-per-connection model. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Wall clock in integer nanoseconds (microsecond resolution). *)
+val now_ns : unit -> int
+
+module Counter : sig
+  type t
+
+  val v : string -> t
+  (** An unregistered counter — use {!val-counter} for registry-backed cells. *)
+
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val v : string -> t
+  val name : t -> string
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val nbuckets : int
+
+  val v : string -> t
+  val name : t -> string
+
+  val bucket_le_ns : int -> int
+  (** Upper bound (inclusive, ns) of bucket [i]: [2^i].  The final
+      bucket additionally absorbs everything larger. *)
+
+  val bucket_index : int -> int
+  (** Index of the bucket an observation of [ns] lands in. *)
+
+  val observe_ns : t -> int -> unit
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk and observe its wall duration; just the thunk when
+      recording is disabled. *)
+
+  val count : t -> int
+  val sum_ns : t -> int
+
+  val bucket_counts : t -> int array
+  (** Per-bucket (non-cumulative) counts, a snapshot. *)
+
+  val reset : t -> unit
+end
+
+(** {1 Registry}
+
+    Registration is idempotent per (name, kind): registering a name
+    twice returns the same cell.  Registering an existing name as a
+    different kind raises [Invalid_argument]. *)
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_histogram of Histogram.t
+
+val counter : string -> Counter.t
+val gauge : string -> Gauge.t
+val histogram : string -> Histogram.t
+
+val metrics : unit -> (string * metric) list
+(** All registered metrics, sorted by name. *)
+
+val find : string -> metric option
+val reset_all : unit -> unit
+
+(** {1 Prometheus text exposition} *)
+
+val prometheus : unit -> string
+(** Render every registered metric.  Names are prefixed with [coral_]
+    and dots become underscores; histogram buckets are cumulative with
+    [le] bounds in seconds. *)
+
+val prometheus_sample : Buffer.t -> kind:string -> string -> int -> unit
+(** Append one unregistered sample (kind is ["counter"] or ["gauge"])
+    — for values owned by another component and read at scrape time. *)
+
+(** {1 Span tracing}
+
+    Completed spans land in a fixed-size ring buffer (newest wins on
+    wraparound) and can be exported as Chrome [trace_event] JSON for
+    chrome://tracing / Perfetto. *)
+
+module Span : sig
+  type span = {
+    sname : string;
+    ts_ns : int;
+    dur_ns : int;
+    attrs : (string * string) list;
+  }
+
+  val with_ : ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a span.  [attrs] is a thunk so attribute
+      strings cost nothing when tracing is off. *)
+
+  val set_capacity : int -> unit
+  (** Resize the ring (drops recorded spans). *)
+
+  val clear : unit -> unit
+
+  val recorded : unit -> span list
+  (** Spans still in the ring, oldest first. *)
+
+  val count : unit -> int
+  (** Total spans ever recorded (including overwritten ones). *)
+
+  val to_chrome_json : unit -> string
+end

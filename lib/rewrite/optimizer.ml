@@ -27,6 +27,10 @@ type plan = {
 
 let done_name apred = Symbol.intern ("done#" ^ Symbol.name apred)
 
+(* Each rewrite phase runs inside a tracing span so a Chrome trace of a
+   slow planning step shows where the time went. *)
+let span phase f = Coral_obs.Obs.Span.with_ ("rewrite." ^ phase) f
+
 let rules_text rules =
   Format.asprintf "@[<v>%a@]"
     (fun ppf rs -> List.iter (fun r -> Format.fprintf ppf "%a@," Pretty.pp_rule r) rs)
@@ -174,7 +178,7 @@ let plan_query ~module_:(m : Ast.module_) ~pred ~adorn:query_adorn =
                   answer_pred
                   :: (match seed with Some s -> [ s.seed_pred ] | None -> [])
                 in
-                Existential.rewrite ~keep prules
+                span "existential" (fun () -> Existential.rewrite ~keep prules)
               end
             in
             if dropped > 0 then
@@ -203,10 +207,11 @@ let plan_query ~module_:(m : Ast.module_) ~pred ~adorn:query_adorn =
             (* Ordered Search: magic with bindings pushed into negation
                and aggregation, plus done guards. *)
             let adorned =
-              Adorn.adorn ~bind_negated:true ~bind_aggregates:true ~sip m.Ast.rules
-                ~query:pred ~adorn:query_adorn
+              span "adorn" (fun () ->
+                  Adorn.adorn ~bind_negated:true ~bind_aggregates:true ~sip m.Ast.rules
+                    ~query:pred ~adorn:query_adorn)
             in
-            let mr = Magic.rewrite adorned in
+            let mr = span "magic" (fun () -> Magic.rewrite adorned) in
             let guarded = add_done_guards adorned.Adorn.origin mr.Magic.mrules in
             note "ordered search: magic rewriting with done guards";
             finish
@@ -227,27 +232,29 @@ let plan_query ~module_:(m : Ast.module_) ~pred ~adorn:query_adorn =
             unrewritten ()
           end
           else begin
-            let adorned = Adorn.adorn ~sip m.Ast.rules ~query:pred ~adorn:query_adorn in
+            let adorned =
+              span "adorn" (fun () -> Adorn.adorn ~sip m.Ast.rules ~query:pred ~adorn:query_adorn)
+            in
             let chosen = Option.value requested_rewriting ~default:Ast.Supplementary_magic in
             let mr =
               match chosen with
               | Ast.Magic ->
                 note "magic templates rewriting";
-                Magic.rewrite adorned
+                span "magic" (fun () -> Magic.rewrite adorned)
               | Ast.Supplementary_magic ->
                 note "supplementary magic rewriting (default)";
-                Supp_magic.rewrite adorned
+                span "supp_magic" (fun () -> Supp_magic.rewrite adorned)
               | Ast.Supplementary_magic_goal_id ->
                 note "supplementary magic with goal-id indexing";
-                Supp_magic.rewrite_goal_id adorned
+                span "supp_magic" (fun () -> Supp_magic.rewrite_goal_id adorned)
               | Ast.Factoring -> begin
-                match Factoring.rewrite adorned with
+                match span "factoring" (fun () -> Factoring.rewrite adorned) with
                 | Some r ->
                   note "context factoring applies";
                   r
                 | None ->
                   note "factoring not applicable: falling back to supplementary magic";
-                  Supp_magic.rewrite adorned
+                  span "supp_magic" (fun () -> Supp_magic.rewrite adorned)
               end
               | Ast.No_rewriting -> assert false
             in

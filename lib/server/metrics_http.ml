@@ -1,0 +1,107 @@
+(* A deliberately tiny HTTP/1.0-style listener for the Prometheus
+   scrape endpoint.  One accept thread, one short-lived thread per
+   connection; every request — whatever the path — gets the metrics
+   body, so `curl host:port/` and `curl host:port/metrics` both work.
+   Not a general HTTP server: no keep-alive, no routing, no TLS. *)
+
+type t = {
+  fd : Unix.file_descr;
+  bound_port : int;
+  body : unit -> string;
+  mutable closed : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let read_request ic =
+  (* Request line, then headers up to the blank line.  We only need
+     the method for the 405 check; everything else is drained. *)
+  match In_channel.input_line ic with
+  | None -> None
+  | Some request_line ->
+    let rec drain () =
+      match In_channel.input_line ic with
+      | None -> ()
+      | Some line -> if String.trim line = "" then () else drain ()
+    in
+    drain ();
+    Some request_line
+
+let respond oc ~status ~content_type body =
+  let buf = Buffer.create (String.length body + 128) in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.0 %s\r\n" status);
+  Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string buf "Connection: close\r\n\r\n";
+  Buffer.add_string buf body;
+  Out_channel.output_string oc (Buffer.contents buf);
+  Out_channel.flush oc
+
+let serve_connection t client =
+  let ic = Unix.in_channel_of_descr client in
+  let oc = Unix.out_channel_of_descr client in
+  (try
+     match read_request ic with
+     | None -> ()
+     | Some request_line ->
+       let meth =
+         match String.index_opt request_line ' ' with
+         | Some i -> String.sub request_line 0 i
+         | None -> request_line
+       in
+       if meth = "GET" || meth = "HEAD" then
+         let body = try t.body () with _ -> "# metrics collection failed\n" in
+         respond oc ~status:"200 OK"
+           ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+           (if meth = "HEAD" then "" else body)
+       else
+         respond oc ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+           "only GET is supported\n"
+   with
+  | Sys_error _ | End_of_file -> ()
+  | Unix.Unix_error _ -> ());
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  while not t.closed do
+    match Unix.accept t.fd with
+    | client, _addr ->
+      ignore
+        (Thread.create
+           (fun () ->
+             try serve_connection t client
+             with _ -> ( try Unix.close client with Unix.Unix_error _ -> ()))
+           ())
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> t.closed <- true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(host = "127.0.0.1") ~port body =
+  let addr =
+    match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+    | { Unix.ai_addr; _ } :: _ -> ai_addr
+    | [] -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd addr;
+  Unix.listen fd 16;
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { fd; bound_port; body; closed = false; accept_thread = None } in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    match t.accept_thread with
+    | Some th -> Thread.join th
+    | None -> ()
+  end

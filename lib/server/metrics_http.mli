@@ -1,0 +1,23 @@
+(** A minimal HTTP listener for the Prometheus scrape endpoint
+    ([--metrics-port]).
+
+    Serves every GET request with the text produced by the body
+    callback (typically {!Session.metrics_text} over the server's
+    store) as [text/plain; version=0.0.4].  One thread per connection,
+    [Connection: close] — just enough HTTP for [curl] and a Prometheus
+    scraper, nothing more. *)
+
+type t
+
+val start : ?host:string -> port:int -> (unit -> string) -> t
+(** [start ~port body] binds and starts accepting in a background
+    thread.  [port = 0] binds an ephemeral port (see {!port}).  The
+    body callback runs on a connection thread and must not assume any
+    locks are held.  Raises [Unix.Unix_error] if the bind fails. *)
+
+val port : t -> int
+(** The actually-bound TCP port. *)
+
+val stop : t -> unit
+(** Close the listening socket and join the accept thread.  In-flight
+    connection threads finish on their own.  Idempotent. *)

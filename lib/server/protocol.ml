@@ -6,8 +6,10 @@ type request =
   | Consult of string
   | Insert of string
   | Explain of string
+  | Explain_analyze of string
   | Why of string
   | Stats
+  | Metrics
   | Relations
   | Modules
   | Quit
@@ -83,9 +85,19 @@ let parse_request line =
         | Some n when n >= 0 -> `Consult_payload n
         | _ -> `Bad "consult# expects a byte count")
   | "insert" -> need_arg (fun () -> `Req (Insert arg))
-  | "explain" -> need_arg (fun () -> `Req (Explain arg))
+  | "explain" ->
+    need_arg (fun () ->
+        (* "explain analyze <query>": run and annotate with actuals *)
+        if String.starts_with ~prefix:"analyze " arg then begin
+          let q = String.trim (String.sub arg 8 (String.length arg - 8)) in
+          if q = "" then `Bad "explain analyze expects a query"
+          else `Req (Explain_analyze q)
+        end
+        else if arg = "analyze" then `Bad "explain analyze expects a query"
+        else `Req (Explain arg))
   | "why" -> need_arg (fun () -> `Req (Why arg))
   | "stats" -> no_arg Stats
+  | "metrics" -> no_arg Metrics
   | "relations" -> no_arg Relations
   | "modules" -> no_arg Modules
   | "quit" -> no_arg Quit

@@ -18,8 +18,11 @@
     consult# <nbytes>          load <nbytes> of raw program text that follow
     insert <facts>             insert base facts, e.g.  insert edge(1, 2).
     explain <literal>          the optimizer's rewritten program
+    explain analyze <literal>  run the query; rewritten program annotated
+                               with per-rule counts and timings
     why <literal>              derivation trees for the answers
     stats                      server + engine statistics
+    metrics                    Prometheus text exposition of all metrics
     relations                  base relations and cardinalities
     modules                    loaded modules
     quit                       close the session
@@ -51,8 +54,10 @@ type request =
   | Consult of string  (** program text *)
   | Insert of string  (** fact items *)
   | Explain of string
+  | Explain_analyze of string
   | Why of string
   | Stats
+  | Metrics
   | Relations
   | Modules
   | Quit

@@ -1,3 +1,12 @@
+module Obs = Coral_obs.Obs
+
+(* Request latency histograms; recorded when observability is enabled
+   (the server enables it at startup).  Buckets are log-scale ns,
+   exported with second-valued bounds. *)
+let h_request = Obs.histogram "server.request_seconds"
+let h_query = Obs.histogram "server.query_seconds"
+let h_emit = Obs.histogram "phase.emit"
+
 type store = {
   sdb : Coral.t;
   lock : Mutex.t;
@@ -75,9 +84,10 @@ let do_query t text =
       | `Unplanned -> ""
     in
     let n = List.length r.Coral.Engine.rows in
+    let payload = Obs.Histogram.time h_emit (fun () -> render_rows r) in
     Protocol.ok
       ~detail:(Printf.sprintf "%d answer%s%s" n (if n = 1 then "" else "s") cache_note)
-      (render_rows r)
+      payload
 
 let do_consult t text =
   let store = t.store in
@@ -157,12 +167,43 @@ let do_why t text =
     let lines = List.filter (fun l -> l <> "") lines in
     Protocol.ok (List.map (fun l -> Protocol.Txt l) lines)
 
+let do_explain_analyze t text =
+  let store = t.store in
+  match
+    with_deadline t (fun () -> Coral.Engine.explain_analyze (Coral.engine store.sdb) text)
+  with
+  | Error e -> Protocol.err Protocol.Eval e
+  | Ok report ->
+    let lines = String.split_on_char '\n' report in
+    let lines = List.filter (fun l -> l <> "") lines in
+    Protocol.ok (List.map (fun l -> Protocol.Txt l) lines)
+
 let do_stats t =
   let store = t.store in
   let eng = Coral.engine store.sdb in
   let c = Plan_cache.stats store.cache in
   let plan_hits, plan_misses = Coral.plan_cache_stats store.sdb in
-  let server_lines =
+  let derivations, duplicates, scans = Coral.Relation.global_stats () in
+  (* dotted names are the stable interface ... *)
+  let dotted =
+    [ Printf.sprintf "server.requests=%d" store.requests;
+      Printf.sprintf "server.errors=%d" store.errors;
+      Printf.sprintf "server.timeouts=%d" store.timeouts;
+      Printf.sprintf "server.sessions=%d" store.sessions;
+      Printf.sprintf "prepared.entries=%d" c.Plan_cache.entries;
+      Printf.sprintf "prepared.hits=%d" c.Plan_cache.hits;
+      Printf.sprintf "prepared.misses=%d" c.Plan_cache.misses;
+      Printf.sprintf "prepared.invalidations=%d" c.Plan_cache.invalidations;
+      Printf.sprintf "plans.cached=%d" (Coral.Engine.plan_cache_size eng);
+      Printf.sprintf "plans.hits=%d" plan_hits;
+      Printf.sprintf "plans.misses=%d" plan_misses;
+      Printf.sprintf "engine.derivations=%d" derivations;
+      Printf.sprintf "engine.duplicates=%d" duplicates;
+      Printf.sprintf "engine.scans=%d" scans
+    ]
+  in
+  (* ... the spaced forms below are legacy aliases, kept one release *)
+  let legacy_lines =
     [ Printf.sprintf "server: requests=%d errors=%d timeouts=%d sessions=%d" store.requests
         store.errors store.timeouts store.sessions;
       Printf.sprintf "prepared: entries=%d hits=%d misses=%d invalidations=%d"
@@ -176,7 +217,45 @@ let do_stats t =
     |> String.split_on_char '\n'
     |> List.filter (fun l -> String.trim l <> "")
   in
-  Protocol.ok (List.map (fun l -> Protocol.Txt l) (server_lines @ engine_lines))
+  Protocol.ok (List.map (fun l -> Protocol.Txt l) (dotted @ legacy_lines @ engine_lines))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Store-owned values are rendered at scrape time (several stores can
+   live in one process, e.g. under test, so they are not registered in
+   the global metric registry); everything registered — phase/latency
+   histograms, storage counters — is appended after.  Reads are plain
+   int loads, safe without the store lock. *)
+let metrics_text store =
+  let buf = Buffer.create 4096 in
+  Obs.prometheus_sample buf ~kind:"counter" "server.requests" store.requests;
+  Obs.prometheus_sample buf ~kind:"counter" "server.errors" store.errors;
+  Obs.prometheus_sample buf ~kind:"counter" "server.timeouts" store.timeouts;
+  Obs.prometheus_sample buf ~kind:"gauge" "server.sessions" store.sessions;
+  let c = Plan_cache.stats store.cache in
+  Obs.prometheus_sample buf ~kind:"gauge" "prepared.entries" c.Plan_cache.entries;
+  Obs.prometheus_sample buf ~kind:"counter" "prepared.hits" c.Plan_cache.hits;
+  Obs.prometheus_sample buf ~kind:"counter" "prepared.misses" c.Plan_cache.misses;
+  Obs.prometheus_sample buf ~kind:"counter" "prepared.invalidations" c.Plan_cache.invalidations;
+  let eng = Coral.engine store.sdb in
+  let plan_hits, plan_misses = Coral.plan_cache_stats store.sdb in
+  Obs.prometheus_sample buf ~kind:"gauge" "plans.cached" (Coral.Engine.plan_cache_size eng);
+  Obs.prometheus_sample buf ~kind:"counter" "plans.hits" plan_hits;
+  Obs.prometheus_sample buf ~kind:"counter" "plans.misses" plan_misses;
+  let derivations, duplicates, scans = Coral.Relation.global_stats () in
+  Obs.prometheus_sample buf ~kind:"counter" "engine.derivations" derivations;
+  Obs.prometheus_sample buf ~kind:"counter" "engine.duplicates" duplicates;
+  Obs.prometheus_sample buf ~kind:"counter" "engine.scans" scans;
+  Buffer.add_string buf (Obs.prometheus ());
+  Buffer.contents buf
+
+let do_metrics t =
+  let lines =
+    metrics_text t.store |> String.split_on_char '\n' |> List.filter (fun l -> l <> "")
+  in
+  Protocol.ok (List.map (fun l -> Protocol.Txt l) lines)
 
 let do_relations t =
   let rels = Coral.Engine.list_relations (Coral.engine t.store.sdb) in
@@ -200,14 +279,25 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Consult text -> do_consult t text
   | Protocol.Insert text -> do_insert t text
   | Protocol.Explain text -> do_explain t text
+  | Protocol.Explain_analyze text -> do_explain_analyze t text
   | Protocol.Why text -> do_why t text
   | Protocol.Stats -> do_stats t
+  | Protocol.Metrics -> do_metrics t
   | Protocol.Relations -> do_relations t
   | Protocol.Modules -> do_modules t
   | Protocol.Quit -> Protocol.ok ~detail:"bye" []
 
 let handle t req =
   let store = t.store in
+  let t0 = Obs.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Obs.now_ns () - t0 in
+      Obs.Histogram.observe_ns h_request dt;
+      match req with
+      | Protocol.Query _ -> Obs.Histogram.observe_ns h_query dt
+      | _ -> ())
+  @@ fun () ->
   locked store (fun () ->
       store.requests <- store.requests + 1;
       let response =

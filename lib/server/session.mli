@@ -32,3 +32,9 @@ val handle : t -> Protocol.request -> Protocol.response
 (** Execute one request against the shared store (takes the lock).
     Never raises: evaluation failures, parse failures and exceeded
     deadlines come back as [err] replies. *)
+
+val metrics_text : store -> string
+(** Prometheus text exposition: the store's own counters (requests,
+    errors, sessions, caches) followed by every metric in the global
+    {!Coral_obs.Obs} registry.  Reads are plain loads — safe to call
+    from the metrics listener thread without the store lock. *)

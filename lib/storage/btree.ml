@@ -157,9 +157,14 @@ let split_entries entries =
   in
   take (n / 2) entries
 
+let c_inserts = Coral_obs.Obs.counter "storage.btree.inserts"
+let c_deletes = Coral_obs.Obs.counter "storage.btree.deletes"
+let c_lookups = Coral_obs.Obs.counter "storage.btree.lookups"
+
 let insert t key rid =
   if String.length key > (Page.page_size / 2) - 32 then
     invalid_arg "Btree.insert: key too large for a page";
+  Coral_obs.Obs.Counter.incr c_inserts;
   let leaf_pid, path = find_leaf t key in
   (* Returns Some (separator, new right pid) when the node split. *)
   let insert_into pid ~leaf entry =
@@ -199,6 +204,7 @@ let insert t key rid =
   bubble leaf_pid path ~leaf:true { key; value = rid }
 
 let delete t key rid =
+  Coral_obs.Obs.Counter.incr c_deletes;
   let leaf_pid, _ = find_leaf t key in
   (* duplicates may spill to following leaves *)
   let rec go pid =
@@ -275,6 +281,7 @@ let iter_range t ?lo ?hi f =
   walk start_pid
 
 let find_all t key =
+  Coral_obs.Obs.Counter.incr c_lookups;
   let acc = ref [] in
   iter_range t ~lo:key ~hi:key (fun _ rid ->
       acc := rid :: !acc;

@@ -1,5 +1,15 @@
 exception Pool_exhausted
 
+module Obs = Coral_obs.Obs
+
+(* Process-wide mirrors of the per-pool stats, for the metrics
+   endpoint (pools come and go with relations; these persist). *)
+let c_hits = Obs.counter "storage.pool.hits"
+let c_misses = Obs.counter "storage.pool.misses"
+let c_evictions = Obs.counter "storage.pool.evictions"
+let c_writebacks = Obs.counter "storage.pool.writebacks"
+let c_retries = Obs.counter "storage.pool.retries"
+
 type frame = {
   buf : Bytes.t;
   mutable pid : int;  (* -1 = empty *)
@@ -47,8 +57,11 @@ let set_spill_handler t f = t.spill <- Some f
 
 let writeback t f =
   if f.dirty then begin
-    Disk.write t.dsk f.pid f.buf;
+    Obs.Span.with_ "pool.writeback"
+      ~attrs:(fun () -> [ "pid", string_of_int f.pid ])
+      (fun () -> Disk.write t.dsk f.pid f.buf);
     t.st.writebacks <- t.st.writebacks + 1;
+    Obs.Counter.incr c_writebacks;
     f.dirty <- false
   end
 
@@ -97,10 +110,13 @@ let read_with_retry t pid buf =
     try Disk.read t.dsk pid buf with
     | Disk.Fault { transient = true; _ } when attempt < 3 ->
       t.st.retries <- t.st.retries + 1;
+      Obs.Counter.incr c_retries;
       Unix.sleepf (0.001 *. float_of_int (1 lsl attempt));
       go (attempt + 1)
   in
-  go 0
+  Obs.Span.with_ "pool.fault_in"
+    ~attrs:(fun () -> [ "pid", string_of_int pid ])
+    (fun () -> go 0)
 
 let get t pid =
   match Hashtbl.find_opt t.table pid with
@@ -109,14 +125,17 @@ let get t pid =
     f.pin <- f.pin + 1;
     f.referenced <- true;
     t.st.hits <- t.st.hits + 1;
+    Obs.Counter.incr c_hits;
     f.buf
   | None ->
     t.st.misses <- t.st.misses + 1;
+    Obs.Counter.incr c_misses;
     let f = victim t in
     if f.pid >= 0 then begin
       writeback t f;
       Hashtbl.remove t.table f.pid;
-      t.st.evictions <- t.st.evictions + 1
+      t.st.evictions <- t.st.evictions + 1;
+      Obs.Counter.incr c_evictions
     end;
     f.pid <- -1;
     f.dirty <- false;

@@ -24,9 +24,13 @@ let clean t =
   t.upgraded = [] && t.legacy_wals = [] && t.replayed_txns = 0
   && t.torn_tail_bytes = 0 && t.corrupt_wal_records = 0 && t.quarantined = []
 
+let c_quarantined = Coral_obs.Obs.counter "storage.recovery.quarantined_pages"
+
 let quarantine t path pid =
-  if not (List.mem (path, pid) t.quarantined) then
-    t.quarantined <- (path, pid) :: t.quarantined
+  if not (List.mem (path, pid) t.quarantined) then begin
+    t.quarantined <- (path, pid) :: t.quarantined;
+    Coral_obs.Obs.Counter.incr c_quarantined
+  end
 
 let merge into_ from =
   into_.upgraded <- into_.upgraded @ from.upgraded;

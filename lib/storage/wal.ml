@@ -21,6 +21,13 @@ type t = {
   io : Disk.Io.t;
 }
 
+module Obs = Coral_obs.Obs
+
+let c_commits = Obs.counter "storage.wal.commits"
+let c_commit_pages = Obs.counter "storage.wal.commit_pages"
+let c_replayed_pages = Obs.counter "storage.wal.replayed_pages"
+let c_corrupt_records = Obs.counter "storage.wal.corrupt_records"
+
 let commit_magic = 0xC0111117
 let wal_magic = "CORLWAL1"
 let max_entries = 1_000_000
@@ -44,19 +51,24 @@ let create ?injector wpath =
 let path t = t.wpath
 
 let commit t entries =
-  let buf = Buffer.create (16 + (List.length entries * (Page.page_size + 8))) in
-  add_u32 buf (List.length entries);
-  List.iter
-    (fun (fid, pid, image) ->
-      add_u32 buf fid;
-      add_u32 buf pid;
-      Buffer.add_bytes buf image)
-    entries;
-  let crc = Checksum.crc32_string (Buffer.contents buf) in
-  add_u32 buf crc;
-  add_u32 buf commit_magic;
-  Disk.Io.append t.io (Buffer.to_bytes buf);
-  Disk.Io.fsync t.io
+  Obs.Span.with_ "wal.commit"
+    ~attrs:(fun () -> [ "pages", string_of_int (List.length entries) ])
+    (fun () ->
+      let buf = Buffer.create (16 + (List.length entries * (Page.page_size + 8))) in
+      add_u32 buf (List.length entries);
+      List.iter
+        (fun (fid, pid, image) ->
+          add_u32 buf fid;
+          add_u32 buf pid;
+          Buffer.add_bytes buf image)
+        entries;
+      let crc = Checksum.crc32_string (Buffer.contents buf) in
+      add_u32 buf crc;
+      add_u32 buf commit_magic;
+      Disk.Io.append t.io (Buffer.to_bytes buf);
+      Disk.Io.fsync t.io);
+  Obs.Counter.incr c_commits;
+  Obs.Counter.add c_commit_pages (List.length entries)
 
 let recover t ~disks ~(report : Recovery.t) =
   let io = t.io in
@@ -89,10 +101,12 @@ let recover t ~disks ~(report : Recovery.t) =
       (List.rev entries);
     report.Recovery.replayed_txns <- report.Recovery.replayed_txns + 1;
     report.Recovery.replayed_pages <- report.Recovery.replayed_pages + List.length entries;
+    Obs.Counter.add c_replayed_pages (List.length entries);
     good_end := !pos
   in
   let corrupt () =
-    report.Recovery.corrupt_wal_records <- report.Recovery.corrupt_wal_records + 1
+    report.Recovery.corrupt_wal_records <- report.Recovery.corrupt_wal_records + 1;
+    Obs.Counter.incr c_corrupt_records
   in
   (* v1 records: checksummed, file-tagged *)
   let rec v1_txn () =

@@ -1,0 +1,204 @@
+(* The observability core: metric cells and the registry, log-scale
+   histogram bucketing, the span ring, the disabled-is-free contract,
+   and the exporters. *)
+
+module Obs = Coral_obs.Obs
+
+(* Every test leaves the global switch off and the span ring at its
+   default size: the cells are process-global, so a leaked enable would
+   bleed into later tests. *)
+let with_obs_enabled f =
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.Span.set_capacity 8192)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucketing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_boundaries () =
+  (* bucket i covers (2^(i-1), 2^i]: an observation exactly on a power
+     of two lands in that power's own bucket, one above spills over *)
+  Alcotest.(check int) "le of bucket 0" 1 (Obs.Histogram.bucket_le_ns 0);
+  Alcotest.(check int) "le of bucket 10" 1024 (Obs.Histogram.bucket_le_ns 10);
+  Alcotest.(check int) "0ns -> bucket 0" 0 (Obs.Histogram.bucket_index 0);
+  Alcotest.(check int) "1ns -> bucket 0" 0 (Obs.Histogram.bucket_index 1);
+  Alcotest.(check int) "2ns -> bucket 1" 1 (Obs.Histogram.bucket_index 2);
+  Alcotest.(check int) "3ns -> bucket 2" 2 (Obs.Histogram.bucket_index 3);
+  Alcotest.(check int) "1024ns -> bucket 10" 10 (Obs.Histogram.bucket_index 1024);
+  Alcotest.(check int) "1025ns -> bucket 11" 11 (Obs.Histogram.bucket_index 1025);
+  (* everything past the last boundary is absorbed by the final bucket *)
+  Alcotest.(check int) "huge -> last bucket" (Obs.Histogram.nbuckets - 1)
+    (Obs.Histogram.bucket_index max_int);
+  (* indices and boundaries agree across the whole range *)
+  for i = 0 to Obs.Histogram.nbuckets - 2 do
+    let le = Obs.Histogram.bucket_le_ns i in
+    Alcotest.(check int)
+      (Printf.sprintf "boundary %d lands in its own bucket" i)
+      i (Obs.Histogram.bucket_index le)
+  done
+
+let test_histogram_observe () =
+  with_obs_enabled @@ fun () ->
+  let h = Obs.Histogram.v "test.hist.observe" in
+  Obs.Histogram.observe_ns h 1;
+  Obs.Histogram.observe_ns h 3;
+  Obs.Histogram.observe_ns h 1024;
+  Alcotest.(check int) "count" 3 (Obs.Histogram.count h);
+  Alcotest.(check int) "sum" 1028 (Obs.Histogram.sum_ns h);
+  let buckets = Obs.Histogram.bucket_counts h in
+  Alcotest.(check int) "bucket 0" 1 buckets.(0);
+  Alcotest.(check int) "bucket 2" 1 buckets.(2);
+  Alcotest.(check int) "bucket 10" 1 buckets.(10);
+  Obs.Histogram.reset h;
+  Alcotest.(check int) "reset count" 0 (Obs.Histogram.count h);
+  Alcotest.(check int) "reset sum" 0 (Obs.Histogram.sum_ns h)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_idempotent () =
+  with_obs_enabled @@ fun () ->
+  let a = Obs.counter "test.registry.shared" in
+  let b = Obs.counter "test.registry.shared" in
+  Obs.Counter.incr a;
+  Obs.Counter.incr b;
+  (* same name, same kind: one cell, both increments visible *)
+  Alcotest.(check int) "shared cell" 2 (Obs.Counter.value a);
+  (match Obs.find "test.registry.shared" with
+  | Some (Obs.M_counter c) -> Alcotest.(check int) "find sees it" 2 (Obs.Counter.value c)
+  | _ -> Alcotest.fail "registered counter not found")
+
+let test_registry_kind_collision () =
+  let name = "test.registry.collision" in
+  ignore (Obs.counter name);
+  Alcotest.check_raises "histogram under a counter name"
+    (Invalid_argument "Obs: metric \"test.registry.collision\" already registered as a counter")
+    (fun () -> ignore (Obs.histogram name))
+
+(* ------------------------------------------------------------------ *)
+(* Disabled means free (and silent)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_records_nothing () =
+  Obs.set_enabled false;
+  let c = Obs.Counter.v "test.disabled.counter" in
+  let g = Obs.Gauge.v "test.disabled.gauge" in
+  let h = Obs.Histogram.v "test.disabled.hist" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Obs.Gauge.set g 7;
+  Obs.Histogram.observe_ns h 1000;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c);
+  Alcotest.(check int) "gauge untouched" 0 (Obs.Gauge.value g);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Histogram.count h);
+  (* Histogram.time still runs the thunk and returns its value *)
+  Alcotest.(check int) "time passes result through" 9 (Obs.Histogram.time h (fun () -> 9));
+  Alcotest.(check int) "time recorded nothing" 0 (Obs.Histogram.count h);
+  (* spans record nothing and never evaluate the attrs thunk *)
+  Obs.Span.clear ();
+  let before = Obs.Span.count () in
+  let attrs_forced = ref false in
+  let r =
+    Obs.Span.with_ "test.disabled.span"
+      ~attrs:(fun () ->
+        attrs_forced := true;
+        [ "k", "v" ])
+      (fun () -> 17)
+  in
+  Alcotest.(check int) "span passes result through" 17 r;
+  Alcotest.(check int) "no span recorded" before (Obs.Span.count ());
+  Alcotest.(check bool) "attrs thunk not forced" false !attrs_forced
+
+(* ------------------------------------------------------------------ *)
+(* Span ring                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_ring_wraparound () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_capacity 4;
+  for i = 1 to 6 do
+    Obs.Span.with_ (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "count is total ever" 6 (Obs.Span.count ());
+  let names = List.map (fun s -> s.Obs.Span.sname) (Obs.Span.recorded ()) in
+  (* capacity 4: the two oldest were overwritten, order is oldest-first *)
+  Alcotest.(check (list string)) "newest 4 survive, in order" [ "s3"; "s4"; "s5"; "s6" ] names;
+  Obs.Span.clear ();
+  Alcotest.(check int) "clear empties the ring" 0 (List.length (Obs.Span.recorded ()))
+
+let test_span_attrs_and_json () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_capacity 16;
+  Obs.Span.clear ();
+  Obs.Span.with_ "quoted\"name" ~attrs:(fun () -> [ "key", "line1\nline2" ]) (fun () -> ());
+  (match Obs.Span.recorded () with
+  | [ s ] ->
+    Alcotest.(check string) "name kept" "quoted\"name" s.Obs.Span.sname;
+    Alcotest.(check (list (pair string string))) "attrs kept" [ "key", "line1\nline2" ]
+      s.Obs.Span.attrs
+  | spans -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length spans)));
+  let json = Obs.Span.to_chrome_json () in
+  Alcotest.(check bool) "escapes quotes" true
+    (let rec find i =
+       i + 13 <= String.length json
+       && (String.sub json i 13 = "quoted\\\"name\"" || find (i + 1))
+     in
+     find 0);
+  (* the array form of the trace_event format, accepted by
+     chrome://tracing and Perfetto alike *)
+  Alcotest.(check bool) "chrome array envelope" true
+    (String.starts_with ~prefix:"[" (String.trim json))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_exposition () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.counter "test.prom.hits" in
+  Obs.Counter.add c 5;
+  let h = Obs.histogram "test.prom.lat" in
+  Obs.Histogram.observe_ns h 3;
+  let text = Obs.prometheus () in
+  let has needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length text && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter TYPE line" true (has "# TYPE coral_test_prom_hits counter");
+  Alcotest.(check bool) "counter sample" true (has "coral_test_prom_hits 5");
+  Alcotest.(check bool) "histogram TYPE line" true (has "# TYPE coral_test_prom_lat histogram");
+  (* 3ns lands in the 4ns bucket; cumulative buckets then +Inf *)
+  Alcotest.(check bool) "cumulative bucket" true (has "coral_test_prom_lat_bucket{le=\"4e-09\"} 1");
+  Alcotest.(check bool) "inf bucket" true (has "coral_test_prom_lat_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool) "count line" true (has "coral_test_prom_lat_count 1");
+  let buf = Buffer.create 64 in
+  Obs.prometheus_sample buf ~kind:"gauge" "test.prom.unregistered" 42;
+  let sample = Buffer.contents buf in
+  Alcotest.(check bool) "sample TYPE" true
+    (String.starts_with ~prefix:"# TYPE coral_test_prom_unregistered gauge" sample)
+
+let () =
+  Alcotest.run "coral_obs"
+    [ ( "histogram",
+        [ Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "observe and reset" `Quick test_histogram_observe
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "idempotent registration" `Quick test_registry_idempotent;
+          Alcotest.test_case "kind collision" `Quick test_registry_kind_collision
+        ] );
+      ( "gating",
+        [ Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing ] );
+      ( "spans",
+        [ Alcotest.test_case "ring wraparound" `Quick test_span_ring_wraparound;
+          Alcotest.test_case "attrs and chrome JSON" `Quick test_span_attrs_and_json
+        ] );
+      ( "exporters",
+        [ Alcotest.test_case "prometheus text" `Quick test_prometheus_exposition ] )
+    ]

@@ -14,6 +14,18 @@ let paths_program =
    path(X, Y) :- edge(X, Z), path(Z, Y).\n\
    end_module.\n"
 
+(* Transitive closure with rewriting off: the rewritten program is the
+   source program (plus the base-facts bridge), so every per-rule
+   number in an [explain analyze] report can be computed by hand. *)
+let tcraw_program =
+  "edge(1, 2). edge(2, 3). edge(3, 4).\n\
+   module tcraw.\n\
+   export tc(ff).\n\
+   @no_rewriting.\n\
+   tc(X, Y) :- edge(X, Y).\n\
+   tc(X, Y) :- edge(X, Z), tc(Z, Y).\n\
+   end_module.\n"
+
 let nats_program =
   "module nats.\n\
    export nat(f).\n\
@@ -187,6 +199,152 @@ let test_plan_cache_over_wire () =
     "txt prepared: entries=1 hits=1 misses=2 invalidations=2" (stats_line c "prepared:");
   ignore (request c "quit");
   close c
+
+(* ------------------------------------------------------------------ *)
+(* explain analyze and the metrics exposition                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains needle hay =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let strip_txt l =
+  if String.starts_with ~prefix:"txt " l then String.sub l 4 (String.length l - 4) else l
+
+let test_explain_analyze_wire () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c ("consult " ^ flat tcraw_program) in
+  check_prefix "consult tcraw" "ok" status;
+  let lines, status = request c "explain analyze tc(X, Y)" in
+  check_prefix "explain analyze status" "ok" status;
+  let lines = List.map strip_txt lines in
+  (* pair each counts line with the rule text printed after it *)
+  let rec rule_counts = function
+    | counts :: rule :: rest when String.starts_with ~prefix:"  [" counts ->
+      (String.trim rule, String.trim counts) :: rule_counts rest
+    | _ :: rest -> rule_counts rest
+    | [] -> []
+  in
+  let rules = rule_counts lines in
+  Alcotest.(check int) "three rules (two source + base bridge)" 3 (List.length rules);
+  let counts_of rule =
+    match List.assoc_opt rule rules with
+    | Some c -> c
+    | None ->
+      Alcotest.fail
+        (Printf.sprintf "no profile for rule %S in: %s" rule (String.concat " | " lines))
+  in
+  (* hand computation on the chain 1-2-3-4: the exit rule fires once
+     per edge; the recursive rule derives (1,3), (2,4) from the round-1
+     delta and (1,4) from the round-2 delta; the bridge rule has no
+     base tc facts to pull *)
+  Alcotest.(check bool) "exit rule: 3 attempts, 3 derived" true
+    (contains "attempts=3 derived=3 dup=0" (counts_of "tc(X, Y) :- edge(X, Y)."));
+  Alcotest.(check bool) "recursive rule: 3 attempts, 3 derived" true
+    (contains "attempts=3 derived=3 dup=0" (counts_of "tc(X, Y) :- edge(X, Z), tc(Z, Y)."));
+  Alcotest.(check bool) "bridge rule: nothing derived" true
+    (contains "attempts=0 derived=0 dup=0" (counts_of "tc(B0, B1) :- tc@base(B0, B1)."));
+  (* semi-naive deltas: 3 exit-rule facts, then 2, then 1 *)
+  let steps =
+    match List.find_opt (fun l -> String.starts_with ~prefix:"steps:" l) lines with
+    | Some l -> l
+    | None -> Alcotest.fail "no steps line"
+  in
+  Alcotest.(check bool) "delta trail 3 2 1" true (contains "deltas: 0 0 0 0 3 2 1" steps);
+  (* the acceptance invariant: the per-rule derivation counts sum to
+     the engine's own insert accounting, computed independently *)
+  let derivations =
+    match List.find_opt (fun l -> String.starts_with ~prefix:"derivations:" l) lines with
+    | Some l -> l
+    | None -> Alcotest.fail "no derivations line"
+  in
+  let from_rules, from_engine =
+    Scanf.sscanf derivations "derivations: rules=%d engine=%d" (fun a b -> a, b)
+  in
+  Alcotest.(check int) "rule profiles sum to 6 derivations" 6 from_rules;
+  Alcotest.(check int) "engine accounting agrees" from_rules from_engine;
+  (match List.find_opt (fun l -> String.starts_with ~prefix:"answers:" l) lines with
+  | Some l -> check_prefix "answer count" "answers: 6 matching of 6 stored" l
+  | None -> Alcotest.fail "no answers line");
+  (* running it again must reset the profile, not accumulate: the plan
+     (and compiled module) is reused from the cache *)
+  let lines2, status = request c "explain analyze tc(X, Y)" in
+  check_prefix "second explain analyze" "ok" status;
+  let lines2 = List.map strip_txt lines2 in
+  let again =
+    match List.find_opt (fun l -> String.starts_with ~prefix:"derivations:" l) lines2 with
+    | Some l -> l
+    | None -> Alcotest.fail "no derivations line on rerun"
+  in
+  Alcotest.(check bool) "rerun re-counts from zero" true
+    (contains "rules=6 engine=6" again);
+  (* malformed queries come back as errors, not dead sessions *)
+  let _, status = request c "explain analyze" in
+  check_prefix "missing query" "err PROTO" status;
+  let _, status = request c "explain analyze tc(X, Y), tc(Y, Z)" in
+  check_prefix "conjunction rejected" "err EVAL" status;
+  ignore (request c "quit");
+  close c
+
+let test_metrics_wire () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c ("consult " ^ flat paths_program) in
+  check_prefix "consult" "ok" status;
+  let _, status = request c "query path(1, Y)" in
+  check_prefix "query" "ok" status;
+  let lines, status = request c "metrics" in
+  check_prefix "metrics status" "ok" status;
+  let text = String.concat "\n" (List.map strip_txt lines) in
+  Alcotest.(check bool) "request counter" true
+    (contains "# TYPE coral_server_requests counter" text);
+  Alcotest.(check bool) "request latency histogram" true
+    (contains "# TYPE coral_server_request_seconds histogram" text);
+  Alcotest.(check bool) "query latency histogram" true
+    (contains "# TYPE coral_server_query_seconds histogram" text);
+  Alcotest.(check bool) "engine counters ride along" true
+    (contains "coral_engine_derivations" text);
+  ignore (request c "quit");
+  close c
+
+(* The --metrics-port listener end to end: a plain HTTP GET gets a 200
+   text/plain reply whose body is the same Prometheus exposition. *)
+let test_metrics_http () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let mh =
+    Coral_server.Metrics_http.start ~port:0 (fun () ->
+        Session.metrics_text (Server.store srv))
+  in
+  Fun.protect ~finally:(fun () -> Coral_server.Metrics_http.stop mh) @@ fun () ->
+  let fetch path =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, Coral_server.Metrics_http.port mh));
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    output_string oc (Printf.sprintf "GET %s HTTP/1.0\r\nHost: test\r\n\r\n" path);
+    flush oc;
+    let buf = Buffer.create 1024 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Buffer.contents buf
+  in
+  let reply = fetch "/metrics" in
+  check_prefix "status line" "HTTP/1.0 200 OK" reply;
+  Alcotest.(check bool) "prometheus content type" true
+    (contains "Content-Type: text/plain; version=0.0.4" reply);
+  Alcotest.(check bool) "query latency histogram in body" true
+    (contains "# TYPE coral_server_query_seconds histogram" reply);
+  (* any path serves the same body; this is a scrape endpoint *)
+  check_prefix "root path too" "HTTP/1.0 200 OK" (fetch "/")
 
 (* ------------------------------------------------------------------ *)
 (* Deadlines                                                           *)
@@ -403,6 +561,9 @@ let () =
         [ Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
           Alcotest.test_case "plan cache (unit)" `Quick test_plan_cache_unit;
           Alcotest.test_case "plan cache (wire)" `Quick test_plan_cache_over_wire;
+          Alcotest.test_case "explain analyze (wire)" `Quick test_explain_analyze_wire;
+          Alcotest.test_case "metrics (wire)" `Quick test_metrics_wire;
+          Alcotest.test_case "metrics (http)" `Quick test_metrics_http;
           Alcotest.test_case "request deadline" `Quick test_deadline;
           Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
           Alcotest.test_case "oversized requests" `Quick test_oversized_requests;
