@@ -82,10 +82,20 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path =
+let has_experiment name = List.exists (fun r -> r.experiment = name) !records
+
+(* [experiment] restricts the emitted records to one experiment tag, so
+   a family of measurements (the parallel-speedup sweep) can get its own
+   JSON file next to BENCH_core.json. *)
+let write_json ?experiment path =
   let oc = open_out path in
   output_string oc "{\n  \"workloads\": [\n";
   let rows = List.rev !records in
+  let rows =
+    match experiment with
+    | None -> rows
+    | Some e -> List.filter (fun r -> r.experiment = e) rows
+  in
   List.iteri
     (fun i r ->
       output_string oc

@@ -677,10 +677,9 @@ let exp_backtracking () =
   let rows =
     List.map
       (fun (label, flag) ->
-        Coral.Engine.set_intelligent_backtracking flag;
         let db = build () in
+        Coral.Engine.set_intelligent_backtracking (Coral.engine db) flag;
         let t, answers, (_, _, scans) = measure (fun () -> query_count db "q(A, B, C, D)") in
-        Coral.Engine.set_intelligent_backtracking true;
         [ label; fmt_time t; string_of_int answers; fmt_int scans ])
       [ "backjumping (default)", true; "chronological backtracking", false ]
   in
@@ -722,6 +721,50 @@ let exp_sip () =
   table [ "workload"; "SIP"; "time"; "answers"; "scans" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* E18: parallel semi-naive evaluation (round-synchronous domains)     *)
+(* ------------------------------------------------------------------ *)
+
+let exp_parallel () =
+  header "E18 parallel: round-synchronous parallel semi-naive"
+    (Printf.sprintf
+       "Left-linear transitive closure of a dense random graph — the delta\n\
+        occurrence sits at body position 0, so each fixpoint round stripes\n\
+        the delta scan across a pool of OCaml 5 domains; per-domain\n\
+        derivation buffers are merged with hash-partitioned duplicate\n\
+        elimination at the round barrier.  Answers are identical to\n\
+        sequential evaluation; speedup tracks the machine's core count\n\
+        (this host reports %d)."
+       (Domain.recommended_domain_count ()));
+  let nodes = 150 and succ = 12 in
+  let st = Random.State.make [| 0xc0ffee |] in
+  let edges =
+    List.concat
+      (List.init nodes (fun i -> List.init succ (fun _ -> i, Random.State.int st nodes)))
+  in
+  let build workers =
+    let db = Workloads.fresh_db () in
+    Coral.set_workers db workers;
+    List.iter (fun (a, b) -> Coral.fact db "edge" [ Coral.int a; Coral.int b ]) edges;
+    Coral.consult_text db
+      "module tc.\nexport path(ff).\npath(X, Y) :- edge(X, Y).\npath(X, Y) :- path(X, Z), edge(Z, Y).\nend_module.";
+    db
+  in
+  let base = ref 0.0 in
+  let rows =
+    List.map
+      (fun w ->
+        let db = build w in
+        let t, answers, (ins, _, _) =
+          measure ~label:(Printf.sprintf "workers=%d" w) (fun () ->
+              query_count db "path(X, Y)")
+        in
+        if w = 1 then base := t;
+        [ string_of_int w; fmt_time t; Printf.sprintf "%.2fx" (!base /. t);
+          string_of_int answers; fmt_int ins
+        ])
+      [ 1; 2; 4 ]
+  in
+  table [ "workers"; "time"; "speedup"; "answers"; "facts" ] rows
 
 let experiments =
   [ "agg_selection", exp_agg_selection;
@@ -740,7 +783,8 @@ let experiments =
     "duplicates", exp_duplicates;
     "goal_id", exp_goal_id;
     "backtracking", exp_backtracking;
-    "sip", exp_sip
+    "sip", exp_sip;
+    "parallel", exp_parallel
   ]
 
 let () =
@@ -762,5 +806,9 @@ let () =
     print_endline "CORAL benchmark harness (see DESIGN.md section 3 / EXPERIMENTS.md)";
     List.iter (fun (_, f) -> f ()) selected;
     write_json "BENCH_core.json";
-    Printf.printf "\nwrote BENCH_core.json (%d measurements)\n" (List.length !records)
+    Printf.printf "\nwrote BENCH_core.json (%d measurements)\n" (List.length !records);
+    if has_experiment "E18 parallel" then begin
+      write_json ~experiment:"E18 parallel" "BENCH_parallel.json";
+      print_endline "wrote BENCH_parallel.json"
+    end
   end

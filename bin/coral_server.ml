@@ -10,6 +10,8 @@
                        requires --data; may be repeated)
      --metrics-port N  also serve Prometheus metrics over HTTP on
                        127.0.0.1:N (0 = ephemeral; off by default)
+     --workers N       parallel semi-naive evaluation on N domains
+                       (default: CORAL_WORKERS or 1 = sequential)
      --quiet           do not print the listening banner
 
    The given program files are consulted into the shared engine before
@@ -48,6 +50,7 @@ let () =
   let data_dir = ref "" in
   let persists = ref [] in
   let metrics_port = ref (-1) in
+  let workers = ref 0 in
   let quiet = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -82,6 +85,13 @@ let () =
         prerr_endline "coral_server: --metrics-port expects a port number";
         exit 2);
       parse_args rest
+    | "--workers" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> workers := n
+      | _ ->
+        prerr_endline "coral_server: --workers expects a worker count >= 1";
+        exit 2);
+      parse_args rest
     | "--quiet" :: rest ->
       quiet := true;
       parse_args rest
@@ -89,7 +99,7 @@ let () =
       print_string
         "usage: coral_server [--port N] [--host H] [--socket PATH] [--data DIR]\n\
         \                    [--persist name/arity[:col,col...]] [--metrics-port N]\n\
-        \                    [--quiet] [file.coral ...]\n";
+        \                    [--workers N] [--quiet] [file.coral ...]\n";
       exit 0
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "coral_server: unknown option %s\n" arg;
@@ -107,6 +117,8 @@ let () =
      latency histograms, per-phase timings, storage counters, spans. *)
   Coral_obs.Obs.set_enabled true;
   let db = Coral.create () in
+  (* 0 = not given on the command line; keep the CORAL_WORKERS default *)
+  if !workers > 0 then Coral.set_workers db !workers;
   let databases =
     if !data_dir = "" then []
     else begin

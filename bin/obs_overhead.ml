@@ -1,7 +1,8 @@
 (* Observability overhead gate: CI fails this PR if instrumentation
    slows the engine down measurably.
 
-   Usage: obs_overhead [--chain N] [--runs N] [--max-ratio R] [--trace-out FILE]
+   Usage: obs_overhead [--chain N] [--runs N] [--max-ratio R] [--workers N]
+                       [--trace-out FILE]
 
    The workload is full transitive closure of a chain — the fixpoint
    inner loop at its purest, so per-iteration span and profile hooks
@@ -22,8 +23,12 @@ let program =
    path(X, Y) :- edge(X, Z), path(Z, Y).\n\
    end_module.\n"
 
+(* 0 = use the CORAL_WORKERS / sequential default *)
+let workers = ref 0
+
 let run_once chain =
   let db = Coral.create () in
+  if !workers > 0 then Coral.set_workers db !workers;
   for i = 0 to chain - 1 do
     Coral.fact db "edge" [ Coral.int i; Coral.int (i + 1) ]
   done;
@@ -66,12 +71,15 @@ let () =
     | "--max-ratio" :: r :: rest ->
       max_ratio := float_of_string r;
       parse_args rest
+    | "--workers" :: n :: rest ->
+      workers := int_of_string n;
+      parse_args rest
     | "--trace-out" :: f :: rest ->
       trace_out := f;
       parse_args rest
     | arg :: _ ->
       Printf.eprintf
-        "usage: obs_overhead [--chain N] [--runs N] [--max-ratio R] [--trace-out FILE] (got %s)\n"
+        "usage: obs_overhead [--chain N] [--runs N] [--max-ratio R] [--workers N] [--trace-out FILE] (got %s)\n"
         arg;
       exit 2
   in

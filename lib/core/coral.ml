@@ -21,8 +21,10 @@ module Database = Coral_storage.Database
 
 type t = Engine.t
 
-let create ?builtins () = Engine.create ?builtins ()
+let create ?builtins ?workers () = Engine.create ?builtins ?workers ()
 let engine t = t
+let set_workers = Engine.set_workers
+let workers = Engine.workers
 
 let fact t name terms = ignore (Engine.add_fact t name terms)
 let facts t name rows = List.iter (fun row -> fact t name row) rows

@@ -56,8 +56,23 @@ type t
 (** A session: base relations, loaded modules, cached plans and
     save-module instances. *)
 
-val create : ?builtins:bool -> unit -> t
+val create : ?builtins:bool -> ?workers:int -> unit -> t
+(** [workers] (clamped to [1, 64], default: the [CORAL_WORKERS]
+    environment variable or 1) is the domain-pool width for parallel
+    semi-naive evaluation; see {!set_workers}. *)
+
 val engine : t -> Engine.t
+
+val set_workers : t -> int -> unit
+(** Set the parallel evaluation width for subsequent queries: each
+    semi-naive fixpoint round is striped across a shared pool of that
+    many OCaml domains, with derivations merged deterministically at
+    the round barrier — answers are identical to sequential
+    evaluation.  1 (the default) evaluates sequentially; modules using
+    Ordered Search, foreign predicates, or non-snapshot-safe relations
+    fall back to sequential evaluation automatically. *)
+
+val workers : t -> int
 
 (** {1 Building the database} *)
 
@@ -139,12 +154,14 @@ exception Cancelled
 (** Raised out of {!query}/{!call} when the check installed by
     {!with_cancel} fires mid-evaluation. *)
 
-val with_cancel : (unit -> bool) -> (unit -> 'a) -> 'a
-(** [with_cancel check f] evaluates [f ()] with cooperative
-    cancellation: evaluation polls [check] (at fixpoint round
+val with_cancel : t -> (unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_cancel db check f] evaluates [f ()] with cooperative
+    cancellation on [db]: evaluation polls [check] (at fixpoint round
     boundaries and, tick-based, inside long rounds) and raises
-    {!Cancelled} once it returns [true].  Nests; the previous check is
-    restored on exit. *)
+    {!Cancelled} once it returns [true].  Nests; the previous check
+    and its polling budget are restored on exit.  The check is scoped
+    to [db]: concurrent or interleaved evaluation on other sessions is
+    unaffected. *)
 
 val plan_cache_stats : t -> int * int
 (** [(hits, misses)] of the session's query-form plan cache. *)

@@ -73,7 +73,7 @@ let rec eval_term t env =
     let x = eval_term a.Term.args.(0) env and y = eval_term a.Term.args.(1) env in
     (match x, y with
     | Term.Const va, Term.Const vb -> Term.Const (arith_op a.Term.sym va vb)
-    | _ -> Term.App { Term.sym = a.Term.sym; args = [| x; y |]; hid = 0 })
+    | _ -> Term.App { Term.sym = a.Term.sym; args = [| x; y |]; hid = 0; gkey = 0 })
   | _ -> Unify.resolve t env
 
 let compare_terms op t1 e1 t2 e2 =

@@ -26,6 +26,11 @@ type t = {
   mutable call_depth : int;
   mutable plan_hits : int;  (* plan-cache requests answered from t.plans *)
   mutable plan_misses : int;  (* plan-cache requests that ran the optimizer *)
+  mutable cancel : (unit -> bool) option;
+      (* ambient cancellation check, installed into every fixpoint
+         instance this engine runs (including cached saved instances) *)
+  mutable workers : int;  (* domain-pool width for new fixpoint instances *)
+  mutable backjump : bool;  (* intelligent backtracking (bench ablation E16) *)
 }
 
 let base_relation t pred arity =
@@ -37,7 +42,14 @@ let base_relation t pred arity =
     Hashtbl.add t.base k rel;
     rel
 
-let create ?(builtins = true) () =
+(* CORAL_WORKERS sets the default parallel width for every engine in
+   the process (the --workers server flag overrides per database). *)
+let default_workers () =
+  match Sys.getenv_opt "CORAL_WORKERS" with
+  | Some s -> ( try max 1 (min 64 (int_of_string (String.trim s))) with _ -> 1)
+  | None -> 1
+
+let create ?(builtins = true) ?workers () =
   let t =
     { base = Hashtbl.create 64;
       foreigns = Hashtbl.create 16;
@@ -47,7 +59,10 @@ let create ?(builtins = true) () =
       user_rules = [];
       call_depth = 0;
       plan_hits = 0;
-      plan_misses = 0
+      plan_misses = 0;
+      cancel = None;
+      workers = (match workers with Some w -> max 1 (min 64 w) | None -> default_workers ());
+      backjump = true
     }
   in
   if builtins then
@@ -251,11 +266,13 @@ let rec call_module t (m : Ast.module_) pred args env : Tuple.t Seq.t =
           match Hashtbl.find_opt t.saved k with
           | Some inst -> inst
           | None ->
-            let inst = Fixpoint.create (compile t plan) in
+            let inst =
+              Fixpoint.create ~workers:t.workers ~backjump:t.backjump (compile t plan)
+            in
             Hashtbl.add t.saved k inst;
             inst
         end
-        else Fixpoint.create (compile t plan)
+        else Fixpoint.create ~workers:t.workers ~backjump:t.backjump (compile t plan)
       in
       (match plan.Optimizer.seed with
       | Some s ->
@@ -292,12 +309,16 @@ let rec call_module t (m : Ast.module_) pred args env : Tuple.t Seq.t =
 
 and protected_run t inst =
   t.call_depth <- t.call_depth + 1;
+  (* installed on every run, so cached save-module instances pick up
+     the current request's deadline (and drop the previous one's) *)
+  Fixpoint.set_cancel_check inst t.cancel;
   Fun.protect
     ~finally:(fun () -> t.call_depth <- t.call_depth - 1)
     (fun () -> Obs.Histogram.time h_eval (fun () -> Fixpoint.run inst))
 
 and protected_step t inst =
   t.call_depth <- t.call_depth + 1;
+  Fixpoint.set_cancel_check inst t.cancel;
   Fun.protect
     ~finally:(fun () -> t.call_depth <- t.call_depth - 1)
     (fun () -> Obs.Histogram.time h_eval (fun () -> Fixpoint.step inst))
@@ -326,6 +347,7 @@ and module_call_relation t (m : Ast.module_) pred arity =
       i_add_index = (fun _ -> ());
       i_indexes = (fun () -> []);
       i_scan = scan;
+      i_mem = (fun _ -> false);
       i_clear = (fun () -> ())
     }
 
@@ -348,6 +370,22 @@ and compile t (plan : Optimizer.plan) =
     end
   in
   Module_struct.compile ~resolve plan
+
+(* One tick cell per rulebase: pipelined resolution polls the engine's
+   ambient cancellation check every [Fixpoint.tick_interval] solved
+   atoms, mirroring the per-instance budgets of materialized
+   evaluation. *)
+and engine_tick t =
+  let budget = ref Fixpoint.tick_interval in
+  fun () ->
+    match t.cancel with
+    | None -> ()
+    | Some check ->
+      decr budget;
+      if !budget <= 0 then begin
+        budget := Fixpoint.tick_interval;
+        if check () then raise Fixpoint.Cancelled
+      end
 
 (* Pipelined modules resolve their body predicates the same way, except
    that predicates defined by the module's own rules resolve to those
@@ -376,7 +414,8 @@ and rulebase_of t (m : Ast.module_) =
             Some (module_call_relation t m' pred arity)
           | _ -> Hashtbl.find_opt t.base (key pred arity)
         end);
-    foreign_of = (fun pred arity -> foreign_of t pred arity)
+    foreign_of = (fun pred arity -> foreign_of t pred arity);
+    tick = engine_tick t
   }
 
 (* ------------------------------------------------------------------ *)
@@ -398,7 +437,8 @@ let top_rulebase t =
         match module_of_pred t pred arity with
         | Some m -> Some (module_call_relation t m pred arity)
         | None -> Some (base_relation t pred arity));
-    foreign_of = (fun pred arity -> foreign_of t pred arity)
+    foreign_of = (fun pred arity -> foreign_of t pred arity);
+    tick = engine_tick t
   }
 
 let query t (lits : Ast.literal list) =
@@ -738,7 +778,14 @@ let explain_analyze t src =
 
 exception Cancelled = Fixpoint.Cancelled
 
-let with_cancel_check = Fixpoint.with_cancel_check
+(* Scoped installation of the ambient check.  Nesting restores the
+   outer check on exit, and instance-side tick budgets are reset when
+   the check is (re)installed into them, so an inner scope can never
+   consume an outer scope's polling budget. *)
+let with_cancel_check t check f =
+  let prev = t.cancel in
+  t.cancel <- Some check;
+  Fun.protect ~finally:(fun () -> t.cancel <- prev) f
 
 let plan_cache_stats t = t.plan_hits, t.plan_misses
 
@@ -758,7 +805,24 @@ let list_relations t =
 
 let list_modules t = List.map (fun (m : Ast.module_) -> m.Ast.mname) t.modules
 
-let set_intelligent_backtracking flag = Joiner.intelligent_backtracking := flag
+(* Per-engine evaluation knobs.  Both are baked into fixpoint instances
+   at creation, so cached save-module instances are dropped: they would
+   otherwise keep the old setting (their derived state is recomputed on
+   demand, exactly as after [invalidate_plans]). *)
+let set_intelligent_backtracking t flag =
+  if t.backjump <> flag then begin
+    t.backjump <- flag;
+    Hashtbl.reset t.saved
+  end
+
+let set_workers t n =
+  let n = max 1 (min 64 n) in
+  if t.workers <> n then begin
+    t.workers <- n;
+    Hashtbl.reset t.saved
+  end
+
+let workers t = t.workers
 
 let pp_stats ppf t =
   Format.fprintf ppf "@[<v>base relations:@,";

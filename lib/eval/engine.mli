@@ -26,9 +26,12 @@ type t
 
 exception Engine_error of string
 
-val create : ?builtins:bool -> unit -> t
+val create : ?builtins:bool -> ?workers:int -> unit -> t
 (** A fresh engine; [builtins] (default true) preloads the stock
-    foreign predicates (append, member, ...). *)
+    foreign predicates (append, member, ...).  [workers] (clamped to
+    [1, 64]) is the domain-pool width for parallel semi-naive
+    evaluation; it defaults to the [CORAL_WORKERS] environment variable
+    or 1 (sequential).  See {!set_workers}. *)
 
 (** {1 Extending the database} *)
 
@@ -115,10 +118,13 @@ exception Cancelled
 (** Re-export of {!Fixpoint.Cancelled}: raised out of evaluation when
     an installed cancel check fires. *)
 
-val with_cancel_check : (unit -> bool) -> (unit -> 'a) -> 'a
-(** Run a computation with a cancellation check installed; fixpoint
-    rounds, derivation attempts and pipelined resolution steps poll it
-    (tick-based) and raise {!Cancelled} once it returns [true]. *)
+val with_cancel_check : t -> (unit -> bool) -> (unit -> 'a) -> 'a
+(** Run a computation with a cancellation check installed on this
+    engine; fixpoint rounds, derivation attempts and pipelined
+    resolution steps poll it (tick-based) and raise {!Cancelled} once
+    it returns [true].  The check is per-engine ambient state: scopes
+    nest (the outer check is restored on exit, along with its polling
+    budget), and evaluation on a different engine is unaffected. *)
 
 val plan_cache_stats : t -> int * int
 (** [(hits, misses)] of the engine's plan cache: how many query-form
@@ -137,7 +143,18 @@ val list_relations : t -> (string * int) list
 
 val list_modules : t -> string list
 
-val set_intelligent_backtracking : bool -> unit
-(** Benchmark ablation: toggle the joiner's backjumping globally. *)
+val set_intelligent_backtracking : t -> bool -> unit
+(** Benchmark ablation (E16): toggle the joiner's backjumping for this
+    engine's subsequent fixpoint instances.  Cached save-module
+    instances are dropped so the setting takes effect immediately. *)
+
+val set_workers : t -> int -> unit
+(** Set the domain-pool width (clamped to [1, 64]) used by subsequent
+    fixpoint instances; 1 means sequential evaluation.  Cached
+    save-module instances are dropped so the setting takes effect
+    immediately.  Widths above 1 share a process-global domain pool
+    per width. *)
+
+val workers : t -> int
 
 val pp_stats : Format.formatter -> t -> unit

@@ -11,37 +11,12 @@ exception Not_modularly_stratified of string
 
 exception Cancelled
 
-(* The installed check is global: evaluation against a shared engine is
-   serialized by the callers that install checks (the server runs one
-   request at a time against its store), so a single slot suffices. *)
-let cancel_check : (unit -> bool) option ref = ref None
+(* The check is installed per fixpoint instance (see [set_cancel_check]
+   below): two instances evaluating in an interleaved fashion — lazy
+   evaluation, nested module calls — each poll their own check with
+   their own tick budget, so one instance's deadline never leaks into
+   another's evaluation. *)
 let tick_interval = 2048
-let tick_budget = ref tick_interval
-
-(* Polled at round boundaries: always consults the check. *)
-let poll () =
-  match !cancel_check with
-  | Some check when check () -> raise Cancelled
-  | _ -> ()
-
-(* Counted per derivation attempt: consults the check (typically a
-   clock read) only every [tick_interval] ticks, so the overhead inside
-   a large round stays negligible. *)
-let tick () =
-  match !cancel_check with
-  | None -> ()
-  | Some check ->
-    decr tick_budget;
-    if !tick_budget <= 0 then begin
-      tick_budget := tick_interval;
-      if check () then raise Cancelled
-    end
-
-let with_cancel_check check f =
-  let prev = !cancel_check in
-  cancel_check := Some check;
-  tick_budget := tick_interval;
-  Fun.protect ~finally:(fun () -> cancel_check := prev) f
 
 (* ------------------------------------------------------------------ *)
 (* Ordered-Search context                                             *)
@@ -78,12 +53,40 @@ type t = {
   done_slot : int array;  (* per slot: done relation slot or -1 *)
   mutable answer_cursor : int;
   mutable seeds : Tuple.t list;  (* every seed ever added (for re-opens) *)
+  mutable cancel : (unit -> bool) option;  (* cooperative cancellation check *)
+  mutable budget : int;  (* ticks until the next cancel consult *)
+  pool : Par_pool.t option;  (* shared domain pool when workers > 1 *)
+  backjump : bool;  (* intelligent backtracking (bench ablation E16) *)
+  par : bool;  (* module passed the parallel-safety gate *)
   trace : bool;
   prov : (int, (Tuple.t * int * string * (int * Tuple.t) list) list ref) Hashtbl.t;
       (* head tuple hash -> (tuple, head slot, rule text,
          (body relation slot, witness tuple) list): first derivation of
          each fact, for the explanation tool *)
 }
+
+let set_cancel_check t check =
+  t.cancel <- check;
+  t.budget <- tick_interval
+
+(* Polled at round boundaries: always consults the check. *)
+let poll t =
+  match t.cancel with
+  | Some check when check () -> raise Cancelled
+  | _ -> ()
+
+(* Counted per derivation attempt: consults the check (typically a
+   clock read) only every [tick_interval] ticks, so the overhead inside
+   a large round stays negligible. *)
+let tick t =
+  match t.cancel with
+  | None -> ()
+  | Some check ->
+    t.budget <- t.budget - 1;
+    if t.budget <= 0 then begin
+      t.budget <- tick_interval;
+      if check () then raise Cancelled
+    end
 
 let total_inserts t =
   let sum = ref t.extra_inserts in
@@ -137,7 +140,27 @@ let offer_goal t slot (tuple : Tuple.t) =
     parent.gdeps <- g :: parent.gdeps
   | _ -> ()
 
-let create ?(trace = false) ?(profile = false) (ms : Module_struct.t) =
+(* Parallel-safety gate: a semi-naive version may run striped across
+   domains only when every relation it reads supports concurrent
+   snapshot scans and its head insertions are plain deduplicated
+   inserts (no admission hook, no multiset, no foreign predicates whose
+   solvers may carry hidden state).  Profiled/traced runs mutate shared
+   per-rule records on match, so they stay sequential. *)
+let par_safe_version ms ((rule : crule), _) =
+  let head = ms.Module_struct.rels.(rule.head_slot) in
+  head.Relation.scan_safe
+  && Option.is_none head.Relation.admit
+  && (not head.Relation.multiset)
+  && Array.for_all
+       (function
+         | Scan { slot; _ } | Negcheck { slot; _ } ->
+           ms.Module_struct.rels.(slot).Relation.scan_safe
+         | Compare _ | Assign _ -> true
+         | Foreign _ | Negforeign _ -> false)
+       rule.body
+
+let create ?(trace = false) ?(profile = false) ?(workers = 1) ?(backjump = true)
+    (ms : Module_struct.t) =
   let nslots = Array.length ms.rels in
   let os = ms.plan.Coral_rewrite.Optimizer.ordered_search in
   let monotonic =
@@ -164,6 +187,14 @@ let create ?(trace = false) ?(profile = false) (ms : Module_struct.t) =
   (* compiled modules are cached and reused across queries, so a
      profiled run starts from clean per-rule counters *)
   if profile then List.iter (fun (c : crule) -> reset_prof c.prof) (Module_struct.all_rules ms);
+  let pool = if workers > 1 then Par_pool.shared ~workers else None in
+  let par =
+    Option.is_some pool && (not os) && (not trace) && (not profile)
+    && ms.plan.Coral_rewrite.Optimizer.fixpoint = Ast.Basic_seminaive
+    && Array.for_all
+         (fun stratum -> List.for_all (par_safe_version ms) stratum.versions)
+         ms.strata
+  in
   let t =
     { ms;
       mode = ms.plan.Coral_rewrite.Optimizer.fixpoint;
@@ -185,6 +216,11 @@ let create ?(trace = false) ?(profile = false) (ms : Module_struct.t) =
       done_slot;
       answer_cursor = 0;
       seeds = [];
+      cancel = None;
+      budget = tick_interval;
+      pool;
+      backjump;
+      par;
       trace;
       prov = Hashtbl.create (if trace then 256 else 1)
     }
@@ -253,8 +289,9 @@ let apply_rule t range (rule : crule) =
     (fun () ->
       if t.trace || os_magic_head then begin
         let witness = ref [] in
-        Joiner.run ~rels:t.ms.rels ~range ~witness ?prof rule ~on_match:(fun env ->
-            tick ();
+        Joiner.run ~rels:t.ms.rels ~range ~backjump:t.backjump ~witness ?prof rule
+          ~on_match:(fun env ->
+            tick t;
             let tuple = Joiner.head_tuple rule env in
             if os_magic_head then begin
               t.cur_generator <-
@@ -272,8 +309,9 @@ let apply_rule t range (rule : crule) =
             if inserted && t.trace then record_prov t rule tuple !witness)
       end
       else
-        Joiner.run ~rels:t.ms.rels ~range ?prof rule ~on_match:(fun env ->
-            tick ();
+        Joiner.run ~rels:t.ms.rels ~range ~backjump:t.backjump ?prof rule
+          ~on_match:(fun env ->
+            tick t;
             note_insert t rule
               (Relation.insert t.ms.rels.(rule.head_slot) (Joiner.head_tuple rule env))));
   if t.profile then
@@ -292,7 +330,8 @@ let eval_agg_rule t (rule : crule) =
   in
   if t.trace then begin
     let witness = ref [] in
-    Joiner.run ~rels:t.ms.rels ~range:full_range ~witness ?prof rule ~on_match:(fun env ->
+    Joiner.run ~rels:t.ms.rels ~range:full_range ~backjump:t.backjump ~witness ?prof rule
+      ~on_match:(fun env ->
         let row = Joiner.head_row rule env in
         rows := row :: !rows;
         let key = key_of row in
@@ -302,8 +341,9 @@ let eval_agg_rule t (rule : crule) =
         Term.ArrayTbl.replace group_witnesses key (!witness @ prev))
   end
   else
-    Joiner.run ~rels:t.ms.rels ~range:full_range ?prof rule ~on_match:(fun env ->
-        tick ();
+    Joiner.run ~rels:t.ms.rels ~range:full_range ~backjump:t.backjump ?prof rule
+      ~on_match:(fun env ->
+        tick t;
         rows := Joiner.head_row rule env :: !rows);
   let grouped =
     Aggregates.group ~plain_positions:rule.plain_positions ~agg_positions:rule.agg_positions
@@ -330,29 +370,188 @@ let slot_of_op (rule : crule) i =
   | Scan { slot; _ } -> slot
   | Negcheck _ | Foreign _ | Negforeign _ | Compare _ | Assign _ -> assert false
 
+(* Semi-naive mark interval for one version against a common round
+   snapshot: the delta op reads [cursor, snapshot), earlier ops read
+   everything up to the snapshot, later ops everything up to their own
+   cursor — the standard triangular decomposition. *)
+let bsn_range (rule : crule) d msnap ~op_index ~slot ~local =
+  if not local then 0, -1
+  else if op_index = d then rule.cursors.(d), msnap.(slot)
+  else if op_index < d then 0, msnap.(slot)
+  else 0, rule.cursors.(op_index)
+
+let mark_snapshot t =
+  Array.mapi (fun s rel -> if t.ms.local.(s) then Relation.mark rel else -1) t.ms.rels
+
 (* One BSN round over the given semi-naive versions: seal all local
    relations, run every version against the common mark snapshot, then
    advance the consumed cursors. *)
-let round_bsn t versions =
-  t.nrounds <- t.nrounds + 1;
-  let msnap =
-    Array.mapi
-      (fun s rel -> if t.ms.local.(s) then Relation.mark rel else -1)
-      t.ms.rels
-  in
+let round_bsn_seq t versions =
+  let msnap = mark_snapshot t in
   List.iter
-    (fun ((rule : crule), d) ->
-      let range ~op_index ~slot ~local =
-        if not local then 0, -1
-        else if op_index = d then rule.cursors.(d), msnap.(slot)
-        else if op_index < d then 0, msnap.(slot)
-        else 0, rule.cursors.(op_index)
-      in
-      apply_rule t range rule)
+    (fun ((rule : crule), d) -> apply_rule t (bsn_range rule d msnap) rule)
     versions;
   List.iter
     (fun ((rule : crule), d) -> rule.cursors.(d) <- msnap.(slot_of_op rule d))
     versions
+
+(* ------------------------------------------------------------------ *)
+(* Round-synchronous parallel BSN round (DESIGN.md section 9)          *)
+(* ------------------------------------------------------------------ *)
+
+let m_par_rounds = Coral_obs.Obs.counter "eval.parallel.rounds"
+let m_par_fallback = Coral_obs.Obs.counter "eval.parallel.fallback_rounds"
+let m_par_tasks = Coral_obs.Obs.counter "eval.parallel.tasks"
+let m_par_merged = Coral_obs.Obs.counter "eval.parallel.merged"
+let m_par_dups = Coral_obs.Obs.counter "eval.parallel.duplicates"
+let m_par_workers = Coral_obs.Obs.gauge "eval.parallel.workers"
+
+(* Three phases, with a barrier after each:
+
+   1. Apply: tasks = versions x lanes.  Each task runs one rule version
+      against the same mark snapshot a sequential round would use, but
+      over a disjoint stripe of the version's delta scan, buffering
+      head tuples privately — no relation is mutated while any domain
+      is scanning, which is what makes the concurrent scans safe.
+   2. Dedup (parallel, hash-partitioned): partition [p] owns the
+      buffered tuples with [hash mod lanes = p] and drops those already
+      stored ([Relation.mem], read-only) or already produced at an
+      earlier deterministic position (task-major order) of the same
+      partition.  Equal tuples hash equally, so they always land in the
+      same partition and exact duplicates are eliminated here.
+   3. Insert (sequential, task-major order): survivors go through the
+      ordinary [Relation.insert], which re-checks duplicates — catching
+      the residual cross-partition case (non-ground subsumption between
+      tuples with different hashes) — and keeps insert order, and hence
+      relation contents, deterministic.
+
+   Cursors advance only after phase 3, so the next round's delta is
+   exactly this round's new facts: the semi-naive marks mean the same
+   thing they mean in a sequential round. *)
+let round_bsn_par t pool versions =
+  let lanes = Par_pool.workers pool in
+  let varr = Array.of_list versions in
+  let nver = Array.length varr in
+  let nslots = Array.length t.ms.rels in
+  let msnap = mark_snapshot t in
+  let ntasks = nver * lanes in
+  let buffers = Array.make ntasks [||] in
+  let counts = Array.init ntasks (fun _ -> Array.make nslots 0) in
+  let lane_before = Array.init lanes (Par_pool.lane_tasks pool) in
+  let apply ~lane:_ ~task =
+    let rule, d = varr.(task / lanes) in
+    let stripe_lane = task mod lanes in
+    let buf = ref [] in
+    (* task-local cancellation budget: workers poll the instance's
+       check without sharing a countdown cell *)
+    let budget = ref tick_interval in
+    Joiner.run ~rels:t.ms.rels ~range:(bsn_range rule d msnap) ~backjump:t.backjump
+      ~stripe:(d, stripe_lane, lanes) ~scan_counts:counts.(task) rule
+      ~on_match:(fun env ->
+        (match t.cancel with
+        | None -> ()
+        | Some check ->
+          decr budget;
+          if !budget <= 0 then begin
+            budget := tick_interval;
+            if check () then raise Cancelled
+          end);
+        buf := Joiner.head_tuple rule env :: !buf);
+    buffers.(task) <- Array.of_list (List.rev !buf)
+  in
+  Par_pool.run_or_seq pool ~ntasks apply;
+  (* Phase 2 *)
+  let keep = Array.map (fun b -> Array.make (Array.length b) true) buffers in
+  let drops = Array.init lanes (fun _ -> Array.make nslots 0) in
+  let dedup ~lane:_ ~task:p =
+    let seen : (int, (int * Tuple.t) list ref) Hashtbl.t = Hashtbl.create 64 in
+    for task = 0 to ntasks - 1 do
+      let rule, _ = varr.(task / lanes) in
+      let slot = rule.head_slot in
+      let rel = t.ms.rels.(slot) in
+      let buf = buffers.(task) in
+      for i = 0 to Array.length buf - 1 do
+        let tuple = buf.(i) in
+        let h = tuple.Tuple.hash land max_int in
+        if h mod lanes = p then begin
+          let dup =
+            Relation.mem rel tuple
+            ||
+            match Hashtbl.find_opt seen h with
+            | Some bucket ->
+              List.exists (fun (s, ex) -> s = slot && Tuple.equal ex tuple) !bucket
+            | None -> false
+          in
+          if dup then begin
+            keep.(task).(i) <- false;
+            drops.(p).(slot) <- drops.(p).(slot) + 1
+          end
+          else begin
+            match Hashtbl.find_opt seen h with
+            | Some bucket -> bucket := (slot, tuple) :: !bucket
+            | None -> Hashtbl.add seen h (ref [ slot, tuple ])
+          end
+        end
+      done
+    done
+  in
+  Par_pool.run_or_seq pool ~ntasks:lanes dedup;
+  (* Phase 3 *)
+  let merged = ref 0 in
+  for task = 0 to ntasks - 1 do
+    let rule, _ = varr.(task / lanes) in
+    let rel = t.ms.rels.(rule.head_slot) in
+    let buf = buffers.(task) in
+    for i = 0 to Array.length buf - 1 do
+      if keep.(task).(i) && Relation.insert rel buf.(i) then incr merged
+    done
+  done;
+  (* flush worker-side stats so counters match a sequential run's
+     accounting discipline (scans opened, duplicates rejected) *)
+  for task = 0 to ntasks - 1 do
+    let c = counts.(task) in
+    for s = 0 to nslots - 1 do
+      if c.(s) > 0 then Relation.note_scans t.ms.rels.(s) c.(s)
+    done
+  done;
+  let dropped = ref 0 in
+  for p = 0 to lanes - 1 do
+    for s = 0 to nslots - 1 do
+      if drops.(p).(s) > 0 then begin
+        Relation.note_duplicates t.ms.rels.(s) drops.(p).(s);
+        dropped := !dropped + drops.(p).(s)
+      end
+    done
+  done;
+  List.iter
+    (fun ((rule : crule), d) -> rule.cursors.(d) <- msnap.(slot_of_op rule d))
+    versions;
+  let open Coral_obs in
+  Obs.Counter.incr m_par_rounds;
+  Obs.Counter.add m_par_tasks ntasks;
+  Obs.Counter.add m_par_merged !merged;
+  Obs.Counter.add m_par_dups !dropped;
+  Obs.Gauge.set m_par_workers lanes;
+  for lane = 0 to lanes - 1 do
+    let delta = Par_pool.lane_tasks pool lane - lane_before.(lane) in
+    if delta > 0 then
+      Obs.Counter.add
+        (Obs.counter (Printf.sprintf "eval.parallel.worker.%d.tasks" lane))
+        delta
+  done
+
+let round_bsn t versions =
+  t.nrounds <- t.nrounds + 1;
+  if t.par && versions <> [] then begin
+    match t.pool with
+    | Some pool when not (Par_pool.busy pool) -> round_bsn_par t pool versions
+    | Some _ | None ->
+      (* pool in use by an enclosing evaluation (nested module call) or
+         dead: the round still completes, sequentially *)
+      Coral_obs.Obs.Counter.incr m_par_fallback;
+      round_bsn_seq t versions
+  end
+  else round_bsn_seq t versions
 
 (* One PSN round: rule-at-a-time deltas — each version seals its delta
    relation just before running and consumes up to that point; facts
@@ -504,7 +703,7 @@ let context_action t =
 let nstrata t = Array.length t.ms.strata
 
 let step_inner t =
-  poll ();
+  poll t;
   if t.complete then false
   else if t.os then begin
     (* single phase: all strata active, context drives ordering *)

@@ -52,25 +52,40 @@ type t
 
 exception Cancelled
 
-val with_cancel_check : (unit -> bool) -> (unit -> 'a) -> 'a
-(** [with_cancel_check check f] runs [f] with [check] installed
-    (restoring the previous check afterwards); any fixpoint work in
-    [f] raises {!Cancelled} once [check] returns [true]. *)
+val set_cancel_check : t -> (unit -> bool) option -> unit
+(** Install (or clear) this instance's cancellation check and reset its
+    tick budget.  The check and budget are per-instance state: two
+    interleaved evaluations (lazy cursors, nested module calls) each
+    poll their own check, so one instance's deadline never cancels
+    another's work. *)
 
-val tick : unit -> unit
-(** Count one unit of evaluation work against the installed check
-    (exposed so other evaluation loops — the top-level pipeline, host
-    callbacks — can participate in cancellation). *)
+val tick : t -> unit
+(** Count one unit of evaluation work against this instance's check. *)
 
 val tick_interval : int
 
-val create : ?trace:bool -> ?profile:bool -> Module_struct.t -> t
+val create :
+  ?trace:bool -> ?profile:bool -> ?workers:int -> ?backjump:bool -> Module_struct.t -> t
 (** [trace] (default false) records, for the first derivation of every
     fact, the rule applied and the body tuples it joined — the raw
     material of the explanation tool (see {!provenance}).  [profile]
     (default false) resets and then fills the per-rule {!
     Module_struct.rule_prof} counters and per-step deltas — the raw
-    material of explain analyze. *)
+    material of explain analyze.
+
+    [workers] (default 1) asks for round-synchronous parallel
+    evaluation on the shared domain pool of that width: each semi-naive
+    round stripes every rule version's delta scan across the pool's
+    lanes, buffers derivations privately, and merges them at the round
+    barrier with hash-partitioned duplicate elimination — producing
+    exactly the relation contents of a sequential round.  Modules that
+    fail the parallel-safety gate (Ordered Search, foreign predicates,
+    admission hooks, multiset heads, relations without snapshot-safe
+    scans, profiled or traced runs, non-BSN fixpoint modes) evaluate
+    sequentially regardless of [workers].
+
+    [backjump] (default true) is the intelligent-backtracking ablation
+    knob, threaded through to the joiner (bench E16). *)
 
 val add_seed : t -> Term.t array -> bool
 (** Insert a magic seed tuple (the query's bound constants); returns

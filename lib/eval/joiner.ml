@@ -10,12 +10,8 @@ open Module_struct
    [i]). *)
 let continue_code = max_int
 
-(* Ablation knob (bench E16): with intelligent backtracking off, a
-   failed literal backtracks to its immediate predecessor instead of
-   jumping to the precomputed point. *)
-let intelligent_backtracking = ref true
-
-let run ~rels ~range ?witness ?prof (rule : crule) ~on_match =
+let run ~rels ~range ?(backjump = true) ?stripe ?scan_counts ?witness ?prof (rule : crule)
+    ~on_match =
   let n = Array.length rule.body in
   let env = Bindenv.create (max rule.nvars 1) in
   let tr = Trail.create () in
@@ -23,7 +19,32 @@ let run ~rels ~range ?witness ?prof (rule : crule) ~on_match =
      at body position i on the current search path *)
   let chosen = match witness with Some _ -> Array.make n None | None -> [||] in
   let record i tuple = if witness <> None then chosen.(i) <- Some tuple in
-  let backtrack i = if !intelligent_backtracking then rule.backtrack.(i) else i - 1 in
+  let backtrack i = if backjump then rule.backtrack.(i) else i - 1 in
+  (* Parallel workers count scans into a task-local array (flushed into
+     relation stats at the merge barrier) instead of touching the
+     unsynchronized counters. *)
+  let do_scan slot ?(from_mark = 0) ?(to_mark = -1) ~pattern () =
+    match scan_counts with
+    | None -> Relation.scan rels.(slot) ~from_mark ~to_mark ~pattern ()
+    | Some counts ->
+      counts.(slot) <- counts.(slot) + 1;
+      Relation.scan_quiet rels.(slot) ~from_mark ~to_mark ~pattern ()
+  in
+  (* Striping: lane [l] of [lanes] keeps every [lanes]-th tuple of the
+     designated op's candidate stream.  The ordinal counter is fresh per
+     scan opening, so for any fixed outer binding the lanes partition
+     that opening's (deterministic) stream exactly. *)
+  let apply_stripe i candidates =
+    match stripe with
+    | Some (op, lane, lanes) when op = i ->
+      let ord = ref (-1) in
+      Seq.filter
+        (fun _ ->
+          incr ord;
+          !ord mod lanes = lane)
+        candidates
+    | _ -> candidates
+  in
   let note_tuple () =
     match prof with
     | Some (p : rule_prof) -> p.rp_tuples <- p.rp_tuples + 1
@@ -51,7 +72,7 @@ let run ~rels ~range ?witness ?prof (rule : crule) ~on_match =
         if from_mark = to_mark && to_mark >= 0 then backtrack i
         else begin
           let candidates =
-            Relation.scan rels.(slot) ~from_mark ~to_mark ~pattern:(args, env) ()
+            apply_stripe i (do_scan slot ~from_mark ~to_mark ~pattern:(args, env) ())
           in
           enumerate i args candidates false
         end
@@ -59,7 +80,7 @@ let run ~rels ~range ?witness ?prof (rule : crule) ~on_match =
         let answers = f.Builtin.fsolve args env in
         enumerate_rows i args answers false
       | Negcheck { slot; args } ->
-        let candidates = Relation.scan rels.(slot) ~pattern:(args, env) () in
+        let candidates = do_scan slot ~pattern:(args, env) () in
         if matches_any args candidates then backtrack i else eval (i + 1)
       | Negforeign { f; args } ->
         let answers = f.Builtin.fsolve args env in

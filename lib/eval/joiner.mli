@@ -12,15 +12,12 @@
 open Coral_term
 open Coral_rel
 
-val intelligent_backtracking : bool ref
-(** Benchmark ablation knob (default true): when false, a literal with
-    no matching tuples backtracks to its immediate predecessor instead
-    of jumping to the precomputed backtrack point (paper section 4.2's
-    "intelligent backtracking" refinement). *)
-
 val run :
   rels:Relation.t array ->
   range:(op_index:int -> slot:int -> local:bool -> int * int) ->
+  ?backjump:bool ->
+  ?stripe:int * int * int ->
+  ?scan_counts:int array ->
   ?witness:(int * Tuple.t) list ref ->
   ?prof:Module_struct.rule_prof ->
   Module_struct.crule ->
@@ -34,6 +31,18 @@ val run :
     (in body order) — the raw material of the explanation tool.  When
     [prof] is supplied, body matches and enumerated candidate tuples
     are counted into it.
+
+    [backjump] (default true) is the intelligent-backtracking knob
+    (paper section 4.2): when false, a literal with no matching tuples
+    backtracks to its immediate predecessor instead of jumping to the
+    precomputed backtrack point (bench ablation E16).
+
+    [stripe = (op_index, lane, lanes)] makes this invocation process
+    only every [lanes]-th candidate tuple (offset [lane]) of the scan
+    at [op_index]: the parallel evaluator runs the same rule on every
+    lane with disjoint stripes of the delta scan.  [scan_counts], when
+    supplied, receives per-slot scan counts instead of the shared
+    relation stats (parallel workers must not touch those).
     @raise Builtin.Eval_error on arithmetic/comparison misuse. *)
 
 val head_tuple : Module_struct.crule -> Bindenv.t -> Tuple.t

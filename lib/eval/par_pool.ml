@@ -1,0 +1,181 @@
+(* A reusable pool of OCaml 5 domains for round-synchronous parallel
+   evaluation.  Pools are process-global and keyed by worker count:
+   domains are a scarce resource (the runtime caps how many may be live
+   at once), so every engine asking for the same width shares one pool
+   instead of spawning its own.  A pool that is busy simply refuses the
+   round ([try_run] returns false) and the caller runs sequentially —
+   nested or concurrent fixpoints never deadlock on the pool.
+
+   Dispatch is generation-based: the owner publishes a job under the
+   mutex, bumps the generation, and broadcasts; each parked domain wakes,
+   runs tasks pulled from a shared atomic counter, and reports in.  The
+   owner itself works as lane 0, so a pool of [workers] lanes spawns
+   [workers - 1] domains. *)
+
+type job = {
+  ntasks : int;
+  run : lane:int -> task:int -> unit;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  pending : int ref;  (* domains still to report in (owner's lock) *)
+  mutable failure : exn option;  (* first exception wins *)
+}
+
+type t = {
+  workers : int;
+  lock : Mutex.t;
+  wake : Condition.t;  (* owner -> workers: new generation *)
+  done_ : Condition.t;  (* workers -> owner: all reported in *)
+  mutable generation : int;
+  mutable job : job option;
+  mutable stop : bool;
+  mutable alive : bool;
+  mutable busy : bool;  (* owner-side reentrancy guard *)
+  mutable domains : unit Domain.t list;
+  lane_tasks : int array;  (* tasks executed per lane, for metrics *)
+}
+
+let run_tasks t job ~lane =
+  let rec loop () =
+    let task = Atomic.fetch_and_add job.next 1 in
+    if task < job.ntasks then begin
+      (try job.run ~lane ~task
+       with e ->
+         Mutex.lock t.lock;
+         if job.failure = None then job.failure <- Some e;
+         Mutex.unlock t.lock);
+      t.lane_tasks.(lane) <- t.lane_tasks.(lane) + 1;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_loop t lane =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.lock;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.wake t.lock
+    done;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.lock;
+      run_tasks t job ~lane;
+      Mutex.lock t.lock;
+      decr job.pending;
+      if !(job.pending) = 0 then Condition.broadcast t.done_;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers =
+  let workers = max 1 workers in
+  let t =
+    { workers;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      done_ = Condition.create ();
+      generation = 0;
+      job = None;
+      stop = false;
+      alive = true;
+      busy = false;
+      domains = [];
+      lane_tasks = Array.make workers 0
+    }
+  in
+  (try
+     t.domains <-
+       List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)))
+   with _ ->
+     (* Domain limit reached: mark the pool dead; callers fall back to
+        sequential evaluation. *)
+     t.stop <- true;
+     t.alive <- false);
+  t
+
+let shutdown t =
+  if t.alive then begin
+    Mutex.lock t.lock;
+    t.stop <- true;
+    t.alive <- false;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let workers t = t.workers
+let alive t = t.alive
+let busy t = t.busy || not t.alive
+let lane_tasks t lane = t.lane_tasks.(lane)
+
+let try_run t ~ntasks f =
+  if t.busy || (not t.alive) || ntasks <= 0 then false
+  else begin
+    t.busy <- true;
+    let job =
+      { ntasks; run = f; next = Atomic.make 0; pending = ref (t.workers - 1); failure = None }
+    in
+    Mutex.lock t.lock;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    (* The owner works as lane 0 rather than blocking idle. *)
+    run_tasks t job ~lane:0;
+    Mutex.lock t.lock;
+    while !(job.pending) > 0 do
+      Condition.wait t.done_ t.lock
+    done;
+    t.job <- None;
+    Mutex.unlock t.lock;
+    t.busy <- false;
+    match job.failure with
+    | Some e -> raise e
+    | None -> true
+  end
+
+let run_or_seq t ~ntasks f =
+  if not (try_run t ~ntasks f) then
+    for task = 0 to ntasks - 1 do
+      f ~lane:0 ~task
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Shared pools                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let pools_lock = Mutex.create ()
+let exit_registered = ref false
+
+let shared ~workers =
+  if workers <= 1 then None
+  else begin
+    Mutex.lock pools_lock;
+    let pool =
+      match Hashtbl.find_opt pools workers with
+      | Some p when alive p -> p
+      | _ ->
+        let p = create ~workers in
+        Hashtbl.replace pools workers p;
+        if not !exit_registered then begin
+          exit_registered := true;
+          (* Parked domains would otherwise keep the process from
+             exiting cleanly. *)
+          at_exit (fun () ->
+              Mutex.lock pools_lock;
+              let all = Hashtbl.fold (fun _ p acc -> p :: acc) pools [] in
+              Hashtbl.reset pools;
+              Mutex.unlock pools_lock;
+              List.iter shutdown all)
+        end;
+        p
+    in
+    Mutex.unlock pools_lock;
+    if alive pool then Some pool else None
+  end

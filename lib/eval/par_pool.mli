@@ -1,0 +1,48 @@
+(** A reusable pool of OCaml 5 domains for round-synchronous parallel
+    evaluation.
+
+    Pools are process-global and shared by worker count ({!shared}):
+    domains are capped by the runtime, so many engines at the same width
+    reuse one pool.  Work is submitted as a batch of independent tasks;
+    the submitting thread participates as lane 0 and the call returns
+    only when every task has run (a barrier).  A pool that is already
+    running a batch — e.g. a nested fixpoint started from inside a task
+    — refuses the new batch and the caller evaluates sequentially. *)
+
+type t
+
+val create : workers:int -> t
+(** A private pool with [workers] lanes ([workers - 1] spawned domains;
+    the caller is lane 0).  If the runtime refuses to spawn domains the
+    pool is created dead and every [try_run] returns false. *)
+
+val shared : workers:int -> t option
+(** The process-global pool with [workers] lanes, created on first use
+    and shut down at process exit.  [None] when [workers <= 1] or the
+    pool cannot spawn its domains. *)
+
+val shutdown : t -> unit
+(** Stop and join the pool's domains.  Shared pools are shut down
+    automatically at exit. *)
+
+val workers : t -> int
+
+val alive : t -> bool
+
+val busy : t -> bool
+(** True while a batch is in flight (or the pool is dead): submitting
+    now would be refused.  Only meaningful on the owning thread. *)
+
+val lane_tasks : t -> int -> int
+(** Total tasks executed by a lane since pool creation (metrics). *)
+
+val try_run : t -> ntasks:int -> (lane:int -> task:int -> unit) -> bool
+(** Run [f ~lane ~task] for every [task < ntasks] across the pool's
+    lanes and wait for all of them; false (and nothing run) if the pool
+    is busy or dead.  Tasks are claimed dynamically; [lane] identifies
+    the executing lane (0 = caller).  If a task raises, the first
+    exception is re-raised after the barrier. *)
+
+val run_or_seq : t -> ntasks:int -> (lane:int -> task:int -> unit) -> unit
+(** [try_run], falling back to running every task sequentially on the
+    caller when the pool refuses. *)

@@ -8,6 +8,9 @@ type rulebase = {
   rules_of : Symbol.t -> int -> Ast.rule list;
   relation_of : Symbol.t -> int -> Relation.t option;
   foreign_of : Symbol.t -> int -> Builtin.foreign option;
+  tick : unit -> unit;
+      (* cancellation hook, counted per solved atom; the engine wires
+         this to its ambient cancellation check *)
 }
 
 (* Renumber a rule's variables densely so each activation can allocate
@@ -70,7 +73,7 @@ let solve rb lits ~nvars:_ ~env k =
         Trail.undo_to tr m
     end
   and solve_atom (a : Ast.atom) env k =
-    Fixpoint.tick ();
+    rb.tick ();
     let arity = Array.length a.Ast.args in
     (* stored facts first (base relations, other modules through the
        uniform scan interface) *)

@@ -24,6 +24,10 @@ type rulebase = {
   relation_of : Symbol.t -> int -> Relation.t option;
       (** base facts / other modules' exports (scans may recurse) *)
   foreign_of : Symbol.t -> int -> Builtin.foreign option;
+  tick : unit -> unit;
+      (** counted once per solved atom; the engine wires this to its
+          ambient cancellation check so pipelined evaluation honours
+          deadlines like materialized evaluation does *)
 }
 
 val solve :

@@ -168,6 +168,7 @@ let create ?(indexes = []) ~name ~arity () =
           end);
       i_indexes = (fun () -> st.specs);
       i_scan = scan;
+      i_mem = (fun tuple -> is_duplicate st tuple);
       i_clear =
         (fun () ->
           st.subs <- Array.make 4 dummy_sub;
@@ -178,4 +179,8 @@ let create ?(indexes = []) ~name ~arity () =
           st.nonground <- [])
     }
   in
-  Relation.v ~name ~arity impl
+  let r = Relation.v ~name ~arity impl in
+  (* Scans snapshot subsidiary lengths and arrays only grow by copy, so
+     readers on other domains are safe while the owner inserts. *)
+  r.Relation.scan_safe <- true;
+  r

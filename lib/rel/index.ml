@@ -38,15 +38,19 @@ let create spec =
     count = 0
   }
 
-(* Walk a stored tuple's term along a path.  [`Key id] for a ground
+(* Walk a stored tuple's term along a path.  [`Key k] for a ground
    subterm, [`Var] when a variable occurs at or above the position (the
    tuple could match any probe), [`Mismatch] when the structure cannot
-   unify with any probe that is ground at this position. *)
+   unify with any probe that is ground at this position.  Keys are
+   structural hashes ([Term.ground_key], lock-free and identical on
+   every domain), not unique ids: distinct terms may share a bucket,
+   which is sound because probe results are candidate supersets the
+   caller unifies. *)
 let rec extract_term term path =
   match path with
   | [] -> begin
-    match Term.ground_id term with
-    | Some id -> `Key id
+    match Term.ground_key term with
+    | Some k -> `Key k
     | None -> `Var
   end
   | i :: rest -> begin
@@ -80,11 +84,7 @@ let extract_tuple paths (tuple : Tuple.t) =
 let rec extract_pattern term env path =
   let term, env = Bindenv.deref term env in
   match path with
-  | [] -> begin
-    match Term.ground_id (Unify.resolve term env) with
-    | Some id -> Some id
-    | None -> None
-  end
+  | [] -> Term.ground_key (Unify.resolve term env)
   | i :: rest -> begin
     match term with
     | Term.Var _ | Term.Const _ -> None

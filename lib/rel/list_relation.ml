@@ -65,10 +65,18 @@ let create ~name ~arity () =
       i_add_index = (fun _ -> ());
       i_indexes = (fun () -> []);
       i_scan = scan;
+      i_mem =
+        (fun tuple ->
+          List.exists
+            (fun ex -> (not ex.Tuple.dead) && Tuple.subsumes ex tuple)
+            (List.concat st.intervals));
       i_clear =
         (fun () ->
           st.intervals <- [ [] ];
           st.live <- 0)
     }
   in
-  Relation.v ~name ~arity impl
+  let r = Relation.v ~name ~arity impl in
+  (* Interval lists are immutable once captured by a scan. *)
+  r.Relation.scan_safe <- true;
+  r

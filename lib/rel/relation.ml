@@ -5,6 +5,7 @@ type t = {
   arity : int;
   mutable multiset : bool;
   mutable admit : (t -> Tuple.t -> bool) option;
+  mutable scan_safe : bool;
   impl : impl;
   stats : stats;
 }
@@ -20,6 +21,7 @@ and impl = {
   i_indexes : unit -> Index.spec list;
   i_scan :
     from_mark:int -> to_mark:int -> pattern:(Term.t array * Bindenv.t) option -> Tuple.t Seq.t;
+  i_mem : Tuple.t -> bool;
   i_clear : unit -> unit;
 }
 
@@ -47,6 +49,7 @@ let v ~name ~arity impl =
     arity;
     multiset = false;
     admit = None;
+    scan_safe = false;
     impl;
     stats = { inserts = 0; duplicates = 0; scans = 0 }
   }
@@ -76,6 +79,22 @@ let scan r ?(from_mark = 0) ?(to_mark = -1) ?pattern () =
   r.stats.scans <- r.stats.scans + 1;
   incr g_scans;
   r.impl.i_scan ~from_mark ~to_mark ~pattern
+
+(* Uncounted scan for parallel workers: the stats cells are plain
+   mutable ints owned by the merge thread, so workers count their scans
+   in task-local arrays and the merge flushes them via [note_scans]. *)
+let scan_quiet r ?(from_mark = 0) ?(to_mark = -1) ?pattern () =
+  r.impl.i_scan ~from_mark ~to_mark ~pattern
+
+let note_scans r n =
+  r.stats.scans <- r.stats.scans + n;
+  g_scans := !g_scans + n
+
+let note_duplicates r n =
+  r.stats.duplicates <- r.stats.duplicates + n;
+  g_duplicates := !g_duplicates + n
+
+let mem r tuple = r.impl.i_mem tuple
 
 let to_list r = List.of_seq (scan r ())
 let add_index r spec = r.impl.i_add_index spec

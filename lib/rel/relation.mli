@@ -27,6 +27,13 @@ type t = {
       (** Admission hook, used by aggregate selections: called before
           the duplicate check; returning false rejects the tuple.  The
           hook may delete existing tuples. *)
+  mutable scan_safe : bool;
+      (** True when concurrent scans from other domains are safe while
+          the owning domain inserts (scans snapshot their extent and the
+          store never moves published tuples).  In-memory stores set
+          this; stores doing I/O or cache mutation on scan leave it
+          false, and the parallel evaluator falls back to sequential
+          application for rules reading them. *)
   impl : impl;
   stats : stats;
 }
@@ -44,6 +51,11 @@ and impl = {
   i_indexes : unit -> Index.spec list;
   i_scan :
     from_mark:int -> to_mark:int -> pattern:(Term.t array * Bindenv.t) option -> Tuple.t Seq.t;
+  i_mem : Tuple.t -> bool;
+      (** Read-only duplicate test: would inserting this tuple be
+          rejected as a duplicate (equal or subsumed by a live tuple)?
+          Must not mutate any store state — the parallel merge calls it
+          from several domains at once. *)
   i_clear : unit -> unit;
 }
 
@@ -83,6 +95,22 @@ val scan : t -> ?from_mark:int -> ?to_mark:int -> ?pattern:Term.t array * Binden
     [pattern] is supplied and an index covers it, candidates come from
     an index probe; they are a superset of the matching tuples and the
     caller unifies. *)
+
+val scan_quiet : t -> ?from_mark:int -> ?to_mark:int -> ?pattern:Term.t array * Bindenv.t -> unit -> Tuple.t Seq.t
+(** [scan] without touching the (unsynchronized) stats counters: used by
+    parallel workers, which count scans in task-local arrays flushed
+    later via {!note_scans}. *)
+
+val mem : t -> Tuple.t -> bool
+(** Read-only duplicate test (see [impl.i_mem]). *)
+
+val note_scans : t -> int -> unit
+(** Credit [n] scans to this relation's stats (and the global counters);
+    the parallel merge uses this to keep stats identical to a sequential
+    run. *)
+
+val note_duplicates : t -> int -> unit
+(** Credit [n] duplicate rejections likewise. *)
 
 val to_list : t -> Tuple.t list
 val add_index : t -> Index.spec -> unit

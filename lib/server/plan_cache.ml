@@ -1,25 +1,77 @@
+(* The parsed-text memo is an LRU: served workloads can present an
+   unbounded stream of distinct query texts (varying constants), and an
+   unbounded Hashtbl would grow without limit for the server's
+   lifetime.  Doubly-linked nodes give O(1) touch and eviction. *)
+type node = {
+  ntext : string;
+  lits : Coral.Ast.literal list;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
 type t = {
-  parsed : (string, Coral.Ast.literal list) Hashtbl.t;  (* query text -> literals *)
+  parsed : (string, node) Hashtbl.t;  (* query text -> parse, LRU-bounded *)
+  parsed_capacity : int;
+  mutable lru_head : node option;  (* most recently used *)
+  mutable lru_tail : node option;  (* least recently used; next eviction *)
   forms : (string, Coral.Optimizer.plan) Hashtbl.t;  (* adorned form -> plan *)
   mutable hits : int;
   mutable misses : int;
+  mutable unplanned : int;
   mutable invalidations : int;
+  mutable evictions : int;
 }
 
 type stats = {
   entries : int;
+  parsed_entries : int;
   hits : int;
   misses : int;
+  unplanned : int;
   invalidations : int;
+  evictions : int;
 }
 
-let create () =
+let create ?(parsed_capacity = 1024) () =
   { parsed = Hashtbl.create 64;
+    parsed_capacity = max 1 parsed_capacity;
+    lru_head = None;
+    lru_tail = None;
     forms = Hashtbl.create 32;
     hits = 0;
     misses = 0;
-    invalidations = 0
+    unplanned = 0;
+    invalidations = 0;
+    evictions = 0
   }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.lru_head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru_tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.lru_head;
+  (match t.lru_head with Some h -> h.prev <- Some n | None -> t.lru_tail <- Some n);
+  t.lru_head <- Some n
+
+let touch t n =
+  match t.lru_head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
+
+let evict_excess t =
+  while Hashtbl.length t.parsed > t.parsed_capacity do
+    match t.lru_tail with
+    | None -> assert false (* length > capacity >= 1 implies a tail *)
+    | Some n ->
+      unlink t n;
+      Hashtbl.remove t.parsed n.ntext;
+      t.evictions <- t.evictions + 1
+  done
 
 (* The adorned query form of a literal: predicate/arity plus which
    argument positions arrive bound, e.g. "path/2:bf". *)
@@ -39,11 +91,16 @@ let adornment_of (a : Coral.Ast.atom) =
 let prepare t db text =
   let parse () =
     match Hashtbl.find_opt t.parsed text with
-    | Some lits -> Ok lits
+    | Some n ->
+      touch t n;
+      Ok n.lits
     | None -> begin
       match Coral.Parser.query text with
       | Ok lits ->
-        Hashtbl.add t.parsed text lits;
+        let n = { ntext = text; lits; prev = None; next = None } in
+        Hashtbl.add t.parsed text n;
+        push_front t n;
+        evict_excess t;
         Ok lits
       | Error e -> Error e
     end
@@ -73,7 +130,10 @@ let prepare t db text =
         | Coral.Ast.Neg _ | Coral.Ast.Cmp _ | Coral.Ast.Is _ -> ())
       lits;
     let tag =
-      if !planned = 0 then `Unplanned
+      if !planned = 0 then begin
+        t.unplanned <- t.unplanned + 1;
+        `Unplanned
+      end
       else if !fresh = 0 then begin
         t.hits <- t.hits + 1;
         `Hit
@@ -87,13 +147,18 @@ let prepare t db text =
 
 let invalidate t db =
   Hashtbl.reset t.parsed;
+  t.lru_head <- None;
+  t.lru_tail <- None;
   Hashtbl.reset t.forms;
   t.invalidations <- t.invalidations + 1;
   Coral.invalidate_plans db
 
 let stats t =
   { entries = Hashtbl.length t.forms;
+    parsed_entries = Hashtbl.length t.parsed;
     hits = t.hits;
     misses = t.misses;
-    invalidations = t.invalidations
+    unplanned = t.unplanned;
+    invalidations = t.invalidations;
+    evictions = t.evictions
   }

@@ -17,12 +17,23 @@ type t
 
 type stats = {
   entries : int;  (** prepared forms currently cached *)
+  parsed_entries : int;  (** parsed query texts currently memoized *)
   hits : int;  (** requests whose every form was already prepared *)
   misses : int;  (** requests that prepared at least one new form *)
+  unplanned : int;
+      (** requests with no plannable literal (pure base/builtin
+          queries); counted separately so hits + misses accounts for
+          exactly the plannable requests *)
   invalidations : int;
+  evictions : int;  (** parsed texts dropped by the LRU bound *)
 }
 
-val create : unit -> t
+val create : ?parsed_capacity:int -> unit -> t
+(** [parsed_capacity] (default 1024, min 1) bounds the parsed-text
+    memo: served workloads repeat a few query {e forms} but present
+    unboundedly many distinct texts (varying constants), so the text
+    memo is an LRU while the form cache stays unbounded (form count is
+    bounded by the program's predicates × adornments). *)
 
 val prepare :
   t ->

@@ -55,7 +55,7 @@ let with_deadline t f =
   if t.deadline_ms <= 0 then f ()
   else begin
     let limit = Unix.gettimeofday () +. (float_of_int t.deadline_ms /. 1000.0) in
-    Coral.with_cancel (fun () -> Unix.gettimeofday () > limit) f
+    Coral.with_cancel t.store.sdb (fun () -> Unix.gettimeofday () > limit) f
   end
 
 let render_rows (r : Coral.Engine.query_result) =
@@ -191,9 +191,12 @@ let do_stats t =
       Printf.sprintf "server.timeouts=%d" store.timeouts;
       Printf.sprintf "server.sessions=%d" store.sessions;
       Printf.sprintf "prepared.entries=%d" c.Plan_cache.entries;
+      Printf.sprintf "prepared.parsed_entries=%d" c.Plan_cache.parsed_entries;
       Printf.sprintf "prepared.hits=%d" c.Plan_cache.hits;
       Printf.sprintf "prepared.misses=%d" c.Plan_cache.misses;
+      Printf.sprintf "prepared.unplanned=%d" c.Plan_cache.unplanned;
       Printf.sprintf "prepared.invalidations=%d" c.Plan_cache.invalidations;
+      Printf.sprintf "prepared.evictions=%d" c.Plan_cache.evictions;
       Printf.sprintf "plans.cached=%d" (Coral.Engine.plan_cache_size eng);
       Printf.sprintf "plans.hits=%d" plan_hits;
       Printf.sprintf "plans.misses=%d" plan_misses;
@@ -236,9 +239,12 @@ let metrics_text store =
   Obs.prometheus_sample buf ~kind:"gauge" "server.sessions" store.sessions;
   let c = Plan_cache.stats store.cache in
   Obs.prometheus_sample buf ~kind:"gauge" "prepared.entries" c.Plan_cache.entries;
+  Obs.prometheus_sample buf ~kind:"gauge" "prepared.parsed_entries" c.Plan_cache.parsed_entries;
   Obs.prometheus_sample buf ~kind:"counter" "prepared.hits" c.Plan_cache.hits;
   Obs.prometheus_sample buf ~kind:"counter" "prepared.misses" c.Plan_cache.misses;
+  Obs.prometheus_sample buf ~kind:"counter" "prepared.unplanned" c.Plan_cache.unplanned;
   Obs.prometheus_sample buf ~kind:"counter" "prepared.invalidations" c.Plan_cache.invalidations;
+  Obs.prometheus_sample buf ~kind:"counter" "prepared.evictions" c.Plan_cache.evictions;
   let eng = Coral.engine store.sdb in
   let plan_hits, plan_misses = Coral.plan_cache_stats store.sdb in
   Obs.prometheus_sample buf ~kind:"gauge" "plans.cached" (Coral.Engine.plan_cache_size eng);

@@ -213,6 +213,12 @@ let open_ ?(pool_frames = 64) ?(indexes = []) ?injector ?(verify = true) ~dir ~n
         i_add_index = (fun _ -> ());
         i_indexes = (fun () -> List.map (fun (c, _) -> Index.Args [ c ]) index_handles);
         i_scan = scan;
+        i_mem =
+          (fun t ->
+            (* exact-duplicate check via the uniqueness index; ground
+               tuples only reach here (persistent stores reject
+               non-ground rows at insert) *)
+            Btree.find_all uniq (Codec.encode t.Tuple.terms) <> []);
         i_clear = (fun () -> failwith "persistent relations cannot be cleared in place")
       }
   in

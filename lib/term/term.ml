@@ -5,7 +5,7 @@ type t =
 
 and var = { vid : int; vname : string }
 
-and app = { sym : Symbol.t; args : t array; mutable hid : int }
+and app = { sym : Symbol.t; args : t array; mutable hid : int; mutable gkey : int }
 
 let const v = Const v
 let int i = Const (Value.Int i)
@@ -17,13 +17,11 @@ let var ?name vid =
   let vname = match name with Some n -> n | None -> "_" ^ string_of_int vid in
   Var { vid; vname }
 
-let fresh_counter = ref 1_000_000
+let fresh_counter = Atomic.make 1_000_000
 
-let fresh_var ?name () =
-  incr fresh_counter;
-  var ?name !fresh_counter
+let fresh_var ?name () = var ?name (Atomic.fetch_and_add fresh_counter 1 + 1)
 
-let app sym args = App { sym; args; hid = if Array.length args = 0 then 0 else 0 }
+let app sym args = App { sym; args; hid = 0; gkey = 0 }
 let atom s = app (Symbol.intern s) [||]
 let nil = app Symbol.nil [||]
 let cons h t = app Symbol.cons [| h; t |]
@@ -41,8 +39,16 @@ let to_list t =
    Ground terms receive unique positive ids from one shared counter:
    constants through [value_ids], functor terms through [app_ids] keyed
    by (symbol id :: child ids).  Ids are memoized in the term's [hid]
-   field ([-1] marks terms known to contain a variable). *)
+   field ([-1] marks terms known to contain a variable).
 
+   The id tables are process-global, so assignment is serialized by
+   [hc_lock] — evaluation may run on several domains at once (the
+   parallel fixpoint) and two workers consing the same new term must
+   agree on its id.  The memoized [hid] is read outside the lock: a
+   racy reader sees either 0 (and takes the lock) or the final id
+   (ids are written once, after the table insert, and never change). *)
+
+let hc_lock = Mutex.create ()
 let next_id = ref 1
 
 (* Keyed by Value's own equality/hash: opaque user types carry their
@@ -86,7 +92,7 @@ module KeyTbl = Hashtbl.Make (Key)
 
 let app_ids : int KeyTbl.t = KeyTbl.create 4096
 
-let rec ground_id t =
+let rec ground_id_locked t =
   match t with
   | Const v -> Some (value_id v)
   | Var _ -> None
@@ -99,7 +105,7 @@ let rec ground_id t =
       let ground = ref true in
       for i = 0 to n - 1 do
         if !ground then begin
-          match ground_id a.args.(i) with
+          match ground_id_locked a.args.(i) with
           | Some id -> key.(i + 1) <- id
           | None -> ground := false
         end
@@ -123,7 +129,57 @@ let rec ground_id t =
       end
     end
 
-let is_ground t = ground_id t <> None
+let ground_id t =
+  match t with
+  | Var _ -> None
+  | App a when a.hid > 0 -> Some a.hid
+  | App a when a.hid < 0 -> None
+  | Const _ | App _ ->
+    Mutex.lock hc_lock;
+    let r = ground_id_locked t in
+    Mutex.unlock hc_lock;
+    r
+
+let mix h x = ((h * 0x01000193) lxor x) land max_int
+
+(* Structural key of a ground term, memoized in [gkey] ([-1]: known
+   non-ground).  Unlike [ground_id] this is a pure function of the
+   term's structure — no table, no lock — so any two structurally equal
+   terms produce the same key on any domain at any time.  Keys may
+   collide (they are hashes, not unique ids); index probes treat
+   matching keys as candidate supersets and unify afterwards.  The
+   benign write race mirrors [hid]: every writer stores the same
+   deterministic value. *)
+let rec ground_key t =
+  match t with
+  | Const v -> Some (Value.hash v * 0x9e3779b1 land max_int)
+  | Var _ -> None
+  | App a ->
+    if a.gkey > 0 then Some a.gkey
+    else if a.gkey < 0 || a.hid < 0 then None
+    else begin
+      let h = ref (Symbol.hash a.sym land max_int) in
+      let ground = ref true in
+      let n = Array.length a.args in
+      for i = 0 to n - 1 do
+        if !ground then begin
+          match ground_key a.args.(i) with
+          | Some k -> h := mix !h k
+          | None -> ground := false
+        end
+      done;
+      if !ground then begin
+        let k = if !h = 0 then 1 else !h in
+        a.gkey <- k;
+        Some k
+      end
+      else begin
+        a.gkey <- -1;
+        None
+      end
+    end
+
+let is_ground t = ground_key t <> None
 
 let rec equal t1 t2 =
   t1 == t2
@@ -172,19 +228,20 @@ let rec compare t1 t2 =
     | App _, (Const _ | Var _) -> 1
   end
 
-let mix h x = ((h * 0x01000193) lxor x) land max_int
-
-(* Hashing must be stable across the lazy hash-consing of subterms, so
-   ground terms are always hashed through their id (forcing it), never
-   structurally. *)
+(* Hashing must agree for structurally equal terms whatever their
+   consing state, on any domain, so it never consults the id tables:
+   constants hash through [Value.hash], ground functor terms through
+   their memoized structural [ground_key], and non-ground terms are
+   walked (their hash depends on the salt, so there is nothing to
+   memoize). *)
 let rec hash_aux var_salt t =
-  match ground_id t with
-  | Some id -> id * 0x9e3779b1 land max_int
-  | None -> begin
-    match t with
-    | Const _ -> assert false (* constants are always ground *)
-    | Var v -> (if var_salt = 0 then v.vid * 0x9e3779b1 else var_salt) land max_int
-    | App a ->
+  match t with
+  | Const v -> Value.hash v * 0x9e3779b1 land max_int
+  | Var v -> (if var_salt = 0 then v.vid * 0x9e3779b1 else var_salt) land max_int
+  | App a -> begin
+    match ground_key t with
+    | Some k -> k
+    | None ->
       let h = ref (Symbol.hash a.sym land max_int) in
       Array.iter (fun arg -> h := mix !h (hash_aux var_salt arg)) a.args;
       !h
@@ -213,7 +270,7 @@ let rec map_vars f t =
   | Const _ -> t
   | Var v -> f v
   | App a ->
-    if a.hid > 0 then t (* ground: no variables below *)
+    if a.hid > 0 || a.gkey > 0 then t (* ground: no variables below *)
     else begin
       let changed = ref false in
       let args =
@@ -224,7 +281,7 @@ let rec map_vars f t =
             arg')
           a.args
       in
-      if !changed then App { sym = a.sym; args; hid = 0 } else t
+      if !changed then App { sym = a.sym; args; hid = 0; gkey = 0 } else t
     end
 
 let rec pp ppf t =

@@ -22,6 +22,11 @@ and app = {
   mutable hid : int;
       (** Lazy hash-cons id: [0] not yet computed, [-1] known
           non-ground, positive values are unique ids. *)
+  mutable gkey : int;
+      (** Lazy structural key: [0] not yet computed, [-1] known
+          non-ground, positive values are (collision-prone) hashes of
+          the ground structure.  Unlike [hid] this is a pure function
+          of the term, computed without any shared table. *)
 }
 
 (** {1 Constructors} *)
@@ -54,7 +59,16 @@ val to_list : t -> t list option
 
 val ground_id : t -> int option
 (** The unique identifier of a ground term, computed (and memoized in
-    the term) on first demand; [None] for terms containing variables. *)
+    the term) on first demand; [None] for terms containing variables.
+    Ids come from a shared table guarded by a mutex, so this is safe —
+    but serialized — across domains; prefer {!ground_key} on hot
+    concurrent paths that only need a hash. *)
+
+val ground_key : t -> int option
+(** A structural hash of a ground term ([None] for terms containing
+    variables), memoized in the term.  Two structurally equal ground
+    terms always produce the same key, on any domain, lock-free; two
+    different terms may collide.  Relation indexes key on this. *)
 
 val is_ground : t -> bool
 

@@ -39,7 +39,7 @@ let rec occurs vid venv t env =
   | Var v -> v.vid = vid && env == venv
   | Const _ -> false
   | App a ->
-    a.hid <= 0
+    a.hid <= 0 && a.gkey <= 0
     && begin
       let rec go i = i >= 0 && (occurs vid venv a.args.(i) env || go (i - 1)) in
       go (Array.length a.args - 1)
@@ -111,7 +111,7 @@ let rec resolve t env =
   match t with
   | Const _ | Var _ -> t
   | App a ->
-    if a.hid > 0 then t
+    if a.hid > 0 || a.gkey > 0 then t
     else begin
       let changed = ref false in
       let args =
@@ -122,7 +122,7 @@ let rec resolve t env =
             arg')
           a.args
       in
-      if !changed then App { sym = a.sym; args; hid = 0 } else t
+      if !changed then App { sym = a.sym; args; hid = 0; gkey = 0 } else t
     end
 
 let canonicalize tuple env =
@@ -147,8 +147,8 @@ let canonicalize tuple env =
     | Const _ -> t
     | Var v -> rename env v.vid
     | App a ->
-      if a.hid > 0 then t
-      else App { sym = a.sym; args = Array.map (fun x -> walk x env) a.args; hid = 0 }
+      if a.hid > 0 || a.gkey > 0 then t
+      else App { sym = a.sym; args = Array.map (fun x -> walk x env) a.args; hid = 0; gkey = 0 }
   in
   let renamed = Array.map (fun t -> walk t env) tuple in
   renamed, !next
