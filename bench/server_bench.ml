@@ -68,15 +68,24 @@ let client port requests id =
    in — request/query latency and per-phase engine time (the emit phase
    only exists on the server path, so it shows up here and not in
    BENCH_core.json). *)
-let write_json path ~clients ~requests ~elapsed_s =
+let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) =
   let module Obs = Coral_obs.Obs in
   let oc = open_out path in
   let total = clients * requests in
   Printf.fprintf oc
     "{\n  \"clients\": %d,\n  \"requests\": %d,\n  \"elapsed_s\": %.6e,\n  \
-     \"requests_per_second\": %.1f,\n  \"histograms\": [\n"
+     \"requests_per_second\": %.1f,\n"
     clients total elapsed_s
     (float_of_int total /. elapsed_s);
+  (* the event log's cost per request: the same workload with event
+     recording off versus on (file sink attached) *)
+  Printf.fprintf oc
+    "  \"event_log\": {\"baseline_rps\": %.1f, \"enabled_rps\": %.1f, \
+     \"overhead_ns_per_request\": %.0f},\n"
+    (float_of_int total /. off_s)
+    (float_of_int total /. on_s)
+    ((on_s -. off_s) /. float_of_int total *. 1e9);
+  output_string oc "  \"histograms\": [\n";
   let hists =
     [ "server.request_seconds"; "server.query_seconds"; "phase.rewrite"; "phase.eval";
       "phase.emit"
@@ -124,15 +133,36 @@ let () =
   let warm = connect port in
   ignore (request warm "query path(0, Y)");
   ignore (request warm "quit");
-  let t0 = Unix.gettimeofday () in
-  let threads =
-    List.init !clients (fun id -> Thread.create (fun () -> client port !requests id) ())
+  let run_workload () =
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init !clients (fun id -> Thread.create (fun () -> client port !requests id) ())
+    in
+    List.iter Thread.join threads;
+    Unix.gettimeofday () -. t0
   in
-  List.iter Thread.join threads;
-  let dt = Unix.gettimeofday () -. t0 in
+  let module Events = Coral_obs.Query_log.Events in
+  (* event-log overhead: the identical workload with event recording
+     off, then on with a file sink attached (the server's production
+     configuration) — the second run is also the reported headline *)
+  Events.configure ~enabled:false ();
+  let dt_off = run_workload () in
+  let event_file = Filename.temp_file "server_bench_events" ".jsonl" in
+  Events.reset ();
+  Events.configure ~path:event_file ();
+  let dt = run_workload () in
+  Events.configure ~path:"" ();
+  (try Sys.remove event_file with Sys_error _ -> ());
+  (try Sys.remove (event_file ^ ".1") with Sys_error _ -> ());
   let total = !clients * !requests in
   Printf.printf "total: %d requests in %.3fs -> %.0f requests/second\n" total dt
     (float_of_int total /. dt);
+  Printf.printf
+    "event log: off %.0f rps, on %.0f rps (%.0fns per request, %d events)\n"
+    (float_of_int total /. dt_off)
+    (float_of_int total /. dt)
+    ((dt -. dt_off) /. float_of_int total *. 1e9)
+    (Events.total ());
   (* the stats request shows where the time went *)
   let conn = connect port in
   let ic, oc, fd = conn in
@@ -154,5 +184,6 @@ let () =
   ignore oc;
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Coral_server.Server.shutdown srv;
-  write_json "BENCH_server.json" ~clients:!clients ~requests:!requests ~elapsed_s:dt;
+  write_json "BENCH_server.json" ~clients:!clients ~requests:!requests ~elapsed_s:dt
+    ~event_log:(dt_off, dt);
   Printf.printf "wrote BENCH_server.json\n"

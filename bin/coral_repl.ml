@@ -21,8 +21,13 @@
      analyze(p(1, X)).    run the query; per-rule counts and timings
      why(p(1, 3)).        show derivation trees for the answers
      stats.               engine statistics
+     ps.                  active queries (this process)
+     kill(3).             cooperatively cancel active query 3
+     events. / events(20).  recent structured event-log lines
      help.                this text
      quit. / halt.        leave *)
+
+module Query_log = Coral_obs.Query_log
 
 let banner =
   "CORAL deductive database (OCaml reproduction of Ramakrishnan et al., SIGMOD'93)\n\
@@ -37,6 +42,7 @@ let help_text =
   \  explain(path(1, X)).             show the rewritten program\n\
   \  analyze(path(1, X)).             run it: per-rule counts and timings\n\
   \  why(path(1, 3)).                 show a derivation tree\n\
+  \  ps.  kill(3).  events(20).       active queries / cancel / event log\n\
   \  relations.  modules.  stats.  help.  quit.\n"
 
 (* Single-line diagnostics, server-style: parse failures, unknown
@@ -65,9 +71,40 @@ let print_result (r : Coral.Engine.query_result) =
     Printf.printf "(%d answer%s)\n" (List.length rows)
       (if List.length rows = 1 then "" else "s")
 
+let print_ps () =
+  match Query_log.active () with
+  | [] -> print_endline "no active queries."
+  | snaps ->
+    List.iter
+      (fun (s : Query_log.snapshot) ->
+        Printf.printf "  id=%d kind=%s age_ms=%d iter=%d derivations=%d%s query=%s\n" s.s_id
+          s.s_kind
+          (s.s_age_ns / 1_000_000)
+          s.s_iterations s.s_derivations
+          (if s.s_killed then " killed=pending" else "")
+          s.s_text)
+      snaps
+
 let handle_command db (a : Coral.Ast.atom) =
   match Coral.Symbol.name a.Coral.Ast.pred, a.Coral.Ast.args with
   | ("quit" | "halt"), [||] -> exit 0
+  | "ps", [||] ->
+    print_ps ();
+    true
+  | "kill", [| Coral.Term.Const (Coral.Value.Int qid) |] ->
+    if Query_log.kill qid then Printf.printf "kill signalled for query %d\n" qid
+    else Printf.printf "no active query with id %d\n" qid;
+    true
+  | "events", ([||] | [| Coral.Term.Const (Coral.Value.Int _) |]) ->
+    let n =
+      match a.Coral.Ast.args with
+      | [| Coral.Term.Const (Coral.Value.Int n) |] when n > 0 -> n
+      | _ -> 20
+    in
+    (match Query_log.Events.recent n with
+    | [] -> print_endline "no events logged."
+    | lines -> List.iter print_endline lines);
+    true
   | "help", [||] ->
     print_string help_text;
     true
@@ -106,6 +143,43 @@ let handle_command db (a : Coral.Ast.atom) =
     true
   | _ -> false
 
+(* REPL queries go through the same active-query registry and event
+   log as server requests, so ps/kill/events behave identically in
+   both front ends (kill matters once a query is cancellable from a
+   signal handler or another thread; registration costs nothing). *)
+let run_query db lits =
+  let text =
+    String.concat ", " (List.map (Format.asprintf "%a" Coral.Pretty.pp_literal) lits)
+  in
+  let entry = Query_log.register ~kind:"repl" text in
+  let t0 = Unix.gettimeofday () in
+  let finish outcome rows =
+    Query_log.unregister entry;
+    Query_log.Events.query_event ~kind:"repl" ~id:(Query_log.id entry) ~session:0 ~text
+      ~latency_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ~rows
+      ~iterations:(Query_log.iterations entry)
+      ~derivations:(Query_log.derivations entry)
+      ~plan_cache:"" ~outcome ()
+  in
+  match
+    Coral.with_cancel db
+      (fun () -> Query_log.killed entry)
+      (fun () ->
+        Coral.with_progress db
+          (fun ~rounds:_ ~delta ~lanes -> Query_log.progress entry ~delta ~lanes)
+          (fun () -> Coral.Engine.query (Coral.engine db) lits))
+  with
+  | r ->
+    finish "ok" (List.length r.Coral.Engine.rows);
+    print_result r
+  | exception Coral.Cancelled when Query_log.killed entry ->
+    finish "killed" 0;
+    print_endline "query killed."
+  | exception e ->
+    finish "error" 0;
+    raise e
+
 (* Items are processed with per-item fault isolation: an unknown
    predicate in one query must not abandon the rest of the batch. *)
 let process_items db items =
@@ -125,7 +199,7 @@ let process_items db items =
           | Ok () -> Printf.printf "module %s loaded.\n" m.Coral.Ast.mname
           | Error e -> diag "EVAL" e
         end
-        | Coral.Ast.Query lits -> print_result (Coral.Engine.query (Coral.engine db) lits)
+        | Coral.Ast.Query lits -> run_query db lits
         | Coral.Ast.Command (name, _) -> diag "PARSE" (Printf.sprintf "unknown command @%s" name)
       with
       | Coral.Engine.Engine_error e -> diag "EVAL" e

@@ -12,6 +12,12 @@
                        127.0.0.1:N (0 = ephemeral; off by default)
      --workers N       parallel semi-naive evaluation on N domains
                        (default: CORAL_WORKERS or 1 = sequential)
+     --event-log FILE  append structured JSONL events (query completions,
+                       consults, inserts, recovery) to FILE, rotating to
+                       FILE.1 at the size cap
+     --event-log-max-bytes N   rotation threshold (default 4 MiB)
+     --slow-query-ms N flag queries slower than N ms in the event log
+                       and mirror a one-line warning to stderr
      --quiet           do not print the listening banner
 
    The given program files are consulted into the shared engine before
@@ -51,6 +57,9 @@ let () =
   let persists = ref [] in
   let metrics_port = ref (-1) in
   let workers = ref 0 in
+  let event_log = ref "" in
+  let event_log_max = ref 0 in
+  let slow_ms = ref 0 in
   let quiet = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -92,6 +101,23 @@ let () =
         prerr_endline "coral_server: --workers expects a worker count >= 1";
         exit 2);
       parse_args rest
+    | "--event-log" :: path :: rest ->
+      event_log := path;
+      parse_args rest
+    | "--event-log-max-bytes" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> event_log_max := n
+      | _ ->
+        prerr_endline "coral_server: --event-log-max-bytes expects a byte count >= 1";
+        exit 2);
+      parse_args rest
+    | "--slow-query-ms" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 0 -> slow_ms := n
+      | _ ->
+        prerr_endline "coral_server: --slow-query-ms expects a threshold in milliseconds";
+        exit 2);
+      parse_args rest
     | "--quiet" :: rest ->
       quiet := true;
       parse_args rest
@@ -99,7 +125,8 @@ let () =
       print_string
         "usage: coral_server [--port N] [--host H] [--socket PATH] [--data DIR]\n\
         \                    [--persist name/arity[:col,col...]] [--metrics-port N]\n\
-        \                    [--workers N] [--quiet] [file.coral ...]\n";
+        \                    [--workers N] [--event-log FILE] [--event-log-max-bytes N]\n\
+        \                    [--slow-query-ms N] [--quiet] [file.coral ...]\n";
       exit 0
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "coral_server: unknown option %s\n" arg;
@@ -116,6 +143,11 @@ let () =
   (* Observability on for the lifetime of the server process: request
      latency histograms, per-phase timings, storage counters, spans. *)
   Coral_obs.Obs.set_enabled true;
+  if !event_log <> "" || !slow_ms > 0 then
+    Coral_obs.Query_log.Events.configure
+      ?path:(if !event_log = "" then None else Some !event_log)
+      ?max_bytes:(if !event_log_max > 0 then Some !event_log_max else None)
+      ~slow_ms:!slow_ms ();
   let db = Coral.create () in
   (* 0 = not given on the command line; keep the CORAL_WORKERS default *)
   if !workers > 0 then Coral.set_workers db !workers;
@@ -129,6 +161,20 @@ let () =
             Coral.install_relation db name
               (Coral.Database.relation pdb ~indexes ~name ~arity ()))
           (List.rev !persists);
+        List.iter
+          (fun (rel, report) ->
+            let open Coral_obs.Json in
+            Coral_obs.Query_log.Events.log ~kind:"recovery"
+              [ "relation", Str rel;
+                "clean", Bool (Coral_storage.Recovery.clean report);
+                "replayed_txns", Int report.Coral_storage.Recovery.replayed_txns;
+                "replayed_pages", Int report.Coral_storage.Recovery.replayed_pages;
+                "torn_tail_bytes", Int report.Coral_storage.Recovery.torn_tail_bytes;
+                "corrupt_wal_records", Int report.Coral_storage.Recovery.corrupt_wal_records;
+                "quarantined_pages",
+                Int (List.length report.Coral_storage.Recovery.quarantined)
+              ])
+          (Coral.Database.recovery_reports pdb);
         [ pdb ]
       | exception Coral_storage.Recovery.Fatal_corruption msg ->
         Printf.eprintf "coral_server: database %s is unrecoverably corrupt: %s\n" !data_dir msg;

@@ -15,6 +15,7 @@
    JSON (load it in chrome://tracing or Perfetto). *)
 
 module Obs = Coral_obs.Obs
+module Query_log = Coral_obs.Query_log
 
 let program =
   "module tc.\n\
@@ -26,6 +27,13 @@ let program =
 (* 0 = use the CORAL_WORKERS / sequential default *)
 let workers = ref 0
 
+(* When set (the enabled run), each evaluation also exercises the
+   serving layer's per-query obs work: active-query registration, the
+   per-iteration progress hook, the cooperative kill check and the
+   completion event — so the ratio gate prices the whole ps/kill/event
+   pipeline, not just spans and counters. *)
+let instrument = ref false
+
 let run_once chain =
   let db = Coral.create () in
   if !workers > 0 then Coral.set_workers db !workers;
@@ -34,7 +42,29 @@ let run_once chain =
   done;
   Coral.consult_text db program;
   let t0 = Obs.now_ns () in
-  let n = List.length (Coral.query_rows db "path(X, Y)") in
+  let n =
+    if not !instrument then List.length (Coral.query_rows db "path(X, Y)")
+    else begin
+      let entry = Query_log.register ~kind:"bench" "path(X, Y)" in
+      let n =
+        Coral.with_cancel db
+          (fun () -> Query_log.killed entry)
+          (fun () ->
+            Coral.with_progress db
+              (fun ~rounds:_ ~delta ~lanes -> Query_log.progress entry ~delta ~lanes)
+              (fun () -> List.length (Coral.query_rows db "path(X, Y)")))
+      in
+      Query_log.unregister entry;
+      Query_log.Events.query_event ~kind:"bench" ~id:(Query_log.id entry) ~session:0
+        ~text:"path(X, Y)"
+        ~latency_ms:(float_of_int (Obs.now_ns () - t0) /. 1e6)
+        ~rows:n
+        ~iterations:(Query_log.iterations entry)
+        ~derivations:(Query_log.derivations entry)
+        ~plan_cache:"" ~outcome:"ok" ();
+      n
+    end
+  in
   let dt = Obs.now_ns () - t0 in
   let expected = chain * (chain + 1) / 2 in
   if n <> expected then begin
@@ -49,11 +79,13 @@ let median xs =
 
 let measure ~runs ~chain ~enabled =
   Obs.set_enabled enabled;
+  instrument := enabled;
   (* one untimed warm-up absorbs first-touch effects (symbol interning,
      minor-heap growth) for both variants alike *)
   ignore (run_once chain);
   let times = List.init runs (fun _ -> run_once chain) in
   Obs.set_enabled false;
+  instrument := false;
   median times
 
 let () =

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Mutable module-level state in lib/eval is how the parallel evaluator's
+# shared-state bugs got in (see CHANGES.md, PR 4): a top-level `ref` or
+# `Hashtbl` in the evaluator is shared by every domain and every engine
+# instance, silently.  This lint fails CI on any new one.
+#
+# Allowlist: par_pool.ml owns the process-wide domain pool registry by
+# design (`pools`, `exit_registered`) — that is the one place such
+# state is supposed to live.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+matches=$(grep -nE '^let [a-zA-Z_0-9]+ *(:[^=]*)?= *(ref\b|Hashtbl\.create)' lib/eval/*.ml \
+  | grep -v '^lib/eval/par_pool\.ml:' || true)
+
+if [ -n "$matches" ]; then
+  echo "lint_eval_globals: new module-level mutable state in lib/eval:" >&2
+  echo "$matches" >&2
+  echo >&2
+  echo "Top-level refs/Hashtbls in the evaluator are shared across domains" >&2
+  echo "and engine instances.  Move the state into the engine/fixpoint" >&2
+  echo "record (or Par_pool if it is genuinely process-wide)." >&2
+  exit 1
+fi
+
+echo "lint_eval_globals: OK (no module-level mutable state outside par_pool.ml)"

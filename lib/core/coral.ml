@@ -66,6 +66,7 @@ let define_type ~name ?compare ?hash ?parse ~print () =
 exception Cancelled = Engine.Cancelled
 
 let with_cancel = Engine.with_cancel_check
+let with_progress = Engine.with_progress
 let plan_cache_stats = Engine.plan_cache_stats
 let invalidate_plans = Engine.invalidate_plans
 

@@ -163,6 +163,14 @@ val with_cancel : t -> (unit -> bool) -> (unit -> 'a) -> 'a
     to [db]: concurrent or interleaved evaluation on other sessions is
     unaffected. *)
 
+val with_progress : t -> (rounds:int -> delta:int -> lanes:int array -> unit) -> (unit -> 'a) -> 'a
+(** [with_progress db hook f] evaluates [f ()] with a live-progress
+    hook on [db]: every fixpoint it runs reports each productive step
+    (round counter, tuples inserted that step, per-lane task counts
+    when parallel — [[||]] sequential).  The serving layer feeds the
+    active-query registry (`ps` wire command) through this.  Nests the
+    same way as {!with_cancel}. *)
+
 val plan_cache_stats : t -> int * int
 (** [(hits, misses)] of the session's query-form plan cache. *)
 

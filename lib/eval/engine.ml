@@ -29,6 +29,9 @@ type t = {
   mutable cancel : (unit -> bool) option;
       (* ambient cancellation check, installed into every fixpoint
          instance this engine runs (including cached saved instances) *)
+  mutable progress : (rounds:int -> delta:int -> lanes:int array -> unit) option;
+      (* ambient live-progress hook, installed alongside the cancel
+         check (the active-query registry's per-iteration feed) *)
   mutable workers : int;  (* domain-pool width for new fixpoint instances *)
   mutable backjump : bool;  (* intelligent backtracking (bench ablation E16) *)
 }
@@ -61,6 +64,7 @@ let create ?(builtins = true) ?workers () =
       plan_hits = 0;
       plan_misses = 0;
       cancel = None;
+      progress = None;
       workers = (match workers with Some w -> max 1 (min 64 w) | None -> default_workers ());
       backjump = true
     }
@@ -312,6 +316,7 @@ and protected_run t inst =
   (* installed on every run, so cached save-module instances pick up
      the current request's deadline (and drop the previous one's) *)
   Fixpoint.set_cancel_check inst t.cancel;
+  Fixpoint.set_progress inst t.progress;
   Fun.protect
     ~finally:(fun () -> t.call_depth <- t.call_depth - 1)
     (fun () -> Obs.Histogram.time h_eval (fun () -> Fixpoint.run inst))
@@ -319,6 +324,7 @@ and protected_run t inst =
 and protected_step t inst =
   t.call_depth <- t.call_depth + 1;
   Fixpoint.set_cancel_check inst t.cancel;
+  Fixpoint.set_progress inst t.progress;
   Fun.protect
     ~finally:(fun () -> t.call_depth <- t.call_depth - 1)
     (fun () -> Obs.Histogram.time h_eval (fun () -> Fixpoint.step inst))
@@ -557,8 +563,25 @@ let why t src =
   | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
   | Ok [ Ast.Pos a ] -> begin
     let arity = Array.length a.Ast.args in
+    let lit = Term.to_string (Term.app a.Ast.pred a.Ast.args) in
     match module_of_pred t a.Ast.pred arity with
-    | None -> Error (Printf.sprintf "no module exports %s/%d" (Symbol.name a.Ast.pred) arity)
+    | None -> begin
+      (* Not derived by any module: answer in one clear line rather
+         than erroring — either it is a base fact, a base relation
+         with no matching fact, or entirely unknown. *)
+      match Hashtbl.find_opt t.base (key a.Ast.pred arity) with
+      | None ->
+        Ok
+          (Printf.sprintf
+             "nothing known about %s/%d: no module exports it and no facts are stored.\n"
+             (Symbol.name a.Ast.pred) arity)
+      | Some _ ->
+        if Seq.is_empty (call t a.Ast.pred a.Ast.args) then
+          Ok
+            (Printf.sprintf "no derivation: %s matches no stored %s/%d fact.\n" lit
+               (Symbol.name a.Ast.pred) arity)
+        else Ok (Printf.sprintf "%s is a base fact: stored directly, not derived.\n" lit)
+    end
     | Some m when List.mem Ast.Ann_pipelined m.Ast.annotations ->
       Error "explanations require a materialized module"
     | Some m -> begin
@@ -656,7 +679,11 @@ let why t src =
               render "" ms.Module_struct.answer_slot tuple []
             end)
           (Relation.scan (Fixpoint.answer_relation inst) ~pattern:(a.Ast.args, qenv) ());
-        if !count = 0 then Ok "no answers.\n" else Ok (Buffer.contents buf)
+        if !count = 0 then
+          Ok
+            (Printf.sprintf "no derivation: %s is not among the answers of module %s.\n" lit
+               m.Ast.mname)
+        else Ok (Buffer.contents buf)
     end
   end
   | Ok _ -> Error "why expects a single positive literal"
@@ -786,6 +813,13 @@ let with_cancel_check t check f =
   let prev = t.cancel in
   t.cancel <- Some check;
   Fun.protect ~finally:(fun () -> t.cancel <- prev) f
+
+(* Same scoping as [with_cancel_check]: the hook feeds the active-query
+   registry with live per-iteration progress while [f] evaluates. *)
+let with_progress t hook f =
+  let prev = t.progress in
+  t.progress <- Some hook;
+  Fun.protect ~finally:(fun () -> t.progress <- prev) f
 
 let plan_cache_stats t = t.plan_hits, t.plan_misses
 

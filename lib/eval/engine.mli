@@ -98,7 +98,9 @@ val why : t -> string -> (string, string) result
     answers.  Each node shows a fact, the rule that first derived it,
     and recursively the body facts that rule joined; rewrite-generated
     predicates (magic, supplementary, done) are elided and adorned
-    names map back to source names. *)
+    names map back to source names.  A literal no module derives
+    answers [Ok] with a one-line explanation (base fact / no matching
+    fact / nothing known) instead of erroring. *)
 
 val explain_analyze : t -> string -> (string, string) result
 (** Evaluate a single-literal query on a fresh profiled fixpoint and
@@ -125,6 +127,14 @@ val with_cancel_check : t -> (unit -> bool) -> (unit -> 'a) -> 'a
     it returns [true].  The check is per-engine ambient state: scopes
     nest (the outer check is restored on exit, along with its polling
     budget), and evaluation on a different engine is unaffected. *)
+
+val with_progress : t -> (rounds:int -> delta:int -> lanes:int array -> unit) -> (unit -> 'a) -> 'a
+(** Run a computation with a live-progress hook installed on this
+    engine: every fixpoint instance it runs (including nested module
+    calls and cached saved instances) reports each productive step —
+    its round counter, the tuples inserted that step, and per-lane
+    task counts under parallel evaluation ([[||]] sequential).  Same
+    ambient scoping as {!with_cancel_check}. *)
 
 val plan_cache_stats : t -> int * int
 (** [(hits, misses)] of the engine's plan cache: how many query-form

@@ -55,6 +55,9 @@ type t = {
   mutable seeds : Tuple.t list;  (* every seed ever added (for re-opens) *)
   mutable cancel : (unit -> bool) option;  (* cooperative cancellation check *)
   mutable budget : int;  (* ticks until the next cancel consult *)
+  mutable progress : (rounds:int -> delta:int -> lanes:int array -> unit) option;
+      (* live-progress hook, invoked once per productive step (see
+         [step]); lanes are per-worker task counts, [||] sequential *)
   pool : Par_pool.t option;  (* shared domain pool when workers > 1 *)
   backjump : bool;  (* intelligent backtracking (bench ablation E16) *)
   par : bool;  (* module passed the parallel-safety gate *)
@@ -68,6 +71,8 @@ type t = {
 let set_cancel_check t check =
   t.cancel <- check;
   t.budget <- tick_interval
+
+let set_progress t hook = t.progress <- hook
 
 (* Polled at round boundaries: always consults the check. *)
 let poll t =
@@ -218,6 +223,7 @@ let create ?(trace = false) ?(profile = false) ?(workers = 1) ?(backjump = true)
       seeds = [];
       cancel = None;
       budget = tick_interval;
+      progress = None;
       pool;
       backjump;
       par;
@@ -761,15 +767,28 @@ let step_inner t =
   end
 
 let step t =
-  let before = if t.profile then total_inserts t else 0 in
+  let want_delta = t.profile || Option.is_some t.progress in
+  let before = if want_delta then total_inserts t else 0 in
   let progressed =
     Coral_obs.Obs.Span.with_ "fixpoint.iter"
       ~attrs:(fun () ->
         [ "round", string_of_int t.nrounds; "phase", string_of_int t.phase ])
       (fun () -> step_inner t)
   in
-  if t.profile && progressed then
-    t.step_deltas <- (total_inserts t - before) :: t.step_deltas;
+  if want_delta && progressed then begin
+    let delta = total_inserts t - before in
+    if t.profile then t.step_deltas <- delta :: t.step_deltas;
+    match t.progress with
+    | Some hook ->
+      let lanes =
+        match t.pool with
+        | Some pool when t.par ->
+          Array.init (Par_pool.workers pool) (Par_pool.lane_tasks pool)
+        | _ -> [||]
+      in
+      hook ~rounds:t.nrounds ~delta ~lanes
+    | None -> ()
+  end;
   progressed
 
 let run t =

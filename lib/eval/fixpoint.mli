@@ -64,6 +64,14 @@ val tick : t -> unit
 
 val tick_interval : int
 
+val set_progress : t -> (rounds:int -> delta:int -> lanes:int array -> unit) option -> unit
+(** Install (or clear) a live-progress hook, invoked after every
+    productive {!step} with the instance's round counter, the number
+    of tuples that step inserted, and — under parallel evaluation —
+    per-lane cumulative task counts ([[||]] when sequential).  The
+    hook runs on the evaluating thread at step granularity; a [None]
+    hook costs nothing on the hot path. *)
+
 val create :
   ?trace:bool -> ?profile:bool -> ?workers:int -> ?backjump:bool -> Module_struct.t -> t
 (** [trace] (default false) records, for the first derivation of every

@@ -1,0 +1,22 @@
+(** A minimal JSON value type with a compact renderer and a parser —
+    used by the structured event log and by tests that round-trip what
+    the obs layer emits.  No external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering.  Non-finite floats render as [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; [Error] carries a message with an offset.
+    Numbers without a fraction or exponent parse as [Int]. *)
+
+val member : string -> t -> t option
+(** [member k v] is the field [k] of object [v], if any. *)

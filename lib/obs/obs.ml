@@ -18,6 +18,12 @@ let set_enabled flag = Atomic.set on flag
    counters, not clocks, are the machine-independent measures. *)
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
+(* Exposed as coral_build_info / process start-time gauges on the
+   Prometheus endpoint.  The version tracks the PR sequence, not any
+   external release scheme. *)
+let version = "0.5.0"
+let process_start_ns = now_ns ()
+
 (* ------------------------------------------------------------------ *)
 (* Metric cells                                                       *)
 (* ------------------------------------------------------------------ *)

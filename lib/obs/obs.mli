@@ -11,6 +11,12 @@ val set_enabled : bool -> unit
 (** Wall clock in integer nanoseconds (microsecond resolution). *)
 val now_ns : unit -> int
 
+val version : string
+(** Reported in [coral_build_info]. *)
+
+val process_start_ns : int
+(** Wall-clock time this process initialized the obs library. *)
+
 module Counter : sig
   type t
 

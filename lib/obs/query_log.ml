@@ -1,0 +1,265 @@
+(* The active-query registry and the structured event log.
+
+   Registry: every in-flight evaluation registers a descriptor; the
+   fixpoint publishes live progress into it through a per-iteration
+   hook.  The hot path writes only atomics (counters and an immutable
+   lane-snapshot swap, the same discipline as the metric cells in
+   obs.ml); the registry mutex guards only the id table, touched at
+   register/unregister/list/kill granularity — never per iteration.
+   Unlike the metric cells this is *not* gated on [Obs.enabled]: `ps`
+   and `kill` are operational controls, not telemetry, and must work
+   on a server that never turned metrics on.
+
+   Event log: append-only JSONL, one object per completed request
+   (plus consult/insert/recovery events), held in a fixed in-memory
+   ring for the `events <n>` wire command and optionally mirrored to a
+   file with size-based rotation (<path> is renamed to <path>.1 when
+   it would exceed the byte budget, so the pair is bounded by about
+   twice the budget).  Queries slower than the configured threshold
+   are flagged and mirrored to stderr. *)
+
+type entry = {
+  id : int;
+  session : int;
+  kind : string;  (* query | consult | explain_analyze | why | repl | bench *)
+  text : string;
+  adorned : string;
+  started_ns : int;
+  deadline_ms : int;
+  workers : int;
+  iterations : int Atomic.t;  (* productive fixpoint steps, monotonic *)
+  derivations : int Atomic.t;  (* cumulative inserts across nested instances *)
+  last_delta : int Atomic.t;
+  lanes : int array Atomic.t;  (* per-lane task counts; [||] when sequential *)
+  killed : bool Atomic.t;
+}
+
+type snapshot = {
+  s_id : int;
+  s_session : int;
+  s_kind : string;
+  s_text : string;
+  s_adorned : string;
+  s_age_ns : int;
+  s_deadline_ms : int;
+  s_workers : int;
+  s_iterations : int;
+  s_derivations : int;
+  s_last_delta : int;
+  s_lanes : int array;
+  s_killed : bool;
+}
+
+let table : (int, entry) Hashtbl.t = Hashtbl.create 16
+let table_lock = Mutex.create ()
+let next_id = Atomic.make 0
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register ?(session = 0) ?(deadline_ms = 0) ?(workers = 1) ?(adorned = "")
+    ?(kind = "query") text =
+  let e =
+    { id = Atomic.fetch_and_add next_id 1 + 1;
+      session;
+      kind;
+      text;
+      adorned;
+      started_ns = Obs.now_ns ();
+      deadline_ms;
+      workers;
+      iterations = Atomic.make 0;
+      derivations = Atomic.make 0;
+      last_delta = Atomic.make 0;
+      lanes = Atomic.make [||];
+      killed = Atomic.make false
+    }
+  in
+  locked table_lock (fun () -> Hashtbl.replace table e.id e);
+  e
+
+let unregister e = locked table_lock (fun () -> Hashtbl.remove table e.id)
+
+(* The per-iteration hook target: atomics only, no locks. *)
+let progress e ~delta ~lanes =
+  Atomic.incr e.iterations;
+  if delta > 0 then ignore (Atomic.fetch_and_add e.derivations delta);
+  Atomic.set e.last_delta delta;
+  if lanes <> [||] then Atomic.set e.lanes lanes
+
+let id e = e.id
+let iterations e = Atomic.get e.iterations
+let derivations e = Atomic.get e.derivations
+let killed e = Atomic.get e.killed
+
+let kill qid =
+  locked table_lock (fun () ->
+      match Hashtbl.find_opt table qid with
+      | Some e ->
+        Atomic.set e.killed true;
+        true
+      | None -> false)
+
+let snapshot_of now e =
+  { s_id = e.id;
+    s_session = e.session;
+    s_kind = e.kind;
+    s_text = e.text;
+    s_adorned = e.adorned;
+    s_age_ns = max 0 (now - e.started_ns);
+    s_deadline_ms = e.deadline_ms;
+    s_workers = e.workers;
+    s_iterations = Atomic.get e.iterations;
+    s_derivations = Atomic.get e.derivations;
+    s_last_delta = Atomic.get e.last_delta;
+    s_lanes = Atomic.get e.lanes;
+    s_killed = Atomic.get e.killed
+  }
+
+let active () =
+  let now = Obs.now_ns () in
+  locked table_lock (fun () -> Hashtbl.fold (fun _ e acc -> snapshot_of now e :: acc) table [])
+  |> List.sort (fun a b -> compare a.s_id b.s_id)
+
+let active_count () = locked table_lock (fun () -> Hashtbl.length table)
+
+(* ------------------------------------------------------------------ *)
+(* The event log                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Events = struct
+  let ring_capacity = 1024
+
+  type state = {
+    mutable enabled : bool;
+    ring : string array;
+    mutable cursor : int;  (* total events ever logged *)
+    mutable path : string;  (* "" = in-memory ring only *)
+    mutable oc : out_channel option;
+    mutable bytes : int;  (* written to the current file *)
+    mutable max_bytes : int;
+    mutable slow_ms : int;  (* 0 = slow-query flagging off *)
+  }
+
+  let st =
+    { enabled = true;
+      ring = Array.make ring_capacity "";
+      cursor = 0;
+      path = "";
+      oc = None;
+      bytes = 0;
+      max_bytes = 4 * 1024 * 1024;
+      slow_ms = 0
+    }
+
+  let lock = Mutex.create ()
+
+  let close_sink () =
+    (match st.oc with Some oc -> close_out_noerr oc | None -> ());
+    st.oc <- None
+
+  let open_sink () =
+    if st.path <> "" then begin
+      let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 st.path in
+      st.oc <- Some oc;
+      st.bytes <- (try (Unix.stat st.path).Unix.st_size with Unix.Unix_error _ -> 0)
+    end
+
+  let configure ?enabled ?path ?max_bytes ?slow_ms () =
+    locked lock (fun () ->
+        (match enabled with Some b -> st.enabled <- b | None -> ());
+        (match max_bytes with Some n -> st.max_bytes <- max 4096 n | None -> ());
+        (match slow_ms with Some n -> st.slow_ms <- max 0 n | None -> ());
+        match path with
+        | Some p ->
+          close_sink ();
+          st.path <- p;
+          st.bytes <- 0;
+          open_sink ()
+        | None -> ())
+
+  let slow_ms () = st.slow_ms
+
+  (* caller holds [lock] *)
+  let sink line =
+    st.ring.(st.cursor mod ring_capacity) <- line;
+    st.cursor <- st.cursor + 1;
+    match st.oc with
+    | None -> ()
+    | Some oc ->
+      let len = String.length line + 1 in
+      let oc =
+        if st.bytes > 0 && st.bytes + len > st.max_bytes then begin
+          (* rotate: the live file becomes .1 (replacing any previous
+             .1), so path + path.1 together stay bounded *)
+          close_sink ();
+          (try Sys.rename st.path (st.path ^ ".1") with Sys_error _ -> ());
+          open_sink ();
+          match st.oc with Some oc -> oc | None -> oc
+        end
+        else oc
+      in
+      (try
+         output_string oc line;
+         output_char oc '\n';
+         flush oc;
+         st.bytes <- st.bytes + len
+       with Sys_error _ -> ())
+
+  let log ~kind fields =
+    if st.enabled then begin
+      let line =
+        Json.to_string
+          (Json.Obj
+             (("ts", Json.Float (Unix.gettimeofday ())) :: ("kind", Json.Str kind) :: fields))
+      in
+      locked lock (fun () -> sink line)
+    end
+
+  let clip text =
+    if String.length text <= 200 then text else String.sub text 0 197 ^ "..."
+
+  let query_event ~kind ~id ~session ~text ~latency_ms ~rows ~iterations ~derivations
+      ~plan_cache ~outcome () =
+    if st.enabled then begin
+      let slow = st.slow_ms > 0 && latency_ms >= float_of_int st.slow_ms in
+      let fields =
+        [ "id", Json.Int id;
+          "session", Json.Int session;
+          "query", Json.Str (clip text);
+          "latency_ms", Json.Float latency_ms;
+          "rows", Json.Int rows;
+          "iterations", Json.Int iterations;
+          "derivations", Json.Int derivations
+        ]
+        @ (if plan_cache = "" then [] else [ "plan_cache", Json.Str plan_cache ])
+        @ [ "outcome", Json.Str outcome ]
+        @ if slow then [ "slow", Json.Bool true ] else []
+      in
+      log ~kind fields;
+      if slow then
+        Printf.eprintf "coral: slow %s %d (%.1fms, outcome %s): %s\n%!" kind id latency_ms
+          outcome (clip text)
+    end
+
+  let recent n =
+    locked lock (fun () ->
+        let n = max 0 n in
+        let first = max 0 (st.cursor - min n ring_capacity) in
+        List.init (st.cursor - first) (fun i -> st.ring.((first + i) mod ring_capacity)))
+
+  let total () = st.cursor
+
+  (* test/bench isolation: drop the ring and detach any file sink *)
+  let reset () =
+    locked lock (fun () ->
+        close_sink ();
+        Array.fill st.ring 0 ring_capacity "";
+        st.cursor <- 0;
+        st.path <- "";
+        st.bytes <- 0;
+        st.max_bytes <- 4 * 1024 * 1024;
+        st.slow_ms <- 0;
+        st.enabled <- true)
+end

@@ -1,0 +1,110 @@
+(** The active-query registry and the structured event log.
+
+    Registry: every in-flight evaluation registers a descriptor and
+    the fixpoint publishes per-iteration progress into it.  Progress
+    writes touch only atomics (plus an immutable lane-array swap), so
+    the hot path takes no locks; a mutex guards just the id table at
+    register/unregister/list/kill granularity.  Not gated on
+    {!Obs.enabled}: [ps] / [kill] are operational controls, not
+    telemetry.
+
+    Event log: append-only JSONL in a fixed in-memory ring (powering
+    the [events <n>] wire command), optionally mirrored to a file with
+    size-based rotation; entries slower than the configured threshold
+    are flagged and mirrored to stderr. *)
+
+type entry
+
+val register :
+  ?session:int ->
+  ?deadline_ms:int ->
+  ?workers:int ->
+  ?adorned:string ->
+  ?kind:string ->
+  string ->
+  entry
+(** Register an in-flight evaluation (the argument is the request
+    text).  The entry stays listed until {!unregister}. *)
+
+val unregister : entry -> unit
+
+val progress : entry -> delta:int -> lanes:int array -> unit
+(** Per-iteration hook target: bumps the iteration counter, folds
+    [delta] into cumulative derivations, swaps in the per-lane task
+    snapshot ([[||]] when sequential).  Lock-free. *)
+
+val id : entry -> int
+val iterations : entry -> int
+val derivations : entry -> int
+
+val killed : entry -> bool
+(** Whether {!kill} has been signalled for this entry — evaluations
+    poll this from their cooperative cancel check. *)
+
+val kill : int -> bool
+(** Signal cooperative cancellation of the active query with this id;
+    false when no such query is active. *)
+
+type snapshot = {
+  s_id : int;
+  s_session : int;
+  s_kind : string;
+  s_text : string;
+  s_adorned : string;
+  s_age_ns : int;
+  s_deadline_ms : int;
+  s_workers : int;
+  s_iterations : int;
+  s_derivations : int;
+  s_last_delta : int;
+  s_lanes : int array;
+  s_killed : bool;
+}
+
+val active : unit -> snapshot list
+(** Consistent point-in-time snapshots of every registered query,
+    sorted by id. *)
+
+val active_count : unit -> int
+
+module Events : sig
+  val configure :
+    ?enabled:bool -> ?path:string -> ?max_bytes:int -> ?slow_ms:int -> unit -> unit
+  (** [enabled] (default true) switches all event recording;
+      [path] attaches (or with [""] detaches) a JSONL file sink;
+      [max_bytes] (default 4 MiB, floor 4 KiB) rotates [path] to
+      [path.1] before it would be exceeded, bounding the pair at about
+      twice the budget; [slow_ms] (default 0 = off) flags slower
+      queries and mirrors them to stderr. *)
+
+  val slow_ms : unit -> int
+
+  val log : kind:string -> (string * Json.t) list -> unit
+  (** Append one event ([ts] and [kind] fields are added). *)
+
+  val query_event :
+    kind:string ->
+    id:int ->
+    session:int ->
+    text:string ->
+    latency_ms:float ->
+    rows:int ->
+    iterations:int ->
+    derivations:int ->
+    plan_cache:string ->
+    outcome:string ->
+    unit ->
+    unit
+  (** Append a request-completion record; [outcome] is one of
+      ok / timeout / killed / error, [plan_cache] "" omits the field.
+      The query text is clipped to 200 bytes. *)
+
+  val recent : int -> string list
+  (** The newest [n] event lines still in the ring, oldest first. *)
+
+  val total : unit -> int
+  (** Events ever logged (including ones rotated out of the ring). *)
+
+  val reset : unit -> unit
+  (** Drop the ring, detach the file sink, restore defaults (tests). *)
+end

@@ -1,8 +1,10 @@
 (* A deliberately tiny HTTP/1.0-style listener for the Prometheus
    scrape endpoint.  One accept thread, one short-lived thread per
-   connection; every request — whatever the path — gets the metrics
-   body, so `curl host:port/` and `curl host:port/metrics` both work.
-   Not a general HTTP server: no keep-alive, no routing, no TLS. *)
+   connection; `/` and `/metrics` serve the metrics body (so both
+   `curl host:port/` and a scraper's default path work), any other
+   path gets a proper 404 response — never a silently closed socket.
+   Every response carries Content-Length.  Not a general HTTP server:
+   no keep-alive, no TLS. *)
 
 type t = {
   fd : Unix.file_descr;
@@ -43,19 +45,29 @@ let serve_connection t client =
      match read_request ic with
      | None -> ()
      | Some request_line ->
-       let meth =
-         match String.index_opt request_line ' ' with
-         | Some i -> String.sub request_line 0 i
-         | None -> request_line
+       let meth, path =
+         match String.split_on_char ' ' request_line with
+         | m :: p :: _ -> m, p
+         | [ m ] -> m, "/"
+         | [] -> request_line, "/"
        in
-       if meth = "GET" || meth = "HEAD" then
+       (* ignore any query string when routing *)
+       let path =
+         match String.index_opt path '?' with
+         | Some i -> String.sub path 0 i
+         | None -> path
+       in
+       if meth <> "GET" && meth <> "HEAD" then
+         respond oc ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+           "only GET is supported\n"
+       else if path = "/" || path = "/metrics" then
          let body = try t.body () with _ -> "# metrics collection failed\n" in
          respond oc ~status:"200 OK"
            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
            (if meth = "HEAD" then "" else body)
        else
-         respond oc ~status:"405 Method Not Allowed" ~content_type:"text/plain"
-           "only GET is supported\n"
+         respond oc ~status:"404 Not Found" ~content_type:"text/plain"
+           (if meth = "HEAD" then "" else "not found (try /metrics)\n")
    with
   | Sys_error _ | End_of_file -> ()
   | Unix.Unix_error _ -> ());

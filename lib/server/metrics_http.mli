@@ -1,9 +1,11 @@
 (** A minimal HTTP listener for the Prometheus scrape endpoint
     ([--metrics-port]).
 
-    Serves every GET request with the text produced by the body
+    Serves GET [/] and [/metrics] with the text produced by the body
     callback (typically {!Session.metrics_text} over the server's
-    store) as [text/plain; version=0.0.4].  One thread per connection,
+    store) as [text/plain; version=0.0.4]; other paths get 404, other
+    methods 405 — always a well-formed response with Content-Length,
+    never a silently closed socket.  One thread per connection,
     [Connection: close] — just enough HTTP for [curl] and a Prometheus
     scraper, nothing more. *)
 

@@ -12,9 +12,12 @@ type request =
   | Metrics
   | Relations
   | Modules
+  | Ps
+  | Kill of int
+  | Events of int
   | Quit
 
-type error_code = Parse | Eval | Timeout | Proto | Too_big | Ioerr
+type error_code = Parse | Eval | Timeout | Proto | Too_big | Ioerr | Killed
 
 type payload =
   | Ans of string
@@ -35,6 +38,7 @@ let code_string = function
   | Proto -> "PROTO"
   | Too_big -> "TOOBIG"
   | Ioerr -> "IOERR"
+  | Killed -> "KILLED"
 
 let one_line s =
   let b = Buffer.create (String.length s) in
@@ -100,6 +104,19 @@ let parse_request line =
   | "metrics" -> no_arg Metrics
   | "relations" -> no_arg Relations
   | "modules" -> no_arg Modules
+  | "ps" -> no_arg Ps
+  | "kill" ->
+    need_arg (fun () ->
+        match int_of_string_opt arg with
+        | Some qid when qid > 0 -> `Req (Kill qid)
+        | _ -> `Bad "kill expects a query id (see ps)")
+  | "events" ->
+    if arg = "" then `Req (Events 20)
+    else begin
+      match int_of_string_opt arg with
+      | Some n when n > 0 -> `Req (Events n)
+      | _ -> `Bad "events expects a positive count"
+    end
   | "quit" -> no_arg Quit
   | _ -> `Bad (Printf.sprintf "unknown command %S" cmd)
 

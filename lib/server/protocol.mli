@@ -25,8 +25,15 @@
     metrics                    Prometheus text exposition of all metrics
     relations                  base relations and cardinalities
     modules                    loaded modules
+    ps                         active queries with live progress and age
+    kill <id>                  cooperatively cancel the active query <id>
+    events [n]                 tail the newest n (default 20) event-log entries
     quit                       close the session
     v}
+
+    [ps], [kill] and [events] are served without the store lock, so
+    they work from any connection while another connection's query is
+    evaluating.
 
     {2 Replies}
 
@@ -44,7 +51,9 @@
     (malformed request line), [TOOBIG] (request exceeds the size
     limits; the server closes the connection), [IOERR] (a storage
     fault — disk I/O error, checksum mismatch, quarantined page — the
-    request failed but the session stays usable). *)
+    request failed but the session stays usable), [KILLED] (an
+    operator cancelled this request via [kill]; the session stays
+    usable). *)
 
 type request =
   | Hello
@@ -60,9 +69,12 @@ type request =
   | Metrics
   | Relations
   | Modules
+  | Ps
+  | Kill of int  (** query id from [ps] *)
+  | Events of int  (** newest n event-log entries *)
   | Quit
 
-type error_code = Parse | Eval | Timeout | Proto | Too_big | Ioerr
+type error_code = Parse | Eval | Timeout | Proto | Too_big | Ioerr | Killed
 
 type payload =
   | Ans of string  (** a query answer row *)

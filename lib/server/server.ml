@@ -93,6 +93,7 @@ let serve_connection store client =
     (* client went away mid-reply: just drop the connection *)
     ()
   | Unix.Unix_error _ -> ());
+  Session.close session;
   try Unix.close client with Unix.Unix_error _ -> ()
 
 let accept_loop t =

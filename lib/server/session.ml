@@ -1,4 +1,6 @@
 module Obs = Coral_obs.Obs
+module Query_log = Coral_obs.Query_log
+module Json = Coral_obs.Json
 
 (* Request latency histograms; recorded when observability is enabled
    (the server enables it at startup).  Buckets are log-scale ns,
@@ -14,7 +16,11 @@ type store = {
   mutable requests : int;
   mutable errors : int;
   mutable timeouts : int;
-  mutable sessions : int;
+  (* session accounting is atomic, not lock-guarded: sessions must be
+     creatable (and counted) while another connection's query holds the
+     engine lock, or an operator could never connect to run ps/kill *)
+  sessions : int Atomic.t;  (* currently open *)
+  next_sid : int Atomic.t;
 }
 
 let make_store db =
@@ -24,7 +30,8 @@ let make_store db =
     requests = 0;
     errors = 0;
     timeouts = 0;
-    sessions = 0
+    sessions = Atomic.make 0;
+    next_sid = Atomic.make 0
   }
 
 let db store = store.sdb
@@ -35,28 +42,98 @@ let locked store f =
 
 type t = {
   store : store;
+  sid : int;
   mutable deadline_ms : int;
+  mutable closed : bool;
 }
 
 let create store =
-  locked store (fun () -> store.sessions <- store.sessions + 1);
-  { store; deadline_ms = 0 }
+  ignore (Atomic.fetch_and_add store.sessions 1);
+  { store; sid = Atomic.fetch_and_add store.next_sid 1 + 1; deadline_ms = 0; closed = false }
 
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    ignore (Atomic.fetch_and_add t.store.sessions (-1))
+  end
+
+let sid t = t.sid
 let deadline_ms t = t.deadline_ms
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (caller holds the store lock)                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Run [f] under this session's deadline: evaluation polls the clock
-   cooperatively (Fixpoint ticks) and raises [Coral.Cancelled] once the
-   deadline passes. *)
-let with_deadline t f =
-  if t.deadline_ms <= 0 then f ()
-  else begin
-    let limit = Unix.gettimeofday () +. (float_of_int t.deadline_ms /. 1000.0) in
-    Coral.with_cancel t.store.sdb (fun () -> Unix.gettimeofday () > limit) f
-  end
+(* The adorned forms of a query's positive literals — the registry's
+   "what shape of plan is this" descriptor. *)
+let adorned_of_lits lits =
+  List.filter_map
+    (function
+      | Coral.Ast.Pos (a : Coral.Ast.atom) ->
+        let adorn =
+          Array.map
+            (fun arg -> if Coral.Term.is_ground arg then Coral.Ast.Bound else Coral.Ast.Free)
+            a.Coral.Ast.args
+        in
+        Some
+          (Printf.sprintf "%s/%d:%s"
+             (Coral.Symbol.name a.Coral.Ast.pred)
+             (Array.length a.Coral.Ast.args)
+             (Coral.Ast.adornment_to_string adorn))
+      | _ -> None)
+    lits
+  |> String.concat ","
+
+(* Run [f] under this session's guards: evaluation cooperatively polls
+   a combined check — the registry's kill flag for this entry plus the
+   session deadline, if one is set — and publishes per-iteration
+   progress into the entry.  The check is installed even with no
+   deadline, so `kill` always works. *)
+let with_guards t entry f =
+  let sdb = t.store.sdb in
+  let limit =
+    if t.deadline_ms <= 0 then infinity
+    else Unix.gettimeofday () +. (float_of_int t.deadline_ms /. 1000.0)
+  in
+  let check () = Query_log.killed entry || Unix.gettimeofday () > limit in
+  Coral.with_cancel sdb check (fun () ->
+      Coral.with_progress sdb
+        (fun ~rounds:_ ~delta ~lanes -> Query_log.progress entry ~delta ~lanes)
+        f)
+
+(* The common wrapper for every evaluating request: register in the
+   active-query registry, evaluate under the guards, unregister, and
+   log a completion event with the outcome.  [k] builds the success
+   response; a kill comes back as [err KILLED] (the session stays
+   usable); every other failure re-raises into [handle]'s mapping
+   after the event is logged. *)
+let evaluated t ~kind ?(adorned = "") ?(plan_cache = "") text ~rows_of f k =
+  let store = t.store in
+  let entry =
+    Query_log.register ~session:t.sid ~deadline_ms:t.deadline_ms
+      ~workers:(Coral.workers store.sdb) ~adorned ~kind text
+  in
+  let t0 = Obs.now_ns () in
+  let finish outcome ~rows =
+    Query_log.unregister entry;
+    Query_log.Events.query_event ~kind ~id:(Query_log.id entry) ~session:t.sid ~text
+      ~latency_ms:(float_of_int (Obs.now_ns () - t0) /. 1e6)
+      ~rows
+      ~iterations:(Query_log.iterations entry)
+      ~derivations:(Query_log.derivations entry)
+      ~plan_cache ~outcome ()
+  in
+  match with_guards t entry f with
+  | v ->
+    finish "ok" ~rows:(rows_of v);
+    k v
+  | exception Coral.Cancelled when Query_log.killed entry ->
+    finish "killed" ~rows:0;
+    Protocol.err Protocol.Killed
+      (Printf.sprintf "query %d killed by operator request" (Query_log.id entry))
+  | exception e ->
+    finish (match e with Coral.Cancelled -> "timeout" | _ -> "error") ~rows:0;
+    raise e
 
 let render_rows (r : Coral.Engine.query_result) =
   List.map
@@ -76,26 +153,35 @@ let do_query t text =
   match Plan_cache.prepare store.cache store.sdb text with
   | Error e -> Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e)
   | Ok (lits, tag) ->
-    let r = with_deadline t (fun () -> Coral.Engine.query (Coral.engine store.sdb) lits) in
-    let cache_note =
-      match tag with
-      | `Hit -> " (plan cache: hit)"
-      | `Miss -> " (plan cache: miss)"
-      | `Unplanned -> ""
+    let plan_cache =
+      match tag with `Hit -> "hit" | `Miss -> "miss" | `Unplanned -> "unplanned"
     in
-    let n = List.length r.Coral.Engine.rows in
-    let payload = Obs.Histogram.time h_emit (fun () -> render_rows r) in
-    Protocol.ok
-      ~detail:(Printf.sprintf "%d answer%s%s" n (if n = 1 then "" else "s") cache_note)
-      payload
+    evaluated t ~kind:"query" ~adorned:(adorned_of_lits lits) ~plan_cache text
+      ~rows_of:(fun (r : Coral.Engine.query_result) -> List.length r.Coral.Engine.rows)
+      (fun () -> Coral.Engine.query (Coral.engine store.sdb) lits)
+      (fun r ->
+        let cache_note =
+          match tag with
+          | `Hit -> " (plan cache: hit)"
+          | `Miss -> " (plan cache: miss)"
+          | `Unplanned -> ""
+        in
+        let n = List.length r.Coral.Engine.rows in
+        let payload = Obs.Histogram.time h_emit (fun () -> render_rows r) in
+        Protocol.ok
+          ~detail:(Printf.sprintf "%d answer%s%s" n (if n = 1 then "" else "s") cache_note)
+          payload)
 
 let do_consult t text =
   let store = t.store in
-  let results = with_deadline t (fun () -> Coral.Engine.consult (Coral.engine store.sdb) text) in
-  (* embedded query results are discarded, as in Coral.consult_text *)
-  ignore results;
-  Plan_cache.invalidate store.cache store.sdb;
-  Protocol.ok ~detail:"consulted" []
+  evaluated t ~kind:"consult" text
+    ~rows_of:(fun _ -> 0)
+    (fun () -> Coral.Engine.consult (Coral.engine store.sdb) text)
+    (fun results ->
+      (* embedded query results are discarded, as in Coral.consult_text *)
+      ignore results;
+      Plan_cache.invalidate store.cache store.sdb;
+      Protocol.ok ~detail:"consulted" [])
 
 let do_insert t text =
   let store = t.store in
@@ -127,6 +213,11 @@ let do_insert t text =
           0 facts
       in
       Plan_cache.invalidate store.cache store.sdb;
+      Query_log.Events.log ~kind:"insert"
+        [ "session", Json.Int t.sid;
+          "facts", Json.Int (List.length facts);
+          "stored", Json.Int stored
+        ];
       Protocol.ok
         ~detail:(Printf.sprintf "inserted %d of %d" stored (List.length facts))
         []
@@ -158,25 +249,26 @@ let do_explain t text =
       Protocol.ok (List.map (fun l -> Protocol.Txt l) (String.split_on_char '\n' text))
   end
 
-let do_why t text =
-  let store = t.store in
-  match with_deadline t (fun () -> Coral.Engine.why (Coral.engine store.sdb) text) with
+let report_response = function
   | Error e -> Protocol.err Protocol.Eval e
   | Ok report ->
     let lines = String.split_on_char '\n' report in
     let lines = List.filter (fun l -> l <> "") lines in
     Protocol.ok (List.map (fun l -> Protocol.Txt l) lines)
 
+let do_why t text =
+  let store = t.store in
+  evaluated t ~kind:"why" text
+    ~rows_of:(fun _ -> 0)
+    (fun () -> Coral.Engine.why (Coral.engine store.sdb) text)
+    report_response
+
 let do_explain_analyze t text =
   let store = t.store in
-  match
-    with_deadline t (fun () -> Coral.Engine.explain_analyze (Coral.engine store.sdb) text)
-  with
-  | Error e -> Protocol.err Protocol.Eval e
-  | Ok report ->
-    let lines = String.split_on_char '\n' report in
-    let lines = List.filter (fun l -> l <> "") lines in
-    Protocol.ok (List.map (fun l -> Protocol.Txt l) lines)
+  evaluated t ~kind:"explain_analyze" text
+    ~rows_of:(fun _ -> 0)
+    (fun () -> Coral.Engine.explain_analyze (Coral.engine store.sdb) text)
+    report_response
 
 let do_stats t =
   let store = t.store in
@@ -189,7 +281,9 @@ let do_stats t =
     [ Printf.sprintf "server.requests=%d" store.requests;
       Printf.sprintf "server.errors=%d" store.errors;
       Printf.sprintf "server.timeouts=%d" store.timeouts;
-      Printf.sprintf "server.sessions=%d" store.sessions;
+      Printf.sprintf "server.sessions=%d" (Atomic.get store.sessions);
+      Printf.sprintf "server.active_queries=%d" (Query_log.active_count ());
+      Printf.sprintf "server.events=%d" (Query_log.Events.total ());
       Printf.sprintf "prepared.entries=%d" c.Plan_cache.entries;
       Printf.sprintf "prepared.parsed_entries=%d" c.Plan_cache.parsed_entries;
       Printf.sprintf "prepared.hits=%d" c.Plan_cache.hits;
@@ -208,7 +302,7 @@ let do_stats t =
   (* ... the spaced forms below are legacy aliases, kept one release *)
   let legacy_lines =
     [ Printf.sprintf "server: requests=%d errors=%d timeouts=%d sessions=%d" store.requests
-        store.errors store.timeouts store.sessions;
+        store.errors store.timeouts (Atomic.get store.sessions);
       Printf.sprintf "prepared: entries=%d hits=%d misses=%d invalidations=%d"
         c.Plan_cache.entries c.Plan_cache.hits c.Plan_cache.misses c.Plan_cache.invalidations;
       Printf.sprintf "plans: cached=%d hits=%d misses=%d" (Coral.Engine.plan_cache_size eng)
@@ -221,6 +315,51 @@ let do_stats t =
     |> List.filter (fun l -> String.trim l <> "")
   in
   Protocol.ok (List.map (fun l -> Protocol.Txt l) (dotted @ legacy_lines @ engine_lines))
+
+(* ------------------------------------------------------------------ *)
+(* Operational introspection: ps / kill / events                       *)
+(* ------------------------------------------------------------------ *)
+
+(* These three are served WITHOUT the store lock (see [handle]) — their
+   whole point is to observe and cancel a query that is holding it. *)
+
+let clip_query s = if String.length s <= 120 then s else String.sub s 0 117 ^ "..."
+
+let ps_line (s : Query_log.snapshot) =
+  Protocol.Txt
+    (Printf.sprintf
+       "id=%d session=%d kind=%s age_ms=%d iter=%d derivations=%d delta=%d workers=%d deadline_ms=%d%s%s%s query=%s"
+       s.Query_log.s_id s.Query_log.s_session s.Query_log.s_kind
+       (s.Query_log.s_age_ns / 1_000_000)
+       s.Query_log.s_iterations s.Query_log.s_derivations s.Query_log.s_last_delta
+       s.Query_log.s_workers s.Query_log.s_deadline_ms
+       (if s.Query_log.s_adorned = "" then "" else " adorned=" ^ s.Query_log.s_adorned)
+       (if s.Query_log.s_lanes = [||] then ""
+        else
+          " lanes="
+          ^ String.concat "/"
+              (Array.to_list (Array.map string_of_int s.Query_log.s_lanes)))
+       (if s.Query_log.s_killed then " killed=pending" else "")
+       (clip_query s.Query_log.s_text))
+
+let do_ps _t =
+  let snaps = Query_log.active () in
+  Protocol.ok
+    ~detail:(Printf.sprintf "%d active" (List.length snaps))
+    (List.map ps_line snaps)
+
+let do_kill _t qid =
+  if Query_log.kill qid then
+    Protocol.ok ~detail:(Printf.sprintf "kill signalled for query %d" qid) []
+  else Protocol.err Protocol.Eval (Printf.sprintf "no active query with id %d" qid)
+
+let do_events _t n =
+  let lines = Query_log.Events.recent n in
+  Protocol.ok
+    ~detail:
+      (Printf.sprintf "%d of %d event%s" (List.length lines) (Query_log.Events.total ())
+         (if Query_log.Events.total () = 1 then "" else "s"))
+    (List.map (fun l -> Protocol.Txt l) lines)
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus text exposition                                          *)
@@ -236,7 +375,18 @@ let metrics_text store =
   Obs.prometheus_sample buf ~kind:"counter" "server.requests" store.requests;
   Obs.prometheus_sample buf ~kind:"counter" "server.errors" store.errors;
   Obs.prometheus_sample buf ~kind:"counter" "server.timeouts" store.timeouts;
-  Obs.prometheus_sample buf ~kind:"gauge" "server.sessions" store.sessions;
+  Obs.prometheus_sample buf ~kind:"gauge" "server.sessions" (Atomic.get store.sessions);
+  (* operational gauges + build/process identity *)
+  Obs.prometheus_sample buf ~kind:"gauge" "active_queries" (Query_log.active_count ());
+  Obs.prometheus_sample buf ~kind:"gauge" "sessions" (Atomic.get store.sessions);
+  Obs.prometheus_sample buf ~kind:"counter" "events.logged" (Query_log.Events.total ());
+  Buffer.add_string buf "# TYPE coral_build_info gauge\n";
+  Buffer.add_string buf
+    (Printf.sprintf "coral_build_info{version=%S,ocaml=%S} 1\n" Obs.version Sys.ocaml_version);
+  Obs.prometheus_sample buf ~kind:"gauge" "process_start_time_seconds"
+    (Obs.process_start_ns / 1_000_000_000);
+  Obs.prometheus_sample buf ~kind:"gauge" "process_uptime_seconds"
+    ((Obs.now_ns () - Obs.process_start_ns) / 1_000_000_000);
   let c = Plan_cache.stats store.cache in
   Obs.prometheus_sample buf ~kind:"gauge" "prepared.entries" c.Plan_cache.entries;
   Obs.prometheus_sample buf ~kind:"gauge" "prepared.parsed_entries" c.Plan_cache.parsed_entries;
@@ -291,9 +441,19 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Metrics -> do_metrics t
   | Protocol.Relations -> do_relations t
   | Protocol.Modules -> do_modules t
+  | Protocol.Ps | Protocol.Kill _ | Protocol.Events _ ->
+    (* handled lock-free in [handle]; unreachable through it *)
+    Protocol.err Protocol.Proto "introspection command routed incorrectly"
   | Protocol.Quit -> Protocol.ok ~detail:"bye" []
 
 let handle t req =
+  match req with
+  (* Introspection never queues behind the engine lock: ps/kill/events
+     must answer while another connection's query is evaluating. *)
+  | Protocol.Ps -> do_ps t
+  | Protocol.Kill qid -> do_kill t qid
+  | Protocol.Events n -> do_events t n
+  | _ ->
   let store = t.store in
   let t0 = Obs.now_ns () in
   Fun.protect

@@ -24,6 +24,17 @@ val locked : store -> (unit -> 'a) -> 'a
 type t
 
 val create : store -> t
+(** Open a session.  Lock-free (atomic counters only), so a new
+    connection can always come up — and run [ps]/[kill] — while
+    another connection's query holds the engine lock. *)
+
+val close : t -> unit
+(** Mark the session closed (decrements the open-session gauge).
+    Idempotent; the connection handler calls it when the socket
+    drains. *)
+
+val sid : t -> int
+(** This session's id, as shown in [ps] lines and event-log records. *)
 
 val deadline_ms : t -> int
 (** The session's current per-request deadline (0 = none). *)
@@ -31,7 +42,10 @@ val deadline_ms : t -> int
 val handle : t -> Protocol.request -> Protocol.response
 (** Execute one request against the shared store (takes the lock).
     Never raises: evaluation failures, parse failures and exceeded
-    deadlines come back as [err] replies. *)
+    deadlines come back as [err] replies.  Evaluating requests are
+    registered in {!Coral_obs.Query_log} for the duration and logged
+    to the event log on completion; [Ps]/[Kill]/[Events] are answered
+    without the store lock. *)
 
 val metrics_text : store -> string
 (** Prometheus text exposition: the store's own counters (requests,

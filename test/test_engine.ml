@@ -150,12 +150,27 @@ end_module.
 
 let test_why_no_answers () =
   let e = setup tc_program in
-  Alcotest.(check string) "no answers" "no answers.\n" (Coral.why e "path(4, 1)")
+  let s = Coral.why e "path(4, 1)" in
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no-derivation line" true
+    (String.starts_with ~prefix:"no derivation:" s);
+  Alcotest.(check bool) "names the module" true (contains "module paths")
 
 let test_why_errors () =
   let e = setup tc_program in
   let starts_with_error s = String.length s >= 6 && String.sub s 0 6 = "error:" in
-  Alcotest.(check bool) "unknown predicate" true (starts_with_error (Coral.why e "nope(1)"));
+  (* unknown predicates get a one-line explanation, not an error *)
+  Alcotest.(check bool) "unknown predicate explained" true
+    (String.starts_with ~prefix:"nothing known about nope/1" (Coral.why e "nope(1)"));
+  (* base facts and unmatched base relations likewise *)
+  Alcotest.(check bool) "base fact explained" true
+    (String.starts_with ~prefix:"edge(1, 2) is a base fact" (Coral.why e "edge(1, 2)"));
+  Alcotest.(check bool) "unmatched base relation explained" true
+    (String.starts_with ~prefix:"no derivation:" (Coral.why e "edge(9, 9)"));
   Alcotest.(check bool) "conjunction rejected" true
     (starts_with_error (Coral.why e "path(1, X), path(X, 4)"))
 

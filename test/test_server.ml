@@ -5,6 +5,8 @@ module Protocol = Coral_server.Protocol
 module Plan_cache = Coral_server.Plan_cache
 module Session = Coral_server.Session
 module Server = Coral_server.Server
+module Query_log = Coral_obs.Query_log
+module Json = Coral_obs.Json
 
 let paths_program =
   "edge(1, 2). edge(2, 3). edge(3, 4).\n\
@@ -308,6 +310,25 @@ let test_metrics_wire () =
     (contains "# TYPE coral_server_query_seconds histogram" text);
   Alcotest.(check bool) "engine counters ride along" true
     (contains "coral_engine_derivations" text);
+  Alcotest.(check bool) "build info with version and ocaml labels" true
+    (contains "coral_build_info{version=" text && contains "ocaml=" text);
+  Alcotest.(check bool) "process start time gauge" true
+    (contains "coral_process_start_time_seconds" text);
+  Alcotest.(check bool) "uptime gauge" true (contains "coral_process_uptime_seconds" text);
+  Alcotest.(check bool) "active query gauge" true
+    (contains "# TYPE coral_active_queries gauge" text);
+  Alcotest.(check bool) "session gauge" true
+    (contains "# TYPE coral_sessions gauge" text);
+  (* this connection is open, so the session gauge reads at least 1 *)
+  Alcotest.(check bool) "session gauge counts this connection" true
+    (List.exists
+       (fun l ->
+         String.starts_with ~prefix:"coral_server_sessions " l
+         &&
+         match int_of_string_opt (String.trim (String.sub l 21 (String.length l - 21))) with
+         | Some n -> n >= 1
+         | None -> false)
+       (String.split_on_char '\n' text));
   ignore (request c "quit");
   close c
 
@@ -343,8 +364,35 @@ let test_metrics_http () =
     (contains "Content-Type: text/plain; version=0.0.4" reply);
   Alcotest.(check bool) "query latency histogram in body" true
     (contains "# TYPE coral_server_query_seconds histogram" reply);
-  (* any path serves the same body; this is a scrape endpoint *)
-  check_prefix "root path too" "HTTP/1.0 200 OK" (fetch "/")
+  (* Content-Length must match the body exactly *)
+  let content_length r =
+    String.split_on_char '\n' r
+    |> List.find_map (fun l ->
+           if String.starts_with ~prefix:"Content-Length: " l then
+             int_of_string_opt (String.trim (String.sub l 16 (String.length l - 16)))
+           else None)
+  in
+  let body_of r =
+    let rec find i =
+      if i + 4 > String.length r then ""
+      else if String.sub r i 4 = "\r\n\r\n" then
+        String.sub r (i + 4) (String.length r - i - 4)
+      else find (i + 1)
+    in
+    find 0
+  in
+  (match content_length reply with
+  | Some n -> Alcotest.(check int) "content-length matches body" n (String.length (body_of reply))
+  | None -> Alcotest.fail "no Content-Length header on 200");
+  (* the scraper's default path and curl's bare URL both work *)
+  check_prefix "root path too" "HTTP/1.0 200 OK" (fetch "/");
+  check_prefix "query string ignored" "HTTP/1.0 200 OK" (fetch "/metrics?format=text");
+  (* unknown paths get a well-formed 404, with Content-Length *)
+  let missing = fetch "/nope" in
+  check_prefix "unknown path is 404" "HTTP/1.0 404 Not Found" missing;
+  (match content_length missing with
+  | Some n -> Alcotest.(check int) "404 content-length" n (String.length (body_of missing))
+  | None -> Alcotest.fail "no Content-Length header on 404")
 
 (* ------------------------------------------------------------------ *)
 (* Deadlines                                                           *)
@@ -378,6 +426,173 @@ let test_deadline () =
   check_prefix "new connections accepted" "ok pong" status;
   ignore (request c2 "quit");
   close c2;
+  ignore (request c "quit");
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* Live query introspection: ps and kill                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One connection runs an unbounded recursive query; a second
+   connection must still get served (session creation and ps/kill are
+   answered without the engine lock), see the query make progress, and
+   cancel it — after which the victim's session keeps working. *)
+let test_ps_kill () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let victim = connect srv in
+  let operator = connect srv in
+  let _, status = request victim ("consult " ^ flat nats_program) in
+  check_prefix "consult nats" "ok" status;
+  (* fire the unbounded query; its reply is read only after the kill *)
+  send victim "query nat(X)";
+  let field name line =
+    String.split_on_char ' ' line
+    |> List.find_map (fun tok ->
+           let p = name ^ "=" in
+           if String.starts_with ~prefix:p tok then
+             int_of_string_opt
+               (String.sub tok (String.length p) (String.length tok - String.length p))
+           else None)
+  in
+  let ps_lines () =
+    let lines, status = request operator "ps" in
+    check_prefix "ps status" "ok" status;
+    List.map strip_txt lines
+  in
+  (* poll until the query is listed with at least two iterations *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec wait_running () =
+    if Unix.gettimeofday () > deadline then Alcotest.fail "query never showed in ps";
+    let line =
+      List.find_opt
+        (fun l -> contains "kind=query" l && contains "query=nat(X)" l)
+        (ps_lines ())
+    in
+    match line with
+    | Some l when (match field "iter" l with Some n -> n >= 2 | None -> false) -> l
+    | _ ->
+      Thread.delay 0.02;
+      wait_running ()
+  in
+  let line = wait_running () in
+  let qid =
+    match field "id" line with
+    | Some id -> id
+    | None -> Alcotest.fail ("no id in ps line: " ^ line)
+  in
+  let iter0 = Option.get (field "iter" line) in
+  Thread.delay 0.05;
+  (* the published iteration counter never goes backwards *)
+  (match
+     List.find_opt
+       (fun l -> String.starts_with ~prefix:(Printf.sprintf "id=%d " qid) l)
+       (ps_lines ())
+   with
+  | Some l ->
+    Alcotest.(check bool)
+      (Printf.sprintf "iterations non-decreasing (%d then %d)" iter0
+         (Option.value ~default:(-1) (field "iter" l)))
+      true
+      (match field "iter" l with Some n -> n >= iter0 | None -> false)
+  | None -> Alcotest.fail "query vanished from ps before kill");
+  let _, status = request operator (Printf.sprintf "kill %d" qid) in
+  check_prefix "kill acknowledged" "ok kill signalled" status;
+  (* the victim's pending reply must be err KILLED, promptly *)
+  let t0 = Unix.gettimeofday () in
+  let rec read_status () =
+    match In_channel.input_line victim.ic with
+    | None -> Alcotest.fail "victim connection closed instead of replying"
+    | Some l when Protocol.is_status l -> l
+    | Some _ -> read_status ()
+  in
+  let status = read_status () in
+  let dt = Unix.gettimeofday () -. t0 in
+  check_prefix "victim reply" "err KILLED" status;
+  Alcotest.(check bool) (Printf.sprintf "killed promptly (%.3fs)" dt) true (dt < 5.0);
+  (* the victim's session survives its query being killed *)
+  let _, status = request victim "ping" in
+  check_prefix "victim session alive" "ok pong" status;
+  let _, status = request victim ("consult " ^ flat paths_program) in
+  check_prefix "victim still consults" "ok" status;
+  let answers, status = request victim "query path(1, Y)" in
+  check_prefix "victim still evaluates" "ok 3 answers" status;
+  Alcotest.(check int) "bounded answers" 3 (List.length answers);
+  (* killing the finished query is a clean error, not a crash *)
+  let _, status = request operator (Printf.sprintf "kill %d" qid) in
+  check_prefix "stale kill" "err EVAL" status;
+  ignore (request victim "quit");
+  close victim;
+  ignore (request operator "quit");
+  close operator
+
+(* ------------------------------------------------------------------ *)
+(* The structured event log over the wire                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_events_wire () =
+  Query_log.Events.reset ();
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c ("consult " ^ flat paths_program) in
+  check_prefix "consult" "ok" status;
+  let _, status = request c "query path(1, Y)" in
+  check_prefix "query" "ok" status;
+  let lines, status = request c "events 10" in
+  check_prefix "events status" "ok" status;
+  let lines = List.map strip_txt lines in
+  Alcotest.(check bool) "consult and query both logged" true (List.length lines >= 2);
+  (* every event line round-trips through the JSON parser *)
+  List.iter
+    (fun l ->
+      match Json.parse l with
+      | Ok j ->
+        Alcotest.(check bool) "has ts" true (Json.member "ts" j <> None);
+        Alcotest.(check bool) "has kind" true (Json.member "kind" j <> None)
+      | Error e -> Alcotest.fail (Printf.sprintf "unparseable event %S: %s" l e))
+    lines;
+  (* the newest entry is the query completion with its numbers *)
+  (match Json.parse (List.nth lines (List.length lines - 1)) with
+  | Ok j ->
+    Alcotest.(check bool) "kind query" true (Json.member "kind" j = Some (Json.Str "query"));
+    Alcotest.(check bool) "outcome ok" true (Json.member "outcome" j = Some (Json.Str "ok"));
+    Alcotest.(check bool) "row count" true (Json.member "rows" j = Some (Json.Int 3));
+    Alcotest.(check bool) "query text" true
+      (Json.member "query" j = Some (Json.Str "path(1, Y)"));
+    Alcotest.(check bool) "latency present" true (Json.member "latency_ms" j <> None)
+  | Error e -> Alcotest.fail ("bad completion event: " ^ e));
+  (* default count and argument validation *)
+  let _, status = request c "events" in
+  check_prefix "bare events" "ok" status;
+  let _, status = request c "events nope" in
+  check_prefix "bad count" "err PROTO" status;
+  ignore (request c "quit");
+  close c
+
+(* ------------------------------------------------------------------ *)
+(* why over the wire: explanations instead of errors                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_why_wire () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c ("consult " ^ flat paths_program) in
+  check_prefix "consult" "ok" status;
+  let explained what req needle =
+    let lines, status = request c req in
+    check_prefix (what ^ " status") "ok" status;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s mentions %S in: %s" what needle (String.concat " | " lines))
+      true
+      (List.exists (fun l -> contains needle (strip_txt l)) lines)
+  in
+  explained "derived fact" "why path(1, 3)" "edge(1, 2)";
+  explained "base fact" "why edge(1, 2)" "is a base fact";
+  explained "unmatched base" "why edge(9, 9)" "no derivation:";
+  explained "unknown predicate" "why mystery(1)" "nothing known about mystery/1";
+  explained "non-answer" "why path(4, 1)" "no derivation:";
   ignore (request c "quit");
   close c
 
@@ -565,6 +780,9 @@ let () =
           Alcotest.test_case "metrics (wire)" `Quick test_metrics_wire;
           Alcotest.test_case "metrics (http)" `Quick test_metrics_http;
           Alcotest.test_case "request deadline" `Quick test_deadline;
+          Alcotest.test_case "ps and kill" `Quick test_ps_kill;
+          Alcotest.test_case "event log (wire)" `Quick test_events_wire;
+          Alcotest.test_case "why explanations (wire)" `Quick test_why_wire;
           Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
           Alcotest.test_case "oversized requests" `Quick test_oversized_requests;
           Alcotest.test_case "IOERR keeps serving" `Quick test_ioerr_keeps_serving;
