@@ -52,6 +52,20 @@ let request (ic, oc, _) line =
   in
   drain 0
 
+(* like [request] but a status of "err ..." is returned, not fatal —
+   the long-fixpoint probe ends in a deliberate deadline error *)
+let request_any (ic, oc, _) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let rec drain () =
+    match In_channel.input_line ic with
+    | None -> failwith "server closed the connection"
+    | Some line when Coral_server.Protocol.is_status line -> line
+    | Some _ -> drain ()
+  in
+  drain ()
+
 let client port requests id =
   let conn = connect port in
   let answers = ref 0 in
@@ -64,11 +78,131 @@ let client port requests id =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   !answers
 
+let close_conn (_, _, fd) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let percentile lats p =
+  let a = Array.copy lats in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0 else a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* ------------------------------------------------------------------ *)
+(* Read scaling: throughput and tail latency vs connection count       *)
+(* ------------------------------------------------------------------ *)
+
+(* Each connection issues [per_conn] point queries back to back;
+   snapshot reads pin an epoch and evaluate without the store lock, so
+   added connections overlap protocol handling with evaluation (and on
+   multicore, evaluations with each other). *)
+let run_scaling port ~conns ~per_conn =
+  let lats = Array.make (conns * per_conn) 0.0 in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init conns (fun id ->
+        Thread.create
+          (fun () ->
+            let c = connect port in
+            for i = 0 to per_conn - 1 do
+              let src = ((id * 31) + (i * 7)) mod nodes in
+              let q0 = Unix.gettimeofday () in
+              ignore (request c (Printf.sprintf "query path(%d, Y)" src));
+              lats.((id * per_conn) + i) <- Unix.gettimeofday () -. q0
+            done;
+            ignore (request c "quit");
+            close_conn c)
+          ())
+  in
+  List.iter Thread.join threads;
+  let dt = Unix.gettimeofday () -. t0 in
+  let rps = float_of_int (conns * per_conn) /. dt in
+  rps, percentile lats 0.5, percentile lats 0.99
+
+(* ------------------------------------------------------------------ *)
+(* Reader isolation: point-read p99 while a long fixpoint runs         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two reader connections issue point queries for [seconds]; when
+   [long] is set, another connection runs an unbounded recursive query
+   (nat/1) under a deadline for the whole window, and an operator
+   connection polls [ps] to record how many queries were genuinely
+   in flight at once.  Returns (p99_s, max_inflight). *)
+let run_isolation port ~seconds ~long =
+  let lats_lock = Mutex.create () in
+  let lats = ref [] in
+  let stop = ref false in
+  let max_inflight = ref 0 in
+  let long_thread =
+    if not long then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             let c = connect port in
+             ignore (request c (Printf.sprintf "timeout %d" (int_of_float (seconds *. 1000.0))));
+             (* ends in err TIMEOUT by design; keeps a fixpoint running
+                for the whole measurement window *)
+             ignore (request_any c "query nat(X)");
+             ignore (request_any c "quit");
+             close_conn c)
+           ())
+  in
+  let ps_thread =
+    Thread.create
+      (fun () ->
+        let c = connect port in
+        let ic, oc, _ = c in
+        while not !stop do
+          output_string oc "ps\n";
+          flush oc;
+          let rec count n =
+            match In_channel.input_line ic with
+            | None -> n
+            | Some l when Coral_server.Protocol.is_status l -> n
+            | Some l -> count (if String.length l > 4 then n + 1 else n)
+          in
+          let inflight = count 0 in
+          if inflight > !max_inflight then max_inflight := inflight;
+          Thread.delay 0.02
+        done;
+        ignore (request c "quit");
+        close_conn c)
+      ()
+  in
+  (* let the long query get onto a pool domain before measuring *)
+  if long then Thread.delay 0.2;
+  let readers =
+    List.init 2 (fun id ->
+        Thread.create
+          (fun () ->
+            let c = connect port in
+            let deadline = Unix.gettimeofday () +. seconds in
+            let i = ref 0 in
+            while Unix.gettimeofday () < deadline do
+              let src = ((id * 17) + (!i * 7)) mod nodes in
+              incr i;
+              let q0 = Unix.gettimeofday () in
+              ignore (request c (Printf.sprintf "query path(%d, Y)" src));
+              let dt = Unix.gettimeofday () -. q0 in
+              Mutex.lock lats_lock;
+              lats := dt :: !lats;
+              Mutex.unlock lats_lock
+            done;
+            ignore (request c "quit");
+            close_conn c)
+          ())
+  in
+  List.iter Thread.join readers;
+  stop := true;
+  Thread.join ps_thread;
+  Option.iter Thread.join long_thread;
+  percentile (Array.of_list !lats) 0.99, !max_inflight
+
 (* BENCH_server.json: throughput plus the Obs histograms the run filled
    in — request/query latency and per-phase engine time (the emit phase
    only exists on the server path, so it shows up here and not in
    BENCH_core.json). *)
-let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) =
+let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) ~scaling
+    ~isolation:(base_p99, cont_p99, max_inflight) =
   let module Obs = Coral_obs.Obs in
   let oc = open_out path in
   let total = clients * requests in
@@ -77,6 +211,27 @@ let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) =
      \"requests_per_second\": %.1f,\n"
     clients total elapsed_s
     (float_of_int total /. elapsed_s);
+  Printf.fprintf oc "  \"cores\": %d,\n  \"read_domains\": %d,\n"
+    (Domain.recommended_domain_count ())
+    (Coral_server.Exec_pool.width ());
+  (* snapshot-read scaling: same per-connection workload at rising
+     connection counts (true parallel speedup needs cores; on one core
+     the gain is pipeline overlap only) *)
+  output_string oc "  \"read_scaling\": [\n";
+  List.iteri
+    (fun i (conns, rps, p50, p99) ->
+      Printf.fprintf oc
+        "    {\"connections\": %d, \"rps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n"
+        conns rps (p50 *. 1000.0) (p99 *. 1000.0)
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  output_string oc "  ],\n";
+  Printf.fprintf oc
+    "  \"isolation\": {\"reader_p99_ms\": %.3f, \"reader_p99_under_long_fixpoint_ms\": %.3f, \
+     \"p99_ratio\": %.2f, \"max_inflight\": %d},\n"
+    (base_p99 *. 1000.0) (cont_p99 *. 1000.0)
+    (if base_p99 > 0.0 then cont_p99 /. base_p99 else 0.0)
+    max_inflight;
   (* the event log's cost per request: the same workload with event
      recording off versus on (file sink attached) *)
   Printf.fprintf oc
@@ -125,6 +280,9 @@ let () =
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   let db = build_db () in
+  (* nat/1 powers the long-fixpoint probe in the isolation scenario *)
+  Coral.consult_text db
+    "module nats.\nexport nat(f).\nnat(0).\nnat(Y) :- nat(X), Y = X + 1.\nend_module.\n";
   let srv = Coral_server.Server.start ~listen:(`Tcp ("127.0.0.1", 0)) db in
   let port = Coral_server.Server.port srv in
   Printf.printf "server_bench: %d clients x %d requests against path/2 over %d nodes\n%!"
@@ -183,7 +341,28 @@ let () =
   dump ();
   ignore oc;
   (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* read scaling: snapshot reads at 1, 2 and 4 connections *)
+  let per_conn = max 50 (!requests / 2) in
+  let scaling =
+    List.map
+      (fun conns ->
+        let rps, p50, p99 = run_scaling port ~conns ~per_conn in
+        Printf.printf
+          "read scaling: %d connection%s -> %.0f rps (p50 %.2fms, p99 %.2fms)\n%!" conns
+          (if conns = 1 then " " else "s")
+          rps (p50 *. 1000.0) (p99 *. 1000.0);
+        conns, rps, p50, p99)
+      [ 1; 2; 4 ]
+  in
+  (* reader tail latency with and without a long fixpoint in flight *)
+  let base_p99, _ = run_isolation port ~seconds:1.5 ~long:false in
+  let cont_p99, max_inflight = run_isolation port ~seconds:1.5 ~long:true in
+  Printf.printf
+    "isolation: reader p99 %.2fms alone, %.2fms under a long fixpoint (ratio %.2f, max %d in flight)\n%!"
+    (base_p99 *. 1000.0) (cont_p99 *. 1000.0)
+    (if base_p99 > 0.0 then cont_p99 /. base_p99 else 0.0)
+    max_inflight;
   Coral_server.Server.shutdown srv;
   write_json "BENCH_server.json" ~clients:!clients ~requests:!requests ~elapsed_s:dt
-    ~event_log:(dt_off, dt);
+    ~event_log:(dt_off, dt) ~scaling ~isolation:(base_p99, cont_p99, max_inflight);
   Printf.printf "wrote BENCH_server.json\n"

@@ -126,6 +126,86 @@ let run_iter ~seed ~iter =
     failf "index/heap disagree: B-tree says %d tuples, heap scan says %d" cardinal
       (S.cardinal got)
 
+(* Group-commit variant: several writers' batches are staged onto the
+   relation's group-commit lane and flushed as ONE merged WAL record;
+   the crash budget cuts that flush at a random byte.  Recovery must
+   honor group atomicity: either every staged batch is present or none
+   is — a torn group record never resurfaces the first writer's tuples
+   without the last's. *)
+let run_group_iter ~seed ~iter =
+  let rng = Random.State.make [| seed; iter; 0x6702 |] in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "coral-crashtest-g.%d.%d" (Unix.getpid ()) iter)
+  in
+  rm_rf dir;
+  let inj = D.Faulty.create () in
+  let open_rel () =
+    P.open_ ~pool_frames:64 ~indexes:[ 0 ] ~injector:inj ~dir ~name:"t" ~arity:2 ()
+  in
+  let next = ref 0 in
+  let mk () =
+    incr next;
+    (iter * 1_000_000) + !next, Random.State.int rng 1000
+  in
+  let insert rel (a, b) =
+    ignore (Coral.Relation.insert_terms rel [| Coral.Term.int a; Coral.Term.int b |])
+  in
+  let h = open_rel () in
+  let rel = P.relation h in
+  (* baseline committed in the clear *)
+  let committed = ref S.empty in
+  let baseline = List.init (1 + Random.State.int rng 6) (fun _ -> mk ()) in
+  List.iter (insert rel) baseline;
+  P.commit h;
+  committed := S.of_list baseline;
+  (* stage 2-3 writer batches on the group lane (no crash budget yet:
+     staging does no I/O), then arm and flush — the await merges every
+     pending submission into one record and the cut lands inside it *)
+  let pending = ref S.empty in
+  let tickets =
+    List.init
+      (2 + Random.State.int rng 2)
+      (fun _ ->
+        let tuples = List.init (1 + Random.State.int rng 6) (fun _ -> mk ()) in
+        List.iter (insert rel) tuples;
+        pending := S.union !pending (S.of_list tuples);
+        P.stage h)
+  in
+  D.Faulty.arm_crash inj ~after_bytes:(1 + Random.State.int rng 12_000);
+  let crash_seen =
+    try
+      List.iter (P.publish h) tickets;
+      (* budget outlived the group flush: the whole group is durable *)
+      committed := S.union !committed !pending;
+      pending := S.empty;
+      false
+    with D.Crashed _ -> true
+  in
+  P.abandon h;
+  D.Faulty.disarm inj;
+  ignore crash_seen;
+  let h2 = open_rel () in
+  let rel2 = P.relation h2 in
+  let got = S.of_list (List.map decode_pair (Coral.Relation.to_list rel2)) in
+  let cardinal = Coral.Relation.cardinal rel2 in
+  P.close h2;
+  rm_rf dir;
+  let lost = S.diff !committed got in
+  if not (S.is_empty lost) then
+    failf "lost %d committed tuple(s), e.g. (%d, %d)" (S.cardinal lost)
+      (fst (S.min_elt lost)) (snd (S.min_elt lost));
+  let landed = S.inter !pending got in
+  if not (S.is_empty landed || S.equal landed !pending) then
+    failf "group atomicity broken: %d of %d staged tuples survived the torn group"
+      (S.cardinal landed) (S.cardinal !pending);
+  let extra = S.diff got (S.union !committed !pending) in
+  if not (S.is_empty extra) then
+    failf "resurrected %d tuple(s) that were never inserted" (S.cardinal extra);
+  if cardinal <> S.cardinal got then
+    failf "index/heap disagree: B-tree says %d tuples, heap scan says %d" cardinal
+      (S.cardinal got)
+
 let () =
   let iters = ref 1000 in
   let seed = ref (int_of_float (Unix.time ()) land 0xFFFFFF) in
@@ -160,6 +240,8 @@ let () =
   Printf.printf "crashtest: %d iterations, seed %d\n%!" !iters !seed;
   let failures = ref 0 in
   for i = 0 to !iters - 1 do
+    (* every third iteration exercises the group-commit lane *)
+    let run_iter = if i mod 3 = 2 then run_group_iter else run_iter in
     (match run_iter ~seed:!seed ~iter:i with
     | () -> ()
     | exception Check_failed msg ->

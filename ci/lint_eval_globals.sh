@@ -4,12 +4,24 @@
 # `Hashtbl` in the evaluator is shared by every domain and every engine
 # instance, silently.  This lint fails CI on any new one.
 #
-# Allowlist: par_pool.ml owns the process-wide domain pool registry by
-# design (`pools`, `exit_registered`) — that is the one place such
-# state is supposed to live.
+# With snapshot reads the same policy extends to lib/storage: frozen
+# views are scanned lock-free from several domains, so hidden shared
+# state in the storage layer is a data race waiting to happen.  The
+# lint there also rejects module-level `Atomic.make` — atomics are
+# safe to touch but still process-global, and a second database in the
+# same process must not share them by accident.
+#
+# Allowlist:
+#   - lib/eval/par_pool.ml owns the process-wide domain pool registry
+#     by design (`pools`, `exit_registered`);
+#   - lib/storage/snapshot.ml owns the process-wide pinned-readers
+#     gauge (`pinned`) — a diagnostic counter, deliberately global so
+#     `stats`/metrics see every store in the process.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+status=0
 
 matches=$(grep -nE '^let [a-zA-Z_0-9]+ *(:[^=]*)?= *(ref\b|Hashtbl\.create)' lib/eval/*.ml \
   | grep -v '^lib/eval/par_pool\.ml:' || true)
@@ -21,7 +33,22 @@ if [ -n "$matches" ]; then
   echo "Top-level refs/Hashtbls in the evaluator are shared across domains" >&2
   echo "and engine instances.  Move the state into the engine/fixpoint" >&2
   echo "record (or Par_pool if it is genuinely process-wide)." >&2
-  exit 1
+  status=1
 fi
 
-echo "lint_eval_globals: OK (no module-level mutable state outside par_pool.ml)"
+storage_matches=$(grep -nE '^let [a-zA-Z_0-9]+ *(:[^=]*)?= *(ref\b|Hashtbl\.create|Atomic\.make)' lib/storage/*.ml \
+  | grep -v '^lib/storage/snapshot\.ml:' || true)
+
+if [ -n "$storage_matches" ]; then
+  echo "lint_eval_globals: new module-level mutable state in lib/storage:" >&2
+  echo "$storage_matches" >&2
+  echo >&2
+  echo "Snapshot readers scan storage state lock-free from several" >&2
+  echo "domains, and one process may serve several databases.  Move the" >&2
+  echo "state into the handle/database record (or Snapshot if it is" >&2
+  echo "genuinely a process-wide diagnostic)." >&2
+  status=1
+fi
+
+[ "$status" -eq 0 ] && echo "lint_eval_globals: OK (no module-level mutable state outside par_pool.ml and snapshot.ml)"
+exit "$status"

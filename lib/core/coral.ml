@@ -23,6 +23,7 @@ type t = Engine.t
 
 let create ?builtins ?workers () = Engine.create ?builtins ?workers ()
 let engine t = t
+let of_engine e = e
 let set_workers = Engine.set_workers
 let workers = Engine.workers
 

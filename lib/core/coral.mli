@@ -63,6 +63,10 @@ val create : ?builtins:bool -> ?workers:int -> unit -> t
 
 val engine : t -> Engine.t
 
+val of_engine : Engine.t -> t
+(** Wrap an engine (e.g. a snapshot read view from {!Engine.read_view})
+    in the convenience API. *)
+
 val set_workers : t -> int -> unit
 (** Set the parallel evaluation width for subsequent queries: each
     semi-naive fixpoint round is striped across a shared pool of that

@@ -21,11 +21,15 @@ type t = {
   foreigns : (string, Builtin.foreign) Hashtbl.t;
   mutable modules : Ast.module_ list;
   plans : (string, Optimizer.plan) Hashtbl.t;  (* module^pred^adorn *)
+  plans_lock : Mutex.t;
+      (* snapshot read views share one plan table per published version
+         (concurrent readers of the same epoch reuse each other's
+         plans), so plan-table access is mutexed everywhere *)
   saved : (string, Fixpoint.t) Hashtbl.t;  (* save-module instances *)
   mutable user_rules : Ast.rule list;  (* the implicit interactive module *)
   mutable call_depth : int;
-  mutable plan_hits : int;  (* plan-cache requests answered from t.plans *)
-  mutable plan_misses : int;  (* plan-cache requests that ran the optimizer *)
+  plan_hits : int Atomic.t;  (* plan-cache requests answered from t.plans *)
+  plan_misses : int Atomic.t;  (* plan-cache requests that ran the optimizer *)
   mutable cancel : (unit -> bool) option;
       (* ambient cancellation check, installed into every fixpoint
          instance this engine runs (including cached saved instances) *)
@@ -45,6 +49,10 @@ let base_relation t pred arity =
     Hashtbl.add t.base k rel;
     rel
 
+let with_plans t f =
+  Mutex.lock t.plans_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.plans_lock) f
+
 (* CORAL_WORKERS sets the default parallel width for every engine in
    the process (the --workers server flag overrides per database). *)
 let default_workers () =
@@ -58,11 +66,12 @@ let create ?(builtins = true) ?workers () =
       foreigns = Hashtbl.create 16;
       modules = [];
       plans = Hashtbl.create 32;
+      plans_lock = Mutex.create ();
       saved = Hashtbl.create 16;
       user_rules = [];
       call_depth = 0;
-      plan_hits = 0;
-      plan_misses = 0;
+      plan_hits = Atomic.make 0;
+      plan_misses = Atomic.make 0;
       cancel = None;
       progress = None;
       workers = (match workers with Some w -> max 1 (min 64 w) | None -> default_workers ());
@@ -179,7 +188,7 @@ let load_module t (m : Ast.module_) =
       Hashtbl.fold (fun k _ acc -> if String.starts_with ~prefix k then k :: acc else acc) tbl []
       |> List.iter (Hashtbl.remove tbl)
     in
-    stale t.plans;
+    with_plans t (fun () -> stale t.plans);
     stale t.saved;
     Ok ()
   | errs ->
@@ -192,7 +201,7 @@ let add_clause t (r : Ast.rule) =
     Hashtbl.fold (fun k _ acc -> if String.starts_with ~prefix k then k :: acc else acc) tbl []
     |> List.iter (Hashtbl.remove tbl)
   in
-  stale t.plans;
+  with_plans t (fun () -> stale t.plans);
   stale t.saved
 
 let module_of_pred t pred arity = exporter t pred arity
@@ -224,12 +233,12 @@ let bridge_base_facts (m : Ast.module_) =
 
 let plan_in_module t (m : Ast.module_) pred adorn =
   let k = plan_key m pred adorn in
-  match Hashtbl.find_opt t.plans k with
+  match with_plans t (fun () -> Hashtbl.find_opt t.plans k) with
   | Some p ->
-    t.plan_hits <- t.plan_hits + 1;
+    Atomic.incr t.plan_hits;
     Ok p
   | None -> begin
-    t.plan_misses <- t.plan_misses + 1;
+    Atomic.incr t.plan_misses;
     match
       Obs.Histogram.time h_rewrite (fun () ->
           Obs.Span.with_ "rewrite.plan"
@@ -237,7 +246,10 @@ let plan_in_module t (m : Ast.module_) pred adorn =
             (fun () -> Optimizer.plan_query ~module_:(bridge_base_facts m) ~pred ~adorn))
     with
     | Ok p ->
-      Hashtbl.add t.plans k p;
+      (* two snapshot readers may race to plan the same form: last
+         write wins, and both computed the same plan from the same
+         immutable module list *)
+      with_plans t (fun () -> Hashtbl.replace t.plans k p);
       Ok p
     | Error e -> Error e
   end
@@ -354,7 +366,10 @@ and module_call_relation t (m : Ast.module_) pred arity =
       i_indexes = (fun () -> []);
       i_scan = scan;
       i_mem = (fun _ -> false);
-      i_clear = (fun () -> ())
+      i_clear = (fun () -> ());
+      (* a scan runs a whole module evaluation against live engine
+         state; there is no immutable view to capture *)
+      i_freeze = (fun () -> None)
     }
 
 (* Predicate resolution for compiled modules: another module's export
@@ -821,17 +836,116 @@ let with_progress t hook f =
   t.progress <- Some hook;
   Fun.protect ~finally:(fun () -> t.progress <- prev) f
 
-let plan_cache_stats t = t.plan_hits, t.plan_misses
+let plan_cache_stats t = Atomic.get t.plan_hits, Atomic.get t.plan_misses
 
-let plan_cache_size t = Hashtbl.length t.plans
+let plan_cache_size t = with_plans t (fun () -> Hashtbl.length t.plans)
 
 (* Drop every cached plan and save-module instance.  Plans themselves
    depend only on rules, but saved instances hold derived state that a
    base-fact update invalidates; the serving layer calls this on every
    mutation so prepared queries never observe stale derivations. *)
 let invalidate_plans t =
-  Hashtbl.reset t.plans;
+  with_plans t (fun () -> Hashtbl.reset t.plans);
   Hashtbl.reset t.saved
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot read views (MVCC)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A [view] is everything a reader needs to evaluate queries against a
+   committed version of the database without touching the live engine:
+   frozen base relations, the module/rule lists as of the snapshot
+   (immutable values, shared by reference), and a per-version plan
+   table so concurrent readers of the same epoch reuse each other's
+   plans.  Build one with [snapshot] under the writer lane; spin up a
+   per-request engine from it with [read_view] — that clone is private
+   mutable state (call depth, cancellation, save-module instances), so
+   any number of requests can evaluate the same view concurrently. *)
+type view = {
+  rv_rels : (string, Relation.t) Hashtbl.t;  (* frozen wrappers *)
+  rv_foreigns : (string, Builtin.foreign) Hashtbl.t;
+  rv_modules : Ast.module_ list;
+  rv_user_rules : Ast.rule list;
+  rv_plans : (string, Optimizer.plan) Hashtbl.t;
+  rv_plans_lock : Mutex.t;
+  rv_hits : int Atomic.t;  (* the engine's counters, shared *)
+  rv_misses : int Atomic.t;
+  rv_workers : int;
+  rv_backjump : bool;
+}
+
+let read_only_foreign name =
+  { Builtin.fname = name;
+    farity = 1;
+    fsolve =
+      (fun _ _ ->
+        raise
+          (Engine_error
+             (name
+            ^ "/1 mutates the database and is unavailable in a snapshot read; \
+               route updates through insert or consult")))
+  }
+
+(* Freeze every base relation into an immutable wrapper.  Returns None
+   when any relation has no lock-free view (persistent relations,
+   whose scans do buffer-pool I/O): the serving layer then falls back
+   to the locked lane for reads.  Call under the writer lane — the
+   snapshot must not race inserts. *)
+let snapshot t =
+  let rels = Hashtbl.create (max 16 (Hashtbl.length t.base)) in
+  let ok =
+    Hashtbl.fold
+      (fun k rel ok ->
+        ok
+        &&
+        match Relation.freeze rel with
+        | Some fr ->
+          Hashtbl.add rels k fr;
+          true
+        | None -> false)
+      t.base true
+  in
+  if not ok then None
+  else begin
+    let foreigns = Hashtbl.copy t.foreigns in
+    (* reads must not mutate: the side-effecting update predicates of
+       paper section 5.2 stay available on the write lane only *)
+    Hashtbl.replace foreigns "assert/1" (read_only_foreign "assert");
+    Hashtbl.replace foreigns "retract/1" (read_only_foreign "retract");
+    Some
+      { rv_rels = rels;
+        rv_foreigns = foreigns;
+        rv_modules = t.modules;
+        rv_user_rules = t.user_rules;
+        rv_plans = Hashtbl.create 32;
+        rv_plans_lock = Mutex.create ();
+        rv_hits = t.plan_hits;
+        rv_misses = t.plan_misses;
+        rv_workers = t.workers;
+        rv_backjump = t.backjump
+      }
+  end
+
+let read_view v =
+  { (* private copy: [base_relation] lazily adds empty relations for
+       unknown predicates, and that must not race other readers *)
+    base = Hashtbl.copy v.rv_rels;
+    foreigns = v.rv_foreigns;
+    modules = v.rv_modules;
+    plans = v.rv_plans;
+    plans_lock = v.rv_plans_lock;
+    (* save-module instances are per-request in snapshot mode: caching
+       them across requests would share mutable fixpoint state *)
+    saved = Hashtbl.create 4;
+    user_rules = v.rv_user_rules;
+    call_depth = 0;
+    plan_hits = v.rv_hits;
+    plan_misses = v.rv_misses;
+    cancel = None;
+    progress = None;
+    workers = v.rv_workers;
+    backjump = v.rv_backjump
+  }
 
 let list_relations t =
   Hashtbl.fold (fun k rel acc -> (k, Relation.cardinal rel) :: acc) t.base []
@@ -866,4 +980,6 @@ let pp_stats ppf t =
         rel.Relation.stats.Relation.scans)
     t.base;
   Format.fprintf ppf "modules loaded: %d, plans cached: %d, saved instances: %d@]"
-    (List.length t.modules) (Hashtbl.length t.plans) (Hashtbl.length t.saved)
+    (List.length t.modules)
+    (with_plans t (fun () -> Hashtbl.length t.plans))
+    (Hashtbl.length t.saved)

@@ -136,6 +136,31 @@ val with_progress : t -> (rounds:int -> delta:int -> lanes:int array -> unit) ->
     task counts under parallel evaluation ([[||]] sequential).  Same
     ambient scoping as {!with_cancel_check}. *)
 
+(** {2 Snapshot read views (MVCC)}
+
+    A [view] captures everything needed to evaluate queries against one
+    committed version of the database without touching the live engine:
+    frozen base relations, the module and interactive-rule lists as of
+    the snapshot, and a per-version plan table (concurrent readers of
+    the same epoch reuse each other's plans).  The serving layer builds
+    one view per committed epoch and spins up a cheap per-request
+    engine from it. *)
+
+type view
+
+val snapshot : t -> view option
+(** Freeze every base relation into an immutable wrapper and capture
+    the current rule state.  [None] when some relation has no lock-free
+    view (persistent relations, module-call relations): reads must then
+    fall back to the locked lane.  Call only while holding the writer
+    lane — the freeze must not race inserts. *)
+
+val read_view : view -> t
+(** A per-request engine over the view.  Reads are lock-free against
+    the live engine; the update predicates [assert/1] and [retract/1]
+    raise {!Engine_error} (mutations go through the write lane), and
+    save-module instances are per-request rather than cached. *)
+
 val plan_cache_stats : t -> int * int
 (** [(hits, misses)] of the engine's plan cache: how many query-form
     plan requests were answered from cache vs. ran the optimizer. *)

@@ -29,7 +29,10 @@ type t = {
   mutable job : job option;
   mutable stop : bool;
   mutable alive : bool;
-  mutable busy : bool;  (* owner-side reentrancy guard *)
+  busy : bool Atomic.t;
+      (* owner-side reentrancy guard; CAS-acquired so concurrent
+         fixpoints (snapshot readers on separate domains) race for the
+         pool safely — the loser runs its round sequentially *)
   mutable domains : unit Domain.t list;
   lane_tasks : int array;  (* tasks executed per lane, for metrics *)
 }
@@ -82,7 +85,7 @@ let create ~workers =
       job = None;
       stop = false;
       alive = true;
-      busy = false;
+      busy = Atomic.make false;
       domains = [];
       lane_tasks = Array.make workers 0
     }
@@ -110,13 +113,13 @@ let shutdown t =
 
 let workers t = t.workers
 let alive t = t.alive
-let busy t = t.busy || not t.alive
+let busy t = Atomic.get t.busy || not t.alive
 let lane_tasks t lane = t.lane_tasks.(lane)
 
 let try_run t ~ntasks f =
-  if t.busy || (not t.alive) || ntasks <= 0 then false
+  if (not t.alive) || ntasks <= 0 then false
+  else if not (Atomic.compare_and_set t.busy false true) then false
   else begin
-    t.busy <- true;
     let job =
       { ntasks; run = f; next = Atomic.make 0; pending = ref (t.workers - 1); failure = None }
     in
@@ -133,7 +136,7 @@ let try_run t ~ntasks f =
     done;
     t.job <- None;
     Mutex.unlock t.lock;
-    t.busy <- false;
+    Atomic.set t.busy false;
     match job.failure with
     | Some e -> raise e
     | None -> true

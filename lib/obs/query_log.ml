@@ -27,6 +27,7 @@ type entry = {
   started_ns : int;
   deadline_ms : int;
   workers : int;
+  epoch : int;  (* snapshot epoch pinned by the request; 0 = unknown/locked lane *)
   iterations : int Atomic.t;  (* productive fixpoint steps, monotonic *)
   derivations : int Atomic.t;  (* cumulative inserts across nested instances *)
   last_delta : int Atomic.t;
@@ -43,6 +44,7 @@ type snapshot = {
   s_age_ns : int;
   s_deadline_ms : int;
   s_workers : int;
+  s_epoch : int;
   s_iterations : int;
   s_derivations : int;
   s_last_delta : int;
@@ -58,7 +60,7 @@ let locked lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let register ?(session = 0) ?(deadline_ms = 0) ?(workers = 1) ?(adorned = "")
+let register ?(session = 0) ?(deadline_ms = 0) ?(workers = 1) ?(epoch = 0) ?(adorned = "")
     ?(kind = "query") text =
   let e =
     { id = Atomic.fetch_and_add next_id 1 + 1;
@@ -69,6 +71,7 @@ let register ?(session = 0) ?(deadline_ms = 0) ?(workers = 1) ?(adorned = "")
       started_ns = Obs.now_ns ();
       deadline_ms;
       workers;
+      epoch;
       iterations = Atomic.make 0;
       derivations = Atomic.make 0;
       last_delta = Atomic.make 0;
@@ -110,6 +113,7 @@ let snapshot_of now e =
     s_age_ns = max 0 (now - e.started_ns);
     s_deadline_ms = e.deadline_ms;
     s_workers = e.workers;
+    s_epoch = e.epoch;
     s_iterations = Atomic.get e.iterations;
     s_derivations = Atomic.get e.derivations;
     s_last_delta = Atomic.get e.last_delta;

@@ -19,12 +19,15 @@ val register :
   ?session:int ->
   ?deadline_ms:int ->
   ?workers:int ->
+  ?epoch:int ->
   ?adorned:string ->
   ?kind:string ->
   string ->
   entry
 (** Register an in-flight evaluation (the argument is the request
-    text).  The entry stays listed until {!unregister}. *)
+    text).  The entry stays listed until {!unregister}.  [epoch]
+    (default 0 = unknown) is the snapshot epoch the request pinned;
+    [ps] prints it when nonzero. *)
 
 val unregister : entry -> unit
 
@@ -54,6 +57,7 @@ type snapshot = {
   s_age_ns : int;
   s_deadline_ms : int;
   s_workers : int;
+  s_epoch : int;
   s_iterations : int;
   s_derivations : int;
   s_last_delta : int;

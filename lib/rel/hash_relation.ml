@@ -97,7 +97,7 @@ let create ?(indexes = []) ~name ~arity () =
   let rec seq_array arr limit i () =
     if i >= limit then Seq.Nil else Seq.Cons (arr.(i), seq_array arr limit (i + 1))
   in
-  let candidates_of_sub sub ~pattern ~snapshot =
+  let candidates ~tuples ~stores ~limit ~pattern =
     match pattern with
     | Some (args, env) ->
       let rec try_stores = function
@@ -108,10 +108,13 @@ let create ?(indexes = []) ~name ~arity () =
           | None -> try_stores rest
         end
       in
-      (match try_stores sub.stores with
+      (match try_stores stores with
       | Some found -> List.to_seq found
-      | None -> seq_array sub.tuples snapshot 0)
-    | None -> seq_array sub.tuples snapshot 0
+      | None -> seq_array tuples limit 0)
+    | None -> seq_array tuples limit 0
+  in
+  let candidates_of_sub sub ~pattern ~snapshot =
+    candidates ~tuples:sub.tuples ~stores:sub.stores ~limit:snapshot ~pattern
   in
   let scan ~from_mark ~to_mark ~pattern =
     let last = if to_mark < 0 then st.nsubs else min to_mark st.nsubs in
@@ -169,6 +172,39 @@ let create ?(indexes = []) ~name ~arity () =
       i_indexes = (fun () -> st.specs);
       i_scan = scan;
       i_mem = (fun tuple -> is_duplicate st tuple);
+      i_freeze =
+        (fun () ->
+          (* Seal the open subsidiary (unless already empty) so every
+             captured array has reached its final extent; then capture
+             each sealed subsidiary's cells by VALUE — the tuples array,
+             its length, and the store list — because the live relation
+             may later grow new index stores or reallocate the subs
+             array, and a frozen reader must never chase those.  Sealed
+             tuple arrays are append-only up to the captured length and
+             never reallocated, so the capture is genuinely immutable
+             (tombstone flags excepted; see DESIGN.md on retraction
+             visibility). *)
+          if st.subs.(st.nsubs - 1).n > 0 then push_sub st;
+          let nsealed = st.nsubs - 1 in
+          let snaps =
+            Array.init nsealed (fun s ->
+                let sub = st.subs.(s) in
+                sub.tuples, sub.n, sub.stores)
+          in
+          let f_scan ~pattern =
+            let parts = ref [] in
+            for s = nsealed - 1 downto 0 do
+              let tuples, n, stores = snaps.(s) in
+              if n > 0 then parts := candidates ~tuples ~stores ~limit:n ~pattern :: !parts
+            done;
+            Seq.filter
+              (fun (t : Tuple.t) -> not t.Tuple.dead)
+              (List.fold_right Seq.append !parts Seq.empty)
+          in
+          let f_mem tuple =
+            Seq.exists (fun ex -> Tuple.subsumes ex tuple) (f_scan ~pattern:None)
+          in
+          Some { Relation.f_scan; f_mem; f_cardinal = st.live });
       i_clear =
         (fun () ->
           st.subs <- Array.make 4 dummy_sub;

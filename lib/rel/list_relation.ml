@@ -70,6 +70,26 @@ let create ~name ~arity () =
           List.exists
             (fun ex -> (not ex.Tuple.dead) && Tuple.subsumes ex tuple)
             (List.concat st.intervals));
+      i_freeze =
+        (fun () ->
+          (* Seal so the head interval list is never consed onto again,
+             then capture the interval list by value: cons cells are
+             immutable, and inserts only ever replace [st.intervals]
+             with a new head. *)
+          (match st.intervals with
+          | [] :: _ -> ()
+          | _ -> st.intervals <- [] :: st.intervals);
+          let captured = st.intervals in
+          let f_scan ~pattern:_ =
+            let parts = List.rev_map (fun l -> List.to_seq (List.rev l)) captured in
+            Seq.filter
+              (fun (t : Tuple.t) -> not t.Tuple.dead)
+              (List.fold_right Seq.append parts Seq.empty)
+          in
+          let f_mem tuple =
+            Seq.exists (fun ex -> Tuple.subsumes ex tuple) (f_scan ~pattern:None)
+          in
+          Some { Relation.f_scan; f_mem; f_cardinal = st.live });
       i_clear =
         (fun () ->
           st.intervals <- [ [] ];

@@ -23,12 +23,24 @@ and impl = {
     from_mark:int -> to_mark:int -> pattern:(Term.t array * Bindenv.t) option -> Tuple.t Seq.t;
   i_mem : Tuple.t -> bool;
   i_clear : unit -> unit;
+  i_freeze : unit -> frozen option;
 }
 
 and stats = {
   mutable inserts : int;
   mutable duplicates : int;
   mutable scans : int;
+}
+
+(* An immutable snapshot view of a relation's sealed contents, captured
+   by [freeze].  Everything a frozen view hands out was published
+   before the freeze, so readers on other domains may scan it without
+   any lock — the snapshot layer publishes the view through an atomic,
+   which gives the happens-before edge for every captured cell. *)
+and frozen = {
+  f_scan : pattern:(Term.t array * Bindenv.t) option -> Tuple.t Seq.t;
+  f_mem : Tuple.t -> bool;
+  f_cardinal : int;
 }
 
 (* Global work counters across every relation: the benchmark harness
@@ -100,6 +112,41 @@ let to_list r = List.of_seq (scan r ())
 let add_index r spec = r.impl.i_add_index spec
 let indexes r = r.impl.i_indexes ()
 let clear r = r.impl.i_clear ()
+
+(* A frozen view wrapped back into the uniform interface: evaluation
+   scans it exactly like any other base relation.  Mark semantics mirror
+   persistent relations (no marks; a delta scan from a positive mark is
+   empty), which is the established contract for base relations that
+   cannot be incrementally delta-scanned.  Writes raise: the snapshot
+   layer routes every mutation through the live master relation. *)
+let freeze r =
+  match r.impl.i_freeze () with
+  | None -> None
+  | Some fz ->
+    let read_only () =
+      failwith (r.name ^ ": snapshot views are read-only; mutate through the write lane")
+    in
+    let impl =
+      { i_insert = (fun ~dedup:_ _ -> read_only ());
+        i_delete = (fun ~pattern:_ _ -> read_only ());
+        i_retire = (fun _ -> read_only ());
+        i_mark = (fun () -> 0);
+        i_marks = (fun () -> 0);
+        i_cardinal = (fun () -> fz.f_cardinal);
+        i_add_index = (fun _ -> ());
+        i_indexes = (fun () -> []);
+        i_scan =
+          (fun ~from_mark ~to_mark:_ ~pattern ->
+            if from_mark > 0 then Seq.empty else fz.f_scan ~pattern);
+        i_mem = fz.f_mem;
+        i_clear = (fun () -> read_only ());
+        i_freeze = (fun () -> Some fz)
+      }
+    in
+    let fr = v ~name:r.name ~arity:r.arity impl in
+    fr.multiset <- r.multiset;
+    fr.scan_safe <- true;
+    Some fr
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%s/%d (%d tuples)@,@]" r.name r.arity (cardinal r);

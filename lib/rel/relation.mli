@@ -57,6 +57,22 @@ and impl = {
           Must not mutate any store state — the parallel merge calls it
           from several domains at once. *)
   i_clear : unit -> unit;
+  i_freeze : unit -> frozen option;
+      (** Capture an immutable snapshot of the sealed contents (see
+          {!freeze}); [None] when the implementation cannot snapshot
+          (persistent relations, module-call relations).  Called only
+          from the write lane, with no concurrent writer. *)
+}
+
+(** An immutable snapshot of a relation's contents at freeze time.
+    Every cell a frozen view can reach was written before the freeze
+    completed, so scans from other domains need no lock once the view
+    has been published through an atomic (the snapshot manager's epoch
+    publication provides that happens-before edge). *)
+and frozen = {
+  f_scan : pattern:(Term.t array * Bindenv.t) option -> Tuple.t Seq.t;
+  f_mem : Tuple.t -> bool;
+  f_cardinal : int;
 }
 
 and stats = {
@@ -111,6 +127,17 @@ val note_scans : t -> int -> unit
 
 val note_duplicates : t -> int -> unit
 (** Credit [n] duplicate rejections likewise. *)
+
+val freeze : t -> t option
+(** An immutable, read-only view of this relation's current sealed
+    contents, wrapped back into the uniform interface: scans (index
+    probes included) see exactly the tuples present at freeze time and
+    never anything inserted later; writes raise.  Mark semantics match
+    persistent relations ([marks] = 0, delta scans from a positive mark
+    are empty).  [None] when the implementation cannot snapshot.  The
+    caller must hold the write lane: [freeze] seals the open subsidiary
+    first, and captured state is safe to publish to other domains only
+    through an atomic (see {!Coral_storage.Snapshot} in lib/storage). *)
 
 val to_list : t -> Tuple.t list
 val add_index : t -> Index.spec -> unit

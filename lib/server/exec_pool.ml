@@ -1,0 +1,155 @@
+(* A small pool of OCaml 5 domains that snapshot reads evaluate on.
+   Connection threads are systhreads and share one runtime lock, so a
+   long compute-bound fixpoint on the connection thread would stall
+   every other reader for a whole scheduler quantum even with the
+   store lock gone; handing evaluation to a worker domain lets the OS
+   preempt fairly between a long query and short ones, and on
+   multicore runs them truly in parallel.
+
+   The pool is process-global (domains are a scarce runtime resource)
+   and deliberately dumb: a FIFO of thunks, each paired with a result
+   cell its submitter blocks on.  If the pool is unavailable — width 0,
+   spawn failure, shutdown — [run] degrades to calling the thunk
+   inline, which is always correct, just less concurrent. *)
+
+type cell = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable state : [ `Pending | `Done of Obj.t | `Raised of exn ];
+}
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable domains : unit Domain.t list;
+  mutable stop : bool;
+}
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while (not t.stop) && Queue.is_empty t.queue do
+      Condition.wait t.nonempty t.lock
+    done;
+    if t.stop && Queue.is_empty t.queue then Mutex.unlock t.lock
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+(* CORAL_READ_DOMAINS sets the width; 0 disables the pool (reads run
+   inline on their connection thread).  The default scales with the
+   machine: on one or two cores extra domains only add stop-the-world
+   GC rendezvous stalls (every minor collection synchronizes ALL
+   domains, and an evaluating domain plus domain 0's socket threads
+   already oversubscribe the core), so the pool stays off and reads
+   rely on systhread preemption; with more cores, up to four domains
+   evaluate truly in parallel, leaving headroom for the parallel
+   fixpoint's own pool. *)
+let default_width () =
+  match Sys.getenv_opt "CORAL_READ_DOMAINS" with
+  | Some s -> ( try max 0 (min 16 (int_of_string (String.trim s))) with _ -> 0)
+  | None ->
+    let cores = Domain.recommended_domain_count () in
+    if cores <= 2 then 0 else min 4 (cores - 1)
+
+let create ~width =
+  let t =
+    { lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      domains = [];
+      stop = false
+    }
+  in
+  (try t.domains <- List.init width (fun _ -> Domain.spawn (fun () -> worker_loop t))
+   with _ ->
+     (* domain limit reached: whatever spawned still serves; none at
+        all means every run is inline *)
+     ());
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let shared_pool : t option ref = ref None
+let shared_lock = Mutex.create ()
+
+let shared () =
+  Mutex.lock shared_lock;
+  let pool =
+    match !shared_pool with
+    | Some p -> Some p
+    | None ->
+      let width = default_width () in
+      if width <= 0 then None
+      else begin
+        let p = create ~width in
+        if p.domains = [] then None
+        else begin
+          shared_pool := Some p;
+          (* parked domains would keep the process from exiting *)
+          at_exit (fun () ->
+              Mutex.lock shared_lock;
+              let p = !shared_pool in
+              shared_pool := None;
+              Mutex.unlock shared_lock;
+              Option.iter shutdown p);
+          Some p
+        end
+      end
+  in
+  Mutex.unlock shared_lock;
+  pool
+
+let width () = match !shared_pool with Some p -> List.length p.domains | None -> 0
+
+(* Run [f] on a pool domain, blocking this thread until it finishes;
+   inline when no pool is available.  The Obj.t in the result cell is
+   safe: it is written and read as the same ['a] within this call. *)
+let run (f : unit -> 'a) : 'a =
+  match shared () with
+  | None -> f ()
+  | Some t ->
+    let cell = { m = Mutex.create (); c = Condition.create (); state = `Pending } in
+    let task () =
+      let outcome = try `Done (Obj.repr (f ())) with e -> `Raised e in
+      Mutex.lock cell.m;
+      cell.state <- outcome;
+      Condition.signal cell.c;
+      Mutex.unlock cell.m
+    in
+    Mutex.lock t.lock;
+    if t.stop then begin
+      Mutex.unlock t.lock;
+      f ()
+    end
+    else begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.lock;
+      Mutex.lock cell.m;
+      let rec wait () =
+        match cell.state with
+        | `Pending ->
+          Condition.wait cell.c cell.m;
+          wait ()
+        | `Done v ->
+          Mutex.unlock cell.m;
+          (Obj.obj v : 'a)
+        | `Raised e ->
+          Mutex.unlock cell.m;
+          raise e
+      in
+      wait ()
+    end

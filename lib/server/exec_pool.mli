@@ -1,0 +1,22 @@
+(** The snapshot-read execution pool: a process-global set of OCaml 5
+    domains that lock-free reads evaluate on.
+
+    Connection threads are systhreads sharing one runtime lock; moving
+    evaluation onto worker domains lets a long recursive query and
+    short point reads preempt each other at OS granularity (and run
+    truly in parallel on multicore) instead of serializing behind the
+    runtime lock's scheduler quantum.
+
+    Width comes from [CORAL_READ_DOMAINS] (0 disables the pool); the
+    default scales with the machine — 0 on one or two cores, where
+    extra domains only add stop-the-world GC rendezvous stalls, else
+    up to 4.  Every operation degrades to inline execution when the
+    pool is unavailable, so correctness never depends on it. *)
+
+val run : (unit -> 'a) -> 'a
+(** Run the thunk on a pool domain, blocking the calling thread until
+    it returns; re-raises its exception.  Runs inline when the pool is
+    disabled, exhausted of domains, or shut down. *)
+
+val width : unit -> int
+(** Domains currently in the shared pool (0 = inline mode). *)

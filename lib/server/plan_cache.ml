@@ -10,11 +10,14 @@ type node = {
 }
 
 type t = {
+  lock : Mutex.t;
+      (* snapshot readers prepare without the store lock, so the cache
+         guards itself; planning itself runs outside the mutex *)
   parsed : (string, node) Hashtbl.t;  (* query text -> parse, LRU-bounded *)
   parsed_capacity : int;
   mutable lru_head : node option;  (* most recently used *)
   mutable lru_tail : node option;  (* least recently used; next eviction *)
-  forms : (string, Coral.Optimizer.plan) Hashtbl.t;  (* adorned form -> plan *)
+  forms : (string, Coral.Optimizer.plan) Hashtbl.t;  (* adorned form @ epoch -> plan *)
   mutable hits : int;
   mutable misses : int;
   mutable unplanned : int;
@@ -33,7 +36,8 @@ type stats = {
 }
 
 let create ?(parsed_capacity = 1024) () =
-  { parsed = Hashtbl.create 64;
+  { lock = Mutex.create ();
+    parsed = Hashtbl.create 64;
     parsed_capacity = max 1 parsed_capacity;
     lru_head = None;
     lru_tail = None;
@@ -88,22 +92,34 @@ let adornment_of (a : Coral.Ast.atom) =
     (fun arg -> if Coral.Term.is_ground arg then Coral.Ast.Bound else Coral.Ast.Free)
     a.Coral.Ast.args
 
-let prepare t db text =
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Form entries are keyed on (adorned form, epoch).  A prepare that is
+   in flight against an old snapshot when a mutation invalidates the
+   cache inserts under the OLD epoch's key, so readers of the new
+   epoch can never be served the stale plan — the invalidation race
+   closes structurally rather than by timing. *)
+let epoch_key key epoch = key ^ "@" ^ string_of_int epoch
+
+let prepare t ?(epoch = 0) db text =
   let parse () =
-    match Hashtbl.find_opt t.parsed text with
-    | Some n ->
-      touch t n;
-      Ok n.lits
-    | None -> begin
-      match Coral.Parser.query text with
-      | Ok lits ->
-        let n = { ntext = text; lits; prev = None; next = None } in
-        Hashtbl.add t.parsed text n;
-        push_front t n;
-        evict_excess t;
-        Ok lits
-      | Error e -> Error e
-    end
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.parsed text with
+        | Some n ->
+          touch t n;
+          Ok n.lits
+        | None -> begin
+          match Coral.Parser.query text with
+          | Ok lits ->
+            let n = { ntext = text; lits; prev = None; next = None } in
+            Hashtbl.add t.parsed text n;
+            push_front t n;
+            evict_excess t;
+            Ok lits
+          | Error e -> Error e
+        end)
   in
   match parse () with
   | Error e -> Error e
@@ -113,15 +129,18 @@ let prepare t db text =
       (fun lit ->
         match (lit : Coral.Ast.literal) with
         | Coral.Ast.Pos a -> begin
-          let key = form_key a in
-          if Hashtbl.mem t.forms key then incr planned
+          let key = epoch_key (form_key a) epoch in
+          if with_lock t (fun () -> Hashtbl.mem t.forms key) then incr planned
           else begin
             match
+              (* planning runs unlocked: it walks the engine's module
+                 list and can be slow, and two racing readers computing
+                 the same form produce the same plan *)
               Coral.Engine.plan_for (Coral.engine db) ~pred:a.Coral.Ast.pred
                 ~arity:(Array.length a.Coral.Ast.args) ~adorn:(adornment_of a)
             with
             | Ok plan ->
-              Hashtbl.add t.forms key plan;
+              with_lock t (fun () -> Hashtbl.replace t.forms key plan);
               incr planned;
               incr fresh
             | Error _ -> ()  (* base/foreign literal: nothing to prepare *)
@@ -130,35 +149,38 @@ let prepare t db text =
         | Coral.Ast.Neg _ | Coral.Ast.Cmp _ | Coral.Ast.Is _ -> ())
       lits;
     let tag =
-      if !planned = 0 then begin
-        t.unplanned <- t.unplanned + 1;
-        `Unplanned
-      end
-      else if !fresh = 0 then begin
-        t.hits <- t.hits + 1;
-        `Hit
-      end
-      else begin
-        t.misses <- t.misses + 1;
-        `Miss
-      end
+      with_lock t (fun () ->
+          if !planned = 0 then begin
+            t.unplanned <- t.unplanned + 1;
+            `Unplanned
+          end
+          else if !fresh = 0 then begin
+            t.hits <- t.hits + 1;
+            `Hit
+          end
+          else begin
+            t.misses <- t.misses + 1;
+            `Miss
+          end)
     in
     Ok (lits, tag)
 
 let invalidate t db =
-  Hashtbl.reset t.parsed;
-  t.lru_head <- None;
-  t.lru_tail <- None;
-  Hashtbl.reset t.forms;
-  t.invalidations <- t.invalidations + 1;
+  with_lock t (fun () ->
+      Hashtbl.reset t.parsed;
+      t.lru_head <- None;
+      t.lru_tail <- None;
+      Hashtbl.reset t.forms;
+      t.invalidations <- t.invalidations + 1);
   Coral.invalidate_plans db
 
 let stats t =
-  { entries = Hashtbl.length t.forms;
-    parsed_entries = Hashtbl.length t.parsed;
-    hits = t.hits;
-    misses = t.misses;
-    unplanned = t.unplanned;
-    invalidations = t.invalidations;
-    evictions = t.evictions
-  }
+  with_lock t (fun () ->
+      { entries = Hashtbl.length t.forms;
+        parsed_entries = Hashtbl.length t.parsed;
+        hits = t.hits;
+        misses = t.misses;
+        unplanned = t.unplanned;
+        invalidations = t.invalidations;
+        evictions = t.evictions
+      })

@@ -37,6 +37,7 @@ val create : ?parsed_capacity:int -> unit -> t
 
 val prepare :
   t ->
+  ?epoch:int ->
   Coral.t ->
   string ->
   (Coral.Ast.literal list * [ `Hit | `Miss | `Unplanned ], Coral.Parser.error) result
@@ -45,7 +46,14 @@ val prepare :
     were already prepared; [`Miss]: at least one form was planned now;
     [`Unplanned]: no literal needed a plan (pure base/builtin query).
     Planning failures are not errors here — the literal is left for
-    the evaluator to report. *)
+    the evaluator to report.
+
+    Form entries are keyed on (adorned form, [epoch]) (default 0): a
+    prepare racing an {!invalidate} inserts under the epoch it was
+    given — its stale snapshot's — so readers pinned to a newer epoch
+    can never be served the stale plan.  The cache is internally
+    mutexed (readers prepare without the store lock); planning itself
+    runs outside the mutex. *)
 
 val invalidate : t -> Coral.t -> unit
 (** Empty the cache and the engine's plan/save-module caches. *)

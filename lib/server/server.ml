@@ -143,7 +143,7 @@ let start ?(consult = []) ?(databases = []) ~listen db =
   let t =
     { fd;
       bound_port;
-      sstore = Session.make_store db;
+      sstore = Session.make_store ~databases db;
       databases;
       closed = false;
       accept_thread = None

@@ -1,6 +1,7 @@
 module Obs = Coral_obs.Obs
 module Query_log = Coral_obs.Query_log
 module Json = Coral_obs.Json
+module Snapshot = Coral_storage.Snapshot
 
 (* Request latency histograms; recorded when observability is enabled
    (the server enables it at startup).  Buckets are log-scale ns,
@@ -9,27 +10,43 @@ let h_request = Obs.histogram "server.request_seconds"
 let h_query = Obs.histogram "server.query_seconds"
 let h_emit = Obs.histogram "phase.emit"
 
+(* Concurrency model (DESIGN.md §11).  Reads are MVCC: every committed
+   mutation publishes an immutable epoch-stamped view of the engine
+   (frozen relations + the rule state), and a read request pins the
+   current version, builds a private read-view engine over it, and
+   evaluates on the execution pool without ever taking [lock].  Writes
+   (consult/insert, and any query that trips an update predicate) go
+   through the single writer lane: mutate under [lock], stage the next
+   view and the persistent relations' WAL images, release the lock,
+   group-commit, then publish the new epoch.  When some relation has
+   no lock-free view (persistent storage), the published view is
+   [None] and reads fall back to the locked lane — exactly the old
+   behavior. *)
 type store = {
   sdb : Coral.t;
-  lock : Mutex.t;
+  lock : Mutex.t;  (* the writer lane; also serializes fallback reads *)
   cache : Plan_cache.t;
-  mutable requests : int;
-  mutable errors : int;
-  mutable timeouts : int;
-  (* session accounting is atomic, not lock-guarded: sessions must be
-     creatable (and counted) while another connection's query holds the
-     engine lock, or an operator could never connect to run ps/kill *)
+  snap : Coral.Engine.view option Snapshot.t;
+  databases : Coral.Database.t list;  (* persistent stores to group-commit *)
+  (* counters are atomic: requests are no longer serialized by [lock] *)
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  timeouts : int Atomic.t;
   sessions : int Atomic.t;  (* currently open *)
   next_sid : int Atomic.t;
 }
 
-let make_store db =
+let make_store ?(databases = []) db =
   { sdb = db;
     lock = Mutex.create ();
     cache = Plan_cache.create ();
-    requests = 0;
-    errors = 0;
-    timeouts = 0;
+    (* the initial version covers everything loaded before serving
+       starts (--consult files, installed relations) *)
+    snap = Snapshot.create (Coral.Engine.snapshot (Coral.engine db));
+    databases;
+    requests = Atomic.make 0;
+    errors = Atomic.make 0;
+    timeouts = Atomic.make 0;
     sessions = Atomic.make 0;
     next_sid = Atomic.make 0
   }
@@ -39,6 +56,26 @@ let db store = store.sdb
 let locked store f =
   Mutex.lock store.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock store.lock) f
+
+let snapshot_epoch store = Snapshot.epoch store.snap
+
+(* The writer lane's commit tail.  [stage_commit] runs under [lock]:
+   freeze the engine into the next version and queue the persistent
+   relations' dirty pages on their group-commit lanes (lane order =
+   log order).  [publish_commit] runs after the lock is released:
+   block for the WAL group flush — concurrent writers' submissions
+   merge into one fsync — and only then publish the epoch, so a reader
+   can never pin state that is not yet durable. *)
+let stage_commit store =
+  let version =
+    Snapshot.stage store.snap (Coral.Engine.snapshot (Coral.engine store.sdb))
+  in
+  let staged = List.concat_map Coral.Database.stage store.databases in
+  version, staged
+
+let publish_commit store (version, staged) =
+  Coral.Database.publish staged;
+  Snapshot.publish store.snap version
 
 type t = {
   store : store;
@@ -61,7 +98,7 @@ let sid t = t.sid
 let deadline_ms t = t.deadline_ms
 
 (* ------------------------------------------------------------------ *)
-(* Request execution (caller holds the store lock)                     *)
+(* Request execution                                                   *)
 (* ------------------------------------------------------------------ *)
 
 (* The adorned forms of a query's positive literals — the registry's
@@ -84,34 +121,45 @@ let adorned_of_lits lits =
     lits
   |> String.concat ","
 
-(* Run [f] under this session's guards: evaluation cooperatively polls
-   a combined check — the registry's kill flag for this entry plus the
-   session deadline, if one is set — and publishes per-iteration
-   progress into the entry.  The check is installed even with no
-   deadline, so `kill` always works. *)
-let with_guards t entry f =
-  let sdb = t.store.sdb in
+(* Run [f] under this session's guards ON THE GIVEN ENGINE (the shared
+   master on the locked lane, a private read view on the snapshot
+   lane): evaluation cooperatively polls a combined check — the
+   registry's kill flag for this entry plus the session deadline, if
+   one is set — and publishes per-iteration progress into the entry.
+   The check is installed even with no deadline, so `kill` always
+   works. *)
+let with_guards t dbv entry f =
   let limit =
     if t.deadline_ms <= 0 then infinity
     else Unix.gettimeofday () +. (float_of_int t.deadline_ms /. 1000.0)
   in
   let check () = Query_log.killed entry || Unix.gettimeofday () > limit in
-  Coral.with_cancel sdb check (fun () ->
-      Coral.with_progress sdb
-        (fun ~rounds:_ ~delta ~lanes -> Query_log.progress entry ~delta ~lanes)
+  Coral.with_cancel dbv check (fun () ->
+      Coral.with_progress dbv
+        (fun ~rounds:_ ~delta ~lanes ->
+          Query_log.progress entry ~delta ~lanes;
+          (* cooperative scheduling point between fixpoint iterations:
+             without it a long compute-bound query holds the runtime
+             lock for the full systhread quantum (~50ms) and point
+             reads on other connections eat that as tail latency *)
+          Thread.yield ())
         f)
 
 (* The common wrapper for every evaluating request: register in the
    active-query registry, evaluate under the guards, unregister, and
-   log a completion event with the outcome.  [k] builds the success
-   response; a kill comes back as [err KILLED] (the session stays
-   usable); every other failure re-raises into [handle]'s mapping
-   after the event is logged. *)
-let evaluated t ~kind ?(adorned = "") ?(plan_cache = "") text ~rows_of f k =
-  let store = t.store in
+   log a completion event with the outcome.  [wrap] is the lane —
+   [locked store] on the write/fallback lane, [Exec_pool.run] on the
+   snapshot lane — and wraps guards + evaluation as one unit, so
+   ambient hooks on the shared master engine are only ever installed
+   while holding the store lock.  [k] builds the success response; a
+   kill comes back as [err KILLED] (the session stays usable); every
+   other failure re-raises into [handle]'s mapping after the event is
+   logged. *)
+let evaluated t ~dbv ?(epoch = 0) ~wrap ~kind ?(adorned = "") ?(plan_cache = "") text
+    ~rows_of f k =
   let entry =
     Query_log.register ~session:t.sid ~deadline_ms:t.deadline_ms
-      ~workers:(Coral.workers store.sdb) ~adorned ~kind text
+      ~workers:(Coral.workers dbv) ~epoch ~adorned ~kind text
   in
   let t0 = Obs.now_ns () in
   let finish outcome ~rows =
@@ -123,7 +171,7 @@ let evaluated t ~kind ?(adorned = "") ?(plan_cache = "") text ~rows_of f k =
       ~derivations:(Query_log.derivations entry)
       ~plan_cache ~outcome ()
   in
-  match with_guards t entry f with
+  match wrap (fun () -> with_guards t dbv entry f) with
   | v ->
     finish "ok" ~rows:(rows_of v);
     k v
@@ -148,17 +196,63 @@ let render_rows (r : Coral.Engine.query_result) =
                 r.Coral.Engine.qvars (Array.to_list row))))
     r.Coral.Engine.rows
 
+(* ------------------------------------------------------------------ *)
+(* Lane selection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let string_contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* The read-only foreigns installed in read views raise with this
+   marker; catching it means the request needs the write lane. *)
+let read_only_violation = function
+  | Coral.Engine.Engine_error m -> string_contains ~sub:"unavailable in a snapshot read" m
+  | _ -> false
+
+(* A query whose top-level literals call the update predicates is
+   routed to the write lane up front (deeper uses inside module rules
+   are caught by the violation fallback). *)
+let mutating_lits lits =
+  List.exists
+    (function
+      | Coral.Ast.Pos (a : Coral.Ast.atom) ->
+        let n = Coral.Symbol.name a.Coral.Ast.pred in
+        (n = "assert" || n = "retract") && Array.length a.Coral.Ast.args = 1
+      | _ -> false)
+    lits
+
+(* Write-lane wrapper for requests that may mutate: evaluate under the
+   lock, stage the next version while still holding it, publish after
+   releasing it.  Used by consult and by queries routed off the
+   snapshot lane; plain fallback reads (persistent databases) use
+   [locked] alone — they publish nothing. *)
+let wrap_write ?(invalidate = false) store g =
+  let r, staged =
+    locked store (fun () ->
+        let r = g () in
+        if invalidate then Plan_cache.invalidate store.cache store.sdb;
+        r, stage_commit store)
+  in
+  publish_commit store staged;
+  r
+
 let do_query t text =
   let store = t.store in
-  match Plan_cache.prepare store.cache store.sdb text with
-  | Error e -> Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e)
-  | Ok (lits, tag) ->
+  let version = Snapshot.pin store.snap in
+  Fun.protect ~finally:(fun () -> Snapshot.release version)
+  @@ fun () ->
+  let epoch = Snapshot.version_epoch version in
+  let run ~dbv ~wrap prepared =
+    let lits, tag = prepared in
     let plan_cache =
       match tag with `Hit -> "hit" | `Miss -> "miss" | `Unplanned -> "unplanned"
     in
-    evaluated t ~kind:"query" ~adorned:(adorned_of_lits lits) ~plan_cache text
+    evaluated t ~dbv ~epoch ~wrap ~kind:"query" ~adorned:(adorned_of_lits lits) ~plan_cache
+      text
       ~rows_of:(fun (r : Coral.Engine.query_result) -> List.length r.Coral.Engine.rows)
-      (fun () -> Coral.Engine.query (Coral.engine store.sdb) lits)
+      (fun () -> Coral.Engine.query (Coral.engine dbv) lits)
       (fun r ->
         let cache_note =
           match tag with
@@ -171,16 +265,37 @@ let do_query t text =
         Protocol.ok
           ~detail:(Printf.sprintf "%d answer%s%s" n (if n = 1 then "" else "s") cache_note)
           payload)
+  in
+  match Snapshot.view version with
+  | None -> begin
+    (* no lock-free view (persistent relations): the locked lane *)
+    match Plan_cache.prepare store.cache ~epoch store.sdb text with
+    | Error e -> Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e)
+    | Ok prepared -> run ~dbv:store.sdb ~wrap:(locked store) prepared
+  end
+  | Some view -> begin
+    let rdb = Coral.of_engine (Coral.Engine.read_view view) in
+    match Plan_cache.prepare store.cache ~epoch rdb text with
+    | Error e -> Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e)
+    | Ok ((lits, _) as prepared) ->
+      if mutating_lits lits then run ~dbv:store.sdb ~wrap:(wrap_write store) prepared
+      else begin
+        try run ~dbv:rdb ~wrap:Exec_pool.run prepared
+        with e when read_only_violation e ->
+          (* an update predicate fired inside a module rule: replay on
+             the write lane (the read view mutated nothing) *)
+          run ~dbv:store.sdb ~wrap:(wrap_write store) prepared
+      end
+  end
 
 let do_consult t text =
   let store = t.store in
-  evaluated t ~kind:"consult" text
+  evaluated t ~dbv:store.sdb ~wrap:(wrap_write ~invalidate:true store) ~kind:"consult" text
     ~rows_of:(fun _ -> 0)
     (fun () -> Coral.Engine.consult (Coral.engine store.sdb) text)
     (fun results ->
       (* embedded query results are discarded, as in Coral.consult_text *)
       ignore results;
-      Plan_cache.invalidate store.cache store.sdb;
       Protocol.ok ~detail:"consulted" [])
 
 let do_insert t text =
@@ -201,18 +316,19 @@ let do_insert t text =
     else begin
       let eng = Coral.engine store.sdb in
       let stored =
-        List.fold_left
-          (fun acc f ->
-            match f with
-            | Some (a : Coral.Ast.atom) ->
-              let rel =
-                Coral.Engine.base_relation eng a.Coral.Ast.pred (Array.length a.Coral.Ast.args)
-              in
-              if Coral.Relation.insert_terms rel a.Coral.Ast.args then acc + 1 else acc
-            | None -> acc)
-          0 facts
+        wrap_write ~invalidate:true store (fun () ->
+            List.fold_left
+              (fun acc f ->
+                match f with
+                | Some (a : Coral.Ast.atom) ->
+                  let rel =
+                    Coral.Engine.base_relation eng a.Coral.Ast.pred
+                      (Array.length a.Coral.Ast.args)
+                  in
+                  if Coral.Relation.insert_terms rel a.Coral.Ast.args then acc + 1 else acc
+                | None -> acc)
+              0 facts)
       in
-      Plan_cache.invalidate store.cache store.sdb;
       Query_log.Events.log ~kind:"insert"
         [ "session", Json.Int t.sid;
           "facts", Json.Int (List.length facts);
@@ -239,10 +355,19 @@ let do_explain t text =
         (fun arg -> if Coral.Term.is_ground arg then Coral.Ast.Bound else Coral.Ast.Free)
         a.Coral.Ast.args
     in
-    match
-      Coral.Engine.plan_for (Coral.engine store.sdb) ~pred:a.Coral.Ast.pred
+    let version = Snapshot.pin store.snap in
+    Fun.protect ~finally:(fun () -> Snapshot.release version)
+    @@ fun () ->
+    let plan_for dbv =
+      Coral.Engine.plan_for (Coral.engine dbv) ~pred:a.Coral.Ast.pred
         ~arity:(Array.length a.Coral.Ast.args) ~adorn
-    with
+    in
+    let planned =
+      match Snapshot.view version with
+      | Some view -> plan_for (Coral.of_engine (Coral.Engine.read_view view))
+      | None -> locked store (fun () -> plan_for store.sdb)
+    in
+    match planned with
     | Error e -> Protocol.err Protocol.Eval e
     | Ok plan ->
       let text = Format.asprintf "%a" Coral.Optimizer.pp_plan plan in
@@ -256,19 +381,36 @@ let report_response = function
     let lines = List.filter (fun l -> l <> "") lines in
     Protocol.ok (List.map (fun l -> Protocol.Txt l) lines)
 
-let do_why t text =
+(* why / explain analyze: evaluating reports — same lane selection as
+   queries, with the same write-lane replay if an update predicate
+   fires inside a module rule. *)
+let do_report t ~kind run text =
   let store = t.store in
-  evaluated t ~kind:"why" text
-    ~rows_of:(fun _ -> 0)
-    (fun () -> Coral.Engine.why (Coral.engine store.sdb) text)
-    report_response
+  let version = Snapshot.pin store.snap in
+  Fun.protect ~finally:(fun () -> Snapshot.release version)
+  @@ fun () ->
+  let epoch = Snapshot.version_epoch version in
+  let eval ~dbv ~wrap =
+    evaluated t ~dbv ~epoch ~wrap ~kind text
+      ~rows_of:(fun _ -> 0)
+      (fun () -> run dbv)
+      report_response
+  in
+  match Snapshot.view version with
+  | None -> eval ~dbv:store.sdb ~wrap:(locked store)
+  | Some view -> begin
+    let rdb = Coral.of_engine (Coral.Engine.read_view view) in
+    try eval ~dbv:rdb ~wrap:Exec_pool.run
+    with e when read_only_violation e -> eval ~dbv:store.sdb ~wrap:(wrap_write store)
+  end
+
+let do_why t text =
+  do_report t ~kind:"why" (fun dbv -> Coral.Engine.why (Coral.engine dbv) text) text
 
 let do_explain_analyze t text =
-  let store = t.store in
-  evaluated t ~kind:"explain_analyze" text
-    ~rows_of:(fun _ -> 0)
-    (fun () -> Coral.Engine.explain_analyze (Coral.engine store.sdb) text)
-    report_response
+  do_report t ~kind:"explain_analyze"
+    (fun dbv -> Coral.Engine.explain_analyze (Coral.engine dbv) text)
+    text
 
 let do_stats t =
   let store = t.store in
@@ -278,12 +420,15 @@ let do_stats t =
   let derivations, duplicates, scans = Coral.Relation.global_stats () in
   (* dotted names are the stable interface ... *)
   let dotted =
-    [ Printf.sprintf "server.requests=%d" store.requests;
-      Printf.sprintf "server.errors=%d" store.errors;
-      Printf.sprintf "server.timeouts=%d" store.timeouts;
+    [ Printf.sprintf "server.requests=%d" (Atomic.get store.requests);
+      Printf.sprintf "server.errors=%d" (Atomic.get store.errors);
+      Printf.sprintf "server.timeouts=%d" (Atomic.get store.timeouts);
       Printf.sprintf "server.sessions=%d" (Atomic.get store.sessions);
       Printf.sprintf "server.active_queries=%d" (Query_log.active_count ());
       Printf.sprintf "server.events=%d" (Query_log.Events.total ());
+      Printf.sprintf "snapshot.epoch=%d" (Snapshot.epoch store.snap);
+      Printf.sprintf "snapshot.pinned=%d" (Snapshot.pinned_count ());
+      Printf.sprintf "snapshot.read_domains=%d" (Exec_pool.width ());
       Printf.sprintf "prepared.entries=%d" c.Plan_cache.entries;
       Printf.sprintf "prepared.parsed_entries=%d" c.Plan_cache.parsed_entries;
       Printf.sprintf "prepared.hits=%d" c.Plan_cache.hits;
@@ -301,8 +446,9 @@ let do_stats t =
   in
   (* ... the spaced forms below are legacy aliases, kept one release *)
   let legacy_lines =
-    [ Printf.sprintf "server: requests=%d errors=%d timeouts=%d sessions=%d" store.requests
-        store.errors store.timeouts (Atomic.get store.sessions);
+    [ Printf.sprintf "server: requests=%d errors=%d timeouts=%d sessions=%d"
+        (Atomic.get store.requests) (Atomic.get store.errors) (Atomic.get store.timeouts)
+        (Atomic.get store.sessions);
       Printf.sprintf "prepared: entries=%d hits=%d misses=%d invalidations=%d"
         c.Plan_cache.entries c.Plan_cache.hits c.Plan_cache.misses c.Plan_cache.invalidations;
       Printf.sprintf "plans: cached=%d hits=%d misses=%d" (Coral.Engine.plan_cache_size eng)
@@ -328,11 +474,12 @@ let clip_query s = if String.length s <= 120 then s else String.sub s 0 117 ^ ".
 let ps_line (s : Query_log.snapshot) =
   Protocol.Txt
     (Printf.sprintf
-       "id=%d session=%d kind=%s age_ms=%d iter=%d derivations=%d delta=%d workers=%d deadline_ms=%d%s%s%s query=%s"
+       "id=%d session=%d kind=%s age_ms=%d iter=%d derivations=%d delta=%d workers=%d deadline_ms=%d%s%s%s%s query=%s"
        s.Query_log.s_id s.Query_log.s_session s.Query_log.s_kind
        (s.Query_log.s_age_ns / 1_000_000)
        s.Query_log.s_iterations s.Query_log.s_derivations s.Query_log.s_last_delta
        s.Query_log.s_workers s.Query_log.s_deadline_ms
+       (if s.Query_log.s_epoch > 0 then Printf.sprintf " epoch=%d" s.Query_log.s_epoch else "")
        (if s.Query_log.s_adorned = "" then "" else " adorned=" ^ s.Query_log.s_adorned)
        (if s.Query_log.s_lanes = [||] then ""
         else
@@ -368,18 +515,22 @@ let do_events _t n =
 (* Store-owned values are rendered at scrape time (several stores can
    live in one process, e.g. under test, so they are not registered in
    the global metric registry); everything registered — phase/latency
-   histograms, storage counters — is appended after.  Reads are plain
-   int loads, safe without the store lock. *)
+   histograms, storage counters — is appended after.  Reads are atomic
+   or internally-mutexed loads, safe without the store lock. *)
 let metrics_text store =
   let buf = Buffer.create 4096 in
-  Obs.prometheus_sample buf ~kind:"counter" "server.requests" store.requests;
-  Obs.prometheus_sample buf ~kind:"counter" "server.errors" store.errors;
-  Obs.prometheus_sample buf ~kind:"counter" "server.timeouts" store.timeouts;
+  Obs.prometheus_sample buf ~kind:"counter" "server.requests" (Atomic.get store.requests);
+  Obs.prometheus_sample buf ~kind:"counter" "server.errors" (Atomic.get store.errors);
+  Obs.prometheus_sample buf ~kind:"counter" "server.timeouts" (Atomic.get store.timeouts);
   Obs.prometheus_sample buf ~kind:"gauge" "server.sessions" (Atomic.get store.sessions);
   (* operational gauges + build/process identity *)
   Obs.prometheus_sample buf ~kind:"gauge" "active_queries" (Query_log.active_count ());
   Obs.prometheus_sample buf ~kind:"gauge" "sessions" (Atomic.get store.sessions);
   Obs.prometheus_sample buf ~kind:"counter" "events.logged" (Query_log.Events.total ());
+  (* the snapshot subsystem: the published epoch and how many readers
+     hold a pinned version right now *)
+  Obs.prometheus_sample buf ~kind:"gauge" "snapshot.epoch" (Snapshot.epoch store.snap);
+  Obs.prometheus_sample buf ~kind:"gauge" "pinned.snapshots" (Snapshot.pinned_count ());
   Buffer.add_string buf "# TYPE coral_build_info gauge\n";
   Buffer.add_string buf
     (Printf.sprintf "coral_build_info{version=%S,ocaml=%S} 1\n" Obs.version Sys.ocaml_version);
@@ -437,10 +588,12 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Explain text -> do_explain t text
   | Protocol.Explain_analyze text -> do_explain_analyze t text
   | Protocol.Why text -> do_why t text
-  | Protocol.Stats -> do_stats t
+  (* introspection over the master engine's tables: cheap, serialized
+     against writers so iteration never races a mutation *)
+  | Protocol.Stats -> locked t.store (fun () -> do_stats t)
   | Protocol.Metrics -> do_metrics t
-  | Protocol.Relations -> do_relations t
-  | Protocol.Modules -> do_modules t
+  | Protocol.Relations -> locked t.store (fun () -> do_relations t)
+  | Protocol.Modules -> locked t.store (fun () -> do_modules t)
   | Protocol.Ps | Protocol.Kill _ | Protocol.Events _ ->
     (* handled lock-free in [handle]; unreachable through it *)
     Protocol.err Protocol.Proto "introspection command routed incorrectly"
@@ -464,40 +617,39 @@ let handle t req =
       | Protocol.Query _ -> Obs.Histogram.observe_ns h_query dt
       | _ -> ())
   @@ fun () ->
-  locked store (fun () ->
-      store.requests <- store.requests + 1;
-      let response =
-        try dispatch t req with
-        | Coral.Cancelled ->
-          store.timeouts <- store.timeouts + 1;
-          Protocol.err Protocol.Timeout
-            (Printf.sprintf "deadline of %dms exceeded; evaluation abandoned" t.deadline_ms)
-        | Coral.Engine.Engine_error e -> Protocol.err Protocol.Eval e
-        | Coral.Builtin.Eval_error e -> Protocol.err Protocol.Eval e
-        | Coral_eval.Fixpoint.Not_modularly_stratified e ->
-          Protocol.err Protocol.Eval ("not modularly stratified: " ^ e)
-        (* Storage faults: the request fails with IOERR but the session
-           (and the server) stays alive — a corrupt page quarantines
-           itself, it does not take the service down. *)
-        | Coral_storage.Disk.Fault { transient; op; path; detail } ->
-          Protocol.err Protocol.Ioerr
-            (Printf.sprintf "%s I/O fault during %s on %s: %s"
-               (if transient then "transient" else "persistent")
-               op (Filename.basename path) detail)
-        | Coral_storage.Disk.Corrupt { path; pid; detail } ->
-          Protocol.err Protocol.Ioerr
-            (Printf.sprintf "corrupt page %d in %s: %s" pid (Filename.basename path) detail)
-        | Coral_storage.Disk.Crashed msg ->
-          Protocol.err Protocol.Ioerr ("storage unavailable (simulated crash): " ^ msg)
-        | Coral_storage.Recovery.Fatal_corruption msg ->
-          Protocol.err Protocol.Ioerr ("unrecoverable corruption: " ^ msg)
-        | Coral_storage.Buffer_pool.Pool_exhausted ->
-          Protocol.err Protocol.Ioerr "buffer pool exhausted: all frames pinned"
-        | Coral_storage.Codec.Unstorable msg -> Protocol.err Protocol.Eval msg
-        | Failure e -> Protocol.err Protocol.Eval e
-        | Stack_overflow -> Protocol.err Protocol.Eval "stack overflow during evaluation"
-      in
-      (match response.Protocol.status with
-      | Error _ -> store.errors <- store.errors + 1
-      | Ok _ -> ());
-      response)
+  Atomic.incr store.requests;
+  let response =
+    try dispatch t req with
+    | Coral.Cancelled ->
+      Atomic.incr store.timeouts;
+      Protocol.err Protocol.Timeout
+        (Printf.sprintf "deadline of %dms exceeded; evaluation abandoned" t.deadline_ms)
+    | Coral.Engine.Engine_error e -> Protocol.err Protocol.Eval e
+    | Coral.Builtin.Eval_error e -> Protocol.err Protocol.Eval e
+    | Coral_eval.Fixpoint.Not_modularly_stratified e ->
+      Protocol.err Protocol.Eval ("not modularly stratified: " ^ e)
+    (* Storage faults: the request fails with IOERR but the session
+       (and the server) stays alive — a corrupt page quarantines
+       itself, it does not take the service down. *)
+    | Coral_storage.Disk.Fault { transient; op; path; detail } ->
+      Protocol.err Protocol.Ioerr
+        (Printf.sprintf "%s I/O fault during %s on %s: %s"
+           (if transient then "transient" else "persistent")
+           op (Filename.basename path) detail)
+    | Coral_storage.Disk.Corrupt { path; pid; detail } ->
+      Protocol.err Protocol.Ioerr
+        (Printf.sprintf "corrupt page %d in %s: %s" pid (Filename.basename path) detail)
+    | Coral_storage.Disk.Crashed msg ->
+      Protocol.err Protocol.Ioerr ("storage unavailable (simulated crash): " ^ msg)
+    | Coral_storage.Recovery.Fatal_corruption msg ->
+      Protocol.err Protocol.Ioerr ("unrecoverable corruption: " ^ msg)
+    | Coral_storage.Buffer_pool.Pool_exhausted ->
+      Protocol.err Protocol.Ioerr "buffer pool exhausted: all frames pinned"
+    | Coral_storage.Codec.Unstorable msg -> Protocol.err Protocol.Eval msg
+    | Failure e -> Protocol.err Protocol.Eval e
+    | Stack_overflow -> Protocol.err Protocol.Eval "stack overflow during evaluation"
+  in
+  (match response.Protocol.status with
+  | Error _ -> Atomic.incr store.errors
+  | Ok _ -> ());
+  response

@@ -1,25 +1,36 @@
 (** Sessions: one client's view of a shared CORAL engine.
 
     A {!store} is the server-wide shared state — the engine, the
-    prepared-query {!Plan_cache}, a lock serializing engine access, and
-    request counters.  A {!t} is one connection's session: it holds the
-    session-local settings (currently the request deadline) and an
-    isolated result cursor — every request materializes its answers
-    under the lock, so clients interleave freely at request
-    granularity while base relations and cached plans are shared.
+    prepared-query {!Plan_cache}, the published snapshot chain, the
+    writer-lane lock, and request counters.  A {!t} is one
+    connection's session: it holds the session-local settings
+    (currently the request deadline) and an isolated result cursor.
 
-    {!handle} is the entire request semantics, independent of any
-    socket: the connection handler ({!Server}) and the tests drive it
-    directly. *)
+    Concurrency (DESIGN.md §11): read requests pin the currently
+    published engine snapshot and evaluate a private read view on the
+    execution pool without the store lock; mutations (consult, insert,
+    queries that reach assert/retract) serialize on the writer lane,
+    group-commit any persistent relations' WAL images, and publish the
+    next epoch.  Stores over persistent databases whose relations have
+    no lock-free view publish [None] and reads fall back to the locked
+    lane. *)
 
 type store
 
-val make_store : Coral.t -> store
+val make_store : ?databases:Coral.Database.t list -> Coral.t -> store
+(** [databases] are the persistent stores whose dirty pages each
+    commit stages onto the group-commit lane (default none — a purely
+    in-memory server). *)
+
 val db : store -> Coral.t
 
 val locked : store -> (unit -> 'a) -> 'a
-(** Run a computation holding the store's engine lock (used by
+(** Run a computation holding the store's writer-lane lock (used by
     non-protocol callers, e.g. benchmarks preparing data). *)
+
+val snapshot_epoch : store -> int
+(** The currently published snapshot epoch (starts at 1; every
+    committed mutation advances it). *)
 
 type t
 
@@ -40,15 +51,18 @@ val deadline_ms : t -> int
 (** The session's current per-request deadline (0 = none). *)
 
 val handle : t -> Protocol.request -> Protocol.response
-(** Execute one request against the shared store (takes the lock).
-    Never raises: evaluation failures, parse failures and exceeded
-    deadlines come back as [err] replies.  Evaluating requests are
-    registered in {!Coral_obs.Query_log} for the duration and logged
-    to the event log on completion; [Ps]/[Kill]/[Events] are answered
-    without the store lock. *)
+(** Execute one request against the shared store.  Never raises:
+    evaluation failures, parse failures and exceeded deadlines come
+    back as [err] replies.  Reads run lock-free against the pinned
+    snapshot when one is available; mutations take the writer lane and
+    publish a new epoch.  Evaluating requests are registered in
+    {!Coral_obs.Query_log} for the duration and logged to the event
+    log on completion; [Ps]/[Kill]/[Events] are answered without any
+    lock. *)
 
 val metrics_text : store -> string
 (** Prometheus text exposition: the store's own counters (requests,
-    errors, sessions, caches) followed by every metric in the global
-    {!Coral_obs.Obs} registry.  Reads are plain loads — safe to call
-    from the metrics listener thread without the store lock. *)
+    errors, sessions, caches, snapshot epoch and pinned-reader gauges)
+    followed by every metric in the global {!Coral_obs.Obs} registry.
+    Reads are atomic or internally-mutexed loads — safe to call from
+    the metrics listener thread without the store lock. *)

@@ -28,6 +28,12 @@ let relation t ?indexes ~name ~arity () =
 
 let commit t = Hashtbl.iter (fun _ h -> Persistent_relation.commit h) t.handles
 
+let stage t =
+  Hashtbl.fold (fun _ h acc -> (h, Persistent_relation.stage h) :: acc) t.handles []
+
+let publish staged =
+  List.iter (fun (h, ticket) -> Persistent_relation.publish h ticket) staged
+
 let close t =
   Hashtbl.iter (fun _ h -> Persistent_relation.close h) t.handles;
   Hashtbl.reset t.handles

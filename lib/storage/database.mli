@@ -35,6 +35,16 @@ val handle : t -> ?indexes:int list -> name:string -> arity:int -> unit -> Persi
 val commit : t -> unit
 val close : t -> unit
 
+val stage : t -> (Persistent_relation.handle * Wal.Group.ticket) list
+(** Queue the dirty after-images of every open relation on its
+    group-commit lane (see {!Persistent_relation.stage}).  Call while
+    holding the writer lane; pass the result to {!publish} after
+    releasing it. *)
+
+val publish : (Persistent_relation.handle * Wal.Group.ticket) list -> unit
+(** Block until every staged submission is durable (group-committed);
+    re-raises the first flush failure encountered. *)
+
 val abandon : t -> unit
 (** Drop every open relation WITHOUT committing (simulated crash):
     descriptors are closed, nothing is written. *)

@@ -17,24 +17,42 @@ type file = {
 type handle = {
   files : file array;  (* 0 = heap, 1 = uniq, 2.. = column indexes *)
   wal : Wal.t;
+  group : Wal.Group.g;
   rel : Relation.t;
   report : Recovery.t;
 }
 
+let dirty_entries h =
+  Array.to_list h.files
+  |> List.mapi (fun fid f ->
+         List.map (fun (pid, image) -> fid, pid, image) (Buffer_pool.dirty_pages f.bp))
+  |> List.concat
+
 let commit h =
-  let entries =
-    Array.to_list h.files
-    |> List.mapi (fun fid f ->
-           List.map (fun (pid, image) -> fid, pid, image) (Buffer_pool.dirty_pages f.bp))
-    |> List.concat
-  in
-  if entries <> [] then begin
+  let entries = dirty_entries h in
+  if entries <> [] then
     (* redo-log first (one fsync covers every file), then write back,
-       then truncate the log *)
-    Wal.commit h.wal entries;
-    Array.iter (fun f -> Buffer_pool.flush f.bp) h.files;
-    Wal.checkpoint h.wal
-  end
+       then truncate the log.  Serialized against the group-commit
+       leader's appends; the checkpoint makes every queued group
+       submission durable in place, so the queue is absorbed rather
+       than letting stale images reach the truncated log. *)
+    Wal.Group.with_io h.group (fun () ->
+        Wal.commit h.wal entries;
+        Array.iter (fun f -> Buffer_pool.flush f.bp) h.files;
+        Wal.checkpoint h.wal;
+        Wal.Group.absorb h.group)
+
+(* The write lane's group-commit path: [stage] (under the lane lock)
+   copies the current dirty after-images and queues them; [publish]
+   (lane released) blocks until the group leader has fsynced them.
+   Pages are NOT written back here — write-back stays at spill/close
+   time (no-steal/force at checkpoint granularity), the log alone
+   carries durability between checkpoints. *)
+let stage h =
+  let entries = List.map (fun (fid, pid, image) -> fid, pid, Bytes.copy image) (dirty_entries h) in
+  Wal.Group.enqueue h.group entries
+
+let publish h ticket = Wal.Group.await h.group ticket
 
 let close h =
   commit h;
@@ -219,10 +237,14 @@ let open_ ?(pool_frames = 64) ?(indexes = []) ?injector ?(verify = true) ~dir ~n
                tuples only reach here (persistent stores reject
                non-ground rows at insert) *)
             Btree.find_all uniq (Codec.encode t.Tuple.terms) <> []);
-        i_clear = (fun () -> failwith "persistent relations cannot be cleared in place")
+        i_clear = (fun () -> failwith "persistent relations cannot be cleared in place");
+        (* scans do buffer-pool I/O (latches, evictions), so there is no
+           lock-free immutable view to hand out; snapshot readers fall
+           back to the locked lane for databases serving these *)
+        i_freeze = (fun () -> None)
       }
   in
-  let h = { files; wal; rel; report } in
+  let h = { files; wal; group = Wal.Group.create wal; rel; report } in
   (* a pool that runs out of clean frames commits the whole relation
      (making every frame evictable) rather than failing the operation *)
   Array.iter (fun f -> Buffer_pool.set_spill_handler f.bp (fun () -> commit h)) files;

@@ -53,6 +53,19 @@ val relation : handle -> Relation.t
 val commit : handle -> unit
 val close : handle -> unit
 
+val stage : handle -> Wal.Group.ticket
+(** Copy the current dirty after-images and queue them on the
+    relation's group-commit lane (see {!Wal.Group}).  Call while
+    holding the writer lane so submissions enter the log in apply
+    order; cheap (no I/O).  Pages are not written back — durability
+    between checkpoints is carried by the log alone. *)
+
+val publish : handle -> Wal.Group.ticket -> unit
+(** Block until a staged submission is durable; the caller may (and
+    should) have released the writer lane, so concurrent writers'
+    submissions merge into one fsync.  Re-raises the group's commit
+    failure if the flush failed. *)
+
 val abandon : handle -> unit
 (** Release file descriptors WITHOUT committing or writing anything —
     the teardown half of a simulated crash.  The on-disk state is left

@@ -1,0 +1,57 @@
+(* Epoch-stamped immutable versions: the MVCC heart of the snapshot
+   concurrency subsystem.
+
+   A [t] owns a single Atomic holding the current published version — a
+   pair of a monotonically increasing epoch and an arbitrary immutable
+   view value (the server stores its frozen relation views there).
+   Readers [pin] the current version with one Atomic read and evaluate
+   against it lock-free for as long as they like; the OCaml GC keeps
+   superseded versions alive while anyone still holds them, so there is
+   no reclamation protocol.  Writers build the next view under the
+   (external) writer lane, [stage] it — which allocates the next epoch;
+   lane order therefore fixes epoch order — and [publish] it after
+   group commit.  Publication is a compare-and-set that only moves the
+   epoch forward: if a later-epoch writer (which, by lane order,
+   already includes this writer's data) raced ahead, the stale publish
+   is a no-op.
+
+   The Atomic publish gives the happens-before edge: every mutation the
+   writer made before [publish] is visible to any reader that [pin]s
+   the new version. *)
+
+type 'a version = {
+  v_epoch : int;
+  v_view : 'a;
+}
+
+type 'a t = { current : 'a version Atomic.t }
+
+(* Process-wide gauge of currently pinned snapshots (all stores).  The
+   one piece of module-level mutable state lib/storage is allowed
+   (ci/lint_eval_globals.sh); everything else in this subsystem hangs
+   off a value. *)
+let pinned = Atomic.make 0
+
+let create view = { current = Atomic.make { v_epoch = 1; v_view = view } }
+
+let epoch t = (Atomic.get t.current).v_epoch
+
+let version_epoch v = v.v_epoch
+let view v = v.v_view
+
+let stage t view = { v_epoch = epoch t + 1; v_view = view }
+
+let publish t v =
+  let rec go () =
+    let cur = Atomic.get t.current in
+    if v.v_epoch > cur.v_epoch && not (Atomic.compare_and_set t.current cur v) then go ()
+  in
+  go ()
+
+let pin t =
+  Atomic.incr pinned;
+  Atomic.get t.current
+
+let release (_ : 'a version) = Atomic.decr pinned
+
+let pinned_count () = Atomic.get pinned

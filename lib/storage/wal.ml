@@ -206,3 +206,136 @@ let checkpoint t =
   Disk.Io.fsync t.io
 
 let close t = Disk.Io.close t.io
+
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A commit queue in front of one log.  Writers enqueue their dirty-page
+   after-images under the writer lane (cheap, ordered), release the
+   lane, then block in [await]; the first awaiter becomes the leader,
+   merges every pending submission into ONE log record and fsyncs once
+   for the whole group.  Atomicity of the group costs nothing extra:
+   the merged record is a single checksummed transaction, so a crash
+   mid-write tears the tail and recovery drops the entire group.
+
+   [with_io] serializes raw log I/O (group appends vs. the spill /
+   shutdown path's commit+checkpoint); [absorb] lets a checkpoint that
+   just made every dirty page durable in place retire the queue —
+   without it the leader could append images that predate the
+   checkpoint and recovery would regress pages. *)
+module Group = struct
+  let c_batches = Obs.counter "wal.group_commit.batches"
+  let c_records = Obs.counter "wal.group_commit.records"
+
+  type g = {
+    gwal : t;
+    glock : Mutex.t;
+    gdone : Condition.t;
+    mutable gpending : (int * (int * int * Bytes.t) list) list;  (* newest first *)
+    mutable gnext : int;  (* last submission seq handed out *)
+    mutable gdurable : int;  (* highest seq flushed (or absorbed) *)
+    mutable gleader : bool;
+    mutable gfailures : (int * int * exn) list;  (* failed seq ranges *)
+    gio : Mutex.t;
+  }
+
+  type ticket = int  (* 0: nothing to flush *)
+
+  let create wal =
+    { gwal = wal;
+      glock = Mutex.create ();
+      gdone = Condition.create ();
+      gpending = [];
+      gnext = 0;
+      gdurable = 0;
+      gleader = false;
+      gfailures = [];
+      gio = Mutex.create ()
+    }
+
+  let with_io g f =
+    Mutex.lock g.gio;
+    Fun.protect ~finally:(fun () -> Mutex.unlock g.gio) f
+
+  (* Caller holds [gio] and has just made every dirty page durable in
+     place (commit + checkpoint): queued submissions are superseded. *)
+  let absorb g =
+    Mutex.lock g.glock;
+    g.gpending <- [];
+    if g.gnext > g.gdurable then g.gdurable <- g.gnext;
+    Condition.broadcast g.gdone;
+    Mutex.unlock g.glock
+
+  let enqueue g entries =
+    if entries = [] then 0
+    else begin
+      Mutex.lock g.glock;
+      g.gnext <- g.gnext + 1;
+      let seq = g.gnext in
+      g.gpending <- (seq, entries) :: g.gpending;
+      Mutex.unlock g.glock;
+      seq
+    end
+
+  let await g (seq : ticket) =
+    if seq <> 0 then begin
+      Mutex.lock g.glock;
+      let rec wait_done () =
+        if g.gdurable < seq then
+          if g.gleader then begin
+            Condition.wait g.gdone g.glock;
+            wait_done ()
+          end
+          else lead ()
+      and lead () =
+        g.gleader <- true;
+        let rec drain () =
+          match g.gpending with
+          | [] -> ()
+          | pending ->
+            g.gpending <- [];
+            let top = List.fold_left (fun acc (s, _) -> max acc s) 0 pending in
+            let low = g.gdurable + 1 in
+            Mutex.unlock g.glock;
+            let batch = List.concat_map snd (List.rev pending) in
+            let result =
+              try
+                Mutex.lock g.gio;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock g.gio)
+                  (fun () -> commit g.gwal batch);
+                None
+              with e -> Some e
+            in
+            Obs.Counter.incr c_batches;
+            Obs.Counter.add c_records (List.length pending);
+            Mutex.lock g.glock;
+            if g.gdurable < top then g.gdurable <- top;
+            (match result with
+            | Some e -> g.gfailures <- (low, top, e) :: g.gfailures
+            | None -> ());
+            Condition.broadcast g.gdone;
+            drain ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            g.gleader <- false;
+            (* wake a possible next leader parked in wait_done *)
+            Condition.broadcast g.gdone)
+          drain
+      in
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock g.glock)
+        (fun () ->
+          wait_done ();
+          while g.gdurable < seq do
+            Condition.wait g.gdone g.glock
+          done;
+          match
+            List.find_opt (fun (lo, hi, _) -> lo <= seq && seq <= hi) g.gfailures
+          with
+          | Some (_, _, e) -> raise e
+          | None -> ())
+    end
+end

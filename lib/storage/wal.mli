@@ -36,3 +36,39 @@ val recover : t -> disks:Disk.t array -> report:Recovery.t -> int
 val checkpoint : t -> unit
 val close : t -> unit
 val path : t -> string
+
+(** Group commit: a commit queue in front of one log.  Writers
+    [enqueue] their after-images while they still hold the writer lane
+    (cheap, and lane order fixes log order), release the lane, then
+    block in [await]; the first awaiter becomes the leader and merges
+    every pending submission into ONE checksummed log record with ONE
+    fsync.  The merged record is a single transaction, so a crash
+    mid-group tears the tail and recovery drops the whole group —
+    group atomicity falls out of the existing record format. *)
+module Group : sig
+  type g
+
+  type ticket
+
+  val create : t -> g
+
+  val enqueue : g -> (int * int * Bytes.t) list -> ticket
+  (** Queue a submission (call under the writer lane; the after-images
+      must be stable copies).  An empty submission returns a ticket
+      that [await] treats as already durable. *)
+
+  val await : g -> ticket -> unit
+  (** Block until the submission is durable, flushing the queue as
+      leader if nobody else is.  Re-raises the commit failure if this
+      submission's group failed to flush. *)
+
+  val with_io : g -> (unit -> 'a) -> 'a
+  (** Serialize raw log I/O against the group leader: any direct
+      [commit]/[checkpoint] on the same log must run inside this. *)
+
+  val absorb : g -> unit
+  (** Caller (inside [with_io]) has just committed and checkpointed
+      every dirty page in place: retire all queued submissions as
+      durable — their images are covered by the checkpoint, and
+      appending them afterwards would let recovery regress pages. *)
+end

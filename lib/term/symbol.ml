@@ -4,19 +4,34 @@ let table : (string, int) Hashtbl.t = Hashtbl.create 512
 let names : string array ref = ref (Array.make 512 "")
 let count = ref 0
 
+(* Interning is process-global and reachable from snapshot readers on
+   other domains, so the miss path is mutexed.  [name] stays lock-free:
+   the name cell is written (and the possibly grown array published)
+   before the id escapes through the table, and an id can only be held
+   by a caller that already observed it. *)
+let lock = Mutex.create ()
+
 let intern s =
   match Hashtbl.find_opt table s with
   | Some id -> id
   | None ->
-    let id = !count in
-    incr count;
-    if id >= Array.length !names then begin
-      let bigger = Array.make (2 * Array.length !names) "" in
-      Array.blit !names 0 bigger 0 (Array.length !names);
-      names := bigger
-    end;
-    !names.(id) <- s;
-    Hashtbl.add table s id;
+    Mutex.lock lock;
+    let id =
+      match Hashtbl.find_opt table s with
+      | Some id -> id
+      | None ->
+        let id = !count in
+        incr count;
+        if id >= Array.length !names then begin
+          let bigger = Array.make (2 * Array.length !names) "" in
+          Array.blit !names 0 bigger 0 (Array.length !names);
+          names := bigger
+        end;
+        !names.(id) <- s;
+        Hashtbl.add table s id;
+        id
+    in
+    Mutex.unlock lock;
     id
 
 let name s = !names.(s)

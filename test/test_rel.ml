@@ -291,6 +291,53 @@ let prop_index_candidates_complete =
       in
       matching indexed = matching plain)
 
+(* ------------------------------------------------------------------ *)
+(* Frozen views: the snapshot-read substrate                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_freeze_isolation () =
+  let r = Hash_relation.create ~indexes:[ Index.Args [ 0 ] ] ~name:"p" ~arity:2 () in
+  ignore (Relation.insert r (tup [ 1; 2 ]));
+  ignore (Relation.insert r (tup [ 2; 3 ]));
+  let fz = Option.get (Relation.freeze r) in
+  ignore (Relation.insert r (tup [ 3; 4 ]));
+  Alcotest.(check int) "frozen cardinal" 2 (Relation.cardinal fz);
+  Alcotest.(check (list (list int)))
+    "frozen view misses the later insert"
+    [ [ 1; 2 ]; [ 2; 3 ] ]
+    (ints_of (Relation.to_list fz));
+  Alcotest.(check (list (list int)))
+    "master sees it"
+    [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+    (ints_of (Relation.to_list r));
+  (* index probes resolve against the frozen contents too *)
+  Alcotest.(check (list (list int))) "frozen probe" [ [ 1; 2 ] ]
+    (probe_rel fz [| t_int 1; Term.var 0 |]);
+  Alcotest.(check bool) "frozen mem" true (Relation.mem fz (tup [ 2; 3 ]));
+  Alcotest.(check bool) "frozen mem excludes later" false (Relation.mem fz (tup [ 3; 4 ]))
+
+let test_freeze_read_only () =
+  let r = Hash_relation.create ~name:"p" ~arity:1 () in
+  ignore (Relation.insert r (tup [ 1 ]));
+  let fz = Option.get (Relation.freeze r) in
+  let ro = Failure "p: snapshot views are read-only; mutate through the write lane" in
+  Alcotest.check_raises "insert raises" ro (fun () -> ignore (Relation.insert fz (tup [ 2 ])));
+  Alcotest.check_raises "clear raises" ro (fun () -> Relation.clear fz);
+  (* mark semantics match persistent relations: no marks, delta scans
+     from a positive mark are empty, full scans see everything *)
+  Alcotest.(check int) "marks" 0 (Relation.marks fz);
+  Alcotest.(check (list (list int))) "delta scan empty" []
+    (ints_of (List.of_seq (Relation.scan fz ~from_mark:1 ())));
+  Alcotest.(check (list (list int))) "full scan" [ [ 1 ] ]
+    (ints_of (List.of_seq (Relation.scan fz ())))
+
+let test_freeze_list_relation () =
+  let r = List_relation.create ~name:"q" ~arity:1 () in
+  ignore (Relation.insert r (tup [ 7 ]));
+  let fz = Option.get (Relation.freeze r) in
+  ignore (Relation.insert r (tup [ 8 ]));
+  Alcotest.(check (list (list int))) "list frozen view" [ [ 7 ] ] (ints_of (Relation.to_list fz))
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -319,5 +366,10 @@ let () =
       ( "scan",
         [ Alcotest.test_case "list relation" `Quick test_list_relation;
           Alcotest.test_case "cursors" `Quick test_scan_cursor
+        ] );
+      ( "freeze",
+        [ Alcotest.test_case "isolation" `Quick test_freeze_isolation;
+          Alcotest.test_case "read only" `Quick test_freeze_read_only;
+          Alcotest.test_case "list relation" `Quick test_freeze_list_relation
         ] )
     ]

@@ -768,6 +768,253 @@ let test_session_direct () =
   | Error (Protocol.Eval, _) -> ()
   | _ -> Alcotest.fail "expected err EVAL for bad arithmetic")
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot reads: epochs, isolation, reader/writer differential       *)
+(* ------------------------------------------------------------------ *)
+
+let stats_value s prefix =
+  let r = Session.handle s Protocol.Stats in
+  let p = prefix ^ "=" in
+  List.find_map
+    (function
+      | Protocol.Txt l when String.starts_with ~prefix:p l ->
+        int_of_string_opt (String.sub l (String.length p) (String.length l - String.length p))
+      | _ -> None)
+    r.Protocol.payload
+
+let test_snapshot_epoch () =
+  let store = Session.make_store (Coral.create ()) in
+  let s = Session.create store in
+  let e0 = Session.snapshot_epoch store in
+  Alcotest.(check bool) "initial epoch published" true (e0 >= 1);
+  Alcotest.(check (option int)) "stats agree" (Some e0) (stats_value s "snapshot.epoch");
+  (* every committed mutation advances the epoch *)
+  (match (Session.handle s (Protocol.Consult paths_program)).Protocol.status with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.fail (Protocol.code_string c ^ ": " ^ m));
+  let e1 = Session.snapshot_epoch store in
+  Alcotest.(check bool) "consult bumps epoch" true (e1 > e0);
+  ignore (Session.handle s (Protocol.Insert "edge(4, 5)."));
+  let e2 = Session.snapshot_epoch store in
+  Alcotest.(check bool) "insert bumps epoch" true (e2 > e1);
+  (* reads do not advance it *)
+  ignore (Session.handle s (Protocol.Query "path(1, Y)"));
+  Alcotest.(check int) "query leaves epoch alone" e2 (Session.snapshot_epoch store);
+  Alcotest.(check (option int)) "pinned gauge drains to zero" (Some 0)
+    (stats_value s "snapshot.pinned")
+
+(* ps on a running query shows the epoch it pinned (the snapshot lane). *)
+let test_ps_shows_epoch () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let victim = connect srv in
+  let operator = connect srv in
+  let _, status = request victim ("consult " ^ flat nats_program) in
+  check_prefix "consult nats" "ok" status;
+  send victim "query nat(X)";
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec wait_line () =
+    if Unix.gettimeofday () > deadline then Alcotest.fail "query never showed in ps";
+    let lines, status = request operator "ps" in
+    check_prefix "ps status" "ok" status;
+    match
+      List.find_opt (fun l -> contains "query=nat(X)" l) (List.map strip_txt lines)
+    with
+    | Some l -> l
+    | None ->
+      Thread.delay 0.02;
+      wait_line ()
+  in
+  let line = wait_line () in
+  Alcotest.(check bool) ("ps line shows pinned epoch: " ^ line) true
+    (contains " epoch=" line);
+  (* a reader holds a pin while evaluating *)
+  let pinned =
+    let lines, _ = request operator "stats" in
+    List.exists
+      (fun l ->
+        match strip_txt l with
+        | l when String.starts_with ~prefix:"snapshot.pinned=" l ->
+          (match int_of_string_opt (String.sub l 16 (String.length l - 16)) with
+          | Some n -> n >= 1
+          | None -> false)
+        | _ -> false)
+      lines
+  in
+  Alcotest.(check bool) "pinned gauge sees the reader" true pinned;
+  let qid =
+    match String.index_opt line '=' with
+    | Some _ ->
+      String.split_on_char ' ' line
+      |> List.find_map (fun tok ->
+             if String.starts_with ~prefix:"id=" tok then
+               int_of_string_opt (String.sub tok 3 (String.length tok - 3))
+             else None)
+    | None -> None
+  in
+  (match qid with
+  | Some qid -> ignore (request operator (Printf.sprintf "kill %d" qid))
+  | None -> Alcotest.fail ("no id in ps line: " ^ line));
+  let rec drain () =
+    match In_channel.input_line victim.ic with
+    | None -> ()
+    | Some l when Protocol.is_status l -> ()
+    | Some _ -> drain ()
+  in
+  drain ();
+  ignore (request victim "quit");
+  close victim;
+  ignore (request operator "quit");
+  close operator
+
+(* The differential acceptance test: readers racing a writer must each
+   see, on every query, EXACTLY the answer set some serialized prefix
+   of the writer's commits would produce — never a torn in-between —
+   and successive reads on one session never go backwards. *)
+let test_snapshot_differential () =
+  let db = Coral.create () in
+  Coral.fact db "edge" [ Coral.int 1; Coral.int 2 ];
+  Coral.consult_text db
+    "module paths.\n\
+     export path(bf).\n\
+     path(X, Y) :- edge(X, Y).\n\
+     path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+     end_module.\n";
+  let store = Session.make_store db in
+  let chain = 24 in
+  (* serialized oracle: with the chain 1->2->...->(c+1) in place,
+     path(1, Y) answers are exactly Y = 2 .. c+1 *)
+  let expected c = List.sort compare (List.init c (fun i -> Printf.sprintf "Y = %d" (i + 2))) in
+  let failures = Mutex.create () in
+  let failed = ref [] in
+  let fail_with m =
+    Mutex.lock failures;
+    failed := m :: !failed;
+    Mutex.unlock failures
+  in
+  let writer () =
+    let s = Session.create store in
+    for k = 2 to chain do
+      match
+        (Session.handle s (Protocol.Insert (Printf.sprintf "edge(%d, %d)." k (k + 1))))
+          .Protocol.status
+      with
+      | Ok _ -> ()
+      | Error (c, m) -> fail_with ("writer: " ^ Protocol.code_string c ^ ": " ^ m)
+    done;
+    Session.close s
+  in
+  let reader id =
+    let s = Session.create store in
+    let last = ref 0 in
+    for _ = 1 to 40 do
+      let r = Session.handle s (Protocol.Query "path(1, Y)") in
+      match r.Protocol.status with
+      | Error (c, m) -> fail_with (Printf.sprintf "reader %d: %s: %s" id (Protocol.code_string c) m)
+      | Ok _ ->
+        let got =
+          List.filter_map
+            (function Protocol.Ans a -> Some a | Protocol.Txt _ -> None)
+            r.Protocol.payload
+          |> List.sort compare
+        in
+        let c = List.length got in
+        if c < 1 || c > chain then
+          fail_with (Printf.sprintf "reader %d: impossible answer count %d" id c)
+        else if got <> expected c then
+          fail_with
+            (Printf.sprintf "reader %d: torn snapshot at count %d: %s" id c
+               (String.concat "|" got))
+        else if c < !last then
+          fail_with (Printf.sprintf "reader %d: snapshot went backwards (%d after %d)" id c !last)
+        else last := c
+    done;
+    Session.close s
+  in
+  let threads =
+    Thread.create writer () :: List.init 2 (fun id -> Thread.create reader id)
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check (list string)) "no differential violations" [] !failed;
+  (* after the writer joins, a fresh read sees the full chain *)
+  let s = Session.create store in
+  let r = Session.handle s (Protocol.Query "path(1, Y)") in
+  Alcotest.(check int) "final state complete" (chain)
+    (List.length
+       (List.filter (function Protocol.Ans _ -> true | _ -> false) r.Protocol.payload))
+
+(* Mixed-operation stress: queries, inserts, consults, stats and ps
+   interleaving from several sessions; nothing may error or wedge.
+   CI runs this with CORAL_WORKERS=4 so snapshot reads, the parallel
+   fixpoint's domains and the writer lane all contend at once. *)
+let test_concurrent_stress () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let seed = connect srv in
+  let _, status = request seed ("consult " ^ flat paths_program) in
+  check_prefix "seed consult" "ok" status;
+  ignore (request seed "quit");
+  close seed;
+  let failures = Mutex.create () in
+  let failed = ref [] in
+  let client_run id =
+    try
+      let c = connect srv in
+      for i = 1 to 15 do
+        (match i mod 5 with
+        | 0 ->
+          let _, status = request c (Printf.sprintf "insert edge(%d, %d)." (100 + (id * 50) + i) id) in
+          if not (String.starts_with ~prefix:"ok" status) then failwith ("insert: " ^ status)
+        | 1 ->
+          let _, status = request c "stats" in
+          if not (String.starts_with ~prefix:"ok" status) then failwith ("stats: " ^ status)
+        | 2 ->
+          let _, status = request c "ps" in
+          if not (String.starts_with ~prefix:"ok" status) then failwith ("ps: " ^ status)
+        | _ ->
+          let _, status = request c "query path(1, Y)" in
+          if not (String.starts_with ~prefix:"ok" status) then failwith ("query: " ^ status));
+        ()
+      done;
+      ignore (request c "quit");
+      close c
+    with e ->
+      Mutex.lock failures;
+      failed := Printf.sprintf "client %d: %s" id (Printexc.to_string e) :: !failed;
+      Mutex.unlock failures
+  in
+  let threads = List.init 4 (fun id -> Thread.create client_run id) in
+  List.iter Thread.join threads;
+  Alcotest.(check (list string)) "no stress failures" [] !failed
+
+(* assert/1 inside a module rule fires on the snapshot lane first; the
+   session must transparently replay it on the write lane and commit. *)
+let test_assert_replays_on_write_lane () =
+  let store = Session.make_store (Coral.create ()) in
+  let s = Session.create store in
+  (match
+     (Session.handle s
+        (Protocol.Consult
+           "module upd.\n\
+            export bump(f).\n\
+            bump(X) :- X = 1, assert(seen(X)).\n\
+            end_module.\n"))
+       .Protocol.status
+   with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.fail (Protocol.code_string c ^ ": " ^ m));
+  let e0 = Session.snapshot_epoch store in
+  let r = Session.handle s (Protocol.Query "bump(X)") in
+  (match r.Protocol.status with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.fail ("bump: " ^ Protocol.code_string c ^ ": " ^ m));
+  (* the mutation took effect and was committed as a new epoch *)
+  let r = Session.handle s (Protocol.Query "seen(X)") in
+  Alcotest.(check int) "asserted fact visible" 1
+    (List.length (List.filter (function Protocol.Ans _ -> true | _ -> false) r.Protocol.payload));
+  Alcotest.(check bool) "mutating query bumped the epoch" true
+    (Session.snapshot_epoch store > e0)
+
 let () =
   Alcotest.run "coral_server"
     [ ( "protocol",
@@ -789,5 +1036,13 @@ let () =
           Alcotest.test_case "shutdown commits databases" `Quick
             test_shutdown_commits_databases;
           Alcotest.test_case "session semantics" `Quick test_session_direct
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "epoch publication" `Quick test_snapshot_epoch;
+          Alcotest.test_case "ps shows pinned epoch" `Quick test_ps_shows_epoch;
+          Alcotest.test_case "reader/writer differential" `Quick test_snapshot_differential;
+          Alcotest.test_case "concurrent stress" `Quick test_concurrent_stress;
+          Alcotest.test_case "assert replays on write lane" `Quick
+            test_assert_replays_on_write_lane
         ] )
     ]

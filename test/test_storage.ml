@@ -259,6 +259,105 @@ let test_wal_recovery () =
   Sys.remove path;
   Sys.remove (path ^ ".log")
 
+(* Group commit: concurrent submissions merge into one checksummed log
+   record (one transaction), so a crash mid-group drops the whole
+   group atomically. *)
+let test_group_commit_merge () =
+  let path = tmpfile "group" in
+  let disk = Disk.create path in
+  ignore (Disk.alloc disk);
+  let p1 = Disk.alloc disk in
+  let p2 = Disk.alloc disk in
+  Disk.sync disk;
+  let wal = Wal.create (path ^ ".log") in
+  let g = Wal.Group.create wal in
+  (* two writers enqueue on the lane, then both await: the first
+     becomes leader and flushes both as ONE record *)
+  let t1 = Wal.Group.enqueue g [ 0, p1, Bytes.make Page.page_size 'A' ] in
+  let t2 = Wal.Group.enqueue g [ 0, p2, Bytes.make Page.page_size 'B' ] in
+  Wal.Group.await g t1;
+  Wal.Group.await g t2;
+  Wal.close wal;
+  let wal = Wal.create (path ^ ".log") in
+  let report = Recovery.create () in
+  let replayed = Wal.recover wal ~disks:[| disk |] ~report in
+  Alcotest.(check int) "both pages replayed" 2 replayed;
+  Alcotest.(check int) "as one merged transaction" 1 report.Recovery.replayed_txns;
+  let buf = Bytes.create Page.page_size in
+  Disk.read disk p1 buf;
+  Alcotest.(check char) "first image" 'A' (Bytes.get buf 0);
+  Disk.read disk p2 buf;
+  Alcotest.(check char) "second image" 'B' (Bytes.get buf 0);
+  (* an empty submission is durable by construction *)
+  Wal.Group.await g (Wal.Group.enqueue g []);
+  Wal.close wal;
+  Disk.close disk;
+  Sys.remove path;
+  Sys.remove (path ^ ".log")
+
+let test_group_commit_torn () =
+  let path = tmpfile "grouptear" in
+  let disk = Disk.create path in
+  ignore (Disk.alloc disk);
+  let p1 = Disk.alloc disk in
+  let p2 = Disk.alloc disk in
+  Disk.sync disk;
+  let wal = Wal.create (path ^ ".log") in
+  let g = Wal.Group.create wal in
+  let t1 = Wal.Group.enqueue g [ 0, p1, Bytes.make Page.page_size 'A' ] in
+  let t2 = Wal.Group.enqueue g [ 0, p2, Bytes.make Page.page_size 'B' ] in
+  Wal.Group.await g t1;
+  Wal.Group.await g t2;
+  Wal.close wal;
+  (* crash mid-group: cut the merged record a few bytes short.  Both
+     submissions rode the same record, so recovery must drop BOTH —
+     never replay the first writer's pages without the second's. *)
+  let size = (Unix.stat (path ^ ".log")).Unix.st_size in
+  let fd = Unix.openfile (path ^ ".log") [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (size - 7);
+  Unix.close fd;
+  let wal = Wal.create (path ^ ".log") in
+  let report = Recovery.create () in
+  Alcotest.(check int) "whole group dropped" 0 (Wal.recover wal ~disks:[| disk |] ~report);
+  Alcotest.(check int) "nothing replayed" 0 report.Recovery.replayed_txns;
+  Alcotest.(check bool) "torn tail recorded" true (report.Recovery.torn_tail_bytes > 0);
+  Wal.close wal;
+  Disk.close disk;
+  Sys.remove path;
+  Sys.remove (path ^ ".log")
+
+let test_group_commit_absorb () =
+  let path = tmpfile "groupabs" in
+  let disk = Disk.create path in
+  ignore (Disk.alloc disk);
+  let p1 = Disk.alloc disk in
+  Disk.sync disk;
+  let wal = Wal.create (path ^ ".log") in
+  let g = Wal.Group.create wal in
+  let image = Bytes.make Page.page_size 'C' in
+  let t1 = Wal.Group.enqueue g [ 0, p1, image ] in
+  (* a checkpoint-style commit makes the queued images durable in
+     place; absorb retires the queue so the (stale) submissions never
+     reach the truncated log and regress the pages *)
+  Wal.Group.with_io g (fun () ->
+      Wal.commit wal [ 0, p1, image ];
+      Disk.write disk p1 image;
+      Disk.sync disk;
+      Wal.checkpoint wal;
+      Wal.Group.absorb g);
+  Wal.Group.await g t1;
+  Wal.close wal;
+  let wal = Wal.create (path ^ ".log") in
+  let report = Recovery.create () in
+  Alcotest.(check int) "log empty after absorb" 0 (Wal.recover wal ~disks:[| disk |] ~report);
+  let buf = Bytes.create Page.page_size in
+  Disk.read disk p1 buf;
+  Alcotest.(check char) "checkpointed image intact" 'C' (Bytes.get buf 0);
+  Wal.close wal;
+  Disk.close disk;
+  Sys.remove path;
+  Sys.remove (path ^ ".log")
+
 (* ------------------------------------------------------------------ *)
 (* Checksums, fault injection and crash recovery                      *)
 (* ------------------------------------------------------------------ *)
@@ -578,7 +677,12 @@ let () =
       ( "codec",
         [ Alcotest.test_case "roundtrip" `Quick test_codec ]
         @ qcheck [ prop_codec_roundtrip; prop_key_encoding_order ] );
-      ("wal", [ Alcotest.test_case "recovery" `Quick test_wal_recovery ]);
+      ( "wal",
+        [ Alcotest.test_case "recovery" `Quick test_wal_recovery;
+          Alcotest.test_case "group commit merge" `Quick test_group_commit_merge;
+          Alcotest.test_case "group torn tail atomicity" `Quick test_group_commit_torn;
+          Alcotest.test_case "group absorb at checkpoint" `Quick test_group_commit_absorb
+        ] );
       ( "faults & recovery",
         [ Alcotest.test_case "checksum quarantine" `Quick test_checksum_quarantine;
           Alcotest.test_case "fatal metadata corruption" `Quick test_fatal_metadata_corruption;
