@@ -17,7 +17,8 @@ type t = {
   parsed_capacity : int;
   mutable lru_head : node option;  (* most recently used *)
   mutable lru_tail : node option;  (* least recently used; next eviction *)
-  forms : (string, Coral.Optimizer.plan) Hashtbl.t;  (* adorned form @ epoch -> plan *)
+  forms : (string * int, Coral.Optimizer.plan) Hashtbl.t;  (* (adorned form, epoch) -> plan *)
+  mutable forms_epoch : int;  (* newest epoch seen; older entries are swept *)
   mutable hits : int;
   mutable misses : int;
   mutable unplanned : int;
@@ -42,6 +43,7 @@ let create ?(parsed_capacity = 1024) () =
     lru_head = None;
     lru_tail = None;
     forms = Hashtbl.create 32;
+    forms_epoch = 0;
     hits = 0;
     misses = 0;
     unplanned = 0;
@@ -100,12 +102,27 @@ let with_lock t f =
    in flight against an old snapshot when a mutation invalidates the
    cache inserts under the OLD epoch's key, so readers of the new
    epoch can never be served the stale plan — the invalidation race
-   closes structurally rather than by timing. *)
-let epoch_key key epoch = key ^ "@" ^ string_of_int epoch
+   closes structurally rather than by timing.
+
+   Assert/retract-routed commits bump the epoch WITHOUT a full
+   invalidate, so superseded epochs' entries — which can never again
+   be hits for a new reader — are swept the first time a newer epoch
+   shows up; without the sweep a write-heavy workload would orphan
+   every commit's entries and grow the table without bound.  The
+   immediately preceding epoch is kept: readers pinned just before
+   the bump are still preparing against it. *)
+let note_epoch t epoch =
+  if epoch > t.forms_epoch then begin
+    t.forms_epoch <- epoch;
+    Hashtbl.filter_map_inplace
+      (fun (_, e) plan -> if e >= epoch - 1 then Some plan else None)
+      t.forms
+  end
 
 let prepare t ?(epoch = 0) db text =
   let parse () =
     with_lock t (fun () ->
+        note_epoch t epoch;
         match Hashtbl.find_opt t.parsed text with
         | Some n ->
           touch t n;
@@ -129,7 +146,7 @@ let prepare t ?(epoch = 0) db text =
       (fun lit ->
         match (lit : Coral.Ast.literal) with
         | Coral.Ast.Pos a -> begin
-          let key = epoch_key (form_key a) epoch in
+          let key = form_key a, epoch in
           if with_lock t (fun () -> Hashtbl.mem t.forms key) then incr planned
           else begin
             match

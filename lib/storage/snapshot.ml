@@ -8,12 +8,17 @@
    against it lock-free for as long as they like; the OCaml GC keeps
    superseded versions alive while anyone still holds them, so there is
    no reclamation protocol.  Writers build the next view under the
-   (external) writer lane, [stage] it — which allocates the next epoch;
-   lane order therefore fixes epoch order — and [publish] it after
-   group commit.  Publication is a compare-and-set that only moves the
-   epoch forward: if a later-epoch writer (which, by lane order,
-   already includes this writer's data) raced ahead, the stale publish
-   is a no-op.
+   (external) writer lane, [stage] it — which allocates the next epoch
+   from a monotone staged-epoch counter, NOT from the published epoch:
+   publication happens after the lane is released, so a later writer
+   can stage before an earlier writer publishes, and deriving from the
+   published epoch would hand both the same number and silently drop
+   the later publish.  The counter only advances under the lane, so
+   lane order still fixes epoch order — and [publish] runs after group
+   commit.  Publication is a compare-and-set that only moves the epoch
+   forward: if a later-epoch writer (which, by lane order, already
+   includes this writer's data) raced ahead, the stale publish is a
+   no-op.
 
    The Atomic publish gives the happens-before edge: every mutation the
    writer made before [publish] is visible to any reader that [pin]s
@@ -24,7 +29,10 @@ type 'a version = {
   v_view : 'a;
 }
 
-type 'a t = { current : 'a version Atomic.t }
+type 'a t = {
+  current : 'a version Atomic.t;
+  staged : int Atomic.t;  (* last epoch handed out by [stage] *)
+}
 
 (* Process-wide gauge of currently pinned snapshots (all stores).  The
    one piece of module-level mutable state lib/storage is allowed
@@ -32,14 +40,15 @@ type 'a t = { current : 'a version Atomic.t }
    off a value. *)
 let pinned = Atomic.make 0
 
-let create view = { current = Atomic.make { v_epoch = 1; v_view = view } }
+let create view =
+  { current = Atomic.make { v_epoch = 1; v_view = view }; staged = Atomic.make 1 }
 
 let epoch t = (Atomic.get t.current).v_epoch
 
 let version_epoch v = v.v_epoch
 let view v = v.v_view
 
-let stage t view = { v_epoch = epoch t + 1; v_view = view }
+let stage t view = { v_epoch = 1 + Atomic.fetch_and_add t.staged 1; v_view = view }
 
 let publish t v =
   let rec go () =

@@ -6,11 +6,13 @@
     read and evaluate lock-free; the GC keeps superseded versions alive
     while pinned, so there is no reclamation protocol.  Writers build
     the next view under the writer lane, {!stage} it (allocating the
-    next epoch; lane order fixes epoch order), release the lane, and
-    {!publish} after their WAL group commit.  Publication only moves
-    the epoch forward, so a later writer racing ahead — whose version,
-    by lane order, already contains the earlier writer's data — makes
-    the stale publish a harmless no-op. *)
+    next epoch from a counter that only advances under the lane, so
+    lane order fixes epoch order even though publication happens after
+    the lane is released), release the lane, and {!publish} after
+    their WAL group commit.  Publication only moves the epoch forward,
+    so a later writer racing ahead — whose version, by lane order,
+    already contains the earlier writer's data — makes the stale
+    publish a harmless no-op. *)
 
 type 'a version
 
@@ -34,7 +36,9 @@ val version_epoch : 'a version -> int
 val view : 'a version -> 'a
 
 val stage : 'a t -> 'a -> 'a version
-(** Stamp a new view with the next epoch.  Call under the writer lane
+(** Stamp a new view with the next epoch, drawn from a monotone
+    staged-epoch counter (strictly larger than every earlier staged
+    epoch, even ones not yet published).  Call under the writer lane
     only — lane order is what makes epochs agree with apply order. *)
 
 val publish : 'a t -> 'a version -> unit

@@ -304,12 +304,33 @@ module Group = struct
                 Mutex.lock g.gio;
                 Fun.protect
                   ~finally:(fun () -> Mutex.unlock g.gio)
-                  (fun () -> commit g.gwal batch);
+                  (fun () ->
+                    (* A checkpoint (commit + truncate + [absorb]) may
+                       have run in the window between dequeuing
+                       [pending] and winning [gio].  Our after-images
+                       predate the checkpoint; appending them into the
+                       freshly truncated log would let a crash replay
+                       them over newer flushed pages.  [absorb] cannot
+                       clear a batch we already dequeued, but it does
+                       advance [gdurable] past every seq it retires —
+                       and nothing else can push it past [top] while
+                       we (the sole leader) hold these seqs — so
+                       [gdurable >= top] identifies an absorbed batch:
+                       drop it, it is already durable in place. *)
+                    let absorbed =
+                      Mutex.lock g.glock;
+                      let a = g.gdurable >= top in
+                      Mutex.unlock g.glock;
+                      a
+                    in
+                    if not absorbed then begin
+                      commit g.gwal batch;
+                      Obs.Counter.incr c_batches;
+                      Obs.Counter.add c_records (List.length pending)
+                    end);
                 None
               with e -> Some e
             in
-            Obs.Counter.incr c_batches;
-            Obs.Counter.add c_records (List.length pending);
             Mutex.lock g.glock;
             if g.gdurable < top then g.gdurable <- top;
             (match result with

@@ -1,23 +1,28 @@
 type t = int
 
-let table : (string, int) Hashtbl.t = Hashtbl.create 512
-let names : string array ref = ref (Array.make 512 "")
-let count = ref 0
+module SMap = Map.Make (String)
 
 (* Interning is process-global and reachable from snapshot readers on
-   other domains, so the miss path is mutexed.  [name] stays lock-free:
+   other domains, so the table is published through an Atomic holding
+   an immutable map: the hot lookup path is lock-free AND safe, where
+   a shared Hashtbl read racing a resize on the write lane could raise
+   or loop.  The miss path double-checks under the mutex and installs
+   the extended map with one atomic store.  [name] stays lock-free:
    the name cell is written (and the possibly grown array published)
-   before the id escapes through the table, and an id can only be held
-   by a caller that already observed it. *)
+   before the id escapes through the table store, and an id can only
+   be held by a caller that already observed it. *)
+let table : int SMap.t Atomic.t = Atomic.make SMap.empty
+let names : string array ref = ref (Array.make 512 "")
+let count = ref 0
 let lock = Mutex.create ()
 
 let intern s =
-  match Hashtbl.find_opt table s with
+  match SMap.find_opt s (Atomic.get table) with
   | Some id -> id
   | None ->
     Mutex.lock lock;
     let id =
-      match Hashtbl.find_opt table s with
+      match SMap.find_opt s (Atomic.get table) with
       | Some id -> id
       | None ->
         let id = !count in
@@ -28,7 +33,7 @@ let intern s =
           names := bigger
         end;
         !names.(id) <- s;
-        Hashtbl.add table s id;
+        Atomic.set table (SMap.add s id (Atomic.get table));
         id
     in
     Mutex.unlock lock;

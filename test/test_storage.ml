@@ -358,6 +358,77 @@ let test_group_commit_absorb () =
   Sys.remove path;
   Sys.remove (path ^ ".log")
 
+(* The leader/checkpoint window: the leader dequeues its batch under
+   the queue lock, but a checkpoint already holds the I/O lock and
+   runs commit + truncate + absorb before the leader can append.  The
+   leader must notice the absorb AFTER winning the I/O lock and drop
+   the dequeued batch — appending its pre-checkpoint images into the
+   freshly truncated log would let a crash replay them over the newer
+   checkpointed page. *)
+let test_group_commit_absorb_race () =
+  let path = tmpfile "groupabsrace" in
+  let disk = Disk.create path in
+  ignore (Disk.alloc disk);
+  let p1 = Disk.alloc disk in
+  Disk.sync disk;
+  let wal = Wal.create (path ^ ".log") in
+  let g = Wal.Group.create wal in
+  let stale = Bytes.make Page.page_size 'S' in
+  let newer = Bytes.make Page.page_size 'N' in
+  let waiter =
+    Wal.Group.with_io g (fun () ->
+        let t1 = Wal.Group.enqueue g [ 0, p1, Bytes.copy stale ] in
+        let waiter = Thread.create (fun () -> Wal.Group.await g t1) () in
+        (* let the awaiter become leader and dequeue the batch; it then
+           blocks on the I/O lock we hold *)
+        Thread.delay 0.05;
+        Wal.commit wal [ 0, p1, newer ];
+        Disk.write disk p1 newer;
+        Disk.sync disk;
+        Wal.checkpoint wal;
+        Wal.Group.absorb g;
+        waiter)
+  in
+  Thread.join waiter;
+  Wal.close wal;
+  let wal = Wal.create (path ^ ".log") in
+  let report = Recovery.create () in
+  Alcotest.(check int) "absorbed batch never reaches the log" 0
+    (Wal.recover wal ~disks:[| disk |] ~report);
+  let buf = Bytes.create Page.page_size in
+  Disk.read disk p1 buf;
+  Alcotest.(check char) "checkpointed image not regressed" 'N' (Bytes.get buf 0);
+  Wal.close wal;
+  Disk.close disk;
+  Sys.remove path;
+  Sys.remove (path ^ ".log")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot epoch allocation                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Staged epochs come from a monotone counter, so a writer that stages
+   AFTER another writer — but before that writer has published — still
+   gets a strictly larger epoch and its publish wins regardless of
+   publish order.  (Deriving the epoch from the published one would
+   hand both writers the same number and silently drop the later
+   writer's publish.) *)
+let test_snapshot_staged_epochs () =
+  let s = Snapshot.create "v1" in
+  let a = Snapshot.stage s "a" in
+  let b = Snapshot.stage s "b" in
+  Alcotest.(check bool) "later stage gets a strictly larger epoch" true
+    (Snapshot.version_epoch b > Snapshot.version_epoch a);
+  (* out-of-order publication: the later writer's group commit wins
+     the race to publish *)
+  Snapshot.publish s b;
+  Snapshot.publish s a;
+  Alcotest.(check int) "later stage wins regardless of publish order"
+    (Snapshot.version_epoch b) (Snapshot.epoch s);
+  let v = Snapshot.pin s in
+  Alcotest.(check string) "latest view visible" "b" (Snapshot.view v);
+  Snapshot.release v
+
 (* ------------------------------------------------------------------ *)
 (* Checksums, fault injection and crash recovery                      *)
 (* ------------------------------------------------------------------ *)
@@ -681,8 +752,12 @@ let () =
         [ Alcotest.test_case "recovery" `Quick test_wal_recovery;
           Alcotest.test_case "group commit merge" `Quick test_group_commit_merge;
           Alcotest.test_case "group torn tail atomicity" `Quick test_group_commit_torn;
-          Alcotest.test_case "group absorb at checkpoint" `Quick test_group_commit_absorb
+          Alcotest.test_case "group absorb at checkpoint" `Quick test_group_commit_absorb;
+          Alcotest.test_case "group absorb vs in-flight leader" `Quick
+            test_group_commit_absorb_race
         ] );
+      ( "snapshot",
+        [ Alcotest.test_case "staged epoch allocation" `Quick test_snapshot_staged_epochs ] );
       ( "faults & recovery",
         [ Alcotest.test_case "checksum quarantine" `Quick test_checksum_quarantine;
           Alcotest.test_case "fatal metadata corruption" `Quick test_fatal_metadata_corruption;
