@@ -197,12 +197,71 @@ let run_isolation port ~seconds ~long =
   Option.iter Thread.join long_thread;
   percentile (Array.of_list !lats) 0.99, !max_inflight
 
+(* ------------------------------------------------------------------ *)
+(* Overload: drive at 2x the in-flight cap, shedding on vs unbounded   *)
+(* ------------------------------------------------------------------ *)
+
+(* [drivers] connections hammer point queries for [seconds] against a
+   fresh server whose in-flight cap is [cap] (0 = unbounded).  With a
+   cap the surplus is shed as BUSY and the driver backs off by the
+   reply's retry-after advice; unbounded, every request queues on the
+   engine.  Returns (goodput_rps, busy_total, p99 of served requests). *)
+let run_overload ~cap ~drivers ~seconds =
+  let db = build_db () in
+  let limits =
+    { Coral_server.Admission.default with Coral_server.Admission.max_inflight = cap }
+  in
+  let srv = Coral_server.Server.start ~limits ~listen:(`Tcp ("127.0.0.1", 0)) db in
+  let port = Coral_server.Server.port srv in
+  let ok = Atomic.make 0 and busy = Atomic.make 0 in
+  let lats_lock = Mutex.create () in
+  let lats = ref [] in
+  let threads =
+    List.init drivers (fun id ->
+        Thread.create
+          (fun () ->
+            let c = connect port in
+            let deadline = Unix.gettimeofday () +. seconds in
+            let i = ref 0 in
+            while Unix.gettimeofday () < deadline do
+              let src = ((id * 13) + (!i * 7)) mod nodes in
+              incr i;
+              let q0 = Unix.gettimeofday () in
+              let status = request_any c (Printf.sprintf "query path(%d, Y)" src) in
+              if String.starts_with ~prefix:"err BUSY" status then begin
+                Atomic.incr busy;
+                let retry_ms =
+                  match String.split_on_char ' ' status with
+                  | _ :: _ :: ms :: _ -> ( try int_of_string ms with Failure _ -> 50)
+                  | _ -> 50
+                in
+                Thread.delay (float_of_int retry_ms /. 1000.0)
+              end
+              else begin
+                Atomic.incr ok;
+                let dt = Unix.gettimeofday () -. q0 in
+                Mutex.lock lats_lock;
+                lats := dt :: !lats;
+                Mutex.unlock lats_lock
+              end
+            done;
+            ignore (request_any c "quit");
+            close_conn c)
+          ())
+  in
+  List.iter Thread.join threads;
+  Coral_server.Server.shutdown srv;
+  ( float_of_int (Atomic.get ok) /. seconds,
+    Atomic.get busy,
+    percentile (Array.of_list !lats) 0.99 )
+
 (* BENCH_server.json: throughput plus the Obs histograms the run filled
    in — request/query latency and per-phase engine time (the emit phase
    only exists on the server path, so it shows up here and not in
    BENCH_core.json). *)
 let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) ~scaling
-    ~isolation:(base_p99, cont_p99, max_inflight) =
+    ~isolation:(base_p99, cont_p99, max_inflight)
+    ~overload:(cap, drivers, (c_rps, c_busy, c_p99), (u_rps, u_busy, u_p99)) =
   let module Obs = Coral_obs.Obs in
   let oc = open_out path in
   let total = clients * requests in
@@ -232,6 +291,13 @@ let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) ~scal
     (base_p99 *. 1000.0) (cont_p99 *. 1000.0)
     (if base_p99 > 0.0 then cont_p99 /. base_p99 else 0.0)
     max_inflight;
+  (* overload at 2x the in-flight cap: goodput and served-request tail
+     with admission control on versus the unbounded seed behavior *)
+  Printf.fprintf oc
+    "  \"overload\": {\"inflight_cap\": %d, \"drivers\": %d,\n\
+    \    \"capped\": {\"goodput_rps\": %.1f, \"busy_replies\": %d, \"p99_ms\": %.3f},\n\
+    \    \"unbounded\": {\"goodput_rps\": %.1f, \"busy_replies\": %d, \"p99_ms\": %.3f}},\n"
+    cap drivers c_rps c_busy (c_p99 *. 1000.0) u_rps u_busy (u_p99 *. 1000.0);
   (* the event log's cost per request: the same workload with event
      recording off versus on (file sink attached) *)
   Printf.fprintf oc
@@ -363,6 +429,20 @@ let () =
     (if base_p99 > 0.0 then cont_p99 /. base_p99 else 0.0)
     max_inflight;
   Coral_server.Server.shutdown srv;
+  (* overload: 2x the in-flight cap, with and without the cap *)
+  let cap = 4 in
+  let drivers = 2 * cap in
+  let capped = run_overload ~cap ~drivers ~seconds:1.5 in
+  let c_rps, c_busy, c_p99 = capped in
+  Printf.printf
+    "overload (cap %d, %d drivers): %.0f rps goodput, %d BUSY, served p99 %.2fms\n%!" cap
+    drivers c_rps c_busy (c_p99 *. 1000.0);
+  let unbounded = run_overload ~cap:0 ~drivers ~seconds:1.5 in
+  let u_rps, u_busy, u_p99 = unbounded in
+  Printf.printf
+    "overload (unbounded, %d drivers): %.0f rps goodput, %d BUSY, served p99 %.2fms\n%!"
+    drivers u_rps u_busy (u_p99 *. 1000.0);
   write_json "BENCH_server.json" ~clients:!clients ~requests:!requests ~elapsed_s:dt
-    ~event_log:(dt_off, dt) ~scaling ~isolation:(base_p99, cont_p99, max_inflight);
+    ~event_log:(dt_off, dt) ~scaling ~isolation:(base_p99, cont_p99, max_inflight)
+    ~overload:(cap, drivers, capped, unbounded);
   Printf.printf "wrote BENCH_server.json\n"

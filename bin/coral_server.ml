@@ -18,6 +18,14 @@
      --event-log-max-bytes N   rotation threshold (default 4 MiB)
      --slow-query-ms N flag queries slower than N ms in the event log
                        and mirror a one-line warning to stderr
+     --max-sessions N  cap concurrent connections: a connection past the
+                       cap is shed with one err BUSY line (0 = unlimited)
+     --max-inflight N  cap concurrently evaluating requests: past the cap
+                       a request briefly waits for a slot, then gets
+                       err BUSY <retry-after-ms> (0 = unlimited)
+     --max-query-tuples N  per-query derived-tuple budget: a query past
+                       it is cancelled with err RESOURCE (0 = unlimited;
+                       sessions can tighten it with "limit tuples N")
      --quiet           do not print the listening banner
 
    The given program files are consulted into the shared engine before
@@ -60,6 +68,9 @@ let () =
   let event_log = ref "" in
   let event_log_max = ref 0 in
   let slow_ms = ref 0 in
+  let max_sessions = ref 0 in
+  let max_inflight = ref 0 in
+  let max_query_tuples = ref 0 in
   let quiet = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -118,6 +129,27 @@ let () =
         prerr_endline "coral_server: --slow-query-ms expects a threshold in milliseconds";
         exit 2);
       parse_args rest
+    | "--max-sessions" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 0 -> max_sessions := n
+      | _ ->
+        prerr_endline "coral_server: --max-sessions expects a connection count >= 0";
+        exit 2);
+      parse_args rest
+    | "--max-inflight" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 0 -> max_inflight := n
+      | _ ->
+        prerr_endline "coral_server: --max-inflight expects a request count >= 0";
+        exit 2);
+      parse_args rest
+    | "--max-query-tuples" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 0 -> max_query_tuples := n
+      | _ ->
+        prerr_endline "coral_server: --max-query-tuples expects a tuple count >= 0";
+        exit 2);
+      parse_args rest
     | "--quiet" :: rest ->
       quiet := true;
       parse_args rest
@@ -126,7 +158,8 @@ let () =
         "usage: coral_server [--port N] [--host H] [--socket PATH] [--data DIR]\n\
         \                    [--persist name/arity[:col,col...]] [--metrics-port N]\n\
         \                    [--workers N] [--event-log FILE] [--event-log-max-bytes N]\n\
-        \                    [--slow-query-ms N] [--quiet] [file.coral ...]\n";
+        \                    [--slow-query-ms N] [--max-sessions N] [--max-inflight N]\n\
+        \                    [--max-query-tuples N] [--quiet] [file.coral ...]\n";
       exit 0
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "coral_server: unknown option %s\n" arg;
@@ -184,12 +217,19 @@ let () =
   let listen =
     if !socket <> "" then `Unix !socket else `Tcp (!host, !port)
   in
+  let limits =
+    { Coral_server.Admission.default with
+      Coral_server.Admission.max_sessions = !max_sessions;
+      max_inflight = !max_inflight;
+      max_query_tuples = !max_query_tuples
+    }
+  in
   (* Block the shutdown signals in every thread the server spawns; a
      dedicated waiter thread turns them into a graceful shutdown. *)
   let shutdown_signals = [ Sys.sigint; Sys.sigterm ] in
   ignore (Thread.sigmask Unix.SIG_BLOCK shutdown_signals);
   let srv =
-    try Coral_server.Server.start ~consult:(List.rev !files) ~databases ~listen db with
+    try Coral_server.Server.start ~consult:(List.rev !files) ~databases ~limits ~listen db with
     | Coral.Engine.Engine_error e ->
       Printf.eprintf "coral_server: %s\n" e;
       exit 1

@@ -17,6 +17,14 @@
 #   - lib/storage/snapshot.ml owns the process-wide pinned-readers
 #     gauge (`pinned`) — a diagnostic counter, deliberately global so
 #     `stats`/metrics see every store in the process.
+#   - lib/server/exec_pool.ml owns the process-wide read-domain pool
+#     (`shared_pool`), mirroring par_pool.ml.
+#
+# lib/server gets the same policy: admission gates, degraded-mode
+# state, and session budgets are all per-store records threaded from
+# Server.start, so a new module-level ref there is either a second
+# store sharing limits by accident or chaos-harness state leaking
+# between epochs.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -50,5 +58,19 @@ if [ -n "$storage_matches" ]; then
   status=1
 fi
 
-[ "$status" -eq 0 ] && echo "lint_eval_globals: OK (no module-level mutable state outside par_pool.ml and snapshot.ml)"
+server_matches=$(grep -nE '^let [a-zA-Z_0-9]+ *(:[^=]*)?= *(ref\b|Hashtbl\.create|Atomic\.make)' lib/server/*.ml \
+  | grep -v '^lib/server/exec_pool\.ml:' || true)
+
+if [ -n "$server_matches" ]; then
+  echo "lint_eval_globals: new module-level mutable state in lib/server:" >&2
+  echo "$server_matches" >&2
+  echo >&2
+  echo "Admission gates, degraded-mode state and budgets are per-store:" >&2
+  echo "they live in records created by Server.start and threaded into" >&2
+  echo "each session.  Move the state into Admission.t / Session / the" >&2
+  echo "server record (or Exec_pool if it is genuinely process-wide)." >&2
+  status=1
+fi
+
+[ "$status" -eq 0 ] && echo "lint_eval_globals: OK (no module-level mutable state outside par_pool.ml, snapshot.ml and exec_pool.ml)"
 exit "$status"

@@ -57,7 +57,13 @@ type t = {
   mutable budget : int;  (* ticks until the next cancel consult *)
   mutable progress : (rounds:int -> delta:int -> lanes:int array -> unit) option;
       (* live-progress hook, invoked once per productive step (see
-         [step]); lanes are per-worker task counts, [||] sequential *)
+         [step]) and from the tick seam when a large round has
+         accumulated unreported derivations; lanes are per-worker task
+         counts, [||] sequential *)
+  mutable reported_inserts : int;
+      (* inserts already published through [progress]: mid-round and
+         round-end publications share one cursor so deltas never
+         double-count *)
   pool : Par_pool.t option;  (* shared domain pool when workers > 1 *)
   backjump : bool;  (* intelligent backtracking (bench ablation E16) *)
   par : bool;  (* module passed the parallel-safety gate *)
@@ -74,6 +80,34 @@ let set_cancel_check t check =
 
 let set_progress t hook = t.progress <- hook
 
+let total_inserts t =
+  let sum = ref t.extra_inserts in
+  Array.iteri
+    (fun s r -> if t.ms.local.(s) then sum := !sum + r.Relation.stats.Relation.inserts)
+    t.ms.rels;
+  !sum
+
+(* Publish any unreported derivations through the progress hook.  Both
+   the round-end publication in [step] and the mid-round one in [tick]
+   go through here, so a consumer accumulating deltas sees each insert
+   exactly once. *)
+let publish_progress t =
+  match t.progress with
+  | None -> ()
+  | Some hook ->
+    let total = total_inserts t in
+    let delta = total - t.reported_inserts in
+    if delta > 0 then begin
+      t.reported_inserts <- total;
+      let lanes =
+        match t.pool with
+        | Some pool when t.par ->
+          Array.init (Par_pool.workers pool) (Par_pool.lane_tasks pool)
+        | _ -> [||]
+      in
+      hook ~rounds:t.nrounds ~delta ~lanes
+    end
+
 (* Polled at round boundaries: always consults the check. *)
 let poll t =
   match t.cancel with
@@ -82,7 +116,10 @@ let poll t =
 
 (* Counted per derivation attempt: consults the check (typically a
    clock read) only every [tick_interval] ticks, so the overhead inside
-   a large round stays negligible. *)
+   a large round stays negligible.  Progress is published before the
+   consult so a check that reads accumulated derivations — the
+   per-query resource budget — observes counts at tick granularity,
+   not just at round barriers. *)
 let tick t =
   match t.cancel with
   | None -> ()
@@ -90,15 +127,9 @@ let tick t =
     t.budget <- t.budget - 1;
     if t.budget <= 0 then begin
       t.budget <- tick_interval;
+      publish_progress t;
       if check () then raise Cancelled
     end
-
-let total_inserts t =
-  let sum = ref t.extra_inserts in
-  Array.iteri
-    (fun s r -> if t.ms.local.(s) then sum := !sum + r.Relation.stats.Relation.inserts)
-    t.ms.rels;
-  !sum
 
 let is_magic_slot ms s =
   ms.local.(s) && String.length ms.rels.(s).Relation.name > 2
@@ -224,6 +255,7 @@ let create ?(trace = false) ?(profile = false) ?(workers = 1) ?(backjump = true)
       cancel = None;
       budget = tick_interval;
       progress = None;
+      reported_inserts = 0;
       pool;
       backjump;
       par;
@@ -776,18 +808,8 @@ let step t =
       (fun () -> step_inner t)
   in
   if want_delta && progressed then begin
-    let delta = total_inserts t - before in
-    if t.profile then t.step_deltas <- delta :: t.step_deltas;
-    match t.progress with
-    | Some hook ->
-      let lanes =
-        match t.pool with
-        | Some pool when t.par ->
-          Array.init (Par_pool.workers pool) (Par_pool.lane_tasks pool)
-        | _ -> [||]
-      in
-      hook ~rounds:t.nrounds ~delta ~lanes
-    | None -> ()
+    if t.profile then t.step_deltas <- (total_inserts t - before) :: t.step_deltas;
+    publish_progress t
   end;
   progressed
 
@@ -822,6 +844,8 @@ let reset_for_reopen t =
   t.seed_inserts <- 0;
   t.done_inserts <- 0;
   t.step_deltas <- [];
+  (* insert stats were just zeroed; re-derived tuples are new work *)
+  t.reported_inserts <- 0;
   t.answer_cursor <- 0;
   if t.profile then
     List.iter (fun (c : crule) -> reset_prof c.prof) (Module_struct.all_rules t.ms)

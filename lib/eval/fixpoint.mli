@@ -67,10 +67,15 @@ val tick_interval : int
 val set_progress : t -> (rounds:int -> delta:int -> lanes:int array -> unit) option -> unit
 (** Install (or clear) a live-progress hook, invoked after every
     productive {!step} with the instance's round counter, the number
-    of tuples that step inserted, and — under parallel evaluation —
-    per-lane cumulative task counts ([[||]] when sequential).  The
-    hook runs on the evaluating thread at step granularity; a [None]
-    hook costs nothing on the hot path. *)
+    of tuples inserted since the previous invocation, and — under
+    parallel evaluation — per-lane cumulative task counts ([[||]] when
+    sequential).  The hook is also invoked from the {!tick} seam when
+    a large round has accumulated unreported inserts, so a cancel
+    check that consults accumulated derivations (the per-query
+    resource budget) sees counts at tick granularity rather than only
+    at round barriers; deltas never double-count across the two
+    publication points.  The hook runs on the evaluating thread; a
+    [None] hook costs nothing on the hot path. *)
 
 val create :
   ?trace:bool -> ?profile:bool -> ?workers:int -> ?backjump:bool -> Module_struct.t -> t

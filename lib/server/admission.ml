@@ -1,0 +1,133 @@
+(* Admission control: the server-wide resource policy and the gate
+   that enforces the in-flight half of it.
+
+   Two caps shed load explicitly instead of queueing without bound:
+   the connection cap is enforced in the accept loop (a connection
+   past it gets one [err BUSY] line and is closed before a thread is
+   spawned for it), and the in-flight cap is enforced here around
+   every evaluating request.  Past the in-flight cap a small bounded
+   wait queue absorbs short bursts; a request that cannot get a slot
+   within [wait_ms] — or finds the queue itself full — is shed with
+   [err BUSY <retry-after-ms>] and the client is expected to back
+   off.
+
+   All state lives in the value (one per store): module-level mutable
+   state in lib/server is rejected by ci/lint_eval_globals.sh. *)
+
+type config = {
+  max_sessions : int;  (* concurrent connections; 0 = unlimited *)
+  max_inflight : int;  (* concurrently evaluating requests; 0 = unlimited *)
+  max_waiters : int;  (* bounded wait queue past the in-flight cap *)
+  wait_ms : int;  (* longest a waiter parks before it is shed *)
+  retry_after_ms : int;  (* backoff advice carried in BUSY replies *)
+  max_query_tuples : int;  (* global per-query derived-tuple budget; 0 = none *)
+  max_query_bytes : int;  (* global per-query bytes-estimate budget; 0 = none *)
+}
+
+let default =
+  { max_sessions = 0;
+    max_inflight = 0;
+    max_waiters = 8;
+    wait_ms = 100;
+    retry_after_ms = 100;
+    max_query_tuples = 0;
+    max_query_bytes = 0
+  }
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  mutable inflight : int;
+  mutable waiters : int;
+  admitted : int Atomic.t;  (* requests that got a slot *)
+  waited : int Atomic.t;  (* ... of which had to park first *)
+  busy_rejects : int Atomic.t;  (* in-flight-cap BUSY replies *)
+  shed : int Atomic.t;  (* connections shed before a session existed *)
+}
+
+let create cfg =
+  { cfg;
+    lock = Mutex.create ();
+    inflight = 0;
+    waiters = 0;
+    admitted = Atomic.make 0;
+    waited = Atomic.make 0;
+    busy_rejects = Atomic.make 0;
+    shed = Atomic.make 0
+  }
+
+let config t = t.cfg
+
+(* The stdlib Condition has no timed wait, and the park interval is a
+   few milliseconds at most, so waiters poll on a short sleep: simple,
+   fair enough for a queue of this size, and immune to a lost wakeup
+   leaving a request parked forever. *)
+let park_interval = 0.002
+
+let admit t =
+  if t.cfg.max_inflight <= 0 then begin
+    Mutex.lock t.lock;
+    t.inflight <- t.inflight + 1;
+    Mutex.unlock t.lock;
+    Atomic.incr t.admitted;
+    `Admitted
+  end
+  else begin
+    Mutex.lock t.lock;
+    if t.inflight < t.cfg.max_inflight then begin
+      t.inflight <- t.inflight + 1;
+      Mutex.unlock t.lock;
+      Atomic.incr t.admitted;
+      `Admitted
+    end
+    else if t.waiters >= t.cfg.max_waiters then begin
+      Mutex.unlock t.lock;
+      Atomic.incr t.busy_rejects;
+      `Busy t.cfg.retry_after_ms
+    end
+    else begin
+      t.waiters <- t.waiters + 1;
+      let deadline = Unix.gettimeofday () +. (float_of_int t.cfg.wait_ms /. 1000.0) in
+      let rec park () =
+        if t.inflight < t.cfg.max_inflight then begin
+          t.inflight <- t.inflight + 1;
+          t.waiters <- t.waiters - 1;
+          Mutex.unlock t.lock;
+          Atomic.incr t.admitted;
+          Atomic.incr t.waited;
+          `Admitted
+        end
+        else if Unix.gettimeofday () > deadline then begin
+          t.waiters <- t.waiters - 1;
+          Mutex.unlock t.lock;
+          Atomic.incr t.busy_rejects;
+          `Busy t.cfg.retry_after_ms
+        end
+        else begin
+          Mutex.unlock t.lock;
+          Thread.delay park_interval;
+          Mutex.lock t.lock;
+          park ()
+        end
+      in
+      park ()
+    end
+  end
+
+let release t =
+  Mutex.lock t.lock;
+  t.inflight <- t.inflight - 1;
+  Mutex.unlock t.lock
+
+let inflight t =
+  Mutex.lock t.lock;
+  let n = t.inflight in
+  Mutex.unlock t.lock;
+  n
+
+let note_shed t = Atomic.incr t.shed
+
+let admitted t = Atomic.get t.admitted
+let waited t = Atomic.get t.waited
+let busy_rejects t = Atomic.get t.busy_rejects
+let shed t = Atomic.get t.shed

@@ -1,0 +1,54 @@
+(** Admission control: the server-wide resource policy and the
+    in-flight gate.
+
+    A {!config} bundles every cap the operator can set — concurrent
+    connections, concurrently evaluating requests (with a small
+    bounded wait queue), and the global per-query budgets.  A {!t} is
+    one store's live gate state plus its shed/reject counters; there
+    is deliberately no process-global instance.
+
+    The connection cap is enforced by the accept loop (see
+    {!Server}); {!admit}/{!release} enforce the in-flight cap around
+    every evaluating request in {!Session.handle}.  A request past
+    the cap parks in the wait queue for up to [wait_ms]; if the queue
+    is full or the wait expires it is shed with
+    [`Busy retry_after_ms], which the session turns into
+    [err BUSY <retry-after-ms>]. *)
+
+type config = {
+  max_sessions : int;  (** concurrent connections; 0 = unlimited *)
+  max_inflight : int;  (** concurrently evaluating requests; 0 = unlimited *)
+  max_waiters : int;  (** bounded wait queue past the in-flight cap *)
+  wait_ms : int;  (** longest a waiter parks before it is shed *)
+  retry_after_ms : int;  (** backoff advice carried in BUSY replies *)
+  max_query_tuples : int;  (** global per-query derived-tuple budget; 0 = none *)
+  max_query_bytes : int;  (** global per-query bytes-estimate budget; 0 = none *)
+}
+
+val default : config
+(** Everything unlimited (seed behavior) except the wait queue shape:
+    8 waiters, 100ms park, 100ms retry advice. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val admit : t -> [ `Admitted | `Busy of int ]
+(** Take an in-flight slot, parking briefly if the cap is reached.
+    [`Admitted] obliges the caller to {!release}; [`Busy retry_ms] is
+    a shed — reply BUSY and do not release. *)
+
+val release : t -> unit
+
+val inflight : t -> int
+(** Requests currently holding a slot (admitted, not yet released). *)
+
+val note_shed : t -> unit
+(** Count a connection shed at accept time (cap reached, fd
+    exhaustion, or thread-spawn failure). *)
+
+val admitted : t -> int
+val waited : t -> int
+val busy_rejects : t -> int
+val shed : t -> int

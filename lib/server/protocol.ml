@@ -1,7 +1,12 @@
+type limit_kind = Tuples | Bytes
+
 type request =
   | Hello
   | Ping
   | Set_timeout of int
+  | Set_limit of limit_kind * int
+  | Degrade of string
+  | Restore
   | Query of string
   | Consult of string
   | Insert of string
@@ -17,7 +22,17 @@ type request =
   | Events of int
   | Quit
 
-type error_code = Parse | Eval | Timeout | Proto | Too_big | Ioerr | Killed
+type error_code =
+  | Parse
+  | Eval
+  | Timeout
+  | Proto
+  | Too_big
+  | Ioerr
+  | Killed
+  | Busy
+  | Resource
+  | Readonly
 
 type payload =
   | Ans of string
@@ -39,6 +54,9 @@ let code_string = function
   | Too_big -> "TOOBIG"
   | Ioerr -> "IOERR"
   | Killed -> "KILLED"
+  | Busy -> "BUSY"
+  | Resource -> "RESOURCE"
+  | Readonly -> "READONLY"
 
 let one_line s =
   let b = Buffer.create (String.length s) in
@@ -81,6 +99,26 @@ let parse_request line =
         match int_of_string_opt arg with
         | Some ms when ms >= 0 -> `Req (Set_timeout ms)
         | _ -> `Bad "timeout expects a non-negative integer (milliseconds)")
+  | "limit" ->
+    need_arg (fun () ->
+        let kind, n =
+          match String.index_opt arg ' ' with
+          | None -> arg, None
+          | Some i ->
+            ( String.sub arg 0 i,
+              int_of_string_opt
+                (String.trim (String.sub arg (i + 1) (String.length arg - i - 1))) )
+        in
+        match kind, n with
+        | "tuples", Some n when n >= 0 -> `Req (Set_limit (Tuples, n))
+        | "bytes", Some n when n >= 0 -> `Req (Set_limit (Bytes, n))
+        | ("tuples" | "bytes"), _ ->
+          `Bad "limit expects a non-negative integer (0 = none)"
+        | _ -> `Bad "limit expects: limit tuples <n> | limit bytes <n>")
+  | "degrade" ->
+    (* optional reason; recorded and echoed to rejected writers *)
+    `Req (Degrade (if arg = "" then "operator request" else arg))
+  | "restore" -> no_arg Restore
   | "query" -> need_arg (fun () -> `Req (Query arg))
   | "consult" -> need_arg (fun () -> `Req (Consult arg))
   | "consult#" ->
@@ -122,6 +160,11 @@ let parse_request line =
 
 let ok ?(detail = "") payload = { payload; status = Ok detail }
 let err code msg = { payload = []; status = Error (code, one_line msg) }
+
+(* Overload shedding: [err BUSY <retry-after-ms> <reason>] — the first
+   token of the message is machine-readable backoff advice. *)
+let busy ~retry_after_ms msg =
+  err Busy (Printf.sprintf "%d %s" (max 0 retry_after_ms) msg)
 
 let render buf r =
   List.iter

@@ -25,15 +25,20 @@
     metrics                    Prometheus text exposition of all metrics
     relations                  base relations and cardinalities
     modules                    loaded modules
+    limit tuples <n>           per-session derived-tuple budget (0 = none)
+    limit bytes <n>            per-session bytes-estimate budget (0 = none)
     ps                         active queries with live progress and age
     kill <id>                  cooperatively cancel the active query <id>
     events [n]                 tail the newest n (default 20) event-log entries
+    degrade [reason]           operator: flip the store read-only (mutations
+                               answer err READONLY until restore)
+    restore                    operator: clear degraded mode
     quit                       close the session
     v}
 
-    [ps], [kill] and [events] are served without the store lock, so
-    they work from any connection while another connection's query is
-    evaluating.
+    [ps], [kill], [events], [degrade] and [restore] are served without
+    the store lock, so they work from any connection while another
+    connection's query is evaluating.
 
     {2 Replies}
 
@@ -53,12 +58,22 @@
     fault — disk I/O error, checksum mismatch, quarantined page — the
     request failed but the session stays usable), [KILLED] (an
     operator cancelled this request via [kill]; the session stays
-    usable). *)
+    usable), [BUSY] (the server is at its admission cap and shed this
+    request; the first message token is a suggested retry delay in
+    milliseconds), [RESOURCE] (the query exceeded its derived-tuple or
+    bytes-estimate budget; the session stays usable), [READONLY] (the
+    store is degraded — by an operator or a storage fault — and
+    refuses mutations; reads keep working). *)
+
+type limit_kind = Tuples | Bytes
 
 type request =
   | Hello
   | Ping
   | Set_timeout of int  (** milliseconds; 0 disables *)
+  | Set_limit of limit_kind * int  (** per-session budget; 0 disables *)
+  | Degrade of string  (** operator: force read-only, with a reason *)
+  | Restore  (** operator: clear degraded mode *)
   | Query of string
   | Consult of string  (** program text *)
   | Insert of string  (** fact items *)
@@ -74,7 +89,17 @@ type request =
   | Events of int  (** newest n event-log entries *)
   | Quit
 
-type error_code = Parse | Eval | Timeout | Proto | Too_big | Ioerr | Killed
+type error_code =
+  | Parse
+  | Eval
+  | Timeout
+  | Proto
+  | Too_big
+  | Ioerr
+  | Killed
+  | Busy
+  | Resource
+  | Readonly
 
 type payload =
   | Ans of string  (** a query answer row *)
@@ -98,6 +123,10 @@ val parse_request :
 
 val ok : ?detail:string -> payload list -> response
 val err : error_code -> string -> response
+
+val busy : retry_after_ms:int -> string -> response
+(** [err BUSY <retry-after-ms> <reason>]: the shed reply.  The first
+    message token is machine-readable backoff advice in milliseconds. *)
 
 val code_string : error_code -> string
 

@@ -5,6 +5,7 @@ type listen =
 type t = {
   fd : Unix.file_descr;
   bound_port : int;
+  sock_path : string option;  (* Unix-domain socket file to unlink on shutdown *)
   sstore : Session.store;
   databases : Coral.Database.t list;
   mutable closed : bool;
@@ -47,10 +48,10 @@ let write_response oc response =
 
 (* One connection: read a request, execute it through the session,
    reply; leave on quit, EOF, oversized input or a socket error. *)
-let serve_connection store client =
+let serve_connection ?reserved store client =
   let ic = Unix.in_channel_of_descr client in
   let oc = Unix.out_channel_of_descr client in
-  let session = Session.create store in
+  let session = Session.create ?reserved store in
   let rec loop () =
     match read_line_capped ic with
     | None -> ()
@@ -96,23 +97,79 @@ let serve_connection store client =
   Session.close session;
   try Unix.close client with Unix.Unix_error _ -> ()
 
+(* Shed one accepted connection: a single best-effort BUSY line, then
+   close.  Runs inline on the accept thread — the reply is one short
+   line into an empty socket buffer, so it cannot stall the loop. *)
+let shed_client t client reason =
+  Admission.note_shed (Session.admission t.sstore);
+  Coral_obs.Query_log.Events.log ~kind:"shed"
+    [ "scope", Coral_obs.Json.Str "connection"; "reason", Coral_obs.Json.Str reason ];
+  let retry =
+    (Admission.config (Session.admission t.sstore)).Admission.retry_after_ms
+  in
+  (try
+     let oc = Unix.out_channel_of_descr client in
+     write_response oc (Protocol.busy ~retry_after_ms:retry reason)
+   with Sys_error _ | Unix.Unix_error _ | Out_of_memory -> ());
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+(* The accept thread is the server: nothing it can encounter may kill
+   it.  Descriptor exhaustion ([EMFILE]/[ENFILE]), a peer that reset
+   before accept ([ECONNABORTED]), a failed [Thread.create] — each
+   sheds at most the one affected client (with a BUSY line when there
+   is a descriptor to write it to) and the loop keeps accepting. *)
 let accept_loop t =
   while not t.closed do
     match Unix.accept t.fd with
-    | client, _addr ->
-      (* last-resort catch: no exception may kill a connection thread
-         in a way that leaks the descriptor or poisons the process *)
-      ignore
-        (Thread.create
-           (fun () ->
-             try serve_connection t.sstore client
-             with _ -> ( try Unix.close client with Unix.Unix_error _ -> ()))
-           ())
+    | client, _addr -> begin
+      let adm = Session.admission t.sstore in
+      let cap = (Admission.config adm).Admission.max_sessions in
+      (* claim the slot here, atomically: a connect burst outruns the
+         spawned threads, so counting inside the session would admit
+         every connection in the burst *)
+      if not (Session.try_reserve t.sstore ~cap) then
+        shed_client t client (Printf.sprintf "server at capacity (%d connections)" cap)
+      else begin
+        match
+          Thread.create
+            (fun () ->
+              (* last-resort catch: no exception may kill a connection
+                 thread in a way that leaks the descriptor or poisons
+                 the process *)
+              try serve_connection ~reserved:true t.sstore client
+              with _ -> ( try Unix.close client with Unix.Unix_error _ -> ()))
+            ()
+        with
+        | (_ : Thread.t) -> ()
+        | exception _ ->
+          (* thread spawn failed (resource exhaustion): shed this one
+             client, keep accepting *)
+          Session.unreserve t.sstore;
+          shed_client t client "cannot start a connection thread"
+      end
+    end
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> t.closed <- true
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) ->
+      (* the peer vanished between SYN and accept: not our problem *)
+      ()
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+      (* out of descriptors: there is no fd to reply on, so the shed is
+         silent; back off briefly so the loop does not spin while the
+         connection that exhausted the table drains *)
+      Admission.note_shed (Session.admission t.sstore);
+      Coral_obs.Query_log.Events.log ~kind:"shed"
+        [ "scope", Coral_obs.Json.Str "connection";
+          "reason", Coral_obs.Json.Str "file descriptors exhausted"
+        ];
+      if not t.closed then Thread.delay 0.05
+    | exception Unix.Unix_error (_, _, _) | exception Sys_error _ ->
+      (* anything else transient (ENOMEM, EPERM from an exotic stack):
+         never let it kill the accept thread *)
+      if not t.closed then Thread.delay 0.01
   done
 
-let start ?(consult = []) ?(databases = []) ~listen db =
+let start ?(consult = []) ?(databases = []) ?limits ~listen db =
   ignore_sigpipe ();
   List.iter (fun file -> Coral.consult_file db file) consult;
   let fd, bound_port =
@@ -143,7 +200,8 @@ let start ?(consult = []) ?(databases = []) ~listen db =
   let t =
     { fd;
       bound_port;
-      sstore = Session.make_store ~databases db;
+      sock_path = (match listen with `Unix path -> Some path | `Tcp _ -> None);
+      sstore = Session.make_store ~databases ?limits db;
       databases;
       closed = false;
       accept_thread = None
@@ -166,6 +224,11 @@ let shutdown t =
     (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.fd with Unix.Unix_error _ -> ());
     wait t;
+    (* a Unix-domain socket leaves its file behind; remove it so a
+       restart does not depend on the pre-bind cleanup *)
+    (match t.sock_path with
+    | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ());
     (* graceful: commit and release any attached persistent databases
        under the store lock so no request is mid-flight *)
     Session.locked t.sstore (fun () ->

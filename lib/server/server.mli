@@ -10,7 +10,14 @@
 
     Framing guards: request lines over {!Protocol.max_line_bytes} and
     [consult#] payloads over {!Protocol.max_payload_bytes} get an
-    [err TOOBIG] reply and the connection is closed. *)
+    [err TOOBIG] reply and the connection is closed.
+
+    Overload behavior: the accept thread survives descriptor
+    exhaustion ([EMFILE]/[ENFILE]), aborted peers ([ECONNABORTED]) and
+    [Thread.create] failure by shedding the one affected client; a
+    connection past the configured session cap is shed with a single
+    [err BUSY <retry-after-ms>] line before any thread is spawned for
+    it. *)
 
 type listen =
   [ `Tcp of string * int  (** host, port; port 0 picks an ephemeral port *)
@@ -19,14 +26,20 @@ type listen =
 type t
 
 val start :
-  ?consult:string list -> ?databases:Coral.Database.t list -> listen:listen -> Coral.t -> t
+  ?consult:string list ->
+  ?databases:Coral.Database.t list ->
+  ?limits:Admission.config ->
+  listen:listen ->
+  Coral.t ->
+  t
 (** Bind, consult the given program files into the shared engine, and
     begin accepting.  Returns once the socket is listening.  SIGPIPE is
     ignored process-wide so a client vanishing mid-reply raises
     [EPIPE] in its connection thread instead of killing the server.
     [databases] lists persistent databases backing the engine's
     relations; {!shutdown} commits and closes them (under the store
-    lock) so an orderly stop loses no durable data.
+    lock) so an orderly stop loses no durable data.  [limits] is the
+    admission-control and budget policy (default: unlimited).
     @raise Unix.Unix_error when binding fails. *)
 
 val port : t -> int
@@ -38,6 +51,7 @@ val wait : t -> unit
 (** Block until the server is shut down (joins the accept thread). *)
 
 val shutdown : t -> unit
-(** Stop accepting and close the listening socket.  Established
-    connections finish their current request and close; attached
-    persistent databases are committed and closed. *)
+(** Stop accepting and close the listening socket (removing a
+    Unix-domain socket's file).  Established connections finish their
+    current request and close; attached persistent databases are
+    committed and closed. *)

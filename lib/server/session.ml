@@ -22,21 +22,38 @@ let h_emit = Obs.histogram "phase.emit"
    no lock-free view (persistent storage), the published view is
    [None] and reads fall back to the locked lane — exactly the old
    behavior. *)
+(* Degraded mode: a store that cannot make mutations durable flips
+   read-only instead of failing every commit.  [`Auto] is entered on
+   ENOSPC or a hard WAL write fault and left by a successful
+   rate-limited recovery probe; [`Forced] is an operator [degrade] and
+   only [restore] clears it. *)
+type degraded =
+  | Healthy
+  | Auto of string
+  | Forced of string
+
+exception Degraded of string
+
 type store = {
   sdb : Coral.t;
   lock : Mutex.t;  (* the writer lane; also serializes fallback reads *)
   cache : Plan_cache.t;
   snap : Coral.Engine.view option Snapshot.t;
   databases : Coral.Database.t list;  (* persistent stores to group-commit *)
+  admission : Admission.t;  (* caps + shed/reject counters *)
+  dlock : Mutex.t;  (* degraded-state flips and the probe rate limit *)
+  mutable degraded : degraded;  (* written under [dlock]; read lock-free *)
+  mutable last_probe : float;  (* Unix time of the last recovery probe *)
   (* counters are atomic: requests are no longer serialized by [lock] *)
   requests : int Atomic.t;
   errors : int Atomic.t;
   timeouts : int Atomic.t;
+  budget_kills : int Atomic.t;  (* queries stopped by a resource budget *)
   sessions : int Atomic.t;  (* currently open *)
   next_sid : int Atomic.t;
 }
 
-let make_store ?(databases = []) db =
+let make_store ?(databases = []) ?(limits = Admission.default) db =
   { sdb = db;
     lock = Mutex.create ();
     cache = Plan_cache.create ();
@@ -44,20 +61,112 @@ let make_store ?(databases = []) db =
        starts (--consult files, installed relations) *)
     snap = Snapshot.create (Coral.Engine.snapshot (Coral.engine db));
     databases;
+    admission = Admission.create limits;
+    dlock = Mutex.create ();
+    degraded = Healthy;
+    last_probe = 0.0;
     requests = Atomic.make 0;
     errors = Atomic.make 0;
     timeouts = Atomic.make 0;
+    budget_kills = Atomic.make 0;
     sessions = Atomic.make 0;
     next_sid = Atomic.make 0
   }
 
 let db store = store.sdb
+let admission store = store.admission
+let session_count store = Atomic.get store.sessions
 
 let locked store f =
   Mutex.lock store.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock store.lock) f
 
 let snapshot_epoch store = Snapshot.epoch store.snap
+
+(* ------------------------------------------------------------------ *)
+(* Degraded (read-only) mode                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_degraded store = store.degraded <> Healthy
+
+let enter_degraded store d =
+  Mutex.lock store.dlock;
+  let prev = store.degraded in
+  let apply =
+    match prev, d with
+    | Forced _, Auto _ -> false  (* an operator hold outranks a fault *)
+    | _, Healthy -> false  (* leaving goes through restore/recovery *)
+    | _ -> prev <> d
+  in
+  if apply then store.degraded <- d;
+  Mutex.unlock store.dlock;
+  if apply then
+    Query_log.Events.log ~kind:"degrade"
+      [ "mode", Json.Str (match d with Forced _ -> "operator" | _ -> "auto");
+        "reason", Json.Str (match d with Auto r | Forced r -> r | Healthy -> "")
+      ]
+
+(* Mutations arriving while auto-degraded trigger a rate-limited
+   recovery probe: write + fsync + remove a scratch file in every
+   attached database's directory.  If the probes succeed the fault
+   (ENOSPC, a disk coming back) has cleared and the store resumes
+   serving writes; an operator-forced degrade is never auto-cleared. *)
+let probe_file dir =
+  let path = Filename.concat dir ".coral-write-probe" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      ignore (Unix.write_substring fd "coral" 0 5);
+      Unix.fsync fd);
+  Sys.remove path
+
+let try_auto_recovery store =
+  Mutex.lock store.dlock;
+  let attempt =
+    match store.degraded with
+    | Auto _ ->
+      let now = Unix.gettimeofday () in
+      if now -. store.last_probe >= 1.0 then begin
+        store.last_probe <- now;
+        true
+      end
+      else false
+    | _ -> false
+  in
+  Mutex.unlock store.dlock;
+  if attempt then begin
+    match List.iter (fun db -> probe_file (Coral.Database.dir db)) store.databases with
+    | () ->
+      Mutex.lock store.dlock;
+      let restored =
+        match store.degraded with
+        | Auto _ ->
+          store.degraded <- Healthy;
+          true
+        | _ -> false
+      in
+      Mutex.unlock store.dlock;
+      if restored then Query_log.Events.log ~kind:"restore" [ "mode", Json.Str "auto" ]
+    | exception _ -> ()  (* still failing: stay degraded *)
+  end
+
+let check_writable store =
+  (match store.degraded with Auto _ -> try_auto_recovery store | _ -> ());
+  match store.degraded with
+  | Healthy -> ()
+  | Auto reason | Forced reason -> raise (Degraded reason)
+
+(* A mutation that could not be made durable flips the store
+   read-only: ENOSPC or a hard (non-transient) write-side storage
+   fault.  Hard READ faults do not degrade — a quarantined page is a
+   data problem, not a reason to refuse commits. *)
+let degrade_on_write_fault store = function
+  | Coral_storage.Disk.Fault { transient = false; op; detail; _ } when op <> "read" ->
+    enter_degraded store (Auto detail)
+  | Unix.Unix_error (Unix.ENOSPC, fn, _) ->
+    enter_degraded store (Auto ("ENOSPC during " ^ fn))
+  | _ -> ()
 
 (* The writer lane's commit tail.  [stage_commit] runs under [lock]:
    freeze the engine into the next version and queue the persistent
@@ -81,12 +190,37 @@ type t = {
   store : store;
   sid : int;
   mutable deadline_ms : int;
+  mutable limit_tuples : int;  (* per-session derived-tuple budget; 0 = none *)
+  mutable limit_bytes : int;  (* per-session bytes-estimate budget; 0 = none *)
   mutable closed : bool;
 }
 
-let create store =
-  ignore (Atomic.fetch_and_add store.sessions 1);
-  { store; sid = Atomic.fetch_and_add store.next_sid 1 + 1; deadline_ms = 0; closed = false }
+(* Atomically claim a session slot against [cap] (0 = uncapped).  The
+   accept loop reserves BEFORE spawning the connection thread — a
+   connect burst arrives faster than spawned threads run, so counting
+   in [create] alone would let the whole burst pass the cap check.
+   The claim is released by [close] (via [create ~reserved:true]) or
+   by [unreserve] when the thread spawn fails. *)
+let try_reserve store ~cap =
+  let rec go () =
+    let n = Atomic.get store.sessions in
+    if cap > 0 && n >= cap then false
+    else if Atomic.compare_and_set store.sessions n (n + 1) then true
+    else go ()
+  in
+  go ()
+
+let unreserve store = ignore (Atomic.fetch_and_add store.sessions (-1))
+
+let create ?(reserved = false) store =
+  if not reserved then ignore (Atomic.fetch_and_add store.sessions 1);
+  { store;
+    sid = Atomic.fetch_and_add store.next_sid 1 + 1;
+    deadline_ms = 0;
+    limit_tuples = 0;
+    limit_bytes = 0;
+    closed = false
+  }
 
 let close t =
   if not t.closed then begin
@@ -121,19 +255,61 @@ let adorned_of_lits lits =
     lits
   |> String.concat ","
 
+(* Resource budgets.  The effective per-query budget is the tighter of
+   the session's `limit ...` setting and the store-wide flag; the
+   bytes budget is enforced as an estimated tuple count at a
+   documented per-tuple footprint (a derived tuple costs roughly a
+   boxed array of a few words plus index entries).  Enforcement rides
+   the cancellation seam: the fixpoint publishes accumulated
+   derivations at tick granularity (see Fixpoint.set_progress) and the
+   combined check below trips once they exceed the budget. *)
+let approx_tuple_bytes = 64
+
+type budget_trip = {
+  bt_kind : Protocol.limit_kind;
+  bt_limit : int;  (* the configured limit, in its own unit *)
+}
+
+let effective_limit ~session ~global =
+  if session > 0 then if global > 0 then min session global else session else global
+
+(* The budget as a derived-tuple cap: [(trip-descriptor, cap)]. *)
+let tuple_budget t =
+  let cfg = Admission.config t.store.admission in
+  let tuples =
+    effective_limit ~session:t.limit_tuples ~global:cfg.Admission.max_query_tuples
+  in
+  let bytes = effective_limit ~session:t.limit_bytes ~global:cfg.Admission.max_query_bytes in
+  let by_bytes = if bytes > 0 then max 1 (bytes / approx_tuple_bytes) else 0 in
+  if tuples > 0 && (by_bytes = 0 || tuples <= by_bytes) then
+    Some ({ bt_kind = Protocol.Tuples; bt_limit = tuples }, tuples)
+  else if by_bytes > 0 then Some ({ bt_kind = Protocol.Bytes; bt_limit = bytes }, by_bytes)
+  else None
+
 (* Run [f] under this session's guards ON THE GIVEN ENGINE (the shared
    master on the locked lane, a private read view on the snapshot
    lane): evaluation cooperatively polls a combined check — the
-   registry's kill flag for this entry plus the session deadline, if
-   one is set — and publishes per-iteration progress into the entry.
-   The check is installed even with no deadline, so `kill` always
-   works. *)
-let with_guards t dbv entry f =
+   registry's kill flag for this entry, the resource budget, and the
+   session deadline, if one is set — and publishes per-iteration
+   progress into the entry.  The check is installed even with no
+   deadline, so `kill` always works.  A budget trip is recorded in
+   [resource] so [evaluated] can tell it apart from a kill or a
+   deadline when the resulting [Cancelled] surfaces. *)
+let with_guards t dbv entry resource f =
   let limit =
     if t.deadline_ms <= 0 then infinity
     else Unix.gettimeofday () +. (float_of_int t.deadline_ms /. 1000.0)
   in
-  let check () = Query_log.killed entry || Unix.gettimeofday () > limit in
+  let budget = tuple_budget t in
+  let check () =
+    Query_log.killed entry
+    || (match budget with
+       | Some (trip, cap) when Query_log.derivations entry > cap ->
+         if !resource = None then resource := Some trip;
+         true
+       | _ -> false)
+    || Unix.gettimeofday () > limit
+  in
   Coral.with_cancel dbv check (fun () ->
       Coral.with_progress dbv
         (fun ~rounds:_ ~delta ~lanes ->
@@ -171,7 +347,8 @@ let evaluated t ~dbv ?(epoch = 0) ~wrap ~kind ?(adorned = "") ?(plan_cache = "")
       ~derivations:(Query_log.derivations entry)
       ~plan_cache ~outcome ()
   in
-  match wrap (fun () -> with_guards t dbv entry f) with
+  let resource = ref None in
+  match wrap (fun () -> with_guards t dbv entry resource f) with
   | v ->
     finish "ok" ~rows:(rows_of v);
     k v
@@ -179,6 +356,22 @@ let evaluated t ~dbv ?(epoch = 0) ~wrap ~kind ?(adorned = "") ?(plan_cache = "")
     finish "killed" ~rows:0;
     Protocol.err Protocol.Killed
       (Printf.sprintf "query %d killed by operator request" (Query_log.id entry))
+  | exception Coral.Cancelled when !resource <> None ->
+    finish "resource" ~rows:0;
+    Atomic.incr t.store.budget_kills;
+    let { bt_kind; bt_limit } = Option.get !resource in
+    let budget_desc =
+      match bt_kind with
+      | Protocol.Tuples -> Printf.sprintf "budget of %d derived tuples" bt_limit
+      | Protocol.Bytes ->
+        Printf.sprintf "estimated-bytes budget of %d (~%d bytes/tuple)" bt_limit
+          approx_tuple_bytes
+    in
+    Protocol.err Protocol.Resource
+      (Printf.sprintf "query %d exceeded its %s after %d iterations and %d derivations"
+         (Query_log.id entry) budget_desc
+         (Query_log.iterations entry)
+         (Query_log.derivations entry))
   | exception e ->
     finish (match e with Coral.Cancelled -> "timeout" | _ -> "error") ~rows:0;
     raise e
@@ -229,14 +422,21 @@ let mutating_lits lits =
    snapshot lane; plain fallback reads (persistent databases) use
    [locked] alone — they publish nothing. *)
 let wrap_write ?(invalidate = false) store g =
-  let r, staged =
-    locked store (fun () ->
-        let r = g () in
-        if invalidate then Plan_cache.invalidate store.cache store.sdb;
-        r, stage_commit store)
-  in
-  publish_commit store staged;
-  r
+  (* a degraded store refuses mutations up front (attempting a
+     rate-limited recovery probe first if the degrade was automatic) *)
+  check_writable store;
+  try
+    let r, staged =
+      locked store (fun () ->
+          let r = g () in
+          if invalidate then Plan_cache.invalidate store.cache store.sdb;
+          r, stage_commit store)
+    in
+    publish_commit store staged;
+    r
+  with e ->
+    degrade_on_write_fault store e;
+    raise e
 
 let do_query t text =
   let store = t.store in
@@ -426,6 +626,13 @@ let do_stats t =
       Printf.sprintf "server.sessions=%d" (Atomic.get store.sessions);
       Printf.sprintf "server.active_queries=%d" (Query_log.active_count ());
       Printf.sprintf "server.events=%d" (Query_log.Events.total ());
+      Printf.sprintf "server.degraded=%d" (if is_degraded store then 1 else 0);
+      Printf.sprintf "server.budget_kills=%d" (Atomic.get store.budget_kills);
+      Printf.sprintf "admission.inflight=%d" (Admission.inflight store.admission);
+      Printf.sprintf "admission.admitted=%d" (Admission.admitted store.admission);
+      Printf.sprintf "admission.waited=%d" (Admission.waited store.admission);
+      Printf.sprintf "admission.busy_rejects=%d" (Admission.busy_rejects store.admission);
+      Printf.sprintf "admission.shed=%d" (Admission.shed store.admission);
       Printf.sprintf "snapshot.epoch=%d" (Snapshot.epoch store.snap);
       Printf.sprintf "snapshot.pinned=%d" (Snapshot.pinned_count ());
       Printf.sprintf "snapshot.read_domains=%d" (Exec_pool.width ());
@@ -500,6 +707,29 @@ let do_kill _t qid =
     Protocol.ok ~detail:(Printf.sprintf "kill signalled for query %d" qid) []
   else Protocol.err Protocol.Eval (Printf.sprintf "no active query with id %d" qid)
 
+(* Operator degrade/restore: like ps/kill/events these are served
+   without the store lock — flipping to read-only must work while a
+   stuck mutation holds the writer lane. *)
+let do_degrade t reason =
+  enter_degraded t.store (Forced reason);
+  Protocol.ok ~detail:(Printf.sprintf "degraded (read-only): %s" reason) []
+
+let do_restore t =
+  let store = t.store in
+  Mutex.lock store.dlock;
+  let was = store.degraded in
+  store.degraded <- Healthy;
+  Mutex.unlock store.dlock;
+  (match was with
+  | Healthy -> ()
+  | _ -> Query_log.Events.log ~kind:"restore" [ "mode", Json.Str "operator" ]);
+  Protocol.ok
+    ~detail:
+      (match was with
+      | Healthy -> "store was not degraded"
+      | _ -> "restored: mutations resume")
+    []
+
 let do_events _t n =
   let lines = Query_log.Events.recent n in
   Protocol.ok
@@ -523,6 +753,16 @@ let metrics_text store =
   Obs.prometheus_sample buf ~kind:"counter" "server.errors" (Atomic.get store.errors);
   Obs.prometheus_sample buf ~kind:"counter" "server.timeouts" (Atomic.get store.timeouts);
   Obs.prometheus_sample buf ~kind:"gauge" "server.sessions" (Atomic.get store.sessions);
+  (* overload protection: the degraded flag, shed/reject counters and
+     the budget-kill count (coral_degraded, coral_shed_total, ...) *)
+  Obs.prometheus_sample buf ~kind:"gauge" "degraded" (if is_degraded store then 1 else 0);
+  Obs.prometheus_sample buf ~kind:"counter" "shed.total"
+    (Admission.shed store.admission + Admission.busy_rejects store.admission);
+  Obs.prometheus_sample buf ~kind:"counter" "busy.rejects"
+    (Admission.busy_rejects store.admission);
+  Obs.prometheus_sample buf ~kind:"gauge" "inflight.requests"
+    (Admission.inflight store.admission);
+  Obs.prometheus_sample buf ~kind:"counter" "budget.kills" (Atomic.get store.budget_kills);
   (* operational gauges + build/process identity *)
   Obs.prometheus_sample buf ~kind:"gauge" "active_queries" (Query_log.active_count ());
   Obs.prometheus_sample buf ~kind:"gauge" "sessions" (Atomic.get store.sessions);
@@ -582,6 +822,21 @@ let dispatch t (req : Protocol.request) =
     Protocol.ok
       ~detail:(if ms = 0 then "timeout disabled" else Printf.sprintf "timeout %dms" ms)
       []
+  | Protocol.Set_limit (kind, n) ->
+    let name =
+      match kind with
+      | Protocol.Tuples ->
+        t.limit_tuples <- n;
+        "tuples"
+      | Protocol.Bytes ->
+        t.limit_bytes <- n;
+        "bytes"
+    in
+    Protocol.ok
+      ~detail:
+        (if n = 0 then Printf.sprintf "limit %s disabled" name
+         else Printf.sprintf "limit %s %d" name n)
+      []
   | Protocol.Query text -> do_query t text
   | Protocol.Consult text -> do_consult t text
   | Protocol.Insert text -> do_insert t text
@@ -594,18 +849,31 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Metrics -> do_metrics t
   | Protocol.Relations -> locked t.store (fun () -> do_relations t)
   | Protocol.Modules -> locked t.store (fun () -> do_modules t)
-  | Protocol.Ps | Protocol.Kill _ | Protocol.Events _ ->
+  | Protocol.Ps | Protocol.Kill _ | Protocol.Events _ | Protocol.Degrade _
+  | Protocol.Restore ->
     (* handled lock-free in [handle]; unreachable through it *)
     Protocol.err Protocol.Proto "introspection command routed incorrectly"
   | Protocol.Quit -> Protocol.ok ~detail:"bye" []
 
+(* Requests that evaluate (or mutate) and therefore count against the
+   in-flight admission cap.  Introspection, settings and the liveness
+   probes stay exempt so an operator can always see and steer an
+   overloaded server. *)
+let evaluating = function
+  | Protocol.Query _ | Protocol.Consult _ | Protocol.Insert _
+  | Protocol.Explain_analyze _ | Protocol.Why _ -> true
+  | _ -> false
+
 let handle t req =
   match req with
   (* Introspection never queues behind the engine lock: ps/kill/events
-     must answer while another connection's query is evaluating. *)
+     (and the degrade/restore switch) must answer while another
+     connection's query is evaluating. *)
   | Protocol.Ps -> do_ps t
   | Protocol.Kill qid -> do_kill t qid
   | Protocol.Events n -> do_events t n
+  | Protocol.Degrade reason -> do_degrade t reason
+  | Protocol.Restore -> do_restore t
   | _ ->
   let store = t.store in
   let t0 = Obs.now_ns () in
@@ -619,7 +887,29 @@ let handle t req =
   @@ fun () ->
   Atomic.incr store.requests;
   let response =
-    try dispatch t req with
+    try
+      if evaluating req then begin
+        match Admission.admit store.admission with
+        | `Busy retry ->
+          Query_log.Events.log ~kind:"shed"
+            [ "session", Json.Int t.sid;
+              "scope", Json.Str "request";
+              "retry_after_ms", Json.Int retry
+            ];
+          Protocol.busy ~retry_after_ms:retry
+            (Printf.sprintf "server at capacity (%d requests in flight); retry later"
+               (Admission.config store.admission).Admission.max_inflight)
+        | `Admitted ->
+          Fun.protect
+            ~finally:(fun () -> Admission.release store.admission)
+            (fun () -> dispatch t req)
+      end
+      else dispatch t req
+    with
+    | Degraded reason ->
+      Protocol.err Protocol.Readonly
+        (Printf.sprintf "store is read-only (%s); mutations are refused until restore"
+           reason)
     | Coral.Cancelled ->
       Atomic.incr store.timeouts;
       Protocol.err Protocol.Timeout

@@ -13,14 +13,25 @@
     group-commit any persistent relations' WAL images, and publish the
     next epoch.  Stores over persistent databases whose relations have
     no lock-free view publish [None] and reads fall back to the locked
-    lane. *)
+    lane.
+
+    Overload protection (DESIGN.md §12): evaluating requests pass the
+    store's {!Admission} gate (shed with [err BUSY] past the in-flight
+    cap), run under the session's resource budgets (stopped with
+    [err RESOURCE] past them), and mutations are refused with
+    [err READONLY] while the store is degraded — entered automatically
+    on ENOSPC or a hard WAL write fault, or forced by the operator
+    [degrade] command. *)
 
 type store
 
-val make_store : ?databases:Coral.Database.t list -> Coral.t -> store
+val make_store :
+  ?databases:Coral.Database.t list -> ?limits:Admission.config -> Coral.t -> store
 (** [databases] are the persistent stores whose dirty pages each
     commit stages onto the group-commit lane (default none — a purely
-    in-memory server). *)
+    in-memory server).  [limits] is the admission/budget policy
+    (default {!Admission.default}: everything unlimited, as before
+    overload protection existed). *)
 
 val db : store -> Coral.t
 
@@ -32,12 +43,36 @@ val snapshot_epoch : store -> int
 (** The currently published snapshot epoch (starts at 1; every
     committed mutation advances it). *)
 
+val admission : store -> Admission.t
+(** The store's admission gate (the accept loop uses it to enforce the
+    connection cap and count sheds). *)
+
+val session_count : store -> int
+(** Currently open sessions (the connection-cap input). *)
+
+val try_reserve : store -> cap:int -> bool
+(** Atomically claim a session slot against [cap] (0 = uncapped).
+    The accept loop reserves before spawning the connection thread —
+    a connect burst arrives faster than spawned threads run, so a
+    check against {!session_count} alone would admit the whole burst.
+    A successful claim is released by {!close} (create the session
+    with [~reserved:true]) or by {!unreserve} if no session follows. *)
+
+val unreserve : store -> unit
+(** Release a {!try_reserve} claim that will not become a session
+    (the connection thread failed to spawn). *)
+
+val is_degraded : store -> bool
+(** Whether the store is currently refusing mutations. *)
+
 type t
 
-val create : store -> t
+val create : ?reserved:bool -> store -> t
 (** Open a session.  Lock-free (atomic counters only), so a new
     connection can always come up — and run [ps]/[kill] — while
-    another connection's query holds the engine lock. *)
+    another connection's query holds the engine lock.  [~reserved:true]
+    means the caller already claimed the session slot with
+    {!try_reserve}; the open-session gauge is not bumped again. *)
 
 val close : t -> unit
 (** Mark the session closed (decrements the open-session gauge).

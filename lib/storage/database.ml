@@ -12,6 +12,8 @@ let open_ ?(pool_frames = 64) ?(verify = true) ?injector dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   { dir; pool_frames; verify; injector; handles = Hashtbl.create 8 }
 
+let dir t = t.dir
+
 let handle t ?(indexes = []) ~name ~arity () =
   match Hashtbl.find_opt t.handles name with
   | Some h -> h

@@ -21,6 +21,10 @@ val open_ : ?pool_frames:int -> ?verify:bool -> ?injector:Disk.Faulty.t -> strin
     relation when it is first opened; [injector] routes all storage
     I/O of every relation through a fault-injection seam. *)
 
+val dir : t -> string
+(** The database directory (the server's degraded-mode recovery probe
+    writes its scratch file here). *)
+
 val relation : t -> ?indexes:int list -> name:string -> arity:int -> unit -> Relation.t
 (** The named persistent relation, opened (with recovery) on first use.
     Repeated calls return the same relation; [indexes] applies on the

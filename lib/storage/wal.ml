@@ -227,12 +227,15 @@ let close t = Disk.Io.close t.io
 module Group = struct
   let c_batches = Obs.counter "wal.group_commit.batches"
   let c_records = Obs.counter "wal.group_commit.records"
+  let c_backpressure = Obs.counter "wal.group_commit.backpressure_waits"
 
   type g = {
     gwal : t;
     glock : Mutex.t;
     gdone : Condition.t;
+    gmax_pending : int;  (* bounded enqueue: cap on queued submissions *)
     mutable gpending : (int * (int * int * Bytes.t) list) list;  (* newest first *)
+    mutable gpending_n : int;  (* List.length gpending *)
     mutable gnext : int;  (* last submission seq handed out *)
     mutable gdurable : int;  (* highest seq flushed (or absorbed) *)
     mutable gleader : bool;
@@ -242,11 +245,13 @@ module Group = struct
 
   type ticket = int  (* 0: nothing to flush *)
 
-  let create wal =
+  let create ?(max_pending = 256) wal =
     { gwal = wal;
       glock = Mutex.create ();
       gdone = Condition.create ();
+      gmax_pending = max max_pending 1;
       gpending = [];
+      gpending_n = 0;
       gnext = 0;
       gdurable = 0;
       gleader = false;
@@ -263,17 +268,92 @@ module Group = struct
   let absorb g =
     Mutex.lock g.glock;
     g.gpending <- [];
+    g.gpending_n <- 0;
     if g.gnext > g.gdurable then g.gdurable <- g.gnext;
     Condition.broadcast g.gdone;
     Mutex.unlock g.glock
 
+  (* Caller holds [glock] and [gleader] is false: become the leader,
+     flush every pending batch (releasing [glock] around the I/O, which
+     takes [gio]), then step down.  Failures are recorded per seq range
+     in [gfailures], never raised from here. *)
+  let lead_drain g =
+    g.gleader <- true;
+    let rec drain () =
+      match g.gpending with
+      | [] -> ()
+      | pending ->
+        g.gpending <- [];
+        g.gpending_n <- 0;
+        let top = List.fold_left (fun acc (s, _) -> max acc s) 0 pending in
+        let low = g.gdurable + 1 in
+        Mutex.unlock g.glock;
+        let batch = List.concat_map snd (List.rev pending) in
+        let result =
+          try
+            Mutex.lock g.gio;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock g.gio)
+              (fun () ->
+                (* A checkpoint (commit + truncate + [absorb]) may
+                   have run in the window between dequeuing
+                   [pending] and winning [gio].  Our after-images
+                   predate the checkpoint; appending them into the
+                   freshly truncated log would let a crash replay
+                   them over newer flushed pages.  [absorb] cannot
+                   clear a batch we already dequeued, but it does
+                   advance [gdurable] past every seq it retires —
+                   and nothing else can push it past [top] while
+                   we (the sole leader) hold these seqs — so
+                   [gdurable >= top] identifies an absorbed batch:
+                   drop it, it is already durable in place. *)
+                let absorbed =
+                  Mutex.lock g.glock;
+                  let a = g.gdurable >= top in
+                  Mutex.unlock g.glock;
+                  a
+                in
+                if not absorbed then begin
+                  commit g.gwal batch;
+                  Obs.Counter.incr c_batches;
+                  Obs.Counter.add c_records (List.length pending)
+                end);
+            None
+          with e -> Some e
+        in
+        Mutex.lock g.glock;
+        if g.gdurable < top then g.gdurable <- top;
+        (match result with
+        | Some e -> g.gfailures <- (low, top, e) :: g.gfailures
+        | None -> ());
+        Condition.broadcast g.gdone;
+        drain ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        g.gleader <- false;
+        (* wake a possible next leader parked in [await] *)
+        Condition.broadcast g.gdone)
+      drain
+
+  (* Bounded: a write storm parks here — or drains the queue itself —
+     instead of growing [gpending] without bound.  Do not call while
+     holding [with_io]: a full queue with no active leader drains
+     inline, and the drain takes [gio]. *)
   let enqueue g entries =
     if entries = [] then 0
     else begin
       Mutex.lock g.glock;
+      if g.gpending_n >= g.gmax_pending then begin
+        Obs.Counter.incr c_backpressure;
+        while g.gpending_n >= g.gmax_pending do
+          if g.gleader then Condition.wait g.gdone g.glock else lead_drain g
+        done
+      end;
       g.gnext <- g.gnext + 1;
       let seq = g.gnext in
       g.gpending <- (seq, entries) :: g.gpending;
+      g.gpending_n <- g.gpending_n + 1;
       Mutex.unlock g.glock;
       seq
     end
@@ -287,64 +367,7 @@ module Group = struct
             Condition.wait g.gdone g.glock;
             wait_done ()
           end
-          else lead ()
-      and lead () =
-        g.gleader <- true;
-        let rec drain () =
-          match g.gpending with
-          | [] -> ()
-          | pending ->
-            g.gpending <- [];
-            let top = List.fold_left (fun acc (s, _) -> max acc s) 0 pending in
-            let low = g.gdurable + 1 in
-            Mutex.unlock g.glock;
-            let batch = List.concat_map snd (List.rev pending) in
-            let result =
-              try
-                Mutex.lock g.gio;
-                Fun.protect
-                  ~finally:(fun () -> Mutex.unlock g.gio)
-                  (fun () ->
-                    (* A checkpoint (commit + truncate + [absorb]) may
-                       have run in the window between dequeuing
-                       [pending] and winning [gio].  Our after-images
-                       predate the checkpoint; appending them into the
-                       freshly truncated log would let a crash replay
-                       them over newer flushed pages.  [absorb] cannot
-                       clear a batch we already dequeued, but it does
-                       advance [gdurable] past every seq it retires —
-                       and nothing else can push it past [top] while
-                       we (the sole leader) hold these seqs — so
-                       [gdurable >= top] identifies an absorbed batch:
-                       drop it, it is already durable in place. *)
-                    let absorbed =
-                      Mutex.lock g.glock;
-                      let a = g.gdurable >= top in
-                      Mutex.unlock g.glock;
-                      a
-                    in
-                    if not absorbed then begin
-                      commit g.gwal batch;
-                      Obs.Counter.incr c_batches;
-                      Obs.Counter.add c_records (List.length pending)
-                    end);
-                None
-              with e -> Some e
-            in
-            Mutex.lock g.glock;
-            if g.gdurable < top then g.gdurable <- top;
-            (match result with
-            | Some e -> g.gfailures <- (low, top, e) :: g.gfailures
-            | None -> ());
-            Condition.broadcast g.gdone;
-            drain ()
-        in
-        Fun.protect
-          ~finally:(fun () ->
-            g.gleader <- false;
-            (* wake a possible next leader parked in wait_done *)
-            Condition.broadcast g.gdone)
-          drain
+          else lead_drain g
       in
       Fun.protect
         ~finally:(fun () -> Mutex.unlock g.glock)

@@ -50,12 +50,22 @@ module Group : sig
 
   type ticket
 
-  val create : t -> g
+  val create : ?max_pending:int -> t -> g
+  (** [max_pending] (default 256, min 1) bounds the commit queue: an
+      [enqueue] past the cap backpressures instead of growing the
+      queue without bound. *)
 
   val enqueue : g -> (int * int * Bytes.t) list -> ticket
   (** Queue a submission (call under the writer lane; the after-images
       must be stable copies).  An empty submission returns a ticket
-      that [await] treats as already durable. *)
+      that [await] treats as already durable.
+
+      The queue is bounded ([max_pending] at [create]): when full,
+      [enqueue] blocks until the active leader drains it — or, with no
+      leader active, drains it itself.  Backpressure episodes are
+      counted in the [wal.group_commit.backpressure_waits] counter.
+      Because the inline drain takes the group's I/O lock, do not call
+      [enqueue] from inside [with_io]. *)
 
   val await : g -> ticket -> unit
   (** Block until the submission is durable, flushing the queue as

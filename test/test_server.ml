@@ -727,6 +727,447 @@ let test_shutdown_commits_databases () =
   Coral.Database.close pdb2
 
 (* ------------------------------------------------------------------ *)
+(* Overload protection and graceful degradation                        *)
+(* ------------------------------------------------------------------ *)
+
+module Admission = Coral_server.Admission
+
+let stats_value s prefix =
+  let r = Session.handle s Protocol.Stats in
+  let p = prefix ^ "=" in
+  List.find_map
+    (function
+      | Protocol.Txt l when String.starts_with ~prefix:p l ->
+        int_of_string_opt (String.sub l (String.length p) (String.length l - String.length p))
+      | _ -> None)
+    r.Protocol.payload
+
+(* The accept loop must survive descriptor exhaustion: hoard fds until
+   the process hits EMFILE, push a connection at the starved server,
+   release the hoard, and the server must accept and serve again.  The
+   point is loop survival, not shedding — a dead accept thread would
+   fail the final ping no matter what was shed. *)
+let test_accept_loop_survives_emfile () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c0 = connect srv in
+  let _, status = request c0 "ping" in
+  check_prefix "established before exhaustion" "ok pong" status;
+  (* hoard descriptors until open fails with EMFILE *)
+  let hoard = ref [] in
+  let exhausted = ref false in
+  (try
+     for _ = 1 to 30_000 do
+       hoard := Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 :: !hoard
+     done
+   with
+  | Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) -> exhausted := true
+  | Unix.Unix_error _ -> ());
+  let release () =
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !hoard;
+    hoard := []
+  in
+  Fun.protect ~finally:release @@ fun () ->
+  if not !exhausted then
+    (* the fd limit is out of reach (huge ulimit): nothing to test *)
+    release ()
+  else begin
+    (* free exactly one descriptor for our client socket; the server's
+       accept then hits EMFILE on this connection and must shed it (or
+       serve it after the hoard is released), never die *)
+    (match !hoard with
+    | fd :: rest ->
+      Unix.close fd;
+      hoard := rest
+    | [] -> ());
+    (match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | fd ->
+      (try
+         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+         (* give the accept loop a few EMFILE trips *)
+         Thread.delay 0.15
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ());
+    release ()
+  end;
+  (* the loop is alive: the established session and new connections work *)
+  let _, status = request c0 "ping" in
+  check_prefix "established session survived" "ok pong" status;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec reconnect () =
+    match connect srv with
+    | c -> c
+    | exception Unix.Unix_error _ when Unix.gettimeofday () < deadline ->
+      Thread.delay 0.05;
+      reconnect ()
+    | exception e -> raise e
+  in
+  let c1 = reconnect () in
+  let _, status = request c1 "ping" in
+  check_prefix "new connections accepted after exhaustion" "ok pong" status;
+  ignore (request c1 "quit");
+  close c1;
+  ignore (request c0 "quit");
+  close c0
+
+(* shutdown must remove a Unix-domain socket's file *)
+let test_unix_socket_removed_on_shutdown () =
+  let path = Filename.temp_file "coral-sock" ".sock" in
+  Sys.remove path;
+  let srv = Server.start ~listen:(`Unix path) (Coral.create ()) in
+  Alcotest.(check bool) "socket file exists while serving" true (Sys.file_exists path);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let c = { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; fd } in
+  let _, status = request c "ping" in
+  check_prefix "served over unix socket" "ok pong" status;
+  ignore (request c "quit");
+  close c;
+  Server.shutdown srv;
+  Alcotest.(check bool) "socket file removed by shutdown" false (Sys.file_exists path)
+
+(* Protocol framing edge cases: CRLF line endings, a client EOF that
+   truncates a consult# payload, and a request line exactly at the
+   limit (one byte over is refused). *)
+let test_framing_edge_cases () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  (* CRLF: a telnet-style client's \r\n is stripped, not parsed *)
+  let c = connect srv in
+  output_string c.oc "ping\r\n";
+  flush c.oc;
+  let _, status = request c "hello" in
+  (* first reply read is ping's *)
+  check_prefix "CRLF ping" "ok pong" status;
+  let _, status = request c "quit" in
+  check_prefix "CRLF hello (buffered)" "ok coral 1" status;
+  close c;
+  (* consult# payload truncated by client EOF: the server just drops
+     the connection — and keeps serving others *)
+  let c = connect srv in
+  send c "consult# 4096";
+  output_string c.oc "good(1).";
+  flush c.oc;
+  close c;
+  let c = connect srv in
+  let _, status = request c "ping" in
+  check_prefix "server survives truncated payload" "ok pong" status;
+  let _, status = request c "consult good(1)." in
+  check_prefix "consult good" "ok" status;
+  (* a request line of exactly max_line_bytes is served ... *)
+  let q = "query good(X)" in
+  let exact = q ^ String.make (Protocol.max_line_bytes - String.length q) ' ' in
+  Alcotest.(check int) "line is exactly at the limit" Protocol.max_line_bytes
+    (String.length exact);
+  let _, status = request c exact in
+  check_prefix "exactly-at-limit line accepted" "ok 1 answer" status;
+  (* ... and one byte over is refused *)
+  let _, status = request c (exact ^ " ") in
+  check_prefix "one byte over refused" "err TOOBIG" status;
+  close c
+
+(* Connection cap: the N+1st concurrent connection is shed with one
+   well-formed BUSY line; closing a connection frees its slot. *)
+let test_busy_connection_cap () =
+  let limits = { Admission.default with Admission.max_sessions = 2 } in
+  let srv = Server.start ~limits ~listen:(`Tcp ("127.0.0.1", 0)) (Coral.create ()) in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c1 = connect srv in
+  let _, status = request c1 "ping" in
+  check_prefix "first connection" "ok pong" status;
+  let c2 = connect srv in
+  let _, status = request c2 "ping" in
+  check_prefix "second connection" "ok pong" status;
+  (* the third is shed before a session exists: one BUSY line, closed *)
+  let c3 = connect srv in
+  (match In_channel.input_line c3.ic with
+  | Some line ->
+    check_prefix "shed with BUSY" "err BUSY" line;
+    (* machine-readable backoff: first token of the message is ms *)
+    (match String.split_on_char ' ' line with
+    | "err" :: "BUSY" :: ms :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "retry-after-ms is an integer: %S" ms)
+        true
+        (int_of_string_opt ms <> None)
+    | _ -> Alcotest.fail ("malformed BUSY line: " ^ line));
+    Alcotest.(check (option string)) "connection closed after BUSY" None
+      (In_channel.input_line c3.ic)
+  | None -> Alcotest.fail "shed connection got no BUSY line");
+  close c3;
+  (* established sessions are untouched by the shed *)
+  let _, status = request c1 "ping" in
+  check_prefix "session 1 survives the shed" "ok pong" status;
+  (* freeing a slot readmits new connections *)
+  ignore (request c2 "quit");
+  close c2;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec readmitted () =
+    let c = connect srv in
+    (* a shed connection may reset before the ping is written *)
+    (try send c "ping" with Sys_error _ | Unix.Unix_error _ -> ());
+    match In_channel.input_line c.ic with
+    | Some line when String.starts_with ~prefix:"ok pong" line ->
+      ignore (request c "quit");
+      close c
+    | _ when Unix.gettimeofday () < deadline ->
+      close c;
+      Thread.delay 0.02;
+      readmitted ()
+    | other ->
+      close c;
+      Alcotest.fail
+        (Printf.sprintf "slot never freed: %s" (Option.value ~default:"<eof>" other))
+  in
+  readmitted ();
+  (* the shed was counted *)
+  let lines, _ = request c1 "stats" in
+  let stat name =
+    List.find_map
+      (fun l ->
+        let l = strip_txt l in
+        let p = name ^ "=" in
+        if String.starts_with ~prefix:p l then
+          int_of_string_opt (String.sub l (String.length p) (String.length l - String.length p))
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "admission.shed counted" true
+    (match stat "admission.shed" with Some n -> n >= 1 | None -> false);
+  ignore (request c1 "quit");
+  close c1
+
+(* In-flight cap: while one query occupies the only slot, a second
+   evaluating request gets BUSY — but introspection (ps/kill) does not,
+   so the operator can still steer. *)
+let test_busy_inflight_cap () =
+  let limits =
+    { Admission.default with Admission.max_inflight = 1; max_waiters = 0; retry_after_ms = 40 }
+  in
+  let srv = Server.start ~limits ~listen:(`Tcp ("127.0.0.1", 0)) (Coral.create ()) in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let a = connect srv in
+  let _, status = request a ("consult " ^ flat nats_program) in
+  check_prefix "consult nats" "ok" status;
+  let _, status = request a "consult seed(1)." in
+  check_prefix "consult seed" "ok" status;
+  let _, status = request a "timeout 30000" in
+  check_prefix "backstop deadline" "ok" status;
+  (* occupy the slot with an unbounded query *)
+  send a "query nat(X)";
+  let b = connect srv in
+  (* wait until the query is registered, lock-free via ps *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_running () =
+    let lines, status = request b "ps" in
+    check_prefix "ps bypasses the admission gate" "ok" status;
+    if not (List.exists (fun l -> contains "query=nat(X)" (strip_txt l)) lines) then
+      if Unix.gettimeofday () > deadline then Alcotest.fail "query never showed in ps"
+      else begin
+        Thread.delay 0.02;
+        wait_running ()
+      end
+  in
+  wait_running ();
+  let _, status = request b "query nat(X)" in
+  check_prefix "second in-flight request shed" "err BUSY 40" status;
+  (* settings and liveness probes stay exempt *)
+  let _, status = request b "ping" in
+  check_prefix "ping exempt from the gate" "ok pong" status;
+  (* free the slot by killing the occupant *)
+  let lines, _ = request b "ps" in
+  let qid =
+    List.find_map
+      (fun l ->
+        let l = strip_txt l in
+        if contains "query=nat(X)" l && String.starts_with ~prefix:"id=" l then
+          int_of_string_opt
+            (String.sub l 3 (String.index l ' ' - 3))
+        else None)
+      lines
+  in
+  (match qid with
+  | Some qid ->
+    let _, status = request b (Printf.sprintf "kill %d" qid) in
+    check_prefix "kill exempt from the gate" "ok" status
+  | None -> Alcotest.fail "occupant not found in ps");
+  let _, status =
+    let rec drain () =
+      match In_channel.input_line a.ic with
+      | None -> [], "<closed>"
+      | Some l when Protocol.is_status l -> [], l
+      | Some _ -> drain ()
+    in
+    drain ()
+  in
+  check_prefix "occupant killed" "err KILLED" status;
+  (* the slot is free again *)
+  let _, status = request b "query seed(X)" in
+  check_prefix "slot released" "ok 1 answer" status;
+  ignore (request a "quit");
+  ignore (request b "quit");
+  close a;
+  close b
+
+(* Per-query resource budgets: session and global, tuples and bytes.
+   The budgeted query dies with RESOURCE; neighbors and the session
+   itself keep working. *)
+let test_resource_budget () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let a = connect srv in
+  let b = connect srv in
+  let _, status = request a ("consult " ^ flat nats_program) in
+  check_prefix "consult nats" "ok" status;
+  let _, status = request a "consult seed(1)." in
+  check_prefix "consult seed" "ok" status;
+  let _, status = request a "limit tuples 500" in
+  check_prefix "set tuple budget" "ok limit tuples 500" status;
+  let _, status = request a "query nat(X)" in
+  check_prefix "unbounded query trips the budget" "err RESOURCE" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "RESOURCE reply reports progress: %s" status)
+    true
+    (contains "derivations" status && contains "500 derived tuples" status);
+  (* a concurrent session is untouched *)
+  let _, status = request b "query seed(X)" in
+  check_prefix "neighbor keeps answering" "ok 1 answer" status;
+  (* the budgeted session itself stays usable, and clearing works *)
+  let _, status = request a "limit tuples 0" in
+  check_prefix "clear budget" "ok limit tuples disabled" status;
+  let _, status = request a "query seed(X)" in
+  check_prefix "session usable after RESOURCE" "ok 1 answer" status;
+  (* bytes budget: enforced as an estimated tuple cap *)
+  let _, status = request a "limit bytes 6400" in
+  check_prefix "set bytes budget" "ok limit bytes 6400" status;
+  let _, status = request a "query nat(X)" in
+  check_prefix "bytes budget trips" "err RESOURCE" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "bytes trip names the budget: %s" status)
+    true (contains "estimated-bytes budget of 6400" status);
+  ignore (request a "quit");
+  ignore (request b "quit");
+  close a;
+  close b
+
+(* The store-wide budget flag applies to sessions that set nothing. *)
+let test_resource_budget_global () =
+  let limits = { Admission.default with Admission.max_query_tuples = 300 } in
+  let db = Coral.create () in
+  Coral.consult_text db nats_program;
+  let srv = Server.start ~limits ~listen:(`Tcp ("127.0.0.1", 0)) db in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c "query nat(X)" in
+  check_prefix "global budget trips" "err RESOURCE" status;
+  (* a session limit cannot loosen the global cap: the tighter wins *)
+  let _, status = request c "limit tuples 1000000" in
+  check_prefix "loose session limit" "ok" status;
+  let _, status = request c "query nat(X)" in
+  check_prefix "global cap still wins" "err RESOURCE" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "tighter budget reported: %s" status)
+    true (contains "300 derived tuples" status);
+  ignore (request c "quit");
+  close c
+
+(* Degraded mode over the wire: operator degrade/restore, automatic
+   degrade on an injected write fault, probe-based recovery, and reads
+   served throughout. *)
+let test_degraded_mode () =
+  let dir = tmpdir "srvdegrade" in
+  let inj = Coral_storage.Disk.Faulty.create () in
+  let db = Coral.create () in
+  let pdb = Coral.Database.open_ ~injector:inj dir in
+  Coral.install_relation db "edge" (Coral.Database.relation pdb ~name:"edge" ~arity:2 ());
+  let srv = Server.start ~databases:[ pdb ] ~listen:(`Tcp ("127.0.0.1", 0)) db in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let _, status = request c "insert edge(1, 2)." in
+  check_prefix "healthy insert" "ok inserted 1" status;
+  (* operator degrade: mutations refused, reads and introspection fine *)
+  let _, status = request c "degrade disk swap drill" in
+  check_prefix "operator degrade" "ok degraded (read-only): disk swap drill" status;
+  let _, status = request c "insert edge(2, 3)." in
+  check_prefix "mutation refused" "err READONLY" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "READONLY names the reason: %s" status)
+    true (contains "disk swap drill" status);
+  let answers, status = request c "query edge(X, Y)" in
+  check_prefix "reads still served" "ok 1 answer" status;
+  Alcotest.(check int) "snapshot answer" 1 (List.length answers);
+  let _, status = request c "stats" in
+  check_prefix "stats still served" "ok" status;
+  let _, status = request c "restore" in
+  check_prefix "operator restore" "ok restored: mutations resume" status;
+  let _, status = request c "insert edge(2, 3)." in
+  check_prefix "mutations resume" "ok inserted 1" status;
+  (* automatic degrade: a hard write fault flips the store read-only.
+     The first probe succeeds (the real directory is writable) and
+     readmits the mutation, which trips the second injected fault; a
+     mutation inside the probe rate-limit window then sees READONLY. *)
+  Coral_storage.Disk.Faulty.inject_enospc inj 2;
+  let _, status = request c "insert edge(3, 4)." in
+  check_prefix "first faulted commit surfaces IOERR" "err IOERR" status;
+  let _, status = request c "insert edge(3, 4)." in
+  check_prefix "probe readmits, second fault trips" "err IOERR" status;
+  let _, status = request c "insert edge(4, 5)." in
+  check_prefix "rate-limited probe window refuses" "err READONLY" status;
+  let answers, status = request c "query edge(X, Y)" in
+  check_prefix "degraded still answers reads" "ok" status;
+  Alcotest.(check bool) "read sees committed data" true (List.length answers >= 1);
+  (* operator restore clears an automatic degrade too; the injected
+     faults are spent, so writes go through *)
+  let _, status = request c "restore" in
+  check_prefix "restore after auto degrade" "ok restored" status;
+  let _, status = request c "insert edge(5, 6)." in
+  check_prefix "writes resume after restore" "ok inserted 1" status;
+  ignore (request c "quit");
+  close c
+
+(* The overload counters and the degraded flag are visible in stats
+   and in the Prometheus exposition under coral_* names. *)
+let test_overload_observability () =
+  let store = Session.make_store (Coral.create ()) in
+  let s = Session.create store in
+  Alcotest.(check (option int)) "degraded gauge starts clear" (Some 0)
+    (stats_value s "server.degraded");
+  Alcotest.(check (option int)) "no budget kills yet" (Some 0)
+    (stats_value s "server.budget_kills");
+  Alcotest.(check (option int)) "no inflight" (Some 0) (stats_value s "admission.inflight");
+  Alcotest.(check (option int)) "nothing shed" (Some 0) (stats_value s "admission.shed");
+  ignore (Session.handle s (Protocol.Degrade "drill"));
+  Alcotest.(check (option int)) "degraded gauge set" (Some 1)
+    (stats_value s "server.degraded");
+  ignore (Session.handle s Protocol.Restore);
+  Alcotest.(check (option int)) "degraded gauge cleared" (Some 0)
+    (stats_value s "server.degraded");
+  (* a budget kill is counted *)
+  (match (Session.handle s (Protocol.Consult nats_program)).Protocol.status with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.fail (Protocol.code_string c ^ ": " ^ m));
+  ignore (Session.handle s (Protocol.Set_limit (Protocol.Tuples, 100)));
+  (match (Session.handle s (Protocol.Query "nat(X)")).Protocol.status with
+  | Error (Protocol.Resource, _) -> ()
+  | Ok _ -> Alcotest.fail "budgeted query succeeded"
+  | Error (c, m) -> Alcotest.fail ("unexpected " ^ Protocol.code_string c ^ ": " ^ m));
+  Alcotest.(check (option int)) "budget kill counted" (Some 1)
+    (stats_value s "server.budget_kills");
+  let text = Session.metrics_text store in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "metrics expose %s" needle) true
+        (contains needle text))
+    [ "# TYPE coral_degraded gauge";
+      "# TYPE coral_shed_total counter";
+      "# TYPE coral_busy_rejects counter";
+      "# TYPE coral_inflight_requests gauge";
+      "coral_budget_kills 1"
+    ];
+  Session.close s
+
+(* ------------------------------------------------------------------ *)
 (* Session semantics without sockets                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -771,16 +1212,6 @@ let test_session_direct () =
 (* ------------------------------------------------------------------ *)
 (* Snapshot reads: epochs, isolation, reader/writer differential       *)
 (* ------------------------------------------------------------------ *)
-
-let stats_value s prefix =
-  let r = Session.handle s Protocol.Stats in
-  let p = prefix ^ "=" in
-  List.find_map
-    (function
-      | Protocol.Txt l when String.starts_with ~prefix:p l ->
-        int_of_string_opt (String.sub l (String.length p) (String.length l - String.length p))
-      | _ -> None)
-    r.Protocol.payload
 
 let test_snapshot_epoch () =
   let store = Session.make_store (Coral.create ()) in
@@ -1036,6 +1467,19 @@ let () =
           Alcotest.test_case "shutdown commits databases" `Quick
             test_shutdown_commits_databases;
           Alcotest.test_case "session semantics" `Quick test_session_direct
+        ] );
+      ( "robustness",
+        [ Alcotest.test_case "accept loop survives EMFILE" `Quick
+            test_accept_loop_survives_emfile;
+          Alcotest.test_case "unix socket removed on shutdown" `Quick
+            test_unix_socket_removed_on_shutdown;
+          Alcotest.test_case "framing edge cases" `Quick test_framing_edge_cases;
+          Alcotest.test_case "connection cap sheds with BUSY" `Quick test_busy_connection_cap;
+          Alcotest.test_case "in-flight cap sheds with BUSY" `Quick test_busy_inflight_cap;
+          Alcotest.test_case "resource budget (session)" `Quick test_resource_budget;
+          Alcotest.test_case "resource budget (global)" `Quick test_resource_budget_global;
+          Alcotest.test_case "degraded mode over the wire" `Quick test_degraded_mode;
+          Alcotest.test_case "overload observability" `Quick test_overload_observability
         ] );
       ( "snapshot",
         [ Alcotest.test_case "epoch publication" `Quick test_snapshot_epoch;
