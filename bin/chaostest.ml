@@ -6,8 +6,9 @@
    abuses a LIVE server: iterations connect, churn, disconnect
    mid-reply, send garbage and oversized lines, storm the connection
    and in-flight caps, trip per-query resource budgets, kill queries
-   from other sessions, and inject storage faults that flip the store
-   read-only.  A fresh in-process server is started every [epoch]
+   from other sessions, inject storage faults that flip the store
+   read-only, and shut down a worker shard under a distributed query
+   routed through an ephemeral in-process cluster.  A fresh in-process server is started every [epoch]
    iterations (odd epochs carry a persistent database behind a fault
    injector) and torn down with three invariants checked:
 
@@ -70,7 +71,7 @@ let send c line =
 
 let known_codes =
   [ "PARSE"; "EVAL"; "TIMEOUT"; "PROTO"; "TOOBIG"; "IOERR"; "KILLED"; "BUSY"; "RESOURCE";
-    "READONLY"
+    "READONLY"; "UNAVAIL"; "CLUSTER"
   ]
 
 let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
@@ -479,6 +480,77 @@ let scenario_introspect ep _rng =
   ignore (expect_ok c "limit bytes 0");
   ignore (expect_err "PROTO" c "limit spoons 3")
 
+(* Kill a shard under a distributed query.  An ephemeral 2-shard
+   cluster (two worker servers and a fan-out router, all in-process,
+   independent of the epoch's server) answers a transitive-closure
+   query, then loses one worker racing another query.  The racing
+   reply may be a final ok or a classified err — never garbage or a
+   hang — the next fan-out against the lost shard must fail with a
+   clean err (UNAVAIL/CLUSTER), and the router itself must keep
+   answering.  Full teardown, including the surviving worker's peer
+   connections, so the epoch's fd-leak baseline still holds. *)
+let dist_chain = 12
+
+let dist_program =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "consult module m_dpath. export dpath(bf). export dpath(ff). \
+     dpath(X, Y) :- edge(X, Y). dpath(X, Y) :- dpath(X, Z), edge(Z, Y). end_module. ";
+  for i = 1 to dist_chain - 1 do
+    Buffer.add_string b (Printf.sprintf "edge(%d, %d). " i (i + 1))
+  done;
+  Buffer.contents b
+
+let start_shard_server () =
+  let db = Coral.create () in
+  let srv = Server.start ~listen:(`Tcp ("127.0.0.1", 0)) db in
+  let store = Server.store srv in
+  let worker =
+    Coral_dist.Worker.create ~eng:(Coral.engine db)
+      ~commit:(fun ~invalidate f -> Coral_server.Session.commit store ~invalidate f)
+      ~locked:(fun f -> Coral_server.Session.locked store f)
+      ~budget:(fun () ->
+        (Admission.config (Coral_server.Session.admission store)).Admission.max_query_tuples)
+  in
+  Coral_server.Session.set_dist_handler store (Coral_dist.Worker.handle worker);
+  srv, worker
+
+let scenario_kill_shard _ep rng =
+  let shards = List.init 2 (fun _ -> start_shard_server ()) in
+  let addrs =
+    List.map (fun (srv, _) -> Printf.sprintf "127.0.0.1:%d" (Server.port srv)) shards
+  in
+  let router =
+    Coral_dist.Router.start
+      ~listen:(`Tcp ("127.0.0.1", 0))
+      ~shard_addrs:addrs ~key:1 (Coral.create ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Coral_dist.Router.shutdown router;
+      List.iter (fun (_, w) -> Coral_dist.Worker.disconnect w) shards;
+      List.iter (fun (srv, _) -> Server.shutdown srv) shards)
+  @@ fun () ->
+  let c = connect_ready (Coral_dist.Router.port router) in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  ignore (expect_ok c dist_program);
+  let payload, _ = expect_ok c "query dpath(1, Y)" in
+  if List.length payload <> dist_chain - 1 then
+    failf "distributed dpath(1, Y): expected %d answers, got %d" (dist_chain - 1)
+      (List.length payload);
+  let victim, _ = List.nth shards (Random.State.int rng (List.length shards)) in
+  let killer = Thread.create (fun () -> Server.shutdown victim) () in
+  (* read_reply's check_line already rejects anything unclassified *)
+  ignore (request c "query dpath(X, Y)");
+  Thread.join killer;
+  (* with a member gone, the next fan-out must fail cleanly, not hang *)
+  (match request c "query dpath(X, Y)" with
+  | _, status when String.starts_with ~prefix:"err " status -> ()
+  | _, status -> failf "query against a lost shard: expected err, got %S" status);
+  (* ... and the router's own front door stays open *)
+  ignore (expect_ok c "ping");
+  ignore (expect_ok c "stats")
+
 let scenarios ep =
   [| scenario_normal, 4;
      scenario_garbage, 2;
@@ -490,7 +562,8 @@ let scenarios ep =
      scenario_kill, 2;
      (if ep.inj = None then scenario_operator_degrade else scenario_fault_degrade), 1;
      scenario_operator_degrade, 1;
-     scenario_introspect, 1
+     scenario_introspect, 1;
+     scenario_kill_shard, 1
   |]
 
 let pick_scenario ep rng =

@@ -299,8 +299,14 @@ let client_mode target =
      [seen] counts payload lines already printed for this reply: EOF
      after payload but before the status line means the server died
      mid-report, and silently treating the truncated output as complete
-     would be worse than no output at all. *)
-  let rec print_reply seen =
+     would be worse than no output at all.
+
+     Overload handling: a shed request comes back as one
+     [err BUSY <retry-after-ms> ...] line with no payload.  When
+     [retry_ok], that reply is not printed — [`Busy ms] is returned so
+     the caller can honor the advice (bounded) and resend once.  A
+     BUSY on the resend prints like any other error. *)
+  let rec print_reply ~retry_ok seen =
     match In_channel.input_line ic with
     | None ->
       if seen > 0 then begin
@@ -315,19 +321,37 @@ let client_mode target =
         exit 0
       end
     | Some line when Coral_server.Protocol.is_status line ->
-      if line = "ok" then ()
-      else if String.starts_with ~prefix:"ok " line then
-        print_endline (String.sub line 3 (String.length line - 3))
+      if line = "ok" then `Done
+      else if String.starts_with ~prefix:"ok " line then begin
+        print_endline (String.sub line 3 (String.length line - 3));
+        `Done
+      end
       else begin
         match String.index_opt line ' ' with
         | Some i -> begin
           let rest = String.sub line (i + 1) (String.length line - i - 1) in
           match String.index_opt rest ' ' with
-          | Some j ->
-            diag (String.sub rest 0 j) (String.sub rest (j + 1) (String.length rest - j - 1))
-          | None -> diag rest ""
+          | Some j -> begin
+            let code = String.sub rest 0 j in
+            let msg = String.sub rest (j + 1) (String.length rest - j - 1) in
+            let retry_ms =
+              match String.index_opt msg ' ' with
+              | Some k -> int_of_string_opt (String.sub msg 0 k)
+              | None -> int_of_string_opt msg
+            in
+            match code, retry_ms with
+            | "BUSY", Some ms when retry_ok && seen = 0 -> `Busy ms
+            | _ ->
+              diag code msg;
+              `Done
+          end
+          | None ->
+            diag rest "";
+            `Done
         end
-        | None -> print_endline line
+        | None ->
+          print_endline line;
+          `Done
       end
     | Some line ->
       let stripped =
@@ -336,7 +360,7 @@ let client_mode target =
         else line
       in
       print_endline stripped;
-      print_reply (seen + 1)
+      print_reply ~retry_ok (seen + 1)
   in
   let interactive = Unix.isatty Unix.stdin in
   if interactive then
@@ -351,10 +375,25 @@ let client_mode target =
     | None -> ()
     | Some line when String.trim line = "" -> loop ()
     | Some line ->
-      output_string oc line;
-      output_char oc '\n';
-      flush oc;
-      print_reply 0;
+      let send () =
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      in
+      send ();
+      (match print_reply ~retry_ok:true 0 with
+      | `Done -> ()
+      | `Busy ms ->
+        (* honor the server's backoff advice, capped so a hostile or
+           confused server cannot park the client for minutes *)
+        let ms = max 0 (min ms 2000) in
+        if interactive then begin
+          Printf.printf "server busy; retrying in %dms...\n" ms;
+          flush stdout
+        end;
+        Unix.sleepf (float_of_int ms /. 1000.);
+        send ();
+        ignore (print_reply ~retry_ok:false 0));
       if String.trim line <> "quit" then loop ()
   in
   loop ();

@@ -1,0 +1,173 @@
+(* The CORAL cluster router.
+
+   Usage: coral_router --shard ADDR --shard ADDR ... [options] [file.coral ...]
+     --shard ADDR      a worker's address (host:port or socket path);
+                       repeat once per shard, in shard order
+     --key N           0-based argument position derived relations are
+                       hash-partitioned on (default 0)
+     --port N          listen on TCP 127.0.0.1:N (default 4250; 0 = ephemeral)
+     --host H          bind host (default 127.0.0.1)
+     --socket P        listen on a Unix-domain socket at path P instead
+     --metrics-port N  also serve Prometheus metrics over HTTP
+     --event-log FILE  append structured JSONL events to FILE
+     --slow-query-ms N flag slow queries in the event log
+     --max-sessions N / --max-inflight N / --max-query-tuples N
+                       same admission controls as coral_server
+     --quiet           do not print the listening banner
+
+   The router speaks the ordinary server protocol — point the REPL's
+   --connect at it.  Consulted programs are also kept on a local
+   replica, so queries outside the distributable class (non-linear
+   rules, aggregation, multi-IDB joins) still answer with single-node
+   semantics.  The workers are ordinary coral_server processes; the
+   router claims them with the cluster control plane (shard, dprog#,
+   barrier) on the first distributed query. *)
+
+let () =
+  let host = ref "127.0.0.1" in
+  let port = ref 4250 in
+  let socket = ref "" in
+  let shards = ref [] in
+  let key = ref 0 in
+  let metrics_port = ref (-1) in
+  let event_log = ref "" in
+  let event_log_max = ref 0 in
+  let slow_ms = ref 0 in
+  let max_sessions = ref 0 in
+  let max_inflight = ref 0 in
+  let max_query_tuples = ref 0 in
+  let quiet = ref false in
+  let files = ref [] in
+  let int_arg name p k rest parse_rest =
+    match int_of_string_opt p with
+    | Some v when v >= 0 ->
+      k v;
+      parse_rest rest
+    | _ ->
+      Printf.eprintf "coral_router: %s expects a non-negative integer\n" name;
+      exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--shard" :: addr :: rest ->
+      shards := addr :: !shards;
+      parse_args rest
+    | "--key" :: n :: rest -> int_arg "--key" n (fun v -> key := v) rest parse_args
+    | "--port" :: p :: rest -> int_arg "--port" p (fun v -> port := v) rest parse_args
+    | "--host" :: h :: rest ->
+      host := h;
+      parse_args rest
+    | "--socket" :: p :: rest ->
+      socket := p;
+      parse_args rest
+    | "--metrics-port" :: p :: rest ->
+      int_arg "--metrics-port" p (fun v -> metrics_port := v) rest parse_args
+    | "--event-log" :: path :: rest ->
+      event_log := path;
+      parse_args rest
+    | "--event-log-max-bytes" :: n :: rest ->
+      int_arg "--event-log-max-bytes" n (fun v -> event_log_max := v) rest parse_args
+    | "--slow-query-ms" :: n :: rest ->
+      int_arg "--slow-query-ms" n (fun v -> slow_ms := v) rest parse_args
+    | "--max-sessions" :: n :: rest ->
+      int_arg "--max-sessions" n (fun v -> max_sessions := v) rest parse_args
+    | "--max-inflight" :: n :: rest ->
+      int_arg "--max-inflight" n (fun v -> max_inflight := v) rest parse_args
+    | "--max-query-tuples" :: n :: rest ->
+      int_arg "--max-query-tuples" n (fun v -> max_query_tuples := v) rest parse_args
+    | "--quiet" :: rest ->
+      quiet := true;
+      parse_args rest
+    | ("-h" | "--help") :: _ ->
+      print_string
+        "usage: coral_router --shard ADDR [--shard ADDR ...] [--key N]\n\
+        \                    [--port N] [--host H] [--socket PATH] [--metrics-port N]\n\
+        \                    [--event-log FILE] [--event-log-max-bytes N]\n\
+        \                    [--slow-query-ms N] [--max-sessions N] [--max-inflight N]\n\
+        \                    [--max-query-tuples N] [--quiet] [file.coral ...]\n";
+      exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "coral_router: unknown option %s\n" arg;
+      exit 2
+    | file :: rest ->
+      files := file :: !files;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !shards = [] then begin
+    prerr_endline "coral_router: at least one --shard ADDR is required";
+    exit 2
+  end;
+  Coral_obs.Obs.set_enabled true;
+  if !event_log <> "" || !slow_ms > 0 then
+    Coral_obs.Query_log.Events.configure
+      ?path:(if !event_log = "" then None else Some !event_log)
+      ?max_bytes:(if !event_log_max > 0 then Some !event_log_max else None)
+      ~slow_ms:!slow_ms ();
+  let db = Coral.create () in
+  let listen = if !socket <> "" then `Unix !socket else `Tcp (!host, !port) in
+  let limits =
+    { Coral_server.Admission.default with
+      Coral_server.Admission.max_sessions = !max_sessions;
+      max_inflight = !max_inflight;
+      max_query_tuples = !max_query_tuples
+    }
+  in
+  let shutdown_signals = [ Sys.sigint; Sys.sigterm ] in
+  ignore (Thread.sigmask Unix.SIG_BLOCK shutdown_signals);
+  let rt =
+    try
+      Coral_dist.Router.start ~consult:(List.rev !files) ~limits ~listen
+        ~shard_addrs:(List.rev !shards) ~key:!key db
+    with
+    | Coral.Engine.Engine_error e ->
+      Printf.eprintf "coral_router: %s\n" e;
+      exit 1
+    | Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "coral_router: cannot listen: %s\n" (Unix.error_message err);
+      exit 1
+  in
+  ignore
+    (Thread.create
+       (fun () ->
+         let signal = Thread.wait_signal shutdown_signals in
+         if not !quiet then begin
+           Printf.printf "coral_router: caught %s, shutting down\n"
+             (if signal = Sys.sigterm then "SIGTERM" else "SIGINT");
+           flush stdout
+         end;
+         Coral_dist.Router.shutdown rt)
+       ());
+  let metrics =
+    if !metrics_port < 0 then None
+    else begin
+      let store = Coral_dist.Router.store rt in
+      match
+        Coral_server.Metrics_http.start ~host:!host ~port:!metrics_port (fun () ->
+            Coral_server.Session.metrics_text store)
+      with
+      | m -> Some m
+      | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "coral_router: cannot listen for metrics: %s\n"
+          (Unix.error_message err);
+        Coral_dist.Router.shutdown rt;
+        exit 1
+    end
+  in
+  if not !quiet then begin
+    (match listen with
+    | `Unix path -> Printf.printf "coral_router listening on %s\n" path
+    | `Tcp (host, _) ->
+      Printf.printf "coral_router listening on %s:%d\n" host (Coral_dist.Router.port rt));
+    Printf.printf "coral_router shards: %s (key %d)\n"
+      (String.concat " " (List.rev !shards))
+      !key;
+    (match metrics with
+    | Some m ->
+      Printf.printf "coral_router metrics on http://%s:%d/metrics\n" !host
+        (Coral_server.Metrics_http.port m)
+    | None -> ());
+    flush stdout
+  end;
+  Coral_dist.Router.wait rt;
+  match metrics with Some m -> Coral_server.Metrics_http.stop m | None -> ()

@@ -240,6 +240,22 @@ let () =
       Printf.eprintf "coral_server: cannot listen: %s\n" (Unix.error_message err);
       exit 1
   in
+  (* Every server can be a cluster worker: install the distributed
+     handler so a coral_router can claim this process as a shard with
+     [shard]/[dprog]/[barrier].  Costs nothing when no router does. *)
+  let () =
+    let store = Coral_server.Server.store srv in
+    let worker =
+      Coral_dist.Worker.create
+        ~eng:(Coral.engine db)
+        ~commit:(fun ~invalidate f -> Coral_server.Session.commit store ~invalidate f)
+        ~locked:(fun f -> Coral_server.Session.locked store f)
+        ~budget:(fun () ->
+          (Coral_server.Admission.config (Coral_server.Session.admission store))
+            .Coral_server.Admission.max_query_tuples)
+    in
+    Coral_server.Session.set_dist_handler store (Coral_dist.Worker.handle worker)
+  in
   ignore
     (Thread.create
        (fun () ->

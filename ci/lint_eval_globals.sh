@@ -25,6 +25,12 @@
 # Server.start, so a new module-level ref there is either a second
 # store sharing limits by accident or chaos-harness state leaking
 # between epochs.
+#
+# lib/dist gets the same policy with no allowlist at all: partition
+# config, exchange buffers, shard connections, and the router's
+# cluster state are per-instance records (one process may host a
+# whole in-process cluster — the tests and chaostest do), so ANY
+# module-level mutable state there crosses workers by construction.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -69,6 +75,19 @@ if [ -n "$server_matches" ]; then
   echo "they live in records created by Server.start and threaded into" >&2
   echo "each session.  Move the state into Admission.t / Session / the" >&2
   echo "server record (or Exec_pool if it is genuinely process-wide)." >&2
+  status=1
+fi
+
+dist_matches=$(grep -nE '^let [a-zA-Z_0-9]+ *(:[^=]*)?= *(ref\b|Hashtbl\.create|Atomic\.make)' lib/dist/*.ml || true)
+
+if [ -n "$dist_matches" ]; then
+  echo "lint_eval_globals: new module-level mutable state in lib/dist:" >&2
+  echo "$dist_matches" >&2
+  echo >&2
+  echo "One process may host a whole cluster (workers + router), so" >&2
+  echo "module-level state in lib/dist is shared across shards by" >&2
+  echo "construction.  Move it into the Worker/Router/Exchange record" >&2
+  echo "created by its constructor." >&2
   status=1
 fi
 

@@ -1,0 +1,176 @@
+(* The round-synchronous fixpoint coordinator.
+
+   Each global round is a two-phase barrier over every worker:
+
+     barrier step <r>     one local semi-naive round; derived tuples
+                          for other shards are shipped peer-to-peer
+                          and acknowledged before the worker replies
+     barrier promote <r>  absorb buffered deltas into full + @delta
+
+   A worker replies to [step] only after its outbound deltas are
+   acked, so once every [step] reply is in, no delta is in flight and
+   the coordinator may run [promote].  Global quiescence is then
+   detected purely from the replies: the fixpoint is reached when a
+   round promotes no new tuple anywhere and shipped nothing.  As a
+   corruption tripwire, the tuples shipped in a round must equal the
+   tuples received (receivers count pre-dedup): an imbalance means a
+   lost or duplicated batch, and the run aborts rather than risk a
+   silently incomplete fixpoint. *)
+
+open Coral_server
+
+type t = {
+  clients : Shard_client.t array;
+  addrs : string array;
+  key : int;
+}
+
+type run_stats = {
+  rounds : int;
+  derived : int;  (* candidate-new tuples derived across all shards *)
+  shipped_tuples : int;
+  shipped_bytes : int;
+  new_tuples : int;  (* tuples that survived promotion (post-dedup) *)
+  wall_s : float;
+}
+
+let zero_stats = {
+  rounds = 0; derived = 0; shipped_tuples = 0; shipped_bytes = 0;
+  new_tuples = 0; wall_s = 0.
+}
+
+let create ~addrs ~key =
+  let addrs = Array.of_list addrs in
+  { clients = Array.map (fun a -> Shard_client.create a) addrs; addrs; key }
+
+let shards t = Array.length t.clients
+let addrs t = Array.to_list t.addrs
+
+let disconnect t = Array.iter Shard_client.disconnect t.clients
+
+(* Run [f] against every worker concurrently and join.  Concurrency is
+   required, not a luxury: worker A's step blocks until worker B acks
+   A's delta batch, so stepping the workers one at a time would
+   serialize rounds on cross-shard traffic (it would still terminate —
+   deltas are absorbed on B's own connection threads — but every
+   round would pay shard-count round trips). *)
+let broadcast t f =
+  let results = Array.map (fun _ -> Error (Protocol.Unavail, "no reply")) t.clients in
+  let run i =
+    results.(i) <-
+      (try f i t.clients.(i)
+       with Shard_client.Down m -> Error (Protocol.Unavail, m))
+  in
+  let threads = Array.mapi (fun i _ -> Thread.create run i) t.clients in
+  Array.iter Thread.join threads;
+  results
+
+let first_error results =
+  Array.fold_left
+    (fun acc r -> match acc, r with None, Error e -> Some e | _ -> acc)
+    None results
+
+(* One command expecting an [ok] reply; the parsed kv detail on
+   success, the propagated (code, message) on [err]. *)
+let expect_ok client ?payload cmd =
+  let _, status = Shard_client.request client ?payload cmd in
+  match Shard_client.status_ok status with
+  | Some detail -> Ok (Shard_client.kv_pairs detail)
+  | None -> (
+    match Shard_client.status_err status with
+    | Some (code, msg) ->
+      let code =
+        Option.value (Protocol.code_of_string code) ~default:Protocol.Cluster
+      in
+      Error (code, Printf.sprintf "%s: %s" (Shard_client.addr client) msg)
+    | None -> Error (Protocol.Proto, "unparseable reply: " ^ status))
+
+let all_ok results =
+  match first_error results with
+  | Some e -> Error e
+  | None ->
+    Ok
+      (Array.to_list results
+      |> List.map (function Ok kv -> kv | Error _ -> assert false))
+
+(* ------------------------------------------------------------------ *)
+(* Cluster (re)provisioning                                            *)
+(* ------------------------------------------------------------------ *)
+
+let configure t =
+  let peer_list = String.concat " " (Array.to_list t.addrs) in
+  let n = Array.length t.clients in
+  broadcast t (fun i client ->
+      expect_ok client (Printf.sprintf "shard %d %d %d %s" i n t.key peer_list))
+  |> all_ok
+  |> Result.map (fun _ -> ())
+
+let reset t =
+  broadcast t (fun _ c -> expect_ok c "dreset") |> all_ok |> Result.map ignore
+
+let send_payload t cmd text =
+  let payload =
+    if text = "" || text.[String.length text - 1] = '\n' then text else text ^ "\n"
+  in
+  broadcast t (fun _ c ->
+      expect_ok c ~payload (Printf.sprintf "%s %d" cmd (String.length payload)))
+  |> all_ok
+  |> Result.map ignore
+
+let send_edb t text = send_payload t "consult#" text
+let send_program t text = send_payload t "dprog#" text
+
+(* ------------------------------------------------------------------ *)
+(* The fixpoint loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let max_rounds = 100_000
+
+let sum key kvs =
+  List.fold_left (fun acc kv -> acc + Option.value (Shard_client.kv_int kv key) ~default:0) 0 kvs
+
+let run_fixpoint ?(progress = fun ~round:_ ~new_tuples:_ ~shipped:_ -> ()) t =
+  let t0 = Unix.gettimeofday () in
+  let rec round r acc =
+    if r > max_rounds then
+      Error (Protocol.Cluster, Printf.sprintf "no fixpoint after %d rounds" max_rounds)
+    else
+      match
+        broadcast t (fun _ c -> expect_ok c (Printf.sprintf "barrier step %d" r)) |> all_ok
+      with
+      | Error e -> Error e
+      | Ok step_kvs -> (
+        let derived = sum "derived" step_kvs in
+        let shipped = sum "shipped" step_kvs in
+        let bytes = sum "bytes" step_kvs in
+        match
+          broadcast t (fun _ c -> expect_ok c (Printf.sprintf "barrier promote %d" r))
+          |> all_ok
+        with
+        | Error e -> Error e
+        | Ok prom_kvs ->
+          let fresh = sum "new" prom_kvs in
+          let received = sum "received" prom_kvs in
+          if shipped <> received then
+            Error
+              ( Protocol.Cluster,
+                Printf.sprintf
+                  "delta accounting imbalance in round %d: %d shipped, %d received" r
+                  shipped received )
+          else begin
+            progress ~round:r ~new_tuples:fresh ~shipped;
+            let acc =
+              { acc with
+                rounds = r;
+                derived = acc.derived + derived;
+                shipped_tuples = acc.shipped_tuples + shipped;
+                shipped_bytes = acc.shipped_bytes + bytes;
+                new_tuples = acc.new_tuples + fresh
+              }
+            in
+            if fresh = 0 && shipped = 0 then
+              Ok { acc with wall_s = Unix.gettimeofday () -. t0 }
+            else round (r + 1) acc
+          end)
+  in
+  round 1 zero_stats

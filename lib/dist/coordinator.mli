@@ -1,0 +1,39 @@
+(** The round-synchronous fixpoint coordinator: drives the two-phase
+    quiescence barrier ([barrier step] / [barrier promote]) over every
+    worker and detects the global fixpoint from the replies alone —
+    a round that promotes no new tuple anywhere and shipped nothing is
+    the last one.  A per-round shipped-equals-received balance check
+    aborts the run on any lost or duplicated delta batch. *)
+
+type t
+
+type run_stats = {
+  rounds : int;
+  derived : int;  (** candidate-new tuples derived across all shards *)
+  shipped_tuples : int;
+  shipped_bytes : int;
+  new_tuples : int;  (** tuples that survived promotion (post-dedup) *)
+  wall_s : float;
+}
+
+val create : addrs:string list -> key:int -> t
+(** One client per worker address ([host:port] or socket path); [key]
+    is the partition-key argument position sent with [shard]. *)
+
+val shards : t -> int
+val addrs : t -> string list
+val disconnect : t -> unit
+
+val configure : t -> (unit, Coral_server.Protocol.error_code * string) result
+(** Send every worker its [shard <i> <n> <key> <addrs>] identity. *)
+
+val reset : t -> (unit, Coral_server.Protocol.error_code * string) result
+val send_edb : t -> string -> (unit, Coral_server.Protocol.error_code * string) result
+val send_program : t -> string -> (unit, Coral_server.Protocol.error_code * string) result
+
+val run_fixpoint :
+  ?progress:(round:int -> new_tuples:int -> shipped:int -> unit) ->
+  t ->
+  (run_stats, Coral_server.Protocol.error_code * string) result
+(** Run rounds until global quiescence.  Worker errors propagate under
+    their original codes; an unreachable worker yields [UNAVAIL]. *)

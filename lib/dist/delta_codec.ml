@@ -1,0 +1,36 @@
+(* Delta batches on the wire are ordinary CORAL fact text — one
+   "pred(arg, ...)."  line per tuple — so the exchange reuses the
+   parser and the term printers, round-trips every storable value
+   (strings print with OCaml %S quoting), and stays debuggable by
+   pasting a batch into a REPL.  A batch decodes to plain facts; the
+   receiving worker buffers them until the next promote barrier. *)
+
+open Coral
+
+let fact_line name (tuple : Tuple.t) =
+  let buf = Buffer.create 48 in
+  Buffer.add_string buf name;
+  if Array.length tuple.Tuple.terms > 0 then begin
+    Buffer.add_char buf '(';
+    Array.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Term.to_string t))
+      tuple.Tuple.terms;
+    Buffer.add_char buf ')'
+  end;
+  Buffer.add_char buf '.';
+  Buffer.contents buf
+
+let decode text : (Ast.atom list, string) result =
+  match Parser.program text with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok items ->
+    let rec facts acc = function
+      | [] -> Ok (List.rev acc)
+      | Ast.Fact a :: rest ->
+        if Array.for_all Term.is_ground a.Ast.args then facts (a :: acc) rest
+        else Error "a delta batch must contain only ground facts"
+      | _ :: _ -> Error "a delta batch must contain only facts"
+    in
+    facts [] items

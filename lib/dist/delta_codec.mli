@@ -1,0 +1,12 @@
+(** Encoding and decoding of delta batches.
+
+    Batches are ordinary CORAL fact text ("path(1, 2)." per line):
+    parseable by the stock parser, printable by the stock printers,
+    debuggable over [nc]. *)
+
+val fact_line : string -> Coral.Tuple.t -> string
+(** ["pred(a, b)."] — no trailing newline.  Arity-0 tuples render as
+    ["pred."]. *)
+
+val decode : string -> (Coral.Ast.atom list, string) result
+(** Parse a batch back into facts; any non-fact item is an error. *)

@@ -1,0 +1,26 @@
+(** The per-worker exchange buffer: tuples waiting for the next
+    promote barrier.  Internally mutexed — delta batches arrive on
+    peer connection threads while the worker's own step holds the
+    store's write lane, and this buffer is the only state they share. *)
+
+type item = { pred : string; arity : int; tuple : Coral.Tuple.t }
+
+type t
+
+val create : unit -> t
+
+val add_remote : t -> item list -> int
+(** Buffer a decoded delta batch from a peer; returns the batch size.
+    Counted pre-dedup so shipped/received sums balance exactly. *)
+
+val add_local : t -> item list -> unit
+(** Buffer the worker's own locally-derived owned tuples. *)
+
+val drain : t -> item list * int
+(** All buffered items (arrival order, remote before local) and the
+    round's pre-dedup received count; empties the buffer. *)
+
+val reset : t -> unit
+
+val totals : t -> int * int
+(** (tuples received, batches received) since the last reset. *)

@@ -1,0 +1,21 @@
+(* Hash partitioning: which shard owns a tuple.
+
+   Every worker (and the router) computes ownership independently from
+   the tuple's content — [Tuple.partition_hash] is process-stable, so
+   no ownership table or coordination message exists anywhere.  The
+   key argument defaults to 0: for the common binary derived relations
+   (path/2, sg/2) that partitions on the first column, which is also
+   the column bound by bf-adorned queries, so a bound query touches
+   one shard's stored partition. *)
+
+type t = { shards : int; key : int }
+
+let create ~shards ~key = { shards = max 1 shards; key = max 0 key }
+
+let shards t = t.shards
+let key t = t.key
+
+let owner t tuple =
+  if t.shards <= 1 then 0 else Coral.Tuple.partition_hash ~key:t.key tuple mod t.shards
+
+let owns t ~shard tuple = owner t tuple = shard

@@ -1,0 +1,19 @@
+(** Hash partitioning: which shard owns a tuple.
+
+    Ownership is a pure function of tuple content
+    ({!Coral.Tuple.partition_hash} on the key argument, mod the shard
+    count), so workers and the router agree without any coordination
+    state. *)
+
+type t
+
+val create : shards:int -> key:int -> t
+(** [shards] is clamped to >= 1, [key] to >= 0. *)
+
+val shards : t -> int
+val key : t -> int
+
+val owner : t -> Coral.Tuple.t -> int
+(** The shard index (0-based) owning this tuple. *)
+
+val owns : t -> shard:int -> Coral.Tuple.t -> bool

@@ -1,0 +1,150 @@
+(* Distributability analysis: which programs the sharded fixpoint can
+   evaluate, and how each rule behaves.
+
+   The supported class is "linear" programs over a replicated EDB:
+   every base relation is replicated on all workers (and the router),
+   every derived (IDB) relation is hash-partitioned on a key argument,
+   and every rule has at most one IDB body literal.  Then a rule
+   application joins one partitioned delta tuple against replicated
+   relations, so it can run entirely on the shard owning that delta
+   tuple, and only the derived head tuples need shipping — the shape
+   of the paper's semi-naive rewriting with the delta occurrence
+   pushed across a process boundary.
+
+   Rules with no IDB body literal ([Init]) run on every shard against
+   the replicated EDB; each shard keeps only the head tuples it owns
+   and ships nothing (every peer derives its own partition of the same
+   tuples), which avoids N duplicate derivations crossing the wire.
+
+   Anything outside the class — non-linear recursion, negation or
+   aggregation over derived predicates, module annotations that change
+   evaluation — yields [Local]: the router falls back to single-node
+   evaluation on its own full replica, which is always correct, just
+   not scaled out. *)
+
+open Coral
+
+type rule_class =
+  | Init  (* no IDB body literal: evaluate everywhere, keep owned heads *)
+  | Linear of int  (* index of the one IDB body literal *)
+
+type drule = { rule : Ast.rule; cls : rule_class }
+
+type analysis = {
+  idb : (string * int) list;  (* partitioned derived predicates *)
+  drules : drule list;
+  text : string;  (* the program as shipped to workers: one rule per line *)
+}
+
+type verdict =
+  | Distributable of analysis
+  | Local of string  (* why the router must evaluate on its own replica *)
+
+let pred_of (a : Ast.atom) = Symbol.name a.Ast.pred, Array.length a.Ast.args
+
+exception Not_distributable of string
+
+let check_rule idb (r : Ast.rule) =
+  let head_name = Symbol.name r.Ast.head.Ast.hpred in
+  if String.contains head_name '@' then
+    raise (Not_distributable (Printf.sprintf "reserved head predicate %s" head_name));
+  if not (Ast.head_is_plain r.Ast.head) then
+    raise
+      (Not_distributable
+         (Printf.sprintf "aggregation in the head of %s" head_name));
+  (* range restriction: every head variable must be bound by the body,
+     or the worker cannot rebuild head tuples from query rows *)
+  let body_vars =
+    List.concat_map (fun l -> List.concat_map Term.vars (Ast.literal_terms l)) r.Ast.body
+  in
+  List.iter
+    (fun (v : Term.var) ->
+      if not (List.exists (fun (bv : Term.var) -> bv.Term.vid = v.Term.vid) body_vars)
+      then
+        raise
+          (Not_distributable
+             (Printf.sprintf "unbound head variable %s in %s" v.Term.vname head_name)))
+    (List.concat_map Term.vars (Ast.head_terms r.Ast.head));
+  let idb_positions =
+    List.mapi
+      (fun i l ->
+        match l with
+        | Ast.Pos a ->
+          if String.contains (Symbol.name a.Ast.pred) '@' then
+            raise
+              (Not_distributable
+                 (Printf.sprintf "reserved body predicate %s" (Symbol.name a.Ast.pred)));
+          if List.mem (pred_of a) idb then Some i else None
+        | Ast.Neg a ->
+          if List.mem (pred_of a) idb then
+            raise
+              (Not_distributable
+                 (Printf.sprintf "negation over derived predicate %s"
+                    (Symbol.name a.Ast.pred)))
+          else None
+        | Ast.Cmp _ | Ast.Is _ -> None)
+      r.Ast.body
+    |> List.filter_map Fun.id
+  in
+  match idb_positions with
+  | [] -> { rule = r; cls = Init }
+  | [ i ] -> { rule = r; cls = Linear i }
+  | _ ->
+    raise
+      (Not_distributable
+         (Printf.sprintf "non-linear rule for %s (%d derived body literals)" head_name
+            (List.length idb_positions)))
+
+let check_module (m : Ast.module_) =
+  if m.Ast.annotations <> [] then
+    raise
+      (Not_distributable
+         (Printf.sprintf "module %s uses evaluation annotations" m.Ast.mname))
+
+let analyse (modules : Ast.module_ list) (clauses : Ast.rule list) =
+  try
+    List.iter check_module modules;
+    let rules = List.concat_map (fun (m : Ast.module_) -> m.Ast.rules) modules @ clauses in
+    let idb =
+      List.sort_uniq compare
+        (List.map (fun (r : Ast.rule) -> pred_of (Ast.atom_of_head r.Ast.head)) rules)
+    in
+    (* a predicate defined in two modules would merge two separately
+       scoped definitions into one global fixpoint *)
+    List.iter
+      (fun (name, arity) ->
+        let defined_in =
+          List.filter
+            (fun (m : Ast.module_) ->
+              List.exists
+                (fun (r : Ast.rule) -> pred_of (Ast.atom_of_head r.Ast.head) = (name, arity))
+                m.Ast.rules)
+            modules
+        in
+        if List.length defined_in > 1 then
+          raise
+            (Not_distributable
+               (Printf.sprintf "%s/%d is defined in %d modules" name arity
+                  (List.length defined_in))))
+      idb;
+    let drules = List.map (check_rule idb) rules in
+    let text =
+      String.concat "" (List.map (fun d -> Pretty.rule_to_string d.rule ^ "\n") drules)
+    in
+    Distributable { idb; drules; text }
+  with Not_distributable reason -> Local reason
+
+let analyse_engine eng =
+  analyse (Engine.module_defs eng) (Engine.interactive_rules eng)
+
+let analyse_text text =
+  match Parser.program text with
+  | Error e -> Local (Format.asprintf "%a" Parser.pp_error e)
+  | Ok items ->
+    let modules =
+      List.filter_map (function Ast.Module_item m -> Some m | _ -> None) items
+    in
+    let clauses =
+      List.filter_map (function Ast.Clause_item r -> Some r | _ -> None) items
+    in
+    analyse modules clauses

@@ -1,0 +1,521 @@
+(* The fan-out router: the cluster's front door.
+
+   To a client the router IS a coral_server — same protocol, same
+   commands, same error codes; the REPL's [--connect], [ps]/[kill],
+   [stats]/[metrics] all work unchanged.  It holds a full single-node
+   replica of the consulted program (so any request it cannot
+   distribute is answered locally, with ordinary single-node
+   semantics) and, when the program falls in the distributable class,
+   materializes the derived relations across its workers and fans
+   queries out to them.
+
+   Cluster lifecycle is a two-state machine guarded by one mutex:
+
+     Dirty  the workers' materialized state does not reflect the
+            router's database (fresh start, a consult/insert landed, a
+            worker went unreachable).  The first distributed query
+            reprovisions from scratch — configure, dreset, re-ship the
+            EDB, ship the program, run the fixpoint to quiescence —
+            and moves to Clean.  Reprovisioning wholesale instead of
+            incrementally keeps exactly one code path whose
+            postcondition is "worker state equals router state".
+     Clean  distributed queries fan out and merge.
+
+   Fan-out merge needs no deduplication: the one distributed literal
+   in a fanned-out query is instantiated by each answer row, the
+   instantiated tuple has exactly one owner shard, so two shards can
+   never produce the same row.
+
+   Every query — local or distributed — registers in the process-wide
+   Query_log, so [ps] sees it and [kill] aborts it; a killed or
+   timed-out fan-out abandons its worker threads (each closes its own
+   connection when it notices). *)
+
+open Coral_server
+
+type fanout = {
+  slots : (Protocol.response, Protocol.error_code * string) result option array;
+  threads : Thread.t list;
+}
+
+type t = {
+  fd : Unix.file_descr;
+  bound_port : int;
+  sock_path : string option;
+  sstore : Session.store;
+  coord : Coordinator.t;
+  cl_lock : Mutex.t;  (* guards dirty / verdict / last_run *)
+  mutable dirty : bool;
+  mutable verdict : Plan.verdict;
+  mutable last_run : Coordinator.run_stats option;
+  mutable closed : bool;
+  mutable accept_thread : Thread.t option;
+  (* registry-backed, created at start (no module-level state) *)
+  c_dist : Coral_obs.Obs.Counter.t;
+  c_local : Coral_obs.Obs.Counter.t;
+  c_fixpoints : Coral_obs.Obs.Counter.t;
+  c_resyncs : Coral_obs.Obs.Counter.t;
+}
+
+let ignore_sigpipe () =
+  try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cluster provisioning                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Dump the router's base relations (the replicated EDB) as fact
+   lines.  Derived predicates and the @delta siblings are excluded —
+   the workers rebuild those themselves. *)
+let edb_text t (a : Plan.analysis) =
+  let eng = Coral.engine (Session.db t.sstore) in
+  let buf = Buffer.create 4096 in
+  Session.locked t.sstore (fun () ->
+      List.iter
+        (fun (key, _card) ->
+          match String.rindex_opt key '/' with
+          | None -> ()
+          | Some i -> (
+            let name = String.sub key 0 i in
+            match int_of_string_opt (String.sub key (i + 1) (String.length key - i - 1)) with
+            | None -> ()
+            | Some arity ->
+              if (not (String.contains name '@')) && not (List.mem (name, arity) a.Plan.idb)
+              then begin
+                match Coral.Engine.relation_of eng (Coral.Symbol.intern name) arity with
+                | None -> ()
+                | Some rel ->
+                  Seq.iter
+                    (fun tuple ->
+                      Buffer.add_string buf (Delta_codec.fact_line name tuple);
+                      Buffer.add_char buf '\n')
+                    (Coral.Relation.scan rel ())
+              end))
+        (Coral.Engine.list_relations eng));
+  Buffer.contents buf
+
+(* Reprovision the cluster from the router's database.  Caller holds
+   [cl_lock]. *)
+let resync t (a : Plan.analysis) =
+  Coral_obs.Obs.Counter.incr t.c_resyncs;
+  (* Reprovisioning must talk to whatever listens at each address NOW,
+     not to a control connection established before the cluster went
+     dirty: a worker restarted on the same address would otherwise get
+     the deltas (its peers reconnect) but never the shard/dprog
+     configuration (still riding the stale control session). *)
+  Coordinator.disconnect t.coord;
+  let ( >>= ) r f = Result.bind r f in
+  Coordinator.configure t.coord
+  >>= fun () ->
+  Coordinator.reset t.coord
+  >>= fun () ->
+  Coordinator.send_edb t.coord (edb_text t a)
+  >>= fun () ->
+  Coordinator.send_program t.coord a.Plan.text
+  >>= fun () ->
+  Coordinator.run_fixpoint t.coord
+  >>= fun stats ->
+  Coral_obs.Obs.Counter.incr t.c_fixpoints;
+  Coral_obs.Query_log.Events.log ~kind:"dist_fixpoint"
+    [ "shards", Coral_obs.Json.Int (Coordinator.shards t.coord);
+      "rounds", Coral_obs.Json.Int stats.Coordinator.rounds;
+      "new_tuples", Coral_obs.Json.Int stats.Coordinator.new_tuples;
+      "shipped_tuples", Coral_obs.Json.Int stats.Coordinator.shipped_tuples;
+      "shipped_bytes", Coral_obs.Json.Int stats.Coordinator.shipped_bytes;
+      "wall_ms", Coral_obs.Json.Int (int_of_float (stats.Coordinator.wall_s *. 1000.))
+    ];
+  t.last_run <- Some stats;
+  t.dirty <- false;
+  Ok ()
+
+let ensure_synced t (a : Plan.analysis) =
+  Mutex.lock t.cl_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.cl_lock)
+    (fun () -> if not t.dirty then Ok () else resync t a)
+
+let mark_dirty t =
+  Mutex.lock t.cl_lock;
+  t.dirty <- true;
+  t.verdict <- Plan.analyse_engine (Coral.engine (Session.db t.sstore));
+  Mutex.unlock t.cl_lock
+
+(* ------------------------------------------------------------------ *)
+(* Query routing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A query is fanned out when the cluster holds its derived data and
+   the merge is provably disjoint: exactly one positive literal over a
+   partitioned predicate (its instantiation in any answer row has a
+   unique owner shard), none negated.  Everything else — pure-EDB
+   queries, multi-IDB joins, negation over IDB — evaluates on the
+   router's own replica. *)
+let distributable_query (a : Plan.analysis) text =
+  match Coral.Parser.query text with
+  | Error _ -> None  (* let the local session produce the parse error *)
+  | Ok lits ->
+    let is_idb (atom : Coral.Ast.atom) =
+      List.mem (Coral.Symbol.name atom.Coral.Ast.pred, Array.length atom.Coral.Ast.args) a.Plan.idb
+    in
+    let pos_idb =
+      List.filter (function Coral.Ast.Pos at -> is_idb at | _ -> false) lits
+    in
+    let neg_idb =
+      List.exists (function Coral.Ast.Neg at -> is_idb at | _ -> false) lits
+    in
+    (match pos_idb, neg_idb with
+    | [ _ ], false -> Some ()
+    | _ -> None)
+
+(* Strip a worker reply line back into payload form. *)
+let payload_of_line line =
+  if String.starts_with ~prefix:"ans " line then
+    Some (Protocol.Ans (String.sub line 4 (String.length line - 4)))
+  else if String.starts_with ~prefix:"txt " line then
+    Some (Protocol.Txt (String.sub line 4 (String.length line - 4)))
+  else None
+
+(* One worker's share of a fanned-out query, on its own connection
+   (the coordinator's control connections stay untouched, so an
+   abandoned query thread can never poison a barrier). *)
+let shard_query addr ~timeout_ms text =
+  let client = Shard_client.create ~attempts:2 ~backoff_ms:20 addr in
+  Fun.protect
+    ~finally:(fun () -> Shard_client.disconnect client)
+    (fun () ->
+      if timeout_ms > 0 then
+        ignore (Shard_client.request client (Printf.sprintf "timeout %d" timeout_ms));
+      let lines, status = Shard_client.request client ("query " ^ text) in
+      match Shard_client.status_ok status with
+      | Some detail ->
+        Ok (Protocol.ok ~detail (List.filter_map payload_of_line lines))
+      | None -> (
+        match Shard_client.status_err status with
+        | Some (code, msg) ->
+          let code = Option.value (Protocol.code_of_string code) ~default:Protocol.Cluster in
+          Error (code, Printf.sprintf "%s: %s" addr msg)
+        | None -> Error (Protocol.Proto, "unparseable reply from " ^ addr)))
+
+let launch_fanout ~timeout_ms addrs text =
+  let n = List.length addrs in
+  let slots = Array.make n None in
+  let threads =
+    List.mapi
+      (fun i addr ->
+        Thread.create
+          (fun () ->
+            let r =
+              try shard_query addr ~timeout_ms text
+              with Shard_client.Down m -> Error (Protocol.Unavail, m)
+            in
+            slots.(i) <- Some r)
+          ())
+      addrs
+  in
+  { slots; threads }
+
+let do_dist_query t session text =
+  match t.verdict with
+  | Plan.Local _ -> assert false
+  | Plan.Distributable a -> (
+    match ensure_synced t a with
+    | Error (code, msg) ->
+      t.dirty <- true;
+      Protocol.err code ("cluster sync failed: " ^ msg)
+    | Ok () ->
+      let timeout_ms = Session.deadline_ms session in
+      let entry =
+        Coral_obs.Query_log.register ~session:(Session.sid session)
+          ~deadline_ms:timeout_ms ~kind:"dist" text
+      in
+      Fun.protect ~finally:(fun () -> Coral_obs.Query_log.unregister entry)
+      @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      let fo = launch_fanout ~timeout_ms (Coordinator.addrs t.coord) text in
+      (* Poll rather than join: kill (and the local deadline) must be
+         able to abandon threads stuck on a wedged worker.  Abandoned
+         threads own their connections and close them on exit. *)
+      let rec wait () =
+        if Array.for_all Option.is_some fo.slots then `Done
+        else if Coral_obs.Query_log.killed entry then `Killed
+        else if
+          timeout_ms > 0 && (Unix.gettimeofday () -. t0) *. 1000. > float_of_int (timeout_ms + 200)
+        then `Timeout
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+      in
+      (match wait () with
+      | `Killed -> Protocol.err Protocol.Killed "query killed by operator request"
+      | `Timeout ->
+        Protocol.err Protocol.Timeout
+          (Printf.sprintf "deadline of %dms exceeded; fan-out abandoned" timeout_ms)
+      | `Done ->
+        List.iter Thread.join fo.threads;
+        let results = Array.map Option.get fo.slots in
+        (match
+           Array.fold_left
+             (fun acc r -> match acc, r with None, Error e -> Some e | _ -> acc)
+             None results
+         with
+        | Some (code, msg) ->
+          (* a vanished worker leaves the cluster suspect: resync
+             before the next distributed query *)
+          if code = Protocol.Unavail then mark_dirty t;
+          Protocol.err code msg
+        | None ->
+          let payload =
+            Array.to_list results
+            |> List.concat_map (function
+                 | Ok (r : Protocol.response) -> r.Protocol.payload
+                 | Error _ -> [])
+          in
+          let rows =
+            List.length (List.filter (function Protocol.Ans _ -> true | _ -> false) payload)
+          in
+          Protocol.ok
+            ~detail:
+              (Printf.sprintf "%d answer%s shards=%d" rows
+                 (if rows = 1 then "" else "s")
+                 (Coordinator.shards t.coord))
+            payload)))
+
+let handle_query t session text =
+  match t.verdict with
+  | Plan.Distributable a when Coordinator.shards t.coord > 0 -> (
+    match distributable_query a text with
+    | Some () ->
+      Coral_obs.Obs.Counter.incr t.c_dist;
+      do_dist_query t session text
+    | None ->
+      Coral_obs.Obs.Counter.incr t.c_local;
+      Session.handle session (Protocol.Query text))
+  | _ ->
+    Coral_obs.Obs.Counter.incr t.c_local;
+    Session.handle session (Protocol.Query text)
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let router_stats t =
+  Mutex.lock t.cl_lock;
+  let dirty = t.dirty and verdict = t.verdict and last = t.last_run in
+  Mutex.unlock t.cl_lock;
+  let lines =
+    [ Printf.sprintf "router.shards=%d" (Coordinator.shards t.coord);
+      Printf.sprintf "router.state=%s" (if dirty then "dirty" else "clean");
+      Printf.sprintf "router.distributable=%s"
+        (match verdict with
+        | Plan.Distributable a -> Printf.sprintf "yes (%d idb)" (List.length a.Plan.idb)
+        | Plan.Local reason -> "no: " ^ reason);
+      Printf.sprintf "router.queries.dist=%d" (Coral_obs.Obs.Counter.value t.c_dist);
+      Printf.sprintf "router.queries.local=%d" (Coral_obs.Obs.Counter.value t.c_local);
+      Printf.sprintf "router.fixpoint.runs=%d" (Coral_obs.Obs.Counter.value t.c_fixpoints)
+    ]
+    @
+    match last with
+    | None -> []
+    | Some s ->
+      [ Printf.sprintf "router.fixpoint.rounds=%d" s.Coordinator.rounds;
+        Printf.sprintf "router.fixpoint.new_tuples=%d" s.Coordinator.new_tuples;
+        Printf.sprintf "router.fixpoint.shipped_tuples=%d" s.Coordinator.shipped_tuples;
+        Printf.sprintf "router.fixpoint.shipped_bytes=%d" s.Coordinator.shipped_bytes;
+        Printf.sprintf "router.fixpoint.wall_ms=%.1f" (s.Coordinator.wall_s *. 1000.)
+      ]
+  in
+  List.map (fun l -> Protocol.Txt l) lines
+
+let handle t session (req : Protocol.request) =
+  match req with
+  | Protocol.Query text -> handle_query t session text
+  | Protocol.Consult _ | Protocol.Insert _ ->
+    let r = Session.handle session req in
+    (match r.Protocol.status with Ok _ -> mark_dirty t | Error _ -> ());
+    r
+  | Protocol.Stats ->
+    let r = Session.handle session req in
+    (match r.Protocol.status with
+    | Ok _ -> { r with Protocol.payload = r.Protocol.payload @ router_stats t }
+    | Error _ -> r)
+  | _ -> Session.handle session req
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop (mirrors Server's; same framing, same byte accounting)  *)
+(* ------------------------------------------------------------------ *)
+
+let serve_connection ?reserved t client =
+  let store = t.sstore in
+  let ic = Unix.in_channel_of_descr client in
+  let oc = Unix.out_channel_of_descr client in
+  let session = Session.create ?reserved store in
+  let write r = Session.note_bytes_written store (Protocol.write_response oc r) in
+  let rec loop () =
+    match Protocol.read_line_capped ic with
+    | None -> ()
+    | Some line when String.trim line = "" ->
+      Session.note_bytes_read store (String.length line + 1);
+      loop ()
+    | Some line -> begin
+      Session.note_bytes_read store (String.length line + 1);
+      let with_payload kind n build =
+        if n > Protocol.max_payload_bytes then
+          write
+            (Protocol.err Protocol.Too_big
+               (Printf.sprintf "%s payload of %d bytes exceeds the %d byte limit" kind n
+                  Protocol.max_payload_bytes))
+        else begin
+          match really_input_string ic n with
+          | text ->
+            Session.note_bytes_read store n;
+            write (handle t session (build text));
+            loop ()
+          | exception End_of_file -> ()
+        end
+      in
+      match Protocol.parse_request line with
+      | `Bad msg ->
+        write (Protocol.err Protocol.Proto msg);
+        loop ()
+      | `Consult_payload n -> with_payload "consult#" n (fun txt -> Protocol.Consult txt)
+      | `Dprog_payload n -> with_payload "dprog#" n (fun txt -> Protocol.Dprog txt)
+      | `Delta_payload n -> with_payload "delta#" n (fun txt -> Protocol.Delta txt)
+      | `Req Protocol.Quit -> write (handle t session Protocol.Quit)
+      | `Req req ->
+        write (handle t session req);
+        loop ()
+    end
+  in
+  (try loop () with
+  | Protocol.Line_too_long ->
+    (try
+       write
+         (Protocol.err Protocol.Too_big
+            (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes))
+     with Sys_error _ | Unix.Unix_error _ -> ())
+  | Sys_error _ | End_of_file -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  | Unix.Unix_error _ -> ());
+  Session.close session;
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  while not t.closed do
+    match Unix.accept t.fd with
+    | client, _addr -> begin
+      let adm = Session.admission t.sstore in
+      let cap = (Admission.config adm).Admission.max_sessions in
+      if not (Session.try_reserve t.sstore ~cap) then begin
+        Admission.note_shed adm;
+        let retry = (Admission.config adm).Admission.retry_after_ms in
+        (try
+           let oc = Unix.out_channel_of_descr client in
+           ignore
+             (Protocol.write_response oc
+                (Protocol.busy ~retry_after_ms:retry
+                   (Printf.sprintf "router at capacity (%d connections)" cap)))
+         with Sys_error _ | Unix.Unix_error _ | Out_of_memory -> ());
+        try Unix.close client with Unix.Unix_error _ -> ()
+      end
+      else begin
+        match
+          Thread.create
+            (fun () ->
+              try serve_connection ~reserved:true t client
+              with _ -> ( try Unix.close client with Unix.Unix_error _ -> ()))
+            ()
+        with
+        | (_ : Thread.t) -> ()
+        | exception _ ->
+          Session.unreserve t.sstore;
+          (try Unix.close client with Unix.Unix_error _ -> ())
+      end
+    end
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> t.closed <- true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+      if not t.closed then Thread.delay 0.05
+    | exception Unix.Unix_error (_, _, _) | exception Sys_error _ ->
+      if not t.closed then Thread.delay 0.01
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type listen =
+  [ `Tcp of string * int
+  | `Unix of string ]
+
+let start ?(consult = []) ?limits ~listen ~shard_addrs ~key db =
+  ignore_sigpipe ();
+  List.iter (fun file -> Coral.consult_file db file) consult;
+  let fd, bound_port =
+    match listen with
+    | `Tcp (host, port) ->
+      let addr =
+        match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+        | { Unix.ai_addr; _ } :: _ -> ai_addr
+        | [] -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+      in
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd addr;
+      Unix.listen fd 64;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      fd, bound
+    | `Unix path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd, 0
+  in
+  let t =
+    { fd;
+      bound_port;
+      sock_path = (match listen with `Unix path -> Some path | `Tcp _ -> None);
+      sstore = Session.make_store ?limits db;
+      coord = Coordinator.create ~addrs:shard_addrs ~key;
+      cl_lock = Mutex.create ();
+      dirty = true;
+      verdict = Plan.analyse_engine (Coral.engine db);
+      last_run = None;
+      closed = false;
+      accept_thread = None;
+      c_dist = Coral_obs.Obs.counter "router.queries.dist_total";
+      c_local = Coral_obs.Obs.counter "router.queries.local_total";
+      c_fixpoints = Coral_obs.Obs.counter "router.fixpoint.runs_total";
+      c_resyncs = Coral_obs.Obs.counter "router.resyncs_total"
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+let store t = t.sstore
+let shards t = Coordinator.shards t.coord
+
+let wait t =
+  match t.accept_thread with
+  | Some th -> Thread.join th
+  | None -> ()
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    wait t;
+    Coordinator.disconnect t.coord;
+    match t.sock_path with
+    | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ()
+  end

@@ -1,0 +1,39 @@
+(** The fan-out router: a protocol-compatible front end over a set of
+    [coral_server] worker shards.
+
+    Clients see an ordinary server — query/consult/insert, stats,
+    metrics, ps/kill, the same error codes.  The router keeps a full
+    single-node replica of the consulted program; queries it can prove
+    distributable (the program is in the linear class, the query has
+    exactly one positive literal over a partitioned predicate) are
+    fanned out to the workers and merged, everything else evaluates
+    locally.  A consult/insert marks the cluster dirty; the next
+    distributed query reprovisions it from scratch (configure, dreset,
+    re-ship the EDB, ship the program, run the fixpoint) before
+    fanning out. *)
+
+type listen =
+  [ `Tcp of string * int
+  | `Unix of string ]
+
+type t
+
+val start :
+  ?consult:string list ->
+  ?limits:Coral_server.Admission.config ->
+  listen:listen ->
+  shard_addrs:string list ->
+  key:int ->
+  Coral.t ->
+  t
+(** Bind, consult the given files into the router's replica, and begin
+    accepting.  [shard_addrs] are the workers' [host:port] / socket
+    addresses; [key] is the partition-key argument position.  No
+    worker is contacted until the first distributed query.
+    @raise Unix.Unix_error when binding fails. *)
+
+val port : t -> int
+val store : t -> Coral_server.Session.store
+val shards : t -> int
+val wait : t -> unit
+val shutdown : t -> unit

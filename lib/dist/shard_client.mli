@@ -1,0 +1,37 @@
+(** A mutexed line-protocol connection to one worker shard.
+
+    Retry with backoff happens at connect time only.  A request that
+    fails mid-flight raises {!Down} and poisons the connection — no
+    resend, because the worker may already have applied it (a resent
+    delta batch would be counted twice and break the coordinator's
+    shipped-equals-received balance).  Recovery is the router's job:
+    mark the cluster dirty, rerun the fixpoint from [dreset]. *)
+
+exception Down of string
+
+type t
+
+val create : ?attempts:int -> ?backoff_ms:int -> string -> t
+(** [create addr] — [addr] is [host:port] or a Unix socket path.  No
+    connection is made until the first {!request}. *)
+
+val addr : t -> string
+
+val disconnect : t -> unit
+
+val request : t -> ?payload:string -> string -> string list * string
+(** Send one command line (plus optional raw payload bytes for
+    [dprog#]/[delta#]/[consult#]) and read the reply: payload lines
+    and the final [ok]/[err] status line.
+    @raise Down on any IO failure. *)
+
+val status_ok : string -> string option
+(** [Some detail] if the status line is [ok ...]. *)
+
+val status_err : string -> (string * string) option
+(** [Some (code, message)] if the status line is [err CODE ...]. *)
+
+val kv_pairs : string -> (string * string) list
+(** Parse ["k1=v1 k2=v2"] ok-detail into an assoc list. *)
+
+val kv_int : (string * string) list -> string -> int option

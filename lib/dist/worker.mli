@@ -1,0 +1,39 @@
+(** The per-shard side of the distributed fixpoint: handles the
+    cluster control-plane requests ([shard], [dprog#], [delta#],
+    [barrier], [dreset]) against one server's engine.
+
+    Derived relations are materialized as ordinary base relations
+    (plus a [pred@delta] sibling per predicate holding the last
+    round's new tuples), so router queries against a worker need
+    nothing special.  Install the result of {!handle} with
+    {!Coral_server.Session.set_dist_handler}. *)
+
+type t
+
+val create :
+  eng:Coral.Engine.t ->
+  commit:(invalidate:bool -> (unit -> unit) -> unit) ->
+  locked:((unit -> unit) -> unit) ->
+  budget:(unit -> int) ->
+  t
+(** [commit] is the store's write lane (promotes become ordinary MVCC
+    epochs), [locked] its read lane (step evaluation), [budget] the
+    per-fixpoint promoted-tuple cap (0 = unlimited), read at each
+    promote so an operator's [limit] change takes effect live. *)
+
+val handle : t -> Coral_server.Protocol.request -> Coral_server.Protocol.response
+(** Serve one cluster request.  [barrier step] replies only after
+    every delta batch it shipped has been acknowledged by its peer, so
+    the coordinator may treat "all steps replied" as "no delta in
+    flight". *)
+
+val disconnect : t -> unit
+(** Close this worker's peer connections (kept open across fixpoints
+    otherwise).  Cheap and non-destructive — a later delta send
+    reconnects lazily — but required for a clean teardown when the
+    worker is embedded in a process that audits its descriptors. *)
+
+val stats : t -> (string * int) list
+(** Monotonic counters (dist.derived_total, dist.shipped_total,
+    dist.shipped_bytes, dist.received_total, dist.received_batches,
+    dist.promoted_total) for the server's stats report. *)

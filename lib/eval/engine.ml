@@ -953,6 +953,13 @@ let list_relations t =
 
 let list_modules t = List.map (fun (m : Ast.module_) -> m.Ast.mname) t.modules
 
+(* The full definitions (newest-first, matching [load_module]'s
+   replacement order) plus the interactive module's rules: what a
+   distribution planner needs to re-analyse the whole program after a
+   consult, without tracking consulted text separately. *)
+let module_defs t = t.modules
+let interactive_rules t = t.user_rules
+
 (* Per-engine evaluation knobs.  Both are baked into fixpoint instances
    at creation, so cached save-module instances are dropped: they would
    otherwise keep the old setting (their derived state is recomputed on

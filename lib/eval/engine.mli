@@ -178,6 +178,14 @@ val list_relations : t -> (string * int) list
 
 val list_modules : t -> string list
 
+val module_defs : t -> Ast.module_ list
+(** The loaded module definitions (a redefined module appears once,
+    with its latest definition).  The distribution planner re-analyses
+    the whole program from these after every consult. *)
+
+val interactive_rules : t -> Ast.rule list
+(** The rules of the implicit interactive module, in consult order. *)
+
 val set_intelligent_backtracking : t -> bool -> unit
 (** Benchmark ablation (E16): toggle the joiner's backjumping for this
     engine's subsequent fixpoint instances.  Cached save-module

@@ -21,6 +21,14 @@ let peek scan =
     scan.rest <- (fun () -> node);
     Some t
 
+(* Hash-partition filter over a tuple stream: keep the tuples the given
+   shard owns.  The same shape as the parallel evaluator's ordinal
+   striping of delta scans (PR 4), but keyed on tuple content instead
+   of arrival order so that separate processes agree on ownership. *)
+let partition ~key ~shards ~shard seq =
+  if shards <= 1 then seq
+  else Seq.filter (fun t -> Tuple.partition_hash ~key t mod shards = shard) seq
+
 let iter f scan = Seq.iter f scan.rest
 let to_list scan = List.of_seq scan.rest
 let count scan = Seq.length scan.rest

@@ -19,6 +19,13 @@ val on_relation :
 (** Open a cursor over a relation (candidates only when a pattern probe
     is used: the consumer unifies). *)
 
+val partition : key:int -> shards:int -> shard:int -> Tuple.t Seq.t -> Tuple.t Seq.t
+(** Keep only the tuples owned by [shard] under hash partitioning on
+    the [key] argument ({!Tuple.partition_hash} mod [shards]).  With
+    [shards <= 1] the stream passes through unchanged.  The
+    content-keyed analogue of the parallel evaluator's ordinal delta
+    striping, usable across process boundaries. *)
+
 val next : t -> Tuple.t option
 (** The next tuple, advancing the cursor; [None] at end of scan. *)
 

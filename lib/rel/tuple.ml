@@ -19,6 +19,16 @@ let make terms env =
 let of_terms terms = make terms Bindenv.empty
 
 let arity t = Array.length t.terms
+
+(* Ownership hash for hash partitioning: the stable hash of the key
+   argument (clamped into the arity; arity-0 tuples all land in one
+   partition).  Stable across processes — see [Term.stable_hash]. *)
+let partition_hash ~key t =
+  let n = Array.length t.terms in
+  if n = 0 then 0
+  else
+    let k = if key >= 0 && key < n then key else 0 in
+    Term.stable_hash t.terms.(k)
 let is_ground t = t.nvars = 0
 let kill t = t.dead <- true
 

@@ -27,6 +27,13 @@ val of_terms : Term.t array -> t
 val arity : t -> int
 val is_ground : t -> bool
 
+val partition_hash : key:int -> t -> int
+(** The hash-partitioning key of this tuple: {!Term.stable_hash} of the
+    argument at position [key] (out-of-range keys clamp to 0; arity-0
+    tuples hash to 0).  Stable across processes of the same build, so
+    independent workers agree on [partition_hash t mod shards] without
+    coordination. *)
+
 val kill : t -> unit
 (** Tombstone the tuple ([delete]); scans skip dead tuples. *)
 

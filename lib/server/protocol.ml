@@ -1,5 +1,10 @@
 type limit_kind = Tuples | Bytes
 
+(* Two-phase quiescence barrier (distributed fixpoint): [step] runs one
+   global round of local evaluation + delta shipping, [promote] moves
+   the received/buffered deltas into the stored relations. *)
+type barrier_phase = Step | Promote
+
 type request =
   | Hello
   | Ping
@@ -20,6 +25,12 @@ type request =
   | Ps
   | Kill of int
   | Events of int
+  (* cluster control plane (a worker under a coral_router front end) *)
+  | Shard of { index : int; count : int; key : int; peers : string list }
+  | Dprog of string  (** distributed program text (rules to evaluate locally) *)
+  | Delta of string  (** a batch of fact lines shipped from a peer shard *)
+  | Barrier of barrier_phase * int  (** barrier step|promote <round> *)
+  | Dreset
   | Quit
 
 type error_code =
@@ -33,6 +44,8 @@ type error_code =
   | Busy
   | Resource
   | Readonly
+  | Unavail
+  | Cluster
 
 type payload =
   | Ans of string
@@ -57,6 +70,26 @@ let code_string = function
   | Busy -> "BUSY"
   | Resource -> "RESOURCE"
   | Readonly -> "READONLY"
+  | Unavail -> "UNAVAIL"
+  | Cluster -> "CLUSTER"
+
+(* Inverse of [code_string]; the router uses it to re-raise a worker's
+   error under its original code instead of wrapping everything in
+   CLUSTER. *)
+let code_of_string = function
+  | "PARSE" -> Some Parse
+  | "EVAL" -> Some Eval
+  | "TIMEOUT" -> Some Timeout
+  | "PROTO" -> Some Proto
+  | "TOOBIG" -> Some Too_big
+  | "IOERR" -> Some Ioerr
+  | "KILLED" -> Some Killed
+  | "BUSY" -> Some Busy
+  | "RESOURCE" -> Some Resource
+  | "READONLY" -> Some Readonly
+  | "UNAVAIL" -> Some Unavail
+  | "CLUSTER" -> Some Cluster
+  | _ -> None
 
 let one_line s =
   let b = Buffer.create (String.length s) in
@@ -156,6 +189,48 @@ let parse_request line =
       | _ -> `Bad "events expects a positive count"
     end
   | "quit" -> no_arg Quit
+  (* cluster control plane: shard configuration, the shipped program,
+     delta batches and the two-phase fixpoint barrier *)
+  | "shard" ->
+    need_arg (fun () ->
+        match String.split_on_char ' ' arg |> List.filter (fun s -> s <> "") with
+        | index :: count :: key :: peers -> begin
+          match int_of_string_opt index, int_of_string_opt count, int_of_string_opt key with
+          | Some i, Some n, Some k
+            when n >= 1 && i >= 0 && i < n && k >= 0 && List.length peers = n ->
+            `Req (Shard { index = i; count = n; key = k; peers })
+          | _ ->
+            `Bad
+              "shard expects: shard <index> <count> <key-arg> <addr0> ... \
+               <addrN-1> (0 <= index < count, one address per shard)"
+        end
+        | _ -> `Bad "shard expects: shard <index> <count> <key-arg> <addr...>")
+  | "dprog#" ->
+    need_arg (fun () ->
+        match int_of_string_opt arg with
+        | Some n when n >= 0 -> `Dprog_payload n
+        | _ -> `Bad "dprog# expects a byte count")
+  | "delta#" ->
+    need_arg (fun () ->
+        match int_of_string_opt arg with
+        | Some n when n >= 0 -> `Delta_payload n
+        | _ -> `Bad "delta# expects a byte count")
+  | "barrier" ->
+    need_arg (fun () ->
+        match String.split_on_char ' ' arg |> List.filter (fun s -> s <> "") with
+        | [ phase; round ] -> begin
+          match
+            ( (match phase with
+              | "step" -> Some Step
+              | "promote" -> Some Promote
+              | _ -> None),
+              int_of_string_opt round )
+          with
+          | Some p, Some r when r >= 1 -> `Req (Barrier (p, r))
+          | _ -> `Bad "barrier expects: barrier step|promote <round>"
+        end
+        | _ -> `Bad "barrier expects: barrier step|promote <round>")
+  | "dreset" -> no_arg Dreset
   | _ -> `Bad (Printf.sprintf "unknown command %S" cmd)
 
 let ok ?(detail = "") payload = { payload; status = Ok detail }
@@ -185,3 +260,40 @@ let is_status line =
   line = "ok"
   || String.starts_with ~prefix:"ok " line
   || String.starts_with ~prefix:"err " line
+
+(* ------------------------------------------------------------------ *)
+(* Channel framing helpers                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared by the server's connection loop, the router's and the shard
+   client's — one definition of "a protocol line" on both sides of
+   every socket. *)
+
+exception Line_too_long
+
+(* Read one LF-terminated line, refusing lines over the protocol limit
+   (a peer streaming an unframed megabyte must not buffer-bloat the
+   reader).  CR before LF is stripped; None on EOF with nothing read. *)
+let read_line_capped ic =
+  let buf = Buffer.create 128 in
+  let rec go () =
+    match In_channel.input_char ic with
+    | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | Some '\n' -> Some (Buffer.contents buf)
+    | Some c ->
+      if Buffer.length buf >= max_line_bytes then raise Line_too_long;
+      Buffer.add_char buf c;
+      go ()
+  in
+  match go () with
+  | None -> None
+  | Some line ->
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then Some (String.sub line 0 (n - 1)) else Some line
+
+let write_response oc response =
+  let buf = Buffer.create 256 in
+  render buf response;
+  Out_channel.output_string oc (Buffer.contents buf);
+  Out_channel.flush oc;
+  Buffer.length buf

@@ -36,6 +36,22 @@
     quit                       close the session
     v}
 
+    Cluster control plane (sent by a [coral_router] front end to its
+    [coral_server] workers; see DESIGN.md §13):
+
+    {v
+    shard <i> <n> <key> <addr...>  configure this worker as shard i of n,
+                                   partitioned on argument <key>, with one
+                                   peer address per shard
+    dprog# <nbytes>                the distributed program (rules) follows
+    delta# <nbytes>                a batch of fact lines from a peer shard
+    barrier step <round>           run one local evaluation round and ship
+                                   non-local deltas to their owners
+    barrier promote <round>        promote buffered deltas into the stored
+                                   relations
+    dreset                         drop distributed derived state
+    v}
+
     [ps], [kill], [events], [degrade] and [restore] are served without
     the store lock, so they work from any connection while another
     connection's query is evaluating.
@@ -63,9 +79,20 @@
     milliseconds), [RESOURCE] (the query exceeded its derived-tuple or
     bytes-estimate budget; the session stays usable), [READONLY] (the
     store is degraded — by an operator or a storage fault — and
-    refuses mutations; reads keep working). *)
+    refuses mutations; reads keep working), [UNAVAIL] (a cluster
+    shard is unreachable; the router stays up and the query can be
+    retried), [CLUSTER] (a cluster configuration or coordination
+    error — e.g. a dist command on a server that is not a worker). *)
 
 type limit_kind = Tuples | Bytes
+
+type barrier_phase = Step | Promote
+(** The two phases of the distributed fixpoint's quiescence barrier:
+    [Step] evaluates one local round and ships non-local deltas;
+    [Promote] moves the buffered deltas into the stored relations and
+    reports how many were new.  Global fixpoint is reached when every
+    worker promotes zero new tuples and shipped/received counts
+    balance. *)
 
 type request =
   | Hello
@@ -87,6 +114,14 @@ type request =
   | Ps
   | Kill of int  (** query id from [ps] *)
   | Events of int  (** newest n event-log entries *)
+  | Shard of { index : int; count : int; key : int; peers : string list }
+      (** configure this server as shard [index] of [count], hash
+          partitioned on argument [key]; [peers] has one address per
+          shard (entry [index] is this worker itself) *)
+  | Dprog of string  (** the distributed program: rule text to run locally *)
+  | Delta of string  (** a batch of fact lines shipped from a peer shard *)
+  | Barrier of barrier_phase * int
+  | Dreset  (** drop distributed derived state (before a fixpoint rerun) *)
   | Quit
 
 type error_code =
@@ -100,6 +135,8 @@ type error_code =
   | Busy
   | Resource
   | Readonly
+  | Unavail
+  | Cluster
 
 type payload =
   | Ans of string  (** a query answer row *)
@@ -117,9 +154,15 @@ val max_payload_bytes : int
 (** Largest accepted [consult#] payload (1 MiB). *)
 
 val parse_request :
-  string -> [ `Req of request | `Consult_payload of int | `Bad of string ]
-(** Parse one request line ([`Consult_payload n]: the caller must read
-    [n] more bytes of program text and build [Consult] itself). *)
+  string ->
+  [ `Req of request
+  | `Consult_payload of int
+  | `Dprog_payload of int
+  | `Delta_payload of int
+  | `Bad of string ]
+(** Parse one request line (the [`..._payload n] cases: the caller
+    must read [n] more bytes and build [Consult]/[Dprog]/[Delta]
+    itself). *)
 
 val ok : ?detail:string -> payload list -> response
 val err : error_code -> string -> response
@@ -130,6 +173,10 @@ val busy : retry_after_ms:int -> string -> response
 
 val code_string : error_code -> string
 
+val code_of_string : string -> error_code option
+(** Inverse of {!code_string}; lets a front end propagate a worker's
+    error under its original code. *)
+
 val one_line : string -> string
 (** Collapse a (possibly multi-line) message into a single protocol
     line: newlines become ["; "], control characters become spaces. *)
@@ -139,3 +186,14 @@ val render : Buffer.t -> response -> unit
 
 val is_status : string -> bool
 (** Client side: is this reply line the final [ok]/[err] line? *)
+
+exception Line_too_long
+
+val read_line_capped : in_channel -> string option
+(** Read one LF-terminated line (CR stripped); [None] at EOF with
+    nothing read.
+    @raise Line_too_long past {!max_line_bytes}. *)
+
+val write_response : out_channel -> response -> int
+(** Serialize, write and flush a response; returns the bytes written
+    (the byte-counter satellite's accounting unit). *)

@@ -18,74 +18,60 @@ let ignore_sigpipe () =
   try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
   with Invalid_argument _ | Sys_error _ -> ()
 
-exception Line_too_long
-
-(* Read one LF-terminated line, refusing lines over the protocol limit
-   (a client streaming an unframed megabyte must not buffer-bloat the
-   server).  CR before LF is stripped; None on EOF with nothing read. *)
-let read_line_capped ic =
-  let buf = Buffer.create 128 in
-  let rec go () =
-    match In_channel.input_char ic with
-    | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
-    | Some '\n' -> Some (Buffer.contents buf)
-    | Some c ->
-      if Buffer.length buf >= Protocol.max_line_bytes then raise Line_too_long;
-      Buffer.add_char buf c;
-      go ()
-  in
-  match go () with
-  | None -> None
-  | Some line ->
-    let n = String.length line in
-    if n > 0 && line.[n - 1] = '\r' then Some (String.sub line 0 (n - 1)) else Some line
-
-let write_response oc response =
-  let buf = Buffer.create 256 in
-  Protocol.render buf response;
-  Out_channel.output_string oc (Buffer.contents buf);
-  Out_channel.flush oc
+let write_response oc response = ignore (Protocol.write_response oc response)
 
 (* One connection: read a request, execute it through the session,
-   reply; leave on quit, EOF, oversized input or a socket error. *)
+   reply; leave on quit, EOF, oversized input or a socket error.
+   Every byte in and out is credited to the store's wire counters. *)
 let serve_connection ?reserved store client =
   let ic = Unix.in_channel_of_descr client in
   let oc = Unix.out_channel_of_descr client in
   let session = Session.create ?reserved store in
+  let write r = Session.note_bytes_written store (Protocol.write_response oc r) in
   let rec loop () =
-    match read_line_capped ic with
+    match Protocol.read_line_capped ic with
     | None -> ()
-    | Some line when String.trim line = "" -> loop ()
+    | Some line when String.trim line = "" ->
+      Session.note_bytes_read store (String.length line + 1);
+      loop ()
     | Some line -> begin
-      match Protocol.parse_request line with
-      | `Bad msg ->
-        write_response oc (Protocol.err Protocol.Proto msg);
-        loop ()
-      | `Consult_payload n ->
+      Session.note_bytes_read store (String.length line + 1);
+      (* byte-counted payload bodies: consult#, and the cluster's
+         shipped program / delta batches *)
+      let with_payload kind n build =
         if n > Protocol.max_payload_bytes then
           (* refuse without reading: the connection is closed rather
              than draining an oversized body *)
-          write_response oc
+          write
             (Protocol.err Protocol.Too_big
-               (Printf.sprintf "consult# payload of %d bytes exceeds the %d byte limit" n
+               (Printf.sprintf "%s payload of %d bytes exceeds the %d byte limit" kind n
                   Protocol.max_payload_bytes))
         else begin
           match really_input_string ic n with
           | text ->
-            write_response oc (Session.handle session (Protocol.Consult text));
+            Session.note_bytes_read store n;
+            write (Session.handle session (build text));
             loop ()
           | exception End_of_file -> ()
         end
-      | `Req Protocol.Quit -> write_response oc (Session.handle session Protocol.Quit)
+      in
+      match Protocol.parse_request line with
+      | `Bad msg ->
+        write (Protocol.err Protocol.Proto msg);
+        loop ()
+      | `Consult_payload n -> with_payload "consult#" n (fun t -> Protocol.Consult t)
+      | `Dprog_payload n -> with_payload "dprog#" n (fun t -> Protocol.Dprog t)
+      | `Delta_payload n -> with_payload "delta#" n (fun t -> Protocol.Delta t)
+      | `Req Protocol.Quit -> write (Session.handle session Protocol.Quit)
       | `Req req ->
-        write_response oc (Session.handle session req);
+        write (Session.handle session req);
         loop ()
     end
   in
   (try loop () with
-  | Line_too_long ->
+  | Protocol.Line_too_long ->
     (try
-       write_response oc
+       write
          (Protocol.err Protocol.Too_big
             (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes))
      with Sys_error _ | Unix.Unix_error _ -> ())

@@ -51,6 +51,13 @@ type store = {
   budget_kills : int Atomic.t;  (* queries stopped by a resource budget *)
   sessions : int Atomic.t;  (* currently open *)
   next_sid : int Atomic.t;
+  bytes_read : int Atomic.t;  (* wire bytes in/out, summed over sessions *)
+  bytes_written : int Atomic.t;
+  (* Cluster worker hook: the dist subsystem lives above this library
+     (it needs the protocol AND the engine), so the worker installs a
+     handler here rather than being called directly.  [None] answers
+     dist requests with [err CLUSTER]. *)
+  mutable dist_handler : (Protocol.request -> Protocol.response) option;
 }
 
 let make_store ?(databases = []) ?(limits = Admission.default) db =
@@ -70,12 +77,24 @@ let make_store ?(databases = []) ?(limits = Admission.default) db =
     timeouts = Atomic.make 0;
     budget_kills = Atomic.make 0;
     sessions = Atomic.make 0;
-    next_sid = Atomic.make 0
+    next_sid = Atomic.make 0;
+    bytes_read = Atomic.make 0;
+    bytes_written = Atomic.make 0;
+    dist_handler = None
   }
 
 let db store = store.sdb
 let admission store = store.admission
 let session_count store = Atomic.get store.sessions
+let set_dist_handler store h = store.dist_handler <- Some h
+
+(* Wire accounting: the connection loop credits what it reads and
+   writes; delta exchange between workers runs over the same sockets,
+   so these are the counters that make exchange volume observable. *)
+let note_bytes_read store n = if n > 0 then ignore (Atomic.fetch_and_add store.bytes_read n)
+
+let note_bytes_written store n =
+  if n > 0 then ignore (Atomic.fetch_and_add store.bytes_written n)
 
 let locked store f =
   Mutex.lock store.lock;
@@ -438,6 +457,11 @@ let wrap_write ?(invalidate = false) store g =
     degrade_on_write_fault store e;
     raise e
 
+(* The write lane for non-protocol callers (the dist worker mutates
+   relations during barrier steps): same commit tail as a consult, so
+   MVCC readers observe distributed promotions as ordinary epochs. *)
+let commit store ~invalidate f = wrap_write ~invalidate store f
+
 let do_query t text =
   let store = t.store in
   let version = Snapshot.pin store.snap in
@@ -628,6 +652,8 @@ let do_stats t =
       Printf.sprintf "server.events=%d" (Query_log.Events.total ());
       Printf.sprintf "server.degraded=%d" (if is_degraded store then 1 else 0);
       Printf.sprintf "server.budget_kills=%d" (Atomic.get store.budget_kills);
+      Printf.sprintf "server.bytes.read=%d" (Atomic.get store.bytes_read);
+      Printf.sprintf "server.bytes.written=%d" (Atomic.get store.bytes_written);
       Printf.sprintf "admission.inflight=%d" (Admission.inflight store.admission);
       Printf.sprintf "admission.admitted=%d" (Admission.admitted store.admission);
       Printf.sprintf "admission.waited=%d" (Admission.waited store.admission);
@@ -763,6 +789,11 @@ let metrics_text store =
   Obs.prometheus_sample buf ~kind:"gauge" "inflight.requests"
     (Admission.inflight store.admission);
   Obs.prometheus_sample buf ~kind:"counter" "budget.kills" (Atomic.get store.budget_kills);
+  (* wire volume (coral_bytes_read_total / coral_bytes_written_total):
+     client traffic plus, on a cluster worker, the delta exchange *)
+  Obs.prometheus_sample buf ~kind:"counter" "bytes.read_total" (Atomic.get store.bytes_read);
+  Obs.prometheus_sample buf ~kind:"counter" "bytes.written_total"
+    (Atomic.get store.bytes_written);
   (* operational gauges + build/process identity *)
   Obs.prometheus_sample buf ~kind:"gauge" "active_queries" (Query_log.active_count ());
   Obs.prometheus_sample buf ~kind:"gauge" "sessions" (Atomic.get store.sessions);
@@ -853,6 +884,19 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Restore ->
     (* handled lock-free in [handle]; unreachable through it *)
     Protocol.err Protocol.Proto "introspection command routed incorrectly"
+  (* Cluster control plane: delegated to the installed dist worker.
+     These bypass the admission gate ([evaluating] below) — a barrier
+     or delta blocked behind the in-flight cap would deadlock the
+     coordinator's round — and do their own locking (the write lane
+     for barrier steps, a private buffer mutex for deltas). *)
+  | Protocol.Shard _ | Protocol.Dprog _ | Protocol.Delta _ | Protocol.Barrier _
+  | Protocol.Dreset -> begin
+    match t.store.dist_handler with
+    | Some h -> h req
+    | None ->
+      Protocol.err Protocol.Cluster
+        "not a cluster worker: no distributed handler installed"
+  end
   | Protocol.Quit -> Protocol.ok ~detail:"bye" []
 
 (* Requests that evaluate (or mutate) and therefore count against the

@@ -39,6 +39,32 @@ val locked : store -> (unit -> 'a) -> 'a
 (** Run a computation holding the store's writer-lane lock (used by
     non-protocol callers, e.g. benchmarks preparing data). *)
 
+val commit : store -> invalidate:bool -> (unit -> 'a) -> 'a
+(** Run a mutation on the write lane with the full commit tail: refuse
+    if degraded, run [f] under the lock, stage the next snapshot
+    version (invalidating prepared plans when [invalidate]),
+    group-commit persistent relations, publish the new epoch.  The
+    dist worker promotes delta batches through this, so distributed
+    rounds are ordinary MVCC commits to concurrent readers.
+    @raise Degraded (mapped to [err READONLY] by {!handle}) when the
+    store is read-only. *)
+
+val set_dist_handler : store -> (Protocol.request -> Protocol.response) -> unit
+(** Install the cluster-worker handler for [shard]/[dprog]/[delta]/
+    [barrier]/[dreset] requests.  The dist subsystem sits above this
+    library (it needs both the protocol and the engine), so the server
+    binary installs the hook at startup; without it dist requests
+    answer [err CLUSTER].  Dist requests bypass the admission gate:
+    they are the coordinator's control plane, and a delta blocked
+    behind the in-flight cap would deadlock the round barrier. *)
+
+val note_bytes_read : store -> int -> unit
+(** Credit [n] wire bytes read from a client (or peer) connection to
+    the store's [server.bytes.read] / [coral_bytes_read_total]
+    counters; the connection loop calls this per line and payload. *)
+
+val note_bytes_written : store -> int -> unit
+
 val snapshot_epoch : store -> int
 (** The currently published snapshot epoch (starts at 1; every
     committed mutation advances it). *)

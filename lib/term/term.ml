@@ -181,6 +181,23 @@ let rec ground_key t =
 
 let is_ground t = ground_key t <> None
 
+(* Process-stable structural hash.  [ground_key] mixes [Symbol.hash],
+   which is the intern id — a function of interning ORDER, so two
+   processes that loaded different programs disagree on it.  Here
+   symbols contribute their names and values their contents, so any
+   two processes (same build) agree; the distributed layer keys tuple
+   ownership on this.  Variables all hash alike, mirroring
+   [hash_mod_vars]. *)
+let rec stable_hash t =
+  match t with
+  | Const v -> mix 0x811c9dc5 (Value.hash v)
+  | Var _ -> 0x9e3779b9
+  | App a ->
+    Array.fold_left
+      (fun h arg -> mix h (stable_hash arg))
+      (mix 0x811c9dc5 (Hashtbl.hash (Symbol.name a.sym)))
+      a.args
+
 let rec equal t1 t2 =
   t1 == t2
   ||

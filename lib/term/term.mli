@@ -72,6 +72,15 @@ val ground_key : t -> int option
 
 val is_ground : t -> bool
 
+val stable_hash : t -> int
+(** A process-stable structural hash: symbols contribute their {e
+    names} (intern ids depend on interning order, so {!ground_key}
+    differs between processes), values their contents, and every
+    variable hashes to one fixed value.  Two structurally equal terms
+    produce the same non-negative hash in any process of the same
+    build — the property the distributed layer needs to let worker
+    processes agree on tuple ownership without coordination. *)
+
 (** {1 Generic operations} *)
 
 val equal : t -> t -> bool

@@ -1,0 +1,555 @@
+(* The distributed sharded fixpoint: partitioning, delta exchange,
+   plan analysis, and the full router/worker cluster — differential
+   against a single-node server. *)
+
+open Coral_dist
+module Protocol = Coral_server.Protocol
+module Session = Coral_server.Session
+module Server = Coral_server.Server
+module Admission = Coral_server.Admission
+
+(* ------------------------------------------------------------------ *)
+(* Unit: partitioning                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tuple_of ints =
+  Coral.Tuple.of_terms
+    (Array.of_list (List.map (fun i -> Coral.Term.int i) ints))
+
+let test_partition_unit () =
+  let p = Partition.create ~shards:4 ~key:1 in
+  Alcotest.(check int) "shards" 4 (Partition.shards p);
+  Alcotest.(check int) "key" 1 (Partition.key p);
+  let t = tuple_of [ 3; 17 ] in
+  let o = Partition.owner p t in
+  Alcotest.(check bool) "owner in range" true (o >= 0 && o < 4);
+  (* ownership is a pure function of content: a structurally equal
+     tuple built separately lands on the same shard *)
+  Alcotest.(check int) "content-stable" o (Partition.owner p (tuple_of [ 3; 17 ]));
+  Alcotest.(check bool) "owns agrees" true (Partition.owns p ~shard:o t);
+  (* the key argument, not the first, decides: two tuples equal at the
+     key collide, whatever the other columns *)
+  let o1 = Partition.owner p (tuple_of [ 1; 42 ]) in
+  let o2 = Partition.owner p (tuple_of [ 999; 42 ]) in
+  Alcotest.(check int) "key column decides" o1 o2;
+  (* clamping *)
+  let p1 = Partition.create ~shards:0 ~key:(-3) in
+  Alcotest.(check int) "shards clamped" 1 (Partition.shards p1);
+  Alcotest.(check int) "single shard owns all" 0 (Partition.owner p1 t);
+  (* a key past the arity still yields a valid owner *)
+  let pbig = Partition.create ~shards:3 ~key:9 in
+  let obig = Partition.owner pbig t in
+  Alcotest.(check bool) "out-of-arity key in range" true (obig >= 0 && obig < 3)
+
+let test_delta_codec_unit () =
+  let lines =
+    [ Delta_codec.fact_line "path" (tuple_of [ 1; 2 ]);
+      Delta_codec.fact_line "path" (tuple_of [ 2; 3 ])
+    ]
+  in
+  Alcotest.(check string) "rendered as stock fact text" "path(1, 2)." (List.hd lines);
+  (match Delta_codec.decode (String.concat "\n" lines) with
+  | Ok atoms -> Alcotest.(check int) "round-trips" 2 (List.length atoms)
+  | Error e -> Alcotest.fail ("decode failed: " ^ e));
+  (match Delta_codec.decode "path(X, 2)." with
+  | Ok _ -> Alcotest.fail "a non-ground fact must not decode"
+  | Error _ -> ());
+  match Delta_codec.decode "p(1) :- q(1)." with
+  | Ok _ -> Alcotest.fail "a rule must not decode as a delta"
+  | Error _ -> ()
+
+let test_exchange_unit () =
+  let x = Exchange.create () in
+  let item i = { Exchange.pred = "path"; arity = 2; tuple = tuple_of [ i; i + 1 ] } in
+  Alcotest.(check int) "remote batch size" 2 (Exchange.add_remote x [ item 1; item 2 ]);
+  (* received is counted pre-dedup: the duplicate still counts *)
+  Alcotest.(check int) "duplicate still counted" 1 (Exchange.add_remote x [ item 1 ]);
+  Exchange.add_local x [ item 9 ];
+  let items, received = Exchange.drain x in
+  Alcotest.(check int) "pre-dedup received" 3 received;
+  Alcotest.(check int) "all buffered items drain" 4 (List.length items);
+  let items, received = Exchange.drain x in
+  Alcotest.(check int) "drain empties" 0 (List.length items);
+  Alcotest.(check int) "counters are per-round" 0 received;
+  ignore (Exchange.add_remote x [ item 5 ]);
+  let tuples, batches = Exchange.totals x in
+  Alcotest.(check (pair int int)) "running totals" (4, 3) (tuples, batches);
+  Exchange.reset x;
+  Alcotest.(check (pair int int)) "reset zeroes totals" (0, 0) (Exchange.totals x)
+
+(* ------------------------------------------------------------------ *)
+(* Unit: plan analysis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_of text =
+  match Plan.analyse_text text with
+  | Plan.Distributable a -> `Dist a
+  | Plan.Local why -> `Local why
+
+let test_plan_unit () =
+  (* linear TC: one derived body literal *)
+  (match
+     verdict_of
+       "module m.\n\
+        export path(bf).\n\
+        path(X, Y) :- edge(X, Y).\n\
+        path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+        end_module.\n"
+   with
+  | `Dist a ->
+    Alcotest.(check (list (pair string int))) "one partitioned idb" [ "path", 2 ] a.Plan.idb;
+    let classes = List.map (fun d -> d.Plan.cls) a.Plan.drules in
+    Alcotest.(check bool) "exit rule is Init" true (List.mem Plan.Init classes);
+    Alcotest.(check bool) "recursive rule is Linear 0" true (List.mem (Plan.Linear 0) classes)
+  | `Local why -> Alcotest.fail ("linear TC rejected: " ^ why));
+  (* non-linear: two derived body literals *)
+  (match
+     verdict_of
+       "module m.\n\
+        export path(ff).\n\
+        path(X, Y) :- edge(X, Y).\n\
+        path(X, Y) :- path(X, Z), path(Z, Y).\n\
+        end_module.\n"
+   with
+  | `Dist _ -> Alcotest.fail "non-linear TC must be Local"
+  | `Local _ -> ());
+  (* negation over a derived predicate *)
+  (match
+     verdict_of
+       "module m.\n\
+        export odd(ff).\n\
+        odd(X) :- node(X), not even(X).\n\
+        even(X) :- node(X), not odd(X).\n\
+        end_module.\n"
+   with
+  | `Dist _ -> Alcotest.fail "negation over idb must be Local"
+  | `Local _ -> ());
+  (* aggregation in the head *)
+  (match
+     verdict_of
+       "module m.\n\
+        export total(f).\n\
+        total(sum(<X>)) :- item(X).\n\
+        end_module.\n"
+   with
+  | `Dist _ -> Alcotest.fail "aggregation must be Local"
+  | `Local _ -> ());
+  (* annotated modules keep single-node semantics *)
+  match
+    verdict_of
+      "module m.\n\
+       export path(bf).\n\
+       @no_rewriting.\n\
+       path(X, Y) :- edge(X, Y).\n\
+       end_module.\n"
+  with
+  | `Dist _ -> Alcotest.fail "annotated module must be Local"
+  | `Local _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cluster harness: in-process workers + router over Unix sockets      *)
+(* ------------------------------------------------------------------ *)
+
+type client = { ic : in_channel; oc : out_channel; fd : Unix.file_descr }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; fd }
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let request c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc;
+  let rec go acc =
+    match In_channel.input_line c.ic with
+    | None -> List.rev acc, "<closed>"
+    | Some l when Protocol.is_status l -> List.rev acc, l
+    | Some l -> go (l :: acc)
+  in
+  go []
+
+let check_prefix what prefix got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S starts with %S" what got prefix)
+    true
+    (String.starts_with ~prefix got)
+
+let sock_path () =
+  let p = Filename.temp_file "corald" ".sock" in
+  Sys.remove p;
+  p
+
+(* one worker: an ordinary server with the dist handler installed,
+   exactly as bin/coral_server wires it *)
+let start_worker () =
+  let path = sock_path () in
+  let db = Coral.create () in
+  let srv = Server.start ~listen:(`Unix path) db in
+  let store = Server.store srv in
+  let worker =
+    Worker.create ~eng:(Coral.engine db)
+      ~commit:(fun ~invalidate f -> Session.commit store ~invalidate f)
+      ~locked:(fun f -> Session.locked store f)
+      ~budget:(fun () ->
+        (Admission.config (Session.admission store)).Admission.max_query_tuples)
+  in
+  Session.set_dist_handler store (Worker.handle worker);
+  path, srv
+
+type cluster = {
+  router_path : string;
+  router : Router.t;
+  workers : (string * Server.t) list;
+}
+
+let start_cluster ~shards ~key () =
+  let workers = List.init shards (fun _ -> start_worker ()) in
+  let rpath = sock_path () in
+  let router =
+    Router.start ~listen:(`Unix rpath) ~shard_addrs:(List.map fst workers) ~key
+      (Coral.create ())
+  in
+  { router_path = rpath; router; workers }
+
+let stop_cluster cl =
+  Router.shutdown cl.router;
+  List.iter (fun (_, srv) -> Server.shutdown srv) cl.workers
+
+(* sorted multiset of answer lines — merge order differs across
+   configurations, content must not *)
+let answers c q =
+  let lines, status = request c ("query " ^ q) in
+  check_prefix ("query " ^ q) "ok" status;
+  List.sort compare
+    (List.filter (fun l -> String.starts_with ~prefix:"ans " l) lines)
+
+let consult_all c texts =
+  List.iter
+    (fun text ->
+      let flat = String.map (fun ch -> if ch = '\n' then ' ' else ch) text in
+      let _, status = request c ("consult " ^ flat) in
+      check_prefix "consult" "ok" status)
+    texts
+
+(* ------------------------------------------------------------------ *)
+(* Seeded workloads                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic LCG so every configuration sees the same graph *)
+let lcg seed =
+  let state = ref seed in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+let tc_program =
+  "module m_path.\n\
+   export path(bf).\n\
+   export path(ff).\n\
+   path(X, Y) :- edge(X, Y).\n\
+   path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+   end_module.\n"
+
+let tc_edges ~nodes ~extra seed =
+  let rand = lcg seed in
+  let buf = Buffer.create 256 in
+  for i = 1 to nodes - 1 do
+    Buffer.add_string buf (Printf.sprintf "edge(%d, %d).\n" i (i + 1))
+  done;
+  for _ = 1 to extra do
+    let a = 1 + rand nodes and b = 1 + rand nodes in
+    Buffer.add_string buf (Printf.sprintf "edge(%d, %d).\n" a b)
+  done;
+  Buffer.contents buf
+
+let sg_program =
+  "module m_sg.\n\
+   export sg(bf).\n\
+   export sg(ff).\n\
+   sg(X, Y) :- flat(X, Y).\n\
+   sg(X, Y) :- up(X, Z), sg(Z, W), down(W, Y).\n\
+   end_module.\n"
+
+let sg_edb ~parents ~children seed =
+  let rand = lcg seed in
+  let buf = Buffer.create 256 in
+  for c = 0 to children - 1 do
+    let p = rand parents in
+    Buffer.add_string buf (Printf.sprintf "up(%d, %d).\n" (100 + c) p);
+    Buffer.add_string buf (Printf.sprintf "down(%d, %d).\n" p (100 + c))
+  done;
+  for _ = 1 to parents do
+    let a = rand parents and b = rand parents in
+    Buffer.add_string buf (Printf.sprintf "flat(%d, %d).\n" a b)
+  done;
+  Buffer.contents buf
+
+(* single-node reference: the same texts on a plain coral_server *)
+let reference texts queries =
+  let path = sock_path () in
+  let srv = Server.start ~listen:(`Unix path) (Coral.create ()) in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect_unix path in
+  consult_all c texts;
+  let out = List.map (fun q -> q, answers c q) queries in
+  ignore (request c "quit");
+  close_client c;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Differential: sharded == single-node                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_differential ~shards ~key texts queries expected =
+  let cl = start_cluster ~shards ~key () in
+  Fun.protect ~finally:(fun () -> stop_cluster cl) @@ fun () ->
+  let c = connect_unix cl.router_path in
+  consult_all c texts;
+  List.iter
+    (fun (q, want) ->
+      let got = answers c q in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s with %d shard(s), key %d" q shards key)
+        want got)
+    expected;
+  (* the dist path actually ran: the router proved the program
+     distributable and completed a fixpoint *)
+  let lines, _ = request c "stats" in
+  Alcotest.(check bool) "program proved distributable" true
+    (List.exists
+       (fun l -> String.starts_with ~prefix:"txt router.distributable=yes" l)
+       lines);
+  Alcotest.(check bool) "fixpoint ran" true
+    (List.exists
+       (fun l -> String.starts_with ~prefix:"txt router.fixpoint.rounds=" l)
+       lines);
+  ignore (request c "quit");
+  close_client c;
+  ignore queries
+
+let test_differential_tc () =
+  let texts = [ tc_program; tc_edges ~nodes:12 ~extra:6 7 ] in
+  let queries = [ "path(X, Y)"; "path(1, Y)"; "path(3, Y)" ] in
+  let expected = reference texts queries in
+  Alcotest.(check bool) "reference closure is non-trivial" true
+    (List.length (List.assoc "path(X, Y)" expected) > 20);
+  (* key 0 derives owner-locally; key 1 forces real delta shipping *)
+  List.iter
+    (fun (shards, key) -> check_differential ~shards ~key texts queries expected)
+    [ 1, 0; 2, 1; 4, 1 ]
+
+let test_differential_sg () =
+  let texts = [ sg_program; sg_edb ~parents:4 ~children:10 11 ] in
+  let queries = [ "sg(X, Y)"; "sg(100, Y)" ] in
+  let expected = reference texts queries in
+  Alcotest.(check bool) "reference sg is non-trivial" true
+    (List.length (List.assoc "sg(X, Y)" expected) > 5);
+  List.iter
+    (fun (shards, key) -> check_differential ~shards ~key texts queries expected)
+    [ 2, 0; 4, 1 ]
+
+(* An insert through the router lands on the replica, dirties the
+   cluster, and the next distributed query sees it after resync. *)
+let test_insert_resyncs () =
+  let texts = [ tc_program; "edge(1, 2).\nedge(2, 3).\n" ] in
+  Coral_obs.Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Coral_obs.Obs.set_enabled false) @@ fun () ->
+  let cl = start_cluster ~shards:2 ~key:1 () in
+  Fun.protect ~finally:(fun () -> stop_cluster cl) @@ fun () ->
+  let c = connect_unix cl.router_path in
+  consult_all c texts;
+  let fixpoint_runs () =
+    let lines, _ = request c "stats" in
+    match
+      List.find_map
+        (fun l ->
+          if String.starts_with ~prefix:"txt router.fixpoint.runs=" l then
+            int_of_string_opt (String.sub l 25 (String.length l - 25))
+          else None)
+        lines
+    with
+    | Some n -> n
+    | None -> Alcotest.fail "no router.fixpoint.runs stat"
+  in
+  Alcotest.(check int) "closure of the chain" 3 (List.length (answers c "path(X, Y)"));
+  let r1 = fixpoint_runs () in
+  let _, status = request c "insert edge(3, 4)." in
+  check_prefix "insert" "ok" status;
+  Alcotest.(check int) "closure after insert" 6 (List.length (answers c "path(X, Y)"));
+  Alcotest.(check int) "the insert forced a second fixpoint" (r1 + 1) (fixpoint_runs ());
+  ignore (request c "quit");
+  close_client c
+
+(* ------------------------------------------------------------------ *)
+(* kill, crash, and fallback                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Differential under a kill storm: a second session hammers ps/kill
+   while the differential queries run.  A query either dies with a
+   well-formed KILLED (and is retried) or returns the exact answer set
+   — never a partial one. *)
+let test_differential_under_kill () =
+  let texts = [ tc_program; tc_edges ~nodes:16 ~extra:8 23 ] in
+  let queries = [ "path(X, Y)"; "path(1, Y)" ] in
+  let expected = reference texts queries in
+  let cl = start_cluster ~shards:2 ~key:1 () in
+  Fun.protect ~finally:(fun () -> stop_cluster cl) @@ fun () ->
+  let c = connect_unix cl.router_path in
+  consult_all c texts;
+  let stop = Atomic.make false in
+  let killer =
+    Thread.create
+      (fun () ->
+        let k = connect_unix cl.router_path in
+        while not (Atomic.get stop) do
+          let lines, _ = request k "ps" in
+          List.iter
+            (fun l ->
+              let l =
+                if String.starts_with ~prefix:"txt " l then
+                  String.sub l 4 (String.length l - 4)
+                else l
+              in
+              if String.starts_with ~prefix:"id=" l then
+                match String.index_opt l ' ' with
+                | Some i ->
+                  (match int_of_string_opt (String.sub l 3 (i - 3)) with
+                  | Some qid -> ignore (request k (Printf.sprintf "kill %d" qid))
+                  | None -> ())
+                | None -> ())
+            lines
+        done;
+        ignore (request k "quit");
+        close_client k)
+      ()
+  in
+  let killed = ref 0 in
+  for _ = 1 to 5 do
+    List.iter
+      (fun (q, want) ->
+        let rec attempt tries =
+          if tries > 50 then Alcotest.fail ("query never completed under kill: " ^ q);
+          let lines, status = request c ("query " ^ q) in
+          if String.starts_with ~prefix:"err KILLED" status then begin
+            incr killed;
+            attempt (tries + 1)
+          end
+          else begin
+            check_prefix "survivor status" "ok" status;
+            let got =
+              List.sort compare
+                (List.filter (fun l -> String.starts_with ~prefix:"ans " l) lines)
+            in
+            Alcotest.(check (list string)) ("exact answers under kill: " ^ q) want got
+          end
+        in
+        attempt 0)
+      expected
+  done;
+  Atomic.set stop true;
+  Thread.join killer;
+  ignore (request c "quit");
+  close_client c
+
+(* A worker lost mid-flight: the query dies with one well-formed err,
+   the router survives, and a replacement worker on the same address
+   is re-provisioned transparently. *)
+let test_worker_crash_unavail () =
+  let texts = [ tc_program; tc_edges ~nodes:8 ~extra:3 5 ] in
+  let queries = [ "path(X, Y)" ] in
+  let expected = reference texts queries in
+  let cl = start_cluster ~shards:2 ~key:1 () in
+  let crashed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.shutdown cl.router;
+      List.iteri (fun i (_, srv) -> if not (!crashed && i = 1) then Server.shutdown srv) cl.workers)
+  @@ fun () ->
+  let c = connect_unix cl.router_path in
+  consult_all c texts;
+  Alcotest.(check (list string)) "healthy cluster answers"
+    (List.assoc "path(X, Y)" expected)
+    (answers c "path(X, Y)");
+  (* kill worker 1 outright *)
+  let victim_path, victim = List.nth cl.workers 1 in
+  Server.shutdown victim;
+  crashed := true;
+  let _, status = request c "query path(X, Y)" in
+  check_prefix "query against a dead shard fails cleanly" "err" status;
+  (* the router itself is alive and local requests still work *)
+  let _, status = request c "ping" in
+  check_prefix "router alive after shard loss" "ok pong" status;
+  let lines, _ = request c "stats" in
+  Alcotest.(check bool) "cluster marked dirty" true
+    (List.mem "txt router.state=dirty" lines);
+  (* a replacement worker on the same address heals the cluster *)
+  let db = Coral.create () in
+  let srv2 = Server.start ~listen:(`Unix victim_path) db in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv2) @@ fun () ->
+  let store = Server.store srv2 in
+  let worker =
+    Worker.create ~eng:(Coral.engine db)
+      ~commit:(fun ~invalidate f -> Session.commit store ~invalidate f)
+      ~locked:(fun f -> Session.locked store f)
+      ~budget:(fun () ->
+        (Admission.config (Session.admission store)).Admission.max_query_tuples)
+  in
+  Session.set_dist_handler store (Worker.handle worker);
+  Alcotest.(check (list string)) "healed cluster answers again"
+    (List.assoc "path(X, Y)" expected)
+    (answers c "path(X, Y)");
+  ignore (request c "quit");
+  close_client c
+
+(* Programs outside the linear class still answer — on the router's
+   local replica, with single-node semantics. *)
+let test_local_fallback () =
+  let nonlinear =
+    "module m_nl.\n\
+     export tcnl(ff).\n\
+     tcnl(X, Y) :- edge(X, Y).\n\
+     tcnl(X, Y) :- tcnl(X, Z), tcnl(Z, Y).\n\
+     end_module.\n"
+  in
+  let texts = [ nonlinear; "edge(1, 2).\nedge(2, 3).\nedge(3, 4).\n" ] in
+  let queries = [ "tcnl(X, Y)"; "tcnl(1, Y)" ] in
+  let expected = reference texts queries in
+  let cl = start_cluster ~shards:2 ~key:0 () in
+  Fun.protect ~finally:(fun () -> stop_cluster cl) @@ fun () ->
+  let c = connect_unix cl.router_path in
+  consult_all c texts;
+  List.iter
+    (fun (q, want) ->
+      Alcotest.(check (list string)) ("local fallback: " ^ q) want (answers c q))
+    expected;
+  let lines, _ = request c "stats" in
+  Alcotest.(check bool) "marked non-distributable" true
+    (List.exists
+       (fun l -> String.starts_with ~prefix:"txt router.distributable=no" l)
+       lines);
+  ignore (request c "quit");
+  close_client c
+
+let () =
+  Alcotest.run "coral_dist"
+    [ ( "units",
+        [ Alcotest.test_case "partition ownership" `Quick test_partition_unit;
+          Alcotest.test_case "delta codec" `Quick test_delta_codec_unit;
+          Alcotest.test_case "exchange buffer" `Quick test_exchange_unit;
+          Alcotest.test_case "plan analysis" `Quick test_plan_unit
+        ] );
+      ( "cluster",
+        [ Alcotest.test_case "differential TC (1/2/4 shards)" `Quick test_differential_tc;
+          Alcotest.test_case "differential SG" `Quick test_differential_sg;
+          Alcotest.test_case "insert dirties and resyncs" `Quick test_insert_resyncs;
+          Alcotest.test_case "differential under kill storm" `Quick
+            test_differential_under_kill;
+          Alcotest.test_case "worker crash: clean err, live router" `Quick
+            test_worker_crash_unavail;
+          Alcotest.test_case "non-distributable falls back locally" `Quick
+            test_local_fallback
+        ] )
+    ]

@@ -1446,6 +1446,176 @@ let test_assert_replays_on_write_lane () =
   Alcotest.(check bool) "mutating query bumped the epoch" true
     (Session.snapshot_epoch store > e0)
 
+(* Wire-volume accounting: request lines and payloads add to
+   server.bytes.read, reply lines to server.bytes.written, and the
+   same totals ride the Prometheus exposition as
+   coral_bytes_read_total / coral_bytes_written_total. *)
+let test_byte_counters_wire () =
+  let srv = start_server () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect srv in
+  let stat_val name =
+    let l = strip_txt (stats_line c (name ^ "=")) in
+    match String.index_opt l '=' with
+    | Some i -> int_of_string (String.sub l (i + 1) (String.length l - i - 1))
+    | None -> Alcotest.fail ("malformed stat line " ^ l)
+  in
+  let r0 = stat_val "server.bytes.read" in
+  let w0 = stat_val "server.bytes.written" in
+  Alcotest.(check bool) "the stats request itself was counted" true
+    (r0 >= String.length "stats" + 1);
+  Alcotest.(check bool) "its reply was counted" true (w0 > 0);
+  let program = flat paths_program in
+  let _, status = request c ("consult " ^ program) in
+  check_prefix "consult" "ok" status;
+  let _, status = request c "query path(1, Y)" in
+  check_prefix "query" "ok 3 answers" status;
+  let r1 = stat_val "server.bytes.read" in
+  let w1 = stat_val "server.bytes.written" in
+  Alcotest.(check bool) "reads grew by at least the consult text" true
+    (r1 - r0 >= String.length program);
+  Alcotest.(check bool) "writes grew by at least the three answer lines" true
+    (w1 - w0 >= 3 * String.length "ans X = _");
+  let lines, status = request c "metrics" in
+  check_prefix "metrics status" "ok" status;
+  let text = String.concat "\n" (List.map strip_txt lines) in
+  Alcotest.(check bool) "read counter exposed" true
+    (contains "# TYPE coral_bytes_read_total counter" text);
+  Alcotest.(check bool) "write counter exposed" true
+    (contains "# TYPE coral_bytes_written_total counter" text);
+  let sample name =
+    List.find_map
+      (fun l ->
+        if String.starts_with ~prefix:(name ^ " ") l then
+          int_of_string_opt
+            (String.trim (String.sub l (String.length name) (String.length l - String.length name)))
+        else None)
+      (String.split_on_char '\n' text)
+  in
+  (match sample "coral_bytes_read_total" with
+  | Some v ->
+    Alcotest.(check bool) "prometheus read sample tracks the stats total" true (v >= r1)
+  | None -> Alcotest.fail "no coral_bytes_read_total sample");
+  (match sample "coral_bytes_written_total" with
+  | Some v ->
+    Alcotest.(check bool) "prometheus write sample tracks the stats total" true (v >= w1)
+  | None -> Alcotest.fail "no coral_bytes_written_total sample");
+  ignore (request c "quit");
+  close c
+
+(* The real REPL client against a saturated server: its shed request
+   comes back [err BUSY <retry-after-ms>], it sleeps on the advice and
+   resends once — so when the slot frees up during the backoff, the
+   user sees the answer and never the BUSY. *)
+let test_repl_busy_retry () =
+  let repl =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/coral_repl.exe"
+  in
+  let limits =
+    { Admission.default with
+      Admission.max_inflight = 1;
+      max_waiters = 0;
+      retry_after_ms = 1000
+    }
+  in
+  let srv = Server.start ~limits ~listen:(`Tcp ("127.0.0.1", 0)) (Coral.create ()) in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let a = connect srv in
+  let _, status = request a ("consult " ^ flat nats_program) in
+  check_prefix "consult nats" "ok" status;
+  let _, status = request a "consult seed(1)." in
+  check_prefix "consult seed" "ok" status;
+  let _, status = request a "timeout 30000" in
+  check_prefix "backstop deadline" "ok" status;
+  (* occupy the only in-flight slot *)
+  send a "query nat(X)";
+  let b = connect srv in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_running () =
+    let lines, _ = request b "ps" in
+    if not (List.exists (fun l -> contains "query=nat(X)" (strip_txt l)) lines) then
+      if Unix.gettimeofday () > deadline then Alcotest.fail "occupant never showed in ps"
+      else begin
+        Thread.delay 0.02;
+        wait_running ()
+      end
+  in
+  wait_running ();
+  (* cloexec: the child must not inherit the parent's pipe ends, or
+     closing [in_w] here would never deliver EOF on its stdin *)
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let addr = Printf.sprintf "127.0.0.1:%d" (Server.port srv) in
+  let pid = Unix.create_process repl [| repl; "--connect"; addr |] in_r out_w Unix.stderr in
+  Unix.close in_r;
+  Unix.close out_w;
+  let toc = Unix.out_channel_of_descr in_w in
+  output_string toc "query seed(X)\n";
+  flush toc;
+  close_out toc;
+  (* the client's first try must actually be shed, or the test proves
+     nothing; admission.busy_rejects flips exactly when it is *)
+  let stat_rejects () =
+    let l = strip_txt (stats_line b "admission.busy_rejects=") in
+    match String.index_opt l '=' with
+    | Some i -> int_of_string (String.sub l (i + 1) (String.length l - i - 1))
+    | None -> Alcotest.fail ("malformed stat line " ^ l)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_shed () =
+    if stat_rejects () = 0 then
+      if Unix.gettimeofday () > deadline then Alcotest.fail "client request never shed"
+      else begin
+        Thread.delay 0.02;
+        wait_shed ()
+      end
+  in
+  wait_shed ();
+  (* free the slot while the client sleeps on the backoff advice *)
+  let lines, _ = request b "ps" in
+  (match
+     List.find_map
+       (fun l ->
+         let l = strip_txt l in
+         if contains "query=nat(X)" l && String.starts_with ~prefix:"id=" l then
+           int_of_string_opt (String.sub l 3 (String.index l ' ' - 3))
+         else None)
+       lines
+   with
+  | Some qid ->
+    let _, status = request b (Printf.sprintf "kill %d" qid) in
+    check_prefix "kill the occupant" "ok" status
+  | None -> Alcotest.fail "occupant not found in ps");
+  (* the retried request lands in the freed slot: the client prints
+     the answer, no error diagnostic, and exits cleanly *)
+  let buf = Buffer.create 256 in
+  let ric = Unix.in_channel_of_descr out_r in
+  (try
+     while true do
+       Buffer.add_channel buf ric 1
+     done
+   with End_of_file -> ());
+  let _, st = Unix.waitpid [] pid in
+  close_in ric;
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "client exited cleanly" true (st = Unix.WEXITED 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "answer printed after the silent retry (got %S)" out)
+    true (contains "X = 1" out);
+  Alcotest.(check bool) "no BUSY diagnostic reached the user" true
+    (not (contains "error[" out));
+  let rec drain () =
+    match In_channel.input_line a.ic with
+    | None -> "<closed>"
+    | Some l when Protocol.is_status l -> l
+    | Some _ -> drain ()
+  in
+  check_prefix "occupant killed" "err KILLED" (drain ());
+  ignore (request a "quit");
+  ignore (request b "quit");
+  close a;
+  close b
+
 let () =
   Alcotest.run "coral_server"
     [ ( "protocol",
@@ -1456,6 +1626,7 @@ let () =
           Alcotest.test_case "plan cache (wire)" `Quick test_plan_cache_over_wire;
           Alcotest.test_case "explain analyze (wire)" `Quick test_explain_analyze_wire;
           Alcotest.test_case "metrics (wire)" `Quick test_metrics_wire;
+          Alcotest.test_case "byte counters (wire)" `Quick test_byte_counters_wire;
           Alcotest.test_case "metrics (http)" `Quick test_metrics_http;
           Alcotest.test_case "request deadline" `Quick test_deadline;
           Alcotest.test_case "ps and kill" `Quick test_ps_kill;
@@ -1476,6 +1647,7 @@ let () =
           Alcotest.test_case "framing edge cases" `Quick test_framing_edge_cases;
           Alcotest.test_case "connection cap sheds with BUSY" `Quick test_busy_connection_cap;
           Alcotest.test_case "in-flight cap sheds with BUSY" `Quick test_busy_inflight_cap;
+          Alcotest.test_case "repl retries after BUSY" `Quick test_repl_busy_retry;
           Alcotest.test_case "resource budget (session)" `Quick test_resource_budget;
           Alcotest.test_case "resource budget (global)" `Quick test_resource_budget_global;
           Alcotest.test_case "degraded mode over the wire" `Quick test_degraded_mode;
