@@ -26,6 +26,12 @@
      --max-query-tuples N  per-query derived-tuple budget: a query past
                        it is cancelled with err RESOURCE (0 = unlimited;
                        sessions can tighten it with "limit tuples N")
+     --worker          enable the cluster control plane (shard, dprog#,
+                       delta#, barrier, dreset) so a coral_router can
+                       claim this process as a shard.  Off by default:
+                       dreset clears the whole database, so only an
+                       operator who runs a process AS a worker should
+                       expose it
      --quiet           do not print the listening banner
 
    The given program files are consulted into the shared engine before
@@ -71,6 +77,7 @@ let () =
   let max_sessions = ref 0 in
   let max_inflight = ref 0 in
   let max_query_tuples = ref 0 in
+  let worker_mode = ref false in
   let quiet = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -150,6 +157,9 @@ let () =
         prerr_endline "coral_server: --max-query-tuples expects a tuple count >= 0";
         exit 2);
       parse_args rest
+    | "--worker" :: rest ->
+      worker_mode := true;
+      parse_args rest
     | "--quiet" :: rest ->
       quiet := true;
       parse_args rest
@@ -159,7 +169,7 @@ let () =
         \                    [--persist name/arity[:col,col...]] [--metrics-port N]\n\
         \                    [--workers N] [--event-log FILE] [--event-log-max-bytes N]\n\
         \                    [--slow-query-ms N] [--max-sessions N] [--max-inflight N]\n\
-        \                    [--max-query-tuples N] [--quiet] [file.coral ...]\n";
+        \                    [--max-query-tuples N] [--worker] [--quiet] [file.coral ...]\n";
       exit 0
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "coral_server: unknown option %s\n" arg;
@@ -240,21 +250,25 @@ let () =
       Printf.eprintf "coral_server: cannot listen: %s\n" (Unix.error_message err);
       exit 1
   in
-  (* Every server can be a cluster worker: install the distributed
-     handler so a coral_router can claim this process as a shard with
-     [shard]/[dprog]/[barrier].  Costs nothing when no router does. *)
+  (* The cluster control plane is opt-in: [dreset] wipes every base
+     relation and [shard] hands the process to a router, so a server
+     never meant to be a cluster member must not answer them.  Without
+     [--worker] the session layer refuses all five cluster commands
+     with [err CLUSTER]. *)
   let () =
-    let store = Coral_server.Server.store srv in
-    let worker =
-      Coral_dist.Worker.create
-        ~eng:(Coral.engine db)
-        ~commit:(fun ~invalidate f -> Coral_server.Session.commit store ~invalidate f)
-        ~locked:(fun f -> Coral_server.Session.locked store f)
-        ~budget:(fun () ->
-          (Coral_server.Admission.config (Coral_server.Session.admission store))
-            .Coral_server.Admission.max_query_tuples)
-    in
-    Coral_server.Session.set_dist_handler store (Coral_dist.Worker.handle worker)
+    if !worker_mode then begin
+      let store = Coral_server.Server.store srv in
+      let worker =
+        Coral_dist.Worker.create
+          ~eng:(Coral.engine db)
+          ~commit:(fun ~invalidate f -> Coral_server.Session.commit store ~invalidate f)
+          ~locked:(fun f -> Coral_server.Session.locked store f)
+          ~budget:(fun () ->
+            (Coral_server.Admission.config (Coral_server.Session.admission store))
+              .Coral_server.Admission.max_query_tuples)
+      in
+      Coral_server.Session.set_dist_handler store (Coral_dist.Worker.handle worker)
+    end
   in
   ignore
     (Thread.create

@@ -28,11 +28,11 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-"$BIN/coral_server.exe" --socket "$DIR/w0.sock" --event-log "$DIR/worker0.jsonl" --quiet &
+"$BIN/coral_server.exe" --worker --socket "$DIR/w0.sock" --event-log "$DIR/worker0.jsonl" --quiet &
 PIDS="$PIDS $!"
-"$BIN/coral_server.exe" --socket "$DIR/w1.sock" --event-log "$DIR/worker1.jsonl" --quiet &
+"$BIN/coral_server.exe" --worker --socket "$DIR/w1.sock" --event-log "$DIR/worker1.jsonl" --quiet &
 PIDS="$PIDS $!"
-"$BIN/coral_server.exe" --socket "$DIR/w2.sock" --event-log "$DIR/worker2.jsonl" --quiet &
+"$BIN/coral_server.exe" --worker --socket "$DIR/w2.sock" --event-log "$DIR/worker2.jsonl" --quiet &
 PIDS="$PIDS $!"
 "$BIN/coral_server.exe" --socket "$DIR/single.sock" --quiet &
 PIDS="$PIDS $!"

@@ -45,6 +45,7 @@ let create ~addrs ~key =
 
 let shards t = Array.length t.clients
 let addrs t = Array.to_list t.addrs
+let partition t = Partition.create ~shards:(Array.length t.clients) ~key:t.key
 
 let disconnect t = Array.iter Shard_client.disconnect t.clients
 
@@ -120,6 +121,29 @@ let send_payload t cmd text =
 let send_edb t text = send_payload t "consult#" text
 let send_program t text = send_payload t "dprog#" text
 
+(* Ship one shard a delta batch outside the barrier loop.  Used to
+   seed partitioned predicates that also have consulted base facts:
+   the batch sits in the worker's exchange buffer and is absorbed at
+   the first promote, exactly like a peer delta.  The caller passes
+   the total seeded count to [run_fixpoint] so round 1's
+   shipped-equals-received tripwire can account for it. *)
+let send_delta t ~shard text =
+  if shard < 0 || shard >= Array.length t.clients then
+    Error (Protocol.Cluster, Printf.sprintf "seed delta for nonexistent shard %d" shard)
+  else begin
+    let payload =
+      if text = "" || text.[String.length text - 1] = '\n' then text else text ^ "\n"
+    in
+    match
+      expect_ok t.clients.(shard)
+        ~payload
+        (Printf.sprintf "delta# %d" (String.length payload))
+    with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+    | exception Shard_client.Down m -> Error (Protocol.Unavail, m)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* The fixpoint loop                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -129,7 +153,7 @@ let max_rounds = 100_000
 let sum key kvs =
   List.fold_left (fun acc kv -> acc + Option.value (Shard_client.kv_int kv key) ~default:0) 0 kvs
 
-let run_fixpoint ?(progress = fun ~round:_ ~new_tuples:_ ~shipped:_ -> ()) t =
+let run_fixpoint ?(progress = fun ~round:_ ~new_tuples:_ ~shipped:_ -> ()) ?(seeded = 0) t =
   let t0 = Unix.gettimeofday () in
   let rec round r acc =
     if r > max_rounds then
@@ -150,7 +174,8 @@ let run_fixpoint ?(progress = fun ~round:_ ~new_tuples:_ ~shipped:_ -> ()) t =
         | Error e -> Error e
         | Ok prom_kvs ->
           let fresh = sum "new" prom_kvs in
-          let received = sum "received" prom_kvs in
+          (* round 1 also drains the pre-shipped seed deltas *)
+          let received = sum "received" prom_kvs - if r = 1 then seeded else 0 in
           if shipped <> received then
             Error
               ( Protocol.Cluster,

@@ -22,6 +22,12 @@ val create : addrs:string list -> key:int -> t
 
 val shards : t -> int
 val addrs : t -> string list
+
+val partition : t -> Partition.t
+(** The partitioner every worker was configured with: same shard
+    count, same key argument — the router uses it to route seed
+    deltas to their owner. *)
+
 val disconnect : t -> unit
 
 val configure : t -> (unit, Coral_server.Protocol.error_code * string) result
@@ -31,9 +37,20 @@ val reset : t -> (unit, Coral_server.Protocol.error_code * string) result
 val send_edb : t -> string -> (unit, Coral_server.Protocol.error_code * string) result
 val send_program : t -> string -> (unit, Coral_server.Protocol.error_code * string) result
 
+val send_delta :
+  t -> shard:int -> string -> (unit, Coral_server.Protocol.error_code * string) result
+(** Ship one shard a fact batch into its exchange buffer, absorbed at
+    its next promote.  Used before [run_fixpoint] to seed partitioned
+    predicates that also have consulted base facts; pass the total
+    count as [run_fixpoint]'s [seeded]. *)
+
 val run_fixpoint :
   ?progress:(round:int -> new_tuples:int -> shipped:int -> unit) ->
+  ?seeded:int ->
   t ->
   (run_stats, Coral_server.Protocol.error_code * string) result
-(** Run rounds until global quiescence.  Worker errors propagate under
-    their original codes; an unreachable worker yields [UNAVAIL]. *)
+(** Run rounds until global quiescence.  [seeded] (default 0) is the
+    tuple count pre-shipped with [send_delta]: round 1's
+    shipped-equals-received balance check subtracts it.  Worker errors
+    propagate under their original codes; an unreachable worker yields
+    [UNAVAIL]. *)

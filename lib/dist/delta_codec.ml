@@ -3,9 +3,61 @@
    parser and the term printers, round-trips every storable value
    (strings print with OCaml %S quoting), and stays debuggable by
    pasting a batch into a REPL.  A batch decodes to plain facts; the
-   receiving worker buffers them until the next promote barrier. *)
+   receiving worker buffers them until the next promote barrier.
+
+   Printing must be an exact inverse of the parser: a tuple that
+   changes value — or type — in transit silently diverges the cluster
+   from single-node semantics, and can even hash to a different owner
+   shard and trip the misrouted-delta check.  The stock [Term.pp]
+   prints doubles with %g (6 significant digits: 2.0 becomes "2",
+   which re-parses as an Int), so doubles get their own lossless
+   printer here; values with no fact syntax at all (non-finite
+   doubles, opaque builtin values) raise [Unencodable] rather than
+   ship a lie. *)
 
 open Coral
+
+exception Unencodable of string
+
+(* Value.repr_double is the shortest decimal that round-trips through
+   [float_of_string], with a '.' forced into the mantissa so the lexer
+   reads it back as a FLOAT (plain "2" or "1e+300" would lex as
+   integers). *)
+let double_repr f =
+  if not (Float.is_finite f) then
+    raise (Unencodable (Printf.sprintf "non-finite double %h has no fact syntax" f));
+  Value.repr_double f
+
+let rec term_repr buf (t : Term.t) =
+  match t with
+  | Term.Const (Value.Double f) -> Buffer.add_string buf (double_repr f)
+  | Term.Const (Value.Opaque _) ->
+    raise (Unencodable (Term.to_string t ^ " (opaque value) has no fact syntax"))
+  | Term.Const _ | Term.Var _ | Term.App { args = [||]; _ } ->
+    Buffer.add_string buf (Term.to_string t)
+  | Term.App { sym; args; _ } when Symbol.equal sym Symbol.cons && Array.length args = 2 ->
+    Buffer.add_char buf '[';
+    let rec go first = function
+      | Term.App { sym; args = [||]; _ } when Symbol.equal sym Symbol.nil -> ()
+      | Term.App { sym; args = [| h; tl |]; _ } when Symbol.equal sym Symbol.cons ->
+        if not first then Buffer.add_string buf ", ";
+        term_repr buf h;
+        go false tl
+      | tail ->
+        Buffer.add_string buf " | ";
+        term_repr buf tail
+    in
+    go true t;
+    Buffer.add_char buf ']'
+  | Term.App { sym; args; _ } ->
+    Buffer.add_string buf (Symbol.name sym);
+    Buffer.add_char buf '(';
+    Array.iteri
+      (fun i a ->
+        if i > 0 then Buffer.add_string buf ", ";
+        term_repr buf a)
+      args;
+    Buffer.add_char buf ')'
 
 let fact_line name (tuple : Tuple.t) =
   let buf = Buffer.create 48 in
@@ -15,7 +67,7 @@ let fact_line name (tuple : Tuple.t) =
     Array.iteri
       (fun i t ->
         if i > 0 then Buffer.add_string buf ", ";
-        Buffer.add_string buf (Term.to_string t))
+        term_repr buf t)
       tuple.Tuple.terms;
     Buffer.add_char buf ')'
   end;

@@ -4,9 +4,16 @@
     parseable by the stock parser, printable by the stock printers,
     debuggable over [nc]. *)
 
+exception Unencodable of string
+(** Raised by [fact_line] for values with no fact syntax (non-finite
+    doubles, opaque builtin values): shipping them would silently
+    change the value, or its type, on the receiving worker. *)
+
 val fact_line : string -> Coral.Tuple.t -> string
 (** ["pred(a, b)."] — no trailing newline.  Arity-0 tuples render as
-    ["pred."]. *)
+    ["pred."].  Printing is a lossless inverse of the parser: doubles
+    keep their full precision and re-parse as doubles.
+    @raise Unencodable on a value with no fact syntax. *)
 
 val decode : string -> (Coral.Ast.atom list, string) result
 (** Parse a batch back into facts; any non-fact item is an error. *)

@@ -145,6 +145,15 @@ let analyse_text text =
       List.filter_map (function Ast.Module_item m -> Some m | _ -> None) items
     in
     let clauses =
-      List.filter_map (function Ast.Clause_item r -> Some r | _ -> None) items
+      (* a module fact (path(40, 41). among recursive path rules)
+         pretty-prints as a bare fact line, which re-parses as a
+         top-level [Fact] item — keep it as an empty-body rule or the
+         worker's program silently loses the seed *)
+      List.filter_map
+        (function
+          | Ast.Clause_item r -> Some r
+          | Ast.Fact a -> Some { Ast.head = Ast.head_of_atom a; Ast.body = [] }
+          | _ -> None)
+        items
     in
     analyse modules clauses

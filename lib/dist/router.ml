@@ -13,11 +13,13 @@
 
      Dirty  the workers' materialized state does not reflect the
             router's database (fresh start, a consult/insert landed, a
-            worker went unreachable).  The first distributed query
+            query mutated the replica through assert/retract, a worker
+            went unreachable).  The first distributed query
             reprovisions from scratch — configure, dreset, re-ship the
-            EDB, ship the program, run the fixpoint to quiescence —
-            and moves to Clean.  Reprovisioning wholesale instead of
-            incrementally keeps exactly one code path whose
+            EDB, ship the program, seed the partitioned predicates'
+            consulted facts to their owner shards, run the fixpoint to
+            quiescence — and moves to Clean.  Reprovisioning wholesale
+            instead of incrementally keeps exactly one code path whose
             postcondition is "worker state equals router state".
      Clean  distributed queries fan out and merge.
 
@@ -65,6 +67,24 @@ let ignore_sigpipe () =
 (* Cluster provisioning                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Iterate the router's base relations, skipping reserved @ names. *)
+let iter_base_relations eng f =
+  List.iter
+    (fun (key, _card) ->
+      match String.rindex_opt key '/' with
+      | None -> ()
+      | Some i -> (
+        let name = String.sub key 0 i in
+        match int_of_string_opt (String.sub key (i + 1) (String.length key - i - 1)) with
+        | None -> ()
+        | Some arity ->
+          if not (String.contains name '@') then begin
+            match Coral.Engine.relation_of eng (Coral.Symbol.intern name) arity with
+            | None -> ()
+            | Some rel -> f name arity rel
+          end))
+    (Coral.Engine.list_relations eng)
+
 (* Dump the router's base relations (the replicated EDB) as fact
    lines.  Derived predicates and the @delta siblings are excluded —
    the workers rebuild those themselves. *)
@@ -72,28 +92,40 @@ let edb_text t (a : Plan.analysis) =
   let eng = Coral.engine (Session.db t.sstore) in
   let buf = Buffer.create 4096 in
   Session.locked t.sstore (fun () ->
-      List.iter
-        (fun (key, _card) ->
-          match String.rindex_opt key '/' with
-          | None -> ()
-          | Some i -> (
-            let name = String.sub key 0 i in
-            match int_of_string_opt (String.sub key (i + 1) (String.length key - i - 1)) with
-            | None -> ()
-            | Some arity ->
-              if (not (String.contains name '@')) && not (List.mem (name, arity) a.Plan.idb)
-              then begin
-                match Coral.Engine.relation_of eng (Coral.Symbol.intern name) arity with
-                | None -> ()
-                | Some rel ->
-                  Seq.iter
-                    (fun tuple ->
-                      Buffer.add_string buf (Delta_codec.fact_line name tuple);
-                      Buffer.add_char buf '\n')
-                    (Coral.Relation.scan rel ())
-              end))
-        (Coral.Engine.list_relations eng));
+      iter_base_relations eng (fun name arity rel ->
+          if not (List.mem (name, arity) a.Plan.idb) then
+            Seq.iter
+              (fun tuple ->
+                Buffer.add_string buf (Delta_codec.fact_line name tuple);
+                Buffer.add_char buf '\n')
+              (Coral.Relation.scan rel ())))
+  ;
   Buffer.contents buf
+
+(* A predicate defined by rules can ALSO be seeded with consulted
+   facts (path(a, b). plus recursive path rules).  Those facts live in
+   the router's base relations but are excluded from the replicated
+   EDB — each belongs to exactly one owner shard.  Ship them as
+   per-owner delta batches: they sit in the owner's exchange buffer,
+   are absorbed into full + @delta at the first promote, and from
+   round 2 on the linear rules derive from them like any other delta.
+   Returns the per-shard batches plus the total seeded count. *)
+let seed_batches t (a : Plan.analysis) =
+  let eng = Coral.engine (Session.db t.sstore) in
+  let part = Coordinator.partition t.coord in
+  let batches = Array.init (Coordinator.shards t.coord) (fun _ -> Buffer.create 256) in
+  let count = ref 0 in
+  Session.locked t.sstore (fun () ->
+      iter_base_relations eng (fun name arity rel ->
+          if List.mem (name, arity) a.Plan.idb then
+            Seq.iter
+              (fun tuple ->
+                let buf = batches.(Partition.owner part tuple) in
+                Buffer.add_string buf (Delta_codec.fact_line name tuple);
+                Buffer.add_char buf '\n';
+                incr count)
+              (Coral.Relation.scan rel ())));
+  batches, !count
 
 (* Reprovision the cluster from the router's database.  Caller holds
    [cl_lock]. *)
@@ -106,34 +138,68 @@ let resync t (a : Plan.analysis) =
      configuration (still riding the stale control session). *)
   Coordinator.disconnect t.coord;
   let ( >>= ) r f = Result.bind r f in
-  Coordinator.configure t.coord
-  >>= fun () ->
-  Coordinator.reset t.coord
-  >>= fun () ->
-  Coordinator.send_edb t.coord (edb_text t a)
-  >>= fun () ->
-  Coordinator.send_program t.coord a.Plan.text
-  >>= fun () ->
-  Coordinator.run_fixpoint t.coord
-  >>= fun stats ->
-  Coral_obs.Obs.Counter.incr t.c_fixpoints;
-  Coral_obs.Query_log.Events.log ~kind:"dist_fixpoint"
-    [ "shards", Coral_obs.Json.Int (Coordinator.shards t.coord);
-      "rounds", Coral_obs.Json.Int stats.Coordinator.rounds;
-      "new_tuples", Coral_obs.Json.Int stats.Coordinator.new_tuples;
-      "shipped_tuples", Coral_obs.Json.Int stats.Coordinator.shipped_tuples;
-      "shipped_bytes", Coral_obs.Json.Int stats.Coordinator.shipped_bytes;
-      "wall_ms", Coral_obs.Json.Int (int_of_float (stats.Coordinator.wall_s *. 1000.))
-    ];
-  t.last_run <- Some stats;
-  t.dirty <- false;
-  Ok ()
+  match
+    Coordinator.configure t.coord
+    >>= fun () ->
+    Coordinator.reset t.coord
+    >>= fun () ->
+    Coordinator.send_edb t.coord (edb_text t a)
+    >>= fun () ->
+    Coordinator.send_program t.coord a.Plan.text
+    >>= fun () ->
+    let batches, seeded = seed_batches t a in
+    let rec ship shard =
+      if shard >= Array.length batches then Ok ()
+      else if Buffer.length batches.(shard) = 0 then ship (shard + 1)
+      else
+        Coordinator.send_delta t.coord ~shard (Buffer.contents batches.(shard))
+        >>= fun () -> ship (shard + 1)
+    in
+    ship 0
+    >>= fun () ->
+    Coordinator.run_fixpoint ~seeded t.coord
+    >>= fun stats -> Ok (stats, seeded)
+  with
+  | exception Delta_codec.Unencodable m ->
+    (* a value the codec cannot round-trip must not reach a worker:
+       fail the sync; the caller's query surfaces the error and the
+       cluster stays dirty *)
+    Error (Protocol.Cluster, m)
+  | Error e -> Error e
+  | Ok (stats, seeded) ->
+    Coral_obs.Obs.Counter.incr t.c_fixpoints;
+    Coral_obs.Query_log.Events.log ~kind:"dist_fixpoint"
+      [ "shards", Coral_obs.Json.Int (Coordinator.shards t.coord);
+        "rounds", Coral_obs.Json.Int stats.Coordinator.rounds;
+        "seeded_tuples", Coral_obs.Json.Int seeded;
+        "new_tuples", Coral_obs.Json.Int stats.Coordinator.new_tuples;
+        "shipped_tuples", Coral_obs.Json.Int stats.Coordinator.shipped_tuples;
+        "shipped_bytes", Coral_obs.Json.Int stats.Coordinator.shipped_bytes;
+        "wall_ms", Coral_obs.Json.Int (int_of_float (stats.Coordinator.wall_s *. 1000.))
+      ];
+    t.last_run <- Some stats;
+    t.dirty <- false;
+    Ok ()
 
-let ensure_synced t (a : Plan.analysis) =
+(* Re-read the verdict under [cl_lock] and, if the cluster is dirty,
+   reprovision with the analysis read THERE — not one a caller read
+   before taking the lock.  A concurrent consult can flip the verdict
+   between a caller's unlocked routing check and this point; returning
+   the locked-in analysis (or [`Local]) makes that race harmless
+   instead of an [assert false]. *)
+let ensure_synced t =
   Mutex.lock t.cl_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.cl_lock)
-    (fun () -> if not t.dirty then Ok () else resync t a)
+    (fun () ->
+      match t.verdict with
+      | Plan.Local _ -> `Local
+      | Plan.Distributable a -> (
+        if not t.dirty then `Synced a
+        else
+          match resync t a with
+          | Ok () -> `Synced a
+          | Error e -> `Error e))
 
 let mark_dirty t =
   Mutex.lock t.cl_lock;
@@ -148,9 +214,11 @@ let mark_dirty t =
 (* A query is fanned out when the cluster holds its derived data and
    the merge is provably disjoint: exactly one positive literal over a
    partitioned predicate (its instantiation in any answer row has a
-   unique owner shard), none negated.  Everything else — pure-EDB
-   queries, multi-IDB joins, negation over IDB — evaluates on the
-   router's own replica. *)
+   unique owner shard), none negated, and no update builtin anywhere
+   in the query — a fanned-out assert/retract would mutate the
+   workers' replicas instead of the router's database.  Everything
+   else — pure-EDB queries, multi-IDB joins, negation over IDB,
+   mutating queries — evaluates on the router's own replica. *)
 let distributable_query (a : Plan.analysis) text =
   match Coral.Parser.query text with
   | Error _ -> None  (* let the local session produce the parse error *)
@@ -158,14 +226,21 @@ let distributable_query (a : Plan.analysis) text =
     let is_idb (atom : Coral.Ast.atom) =
       List.mem (Coral.Symbol.name atom.Coral.Ast.pred, Array.length atom.Coral.Ast.args) a.Plan.idb
     in
+    let mutates (atom : Coral.Ast.atom) =
+      let n = Coral.Symbol.name atom.Coral.Ast.pred in
+      (n = "assert" || n = "retract") && Array.length atom.Coral.Ast.args = 1
+    in
     let pos_idb =
       List.filter (function Coral.Ast.Pos at -> is_idb at | _ -> false) lits
     in
     let neg_idb =
       List.exists (function Coral.Ast.Neg at -> is_idb at | _ -> false) lits
     in
-    (match pos_idb, neg_idb with
-    | [ _ ], false -> Some ()
+    let mutating =
+      List.exists (function Coral.Ast.Pos at -> mutates at | _ -> false) lits
+    in
+    (match pos_idb, neg_idb, mutating with
+    | [ _ ], false, false -> Some ()
     | _ -> None)
 
 (* Strip a worker reply line back into payload form. *)
@@ -215,15 +290,24 @@ let launch_fanout ~timeout_ms addrs text =
   in
   { slots; threads }
 
-let do_dist_query t session text =
-  match t.verdict with
-  | Plan.Local _ -> assert false
-  | Plan.Distributable a -> (
-    match ensure_synced t a with
-    | Error (code, msg) ->
-      t.dirty <- true;
-      Protocol.err code ("cluster sync failed: " ^ msg)
-    | Ok () ->
+(* Evaluate on the router's own replica — and notice when the query
+   mutated it.  The assert/retract builtins ride ordinary queries (the
+   session routes them to the write lane), and any committed mutation
+   publishes a new snapshot epoch; an epoch bump across the call means
+   the workers' materialized state no longer reflects the database, so
+   the cluster goes dirty exactly like after a consult.  A concurrent
+   session's mutation can bump the epoch in the same window and cause
+   a spurious re-dirty — harmless; that mutation dirties the cluster
+   itself anyway. *)
+let local_query t session text =
+  Coral_obs.Obs.Counter.incr t.c_local;
+  let before = Session.snapshot_epoch t.sstore in
+  let r = Session.handle session (Protocol.Query text) in
+  if Session.snapshot_epoch t.sstore <> before then mark_dirty t;
+  r
+
+let fan_out t session text =
+      Coral_obs.Obs.Counter.incr t.c_dist;
       let timeout_ms = Session.deadline_ms session in
       let entry =
         Coral_obs.Query_log.register ~session:(Session.sid session)
@@ -280,21 +364,31 @@ let do_dist_query t session text =
               (Printf.sprintf "%d answer%s shards=%d" rows
                  (if rows = 1 then "" else "s")
                  (Coordinator.shards t.coord))
-            payload)))
+            payload))
+
+let do_dist_query t session text =
+  match ensure_synced t with
+  | `Error (code, msg) -> Protocol.err code ("cluster sync failed: " ^ msg)
+  | `Local ->
+    (* the verdict flipped under a concurrent consult; the replica is
+       the correct target now *)
+    local_query t session text
+  | `Synced a -> (
+    (* re-check the query against the analysis the workers actually
+       hold, not the one the unlocked routing peek saw *)
+    match distributable_query a text with
+    | Some () -> fan_out t session text
+    | None -> local_query t session text)
 
 let handle_query t session text =
+  (* an unlocked peek, only to route: do_dist_query re-reads the
+     verdict under cl_lock before touching the cluster *)
   match t.verdict with
   | Plan.Distributable a when Coordinator.shards t.coord > 0 -> (
     match distributable_query a text with
-    | Some () ->
-      Coral_obs.Obs.Counter.incr t.c_dist;
-      do_dist_query t session text
-    | None ->
-      Coral_obs.Obs.Counter.incr t.c_local;
-      Session.handle session (Protocol.Query text))
-  | _ ->
-    Coral_obs.Obs.Counter.incr t.c_local;
-    Session.handle session (Protocol.Query text)
+    | Some () -> do_dist_query t session text
+    | None -> local_query t session text)
+  | _ -> local_query t session text
 
 (* ------------------------------------------------------------------ *)
 (* Request dispatch                                                    *)

@@ -7,10 +7,12 @@
     distributable (the program is in the linear class, the query has
     exactly one positive literal over a partitioned predicate) are
     fanned out to the workers and merged, everything else evaluates
-    locally.  A consult/insert marks the cluster dirty; the next
-    distributed query reprovisions it from scratch (configure, dreset,
-    re-ship the EDB, ship the program, run the fixpoint) before
-    fanning out. *)
+    locally.  A consult/insert — or a query that mutates the replica
+    through the assert/retract builtins — marks the cluster dirty; the
+    next distributed query reprovisions it from scratch (configure,
+    dreset, re-ship the EDB, ship the program, seed partitioned
+    predicates' consulted facts to their owner shards, run the
+    fixpoint) before fanning out. *)
 
 type listen =
   [ `Tcp of string * int

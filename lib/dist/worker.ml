@@ -284,6 +284,11 @@ let do_step t round =
     in
     (match ship_all 0 0 0 with
     | Error m -> Protocol.err Protocol.Unavail ("peer unreachable mid-round: " ^ m)
+    | exception Delta_codec.Unencodable m ->
+      (* a derived value the codec cannot round-trip (a rule computed
+         a non-finite double, say) must fail the round loudly, not
+         ship a lie to its owner *)
+      Protocol.err Protocol.Cluster ("derived tuple cannot be shipped: " ^ m)
     | Ok (shipped, bytes) ->
       Protocol.ok
         ~detail:(Printf.sprintf "derived=%d shipped=%d bytes=%d" !derived shipped bytes)

@@ -72,6 +72,21 @@ let hash = function
   | Big b -> Bignum.hash b
   | Opaque (ops, v) -> (Hashtbl.hash ops.o_name lxor ops.o_hash v) land max_int
 
+let repr_double f =
+  if not (Float.is_finite f) then Printf.sprintf "%g" f
+  else begin
+    let rec shortest p =
+      let s = Printf.sprintf "%.*g" p f in
+      if p >= 17 || float_of_string s = f then s else shortest (p + 1)
+    in
+    let s = shortest 1 in
+    if String.contains s '.' then s
+    else
+      match String.index_opt s 'e' with
+      | Some i -> String.sub s 0 i ^ ".0" ^ String.sub s i (String.length s - i)
+      | None -> s ^ ".0"
+  end
+
 let pp ppf = function
   | Int i -> Format.pp_print_int ppf i
   | Double f -> Format.fprintf ppf "%g" f

@@ -59,6 +59,13 @@ val compare : t -> t -> int
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
+val repr_double : float -> string
+(** Lossless source representation of a finite double: the shortest
+    decimal that round-trips through [float_of_string], with a '.'
+    forced into the mantissa so the lexer reads it back as a FLOAT
+    (plain "2" or "1e+300" would lex as integers).  Non-finite values
+    have no source syntax and print as ["nan"]/["inf"]/["-inf"]. *)
+
 val is_numeric : t -> bool
 
 val to_float : t -> float option

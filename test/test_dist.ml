@@ -58,6 +58,48 @@ let test_delta_codec_unit () =
   | Ok _ -> Alcotest.fail "a rule must not decode as a delta"
   | Error _ -> ()
 
+(* Doubles must survive print -> parse with value AND type intact:
+   %g's 6 significant digits would ship 2.0 as "2" (an Int on the
+   receiving worker) and 1.0000001 as "1". *)
+let test_delta_codec_doubles () =
+  let roundtrip f =
+    let tuple = Coral.Tuple.of_terms [| Coral.Term.double f |] in
+    let line = Delta_codec.fact_line "m" tuple in
+    match Delta_codec.decode line with
+    | Error e -> Alcotest.fail (Printf.sprintf "%s did not decode: %s" line e)
+    | Ok [ atom ] -> (
+      match atom.Coral.Ast.args.(0) with
+      | Coral.Term.Const (Coral.Value.Double g) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%h survives as %s" f line)
+          true
+          (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+      | t ->
+        Alcotest.fail
+          (Printf.sprintf "%h shipped as %s, re-parsed as non-double %s" f line
+             (Coral.Term.to_string t)))
+    | Ok _ -> Alcotest.fail "one fact expected"
+  in
+  List.iter roundtrip
+    [ 2.0; -2.0; 1.0000001; 0.1; -0.5; 1e300; 4.9e-324; 1.7976931348623157e308;
+      3.141592653589793; 1000000.0 ];
+  (* a double and the equal-printing int stay distinct on the wire *)
+  Alcotest.(check string) "2.0 is not 2" "m(2.0)."
+    (Delta_codec.fact_line "m" (Coral.Tuple.of_terms [| Coral.Term.double 2.0 |]));
+  (* nested under a functor and in lists too *)
+  let nested =
+    Coral.Tuple.of_terms
+      [| Coral.Term.app (Coral.Symbol.intern "f") [| Coral.Term.double 3.0 |];
+         Coral.Term.list_of [ Coral.Term.double 0.5 ]
+      |]
+  in
+  Alcotest.(check string) "nested doubles" "m(f(3.0), [0.5])."
+    (Delta_codec.fact_line "m" nested);
+  (* values with no fact syntax refuse to ship rather than lie *)
+  match Delta_codec.fact_line "m" (Coral.Tuple.of_terms [| Coral.Term.double Float.nan |]) with
+  | _ -> Alcotest.fail "nan must not serialize"
+  | exception Delta_codec.Unencodable _ -> ()
+
 let test_exchange_unit () =
   let x = Exchange.create () in
   let item i = { Exchange.pred = "path"; arity = 2; tuple = tuple_of [ i; i + 1 ] } in
@@ -134,6 +176,35 @@ let test_plan_unit () =
    with
   | `Dist _ -> Alcotest.fail "aggregation must be Local"
   | `Local _ -> ());
+  (* a module fact must survive the program's text round-trip to the
+     workers: it pretty-prints as a bare fact line, which re-parses as
+     a top-level Fact item — and must be kept as an Init rule, not
+     dropped.  Double constants must keep their exact values. *)
+  (match
+     verdict_of
+       "module m.\n\
+        export path(ff).\n\
+        path(7, 8).\n\
+        path(2.0, 3.0000001).\n\
+        path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+        end_module.\n"
+   with
+  | `Local why -> Alcotest.fail ("seeded module rejected: " ^ why)
+  | `Dist a -> (
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "program text keeps the exact double" true
+      (contains a.Plan.text "3.0000001");
+    Alcotest.(check bool) "program text keeps 2.0 a double" true (contains a.Plan.text "2.0");
+    match Plan.analyse_text a.Plan.text with
+    | Plan.Local why -> Alcotest.fail ("round-tripped program rejected: " ^ why)
+    | Plan.Distributable b ->
+      Alcotest.(check int) "facts survive the round-trip"
+        (List.length a.Plan.drules)
+        (List.length b.Plan.drules)));
   (* annotated modules keep single-node semantics *)
   match
     verdict_of
@@ -351,6 +422,73 @@ let test_differential_sg () =
     (fun (shards, key) -> check_differential ~shards ~key texts queries expected)
     [ 2, 0; 4, 1 ]
 
+(* A predicate can be BOTH rule-defined and seeded with consulted
+   facts (path(40, 41). plus the recursive path rules).  Those facts
+   are not part of the replicated EDB — each is shipped to its owner
+   shard before the fixpoint — so the distributed closure must contain
+   the seeds and everything derived from them, byte-identical to
+   single-node. *)
+let test_differential_seeded_idb () =
+  (* seeds arrive two ways: consulted top-level facts (base relation
+     tuples, shipped as pre-fixpoint deltas) and facts written inside
+     the module (part of the program text, evaluated as Init rules on
+     every worker) — including a double-valued one that must cross the
+     program wire bit-exact *)
+  let tc_with_module_seeds =
+    "module m_path.\n\
+     export path(bf).\n\
+     export path(ff).\n\
+     path(50, 51).\n\
+     path(2.0, 99.0000001).\n\
+     path(X, Y) :- edge(X, Y).\n\
+     path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+     end_module.\n"
+  in
+  let seeds = "path(40, 41).\npath(41, 42).\n" in
+  let texts =
+    [ tc_with_module_seeds;
+      tc_edges ~nodes:10 ~extra:4 13 ^ "edge(42, 43).\nedge(51, 52).\n" ^ seeds ]
+  in
+  let queries =
+    [ "path(X, Y)"; "path(40, Y)"; "path(41, 43)"; "path(50, 52)"; "path(2.0, Y)" ]
+  in
+  let expected = reference texts queries in
+  (* the seeds and their derivations are actually in the reference:
+     path(41, 43) needs seed path(41, 42) joined with edge(42, 43),
+     path(50, 52) needs module fact path(50, 51) joined with
+     edge(51, 52) *)
+  Alcotest.(check (list string)) "reference derives from the seed"
+    [ "ans true" ]
+    (List.assoc "path(41, 43)" expected);
+  Alcotest.(check (list string)) "reference derives from the module fact"
+    [ "ans true" ]
+    (List.assoc "path(50, 52)" expected);
+  Alcotest.(check int) "reference answers the double seed" 1
+    (List.length (List.assoc "path(2.0, Y)" expected));
+  List.iter
+    (fun (shards, key) -> check_differential ~shards ~key texts queries expected)
+    [ 1, 0; 2, 1; 4, 0; 4, 1 ]
+
+(* Float values must reach the workers bit-identical: with the lossy
+   %g codec the 1.0000001-style node names collapse to integers on
+   the wire, joins stop matching, and the distributed closure shrinks
+   silently. *)
+let test_differential_floats () =
+  let buf = Buffer.create 256 in
+  for i = 1 to 9 do
+    Buffer.add_string buf
+      (Printf.sprintf "edge(%d.0000001, %d.0000001).\n" i (i + 1))
+  done;
+  Buffer.add_string buf "edge(2.0, 3.0).\nedge(3.0, 2.0).\nedge(3.0, 4.0000001).\n";
+  let texts = [ tc_program; Buffer.contents buf ] in
+  let queries = [ "path(X, Y)"; "path(2.0, Y)" ] in
+  let expected = reference texts queries in
+  Alcotest.(check bool) "float closure is non-trivial" true
+    (List.length (List.assoc "path(X, Y)" expected) > 20);
+  List.iter
+    (fun (shards, key) -> check_differential ~shards ~key texts queries expected)
+    [ 2, 0; 4, 1 ]
+
 (* An insert through the router lands on the replica, dirties the
    cluster, and the next distributed query sees it after resync. *)
 let test_insert_resyncs () =
@@ -380,6 +518,58 @@ let test_insert_resyncs () =
   check_prefix "insert" "ok" status;
   Alcotest.(check int) "closure after insert" 6 (List.length (answers c "path(X, Y)"));
   Alcotest.(check int) "the insert forced a second fixpoint" (r1 + 1) (fixpoint_runs ());
+  ignore (request c "quit");
+  close_client c
+
+(* The assert/retract builtins mutate through ordinary queries (the
+   session reroutes them to the write lane).  The router must notice —
+   via the snapshot epoch bump — and dirty the cluster, or subsequent
+   distributed queries keep answering from the workers' stale
+   materialization. *)
+let test_mutating_query_resyncs () =
+  let texts = [ tc_program; "edge(1, 2).\nedge(2, 3).\nedge(3, 4).\n" ] in
+  let cl = start_cluster ~shards:2 ~key:1 () in
+  Fun.protect ~finally:(fun () -> stop_cluster cl) @@ fun () ->
+  let c = connect_unix cl.router_path in
+  consult_all c texts;
+  Alcotest.(check int) "closure of the chain" 6 (List.length (answers c "path(X, Y)"));
+  let _, status = request c "query retract(edge(2, 3))" in
+  check_prefix "retract through a query" "ok" status;
+  (* single-node semantics after the retract: only edge(1,2), edge(3,4) *)
+  Alcotest.(check (list string)) "distributed answers reflect the retract"
+    (List.sort compare [ "ans X = 1, Y = 2"; "ans X = 3, Y = 4" ])
+    (answers c "path(X, Y)");
+  let _, status = request c "query assert(edge(2, 3))" in
+  check_prefix "assert through a query" "ok" status;
+  Alcotest.(check int) "and the assert is visible too" 6
+    (List.length (answers c "path(X, Y)"));
+  (* a query mixing a partitioned literal with an update builtin must
+     not fan out: fanned out, the assert would land on the workers'
+     replicas and the router's database would never see it *)
+  let _, status = request c "query path(1, Y), assert(marker(7))" in
+  check_prefix "mixed idb+assert query" "ok" status;
+  Alcotest.(check int) "the assert landed on the router's replica" 1
+    (List.length (answers c "marker(X)"));
+  ignore (request c "quit");
+  close_client c
+
+(* Without the dist handler installed (a server run without --worker)
+   the cluster control plane refuses: no unauthenticated client can
+   dreset (wipe) a plain server or hijack it as a shard. *)
+let test_non_worker_refuses_cluster () =
+  let path = sock_path () in
+  let srv = Server.start ~listen:(`Unix path) (Coral.create ()) in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect_unix path in
+  let _, status = request c "consult edge(1, 2)." in
+  check_prefix "consult" "ok" status;
+  List.iter
+    (fun cmd ->
+      let _, status = request c cmd in
+      check_prefix (cmd ^ " refused") "err CLUSTER" status)
+    [ "dreset"; "shard 0 2 0 a.sock b.sock"; "barrier step 1"; "barrier promote 1" ];
+  (* and nothing was wiped by the refused dreset *)
+  Alcotest.(check int) "database intact" 1 (List.length (answers c "edge(X, Y)"));
   ignore (request c "quit");
   close_client c
 
@@ -538,13 +728,21 @@ let () =
     [ ( "units",
         [ Alcotest.test_case "partition ownership" `Quick test_partition_unit;
           Alcotest.test_case "delta codec" `Quick test_delta_codec_unit;
+          Alcotest.test_case "delta codec: lossless doubles" `Quick test_delta_codec_doubles;
           Alcotest.test_case "exchange buffer" `Quick test_exchange_unit;
           Alcotest.test_case "plan analysis" `Quick test_plan_unit
         ] );
       ( "cluster",
         [ Alcotest.test_case "differential TC (1/2/4 shards)" `Quick test_differential_tc;
           Alcotest.test_case "differential SG" `Quick test_differential_sg;
+          Alcotest.test_case "differential: seeded IDB facts" `Quick
+            test_differential_seeded_idb;
+          Alcotest.test_case "differential: float values" `Quick test_differential_floats;
           Alcotest.test_case "insert dirties and resyncs" `Quick test_insert_resyncs;
+          Alcotest.test_case "mutating query dirties and resyncs" `Quick
+            test_mutating_query_resyncs;
+          Alcotest.test_case "non-worker refuses cluster commands" `Quick
+            test_non_worker_refuses_cluster;
           Alcotest.test_case "differential under kill storm" `Quick
             test_differential_under_kill;
           Alcotest.test_case "worker crash: clean err, live router" `Quick
