@@ -255,13 +255,93 @@ let run_overload ~cap ~drivers ~seconds =
     Atomic.get busy,
     percentile (Array.of_list !lats) 0.99 )
 
+(* ------------------------------------------------------------------ *)
+(* Mixed read/update: maintenance vs recompute-on-write                *)
+(* ------------------------------------------------------------------ *)
+
+(* The materialized-view serving shape: a forest of short chains (an
+   update touches one chain; the closure spans the whole forest) with
+   the full path/2 view as the read.  Each client loops
+   retract-read-insert-read cycles against its own chains, so an
+   update only counts once the derived state is served fresh again —
+   with maintenance on, the update propagates a bounded delta through
+   the maintained extent and the read scans it; off (the seed's
+   recompute-on-write behavior) every update invalidates the closure
+   and the read that follows pays a full fixpoint.
+   Returns (update_rps, read_rps, read_p99_s). *)
+let mixed_chains = 48
+
+let mixed_len = 8 (* nodes per chain *)
+
+let run_mixed ~maintain ~clients ~seconds =
+  let db = Coral.create () in
+  for c = 0 to mixed_chains - 1 do
+    for p = 0 to mixed_len - 2 do
+      let base = c * mixed_len in
+      Coral.fact db "edge" [ Coral.int (base + p); Coral.int (base + p + 1) ]
+    done
+  done;
+  Coral.consult_text db program;
+  if maintain then Coral.Engine.set_maintenance (Coral.engine db) true;
+  let srv = Coral_server.Server.start ~listen:(`Tcp ("127.0.0.1", 0)) db in
+  let port = Coral_server.Server.port srv in
+  let warm = connect port in
+  ignore (request warm "query path(X, Y)");
+  ignore (request warm "quit");
+  close_conn warm;
+  let stop = Atomic.make false in
+  let updates = Atomic.make 0 and reads = Atomic.make 0 in
+  let lats_lock = Mutex.create () in
+  let lats = ref [] in
+  let threads =
+    List.init clients (fun id ->
+        Thread.create
+          (fun () ->
+            let c = connect port in
+            let read () =
+              let q0 = Unix.gettimeofday () in
+              ignore (request c "query path(X, Y)");
+              let dt = Unix.gettimeofday () -. q0 in
+              Atomic.incr reads;
+              Mutex.lock lats_lock;
+              lats := dt :: !lats;
+              Mutex.unlock lats_lock
+            in
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              (* each client owns an interleaved slice of the chains *)
+              let chain = (id + (!i * clients)) mod mixed_chains in
+              let p = !i mod (mixed_len - 1) in
+              incr i;
+              let a = (chain * mixed_len) + p in
+              ignore (request c (Printf.sprintf "retract edge(%d, %d)." a (a + 1)));
+              Atomic.incr updates;
+              read ();
+              ignore (request c (Printf.sprintf "insert edge(%d, %d)." a (a + 1)));
+              Atomic.incr updates;
+              read ()
+            done;
+            ignore (request c "quit");
+            close_conn c)
+          ())
+  in
+  Thread.delay seconds;
+  Atomic.set stop true;
+  List.iter Thread.join threads;
+  Coral_server.Server.shutdown srv;
+  ( float_of_int (Atomic.get updates) /. seconds,
+    float_of_int (Atomic.get reads) /. seconds,
+    percentile (Array.of_list !lats) 0.99 )
+
 (* BENCH_server.json: throughput plus the Obs histograms the run filled
    in — request/query latency and per-phase engine time (the emit phase
    only exists on the server path, so it shows up here and not in
    BENCH_core.json). *)
 let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) ~scaling
     ~isolation:(base_p99, cont_p99, max_inflight)
-    ~overload:(cap, drivers, (c_rps, c_busy, c_p99), (u_rps, u_busy, u_p99)) =
+    ~overload:(cap, drivers, (c_rps, c_busy, c_p99), (u_rps, u_busy, u_p99))
+    ~maintenance:
+      (m_readers, (m_upd, m_read, m_p99), (r_upd, r_read, r_p99)) =
   let module Obs = Coral_obs.Obs in
   let oc = open_out path in
   let total = clients * requests in
@@ -298,6 +378,16 @@ let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) ~scal
     \    \"capped\": {\"goodput_rps\": %.1f, \"busy_replies\": %d, \"p99_ms\": %.3f},\n\
     \    \"unbounded\": {\"goodput_rps\": %.1f, \"busy_replies\": %d, \"p99_ms\": %.3f}},\n"
     cap drivers c_rps c_busy (c_p99 *. 1000.0) u_rps u_busy (u_p99 *. 1000.0);
+  (* sustained mixed read/update: incremental maintenance versus the
+     recompute-on-write seed behavior (--no-maintain) *)
+  Printf.fprintf oc
+    "  \"maintenance_mixed\": {\"clients\": %d,\n\
+    \    \"maintained\": {\"update_rps\": %.1f, \"read_rps\": %.1f, \"read_p99_ms\": %.3f},\n\
+    \    \"recompute\": {\"update_rps\": %.1f, \"read_rps\": %.1f, \"read_p99_ms\": %.3f},\n\
+    \    \"update_speedup\": %.2f, \"read_p99_ratio\": %.2f},\n"
+    m_readers m_upd m_read (m_p99 *. 1000.0) r_upd r_read (r_p99 *. 1000.0)
+    (if r_upd > 0.0 then m_upd /. r_upd else 0.0)
+    (if r_p99 > 0.0 then m_p99 /. r_p99 else 0.0);
   (* the event log's cost per request: the same workload with event
      recording off versus on (file sink attached) *)
   Printf.fprintf oc
@@ -442,7 +532,20 @@ let () =
   Printf.printf
     "overload (unbounded, %d drivers): %.0f rps goodput, %d BUSY, served p99 %.2fms\n%!"
     drivers u_rps u_busy (u_p99 *. 1000.0);
+  (* sustained mixed read/update: maintenance vs recompute-on-write *)
+  let m_readers = 2 in
+  let maintained = run_mixed ~maintain:true ~clients:m_readers ~seconds:1.5 in
+  let m_upd, m_read, m_p99 = maintained in
+  Printf.printf
+    "mixed (maintenance): %.0f updates/s, %.0f reads/s, read p99 %.2fms\n%!" m_upd m_read
+    (m_p99 *. 1000.0);
+  let recompute = run_mixed ~maintain:false ~clients:m_readers ~seconds:1.5 in
+  let r_upd, r_read, r_p99 = recompute in
+  Printf.printf
+    "mixed (recompute-on-write): %.0f updates/s, %.0f reads/s, read p99 %.2fms\n%!" r_upd
+    r_read (r_p99 *. 1000.0);
   write_json "BENCH_server.json" ~clients:!clients ~requests:!requests ~elapsed_s:dt
     ~event_log:(dt_off, dt) ~scaling ~isolation:(base_p99, cont_p99, max_inflight)
-    ~overload:(cap, drivers, capped, unbounded);
+    ~overload:(cap, drivers, capped, unbounded)
+    ~maintenance:(m_readers, maintained, recompute);
   Printf.printf "wrote BENCH_server.json\n"

@@ -200,6 +200,26 @@ let process_items db items =
           | Error e -> diag "EVAL" e
         end
         | Coral.Ast.Query lits -> run_query db lits
+        | Coral.Ast.Update (op, a) ->
+          let facts = [ a.Coral.Ast.pred, a.Coral.Ast.args ] in
+          let eng = Coral.engine db in
+          let rep =
+            match op with
+            | Coral.Ast.Upd_insert -> Coral.Engine.insert_facts eng facts
+            | Coral.Ast.Upd_retract -> Coral.Engine.retract_facts eng facts
+          in
+          let verb, noop_label =
+            match op with
+            | Coral.Ast.Upd_insert -> "inserted", "duplicate"
+            | Coral.Ast.Upd_retract -> "retracted", "missing"
+          in
+          Printf.printf "%s %d, %s %d%s\n" verb rep.Coral.Engine.ur_applied noop_label
+            rep.Coral.Engine.ur_noop
+            (if rep.Coral.Engine.ur_maintained then
+               Printf.sprintf " (maintenance: +%d -%d tuples, %d rounds)"
+                 (rep.Coral.Engine.ur_derived + rep.Coral.Engine.ur_rederived)
+                 rep.Coral.Engine.ur_deleted rep.Coral.Engine.ur_rounds
+             else "")
         | Coral.Ast.Command (name, _) -> diag "PARSE" (Printf.sprintf "unknown command @%s" name)
       with
       | Coral.Engine.Engine_error e -> diag "EVAL" e
@@ -401,6 +421,9 @@ let client_mode target =
 
 let () =
   let db = Coral.create () in
+  (* first-class [insert f(...).] / [retract f(...).] propagate
+     incrementally instead of forcing recompute-on-read *)
+  Coral.Engine.set_maintenance (Coral.engine db) true;
   let files = ref [] and queries = ref [] and texts = ref [] in
   let batch = ref false and stats = ref false in
   let connect = ref "" in

@@ -78,6 +78,7 @@ let () =
   let max_inflight = ref 0 in
   let max_query_tuples = ref 0 in
   let worker_mode = ref false in
+  let no_maintain = ref false in
   let quiet = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -160,6 +161,9 @@ let () =
     | "--worker" :: rest ->
       worker_mode := true;
       parse_args rest
+    | "--no-maintain" :: rest ->
+      no_maintain := true;
+      parse_args rest
     | "--quiet" :: rest ->
       quiet := true;
       parse_args rest
@@ -169,7 +173,8 @@ let () =
         \                    [--persist name/arity[:col,col...]] [--metrics-port N]\n\
         \                    [--workers N] [--event-log FILE] [--event-log-max-bytes N]\n\
         \                    [--slow-query-ms N] [--max-sessions N] [--max-inflight N]\n\
-        \                    [--max-query-tuples N] [--worker] [--quiet] [file.coral ...]\n";
+        \                    [--max-query-tuples N] [--worker] [--no-maintain] [--quiet]\n\
+        \                    [file.coral ...]\n";
       exit 0
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "coral_server: unknown option %s\n" arg;
@@ -194,6 +199,12 @@ let () =
   let db = Coral.create () in
   (* 0 = not given on the command line; keep the CORAL_WORKERS default *)
   if !workers > 0 then Coral.set_workers db !workers;
+  (* Incremental view maintenance is the default serving mode: inserts
+     and retracts propagate deltas through the materialized extents
+     instead of forcing recompute-on-read.  --no-maintain restores the
+     old recompute-on-write behavior (and is what server_bench compares
+     against). *)
+  if not !no_maintain then Coral.Engine.set_maintenance (Coral.engine db) true;
   let databases =
     if !data_dir = "" then []
     else begin

@@ -144,16 +144,22 @@ let analyse_text text =
     let modules =
       List.filter_map (function Ast.Module_item m -> Some m | _ -> None) items
     in
-    let clauses =
-      (* a module fact (path(40, 41). among recursive path rules)
-         pretty-prints as a bare fact line, which re-parses as a
-         top-level [Fact] item — keep it as an empty-body rule or the
-         worker's program silently loses the seed *)
-      List.filter_map
-        (function
-          | Ast.Clause_item r -> Some r
-          | Ast.Fact a -> Some { Ast.head = Ast.head_of_atom a; Ast.body = [] }
-          | _ -> None)
-        items
-    in
-    analyse modules clauses
+    if List.exists (function Ast.Update _ -> true | _ -> false) items then
+      (* insert/retract directives mutate the store mid-program; they
+         must run on the replica (and dirty the cluster), never ship as
+         part of a distributed rule program *)
+      Local "program contains insert/retract directives"
+    else
+      let clauses =
+        (* a module fact (path(40, 41). among recursive path rules)
+           pretty-prints as a bare fact line, which re-parses as a
+           top-level [Fact] item — keep it as an empty-body rule or the
+           worker's program silently loses the seed *)
+        List.filter_map
+          (function
+            | Ast.Clause_item r -> Some r
+            | Ast.Fact a -> Some { Ast.head = Ast.head_of_atom a; Ast.body = [] }
+            | _ -> None)
+          items
+      in
+      analyse modules clauses

@@ -425,7 +425,7 @@ let router_stats t =
 let handle t session (req : Protocol.request) =
   match req with
   | Protocol.Query text -> handle_query t session text
-  | Protocol.Consult _ | Protocol.Insert _ ->
+  | Protocol.Consult _ | Protocol.Insert _ | Protocol.Retract _ ->
     let r = Session.handle session req in
     (match r.Protocol.status with Ok _ -> mark_dirty t | Error _ -> ());
     r

@@ -38,6 +38,13 @@ type t = {
          check (the active-query registry's per-iteration feed) *)
   mutable workers : int;  (* domain-pool width for new fixpoint instances *)
   mutable backjump : bool;  (* intelligent backtracking (bench ablation E16) *)
+  mutable maint : Maintain.t option;
+      (* incremental view maintenance, enabled by [set_maintenance]:
+         materialized extents of maintainable derived predicates, kept
+         live under insert_facts/retract_facts *)
+  exts : (string, Relation.t) Hashtbl.t;
+      (* frozen maintained extents; populated only in read views (the
+         live engine serves extents through [maint]) *)
 }
 
 let base_relation t pred arity =
@@ -60,6 +67,243 @@ let default_workers () =
   | Some s -> ( try max 1 (min 64 (int_of_string (String.trim s))) with _ -> 1)
   | None -> 1
 
+(* One tick cell per rulebase: pipelined resolution polls the engine's
+   ambient cancellation check every [Fixpoint.tick_interval] solved
+   atoms, mirroring the per-instance budgets of materialized
+   evaluation. *)
+let engine_tick t =
+  let budget = ref Fixpoint.tick_interval in
+  fun () ->
+    match t.cancel with
+    | None -> ()
+    | Some check ->
+      decr budget;
+      if !budget <= 0 then begin
+        budget := Fixpoint.tick_interval;
+        if check () then raise Fixpoint.Cancelled
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental view maintenance and scoped invalidation               *)
+(* ------------------------------------------------------------------ *)
+
+(* A program change (consult, load_module, add_clause, a replaced
+   relation) outdates the maintained extents wholesale; the next update
+   or snapshot rebuilds them. *)
+let touch_maintenance t =
+  match t.maint with
+  | Some m -> Maintain.invalidate m
+  | None -> ()
+
+let set_maintenance t flag =
+  match t.maint, flag with
+  | Some _, true | None, false -> ()
+  | Some _, false -> t.maint <- None
+  | None, true ->
+    t.maint <-
+      Some
+        (Maintain.create
+           { Maintain.src_modules = (fun () -> t.modules);
+             src_user_rules = (fun () -> t.user_rules);
+             src_relation = (fun pred arity -> Hashtbl.find_opt t.base (key pred arity));
+             src_foreign = (fun pred arity -> Hashtbl.mem t.foreigns (key pred arity));
+             src_tick = engine_tick t
+           })
+
+let maintenance_enabled t = t.maint <> None
+
+let maintenance_fallbacks t =
+  match t.maint with
+  | Some m ->
+    Maintain.ensure m;
+    Maintain.fallbacks m
+  | None -> []
+
+let maintenance_info t =
+  match t.maint with
+  | Some m -> Some (Maintain.maintained_count m, Maintain.refreshes m)
+  | None -> None
+
+(* The maintained extent serving a derived predicate, if any: the
+   frozen copy in a read view, else the live maintenance instance's
+   (built on demand). *)
+let extent_of t pred arity =
+  match Hashtbl.find_opt t.exts (key pred arity) with
+  | Some _ as r -> r
+  | None -> begin
+    match t.maint with
+    | Some m ->
+      Maintain.ensure m;
+      Maintain.extent m pred arity
+    | None -> None
+  end
+
+(* Scoped plan invalidation: a base-fact update of predicate p only
+   outdates derived state that (transitively) reads p, so only the
+   cached plans and save-module instances of p's dependents are
+   dropped.  Dependency tracking is by predicate name over the global
+   rule soup — conservative (arity-blind) and cheap. *)
+let dependent_names t names =
+  let rules = List.concat_map (fun (m : Ast.module_) -> m.Ast.rules) t.modules @ t.user_rules in
+  let rev = Hashtbl.create 64 in
+  (* body predicate name -> head predicate name *)
+  List.iter
+    (fun (r : Ast.rule) ->
+      let h = Symbol.name r.Ast.head.Ast.hpred in
+      List.iter
+        (fun lit ->
+          match Ast.literal_atom lit with
+          | Some (a : Ast.atom) -> Hashtbl.add rev (Symbol.name a.Ast.pred) h
+          | None -> ())
+        r.Ast.body)
+    rules;
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      List.iter go (Hashtbl.find_all rev n)
+    end
+  in
+  List.iter go names;
+  seen
+
+(* The predicate segment of a plan/saved key "mname::pred::adorn". *)
+let plan_key_pred k =
+  let len = String.length k in
+  let rec sep i = if i + 1 >= len then None else if k.[i] = ':' && k.[i + 1] = ':' then Some i else sep (i + 1) in
+  match sep 0 with
+  | None -> None
+  | Some i -> begin
+    match sep (i + 2) with
+    | None -> None
+    | Some j -> Some (String.sub k (i + 2) (j - i - 2))
+  end
+
+let invalidate_dependents t preds =
+  let affected = dependent_names t (List.sort_uniq compare (List.map Symbol.name preds)) in
+  let sweep tbl =
+    Hashtbl.fold
+      (fun k _ acc ->
+        match plan_key_pred k with
+        | Some p when Hashtbl.mem affected p -> k :: acc
+        | _ -> acc)
+      tbl []
+    |> List.iter (Hashtbl.remove tbl)
+  in
+  with_plans t (fun () -> sweep t.plans);
+  sweep t.saved
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-update accounting surfaced to the serving layer. *)
+type update_report = {
+  ur_applied : int;  (* facts stored (insert) / removed (retract) *)
+  ur_noop : int;  (* duplicates (insert) / missing (retract) *)
+  ur_derived : int;
+  ur_deleted : int;
+  ur_rederived : int;
+  ur_rounds : int;
+  ur_maintained : bool;  (* propagated incrementally vs. recompute-on-read *)
+}
+
+let no_stats = { Maintain.u_derived = 0; u_deleted = 0; u_rederived = 0; u_rounds = 0 }
+
+let is_ground_fact (_, args) = Array.for_all Term.is_ground args
+
+(* Run a maintenance pass; if it dies mid-flight the extents may be
+   torn, so the instance self-heals by invalidating (the next update
+   rebuilds from scratch) before the error propagates. *)
+let guarded m f =
+  try f () with
+  | e ->
+    Maintain.invalidate m;
+    raise e
+
+let insert_facts t facts =
+  let applied = ref 0 and noop = ref 0 in
+  let stored =
+    List.filter
+      (fun (pred, args) ->
+        if Relation.insert_terms (base_relation t pred (Array.length args)) args then begin
+          incr applied;
+          true
+        end
+        else begin
+          incr noop;
+          false
+        end)
+      facts
+  in
+  let stats =
+    match t.maint with
+    | Some m when stored <> [] ->
+      let ground, nonground = List.partition is_ground_fact stored in
+      (* a non-ground stored tuple is outside the delta model *)
+      if nonground <> [] then Maintain.invalidate m;
+      if ground <> [] && not (Maintain.stale m) then
+        guarded m (fun () -> Maintain.insert m ground)
+      else no_stats
+    | _ -> no_stats
+  in
+  if stored <> [] then invalidate_dependents t (List.map fst stored);
+  { ur_applied = !applied;
+    ur_noop = !noop;
+    ur_derived = stats.Maintain.u_derived;
+    ur_deleted = stats.Maintain.u_deleted;
+    ur_rederived = stats.Maintain.u_rederived;
+    ur_rounds = stats.Maintain.u_rounds;
+    ur_maintained = t.maint <> None
+  }
+
+let delete_stored_fact t pred args =
+  match Hashtbl.find_opt t.base (key pred (Array.length args)) with
+  | Some rel ->
+    let target = Tuple.of_terms args in
+    Relation.delete rel ~pattern:(args, Bindenv.empty) (fun tu -> Tuple.equal tu target)
+  | None -> 0
+
+let retract_facts t facts =
+  let removed, missing, stats =
+    match t.maint with
+    | Some m when not (Maintain.stale m) ->
+      let ground, nonground = List.partition is_ground_fact facts in
+      let removed, missing, stats =
+        if ground <> [] then guarded m (fun () -> Maintain.retract m ground)
+        else 0, 0, no_stats
+      in
+      (* non-ground retracts delete directly and outdate the extents *)
+      let removed = ref removed and missing = ref missing in
+      if nonground <> [] then begin
+        Maintain.invalidate m;
+        List.iter
+          (fun (pred, args) ->
+            let n = delete_stored_fact t pred args in
+            if n > 0 then removed := !removed + n else incr missing)
+          nonground
+      end;
+      !removed, !missing, stats
+    | _ ->
+      touch_maintenance t;
+      let removed = ref 0 and missing = ref 0 in
+      List.iter
+        (fun (pred, args) ->
+          let n = delete_stored_fact t pred args in
+          if n > 0 then removed := !removed + n else incr missing)
+        facts;
+      !removed, !missing, no_stats
+  in
+  if removed > 0 then invalidate_dependents t (List.map fst facts);
+  { ur_applied = removed;
+    ur_noop = missing;
+    ur_derived = stats.Maintain.u_derived;
+    ur_deleted = stats.Maintain.u_deleted;
+    ur_rederived = stats.Maintain.u_rederived;
+    ur_rounds = stats.Maintain.u_rounds;
+    ur_maintained = t.maint <> None
+  }
+
 let create ?(builtins = true) ?workers () =
   let t =
     { base = Hashtbl.create 64;
@@ -75,7 +319,9 @@ let create ?(builtins = true) ?workers () =
       cancel = None;
       progress = None;
       workers = (match workers with Some w -> max 1 (min 64 w) | None -> default_workers ());
-      backjump = true
+      backjump = true;
+      maint = None;
+      exts = Hashtbl.create 1
     }
   in
   if builtins then
@@ -99,7 +345,9 @@ let create ?(builtins = true) ?workers () =
         (fun args env ->
           match fact_of args env with
           | Some (pred, fargs, whole) ->
-            ignore (Relation.insert_terms (base_relation t pred (Array.length fargs)) fargs);
+            (* the maintenance-aware path, so rule-driven asserts keep
+               the materialized extents consistent too *)
+            ignore (insert_facts t [ pred, fargs ]);
             Seq.return [| whole |]
           | None -> Seq.empty)
     };
@@ -109,29 +357,30 @@ let create ?(builtins = true) ?workers () =
       fsolve =
         (fun args env ->
           match fact_of args env with
-          | Some (pred, fargs, whole) -> begin
-            match Hashtbl.find_opt t.base (key pred (Array.length fargs)) with
-            | Some rel ->
-              let target = Tuple.of_terms fargs in
-              let removed = Relation.delete rel (fun tu -> Tuple.equal tu target) in
-              if removed > 0 then Seq.return [| whole |] else Seq.empty
-            | None -> Seq.empty
-          end
+          | Some (pred, fargs, whole) ->
+            let rep = retract_facts t [ pred, fargs ] in
+            if rep.ur_applied > 0 then Seq.return [| whole |] else Seq.empty
           | None -> Seq.empty)
     };
   t
 
-let set_relation t pred rel = Hashtbl.replace t.base (key pred rel.Relation.arity) rel
+let set_relation t pred rel =
+  Hashtbl.replace t.base (key pred rel.Relation.arity) rel;
+  touch_maintenance t
 
 let relation_of t pred arity = Hashtbl.find_opt t.base (key pred arity)
 
+(* Bulk-load seam: marks the extents stale (rebuilt lazily) rather than
+   propagating per fact. *)
 let add_fact t name terms =
   let pred = Symbol.intern name in
   let rel = base_relation t pred (List.length terms) in
+  touch_maintenance t;
   Relation.insert_terms rel (Array.of_list terms)
 
 let register_foreign t f =
-  Hashtbl.replace t.foreigns (f.Builtin.fname ^ "/" ^ string_of_int f.Builtin.farity) f
+  Hashtbl.replace t.foreigns (f.Builtin.fname ^ "/" ^ string_of_int f.Builtin.farity) f;
+  touch_maintenance t
 
 let foreign_of t pred arity = Hashtbl.find_opt t.foreigns (key pred arity)
 
@@ -190,6 +439,7 @@ let load_module t (m : Ast.module_) =
     in
     with_plans t (fun () -> stale t.plans);
     stale t.saved;
+    touch_maintenance t;
     Ok ()
   | errs ->
     Error (String.concat "\n" (List.map (fun i -> Format.asprintf "%a" Wellformed.pp_issue i) errs))
@@ -202,7 +452,8 @@ let add_clause t (r : Ast.rule) =
     |> List.iter (Hashtbl.remove tbl)
   in
   with_plans t (fun () -> stale t.plans);
-  stale t.saved
+  stale t.saved;
+  touch_maintenance t
 
 let module_of_pred t pred arity = exporter t pred arity
 
@@ -382,7 +633,13 @@ and compile t (plan : Optimizer.plan) =
         (base_relation t (Symbol.intern (String.sub name 0 (String.length name - 5))) arity)
     else begin
       match module_of_pred t pred arity with
-    | Some m' -> Module_struct.P_rel (module_call_relation t m' pred arity)
+    | Some m' -> begin
+      (* a maintained extent answers a cross-module literal directly,
+         without a nested module evaluation *)
+      match extent_of t pred arity with
+      | Some ext -> Module_struct.P_rel ext
+      | None -> Module_struct.P_rel (module_call_relation t m' pred arity)
+    end
     | None -> begin
       match foreign_of t pred arity with
       | Some f -> Module_struct.P_foreign f
@@ -391,22 +648,6 @@ and compile t (plan : Optimizer.plan) =
     end
   in
   Module_struct.compile ~resolve plan
-
-(* One tick cell per rulebase: pipelined resolution polls the engine's
-   ambient cancellation check every [Fixpoint.tick_interval] solved
-   atoms, mirroring the per-instance budgets of materialized
-   evaluation. *)
-and engine_tick t =
-  let budget = ref Fixpoint.tick_interval in
-  fun () ->
-    match t.cancel with
-    | None -> ()
-    | Some check ->
-      decr budget;
-      if !budget <= 0 then begin
-        budget := Fixpoint.tick_interval;
-        if check () then raise Fixpoint.Cancelled
-      end
 
 (* Pipelined modules resolve their body predicates the same way, except
    that predicates defined by the module's own rules resolve to those
@@ -431,8 +672,11 @@ and rulebase_of t (m : Ast.module_) =
         if local then Hashtbl.find_opt t.base (key pred arity)
         else begin
           match module_of_pred t pred arity with
-          | Some m' when m'.Ast.mname <> m.Ast.mname ->
-            Some (module_call_relation t m' pred arity)
+          | Some m' when m'.Ast.mname <> m.Ast.mname -> begin
+            match extent_of t pred arity with
+            | Some ext -> Some ext
+            | None -> Some (module_call_relation t m' pred arity)
+          end
           | _ -> Hashtbl.find_opt t.base (key pred arity)
         end);
     foreign_of = (fun pred arity -> foreign_of t pred arity);
@@ -456,7 +700,13 @@ let top_rulebase t =
     relation_of =
       (fun pred arity ->
         match module_of_pred t pred arity with
-        | Some m -> Some (module_call_relation t m pred arity)
+        | Some m -> begin
+          (* maintained predicates answer top-level literals straight
+             from their materialized extent *)
+          match extent_of t pred arity with
+          | Some ext -> Some ext
+          | None -> Some (module_call_relation t m pred arity)
+        end
         | None -> Some (base_relation t pred arity));
     foreign_of = (fun pred arity -> foreign_of t pred arity);
     tick = engine_tick t
@@ -527,7 +777,11 @@ let call t pred args =
       seq
   in
   match module_of_pred t pred arity with
-  | Some m -> filter (call_module t m pred args Bindenv.empty)
+  | Some m -> begin
+    match extent_of t pred arity with
+    | Some ext -> filter (Relation.scan ext ~pattern:(args, Bindenv.empty) ())
+    | None -> filter (call_module t m pred args Bindenv.empty)
+  end
   | None -> begin
     match Hashtbl.find_opt t.base (key pred arity) with
     | Some rel -> filter (Relation.scan rel ~pattern:(args, Bindenv.empty) ())
@@ -546,7 +800,11 @@ let consult t src =
     List.iter
       (fun item ->
         match (item : Ast.item) with
-        | Ast.Fact a -> ignore (Relation.insert_terms (base_relation t a.Ast.pred (Array.length a.Ast.args)) a.Ast.args)
+        | Ast.Fact a ->
+          touch_maintenance t;
+          ignore (Relation.insert_terms (base_relation t a.Ast.pred (Array.length a.Ast.args)) a.Ast.args)
+        | Ast.Update (Ast.Upd_insert, a) -> ignore (insert_facts t [ a.Ast.pred, a.Ast.args ])
+        | Ast.Update (Ast.Upd_retract, a) -> ignore (retract_facts t [ a.Ast.pred, a.Ast.args ])
         | Ast.Module_item m -> begin
           match load_module t m with
           | Ok () -> ()
@@ -863,6 +1121,7 @@ let invalidate_plans t =
    any number of requests can evaluate the same view concurrently. *)
 type view = {
   rv_rels : (string, Relation.t) Hashtbl.t;  (* frozen wrappers *)
+  rv_exts : (string, Relation.t) Hashtbl.t;  (* frozen maintained extents *)
   rv_foreigns : (string, Builtin.foreign) Hashtbl.t;
   rv_modules : Ast.module_ list;
   rv_user_rules : Ast.rule list;
@@ -907,6 +1166,19 @@ let snapshot t =
   in
   if not ok then None
   else begin
+    (* maintained extents freeze alongside the base relations, so
+       readers of this epoch serve maintained predicates directly *)
+    let exts = Hashtbl.create 16 in
+    (match t.maint with
+    | Some m ->
+      Maintain.ensure m;
+      List.iter
+        (fun (k, rel) ->
+          match Relation.freeze rel with
+          | Some fr -> Hashtbl.add exts k fr
+          | None -> ())
+        (Maintain.extents m)
+    | None -> ());
     let foreigns = Hashtbl.copy t.foreigns in
     (* reads must not mutate: the side-effecting update predicates of
        paper section 5.2 stay available on the write lane only *)
@@ -914,6 +1186,7 @@ let snapshot t =
     Hashtbl.replace foreigns "retract/1" (read_only_foreign "retract");
     Some
       { rv_rels = rels;
+        rv_exts = exts;
         rv_foreigns = foreigns;
         rv_modules = t.modules;
         rv_user_rules = t.user_rules;
@@ -944,7 +1217,11 @@ let read_view v =
     cancel = None;
     progress = None;
     workers = v.rv_workers;
-    backjump = v.rv_backjump
+    backjump = v.rv_backjump;
+    maint = None;
+    (* shared by reference: frozen wrappers are immutable and the view
+       outlives every reader of its epoch *)
+    exts = v.rv_exts
   }
 
 let list_relations t =

@@ -47,6 +47,62 @@ val set_relation : t -> Symbol.t -> Relation.t -> unit
 val add_fact : t -> string -> Term.t list -> bool
 val register_foreign : t -> Builtin.foreign -> unit
 
+(** {1 Incremental updates (view maintenance)} *)
+
+(** Per-update accounting: what the update changed in the base
+    relations, and how much maintenance work it caused. *)
+type update_report = {
+  ur_applied : int;  (** facts stored (insert) / removed (retract) *)
+  ur_noop : int;  (** duplicates skipped (insert) / missing (retract) *)
+  ur_derived : int;  (** tuples added to maintained extents *)
+  ur_deleted : int;  (** tuples deleted from maintained extents (DRed) *)
+  ur_rederived : int;  (** over-deleted tuples restored by rederivation *)
+  ur_rounds : int;  (** delta-propagation rounds *)
+  ur_maintained : bool;  (** true when maintenance is enabled on this engine *)
+}
+
+val set_maintenance : t -> bool -> unit
+(** Enable or disable incremental view maintenance.  When enabled, the
+    engine materializes the extent of every maintainable derived
+    predicate (negation/aggregation-free rules with range-restricted
+    heads; see {!maintenance_fallbacks}) and keeps those extents live
+    under {!insert_facts} and {!retract_facts} by delta propagation —
+    inserts ride the semi-naive delta machinery, retracts run DRed
+    (delete and rederive).  Queries over maintained predicates are
+    answered directly from the extents; fallback predicates keep the
+    normal plan-and-recompute path.  Off by default. *)
+
+val maintenance_enabled : t -> bool
+
+val maintenance_fallbacks : t -> (string * string) list
+(** Derived predicates excluded from maintenance, as
+    [("name/arity", reason)] — e.g. negation, aggregation, pipelined
+    modules, multiset or aggregate-selection annotations.  Forces a
+    (re)build of the maintained extents when stale; [[]] when
+    maintenance is off. *)
+
+val maintenance_info : t -> (int * int) option
+(** [(maintained predicate count, full rebuilds so far)], [None] when
+    maintenance is off. *)
+
+val insert_facts : t -> (Symbol.t * Term.t array) list -> update_report
+(** Store ground facts and propagate them incrementally through the
+    maintained extents (when maintenance is enabled).  Duplicates are
+    counted in [ur_noop] and propagate nothing.  Also scopes plan
+    invalidation to the updated predicates' dependents (see
+    {!invalidate_dependents}). *)
+
+val retract_facts : t -> (Symbol.t * Term.t array) list -> update_report
+(** Remove stored facts (exact-tuple match) and run DRed maintenance:
+    over-deletion, physical deletion, rederivation.  Facts with no
+    matching stored tuple are counted in [ur_noop]. *)
+
+val invalidate_dependents : t -> Symbol.t list -> unit
+(** Drop cached plans and save-module instances of the predicates that
+    (transitively, by name) depend on any of the given predicates —
+    the scoped alternative to {!invalidate_plans} for base-fact
+    updates.  Plans of unrelated predicates survive. *)
+
 val load_module : t -> Ast.module_ -> (unit, string) result
 (** Check and register a module; well-formedness errors are reported,
     planning happens lazily per query form. *)

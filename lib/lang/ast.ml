@@ -102,11 +102,18 @@ type module_ = {
   rules : rule list;
 }
 
+(** First-class update operations: [insert edge(1, 2).] and
+    [retract edge(1, 2).] at top level.  The fact must be ground — an
+    update names one tuple, it is not a query — and the engine routes
+    both through incremental view maintenance. *)
+type update_op = Upd_insert | Upd_retract
+
 type item =
   | Module_item of module_
   | Fact of atom  (** top-level fact for a base relation *)
   | Clause_item of rule  (** top-level rule, outside any module *)
   | Query of literal list
+  | Update of update_op * atom  (** [insert f(...).] / [retract f(...).] *)
   | Command of string * Term.t list  (** [@command(arg, ...).] at top level *)
 
 type program = item list
@@ -151,6 +158,10 @@ let rule_vars r =
            Hashtbl.add seen v.Term.vid ();
            true
          end)
+
+let update_op_name = function
+  | Upd_insert -> "insert"
+  | Upd_retract -> "retract"
 
 let agg_op_name = function
   | Min -> "min"

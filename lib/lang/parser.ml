@@ -451,11 +451,28 @@ let parse_module st =
     rules = List.rev !rules
   }
 
+(* [insert f(...).] / [retract f(...).]: the update keyword followed by
+   another identifier (so predicates actually named insert/retract keep
+   parsing as ordinary atoms: the fact form is [insert(...)]). *)
+let parse_update st op : Ast.item =
+  advance st;
+  reset_clause st;
+  let a = parse_atom st in
+  expect st DOT "'.' ending the update";
+  if not (Array.for_all Term.is_ground a.Ast.args) then
+    fail st
+      (Printf.sprintf "%s expects a ground fact (no variables)" (Ast.update_op_name op));
+  Ast.Update (op, a)
+
 let parse_item st : Ast.item =
   match peek st with
   | IDENT "module" when peek2 st <> LPAREN ->
     advance st;
     Ast.Module_item (parse_module st)
+  | IDENT "insert" when (match peek2 st with IDENT _ -> true | _ -> false) ->
+    parse_update st Ast.Upd_insert
+  | IDENT "retract" when (match peek2 st with IDENT _ -> true | _ -> false) ->
+    parse_update st Ast.Upd_retract
   | QUERY ->
     advance st;
     reset_clause st;

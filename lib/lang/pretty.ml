@@ -158,6 +158,8 @@ let pp_item ppf = function
         pp_literal ppf l)
       body;
     Format.fprintf ppf "."
+  | Ast.Update (op, a) ->
+    Format.fprintf ppf "%s %a." (Ast.update_op_name op) pp_atom a
   | Ast.Command (name, args) ->
     Format.fprintf ppf "@@%s%a." name pp_terms_parenthesized args
 

@@ -15,6 +15,7 @@ type request =
   | Query of string
   | Consult of string
   | Insert of string
+  | Retract of string  (** remove stored facts; DRed maintenance applies *)
   | Explain of string
   | Explain_analyze of string
   | Why of string
@@ -160,6 +161,7 @@ let parse_request line =
         | Some n when n >= 0 -> `Consult_payload n
         | _ -> `Bad "consult# expects a byte count")
   | "insert" -> need_arg (fun () -> `Req (Insert arg))
+  | "retract" -> need_arg (fun () -> `Req (Retract arg))
   | "explain" ->
     need_arg (fun () ->
         (* "explain analyze <query>": run and annotate with actuals *)

@@ -104,6 +104,7 @@ type request =
   | Query of string
   | Consult of string  (** program text *)
   | Insert of string  (** fact items *)
+  | Retract of string  (** fact items to remove (DRed maintenance) *)
   | Explain of string
   | Explain_analyze of string
   | Why of string

@@ -53,6 +53,13 @@ type store = {
   next_sid : int Atomic.t;
   bytes_read : int Atomic.t;  (* wire bytes in/out, summed over sessions *)
   bytes_written : int Atomic.t;
+  (* incremental-maintenance accounting, summed over updates *)
+  maint_inserts : int Atomic.t;  (* insert requests applied *)
+  maint_retracts : int Atomic.t;  (* retract requests applied *)
+  maint_derived : int Atomic.t;  (* extent tuples added by propagation *)
+  maint_deleted : int Atomic.t;  (* extent tuples removed by DRed *)
+  maint_rederived : int Atomic.t;  (* over-deletions restored *)
+  maint_fallback : int Atomic.t;  (* updates applied without maintenance *)
   (* Cluster worker hook: the dist subsystem lives above this library
      (it needs the protocol AND the engine), so the worker installs a
      handler here rather than being called directly.  [None] answers
@@ -80,6 +87,12 @@ let make_store ?(databases = []) ?(limits = Admission.default) db =
     next_sid = Atomic.make 0;
     bytes_read = Atomic.make 0;
     bytes_written = Atomic.make 0;
+    maint_inserts = Atomic.make 0;
+    maint_retracts = Atomic.make 0;
+    maint_derived = Atomic.make 0;
+    maint_deleted = Atomic.make 0;
+    maint_rederived = Atomic.make 0;
+    maint_fallback = Atomic.make 0;
     dist_handler = None
   }
 
@@ -522,46 +535,100 @@ let do_consult t text =
       ignore results;
       Protocol.ok ~detail:"consulted" [])
 
+(* The payload of an update request: fact items, with same-operation
+   update items ([insert f(1).] sent over the insert command) accepted
+   too, so REPL scripts paste straight into the wire protocol. *)
+let parse_update_facts ~op ~usage text =
+  match Coral.Parser.program text with
+  | Error e -> Error (Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e))
+  | Ok items ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Coral.Ast.Fact a :: rest -> go (a :: acc) rest
+      | Coral.Ast.Update (o, a) :: rest when o = op -> go (a :: acc) rest
+      | _ :: _ -> Error (Protocol.err Protocol.Parse usage)
+    in
+    (match go [] items with
+    | Ok [] -> Error (Protocol.err Protocol.Parse usage)
+    | r -> r)
+
+(* Maintenance accounting + the per-update JSONL event: how much delta
+   propagation each update caused (mode=recompute when the engine had
+   maintenance off and derived state is rebuilt on read instead). *)
+let note_update store ~op (rep : Coral.Engine.update_report) =
+  let applied = rep.Coral.Engine.ur_applied in
+  let ctr = if op = "insert" then store.maint_inserts else store.maint_retracts in
+  if applied > 0 then ignore (Atomic.fetch_and_add ctr applied);
+  ignore (Atomic.fetch_and_add store.maint_derived rep.Coral.Engine.ur_derived);
+  ignore (Atomic.fetch_and_add store.maint_deleted rep.Coral.Engine.ur_deleted);
+  ignore (Atomic.fetch_and_add store.maint_rederived rep.Coral.Engine.ur_rederived);
+  if not rep.Coral.Engine.ur_maintained then Atomic.incr store.maint_fallback;
+  Query_log.Events.log ~kind:"maintain"
+    [ "op", Json.Str op;
+      "applied", Json.Int applied;
+      "noop", Json.Int rep.Coral.Engine.ur_noop;
+      "derived", Json.Int rep.Coral.Engine.ur_derived;
+      "deleted", Json.Int rep.Coral.Engine.ur_deleted;
+      "rederived", Json.Int rep.Coral.Engine.ur_rederived;
+      "rounds", Json.Int rep.Coral.Engine.ur_rounds;
+      "mode", Json.Str (if rep.Coral.Engine.ur_maintained then "incremental" else "recompute")
+    ]
+
+(* Inserts/retracts commit through the write lane but do NOT blow the
+   whole plan cache: the engine scopes invalidation to the updated
+   predicates' dependents, and the prepared-forms cache is epoch-keyed
+   (the publish below outdates its entries naturally). *)
 let do_insert t text =
   let store = t.store in
-  match Coral.Parser.program text with
-  | Error e -> Protocol.err Protocol.Parse (Format.asprintf "%a" Coral.Parser.pp_error e)
-  | Ok items ->
+  match
+    parse_update_facts ~op:Coral.Ast.Upd_insert
+      ~usage:"insert expects one or more facts, e.g.  insert edge(1, 2)." text
+  with
+  | Error r -> r
+  | Ok atoms ->
+    let eng = Coral.engine store.sdb in
     let facts =
-      List.map
-        (fun item ->
-          match (item : Coral.Ast.item) with
-          | Coral.Ast.Fact a -> Some a
-          | _ -> None)
-        items
+      List.map (fun (a : Coral.Ast.atom) -> a.Coral.Ast.pred, a.Coral.Ast.args) atoms
     in
-    if List.exists (fun f -> f = None) facts || facts = [] then
-      Protocol.err Protocol.Parse "insert expects one or more facts, e.g.  insert edge(1, 2)."
-    else begin
-      let eng = Coral.engine store.sdb in
-      let stored =
-        wrap_write ~invalidate:true store (fun () ->
-            List.fold_left
-              (fun acc f ->
-                match f with
-                | Some (a : Coral.Ast.atom) ->
-                  let rel =
-                    Coral.Engine.base_relation eng a.Coral.Ast.pred
-                      (Array.length a.Coral.Ast.args)
-                  in
-                  if Coral.Relation.insert_terms rel a.Coral.Ast.args then acc + 1 else acc
-                | None -> acc)
-              0 facts)
-      in
-      Query_log.Events.log ~kind:"insert"
-        [ "session", Json.Int t.sid;
-          "facts", Json.Int (List.length facts);
-          "stored", Json.Int stored
-        ];
-      Protocol.ok
-        ~detail:(Printf.sprintf "inserted %d of %d" stored (List.length facts))
-        []
-    end
+    let rep = wrap_write store (fun () -> Coral.Engine.insert_facts eng facts) in
+    note_update store ~op:"insert" rep;
+    Query_log.Events.log ~kind:"insert"
+      [ "session", Json.Int t.sid;
+        "facts", Json.Int (List.length facts);
+        "stored", Json.Int rep.Coral.Engine.ur_applied;
+        "duplicate", Json.Int rep.Coral.Engine.ur_noop
+      ];
+    Protocol.ok
+      ~detail:
+        (Printf.sprintf "inserted %d, duplicate %d" rep.Coral.Engine.ur_applied
+           rep.Coral.Engine.ur_noop)
+      []
+
+let do_retract t text =
+  let store = t.store in
+  match
+    parse_update_facts ~op:Coral.Ast.Upd_retract
+      ~usage:"retract expects one or more facts, e.g.  retract edge(1, 2)." text
+  with
+  | Error r -> r
+  | Ok atoms ->
+    let eng = Coral.engine store.sdb in
+    let facts =
+      List.map (fun (a : Coral.Ast.atom) -> a.Coral.Ast.pred, a.Coral.Ast.args) atoms
+    in
+    let rep = wrap_write store (fun () -> Coral.Engine.retract_facts eng facts) in
+    note_update store ~op:"retract" rep;
+    Query_log.Events.log ~kind:"retract"
+      [ "session", Json.Int t.sid;
+        "facts", Json.Int (List.length facts);
+        "removed", Json.Int rep.Coral.Engine.ur_applied;
+        "missing", Json.Int rep.Coral.Engine.ur_noop
+      ];
+    Protocol.ok
+      ~detail:
+        (Printf.sprintf "retracted %d, missing %d" rep.Coral.Engine.ur_applied
+           rep.Coral.Engine.ur_noop)
+      []
 
 let single_literal text =
   match Coral.Parser.query text with
@@ -672,6 +739,20 @@ let do_stats t =
       Printf.sprintf "plans.cached=%d" (Coral.Engine.plan_cache_size eng);
       Printf.sprintf "plans.hits=%d" plan_hits;
       Printf.sprintf "plans.misses=%d" plan_misses;
+      Printf.sprintf "maintenance.enabled=%d"
+        (if Coral.Engine.maintenance_enabled eng then 1 else 0);
+      Printf.sprintf "maintenance.predicates=%d"
+        (match Coral.Engine.maintenance_info eng with Some (n, _) -> n | None -> 0);
+      Printf.sprintf "maintenance.refreshes=%d"
+        (match Coral.Engine.maintenance_info eng with Some (_, r) -> r | None -> 0);
+      Printf.sprintf "maintenance.fallback_preds=%d"
+        (List.length (Coral.Engine.maintenance_fallbacks eng));
+      Printf.sprintf "maintenance.inserts=%d" (Atomic.get store.maint_inserts);
+      Printf.sprintf "maintenance.retracts=%d" (Atomic.get store.maint_retracts);
+      Printf.sprintf "maintenance.derived=%d" (Atomic.get store.maint_derived);
+      Printf.sprintf "maintenance.deleted=%d" (Atomic.get store.maint_deleted);
+      Printf.sprintf "maintenance.rederived=%d" (Atomic.get store.maint_rederived);
+      Printf.sprintf "maintenance.fallback_updates=%d" (Atomic.get store.maint_fallback);
       Printf.sprintf "engine.derivations=%d" derivations;
       Printf.sprintf "engine.duplicates=%d" duplicates;
       Printf.sprintf "engine.scans=%d" scans
@@ -826,6 +907,26 @@ let metrics_text store =
   Obs.prometheus_sample buf ~kind:"counter" "engine.derivations" derivations;
   Obs.prometheus_sample buf ~kind:"counter" "engine.duplicates" duplicates;
   Obs.prometheus_sample buf ~kind:"counter" "engine.scans" scans;
+  (* incremental view maintenance (the coral_maintenance_ family):
+     update volume and the delta-propagation work it caused *)
+  Obs.prometheus_sample buf ~kind:"gauge" "maintenance.enabled"
+    (if Coral.Engine.maintenance_enabled eng then 1 else 0);
+  Obs.prometheus_sample buf ~kind:"gauge" "maintenance.predicates"
+    (match Coral.Engine.maintenance_info eng with Some (n, _) -> n | None -> 0);
+  Obs.prometheus_sample buf ~kind:"counter" "maintenance.refreshes"
+    (match Coral.Engine.maintenance_info eng with Some (_, r) -> r | None -> 0);
+  Obs.prometheus_sample buf ~kind:"counter" "maintenance.inserts"
+    (Atomic.get store.maint_inserts);
+  Obs.prometheus_sample buf ~kind:"counter" "maintenance.retracts"
+    (Atomic.get store.maint_retracts);
+  Obs.prometheus_sample buf ~kind:"counter" "maintenance.derived"
+    (Atomic.get store.maint_derived);
+  Obs.prometheus_sample buf ~kind:"counter" "maintenance.deleted"
+    (Atomic.get store.maint_deleted);
+  Obs.prometheus_sample buf ~kind:"counter" "maintenance.rederived"
+    (Atomic.get store.maint_rederived);
+  Obs.prometheus_sample buf ~kind:"counter" "maintenance.fallback_updates"
+    (Atomic.get store.maint_fallback);
   Buffer.add_string buf (Obs.prometheus ());
   Buffer.contents buf
 
@@ -871,6 +972,7 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Query text -> do_query t text
   | Protocol.Consult text -> do_consult t text
   | Protocol.Insert text -> do_insert t text
+  | Protocol.Retract text -> do_retract t text
   | Protocol.Explain text -> do_explain t text
   | Protocol.Explain_analyze text -> do_explain_analyze t text
   | Protocol.Why text -> do_why t text
@@ -904,7 +1006,7 @@ let dispatch t (req : Protocol.request) =
    probes stay exempt so an operator can always see and steer an
    overloaded server. *)
 let evaluating = function
-  | Protocol.Query _ | Protocol.Consult _ | Protocol.Insert _
+  | Protocol.Query _ | Protocol.Consult _ | Protocol.Insert _ | Protocol.Retract _
   | Protocol.Explain_analyze _ | Protocol.Why _ -> true
   | _ -> false
 

@@ -521,6 +521,51 @@ let test_insert_resyncs () =
   ignore (request c "quit");
   close_client c
 
+(* A wire retract through the router dirties the cluster exactly like
+   an insert: the next distributed query resyncs, and the whole mixed
+   update sequence stays byte-identical to a single node. *)
+let test_retract_resyncs () =
+  let texts = [ tc_program; tc_edges ~nodes:10 ~extra:8 13 ] in
+  let updates =
+    [ "retract edge(4, 5).";
+      "insert edge(4, 9).";
+      "retract edge(9, 10). edge(4, 9)."
+    ]
+  in
+  let run_sequence c =
+    consult_all c texts;
+    List.concat_map
+      (fun u ->
+        let _, status = request c u in
+        check_prefix u "ok" status;
+        answers c "path(X, Y)")
+      updates
+  in
+  let path = sock_path () in
+  let srv = Server.start ~listen:(`Unix path) (Coral.create ()) in
+  let want =
+    Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+    let c = connect_unix path in
+    let out = run_sequence c in
+    ignore (request c "quit");
+    close_client c;
+    out
+  in
+  let cl = start_cluster ~shards:2 ~key:1 () in
+  Fun.protect ~finally:(fun () -> stop_cluster cl) @@ fun () ->
+  let c = connect_unix cl.router_path in
+  let got = run_sequence c in
+  Alcotest.(check (list string)) "retract sequence matches single node" want got;
+  (* a query mixing a partitioned idb literal with the retract builtin
+     must not fan out: fanned out, the deletion would hit one worker's
+     replica and the router's database would keep the fact *)
+  let _, status = request c "query path(1, Y), retract(edge(1, 2))" in
+  check_prefix "mixed idb+retract query" "ok" status;
+  Alcotest.(check (list string)) "the retract landed on the router's replica" []
+    (answers c "edge(1, 2)");
+  ignore (request c "quit");
+  close_client c
+
 (* The assert/retract builtins mutate through ordinary queries (the
    session reroutes them to the write lane).  The router must notice —
    via the snapshot epoch bump — and dirty the cluster, or subsequent
@@ -739,6 +784,7 @@ let () =
             test_differential_seeded_idb;
           Alcotest.test_case "differential: float values" `Quick test_differential_floats;
           Alcotest.test_case "insert dirties and resyncs" `Quick test_insert_resyncs;
+          Alcotest.test_case "retract dirties and resyncs" `Quick test_retract_resyncs;
           Alcotest.test_case "mutating query dirties and resyncs" `Quick
             test_mutating_query_resyncs;
           Alcotest.test_case "non-worker refuses cluster commands" `Quick

@@ -248,6 +248,46 @@ let test_define_predicate () =
     "module m.\nexport squares(ff).\nsquares(X, Y) :- num(X), square(X, Y).\nend_module.";
   check e "squares(X, Y)" [ [ "3"; "9" ]; [ "5"; "25" ] ]
 
+(* Scoped plan invalidation: an insert drops only the cached plans of
+   predicates that depend on the updated relation; an unrelated plan
+   must survive and keep answering from the cache. *)
+let test_scoped_plan_invalidation () =
+  let e =
+    setup
+      {|
+edge(1, 2). edge(2, 3). other(9).
+module paths.
+export path(ff).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+module m2.
+export q(ff).
+q(X) :- other(X).
+end_module.
+|}
+  in
+  ignore (rows e "q(X)");
+  ignore (rows e "path(X, Y)");
+  let _, m0 = Coral.plan_cache_stats e in
+  ignore (rows e "q(X)");
+  let _, m1 = Coral.plan_cache_stats e in
+  Alcotest.(check int) "repeat query does not replan" m0 m1;
+  (* insert into edge: path depends on it, q does not *)
+  ignore
+    (Coral.Engine.insert_facts (Coral.engine e)
+       [ Coral_term.Symbol.intern "edge", [| Term.int 3; Term.int 4 |] ]);
+  let _, m2 = Coral.plan_cache_stats e in
+  ignore (rows e "q(X)");
+  let _, m3 = Coral.plan_cache_stats e in
+  Alcotest.(check int) "unrelated plan survives the insert" m2 m3;
+  (* the dependent predicate was invalidated: its previously cached
+     form replans, and the new fact is visible *)
+  check e "path(X, Y)"
+    [ [ "1"; "2" ]; [ "1"; "3" ]; [ "1"; "4" ]; [ "2"; "3" ]; [ "2"; "4" ]; [ "3"; "4" ] ];
+  let _, m4 = Coral.plan_cache_stats e in
+  Alcotest.(check bool) "dependent plan was dropped" true (m4 > m3)
+
 let test_user_clauses_and_queries () =
   let e = Coral.create () in
   Coral.consult_text e "likes(ann, beer).\nlikes(bob, X) :- likes(ann, X).";
@@ -297,7 +337,10 @@ let () =
           Alcotest.test_case "numeric" `Quick test_numeric_builtins;
           Alcotest.test_case "strings" `Quick test_string_builtins
         ] );
-      ("updates", [ Alcotest.test_case "assert/retract" `Quick test_assert_retract ]);
+      ( "updates",
+        [ Alcotest.test_case "assert/retract" `Quick test_assert_retract;
+          Alcotest.test_case "scoped plan invalidation" `Quick test_scoped_plan_invalidation
+        ] );
       ( "explanation",
         [ Alcotest.test_case "derivation tree" `Quick test_why_tree;
           Alcotest.test_case "aggregate witnesses" `Quick test_why_aggregate;

@@ -196,6 +196,29 @@ let test_parse_errors () =
   ignore (parse_err "p(X) :- q(X)")
 (* missing final dot *)
 
+(* insert / retract directives: first-class program items *)
+let test_update_items () =
+  let items = parse_ok "insert edge(1, 2).\nretract edge(2, 3).\nedge(3, 4).\n" in
+  (match items with
+  | [ Ast.Update (Ast.Upd_insert, a); Ast.Update (Ast.Upd_retract, b); Ast.Fact _ ] ->
+    Alcotest.(check string) "insert target" "edge" (Symbol.name a.Ast.pred);
+    Alcotest.(check int) "insert arity" 2 (Array.length a.Ast.args);
+    Alcotest.(check string) "retract target" "edge" (Symbol.name b.Ast.pred)
+  | _ -> Alcotest.fail "expected insert, retract, fact");
+  (* an update names a stored tuple: non-ground arguments are refused *)
+  ignore (parse_err "retract edge(1, X).");
+  ignore (parse_err "insert edge(Y, 2).");
+  (* `insert`/`retract` stay usable as ordinary predicate names *)
+  (match parse_ok "insert(1, 2)." with
+  | [ Ast.Fact a ] -> Alcotest.(check string) "insert/2 fact" "insert" (Symbol.name a.Ast.pred)
+  | _ -> Alcotest.fail "insert(1, 2). must parse as a fact");
+  (* and they roundtrip through the printer *)
+  let printed = Format.asprintf "%a" Pretty.pp_program items in
+  let reparsed = parse_ok printed in
+  let printed2 = Format.asprintf "%a" Pretty.pp_program reparsed in
+  Alcotest.(check string) "fixpoint of print/parse" printed printed2;
+  Alcotest.(check int) "same item count" (List.length items) (List.length reparsed)
+
 let test_pretty_roundtrip () =
   (* pretty-printing Figure 3 and re-parsing yields the same program *)
   let items = parse_ok shortest_path_src in
@@ -294,7 +317,8 @@ let () =
           Alcotest.test_case "set grouping" `Quick test_set_grouping;
           Alcotest.test_case "negation and comparisons" `Quick test_negation_and_comparisons;
           Alcotest.test_case "annotations" `Quick test_annotations;
-          Alcotest.test_case "parse errors" `Quick test_parse_errors
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "insert/retract items" `Quick test_update_items
         ] );
       ( "pretty",
         [ Alcotest.test_case "figure 3 roundtrip" `Quick test_pretty_roundtrip ]

@@ -1209,6 +1209,66 @@ let test_session_direct () =
   | Error (Protocol.Eval, _) -> ()
   | _ -> Alcotest.fail "expected err EVAL for bad arithmetic")
 
+(* Wire updates under maintenance: insert/retract accounting details,
+   the maintenance.* stats family, and the event-log records. *)
+let test_session_updates () =
+  let db = Coral.create () in
+  Coral.Engine.set_maintenance (Coral.engine db) true;
+  let store = Session.make_store db in
+  let s = Session.create store in
+  let status r =
+    match r.Protocol.status with
+    | Ok d -> d
+    | Error (code, msg) -> Alcotest.fail (Protocol.code_string code ^ ": " ^ msg)
+  in
+  ignore (status (Session.handle s (Protocol.Consult paths_program)));
+  (* duplicate accounting: edge(1, 2) was already stored by the consult *)
+  let d = status (Session.handle s (Protocol.Insert "edge(1, 2). edge(4, 5).")) in
+  Alcotest.(check string) "insert detail" "inserted 1, duplicate 1" d;
+  let r = Session.handle s (Protocol.Query "path(3, Y)") in
+  Alcotest.(check int) "paths through the new edge" 2 (List.length r.Protocol.payload);
+  (* retract: one present, one never stored *)
+  let d = status (Session.handle s (Protocol.Retract "edge(4, 5). edge(9, 9).")) in
+  Alcotest.(check string) "retract detail" "retracted 1, missing 1" d;
+  let r = Session.handle s (Protocol.Query "path(3, Y)") in
+  Alcotest.(check int) "derived paths withdrawn" 1 (List.length r.Protocol.payload);
+  (* parse errors stay on the session *)
+  (match (Session.handle s (Protocol.Retract "path(")).Protocol.status with
+  | Error (Protocol.Parse, _) -> ()
+  | _ -> Alcotest.fail "expected err PARSE for a malformed retract");
+  (* the maintenance counter family in stats *)
+  Alcotest.(check (option int)) "maintenance.enabled" (Some 1)
+    (stats_value s "maintenance.enabled");
+  Alcotest.(check (option int)) "maintenance.inserts" (Some 1)
+    (stats_value s "maintenance.inserts");
+  Alcotest.(check (option int)) "maintenance.retracts" (Some 1)
+    (stats_value s "maintenance.retracts");
+  (* ... and the prometheus exposition *)
+  let r = Session.handle s Protocol.Metrics in
+  Alcotest.(check bool) "coral_maintenance_retracts exposed" true
+    (List.exists
+       (function
+         | Protocol.Txt l -> String.starts_with ~prefix:"coral_maintenance_retracts" l
+         | _ -> false)
+       r.Protocol.payload);
+  (* the event log recorded both updates with their split accounting *)
+  let r = Session.handle s (Protocol.Events 20) in
+  let logged what field =
+    List.exists
+      (function
+        | Protocol.Txt l ->
+          let has needle =
+            let nl = String.length needle and ll = String.length l in
+            let rec go i = i + nl <= ll && (String.sub l i nl = needle || go (i + 1)) in
+            go 0
+          in
+          has (Printf.sprintf "\"kind\":\"%s\"" what) && has field
+        | _ -> false)
+      r.Protocol.payload
+  in
+  Alcotest.(check bool) "insert event split" true (logged "insert" "\"duplicate\":1");
+  Alcotest.(check bool) "retract event split" true (logged "retract" "\"missing\":1")
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot reads: epochs, isolation, reader/writer differential       *)
 (* ------------------------------------------------------------------ *)
@@ -1637,7 +1697,8 @@ let () =
           Alcotest.test_case "IOERR keeps serving" `Quick test_ioerr_keeps_serving;
           Alcotest.test_case "shutdown commits databases" `Quick
             test_shutdown_commits_databases;
-          Alcotest.test_case "session semantics" `Quick test_session_direct
+          Alcotest.test_case "session semantics" `Quick test_session_direct;
+          Alcotest.test_case "wire updates" `Quick test_session_updates
         ] );
       ( "robustness",
         [ Alcotest.test_case "accept loop survives EMFILE" `Quick
