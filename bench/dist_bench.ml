@@ -106,6 +106,15 @@ let stat_float lines name =
       else None)
     lines
 
+(* One fixpoint round as reported by the router's [dstat] table. *)
+type round_row = {
+  rr_round : int;
+  rr_wall_ms : float;
+  rr_step_max_ms : float;
+  rr_skew : float;
+  rr_shipped : int;  (* summed over the round's shard lines *)
+}
+
 type outcome = {
   shards : int;
   completed : bool;
@@ -116,8 +125,52 @@ type outcome = {
   shipped_tuples : int;
   shipped_bytes : int;
   fixpoint_wall_ms : float;
+  skew_max : float;
+  straggler_rounds : int;
+  round_series : round_row list;
   query_wall_s : float;
 }
+
+(* Parse the [dstat] reply: "txt round=N wall_ms=... step_max_ms=...
+   skew=..." headers each followed by indented "txt   shard=..."
+   detail lines whose shipped counts we fold into the header's row. *)
+let parse_dstat lines =
+  let kvs l =
+    String.split_on_char ' ' l
+    |> List.filter_map (fun tok ->
+           match String.index_opt tok '=' with
+           | Some i when i > 0 ->
+             Some
+               ( String.sub tok 0 i,
+                 String.sub tok (i + 1) (String.length tok - i - 1) )
+           | _ -> None)
+  in
+  let fget p k d = match List.assoc_opt k p with Some v -> Option.value (float_of_string_opt v) ~default:d | None -> d in
+  let iget p k d = match List.assoc_opt k p with Some v -> Option.value (int_of_string_opt v) ~default:d | None -> d in
+  let rows =
+    List.fold_left
+      (fun acc l ->
+        if String.starts_with ~prefix:"txt round=" l then begin
+          let p = kvs (String.sub l 4 (String.length l - 4)) in
+          { rr_round = iget p "round" 0;
+            rr_wall_ms = fget p "wall_ms" 0.;
+            rr_step_max_ms = fget p "step_max_ms" 0.;
+            rr_skew = fget p "skew" 1.;
+            rr_shipped = 0
+          }
+          :: acc
+        end
+        else if String.starts_with ~prefix:"txt   shard=" l then begin
+          match acc with
+          | row :: rest ->
+            let p = kvs (String.trim (String.sub l 4 (String.length l - 4))) in
+            { row with rr_shipped = row.rr_shipped + iget p "shipped" 0 } :: rest
+          | [] -> acc
+        end
+        else acc)
+      [] lines
+  in
+  List.rev rows
 
 let run_scenario ~shards ~key ~budget ~nodes =
   let workers = List.init shards (fun _ -> start_worker ~budget ()) in
@@ -149,6 +202,10 @@ let run_scenario ~shards ~key ~budget ~nodes =
         List.length (List.filter (fun l -> String.starts_with ~prefix:"ans " l) lines)
       in
       let slines, _ = request c "stats" in
+      let dlines, dstatus = request c "dstat" in
+      let round_series =
+        if String.starts_with ~prefix:"ok" dstatus then parse_dstat dlines else []
+      in
       { shards;
         completed = true;
         error = "";
@@ -161,6 +218,10 @@ let run_scenario ~shards ~key ~budget ~nodes =
           Option.value (stat_int slines "router.fixpoint.shipped_bytes") ~default:0;
         fixpoint_wall_ms =
           Option.value (stat_float slines "router.fixpoint.wall_ms") ~default:0.;
+        skew_max = Option.value (stat_float slines "router.fixpoint.skew") ~default:0.;
+        straggler_rounds =
+          Option.value (stat_int slines "router.fixpoint.straggler_rounds") ~default:0;
+        round_series;
         query_wall_s
       }
     end
@@ -177,6 +238,9 @@ let run_scenario ~shards ~key ~budget ~nodes =
         shipped_tuples = 0;
         shipped_bytes = 0;
         fixpoint_wall_ms = 0.;
+        skew_max = 0.;
+        straggler_rounds = 0;
+        round_series = [];
         query_wall_s
       }
   in
@@ -200,12 +264,25 @@ let write_json path ~nodes ~budget ~key outcomes =
   output_string oc "  \"scenarios\": [\n";
   List.iteri
     (fun i o ->
+      let series =
+        o.round_series
+        |> List.map (fun r ->
+               Printf.sprintf
+                 "{\"round\": %d, \"wall_ms\": %.2f, \"step_max_ms\": %.2f, \
+                  \"skew\": %.2f, \"shipped\": %d}"
+                 r.rr_round r.rr_wall_ms r.rr_step_max_ms r.rr_skew r.rr_shipped)
+        |> String.concat ", "
+      in
       Printf.fprintf oc
         "    { \"shards\": %d, \"completed\": %b, \"error\": %S, \"answers\": %d,\n\
         \      \"rounds\": %d, \"new_tuples\": %d, \"shipped_tuples\": %d,\n\
-        \      \"shipped_bytes\": %d, \"fixpoint_wall_ms\": %.1f, \"query_wall_s\": %.4f }%s\n"
+        \      \"shipped_bytes\": %d, \"fixpoint_wall_ms\": %.1f,\n\
+        \      \"skew_max\": %.2f, \"straggler_rounds\": %d,\n\
+        \      \"round_series\": [%s],\n\
+        \      \"query_wall_s\": %.4f }%s\n"
         o.shards o.completed o.error o.answers o.rounds o.new_tuples o.shipped_tuples
-        o.shipped_bytes o.fixpoint_wall_ms o.query_wall_s
+        o.shipped_bytes o.fixpoint_wall_ms o.skew_max o.straggler_rounds series
+        o.query_wall_s
         (if i = List.length outcomes - 1 then "" else ","))
     outcomes;
   output_string oc "  ]\n}\n";
@@ -248,9 +325,9 @@ let () =
         (if o.completed then
            Printf.printf
              "  %d shard(s): %d answers, %d rounds, %d tuples / %d bytes exchanged, \
-              fixpoint %.1fms, query %.3fs\n%!"
+              fixpoint %.1fms, skew %.2f, %d straggler round(s), query %.3fs\n%!"
              o.shards o.answers o.rounds o.shipped_tuples o.shipped_bytes
-             o.fixpoint_wall_ms o.query_wall_s
+             o.fixpoint_wall_ms o.skew_max o.straggler_rounds o.query_wall_s
          else
            Printf.printf "  %d shard(s): FAILED err %s after %.3fs\n%!" o.shards o.error
              o.query_wall_s);

@@ -337,7 +337,7 @@ let run_mixed ~maintain ~clients ~seconds =
    in — request/query latency and per-phase engine time (the emit phase
    only exists on the server path, so it shows up here and not in
    BENCH_core.json). *)
-let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) ~scaling
+let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s, noise_s) ~scaling
     ~isolation:(base_p99, cont_p99, max_inflight)
     ~overload:(cap, drivers, (c_rps, c_busy, c_p99), (u_rps, u_busy, u_p99))
     ~maintenance:
@@ -389,13 +389,17 @@ let write_json path ~clients ~requests ~elapsed_s ~event_log:(off_s, on_s) ~scal
     (if r_upd > 0.0 then m_upd /. r_upd else 0.0)
     (if r_p99 > 0.0 then m_p99 /. r_p99 else 0.0);
   (* the event log's cost per request: the same workload with event
-     recording off versus on (file sink attached) *)
+     recording off versus on (file sink attached).  Both arms are
+     warmed and double-run (best-of-two); the delta is clamped at zero
+     — a negative measurement only ever means run-to-run noise, whose
+     observed magnitude is reported alongside as the honest bound. *)
   Printf.fprintf oc
     "  \"event_log\": {\"baseline_rps\": %.1f, \"enabled_rps\": %.1f, \
-     \"overhead_ns_per_request\": %.0f},\n"
+     \"overhead_ns_per_request\": %.0f, \"noise_ns_per_request\": %.0f},\n"
     (float_of_int total /. off_s)
     (float_of_int total /. on_s)
-    ((on_s -. off_s) /. float_of_int total *. 1e9);
+    (Float.max 0.0 ((on_s -. off_s) /. float_of_int total *. 1e9))
+    (noise_s /. float_of_int total *. 1e9);
   output_string oc "  \"histograms\": [\n";
   let hists =
     [ "server.request_seconds"; "server.query_seconds"; "phase.rewrite"; "phase.eval";
@@ -458,24 +462,37 @@ let () =
   let module Events = Coral_obs.Query_log.Events in
   (* event-log overhead: the identical workload with event recording
      off, then on with a file sink attached (the server's production
-     configuration) — the second run is also the reported headline *)
+     configuration) — the second run is also the reported headline.
+     Each arm gets one discarded warm-up pass (thread stacks, page
+     cache, allocator arenas) and reports its best of two timed runs;
+     a raw single-pass comparison put the unwarmed baseline first and
+     measured a NEGATIVE overhead.  The spread between the two timed
+     runs is kept as the noise bound for the report. *)
+  let measure_arm () =
+    ignore (run_workload ());
+    let a = run_workload () in
+    let b = run_workload () in
+    Float.min a b, Float.abs (a -. b)
+  in
   Events.configure ~enabled:false ();
-  let dt_off = run_workload () in
+  let dt_off, noise_off = measure_arm () in
   let event_file = Filename.temp_file "server_bench_events" ".jsonl" in
   Events.reset ();
   Events.configure ~path:event_file ();
-  let dt = run_workload () in
+  let dt, noise_on = measure_arm () in
   Events.configure ~path:"" ();
   (try Sys.remove event_file with Sys_error _ -> ());
   (try Sys.remove (event_file ^ ".1") with Sys_error _ -> ());
   let total = !clients * !requests in
+  let noise_s = Float.max noise_off noise_on in
   Printf.printf "total: %d requests in %.3fs -> %.0f requests/second\n" total dt
     (float_of_int total /. dt);
   Printf.printf
-    "event log: off %.0f rps, on %.0f rps (%.0fns per request, %d events)\n"
+    "event log: off %.0f rps, on %.0f rps (overhead %.0fns +/- %.0fns per request, %d events)\n"
     (float_of_int total /. dt_off)
     (float_of_int total /. dt)
-    ((dt -. dt_off) /. float_of_int total *. 1e9)
+    (Float.max 0.0 ((dt -. dt_off) /. float_of_int total *. 1e9))
+    (noise_s /. float_of_int total *. 1e9)
     (Events.total ());
   (* the stats request shows where the time went *)
   let conn = connect port in
@@ -545,7 +562,7 @@ let () =
     "mixed (recompute-on-write): %.0f updates/s, %.0f reads/s, read p99 %.2fms\n%!" r_upd
     r_read (r_p99 *. 1000.0);
   write_json "BENCH_server.json" ~clients:!clients ~requests:!requests ~elapsed_s:dt
-    ~event_log:(dt_off, dt) ~scaling ~isolation:(base_p99, cont_p99, max_inflight)
+    ~event_log:(dt_off, dt, noise_s) ~scaling ~isolation:(base_p99, cont_p99, max_inflight)
     ~overload:(cap, drivers, capped, unbounded)
     ~maintenance:(m_readers, maintained, recompute);
   Printf.printf "wrote BENCH_server.json\n"

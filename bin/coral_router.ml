@@ -8,7 +8,11 @@
      --port N          listen on TCP 127.0.0.1:N (default 4250; 0 = ephemeral)
      --host H          bind host (default 127.0.0.1)
      --socket P        listen on a Unix-domain socket at path P instead
-     --metrics-port N  also serve Prometheus metrics over HTTP
+     --metrics-port N  also serve the federated Prometheus scrape
+                       (router + per-shard coral_shard_* series) + /healthz
+     --straggler-factor F
+                       flag a fixpoint round's slowest shard when it
+                       exceeds the median step time by this multiple
      --event-log FILE  append structured JSONL events to FILE
      --slow-query-ms N flag slow queries in the event log
      --max-sessions N / --max-inflight N / --max-query-tuples N
@@ -30,6 +34,7 @@ let () =
   let shards = ref [] in
   let key = ref 0 in
   let metrics_port = ref (-1) in
+  let straggler_factor = ref 0. in
   let event_log = ref "" in
   let event_log_max = ref 0 in
   let slow_ms = ref 0 in
@@ -62,6 +67,14 @@ let () =
       parse_args rest
     | "--metrics-port" :: p :: rest ->
       int_arg "--metrics-port" p (fun v -> metrics_port := v) rest parse_args
+    | "--straggler-factor" :: f :: rest -> (
+      match float_of_string_opt f with
+      | Some v when v > 0. ->
+        straggler_factor := v;
+        parse_args rest
+      | _ ->
+        prerr_endline "coral_router: --straggler-factor expects a positive number";
+        exit 2)
     | "--event-log" :: path :: rest ->
       event_log := path;
       parse_args rest
@@ -82,6 +95,7 @@ let () =
       print_string
         "usage: coral_router --shard ADDR [--shard ADDR ...] [--key N]\n\
         \                    [--port N] [--host H] [--socket PATH] [--metrics-port N]\n\
+        \                    [--straggler-factor F]\n\
         \                    [--event-log FILE] [--event-log-max-bytes N]\n\
         \                    [--slow-query-ms N] [--max-sessions N] [--max-inflight N]\n\
         \                    [--max-query-tuples N] [--quiet] [file.coral ...]\n";
@@ -117,8 +131,10 @@ let () =
   ignore (Thread.sigmask Unix.SIG_BLOCK shutdown_signals);
   let rt =
     try
-      Coral_dist.Router.start ~consult:(List.rev !files) ~limits ~listen
-        ~shard_addrs:(List.rev !shards) ~key:!key db
+      Coral_dist.Router.start ~consult:(List.rev !files) ~limits
+        ?straggler_factor:
+          (if !straggler_factor > 0. then Some !straggler_factor else None)
+        ~listen ~shard_addrs:(List.rev !shards) ~key:!key db
     with
     | Coral.Engine.Engine_error e ->
       Printf.eprintf "coral_router: %s\n" e;
@@ -143,8 +159,13 @@ let () =
     else begin
       let store = Coral_dist.Router.store rt in
       match
-        Coral_server.Metrics_http.start ~host:!host ~port:!metrics_port (fun () ->
-            Coral_server.Session.metrics_text store)
+        Coral_server.Metrics_http.start ~host:!host
+          ~health:(fun () ->
+            match Coral_server.Session.degraded_reason store with
+            | None -> `Ok
+            | Some reason -> `Degraded reason)
+          ~port:!metrics_port
+          (fun () -> Coral_dist.Router.metrics_text rt)
       with
       | m -> Some m
       | exception Unix.Unix_error (err, _, _) ->

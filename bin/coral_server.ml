@@ -297,8 +297,13 @@ let () =
     else begin
       let store = Coral_server.Server.store srv in
       match
-        Coral_server.Metrics_http.start ~host:!host ~port:!metrics_port (fun () ->
-            Coral_server.Session.metrics_text store)
+        Coral_server.Metrics_http.start ~host:!host
+          ~health:(fun () ->
+            match Coral_server.Session.degraded_reason store with
+            | None -> `Ok
+            | Some reason -> `Degraded reason)
+          ~port:!metrics_port
+          (fun () -> Coral_server.Session.metrics_text store)
       with
       | m -> Some m
       | exception Unix.Unix_error (err, _, _) ->

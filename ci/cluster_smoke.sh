@@ -11,8 +11,14 @@
 # served the queries on the distributed path (router.queries.dist>0),
 # so a silent fallback to the local replica cannot green this test.
 #
-# Everything (sockets, logs, transcripts) lives in ./cluster_smoke/,
-# which CI uploads on failure.
+# Observability assertions ride along: the router's federated
+# /metrics endpoint must expose coral_shard_* series for every
+# worker plus the skew roll-ups, /healthz must answer 200 ok, and a
+# distributed query must yield a stitched Chrome trace with one lane
+# per process (saved as an artifact).
+#
+# Everything (sockets, logs, transcripts, the trace artifact) lives
+# in ./cluster_smoke/, which CI uploads on failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -53,11 +59,27 @@ wait_sock "$DIR/w1.sock"
 wait_sock "$DIR/w2.sock"
 wait_sock "$DIR/single.sock"
 
+# Not --quiet: the banner names the ephemeral metrics port (port 0).
 "$BIN/coral_router.exe" --socket "$DIR/router.sock" \
   --shard "$DIR/w0.sock" --shard "$DIR/w1.sock" --shard "$DIR/w2.sock" \
-  --key 1 --event-log "$DIR/router.jsonl" --quiet &
+  --key 1 --event-log "$DIR/router.jsonl" --metrics-port 0 \
+  > "$DIR/router.out" &
 PIDS="$PIDS $!"
 wait_sock "$DIR/router.sock"
+
+MPORT=""
+i=0
+while [ -z "$MPORT" ]; do
+  MPORT=$(sed -n 's#^coral_router metrics on http://[^:]*:\([0-9][0-9]*\)/metrics$#\1#p' \
+    "$DIR/router.out" 2>/dev/null || true)
+  [ -n "$MPORT" ] && break
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "cluster_smoke: timeout waiting for the router metrics banner" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
 
 # ---------------------------------------------------------------- #
 # Workloads: TC on a chain + chords, SG on a two-parent tree.       #
@@ -111,4 +133,65 @@ if [ -z "$dist" ] || [ "$dist" -eq 0 ]; then
   exit 1
 fi
 
-echo "cluster_smoke: OK — $n answers byte-identical across 3 shards, $dist distributed queries"
+# ---------------------------------------------------------------- #
+# Federated metrics: one scrape of the ROUTER must carry per-shard  #
+# labeled series for every worker, plus the skew roll-ups.          #
+# ---------------------------------------------------------------- #
+
+curl -sf "http://127.0.0.1:$MPORT/metrics" > "$DIR/metrics.prom"
+for s in 0 1 2; do
+  if ! grep -q "^coral_shard_up{shard=\"$s\"[,}].* 1\$" "$DIR/metrics.prom"; then
+    echo "cluster_smoke: FAIL — coral_shard_up{shard=\"$s\"} != 1 in federated /metrics" >&2
+    exit 1
+  fi
+  if ! grep -v '^coral_shard_up' "$DIR/metrics.prom" \
+      | grep -q "^coral_shard_.*{shard=\"$s\""; then
+    echo "cluster_smoke: FAIL — no relabeled coral_shard_* series for shard $s" >&2
+    exit 1
+  fi
+done
+for g in coral_dist_skew_ratio coral_dist_straggler_rounds; do
+  if ! grep -q "^$g " "$DIR/metrics.prom"; then
+    echo "cluster_smoke: FAIL — $g missing from federated /metrics" >&2
+    exit 1
+  fi
+done
+
+hcode=$(curl -s -o "$DIR/healthz.body" -w '%{http_code}' "http://127.0.0.1:$MPORT/healthz")
+if [ "$hcode" != "200" ] || ! grep -q '^ok$' "$DIR/healthz.body"; then
+  echo "cluster_smoke: FAIL — /healthz answered $hcode $(cat "$DIR/healthz.body" 2>/dev/null)" >&2
+  exit 1
+fi
+
+# ---------------------------------------------------------------- #
+# Stitched trace: a distributed query + `trace last` on the same    #
+# connection must produce one Chrome trace with a lane per process. #
+# The artifact is kept for chrome://tracing / Perfetto.             #
+# ---------------------------------------------------------------- #
+
+printf 'query path(1, Y)\ntrace last\nquit\n' \
+  | "$BIN/coral_repl.exe" --connect "$DIR/router.sock" \
+  | grep -E '^[][{]' > "$DIR/trace.json"
+
+lanes=$(grep -c '"name": "process_name"' "$DIR/trace.json" || true)
+if [ "$lanes" -lt 4 ]; then
+  echo "cluster_smoke: FAIL — stitched trace has $lanes lanes, expected router + 3 shards" >&2
+  exit 1
+fi
+if ! grep -q '"ph": "X"' "$DIR/trace.json"; then
+  echo "cluster_smoke: FAIL — stitched trace has no complete events" >&2
+  exit 1
+fi
+ntid=$(grep -o '"tid": "[^"]*"' "$DIR/trace.json" | grep -v '"tid": "1"' | sort -u | wc -l)
+if [ "$ntid" -ne 1 ]; then
+  echo "cluster_smoke: FAIL — stitched trace spans carry $ntid distinct trace ids, expected 1" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  if ! python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$DIR/trace.json"; then
+    echo "cluster_smoke: FAIL — trace.json is not valid JSON" >&2
+    exit 1
+  fi
+fi
+
+echo "cluster_smoke: OK — $n answers byte-identical across 3 shards, $dist distributed queries, federated metrics for 3 shards, stitched trace with $lanes lanes"

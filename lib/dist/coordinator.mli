@@ -7,6 +7,28 @@
 
 type t
 
+type shard_round = {
+  sr_shard : int;
+  sr_step_s : float;
+      (** this shard's [barrier step] wall time as observed by the
+          coordinator: local evaluation + delta shipping + barrier wait *)
+  sr_derived : int;
+  sr_shipped : int;
+  sr_received : int;
+  sr_new : int;
+}
+
+type round_stat = {
+  r_round : int;
+  r_wall_s : float;  (** the whole round (slowest step + slowest promote) *)
+  r_step_max_s : float;
+  r_skew : float;  (** max/mean of per-shard step times; 1.0 = balanced *)
+  r_straggler : int option;
+      (** the slowest shard, flagged when it exceeded the configured
+          multiple of the round's median step time *)
+  r_shards : shard_round list;
+}
+
 type run_stats = {
   rounds : int;
   derived : int;  (** candidate-new tuples derived across all shards *)
@@ -14,11 +36,20 @@ type run_stats = {
   shipped_bytes : int;
   new_tuples : int;  (** tuples that survived promotion (post-dedup) *)
   wall_s : float;
+  skew_max : float;  (** worst per-round skew ratio of the run *)
+  stragglers : int;  (** rounds that flagged a straggler *)
+  round_stats : round_stat list;  (** oldest first *)
 }
 
-val create : addrs:string list -> key:int -> t
+val default_straggler_factor : float
+(** 3.0: a shard [3×] slower than the round's median step is flagged. *)
+
+val create : ?straggler_factor:float -> addrs:string list -> key:int -> unit -> t
 (** One client per worker address ([host:port] or socket path); [key]
-    is the partition-key argument position sent with [shard]. *)
+    is the partition-key argument position sent with [shard].
+    [straggler_factor] (default {!default_straggler_factor}, clamped
+    to [>= 1.0]) sets the median multiple past which a shard's step
+    time flags it in [dist.round] events and {!round_stat}. *)
 
 val shards : t -> int
 val addrs : t -> string list
@@ -53,4 +84,10 @@ val run_fixpoint :
     tuple count pre-shipped with [send_delta]: round 1's
     shipped-equals-received balance check subtracts it.  Worker errors
     propagate under their original codes; an unreachable worker yields
-    [UNAVAIL]. *)
+    [UNAVAIL].
+
+    With observability enabled, every round records a [dist.round]
+    span and JSONL event (wall/step-max times, skew ratio, and a
+    [straggler] field naming any flagged shard), and control-plane
+    commands carry the calling thread's trace id as a [tid=] token so
+    worker-side spans join the same trace. *)

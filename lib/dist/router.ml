@@ -34,6 +34,7 @@
    connection when it notices). *)
 
 open Coral_server
+module Obs = Coral_obs.Obs
 
 type fanout = {
   slots : (Protocol.response, Protocol.error_code * string) result option array;
@@ -46,10 +47,11 @@ type t = {
   sock_path : string option;
   sstore : Session.store;
   coord : Coordinator.t;
-  cl_lock : Mutex.t;  (* guards dirty / verdict / last_run *)
+  cl_lock : Mutex.t;  (* guards dirty / verdict / last_run / last_tid *)
   mutable dirty : bool;
   mutable verdict : Plan.verdict;
   mutable last_run : Coordinator.run_stats option;
+  mutable last_tid : string option;  (* trace id of the newest distributed query *)
   mutable closed : bool;
   mutable accept_thread : Thread.t option;
   (* registry-backed, created at start (no module-level state) *)
@@ -175,7 +177,9 @@ let resync t (a : Plan.analysis) =
         "new_tuples", Coral_obs.Json.Int stats.Coordinator.new_tuples;
         "shipped_tuples", Coral_obs.Json.Int stats.Coordinator.shipped_tuples;
         "shipped_bytes", Coral_obs.Json.Int stats.Coordinator.shipped_bytes;
-        "wall_ms", Coral_obs.Json.Int (int_of_float (stats.Coordinator.wall_s *. 1000.))
+        "wall_ms", Coral_obs.Json.Int (int_of_float (stats.Coordinator.wall_s *. 1000.));
+        "skew", Coral_obs.Json.Float stats.Coordinator.skew_max;
+        "straggler_rounds", Coral_obs.Json.Int stats.Coordinator.stragglers
       ];
     t.last_run <- Some stats;
     t.dirty <- false;
@@ -308,6 +312,18 @@ let local_query t session text =
 
 let fan_out t session text =
       Coral_obs.Obs.Counter.incr t.c_dist;
+      (* The connection thread's trace context, captured HERE: the
+         fan-out threads below have none, so the id travels to each
+         worker inside the command line instead (a trailing [tid=]
+         token the worker's serving layer re-installs). *)
+      let tid = Obs.Trace.current () in
+      (match tid with
+      | Some id ->
+        Mutex.lock t.cl_lock;
+        t.last_tid <- Some id;
+        Mutex.unlock t.cl_lock
+      | None -> ());
+      let wire_text = match tid with Some id -> text ^ " tid=" ^ id | None -> text in
       let timeout_ms = Session.deadline_ms session in
       let entry =
         Coral_obs.Query_log.register ~session:(Session.sid session)
@@ -316,7 +332,8 @@ let fan_out t session text =
       Fun.protect ~finally:(fun () -> Coral_obs.Query_log.unregister entry)
       @@ fun () ->
       let t0 = Unix.gettimeofday () in
-      let fo = launch_fanout ~timeout_ms (Coordinator.addrs t.coord) text in
+      let t0_ns = Obs.now_ns () in
+      let fo = launch_fanout ~timeout_ms (Coordinator.addrs t.coord) wire_text in
       (* Poll rather than join: kill (and the local deadline) must be
          able to abandon threads stuck on a wedged worker.  Abandoned
          threads own their connections and close them on exit. *)
@@ -359,11 +376,17 @@ let fan_out t session text =
           let rows =
             List.length (List.filter (function Protocol.Ans _ -> true | _ -> false) payload)
           in
+          if Obs.enabled () then
+            Obs.Span.record "router.fanout" t0_ns
+              (Obs.now_ns () - t0_ns)
+              [ "shards", string_of_int (Coordinator.shards t.coord);
+                "rows", string_of_int rows ];
           Protocol.ok
             ~detail:
-              (Printf.sprintf "%d answer%s shards=%d" rows
+              (Printf.sprintf "%d answer%s shards=%d%s" rows
                  (if rows = 1 then "" else "s")
-                 (Coordinator.shards t.coord))
+                 (Coordinator.shards t.coord)
+                 (match tid with Some id -> " tid=" ^ id | None -> ""))
             payload))
 
 let do_dist_query t session text =
@@ -417,10 +440,216 @@ let router_stats t =
         Printf.sprintf "router.fixpoint.new_tuples=%d" s.Coordinator.new_tuples;
         Printf.sprintf "router.fixpoint.shipped_tuples=%d" s.Coordinator.shipped_tuples;
         Printf.sprintf "router.fixpoint.shipped_bytes=%d" s.Coordinator.shipped_bytes;
-        Printf.sprintf "router.fixpoint.wall_ms=%.1f" (s.Coordinator.wall_s *. 1000.)
+        Printf.sprintf "router.fixpoint.wall_ms=%.1f" (s.Coordinator.wall_s *. 1000.);
+        Printf.sprintf "router.fixpoint.skew=%.2f" s.Coordinator.skew_max;
+        Printf.sprintf "router.fixpoint.straggler_rounds=%d" s.Coordinator.stragglers
       ]
   in
   List.map (fun l -> Protocol.Txt l) lines
+
+(* ------------------------------------------------------------------ *)
+(* Cluster observability: federation, dstat, trace stitching           *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite one line of a worker's Prometheus exposition into the
+   federated namespace: [coral_X ...] becomes
+   [coral_shard_X{shard="N",...} ...].  [typed] remembers which
+   federated metric names have already emitted a [# TYPE] header —
+   the exposition format allows it at most once per name, and every
+   shard's scrape carries the same headers. *)
+let relabel_metric_line ~typed ~shard line =
+  let shard_label = Printf.sprintf "shard=\"%d\"" shard in
+  if String.starts_with ~prefix:"# TYPE coral_" line then begin
+    let rest = String.sub line 7 (String.length line - 7) in
+    match String.index_opt rest ' ' with
+    | None -> None
+    | Some i ->
+      let name = "coral_shard_" ^ String.sub rest 6 (i - 6) in
+      let kind = String.sub rest (i + 1) (String.length rest - i - 1) in
+      if Hashtbl.mem typed name then None
+      else begin
+        Hashtbl.replace typed name ();
+        Some (Printf.sprintf "# TYPE %s %s" name kind)
+      end
+  end
+  else if String.starts_with ~prefix:"coral_" line then begin
+    let n = String.length line in
+    let rec name_end i =
+      if i >= n then n else match line.[i] with '{' | ' ' -> i | _ -> name_end (i + 1)
+    in
+    let cut = name_end 0 in
+    let name = "coral_shard_" ^ String.sub line 6 (cut - 6) in
+    let rest = String.sub line cut (n - cut) in
+    if String.length rest > 0 && rest.[0] = '{' then
+      Some (name ^ "{" ^ shard_label ^ "," ^ String.sub rest 1 (String.length rest - 1))
+    else Some (name ^ "{" ^ shard_label ^ "}" ^ rest)
+  end
+  else None  (* # HELP, blanks, non-coral series *)
+
+(* The router's federated scrape body: its own replica's metrics, the
+   cluster roll-ups, then every worker's metrics relabeled under
+   [coral_shard_*{shard="N"}] plus a per-shard [coral_shard_up] gauge.
+   Scrapes ride one-shot connections (Shard_client.fetch), never the
+   coordinator's pooled control clients. *)
+let metrics_text t =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Session.metrics_text t.sstore);
+  Mutex.lock t.cl_lock;
+  let dirty = t.dirty and last = t.last_run in
+  Mutex.unlock t.cl_lock;
+  Obs.prometheus_sample buf ~kind:"gauge" "router.shards" (Coordinator.shards t.coord);
+  Obs.prometheus_sample buf ~kind:"gauge" "router.dirty" (if dirty then 1 else 0);
+  (match last with
+  | None -> ()
+  | Some s ->
+    Obs.prometheus_sample buf ~kind:"gauge" "router.fixpoint.rounds" s.Coordinator.rounds;
+    Obs.prometheus_sample buf ~kind:"gauge" "router.fixpoint.new_tuples"
+      s.Coordinator.new_tuples;
+    Obs.prometheus_sample buf ~kind:"gauge" "router.fixpoint.shipped_tuples"
+      s.Coordinator.shipped_tuples;
+    Obs.prometheus_sample_f buf ~kind:"gauge" "router.fixpoint.wall_seconds"
+      s.Coordinator.wall_s;
+    Obs.prometheus_sample_f buf ~kind:"gauge" "dist.skew_ratio" s.Coordinator.skew_max;
+    Obs.prometheus_sample buf ~kind:"gauge" "dist.straggler_rounds"
+      s.Coordinator.stragglers);
+  let typed = Hashtbl.create 64 in
+  List.iteri
+    (fun i addr ->
+      let scraped =
+        match Shard_client.fetch addr "metrics" with
+        | Error _ -> None
+        | Ok (lines, status) ->
+          if Shard_client.status_ok status = None then None else Some lines
+      in
+      Obs.prometheus_sample_labeled buf
+        ~typ:(not (Hashtbl.mem typed "coral_shard_up"))
+        ~kind:"gauge"
+        ~labels:[ "shard", string_of_int i; "addr", addr ]
+        "shard.up"
+        (if scraped = None then 0. else 1.);
+      Hashtbl.replace typed "coral_shard_up" ();
+      match scraped with
+      | None -> ()
+      | Some lines ->
+        List.iter
+          (fun line ->
+            if String.starts_with ~prefix:"txt " line then
+              let raw = String.sub line 4 (String.length line - 4) in
+              match relabel_metric_line ~typed ~shard:i raw with
+              | Some l ->
+                Buffer.add_string buf l;
+                Buffer.add_char buf '\n'
+              | None -> ())
+          lines)
+    (Coordinator.addrs t.coord);
+  Buffer.contents buf
+
+let do_metrics t =
+  let lines =
+    metrics_text t |> String.split_on_char '\n' |> List.filter (fun l -> l <> "")
+  in
+  Protocol.ok (List.map (fun l -> Protocol.Txt l) lines)
+
+(* Per-round fixpoint instrumentation, as an operator table. *)
+let do_dstat t =
+  Mutex.lock t.cl_lock;
+  let last = t.last_run in
+  Mutex.unlock t.cl_lock;
+  match last with
+  | None ->
+    Protocol.err Protocol.Cluster
+      "dstat: no distributed fixpoint has run yet (consult a distributable program and query it)"
+  | Some s ->
+    let lines =
+      List.concat_map
+        (fun (r : Coordinator.round_stat) ->
+          Printf.sprintf "round=%d wall_ms=%.2f step_max_ms=%.2f skew=%.2f straggler=%s"
+            r.Coordinator.r_round
+            (r.Coordinator.r_wall_s *. 1000.)
+            (r.Coordinator.r_step_max_s *. 1000.)
+            r.Coordinator.r_skew
+            (match r.Coordinator.r_straggler with
+            | None -> "-"
+            | Some sh -> string_of_int sh)
+          :: List.map
+               (fun (sr : Coordinator.shard_round) ->
+                 Printf.sprintf
+                   "  shard=%d step_ms=%.2f derived=%d shipped=%d received=%d new=%d"
+                   sr.Coordinator.sr_shard
+                   (sr.Coordinator.sr_step_s *. 1000.)
+                   sr.Coordinator.sr_derived sr.Coordinator.sr_shipped
+                   sr.Coordinator.sr_received sr.Coordinator.sr_new)
+               r.Coordinator.r_shards)
+        s.Coordinator.round_stats
+    in
+    Protocol.ok
+      ~detail:
+        (Printf.sprintf "rounds=%d skew_max=%.2f straggler_rounds=%d wall_ms=%.1f"
+           s.Coordinator.rounds s.Coordinator.skew_max s.Coordinator.stragglers
+           (s.Coordinator.wall_s *. 1000.))
+      (List.map (fun l -> Protocol.Txt l) lines)
+
+(* Stitch one trace: the router's own spans plus a [spans <tid>] pull
+   from every worker, each as its own pid lane of one Chrome
+   trace_event JSON.  A worker that cannot be reached simply
+   contributes an empty lane — a partial trace beats none. *)
+let do_trace t tid_arg =
+  let tid =
+    if tid_arg <> "last" then Some tid_arg
+    else begin
+      Mutex.lock t.cl_lock;
+      let v = t.last_tid in
+      Mutex.unlock t.cl_lock;
+      v
+    end
+  in
+  match tid with
+  | None ->
+    Protocol.err Protocol.Cluster
+      "trace last: no distributed query has been traced yet (is observability on? try 'obs on')"
+  | Some tid ->
+    let shard_lanes =
+      List.mapi
+        (fun i addr ->
+          let spans =
+            match Shard_client.fetch addr ("spans " ^ tid) with
+            | Error _ -> []
+            | Ok (lines, status) ->
+              if Shard_client.status_ok status = None then []
+              else
+                List.filter_map
+                  (fun line ->
+                    if String.starts_with ~prefix:"txt " line then
+                      match
+                        Obs.Span.of_json (String.sub line 4 (String.length line - 4))
+                      with
+                      | Ok s -> Some s
+                      | Error _ -> None
+                    else None)
+                  lines
+          in
+          Printf.sprintf "shard%d %s" i addr, spans)
+        (Coordinator.addrs t.coord)
+    in
+    let lanes = ("router", Obs.Span.matching tid) :: shard_lanes in
+    let total = List.fold_left (fun n (_, spans) -> n + List.length spans) 0 lanes in
+    if total = 0 then
+      Protocol.err Protocol.Eval
+        (Printf.sprintf "trace %s: no spans recorded (is observability on? try 'obs on')"
+           tid)
+    else
+      let payload =
+        Obs.Span.to_chrome_json_lanes lanes
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+        |> List.map (fun l -> Protocol.Txt l)
+      in
+      Protocol.ok
+        ~detail:
+          (Printf.sprintf "%d span%s tid=%s lanes=%d" total
+             (if total = 1 then "" else "s")
+             tid (List.length lanes))
+        payload
 
 let handle t session (req : Protocol.request) =
   match req with
@@ -434,6 +663,9 @@ let handle t session (req : Protocol.request) =
     (match r.Protocol.status with
     | Ok _ -> { r with Protocol.payload = r.Protocol.payload @ router_stats t }
     | Error _ -> r)
+  | Protocol.Metrics -> do_metrics t
+  | Protocol.Dstat -> do_dstat t
+  | Protocol.Trace tid -> do_trace t tid
   | _ -> Session.handle session req
 
 (* ------------------------------------------------------------------ *)
@@ -454,6 +686,16 @@ let serve_connection ?reserved t client =
       loop ()
     | Some line -> begin
       Session.note_bytes_read store (String.length line + 1);
+      (* The router is the trace origin: adopt a client-supplied
+         [tid=], otherwise mint a fresh id (when tracing is on) so the
+         whole fan-out — local spans, worker commands, events — shares
+         one trace id. *)
+      let tid =
+        match snd (Protocol.split_tid line) with
+        | Some _ as it -> it
+        | None -> if Obs.enabled () then Some (Obs.Trace.fresh ()) else None
+      in
+      let handle_req req = Obs.Trace.with_id tid (fun () -> handle t session req) in
       let with_payload kind n build =
         if n > Protocol.max_payload_bytes then
           write
@@ -464,7 +706,7 @@ let serve_connection ?reserved t client =
           match really_input_string ic n with
           | text ->
             Session.note_bytes_read store n;
-            write (handle t session (build text));
+            write (handle_req (build text));
             loop ()
           | exception End_of_file -> ()
         end
@@ -476,9 +718,9 @@ let serve_connection ?reserved t client =
       | `Consult_payload n -> with_payload "consult#" n (fun txt -> Protocol.Consult txt)
       | `Dprog_payload n -> with_payload "dprog#" n (fun txt -> Protocol.Dprog txt)
       | `Delta_payload n -> with_payload "delta#" n (fun txt -> Protocol.Delta txt)
-      | `Req Protocol.Quit -> write (handle t session Protocol.Quit)
+      | `Req Protocol.Quit -> write (handle_req Protocol.Quit)
       | `Req req ->
-        write (handle t session req);
+        write (handle_req req);
         loop ()
     end
   in
@@ -544,7 +786,7 @@ type listen =
   [ `Tcp of string * int
   | `Unix of string ]
 
-let start ?(consult = []) ?limits ~listen ~shard_addrs ~key db =
+let start ?(consult = []) ?limits ?straggler_factor ~listen ~shard_addrs ~key db =
   ignore_sigpipe ();
   List.iter (fun file -> Coral.consult_file db file) consult;
   let fd, bound_port =
@@ -577,11 +819,12 @@ let start ?(consult = []) ?limits ~listen ~shard_addrs ~key db =
       bound_port;
       sock_path = (match listen with `Unix path -> Some path | `Tcp _ -> None);
       sstore = Session.make_store ?limits db;
-      coord = Coordinator.create ~addrs:shard_addrs ~key;
+      coord = Coordinator.create ?straggler_factor ~addrs:shard_addrs ~key ();
       cl_lock = Mutex.create ();
       dirty = true;
       verdict = Plan.analyse_engine (Coral.engine db);
       last_run = None;
+      last_tid = None;
       closed = false;
       accept_thread = None;
       c_dist = Coral_obs.Obs.counter "router.queries.dist_total";

@@ -12,7 +12,18 @@
     next distributed query reprovisions it from scratch (configure,
     dreset, re-ship the EDB, ship the program, seed partitioned
     predicates' consulted facts to their owner shards, run the
-    fixpoint) before fanning out. *)
+    fixpoint) before fanning out.
+
+    The router is also the cluster's observability front end
+    (DESIGN.md §15).  Every request gets a trace id (client-supplied
+    [tid=] or freshly minted) that rides the worker commands; [trace
+    <id>|last] pulls the matching spans back from every worker and
+    stitches them into one Chrome trace_event JSON with a lane per
+    process.  [metrics] (and the [--metrics-port] endpoint, via
+    {!metrics_text}) federates every worker's scrape under
+    [coral_shard_*{shard="N"}] labels plus skew/straggler roll-ups,
+    and [dstat] prints the last fixpoint's per-round, per-shard
+    table. *)
 
 type listen =
   [ `Tcp of string * int
@@ -23,6 +34,7 @@ type t
 val start :
   ?consult:string list ->
   ?limits:Coral_server.Admission.config ->
+  ?straggler_factor:float ->
   listen:listen ->
   shard_addrs:string list ->
   key:int ->
@@ -30,12 +42,24 @@ val start :
   t
 (** Bind, consult the given files into the router's replica, and begin
     accepting.  [shard_addrs] are the workers' [host:port] / socket
-    addresses; [key] is the partition-key argument position.  No
-    worker is contacted until the first distributed query.
+    addresses; [key] is the partition-key argument position.
+    [straggler_factor] tunes skew detection (a round's slowest shard
+    is flagged when it exceeds the median step time by this multiple;
+    default {!Coordinator.default_straggler_factor}).  No worker is
+    contacted until the first distributed query.
     @raise Unix.Unix_error when binding fails. *)
 
 val port : t -> int
 val store : t -> Coral_server.Session.store
 val shards : t -> int
+
+val metrics_text : t -> string
+(** The federated Prometheus scrape body: the router replica's own
+    metrics, cluster roll-ups ([coral_dist_skew_ratio],
+    [coral_dist_straggler_rounds], [coral_router_*]), then every
+    worker's metrics relabeled as [coral_shard_*{shard="N"}] plus a
+    [coral_shard_up] gauge per shard.  Wire this as the
+    [--metrics-port] body. *)
+
 val wait : t -> unit
 val shutdown : t -> unit

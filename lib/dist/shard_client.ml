@@ -135,6 +135,41 @@ let request t ?payload cmd =
         t.conn <- None;
         raise (Down (Printf.sprintf "%s: connection lost" t.addr)))
 
+(* One-shot exchange on a fresh connection: connect (single attempt),
+   request, read the reply, close.  The observability scrapes (metrics
+   federation, trace pulls) use this instead of the cluster's pooled
+   clients so a slow scrape can never hold the fixpoint's connection
+   mutex — and a down worker answers [Error] immediately rather than
+   sitting through the pooled client's reconnect backoff. *)
+let fetch ?payload addr cmd =
+  match connect_once addr with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: %s" addr (Unix.error_message e))
+  | c ->
+    Fun.protect
+      ~finally:(fun () -> close_conn c)
+      (fun () ->
+        try
+          Out_channel.output_string c.oc cmd;
+          Out_channel.output_char c.oc '\n';
+          (match payload with
+          | Some p -> Out_channel.output_string c.oc p
+          | None -> ());
+          Out_channel.flush c.oc;
+          let rec go acc =
+            match Protocol.read_line_capped c.ic with
+            | None -> Error (Printf.sprintf "%s closed the connection mid-reply" addr)
+            | Some line ->
+              if Protocol.is_status line then Ok (List.rev acc, line) else go (line :: acc)
+          in
+          go []
+        with
+        | Sys_error m | Failure m -> Error (Printf.sprintf "%s: %s" addr m)
+        | Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "%s: %s" addr (Unix.error_message e))
+        | End_of_file | Protocol.Line_too_long ->
+          Error (Printf.sprintf "%s: connection lost" addr))
+
 (* ------------------------------------------------------------------ *)
 (* Status-line helpers                                                 *)
 (* ------------------------------------------------------------------ *)

@@ -25,6 +25,14 @@ val request : t -> ?payload:string -> string -> string list * string
     and the final [ok]/[err] status line.
     @raise Down on any IO failure. *)
 
+val fetch :
+  ?payload:string -> string -> string -> (string list * string, string) result
+(** [fetch addr cmd]: one request/reply exchange on a fresh, one-shot
+    connection (single connect attempt, closed after the reply).  Used
+    by the router's observability scrapes — metrics federation and
+    trace pulls — so they never contend on a pooled client's mutex,
+    and a down worker reports [Error] immediately. *)
+
 val status_ok : string -> string option
 (** [Some detail] if the status line is [ok ...]. *)
 

@@ -22,6 +22,7 @@
 
 open Coral
 open Coral_server
+module Obs = Coral_obs.Obs
 
 let delta_suffix = "@delta"
 
@@ -44,6 +45,10 @@ type t = {
   mutable shipped_total : int;
   mutable shipped_bytes : int;
   mutable promoted_total : int;
+  mutable rounds_total : int;
+  mutable fault_step_delay_s : float;
+      (* test seam: sleep this long inside every barrier step, turning
+         this worker into a deterministic straggler *)
 }
 
 let create ~eng ~commit ~locked ~budget =
@@ -57,8 +62,14 @@ let create ~eng ~commit ~locked ~budget =
     derived_total = 0;
     shipped_total = 0;
     shipped_bytes = 0;
-    promoted_total = 0
+    promoted_total = 0;
+    rounds_total = 0;
+    fault_step_delay_s = 0.
   }
+
+(* Fault seam for tests and drills: make every step this much slower,
+   so straggler detection can be exercised deterministically. *)
+let set_fault_step_delay t seconds = t.fault_step_delay_s <- Float.max 0. seconds
 
 let stats t =
   let received, batches = Exchange.totals t.exchange in
@@ -67,7 +78,8 @@ let stats t =
     "dist.shipped_bytes", t.shipped_bytes;
     "dist.received_total", received;
     "dist.received_batches", batches;
-    "dist.promoted_total", t.promoted_total
+    "dist.promoted_total", t.promoted_total;
+    "dist.rounds_total", t.rounds_total
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -210,6 +222,21 @@ let do_step t round =
   | None, _ | _, None -> Protocol.err Protocol.Cluster "barrier before shard/dprog"
   | Some cfg, Some prog ->
     let derived = ref 0 in
+    let shipped_count = ref 0 in
+    (* Runs on the coordinator's connection thread, where the wire
+       trace id is installed — so this span lands in the distributed
+       trace with the right tid. *)
+    Obs.Span.with_
+      ~attrs:(fun () ->
+        [ "round", string_of_int round;
+          "shard", string_of_int cfg.self;
+          "derived", string_of_int !derived;
+          "shipped", string_of_int !shipped_count
+        ])
+      "dist.step"
+    @@ fun () ->
+    if t.fault_step_delay_s > 0. then Thread.delay t.fault_step_delay_s;
+    t.rounds_total <- t.rounds_total + 1;
     let local = ref [] in
     let outbound = Array.make (Array.length cfg.peers) [] in
     let seen = Hashtbl.create 64 in
@@ -290,6 +317,7 @@ let do_step t round =
          ship a lie to its owner *)
       Protocol.err Protocol.Cluster ("derived tuple cannot be shipped: " ^ m)
     | Ok (shipped, bytes) ->
+      shipped_count := shipped;
       Protocol.ok
         ~detail:(Printf.sprintf "derived=%d shipped=%d bytes=%d" !derived shipped bytes)
         [])
@@ -298,12 +326,21 @@ let do_step t round =
 (* Barrier promote: absorb the exchange into full + delta relations    *)
 (* ------------------------------------------------------------------ *)
 
-let do_promote t _round =
+let do_promote t round =
   match t.config, t.prog with
   | None, _ | _, None -> Protocol.err Protocol.Cluster "barrier before shard/dprog"
-  | Some _, Some prog ->
+  | Some cfg, Some prog ->
     let fresh = ref 0 in
     let received = ref 0 in
+    Obs.Span.with_
+      ~attrs:(fun () ->
+        [ "round", string_of_int round;
+          "shard", string_of_int cfg.self;
+          "new", string_of_int !fresh;
+          "received", string_of_int !received
+        ])
+      "dist.promote"
+    @@ fun () ->
     t.commit ~invalidate:true (fun () ->
         let items, recv = Exchange.drain t.exchange in
         received := recv;
@@ -358,6 +395,7 @@ let do_dreset t =
   t.shipped_total <- 0;
   t.shipped_bytes <- 0;
   t.promoted_total <- 0;
+  t.rounds_total <- 0;
   Protocol.ok ~detail:"reset" []
 
 (* ------------------------------------------------------------------ *)

@@ -257,6 +257,108 @@ let prometheus_sample buf ~kind name value =
   Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" n kind);
   Buffer.add_string buf (Printf.sprintf "%s %d\n" n value)
 
+let prometheus_sample_f buf ~kind name value =
+  let n = prom_name name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" n kind);
+  Buffer.add_string buf (Printf.sprintf "%s %s\n" n (prom_float value))
+
+(* Labeled sample: [labels] render inside {}.  Label values are
+   escaped per the exposition format (backslash, quote, newline). *)
+let prom_label_escape s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_label_escape v)) labels)
+    ^ "}"
+
+let prometheus_sample_labeled buf ?(typ = true) ~kind ~labels name value =
+  let n = prom_name name in
+  if typ then Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" n kind);
+  Buffer.add_string buf (Printf.sprintf "%s%s %s\n" n (render_labels labels) (prom_float value))
+
+(* ------------------------------------------------------------------ *)
+(* Trace context                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-request trace id.  A connection thread sets it when a
+   request arrives (either honoring a tid= token from the wire or
+   minting a fresh id) and clears it when the reply is written; any
+   span or event recorded on that thread in between is stamped with
+   it.  The table is keyed by thread id, so context never leaks
+   between concurrent connections — but note it also does not follow
+   work handed to a domain pool; callers that fan out must capture
+   [current ()] before spawning. *)
+module Trace = struct
+  let table : (int, string) Hashtbl.t = Hashtbl.create 16
+  let lock = Mutex.create ()
+  let seq = Atomic.make 0
+
+  (* ids look like "t4f2a-17": a few hex digits of process identity
+     (pid + start time) plus a process-local sequence number, unique
+     enough across a cluster without a real RNG. *)
+  let origin =
+    lazy
+      (let pid = Unix.getpid () in
+       Printf.sprintf "%04x" ((pid lxor (process_start_ns lsr 12)) land 0xffff))
+
+  let fresh () =
+    Printf.sprintf "t%s-%d" (Lazy.force origin) (Atomic.fetch_and_add seq 1)
+
+  let set id =
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock lock;
+    Hashtbl.replace table tid id;
+    Mutex.unlock lock
+
+  let clear () =
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock lock;
+    Hashtbl.remove table tid;
+    Mutex.unlock lock
+
+  let current () =
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock lock;
+    let r = Hashtbl.find_opt table tid in
+    Mutex.unlock lock;
+    r
+
+  (* [with_id id f]: run f with the trace context set (None = leave
+     whatever context is already installed alone). *)
+  let with_id id f =
+    match id with
+    | None -> f ()
+    | Some id ->
+      let prev = current () in
+      set id;
+      Fun.protect
+        ~finally:(fun () -> match prev with Some p -> set p | None -> clear ())
+        f
+
+  (* A tid travels on the wire as a trailing "tid=<id>" token; only
+     short ids of unsurprising characters are accepted, so a malformed
+     token cannot smuggle spaces or quotes into logs. *)
+  let valid_id s =
+    let n = String.length s in
+    n > 0 && n <= 64
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true | _ -> false)
+         s
+end
+
 (* ------------------------------------------------------------------ *)
 (* Span tracing                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -291,7 +393,17 @@ module Span = struct
     cursor := 0;
     Mutex.unlock ring_lock
 
+  (* Every completed span is stamped with the calling thread's trace
+     id (when one is installed) so cross-process trace stitching can
+     find it later by tid. *)
   let record sname ts_ns dur_ns attrs =
+    let attrs =
+      if List.mem_assoc "tid" attrs then attrs
+      else
+        match Trace.current () with
+        | Some id -> ("tid", id) :: attrs
+        | None -> attrs
+    in
     Mutex.lock ring_lock;
     let r = !ring in
     r.(!cursor mod Array.length r) <- Some { sname; ts_ns; dur_ns; attrs };
@@ -368,6 +480,86 @@ module Span = struct
         end;
         Buffer.add_string buf "}")
       spans;
+    Buffer.add_string buf "\n]\n";
+    Buffer.contents buf
+
+  (* Spans whose trace id matches [tid], oldest first — the slice a
+     worker ships back for a [spans <tid>] wire request. *)
+  let matching tid =
+    List.filter (fun s -> List.assoc_opt "tid" s.attrs = Some tid) (recorded ())
+
+  (* One span as a single-line JSON object; the wire format for
+     [spans <tid>] replies, parsed back with [of_json]. *)
+  let to_json s =
+    Json.to_string
+      (Json.Obj
+         [ "name", Json.Str s.sname;
+           "ts_ns", Json.Int s.ts_ns;
+           "dur_ns", Json.Int s.dur_ns;
+           "attrs", Json.Obj (List.map (fun (k, v) -> k, Json.Str v) s.attrs)
+         ])
+
+  let of_json line =
+    match Json.parse line with
+    | Error e -> Error e
+    | Ok j -> begin
+      match Json.member "name" j, Json.member "ts_ns" j, Json.member "dur_ns" j with
+      | Some (Json.Str sname), Some (Json.Int ts_ns), Some (Json.Int dur_ns) ->
+        let attrs =
+          match Json.member "attrs" j with
+          | Some (Json.Obj kvs) ->
+            List.filter_map (function k, Json.Str v -> Some (k, v) | _ -> None) kvs
+          | _ -> []
+        in
+        Ok { sname; ts_ns; dur_ns; attrs }
+      | _ -> Error "span: missing name/ts_ns/dur_ns"
+    end
+
+  (* Stitched multi-process view: each (label, spans) pair becomes its
+     own pid lane, named by a process_name metadata event, so a router
+     plus its workers render as parallel flame rows in Perfetto /
+     chrome://tracing sharing one time axis. *)
+  let to_chrome_json_lanes lanes =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "[";
+    let first = ref true in
+    let emit line =
+      if !first then (Buffer.add_string buf "\n"; first := false)
+      else Buffer.add_string buf ",\n";
+      Buffer.add_string buf line
+    in
+    List.iteri
+      (fun lane (label, spans) ->
+        let pid = lane + 1 in
+        emit
+          (Printf.sprintf
+             "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": 1, \
+              \"args\": {\"name\": \"%s\"}}"
+             pid (json_escape label));
+        List.iter
+          (fun s ->
+            let b = Buffer.create 128 in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": %d, \"tid\": 1, \
+                  \"ts\": %.3f, \"dur\": %.3f"
+                 (json_escape s.sname) pid
+                 (float_of_int s.ts_ns /. 1e3)
+                 (float_of_int s.dur_ns /. 1e3));
+            if s.attrs <> [] then begin
+              Buffer.add_string b ", \"args\": {";
+              List.iteri
+                (fun j (k, v) ->
+                  if j > 0 then Buffer.add_string b ", ";
+                  Buffer.add_string b
+                    (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)))
+                s.attrs;
+              Buffer.add_string b "}"
+            end;
+            Buffer.add_string b "}";
+            emit (Buffer.contents b))
+          spans)
+      lanes;
     Buffer.add_string buf "\n]\n";
     Buffer.contents buf
 end

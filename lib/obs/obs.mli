@@ -103,6 +103,46 @@ val prometheus_sample : Buffer.t -> kind:string -> string -> int -> unit
 (** Append one unregistered sample (kind is ["counter"] or ["gauge"])
     — for values owned by another component and read at scrape time. *)
 
+val prometheus_sample_f : Buffer.t -> kind:string -> string -> float -> unit
+(** [prometheus_sample] for float-valued gauges (ratios, seconds). *)
+
+val prometheus_sample_labeled :
+  Buffer.t ->
+  ?typ:bool ->
+  kind:string ->
+  labels:(string * string) list ->
+  string ->
+  float ->
+  unit
+(** One sample with {k="v",...} labels.  [typ:false] suppresses the
+    [# TYPE] header so repeated series of one metric (per-shard lines)
+    emit it only once. *)
+
+(** {1 Trace context}
+
+    A per-thread trace id installed by the serving layer for the
+    duration of a request.  Spans and events recorded on that thread
+    are stamped with it, which is what lets a router stitch its own
+    spans together with each worker's into one cross-process trace.
+    The context does not follow work submitted to domain pools —
+    capture [current ()] before fanning out. *)
+
+module Trace : sig
+  val fresh : unit -> string
+  (** A new process-unique trace id (["t<origin>-<seq>"]). *)
+
+  val set : string -> unit
+  val clear : unit -> unit
+  val current : unit -> string option
+
+  val with_id : string option -> (unit -> 'a) -> 'a
+  (** Run the thunk with the given trace context installed; [None]
+      leaves the current context untouched. *)
+
+  val valid_id : string -> bool
+  (** Whether a wire-received id is safe to adopt (short, [[A-Za-z0-9._-]]). *)
+end
+
 (** {1 Span tracing}
 
     Completed spans land in a fixed-size ring buffer (newest wins on
@@ -121,6 +161,12 @@ module Span : sig
   (** Run the thunk inside a span.  [attrs] is a thunk so attribute
       strings cost nothing when tracing is off. *)
 
+  val record : string -> int -> int -> (string * string) list -> unit
+  (** [record name ts_ns dur_ns attrs] stores one completed span
+      directly.  Not gated on the global switch — callers that build
+      attributes eagerly should check {!enabled} first.  The calling
+      thread's trace id (if any) is stamped into [attrs]. *)
+
   val set_capacity : int -> unit
   (** Resize the ring (drops recorded spans). *)
 
@@ -133,4 +179,19 @@ module Span : sig
   (** Total spans ever recorded (including overwritten ones). *)
 
   val to_chrome_json : unit -> string
+
+  val matching : string -> span list
+  (** Spans in the ring stamped with the given trace id, oldest first. *)
+
+  val to_json : span -> string
+  (** One span as a single-line JSON object (the [spans <tid>] wire
+      format). *)
+
+  val of_json : string -> (span, string) result
+
+  val to_chrome_json_lanes : (string * span list) list -> string
+  (** Stitched multi-process export: each [(label, spans)] pair
+      renders as its own pid lane (named via a [process_name] metadata
+      event) sharing one time axis — router fan-out and every worker's
+      rounds in a single flame view. *)
 end

@@ -213,6 +213,15 @@ module Events = struct
 
   let log ~kind fields =
     if st.enabled then begin
+      (* Stamp the calling thread's trace id so JSONL lines from a
+         distributed request can be correlated with its spans. *)
+      let fields =
+        if List.mem_assoc "tid" fields then fields
+        else
+          match Obs.Trace.current () with
+          | Some id -> ("tid", Json.Str id) :: fields
+          | None -> fields
+      in
       let line =
         Json.to_string
           (Json.Obj

@@ -10,6 +10,7 @@ type t = {
   fd : Unix.file_descr;
   bound_port : int;
   body : unit -> string;
+  health : unit -> [ `Ok | `Degraded of string ];
   mutable closed : bool;
   mutable accept_thread : Thread.t option;
 }
@@ -65,6 +66,19 @@ let serve_connection t client =
          respond oc ~status:"200 OK"
            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
            (if meth = "HEAD" then "" else body)
+       else if path = "/healthz" then begin
+         (* load-balancer probe: 200 "ok" when serving normally, 503
+            with the reason when the store is degraded (read-only) —
+            no CORAL protocol required.  A health callback that itself
+            fails reports degraded rather than lying about health. *)
+         let status, body =
+           match (try t.health () with e -> `Degraded (Printexc.to_string e)) with
+           | `Ok -> "200 OK", "ok\n"
+           | `Degraded reason -> "503 Service Unavailable", "degraded " ^ reason ^ "\n"
+         in
+         respond oc ~status ~content_type:"text/plain"
+           (if meth = "HEAD" then "" else body)
+       end
        else
          respond oc ~status:"404 Not Found" ~content_type:"text/plain"
            (if meth = "HEAD" then "" else "not found (try /metrics)\n")
@@ -87,7 +101,7 @@ let accept_loop t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let start ?(host = "127.0.0.1") ~port body =
+let start ?(host = "127.0.0.1") ?(health = fun () -> `Ok) ~port body =
   let addr =
     match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
     | { Unix.ai_addr; _ } :: _ -> ai_addr
@@ -102,7 +116,7 @@ let start ?(host = "127.0.0.1") ~port body =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
-  let t = { fd; bound_port; body; closed = false; accept_thread = None } in
+  let t = { fd; bound_port; body; health; closed = false; accept_thread = None } in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 

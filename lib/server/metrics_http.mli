@@ -3,19 +3,26 @@
 
     Serves GET [/] and [/metrics] with the text produced by the body
     callback (typically {!Session.metrics_text} over the server's
-    store) as [text/plain; version=0.0.4]; other paths get 404, other
-    methods 405 — always a well-formed response with Content-Length,
-    never a silently closed socket.  One thread per connection,
-    [Connection: close] — just enough HTTP for [curl] and a Prometheus
-    scraper, nothing more. *)
+    store) as [text/plain; version=0.0.4], and GET [/healthz] as a
+    load-balancer probe (200 ["ok"] / 503 ["degraded <reason>"]);
+    other paths get 404, other methods 405 — always a well-formed
+    response with Content-Length, never a silently closed socket.  One
+    thread per connection, [Connection: close] — just enough HTTP for
+    [curl] and a Prometheus scraper, nothing more. *)
 
 type t
 
-val start : ?host:string -> port:int -> (unit -> string) -> t
+val start :
+  ?host:string ->
+  ?health:(unit -> [ `Ok | `Degraded of string ]) ->
+  port:int ->
+  (unit -> string) ->
+  t
 (** [start ~port body] binds and starts accepting in a background
     thread.  [port = 0] binds an ephemeral port (see {!port}).  The
     body callback runs on a connection thread and must not assume any
-    locks are held.  Raises [Unix.Unix_error] if the bind fails. *)
+    locks are held; so does [health], which backs [/healthz] (default:
+    always [`Ok]).  Raises [Unix.Unix_error] if the bind fails. *)
 
 val port : t -> int
 (** The actually-bound TCP port. *)

@@ -32,6 +32,10 @@ type request =
   | Delta of string  (** a batch of fact lines shipped from a peer shard *)
   | Barrier of barrier_phase * int  (** barrier step|promote <round> *)
   | Dreset
+  (* observability plane *)
+  | Spans of string  (** span slice for one trace id, as JSON lines *)
+  | Dstat  (** per-round stats of the last distributed fixpoint *)
+  | Trace of string  (** stitched Chrome trace for a trace id (or "last") *)
   | Quit
 
 type error_code =
@@ -119,7 +123,47 @@ let split_cmd line =
     let rest = String.sub line (i + 1) (String.length line - i - 1) in
     String.sub line 0 i, String.trim rest
 
+(* Commands that may carry a trailing " tid=<id>" trace-context token
+   on the wire.  The list is a whitelist so free-text arguments
+   (consult programs, insert facts) can never be mangled by the
+   stripper; [consult#] is safe — its free text travels in the framed
+   payload, never on the command line. *)
+let tid_commands =
+  [ "query"; "shard"; "consult#"; "dprog#"; "delta#"; "barrier"; "dreset" ]
+
+let valid_tid s =
+  let n = String.length s in
+  n > 0 && n <= 64
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true | _ -> false)
+       s
+
+(* [split_tid line] strips a trailing trace-id token from a request
+   line, returning the stripped line and the id.  Lines without one
+   (or with a malformed one) come back untouched — old clients and
+   plain servers interoperate unchanged. *)
+let split_tid line =
+  let trimmed = String.trim line in
+  let cmd, _ = split_cmd trimmed in
+  if not (List.mem cmd tid_commands) then line, None
+  else begin
+    match String.rindex_opt trimmed ' ' with
+    | None -> line, None
+    | Some i ->
+      let last = String.sub trimmed (i + 1) (String.length trimmed - i - 1) in
+      if String.starts_with ~prefix:"tid=" last then begin
+        let id = String.sub last 4 (String.length last - 4) in
+        if valid_tid id then String.trim (String.sub trimmed 0 i), Some id
+        else line, None
+      end
+      else line, None
+  end
+
 let parse_request line =
+  (* Drop any trace token here too, so callers that never look at the
+     trace context (in-process harnesses, old loops) still parse
+     "dprog# 123 tid=x" correctly. *)
+  let line, _ = split_tid line in
   let line = String.trim line in
   let cmd, arg = split_cmd line in
   let need_arg k = if arg = "" then `Bad (cmd ^ " expects an argument") else k () in
@@ -233,6 +277,15 @@ let parse_request line =
         end
         | _ -> `Bad "barrier expects: barrier step|promote <round>")
   | "dreset" -> no_arg Dreset
+  (* observability plane *)
+  | "spans" ->
+    need_arg (fun () ->
+        if valid_tid arg then `Req (Spans arg) else `Bad "spans expects a trace id")
+  | "dstat" -> no_arg Dstat
+  | "trace" ->
+    need_arg (fun () ->
+        if arg = "last" || valid_tid arg then `Req (Trace arg)
+        else `Bad "trace expects a trace id or 'last'")
   | _ -> `Bad (Printf.sprintf "unknown command %S" cmd)
 
 let ok ?(detail = "") payload = { payload; status = Ok detail }

@@ -52,6 +52,24 @@
     dreset                         drop distributed derived state
     v}
 
+    Observability plane (see DESIGN.md §15):
+
+    {v
+    spans <tid>                    span-ring slice stamped with trace id
+                                   <tid>, one JSON object per txt line
+    dstat                          per-round stats of the last distributed
+                                   fixpoint (router; workers answer CLUSTER)
+    trace <tid>|last               stitched Chrome trace_event JSON for a
+                                   trace id, one chunk per txt line
+    v}
+
+    [query] and the cluster control-plane commands accept an optional
+    trailing [tid=<id>] token carrying the caller's trace context.
+    Servers that predate it (or [parse_request] callers that never
+    look) strip and ignore it, so the extension is invisible to old
+    deployments; a worker adopts the id for the request's spans and
+    events, which is what makes cross-process trace stitching work.
+
     [ps], [kill], [events], [degrade] and [restore] are served without
     the store lock, so they work from any connection while another
     connection's query is evaluating.
@@ -123,6 +141,13 @@ type request =
   | Delta of string  (** a batch of fact lines shipped from a peer shard *)
   | Barrier of barrier_phase * int
   | Dreset  (** drop distributed derived state (before a fixpoint rerun) *)
+  | Spans of string
+      (** ship the span-ring slice stamped with this trace id, one
+          single-line JSON object per [txt] line *)
+  | Dstat  (** per-round statistics of the last distributed fixpoint *)
+  | Trace of string
+      (** stitched Chrome trace_event JSON for a trace id ([last] =
+          the router's most recent distributed query) *)
   | Quit
 
 type error_code =
@@ -163,7 +188,15 @@ val parse_request :
   | `Bad of string ]
 (** Parse one request line (the [`..._payload n] cases: the caller
     must read [n] more bytes and build [Consult]/[Dprog]/[Delta]
-    itself). *)
+    itself).  A trailing [tid=<id>] trace token on a {!split_tid}
+    command is stripped and ignored. *)
+
+val split_tid : string -> string * string option
+(** Strip a trailing [" tid=<id>"] trace-context token from a request
+    line ([query], [shard], [dprog#], [delta#], [barrier], [dreset]
+    only — free-text commands are never touched).  Returns the
+    stripped line and the id; lines without a well-formed token come
+    back unchanged, so pre-trace clients interoperate as-is. *)
 
 val ok : ?detail:string -> payload list -> response
 val err : error_code -> string -> response

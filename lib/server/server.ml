@@ -36,6 +36,14 @@ let serve_connection ?reserved store client =
       loop ()
     | Some line -> begin
       Session.note_bytes_read store (String.length line + 1);
+      (* A trailing tid= token installs the sender's trace context for
+         this one request, so spans and events it records are stamped
+         with the cluster-wide trace id.  Requests without one run
+         with no context (exactly the pre-trace behavior). *)
+      let _, wire_tid = Protocol.split_tid line in
+      let handle req =
+        Coral_obs.Obs.Trace.with_id wire_tid (fun () -> Session.handle session req)
+      in
       (* byte-counted payload bodies: consult#, and the cluster's
          shipped program / delta batches *)
       let with_payload kind n build =
@@ -50,7 +58,7 @@ let serve_connection ?reserved store client =
           match really_input_string ic n with
           | text ->
             Session.note_bytes_read store n;
-            write (Session.handle session (build text));
+            write (handle (build text));
             loop ()
           | exception End_of_file -> ()
         end
@@ -62,9 +70,9 @@ let serve_connection ?reserved store client =
       | `Consult_payload n -> with_payload "consult#" n (fun t -> Protocol.Consult t)
       | `Dprog_payload n -> with_payload "dprog#" n (fun t -> Protocol.Dprog t)
       | `Delta_payload n -> with_payload "delta#" n (fun t -> Protocol.Delta t)
-      | `Req Protocol.Quit -> write (Session.handle session Protocol.Quit)
+      | `Req Protocol.Quit -> write (handle Protocol.Quit)
       | `Req req ->
-        write (Session.handle session req);
+        write (handle req);
         loop ()
     end
   in

@@ -121,6 +121,13 @@ let snapshot_epoch store = Snapshot.epoch store.snap
 
 let is_degraded store = store.degraded <> Healthy
 
+(* For health probes: None when healthy, the reason otherwise. *)
+let degraded_reason store =
+  match store.degraded with
+  | Healthy -> None
+  | Auto reason -> Some ("auto: " ^ reason)
+  | Forced reason -> Some ("operator: " ^ reason)
+
 let enter_degraded store d =
   Mutex.lock store.dlock;
   let prev = store.degraded in
@@ -380,7 +387,17 @@ let evaluated t ~dbv ?(epoch = 0) ~wrap ~kind ?(adorned = "") ?(plan_cache = "")
       ~plan_cache ~outcome ()
   in
   let resource = ref None in
-  match wrap (fun () -> with_guards t dbv entry resource f) with
+  (* The request-level span runs on the connection thread — the one
+     place the wire trace id is installed — so a distributed trace
+     always has a per-worker "server.<kind>" span even though the
+     engine's inner spans run on pool domains. *)
+  let qid = Query_log.id entry in
+  match
+    Obs.Span.with_
+      ~attrs:(fun () -> [ "query", string_of_int qid ])
+      ("server." ^ kind)
+      (fun () -> wrap (fun () -> with_guards t dbv entry resource f))
+  with
   | v ->
     finish "ok" ~rows:(rows_of v);
     k v
@@ -845,6 +862,34 @@ let do_events _t n =
          (if Query_log.Events.total () = 1 then "" else "s"))
     (List.map (fun l -> Protocol.Txt l) lines)
 
+(* [spans <tid>]: the span-ring slice stamped with one trace id, one
+   JSON object per txt line — what a router pulls from each worker to
+   stitch a cross-process trace.  Ring-local, no store lock. *)
+let do_spans _t tid =
+  let spans = Obs.Span.matching tid in
+  Protocol.ok
+    ~detail:(Printf.sprintf "%d span%s" (List.length spans) (if List.length spans = 1 then "" else "s"))
+    (List.map (fun s -> Protocol.Txt (Obs.Span.to_json s)) spans)
+
+(* [trace <tid>] on a plain (non-router) server: a single-lane Chrome
+   trace of this process's matching spans.  The router overrides this
+   with the stitched multi-process version. *)
+let do_trace _t tid =
+  if tid = "last" then
+    Protocol.err Protocol.Cluster "trace last: only a coral_router tracks the last trace"
+  else begin
+    let spans = Obs.Span.matching tid in
+    if spans = [] then
+      Protocol.err Protocol.Eval (Printf.sprintf "no spans recorded for trace %s" tid)
+    else begin
+      let json = Obs.Span.to_chrome_json_lanes [ "server", spans ] in
+      let lines = String.split_on_char '\n' json |> List.filter (fun l -> l <> "") in
+      Protocol.ok
+        ~detail:(Printf.sprintf "%d spans" (List.length spans))
+        (List.map (fun l -> Protocol.Txt l) lines)
+    end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Prometheus text exposition                                          *)
 (* ------------------------------------------------------------------ *)
@@ -983,9 +1028,14 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Relations -> locked t.store (fun () -> do_relations t)
   | Protocol.Modules -> locked t.store (fun () -> do_modules t)
   | Protocol.Ps | Protocol.Kill _ | Protocol.Events _ | Protocol.Degrade _
-  | Protocol.Restore ->
+  | Protocol.Restore | Protocol.Spans _ | Protocol.Trace _ ->
     (* handled lock-free in [handle]; unreachable through it *)
     Protocol.err Protocol.Proto "introspection command routed incorrectly"
+  | Protocol.Dstat ->
+    (* only a router (which intercepts dstat before the session layer)
+       has per-round fixpoint statistics to report *)
+    Protocol.err Protocol.Cluster
+      "dstat: no distributed fixpoint here; ask the coral_router"
   (* Cluster control plane: delegated to the installed dist worker.
      These bypass the admission gate ([evaluating] below) — a barrier
      or delta blocked behind the in-flight cap would deadlock the
@@ -1020,6 +1070,8 @@ let handle t req =
   | Protocol.Events n -> do_events t n
   | Protocol.Degrade reason -> do_degrade t reason
   | Protocol.Restore -> do_restore t
+  | Protocol.Spans tid -> do_spans t tid
+  | Protocol.Trace tid -> do_trace t tid
   | _ ->
   let store = t.store in
   let t0 = Obs.now_ns () in

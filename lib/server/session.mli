@@ -91,6 +91,10 @@ val unreserve : store -> unit
 val is_degraded : store -> bool
 (** Whether the store is currently refusing mutations. *)
 
+val degraded_reason : store -> string option
+(** [None] when healthy; otherwise ["auto: <reason>"] or
+    ["operator: <reason>"] — the health endpoint's body. *)
+
 type t
 
 val create : ?reserved:bool -> store -> t

@@ -255,7 +255,7 @@ let sock_path () =
 
 (* one worker: an ordinary server with the dist handler installed,
    exactly as bin/coral_server wires it *)
-let start_worker () =
+let start_worker_h () =
   let path = sock_path () in
   let db = Coral.create () in
   let srv = Server.start ~listen:(`Unix path) db in
@@ -268,6 +268,10 @@ let start_worker () =
         (Admission.config (Session.admission store)).Admission.max_query_tuples)
   in
   Session.set_dist_handler store (Worker.handle worker);
+  path, srv, worker
+
+let start_worker () =
+  let path, srv, _ = start_worker_h () in
   path, srv
 
 type cluster = {
@@ -768,6 +772,258 @@ let test_local_fallback () =
   ignore (request c "quit");
   close_client c
 
+(* ------------------------------------------------------------------ *)
+(* Cluster observability: trace ids, stitching, federation, skew       *)
+(* ------------------------------------------------------------------ *)
+
+(* The in-process harness shares ONE span ring and enable switch
+   across router and workers, so these tests assert per-trace-id
+   filtering and wire behavior, never per-process span disjointness. *)
+let with_obs f =
+  Coral_obs.Obs.set_enabled true;
+  Coral_obs.Obs.Span.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Coral_obs.Obs.Span.clear ();
+      Coral_obs.Obs.set_enabled false)
+    f
+
+(* A plain server accepts a trailing [tid=] token on [query]: the
+   token never reaches the query parser, the answers are unchanged,
+   and the evaluation span is stamped with exactly that id. *)
+let test_tid_wire_roundtrip () =
+  with_obs @@ fun () ->
+  let path, srv = start_worker () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) @@ fun () ->
+  let c = connect_unix path in
+  let _, status = request c "consult edge(1, 2). edge(2, 3)." in
+  check_prefix "consult" "ok" status;
+  let plain = answers c "edge(X, Y)" in
+  let lines, status = request c "query edge(X, Y) tid=tt-wire.1" in
+  check_prefix "tid-tagged query" "ok" status;
+  Alcotest.(check (list string)) "tid token does not change the answers" plain
+    (List.sort compare
+       (List.filter (fun l -> String.starts_with ~prefix:"ans " l) lines));
+  let slines, status = request c "spans tt-wire.1" in
+  check_prefix "spans" "ok" status;
+  Alcotest.(check bool) "at least one span carries the tid" true (slines <> []);
+  List.iter
+    (fun l ->
+      check_prefix "span line" "txt " l;
+      match Coral_obs.Obs.Span.of_json (String.sub l 4 (String.length l - 4)) with
+      | Error e -> Alcotest.fail ("span line does not parse: " ^ e)
+      | Ok s ->
+        Alcotest.(check (option string)) "span tid attr" (Some "tt-wire.1")
+          (List.assoc_opt "tid" s.Coral_obs.Obs.Span.attrs))
+    slines;
+  (* an id outside the safe charset is refused, not adopted *)
+  let _, status = request c "spans no/slashes" in
+  check_prefix "spans with a bad id" "err" status;
+  (* a malformed tid token is NOT stripped: it stays query text and
+     fails in the parser instead of silently becoming trace context *)
+  let _, status = request c "query edge(X, Y) tid=no/slashes" in
+  check_prefix "malformed tid stays query text" "err" status;
+  ignore (request c "quit");
+  close_client c
+
+(* A distributed query yields ONE stitched Chrome trace: the ok detail
+   names the trace id, [trace <id>] (and [trace last]) return JSON
+   that parses back, with a router lane, a lane per worker, and every
+   complete event stamped with the same tid. *)
+let test_stitched_trace () =
+  with_obs @@ fun () ->
+  let texts = [ tc_program; tc_edges ~nodes:8 ~extra:3 5 ] in
+  let cl = start_cluster ~shards:2 ~key:1 () in
+  Fun.protect ~finally:(fun () -> stop_cluster cl) @@ fun () ->
+  let c = connect_unix cl.router_path in
+  consult_all c texts;
+  let _, status = request c "query path(X, Y)" in
+  check_prefix "distributed query" "ok" status;
+  let tid =
+    match
+      List.find_opt
+        (String.starts_with ~prefix:"tid=")
+        (String.split_on_char ' ' status)
+    with
+    | Some t -> String.sub t 4 (String.length t - 4)
+    | None -> Alcotest.fail ("no tid= in the ok detail: " ^ status)
+  in
+  let module J = Coral_obs.Json in
+  let strmem k obj = match J.member k obj with Some (J.Str s) -> Some s | _ -> None in
+  let check_trace cmd =
+    let tlines, tstatus = request c cmd in
+    check_prefix cmd "ok" tstatus;
+    let json =
+      String.concat "\n"
+        (List.map
+           (fun l ->
+             if String.starts_with ~prefix:"txt " l then
+               String.sub l 4 (String.length l - 4)
+             else l)
+           tlines)
+    in
+    match J.parse json with
+    | Error e -> Alcotest.fail (cmd ^ ": stitched trace is not valid JSON: " ^ e)
+    | Ok (J.List events) ->
+      let lanes =
+        List.filter_map
+          (fun ev ->
+            if strmem "ph" ev = Some "M" && strmem "name" ev = Some "process_name"
+            then Option.bind (J.member "args" ev) (strmem "name")
+            else None)
+          events
+      in
+      Alcotest.(check bool) (cmd ^ ": router lane present") true (List.mem "router" lanes);
+      Alcotest.(check bool) (cmd ^ ": both worker lanes present") true
+        (List.exists (String.starts_with ~prefix:"shard0 ") lanes
+        && List.exists (String.starts_with ~prefix:"shard1 ") lanes);
+      let xs = List.filter (fun ev -> strmem "ph" ev = Some "X") events in
+      Alcotest.(check bool) (cmd ^ ": has complete spans") true (xs <> []);
+      Alcotest.(check bool) (cmd ^ ": fan-out span present") true
+        (List.exists (fun ev -> strmem "name" ev = Some "router.fanout") xs);
+      List.iter
+        (fun ev ->
+          match Option.bind (J.member "args" ev) (strmem "tid") with
+          | Some t -> Alcotest.(check string) (cmd ^ ": span tid") tid t
+          | None -> Alcotest.fail (cmd ^ ": span without a tid attr"))
+        xs
+    | Ok _ -> Alcotest.fail (cmd ^ ": expected a JSON array")
+  in
+  check_trace ("trace " ^ tid);
+  check_trace "trace last";
+  ignore (request c "quit");
+  close_client c
+
+(* The router's [metrics] reply federates every worker under
+   coral_shard_*{shard="N"} labels, keeps the exposition well-formed
+   (one TYPE header per name), and carries the skew roll-ups. *)
+let test_federated_metrics () =
+  List.iter
+    (fun shards ->
+      let cl = start_cluster ~shards ~key:1 () in
+      Fun.protect ~finally:(fun () -> stop_cluster cl) @@ fun () ->
+      let c = connect_unix cl.router_path in
+      consult_all c [ tc_program; "edge(1, 2).\nedge(2, 3).\nedge(3, 4).\n" ];
+      ignore (answers c "path(X, Y)");
+      let lines, status = request c "metrics" in
+      check_prefix "metrics" "ok" status;
+      let txt =
+        List.filter_map
+          (fun l ->
+            if String.starts_with ~prefix:"txt " l then
+              Some (String.sub l 4 (String.length l - 4))
+            else None)
+          lines
+      in
+      for i = 0 to shards - 1 do
+        let up = Printf.sprintf "coral_shard_up{shard=\"%d\"" i in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d shard(s): shard %d reports up" shards i)
+          true
+          (List.exists
+             (fun l -> String.starts_with ~prefix:up l && String.ends_with ~suffix:" 1" l)
+             txt);
+        let lbl = Printf.sprintf "{shard=\"%d\"" i in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d shard(s): shard %d series federated" shards i)
+          true
+          (List.exists
+             (fun l ->
+               String.starts_with ~prefix:"coral_shard_" l
+               && (not (String.starts_with ~prefix:"coral_shard_up" l))
+               &&
+               match String.index_opt l '{' with
+               | Some j ->
+                 String.length l - j >= String.length lbl
+                 && String.sub l j (String.length lbl) = lbl
+               | None -> false)
+             txt)
+      done;
+      (* well-formed exposition: no federated TYPE header repeats *)
+      let names =
+        List.filter_map
+          (fun l ->
+            if String.starts_with ~prefix:"# TYPE coral_shard_" l then
+              Some (List.nth (String.split_on_char ' ' l) 2)
+            else None)
+          txt
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d shard(s): TYPE headers unique" shards)
+        (List.length names)
+        (List.length (List.sort_uniq compare names));
+      Alcotest.(check bool) "skew roll-up present" true
+        (List.exists (String.starts_with ~prefix:"coral_dist_skew_ratio") txt);
+      Alcotest.(check bool) "straggler roll-up present" true
+        (List.exists (String.starts_with ~prefix:"coral_dist_straggler_rounds") txt);
+      ignore (request c "quit");
+      close_client c)
+    [ 1; 2; 4 ]
+
+(* Fault seam: one worker sleeping through every barrier step must
+   show up as the straggler — in dstat's per-round table, in the
+   run's skew roll-up, and as a dist.round event with the flag. *)
+let test_forced_straggler () =
+  with_obs @@ fun () ->
+  let p0, s0, _ = start_worker_h () in
+  let p1, s1, slow = start_worker_h () in
+  Worker.set_fault_step_delay slow 0.05;
+  let rpath = sock_path () in
+  let router =
+    Router.start ~listen:(`Unix rpath) ~shard_addrs:[ p0; p1 ] ~key:1
+      (Coral.create ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.shutdown router;
+      Server.shutdown s0;
+      Server.shutdown s1)
+  @@ fun () ->
+  let c = connect_unix rpath in
+  consult_all c [ tc_program; tc_edges ~nodes:8 ~extra:3 7 ];
+  ignore (answers c "path(X, Y)");
+  let dlines, dstatus = request c "dstat" in
+  check_prefix "dstat" "ok" dstatus;
+  let detail = Option.value (Shard_client.status_ok dstatus) ~default:"" in
+  let kv = Shard_client.kv_pairs detail in
+  (match Shard_client.kv_int kv "straggler_rounds" with
+  | Some n -> Alcotest.(check bool) "straggler rounds flagged" true (n >= 1)
+  | None -> Alcotest.fail ("no straggler_rounds in dstat detail: " ^ detail));
+  (match List.assoc_opt "skew_max" kv with
+  | Some v ->
+    Alcotest.(check bool) "skew well above balanced" true
+      (Option.value (float_of_string_opt v) ~default:0. > 1.5)
+  | None -> Alcotest.fail "no skew_max in dstat detail");
+  Alcotest.(check bool) "the sleeping shard is the one flagged" true
+    (List.exists
+       (fun l ->
+         String.starts_with ~prefix:"txt round=" l
+         && String.ends_with ~suffix:"straggler=1" l)
+       dlines);
+  (* the per-round JSONL event carries the flag too *)
+  let elines, _ = request c "events 200" in
+  Alcotest.(check bool) "dist.round event with straggler" true
+    (List.exists
+       (fun l ->
+         let contains sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length l && (String.sub l i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         contains "dist.round" && contains "straggler")
+       elines);
+  (* clearing the seam drops the skew back to balanced *)
+  Worker.set_fault_step_delay slow 0.;
+  let _, status = request c "insert edge(1, 8)." in
+  check_prefix "insert to force a resync" "ok" status;
+  ignore (answers c "path(X, Y)");
+  let _, dstatus = request c "dstat" in
+  check_prefix "dstat after clearing the fault" "ok" dstatus;
+  ignore (request c "quit");
+  close_client c
+
 let () =
   Alcotest.run "coral_dist"
     [ ( "units",
@@ -795,5 +1051,13 @@ let () =
             test_worker_crash_unavail;
           Alcotest.test_case "non-distributable falls back locally" `Quick
             test_local_fallback
+        ] );
+      ( "observability",
+        [ Alcotest.test_case "tid= wire round-trip on a plain server" `Quick
+            test_tid_wire_roundtrip;
+          Alcotest.test_case "stitched cross-process trace" `Quick test_stitched_trace;
+          Alcotest.test_case "federated metrics labels (1/2/4 shards)" `Quick
+            test_federated_metrics;
+          Alcotest.test_case "forced straggler is flagged" `Quick test_forced_straggler
         ] )
     ]

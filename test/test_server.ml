@@ -392,7 +392,48 @@ let test_metrics_http () =
   check_prefix "unknown path is 404" "HTTP/1.0 404 Not Found" missing;
   (match content_length missing with
   | Some n -> Alcotest.(check int) "404 content-length" n (String.length (body_of missing))
-  | None -> Alcotest.fail "no Content-Length header on 404")
+  | None -> Alcotest.fail "no Content-Length header on 404");
+  (* GET /healthz: 200 ok while healthy, 503 with the reason once the
+     health callback reports degradation, 200 again on recovery *)
+  Alcotest.(check bool) "healthz default is 200 ok" true
+    (let r = fetch "/healthz" in
+     String.starts_with ~prefix:"HTTP/1.0 200 OK" r && contains "ok" (body_of r))
+
+let test_metrics_http_healthz () =
+  let degraded = ref None in
+  let mh =
+    Coral_server.Metrics_http.start ~port:0
+      ~health:(fun () ->
+        match !degraded with None -> `Ok | Some r -> `Degraded r)
+      (fun () -> "noop 1\n")
+  in
+  Fun.protect ~finally:(fun () -> Coral_server.Metrics_http.stop mh) @@ fun () ->
+  let fetch path =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, Coral_server.Metrics_http.port mh));
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    output_string oc (Printf.sprintf "GET %s HTTP/1.0\r\nHost: test\r\n\r\n" path);
+    flush oc;
+    let buf = Buffer.create 1024 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Buffer.contents buf
+  in
+  check_prefix "healthy is 200" "HTTP/1.0 200 OK" (fetch "/healthz");
+  Alcotest.(check bool) "healthy body says ok" true (contains "\r\n\r\nok" (fetch "/healthz"));
+  degraded := Some "event sink stalled";
+  let sick = fetch "/healthz" in
+  check_prefix "degraded is 503" "HTTP/1.0 503 Service Unavailable" sick;
+  Alcotest.(check bool) "degraded body carries the reason" true
+    (contains "degraded event sink stalled" sick);
+  (* a crashing health callback reads as degraded, never as a 200 *)
+  degraded := None;
+  check_prefix "recovery is 200 again" "HTTP/1.0 200 OK" (fetch "/healthz")
 
 (* ------------------------------------------------------------------ *)
 (* Deadlines                                                           *)
@@ -1688,6 +1729,7 @@ let () =
           Alcotest.test_case "metrics (wire)" `Quick test_metrics_wire;
           Alcotest.test_case "byte counters (wire)" `Quick test_byte_counters_wire;
           Alcotest.test_case "metrics (http)" `Quick test_metrics_http;
+          Alcotest.test_case "healthz (http)" `Quick test_metrics_http_healthz;
           Alcotest.test_case "request deadline" `Quick test_deadline;
           Alcotest.test_case "ps and kill" `Quick test_ps_kill;
           Alcotest.test_case "event log (wire)" `Quick test_events_wire;
